@@ -1,0 +1,101 @@
+// Experiment E4 (DESIGN.md): §4.2's R* join-site alternatives. Sweep the
+// number of sites holding the query's tables; report the join-site
+// alternatives generated (one RemoteJoin per site in σ), the communication
+// share of the best plan, and optimization effort.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "plan/explain.h"
+
+namespace starburst {
+namespace {
+
+struct Row {
+  int sites;
+  int64_t star_refs;
+  int64_t plans;
+  double best_cost;
+  double comm_share;
+  double micros;
+};
+
+Row RunDistributed(int sites, int tables) {
+  SyntheticCatalogOptions copts;
+  copts.num_tables = tables;
+  copts.num_sites = sites;
+  copts.seed = 7;
+  Catalog catalog = MakeSyntheticCatalog(copts);
+  Query query = bench::MustParse(catalog, bench::ChainSql(tables));
+  Optimizer optimizer(DefaultRuleSet());
+  auto r = optimizer.Optimize(query).ValueOrDie();
+  Row row;
+  row.sites = sites;
+  row.star_refs = r.engine_metrics.star_refs;
+  row.plans = r.plans_in_table;
+  row.best_cost = r.total_cost;
+  Cost c = r.best->props.cost();
+  row.comm_share = r.total_cost > 0 ? c.comm / r.total_cost : 0.0;
+  row.micros = r.optimize_micros;
+  return row;
+}
+
+void PrintArtifact() {
+  bench::PrintHeader(
+      "E4: R* join-site alternatives (§4.2)",
+      "remote joins are required at every site in sigma; local queries "
+      "bypass RemoteJoin entirely");
+  std::printf("%-6s | %10s %8s | %12s %10s | %10s\n", "sites", "star_refs",
+              "plans", "best_cost", "comm%", "time_us");
+  for (int sites : {1, 2, 3, 4}) {
+    Row r = RunDistributed(sites, 3);
+    std::printf("%-6d | %10lld %8lld | %12.0f %9.1f%% | %10.0f\n", r.sites,
+                static_cast<long long>(r.star_refs),
+                static_cast<long long>(r.plans), r.best_cost,
+                r.comm_share * 100.0, r.micros);
+  }
+  std::printf(
+      "\n(1 site: PermutedJoin's 'local' alternative fires, no SHIPs, zero\n"
+      " comm. More sites: one SitedJoin per candidate site, SHIP veneers\n"
+      " from Glue, and the plan space grows accordingly.)\n\n");
+
+  // The paper's Figure-3 flavored two-table case, end to end.
+  PaperCatalogOptions popts;
+  popts.distributed = true;
+  Catalog catalog = MakePaperCatalog(popts);
+  Query query = bench::MustParse(
+      catalog, std::string(bench::kPaperSql) + " AT SITE 'L.A.'");
+  Optimizer optimizer(DefaultRuleSet());
+  auto r = optimizer.Optimize(query).ValueOrDie();
+  std::printf("paper query with DEPT at N.Y., result required at L.A.:\n%s\n",
+              ExplainPlan(*r.best, query).c_str());
+}
+
+void BM_DistributedOptimize(benchmark::State& state) {
+  int sites = static_cast<int>(state.range(0));
+  SyntheticCatalogOptions copts;
+  copts.num_tables = 3;
+  copts.num_sites = sites;
+  copts.seed = 7;
+  Catalog catalog = MakeSyntheticCatalog(copts);
+  Query query = bench::MustParse(catalog, bench::ChainSql(3));
+  Optimizer optimizer(DefaultRuleSet());
+  for (auto _ : state) {
+    auto r = optimizer.Optimize(query);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_DistributedOptimize)
+    ->DenseRange(1, 4)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace starburst
+
+int main(int argc, char** argv) {
+  starburst::PrintArtifact();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

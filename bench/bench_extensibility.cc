@@ -1,0 +1,109 @@
+// Experiment E5 (DESIGN.md): §5's claim that adding a strategy is a rule
+// edit, not an optimizer rebuild. We measure (a) parsing/installing the
+// whole default rule base from text, (b) appending one strategy to a live
+// rule base, and show the plan-space delta the edit produces.
+
+#include <benchmark/benchmark.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "bench_util.h"
+#include "star/dsl_parser.h"
+
+#ifndef STARBURST_RULES_DIR
+#define STARBURST_RULES_DIR "rules"
+#endif
+
+namespace starburst {
+namespace {
+
+std::string DefaultRuleText() {
+  std::ifstream in(std::string(STARBURST_RULES_DIR) + "/default.star");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void PrintArtifact() {
+  bench::PrintHeader(
+      "E5: strategies are data (§5)",
+      "\"new STARs can be added to that file without impacting the "
+      "Starburst system code at all\"");
+  Catalog catalog = MakePaperCatalog();
+  Query query = bench::MustParse(catalog, bench::kPaperSql);
+
+  Optimizer optimizer(DefaultRuleSet());  // NL + MG
+  auto before = optimizer.Optimize(query).ValueOrDie();
+  std::printf("before edit (NL+MG):     plans_built=%lld best_cost=%.0f\n",
+              static_cast<long long>(before.engine_metrics.plans_built),
+              before.total_cost);
+
+  // The DBC appends the hash-join strategy to the *live* rule base.
+  AddHashJoinAlternative(&optimizer.rules());
+  auto after = optimizer.Optimize(query).ValueOrDie();
+  std::printf("after  edit (+hash):     plans_built=%lld best_cost=%.0f\n",
+              static_cast<long long>(after.engine_metrics.plans_built),
+              after.total_cost);
+
+  // Or replaces a STAR wholesale from rule text.
+  Status st = LoadRules(&optimizer.rules(), R"(
+    star JoinRoot(T1, T2, P)
+      alt 'left-deep-only':
+        PermutedJoin(T1, T2, P)
+    end
+  )");
+  if (!st.ok()) std::abort();
+  auto narrowed = optimizer.Optimize(query).ValueOrDie();
+  std::printf("after replacing JoinRoot (no permutation): plans_built=%lld "
+              "best_cost=%.0f\n\n",
+              static_cast<long long>(narrowed.engine_metrics.plans_built),
+              narrowed.total_cost);
+}
+
+void BM_ParseDefaultRuleFile(benchmark::State& state) {
+  std::string text = DefaultRuleText();
+  for (auto _ : state) {
+    RuleSet rules;
+    Status st = LoadRules(&rules, text);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    benchmark::DoNotOptimize(rules);
+  }
+  state.counters["bytes"] =
+      benchmark::Counter(static_cast<double>(text.size()));
+}
+BENCHMARK(BM_ParseDefaultRuleFile)->Unit(benchmark::kMicrosecond);
+
+void BM_AppendStrategyToLiveRuleBase(benchmark::State& state) {
+  for (auto _ : state) {
+    RuleSet rules = DefaultRuleSet();
+    AddHashJoinAlternative(&rules);
+    AddDynamicIndexAlternative(&rules);
+    benchmark::DoNotOptimize(rules);
+  }
+}
+BENCHMARK(BM_AppendStrategyToLiveRuleBase)->Unit(benchmark::kMicrosecond);
+
+void BM_OptimizeAfterRuleEdit(benchmark::State& state) {
+  // Full cycle a DBC experiences: edit rules, re-optimize. No compilation.
+  Catalog catalog = MakePaperCatalog();
+  Query query = bench::MustParse(catalog, bench::kPaperSql);
+  for (auto _ : state) {
+    Optimizer optimizer(DefaultRuleSet());
+    AddHashJoinAlternative(&optimizer.rules());
+    auto r = optimizer.Optimize(query);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_OptimizeAfterRuleEdit)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace starburst
+
+int main(int argc, char** argv) {
+  starburst::PrintArtifact();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

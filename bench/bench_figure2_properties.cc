@@ -1,0 +1,104 @@
+// Experiment F2 (DESIGN.md): reproduce Figure 2 — the property vector — by
+// printing every property of every node of the Figure-1 plan (each LOLEPOP's
+// property function at work), then benchmark property-function evaluation.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "plan/explain.h"
+#include "properties/property_functions.h"
+
+namespace starburst {
+namespace {
+
+void PrintNodeProperties(const PlanOp& node, const Query& query, int depth) {
+  std::printf("%*s%s\n", depth * 2, "", node.Label().c_str());
+  std::printf("%*s  %s\n", depth * 2, "",
+              node.props.ToString(&query).c_str());
+  for (const PlanPtr& in : node.inputs) {
+    PrintNodeProperties(*in, query, depth + 1);
+  }
+}
+
+void PrintArtifact() {
+  bench::PrintHeader(
+      "F2: Figure 2 — properties of a plan",
+      "relational (TABLES/COLS/PREDS), physical (ORDER/SITE/TEMP/PATHS), "
+      "estimated (CARD/COST) per LOLEPOP");
+  Catalog catalog = MakePaperCatalog();
+  Query query = bench::MustParse(catalog, bench::kPaperSql);
+  Optimizer optimizer(DefaultRuleSet(bench::FullRepertoire()));
+  OptimizeResult result = optimizer.Optimize(query).ValueOrDie();
+  std::printf("property vectors along the chosen plan:\n\n");
+  PrintNodeProperties(*result.best, query, 0);
+  std::printf("\n");
+}
+
+void BM_AccessPropertyFunction(benchmark::State& state) {
+  Catalog catalog = MakePaperCatalog();
+  Query query = bench::MustParse(catalog, bench::kPaperSql);
+  CostModel cost_model;
+  OperatorRegistry registry;
+  if (!RegisterBuiltinOperators(&registry).ok()) std::abort();
+  PlanFactory factory(query, cost_model, registry);
+  OpArgs args;
+  args.Set(arg::kQuantifier, int64_t{0});
+  args.Set(arg::kCols,
+           std::vector<ColumnRef>{ColumnRef{0, 0}, ColumnRef{0, 1}});
+  args.Set(arg::kPreds, PredSet::Single(0));
+  for (auto _ : state) {
+    auto plan = factory.Make(op::kAccess, flavor::kHeap, {}, args);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_AccessPropertyFunction);
+
+void BM_JoinPropertyFunction(benchmark::State& state) {
+  Catalog catalog = MakePaperCatalog();
+  Query query = bench::MustParse(catalog, bench::kPaperSql);
+  CostModel cost_model;
+  OperatorRegistry registry;
+  if (!RegisterBuiltinOperators(&registry).ok()) std::abort();
+  PlanFactory factory(query, cost_model, registry);
+  OpArgs dept_args;
+  dept_args.Set(arg::kQuantifier, int64_t{0});
+  dept_args.Set(arg::kCols, std::vector<ColumnRef>{ColumnRef{0, 0}});
+  PlanPtr dept =
+      factory.Make(op::kAccess, flavor::kHeap, {}, dept_args).ValueOrDie();
+  OpArgs emp_args;
+  emp_args.Set(arg::kQuantifier, int64_t{1});
+  emp_args.Set(arg::kCols, std::vector<ColumnRef>{ColumnRef{1, 1}});
+  PlanPtr emp =
+      factory.Make(op::kAccess, flavor::kHeap, {}, emp_args).ValueOrDie();
+  OpArgs join_args;
+  join_args.Set(arg::kJoinPreds, PredSet::Single(1));
+  join_args.Set(arg::kResidualPreds, PredSet{});
+  for (auto _ : state) {
+    auto plan = factory.Make(op::kJoin, flavor::kNL, {dept, emp}, join_args);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_JoinPropertyFunction);
+
+void BM_PropertyVectorSetGet(benchmark::State& state) {
+  for (auto _ : state) {
+    PropertyVector pv;
+    pv.set_tables(QuantifierSet::FirstN(3));
+    pv.set_card(1234.5);
+    pv.set_site(1);
+    pv.set_temp(true);
+    benchmark::DoNotOptimize(pv.card());
+    benchmark::DoNotOptimize(pv.site());
+  }
+}
+BENCHMARK(BM_PropertyVectorSetGet);
+
+}  // namespace
+}  // namespace starburst
+
+int main(int argc, char** argv) {
+  starburst::PrintArtifact();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Experiment F3 (DESIGN.md): reproduce Figure 3 — the Glue mechanism
+// injecting SHIP/SORT veneers to meet [site = L.A., order = DNO] on DEPT
+// stored at N.Y., then choosing the cheapest — and benchmark Glue.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "cost/cost_model.h"
+#include "glue/glue.h"
+#include "optimizer/plan_table.h"
+#include "plan/explain.h"
+#include "properties/property_functions.h"
+#include "star/builtins.h"
+
+namespace starburst {
+namespace {
+
+struct Fig3Setup {
+  Catalog catalog;
+  Query query;
+  CostModel cost_model;
+  OperatorRegistry operators;
+  FunctionRegistry functions;
+  RuleSet rules;
+  std::unique_ptr<PlanFactory> factory;
+  std::unique_ptr<StarEngine> engine;
+  std::unique_ptr<PlanTable> table;
+  std::unique_ptr<Glue> glue;
+
+  Fig3Setup()
+      : catalog([] {
+          PaperCatalogOptions opts;
+          opts.distributed = true;
+          return MakePaperCatalog(opts);
+        }()),
+        query(bench::MustParse(catalog, "SELECT DEPT.DNO FROM DEPT")),
+        rules(DefaultRuleSet()) {
+    if (!RegisterBuiltinOperators(&operators).ok()) std::abort();
+    if (!RegisterBuiltinFunctions(&functions).ok()) std::abort();
+    factory = std::make_unique<PlanFactory>(query, cost_model, operators);
+    engine = std::make_unique<StarEngine>(factory.get(), &rules, &functions);
+    table = std::make_unique<PlanTable>(&cost_model);
+    glue = std::make_unique<Glue>(engine.get(), table.get());
+    engine->set_glue(glue.get());
+  }
+
+  StreamSpec RequiredSpec() {
+    StreamSpec spec;
+    spec.tables = QuantifierSet::Single(0);
+    spec.required.site = catalog.FindSite("L.A.").ValueOrDie();
+    spec.required.order =
+        SortOrder{query.ResolveColumn("DEPT", "DNO").ValueOrDie()};
+    return spec;
+  }
+};
+
+void PrintArtifact() {
+  bench::PrintHeader(
+      "F3: Figure 3 — the Glue mechanism",
+      "DEPT stored at N.Y.; required [site=L.A., order=DNO]; Glue injects "
+      "SHIP/SORT veneers and returns the satisfying plans");
+  Fig3Setup s;
+
+  // Show the available plans before Glue (the figure's left column).
+  StreamSpec bare;
+  bare.tables = QuantifierSet::Single(0);
+  SAP base = s.glue->Resolve(bare).ValueOrDie();
+  std::printf("available plans before requirements:\n");
+  for (const PlanPtr& p : base) {
+    std::printf("%s", ExplainPlan(*p, s.query).c_str());
+  }
+
+  SAP matched = s.glue->Resolve(s.RequiredSpec()).ValueOrDie();
+  std::printf("\nplans after Glue matched [site=L.A., order=(DEPT.DNO)]:\n");
+  for (const PlanPtr& p : matched) {
+    std::printf("%s", ExplainPlan(*p, s.query).c_str());
+  }
+  PlanPtr cheapest = CheapestPlan(matched, s.cost_model);
+  std::printf("\ncheapest satisfying plan (cost %.1f):\n%s",
+              s.cost_model.Total(cheapest->props.cost()),
+              ExplainPlan(*cheapest, s.query).c_str());
+  std::printf("\nglue effort: %s\n\n", s.glue->metrics().ToString().c_str());
+}
+
+void BM_GlueResolveWithRequirements(benchmark::State& state) {
+  Fig3Setup s;
+  StreamSpec spec = s.RequiredSpec();
+  for (auto _ : state) {
+    auto sap = s.glue->Resolve(spec);
+    if (!sap.ok()) state.SkipWithError(sap.status().ToString().c_str());
+    benchmark::DoNotOptimize(sap);
+  }
+}
+BENCHMARK(BM_GlueResolveWithRequirements);
+
+void BM_GlueResolvePlanTableHit(benchmark::State& state) {
+  Fig3Setup s;
+  StreamSpec bare;
+  bare.tables = QuantifierSet::Single(0);
+  (void)s.glue->Resolve(bare);  // warm the table
+  for (auto _ : state) {
+    auto sap = s.glue->Resolve(bare);
+    benchmark::DoNotOptimize(sap);
+  }
+}
+BENCHMARK(BM_GlueResolvePlanTableHit);
+
+}  // namespace
+}  // namespace starburst
+
+int main(int argc, char** argv) {
+  starburst::PrintArtifact();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

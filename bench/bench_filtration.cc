@@ -1,0 +1,130 @@
+// Experiment E8 (DESIGN.md): the §4 "filtration methods" (semi-joins /
+// Bloom-joins) the paper lists among its constructible-but-omitted STARs,
+// validated for R* in [MACK 86]. Sweep the communication price and the
+// outer's filter selectivity; report when the Bloom-reduced shipment beats
+// the classical alternatives.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "plan/explain.h"
+
+namespace starburst {
+namespace {
+
+ColumnDef Col(const char* name, double distinct, double width = 8.0) {
+  ColumnDef c;
+  c.name = name;
+  c.distinct_values = distinct;
+  c.min_value = 0;
+  c.max_value = distinct - 1;
+  c.avg_width = width;
+  return c;
+}
+
+/// Wide filtered outer at the result site, large narrow inner remote.
+Catalog MackertLohmanCatalog(double filter_distinct) {
+  Catalog cat;
+  SiteId ny = cat.AddSite("N.Y.");
+  TableDef a;
+  a.name = "CUST";
+  a.columns = {Col("id", 10000), Col("c", filter_distinct),
+               Col("profile", 100, 300)};
+  a.row_count = 10000;
+  a.data_pages = 800;
+  a.site = ny;
+  cat.AddTable(std::move(a)).ValueOrDie();
+  TableDef b;
+  b.name = "ORDERS";
+  b.columns = {Col("fk", 10000), Col("val", 1000)};
+  b.row_count = 100000;
+  b.data_pages = 500;
+  b.site = 0;
+  cat.AddTable(std::move(b)).ValueOrDie();
+  return cat;
+}
+
+const char* kSql =
+    "SELECT profile, val FROM CUST, ORDERS WHERE c = 1 AND id = fk "
+    "AT SITE 'N.Y.'";
+
+void PrintArtifact() {
+  bench::PrintHeader(
+      "E8: semijoin / Bloomjoin filtration (§4, [MACK 86])",
+      "reduce a remote inner by a shipped filter of the outer's join "
+      "columns before shipping it to the join site");
+
+  std::printf("outer filter selectivity sweep (default comm price):\n");
+  std::printf("%-12s | %12s %12s | %8s | %s\n", "outer rows", "no bloom",
+              "with bloom", "speedup", "bloom chosen?");
+  for (double distinct : {2.0, 5.0, 20.0, 100.0, 1000.0}) {
+    Catalog cat = MackertLohmanCatalog(distinct);
+    Query query = bench::MustParse(cat, kSql);
+    Optimizer plain{DefaultRuleSet()};
+    DefaultRuleOptions with;
+    with.bloomjoin = true;
+    Optimizer bloom(DefaultRuleSet(with));
+    auto r0 = plain.Optimize(query).ValueOrDie();
+    auto r1 = bloom.Optimize(query).ValueOrDie();
+    bool used =
+        PlanSignature(*r1.best).find("FILTERBY") != std::string::npos;
+    std::printf("%-12.0f | %12.0f %12.0f | %7.2fx | %s\n", 10000.0 / distinct,
+                r0.total_cost, r1.total_cost, r0.total_cost / r1.total_cost,
+                used ? "yes" : "no");
+  }
+
+  std::printf("\ncommunication price sweep (outer filtered to 500 rows):\n");
+  std::printf("%-10s | %12s %12s | %8s | %s\n", "comm x", "no bloom",
+              "with bloom", "speedup", "bloom chosen?");
+  for (double mult : {0.1, 1.0, 10.0, 100.0}) {
+    Catalog cat = MackertLohmanCatalog(20.0);
+    Query query = bench::MustParse(cat, kSql);
+    OptimizerOptions opts;
+    opts.cost_params.msg_cost *= mult;
+    opts.cost_params.byte_cost *= mult;
+    Optimizer plain(DefaultRuleSet(), opts);
+    DefaultRuleOptions with;
+    with.bloomjoin = true;
+    Optimizer bloom(DefaultRuleSet(with), opts);
+    auto r0 = plain.Optimize(query).ValueOrDie();
+    auto r1 = bloom.Optimize(query).ValueOrDie();
+    bool used =
+        PlanSignature(*r1.best).find("FILTERBY") != std::string::npos;
+    std::printf("%-10.1f | %12.0f %12.0f | %7.2fx | %s\n", mult,
+                r0.total_cost, r1.total_cost, r0.total_cost / r1.total_cost,
+                used ? "yes" : "no");
+  }
+
+  Catalog cat = MackertLohmanCatalog(20.0);
+  Query query = bench::MustParse(cat, kSql);
+  DefaultRuleOptions with;
+  with.bloomjoin = true;
+  Optimizer bloom(DefaultRuleSet(with));
+  auto r = bloom.Optimize(query).ValueOrDie();
+  std::printf("\nchosen Bloomjoin plan:\n%s\n",
+              ExplainPlan(*r.best, query).c_str());
+}
+
+void BM_OptimizeWithBloomjoin(benchmark::State& state) {
+  Catalog cat = MackertLohmanCatalog(20.0);
+  Query query = bench::MustParse(cat, kSql);
+  DefaultRuleOptions with;
+  with.bloomjoin = true;
+  Optimizer optimizer(DefaultRuleSet(with));
+  for (auto _ : state) {
+    auto r = optimizer.Optimize(query);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_OptimizeWithBloomjoin)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace starburst
+
+int main(int argc, char** argv) {
+  starburst::PrintArtifact();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

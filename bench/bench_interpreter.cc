@@ -1,0 +1,145 @@
+// Experiment E6 (DESIGN.md): the [LEE 88] companion claim — interpreting
+// STARs is cheap. Micro-benchmarks of the interpreter's primitive steps:
+// STAR expansion, Glue resolution, plan-table lookups, and memo hit rate.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "cost/cost_model.h"
+#include "glue/glue.h"
+#include "optimizer/plan_table.h"
+#include "properties/property_functions.h"
+#include "star/builtins.h"
+
+namespace starburst {
+namespace {
+
+struct InterpSetup {
+  Catalog catalog;
+  Query query;
+  CostModel cost_model;
+  OperatorRegistry operators;
+  FunctionRegistry functions;
+  RuleSet rules;
+  std::unique_ptr<PlanFactory> factory;
+  std::unique_ptr<StarEngine> engine;
+  std::unique_ptr<PlanTable> table;
+  std::unique_ptr<Glue> glue;
+
+  InterpSetup()
+      : catalog(MakePaperCatalog()),
+        query(bench::MustParse(catalog, bench::kPaperSql)),
+        rules(DefaultRuleSet(bench::FullRepertoire())) {
+    if (!RegisterBuiltinOperators(&operators).ok()) std::abort();
+    if (!RegisterBuiltinFunctions(&functions).ok()) std::abort();
+    factory = std::make_unique<PlanFactory>(query, cost_model, operators);
+    engine = std::make_unique<StarEngine>(factory.get(), &rules, &functions);
+    table = std::make_unique<PlanTable>(&cost_model);
+    glue = std::make_unique<Glue>(engine.get(), table.get());
+    engine->set_glue(glue.get());
+  }
+
+  StreamSpec Spec(int q, PredSet preds = PredSet{}) {
+    StreamSpec s;
+    s.tables = QuantifierSet::Single(q);
+    s.preds = preds;
+    return s;
+  }
+};
+
+void PrintArtifact() {
+  bench::PrintHeader(
+      "E6: interpreter overhead ([LEE 88])",
+      "STAR evaluation is a dictionary lookup plus substitution; see the "
+      "per-step timings below");
+  InterpSetup s;
+  auto sap = s.engine
+                 ->EvalStar("AccessRoot", {RuleValue(s.Spec(1)),
+                                           RuleValue(PredSet{})})
+                 .ValueOrDie();
+  std::printf("AccessRoot(EMP, {}) expands to %zu plans with metrics %s\n\n",
+              sap.size(), s.engine->metrics().ToString().c_str());
+}
+
+void BM_EvalAccessRoot(benchmark::State& state) {
+  InterpSetup s;
+  std::vector<RuleValue> args{RuleValue(s.Spec(1)), RuleValue(PredSet{})};
+  for (auto _ : state) {
+    auto sap = s.engine->EvalStar("AccessRoot", args);
+    if (!sap.ok()) state.SkipWithError(sap.status().ToString().c_str());
+    benchmark::DoNotOptimize(sap);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EvalAccessRoot);
+
+void BM_EvalJoinRootTwoTables(benchmark::State& state) {
+  InterpSetup s;
+  // Populate single-table buckets once.
+  (void)s.glue->Resolve(s.Spec(0, PredSet::Single(0)));
+  (void)s.glue->Resolve(s.Spec(1));
+  std::vector<RuleValue> args{RuleValue(s.Spec(0, PredSet::Single(0))),
+                              RuleValue(s.Spec(1)),
+                              RuleValue(PredSet::Single(1))};
+  for (auto _ : state) {
+    auto sap = s.engine->EvalStar("JoinRoot", args);
+    if (!sap.ok()) state.SkipWithError(sap.status().ToString().c_str());
+    benchmark::DoNotOptimize(sap);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EvalJoinRootTwoTables);
+
+void BM_GlueMemoHit(benchmark::State& state) {
+  InterpSetup s;
+  StreamSpec spec = s.Spec(1);
+  (void)s.glue->Resolve(spec);  // warm
+  for (auto _ : state) {
+    auto sap = s.glue->Resolve(spec);
+    benchmark::DoNotOptimize(sap);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GlueMemoHit);
+
+void BM_PlanTableLookup(benchmark::State& state) {
+  InterpSetup s;
+  (void)s.glue->Resolve(s.Spec(1));
+  QuantifierSet q = QuantifierSet::Single(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.table->Lookup(q, PredSet{}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PlanTableLookup);
+
+void BM_ConditionEvaluation(benchmark::State& state) {
+  // The cost of one rule condition: classify predicates + emptiness test,
+  // the work the paper contrasts with transformational unification.
+  InterpSetup s;
+  RuleExprPtr cond = RuleExpr::Call(
+      "nonempty", {RuleExpr::Call("sortable_preds",
+                                  {RuleExpr::Param("P"), RuleExpr::Param("T1"),
+                                   RuleExpr::Param("T2")})});
+  StarEngine::Env env;
+  env.Bind("P", RuleValue(PredSet::Single(1)));
+  env.Bind("T1", RuleValue(s.Spec(0)));
+  env.Bind("T2", RuleValue(s.Spec(1)));
+  for (auto _ : state) {
+    auto v = s.engine->Eval(*cond, env);
+    if (!v.ok()) state.SkipWithError(v.status().ToString().c_str());
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConditionEvaluation);
+
+}  // namespace
+}  // namespace starburst
+
+int main(int argc, char** argv) {
+  starburst::PrintArtifact();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,211 @@
+// Experiment E2 (DESIGN.md): §2.3's claim that composite inners and
+// Cartesian products "significantly complicate the generation of legal join
+// pairs and increase their number. However, a cheaper plan is more likely to
+// be discovered among this expanded repertoire!" — sweep table count and the
+// two session toggles; report pairs considered, plans kept, and best cost.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace starburst {
+namespace {
+
+struct Config {
+  const char* label;
+  bool composite;
+  bool cartesian;
+};
+
+constexpr Config kConfigs[] = {
+    {"left/right-deep only", false, false},
+    {"+composite inners", true, false},
+    {"+cartesian products", true, true},
+};
+
+void PrintArtifact() {
+  bench::PrintHeader(
+      "E2: join enumeration repertoire",
+      "\"a cheaper plan is more likely to be discovered among this expanded "
+      "repertoire\" (§2.3)");
+  std::printf("%-7s | %-22s | %10s %10s %10s | %12s\n", "tables", "config",
+              "splits", "pairs", "plans", "best_cost");
+  for (int n = 3; n <= 7; ++n) {
+    SyntheticCatalogOptions copts;
+    copts.num_tables = n;
+    copts.seed = 90 + static_cast<uint64_t>(n);
+    Catalog catalog = MakeSyntheticCatalog(copts);
+    Query query = bench::MustParse(catalog, bench::ChainSql(n));
+    for (const Config& cfg : kConfigs) {
+      OptimizerOptions opts;
+      opts.engine.allow_composite_inner = cfg.composite;
+      opts.engine.allow_cartesian = cfg.cartesian;
+      Optimizer optimizer(DefaultRuleSet(), opts);
+      auto r = optimizer.Optimize(query).ValueOrDie();
+      std::printf("%-7d | %-22s | %10lld %10lld %10lld | %12.0f\n", n,
+                  cfg.label,
+                  static_cast<long long>(r.enumerator_stats.splits_considered),
+                  static_cast<long long>(r.enumerator_stats.joinable_pairs),
+                  static_cast<long long>(r.plans_in_table), r.total_cost);
+    }
+  }
+  std::printf("\n");
+}
+
+/// Workload where a bushy plan (composite inner) wins: selective filters on
+/// both ends of a 4-chain, so (T0⨝T1) ⨝ (T2⨝T3) keeps both intermediate
+/// results tiny while any left-deep order drags a large intermediate.
+void PrintBushyArtifact() {
+  Catalog cat;
+  auto table = [&](const char* name, double rows, bool fk,
+                   double payload_distinct) {
+    TableDef t;
+    t.name = name;
+    ColumnDef id;
+    id.name = "id";
+    id.distinct_values = rows;
+    id.min_value = 0;
+    id.max_value = rows - 1;
+    t.columns.push_back(id);
+    if (fk) {
+      ColumnDef f;
+      f.name = "fk0";
+      f.distinct_values = rows;
+      f.min_value = 0;
+      f.max_value = rows - 1;
+      t.columns.push_back(f);
+    }
+    ColumnDef c;
+    c.name = "c0";
+    c.distinct_values = payload_distinct;
+    c.min_value = 0;
+    c.max_value = payload_distinct - 1;
+    t.columns.push_back(c);
+    t.row_count = rows;
+    t.data_pages = std::max(1.0, rows / 40.0);
+    cat.AddTable(std::move(t)).ValueOrDie();
+  };
+  table("T0", 50000, false, 25000);  // filtered to ~2 rows
+  table("T1", 50000, true, 100);
+  table("T2", 50000, true, 100);
+  table("T3", 50000, true, 25000);  // filtered to ~2 rows
+
+  Query query = bench::MustParse(
+      cat,
+      "SELECT T0.id FROM T0, T1, T2, T3 WHERE T0.c0 = 1 AND T3.c0 = 1 AND "
+      "T1.fk0 = T0.id AND T2.fk0 = T1.id AND T3.fk0 = T2.id");
+
+  std::printf("bushy-friendly query (selective filters on both chain ends):\n");
+  for (bool composite : {false, true}) {
+    OptimizerOptions opts;
+    opts.engine.allow_composite_inner = composite;
+    Optimizer optimizer(DefaultRuleSet(), opts);
+    auto r = optimizer.Optimize(query).ValueOrDie();
+    std::printf("  composite inners %-3s -> best cost %10.0f  (%lld plans)\n",
+                composite ? "on" : "off", r.total_cost,
+                static_cast<long long>(r.plans_in_table));
+  }
+  std::printf("\n");
+}
+
+/// Workload where a Cartesian product wins (§2.3: "Cartesian products
+/// between two streams of small estimated cardinality"): two tiny filtered
+/// dimensions and one huge fact table; (A×C) lets one pass over B apply both
+/// join predicates at once.
+void PrintCartesianArtifact() {
+  Catalog cat;
+  auto dim = [&](const char* name, double rows, double payload_distinct) {
+    TableDef t;
+    t.name = name;
+    ColumnDef id;
+    id.name = "id";
+    id.distinct_values = rows;
+    id.min_value = 0;
+    id.max_value = rows - 1;
+    ColumnDef c;
+    c.name = "c0";
+    c.distinct_values = payload_distinct;
+    c.min_value = 0;
+    c.max_value = payload_distinct - 1;
+    t.columns = {id, c};
+    t.row_count = rows;
+    t.data_pages = std::max(1.0, rows / 40.0);
+    cat.AddTable(std::move(t)).ValueOrDie();
+  };
+  dim("A", 2000, 1000);  // filtered to ~2 rows
+  dim("C", 2000, 1000);
+  TableDef b;
+  b.name = "B";
+  ColumnDef ba;
+  ba.name = "a";
+  ba.distinct_values = 2000;
+  ba.min_value = 0;
+  ba.max_value = 1999;
+  ColumnDef bc = ba;
+  bc.name = "c";
+  ColumnDef pay;
+  pay.name = "pay";
+  pay.distinct_values = 100;
+  pay.avg_width = 64;
+  b.columns = {ba, bc, pay};
+  b.row_count = 1000000;
+  b.data_pages = 20000;
+  // The multi-column index is what makes the Cartesian product pay: probing
+  // with (a, c) simultaneously needs both dimension tuples in hand — a plan
+  // only reachable via A × C (and the §1 prefix rule decides which of the
+  // two predicates a left-deep plan may push).
+  IndexDef ix;
+  ix.name = "B_a_c_ix";
+  ix.key_columns = {0, 1};
+  ix.leaf_pages = 5000;
+  b.indexes.push_back(std::move(ix));
+  cat.AddTable(std::move(b)).ValueOrDie();
+
+  Query query = bench::MustParse(
+      cat,
+      "SELECT B.pay FROM A, B, C WHERE A.c0 = 1 AND C.c0 = 1 AND "
+      "B.a = A.id AND B.c = C.id");
+  std::printf("cartesian-friendly query (two tiny dimensions, huge fact):\n");
+  for (bool cartesian : {false, true}) {
+    OptimizerOptions opts;
+    opts.engine.allow_cartesian = cartesian;
+    Optimizer optimizer(DefaultRuleSet(), opts);
+    auto r = optimizer.Optimize(query).ValueOrDie();
+    std::printf("  cartesian products %-3s -> best cost %10.0f\n",
+                cartesian ? "on" : "off", r.total_cost);
+  }
+  std::printf("\n");
+}
+
+void BM_Enumeration(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  bool composite = state.range(1) != 0;
+  SyntheticCatalogOptions copts;
+  copts.num_tables = n;
+  copts.seed = 90 + static_cast<uint64_t>(n);
+  Catalog catalog = MakeSyntheticCatalog(copts);
+  Query query = bench::MustParse(catalog, bench::ChainSql(n));
+  OptimizerOptions opts;
+  opts.engine.allow_composite_inner = composite;
+  Optimizer optimizer(DefaultRuleSet(), opts);
+  for (auto _ : state) {
+    auto r = optimizer.Optimize(query);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_Enumeration)
+    ->ArgsProduct({{3, 4, 5, 6, 7, 8}, {0, 1}})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace starburst
+
+int main(int argc, char** argv) {
+  starburst::PrintArtifact();
+  starburst::PrintBushyArtifact();
+  starburst::PrintCartesianArtifact();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

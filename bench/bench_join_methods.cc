@@ -1,0 +1,200 @@
+// Experiment E3 (DESIGN.md): each §4.4/§4.5 join-method STAR wins on the
+// workload that motivates it. For every workload we report the best total
+// cost without and with the strategy under test (all from the same rule
+// base, differing only in the JMeth alternatives present), reproducing the
+// paper's rationale for each alternative.
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+
+#include "bench_util.h"
+#include "plan/explain.h"
+
+namespace starburst {
+namespace {
+
+ColumnDef IntCol(const char* name, double distinct, double max_v,
+                 double width = 8.0) {
+  ColumnDef c;
+  c.name = name;
+  c.distinct_values = distinct;
+  c.min_value = 0;
+  c.max_value = max_v;
+  c.avg_width = width;
+  return c;
+}
+
+// --- W-MG: both inputs clustered on the join key -> merge join needs no
+// sorts, nested-loop pays a B-tree descend per outer tuple (§4.4). ---------
+Catalog MergeWorkload() {
+  Catalog cat;
+  TableDef a;
+  a.name = "A";
+  a.columns = {IntCol("id", 20000, 19999), IntCol("pay", 100, 99, 64)};
+  a.row_count = 20000;
+  a.data_pages = 400;
+  a.storage = StorageKind::kBTree;
+  a.btree_key = {0};
+  cat.AddTable(std::move(a)).ValueOrDie();
+  TableDef b;
+  b.name = "B";
+  b.columns = {IntCol("aid", 20000, 19999), IntCol("val", 100, 99, 64)};
+  b.row_count = 20000;
+  b.data_pages = 400;
+  b.storage = StorageKind::kBTree;
+  b.btree_key = {0};
+  cat.AddTable(std::move(b)).ValueOrDie();
+  return cat;
+}
+const char* kMergeSql = "SELECT A.pay FROM A, B WHERE A.id = B.aid";
+
+// --- W-HA: expression join predicate -> not sortable, no index applies;
+// plain nested-loop rescans the inner heap per outer tuple (§4.5.1). -------
+Catalog HashWorkload() {
+  Catalog cat;
+  TableDef a;
+  a.name = "A";
+  a.columns = {IntCol("x", 10000, 9999), IntCol("pay", 100, 99, 32)};
+  a.row_count = 10000;
+  a.data_pages = 150;
+  cat.AddTable(std::move(a)).ValueOrDie();
+  TableDef b;
+  b.name = "B";
+  b.columns = {IntCol("y", 10000, 9999), IntCol("val", 100, 99, 32)};
+  b.row_count = 10000;
+  b.data_pages = 150;
+  cat.AddTable(std::move(b)).ValueOrDie();
+  return cat;
+}
+const char* kHashSql = "SELECT A.pay FROM A, B WHERE A.x + 1 = B.y * 1";
+
+// --- W-DynX: large unsorted outer, selective inner predicate, no index on
+// the inner join column -> build one on the fly instead of sorting both
+// sides (§4.5.3). -----------------------------------------------------------
+Catalog DynIxWorkload() {
+  Catalog cat;
+  TableDef a;
+  a.name = "A";
+  a.columns = {IntCol("fk", 50000, 49999), IntCol("pay", 100, 99, 256)};
+  a.row_count = 100000;
+  a.data_pages = 6500;
+  cat.AddTable(std::move(a)).ValueOrDie();
+  TableDef b;
+  b.name = "B";
+  b.columns = {IntCol("id", 50000, 49999), IntCol("c", 500, 499, 8)};
+  b.row_count = 50000;
+  b.data_pages = 1000;
+  cat.AddTable(std::move(b)).ValueOrDie();
+  return cat;
+}
+const char* kDynIxSql =
+    "SELECT A.pay FROM A, B WHERE A.fk = B.id AND B.c = 7";
+
+// --- W-FP: highly selective, narrow inner that would otherwise be
+// re-scanned per outer tuple -> materialize the projection once (§4.5.2).
+// The expression join predicate keeps merge/hash/index out of this
+// comparison. ---------------------------------------------------------------
+Catalog FProjWorkload() {
+  Catalog cat;
+  TableDef a;
+  a.name = "A";
+  a.columns = {IntCol("x", 20000, 19999), IntCol("pay", 100, 99, 32)};
+  a.row_count = 50000;
+  a.data_pages = 800;
+  cat.AddTable(std::move(a)).ValueOrDie();
+  TableDef b;
+  b.name = "B";
+  b.columns = {IntCol("y", 20000, 19999), IntCol("c", 200, 199, 8),
+               IntCol("wide", 100, 99, 200)};
+  b.row_count = 20000;
+  b.data_pages = 1200;
+  cat.AddTable(std::move(b)).ValueOrDie();
+  return cat;
+}
+const char* kFProjSql =
+    "SELECT A.pay FROM A, B WHERE A.x + 1 = B.y + 2 AND B.c = 7";
+
+struct Workload {
+  const char* name;
+  const char* motivates;
+  std::function<Catalog()> catalog;
+  const char* sql;
+  DefaultRuleOptions without;
+  DefaultRuleOptions with;
+};
+
+std::vector<Workload> Workloads() {
+  DefaultRuleOptions nl_only;
+  nl_only.merge_join = false;
+
+  Workload w_mg{"W-MG (pre-clustered inputs)", "sort-merge (§4.4)",
+                MergeWorkload, kMergeSql, nl_only, {}};
+  w_mg.with.merge_join = true;
+
+  Workload w_ha{"W-HA (expression join pred)", "hash join (§4.5.1)",
+                HashWorkload, kHashSql, nl_only, nl_only};
+  w_ha.with.hash_join = true;
+
+  Workload w_dx{"W-DynX (no index on inner)", "dynamic index (§4.5.3)",
+                DynIxWorkload, kDynIxSql, {}, {}};
+  w_dx.with.dynamic_index = true;
+
+  Workload w_fp{"W-FP (tiny projected inner)", "forced projection (§4.5.2)",
+                FProjWorkload, kFProjSql, nl_only, nl_only};
+  w_fp.with.forced_projection = true;
+
+  return {w_mg, w_ha, w_dx, w_fp};
+}
+
+double BestCost(const Catalog& catalog, const char* sql,
+                const DefaultRuleOptions& rules, std::string* winner) {
+  Query query = bench::MustParse(catalog, sql);
+  Optimizer optimizer(DefaultRuleSet(rules));
+  auto r = optimizer.Optimize(query).ValueOrDie();
+  if (winner != nullptr) *winner = r.best->Label();
+  return r.total_cost;
+}
+
+void PrintArtifact() {
+  bench::PrintHeader("E3: each join-method STAR wins somewhere",
+                     "the §4.4-§4.5 rationale for every JMeth alternative");
+  std::printf("%-30s | %-26s | %12s %12s | %8s | %s\n", "workload",
+              "strategy under test", "cost without", "cost with", "speedup",
+              "winning root op");
+  for (const Workload& w : Workloads()) {
+    Catalog catalog = w.catalog();
+    std::string winner;
+    double without = BestCost(catalog, w.sql, w.without, nullptr);
+    double with = BestCost(catalog, w.sql, w.with, &winner);
+    std::printf("%-30s | %-26s | %12.0f %12.0f | %7.1fx | %s\n", w.name,
+                w.motivates, without, with, without / with, winner.c_str());
+  }
+  std::printf("\n");
+}
+
+void BM_OptimizeWorkload(benchmark::State& state) {
+  std::vector<Workload> ws = Workloads();
+  const Workload& w = ws[static_cast<size_t>(state.range(0))];
+  Catalog catalog = w.catalog();
+  Query query = bench::MustParse(catalog, w.sql);
+  Optimizer optimizer(DefaultRuleSet(w.with));
+  for (auto _ : state) {
+    auto r = optimizer.Optimize(query);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_OptimizeWorkload)
+    ->DenseRange(0, 3)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace starburst
+
+int main(int argc, char** argv) {
+  starburst::PrintArtifact();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

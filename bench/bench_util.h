@@ -1,0 +1,64 @@
+#ifndef STARBURST_BENCH_BENCH_UTIL_H_
+#define STARBURST_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the experiment benches (DESIGN.md §4). Each bench
+// binary first prints the reproduced paper artifact (figure or claim table)
+// and then runs google-benchmark timings for the mechanism involved.
+
+#include <cstdio>
+#include <string>
+
+#include "catalog/synthetic.h"
+#include "optimizer/optimizer.h"
+#include "sql/parser.h"
+#include "star/default_rules.h"
+
+namespace starburst::bench {
+
+/// The Figure-1 query over the paper catalog (§2.1).
+inline const char* kPaperSql =
+    "SELECT EMP.NAME, EMP.ADDRESS FROM DEPT, EMP "
+    "WHERE DEPT.MGR = 'Haas' AND DEPT.DNO = EMP.DNO";
+
+inline Query MustParse(const Catalog& catalog, const std::string& sql) {
+  return ParseSql(catalog, sql).ValueOrDie();
+}
+
+/// SQL for a k-way chain join over the synthetic schema.
+inline std::string ChainSql(int n, bool with_filter = true) {
+  std::string sql = "SELECT T0.id FROM T0";
+  for (int i = 1; i < n; ++i) sql += ", T" + std::to_string(i);
+  std::string where;
+  if (with_filter) where = " WHERE T0.c0 <= 2";
+  for (int i = 1; i < n; ++i) {
+    where += where.empty() ? " WHERE " : " AND ";
+    where += "T" + std::to_string(i) + ".fk0 = T" + std::to_string(i - 1) +
+             ".id";
+  }
+  return sql + where;
+}
+
+inline DefaultRuleOptions FullRepertoire() {
+  DefaultRuleOptions o;
+  o.merge_join = true;
+  o.hash_join = true;
+  o.forced_projection = true;
+  o.dynamic_index = true;
+  o.tid_sort = true;
+  o.index_and = true;
+  o.bloomjoin = true;
+  return o;
+}
+
+inline void PrintHeader(const char* experiment, const char* claim) {
+  std::printf("==============================================================="
+              "=========\n");
+  std::printf("%s\n", experiment);
+  std::printf("  paper artifact/claim: %s\n", claim);
+  std::printf("==============================================================="
+              "=========\n");
+}
+
+}  // namespace starburst::bench
+
+#endif  // STARBURST_BENCH_BENCH_UTIL_H_

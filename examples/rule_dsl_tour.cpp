@@ -1,0 +1,103 @@
+// A tour of the STAR rule DSL: load the default rule base from its text
+// file, inspect it, evaluate individual STARs against a query, and trace how
+// requirements accumulate until Glue resolves them (paper §2.2-§3.2).
+
+#include <cstdio>
+
+#include "catalog/synthetic.h"
+#include "cost/cost_model.h"
+#include "glue/glue.h"
+#include "optimizer/plan_table.h"
+#include "plan/explain.h"
+#include "properties/property_functions.h"
+#include "sql/parser.h"
+#include "star/builtins.h"
+#include "star/dsl_parser.h"
+
+#ifndef STARBURST_RULES_DIR
+#define STARBURST_RULES_DIR "rules"
+#endif
+
+using namespace starburst;
+
+int main() {
+  // 1. Rules are input data: parse the shipped rule file.
+  RuleSet rules;
+  Status st = LoadRulesFromFile(
+      &rules, std::string(STARBURST_RULES_DIR) + "/default.star");
+  if (!st.ok()) {
+    std::fprintf(stderr, "cannot load rules: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("Loaded %d STARs from rules/default.star:\n ", rules.size());
+  for (const std::string& name : rules.Names()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n\n");
+
+  const Star& jmeth = *rules.Find("JMeth").ValueOrDie();
+  std::printf("JMeth(%zu params) has %zu alternative definitions:\n",
+              jmeth.params.size(), jmeth.alternatives.size());
+  for (const Alternative& alt : jmeth.alternatives) {
+    std::printf("  - %-18s %s\n", alt.label.c_str(),
+                alt.condition ? "(conditional)" : "(always applicable)");
+  }
+  std::printf("\n");
+
+  // 2. Wire up a per-query engine by hand (what Optimizer does internally).
+  Catalog catalog = MakePaperCatalog();
+  Query query = ParseSql(catalog,
+                         "SELECT EMP.NAME FROM DEPT, EMP WHERE "
+                         "DEPT.MGR = 'Haas' AND DEPT.DNO = EMP.DNO")
+                    .ValueOrDie();
+  CostModel cost_model;
+  OperatorRegistry operators;
+  FunctionRegistry functions;
+  if (!RegisterBuiltinOperators(&operators).ok()) return 1;
+  if (!RegisterBuiltinFunctions(&functions).ok()) return 1;
+  PlanFactory factory(query, cost_model, operators);
+  StarEngine engine(&factory, &rules, &functions);
+  PlanTable table(&cost_model);
+  Glue glue(&engine, &table);
+  engine.set_glue(&glue);
+
+  // 3. Evaluate a single STAR: AccessRoot over EMP.
+  StreamSpec emp;
+  emp.tables = QuantifierSet::Single(1);
+  SAP access =
+      engine.EvalStar("AccessRoot", {RuleValue(emp), RuleValue(PredSet{})})
+          .ValueOrDie();
+  std::printf("AccessRoot(EMP, {}) returned a SAP of %zu plans:\n",
+              access.size());
+  for (const PlanPtr& p : access) {
+    std::printf("%s", ExplainPlan(*p, query).c_str());
+  }
+
+  // 4. Requirements accumulate on the stream until Glue is referenced.
+  StreamSpec ordered = emp;
+  ordered.required.order =
+      SortOrder{query.ResolveColumn("EMP", "DNO").ValueOrDie()};
+  std::printf("\nstream spec with requirement: %s\n",
+              ordered.ToString(&query).c_str());
+  SAP resolved = glue.Resolve(ordered).ValueOrDie();
+  std::printf("Glue resolves it to %zu plan(s):\n", resolved.size());
+  for (const PlanPtr& p : resolved) {
+    std::printf("%s", ExplainPlan(*p, query).c_str());
+  }
+
+  // 5. Full join expansion: JoinRoot over (DEPT, EMP) with the join pred.
+  StreamSpec dept;
+  dept.tables = QuantifierSet::Single(0);
+  dept.preds = PredSet::Single(0);
+  SAP joins = engine
+                  .EvalStar("JoinRoot",
+                            {RuleValue(dept), RuleValue(emp),
+                             RuleValue(PredSet::Single(1))})
+                  .ValueOrDie();
+  std::printf("\nJoinRoot(DEPT, EMP, {DNO=DNO}) -> SAP of %zu plans; "
+              "engine metrics %s\n",
+              joins.size(), engine.metrics().ToString().c_str());
+  std::printf("cheapest join alternative:\n%s",
+              ExplainPlan(*CheapestPlan(joins, cost_model), query).c_str());
+  return 0;
+}

@@ -1,0 +1,212 @@
+// An interactive shell over the library: type SQL, get the optimized plan
+// and its rows; inspect and edit the live rule base between queries. Reads
+// from stdin, so it works scripted too:
+//
+//   echo "SELECT EMP.NAME FROM EMP WHERE EMP.DNO = 3" | starburst_shell
+//
+// Commands:
+//   <sql>                 optimize, explain, execute
+//   \explain <sql>        optimize + explain only
+//   \rules                list the STARs in the live rule base
+//   \show <star>          pretty-print one STAR in the rule DSL
+//   \enable <strategy>    hash_join | forced_projection | dynamic_index |
+//                         bloomjoin | tid_sort | index_and
+//   \load <file>          load/replace STARs from a rule file
+//   \catalog              list tables, columns, indexes, sites
+//   \metrics              optimizer effort counters of the last query
+//   \help, \quit
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "catalog/synthetic.h"
+#include "exec/evaluator.h"
+#include "optimizer/optimizer.h"
+#include "plan/explain.h"
+#include "sql/parser.h"
+#include "star/default_rules.h"
+#include "star/dsl_parser.h"
+#include "star/dsl_printer.h"
+#include "storage/datagen.h"
+
+using namespace starburst;
+
+namespace {
+
+void PrintCatalog(const Catalog& catalog) {
+  for (int t = 0; t < catalog.num_tables(); ++t) {
+    const TableDef& def = catalog.table(t);
+    std::printf("  %s (%lld rows, %s, site %s)\n", def.name.c_str(),
+                static_cast<long long>(def.row_count),
+                StorageKindName(def.storage),
+                catalog.site_name(def.site).c_str());
+    std::string cols;
+    for (const ColumnDef& c : def.columns) {
+      if (!cols.empty()) cols += ", ";
+      cols += c.name;
+    }
+    std::printf("    columns: %s\n", cols.c_str());
+    for (const IndexDef& ix : def.indexes) {
+      std::string keys;
+      for (int ord : ix.key_columns) {
+        if (!keys.empty()) keys += ", ";
+        keys += def.columns[static_cast<size_t>(ord)].name;
+      }
+      std::printf("    index %s (%s)\n", ix.name.c_str(), keys.c_str());
+    }
+  }
+}
+
+void PrintHelp() {
+  std::printf(
+      "  <sql>               optimize, explain, and execute a query\n"
+      "  \\explain <sql>      optimize and explain only\n"
+      "  \\rules              list the STARs of the live rule base\n"
+      "  \\show <star>        pretty-print one STAR\n"
+      "  \\enable <strategy>  hash_join, forced_projection, dynamic_index,\n"
+      "                      bloomjoin, tid_sort, index_and\n"
+      "  \\load <file>        load/replace STARs from a rule file\n"
+      "  \\catalog            show tables and indexes\n"
+      "  \\metrics            effort counters of the last optimization\n"
+      "  \\quit               exit\n");
+}
+
+struct Shell {
+  Catalog catalog;
+  Database db;
+  Optimizer optimizer;
+  OptimizeResult last;
+
+  Shell()
+      : catalog(MakePaperCatalog()),
+        db(catalog),
+        optimizer(DefaultRuleSet()) {
+    Status st = PopulatePaperDatabase(&db, /*seed=*/42, /*scale=*/0.02);
+    if (!st.ok()) {
+      std::fprintf(stderr, "datagen: %s\n", st.ToString().c_str());
+    }
+  }
+
+  void RunSql(const std::string& sql, bool execute) {
+    auto query = ParseSql(catalog, sql);
+    if (!query.ok()) {
+      std::printf("parse error: %s\n", query.status().ToString().c_str());
+      return;
+    }
+    auto result = optimizer.Optimize(query.value());
+    if (!result.ok()) {
+      std::printf("optimizer error: %s\n",
+                  result.status().ToString().c_str());
+      return;
+    }
+    last = std::move(result).value();
+    std::printf("plan (cost %.1f, %zu alternatives kept):\n%s", last.total_cost,
+                last.final_plans.size(),
+                ExplainPlan(*last.best, query.value()).c_str());
+    if (!execute) return;
+    auto rs = ExecutePlan(db, query.value(), last.best);
+    if (!rs.ok()) {
+      std::printf("executor error: %s\n", rs.status().ToString().c_str());
+      return;
+    }
+    auto shown = ProjectResult(rs.value(), query.value().select_list());
+    if (!shown.ok()) {
+      std::printf("%s\n", shown.status().ToString().c_str());
+      return;
+    }
+    std::printf("%s", FormatResult(shown.value(), query.value(), 12).c_str());
+  }
+
+  void Enable(const std::string& strategy) {
+    RuleSet& rules = optimizer.rules();
+    if (strategy == "hash_join") {
+      AddHashJoinAlternative(&rules);
+    } else if (strategy == "forced_projection") {
+      AddForcedProjectionAlternative(&rules);
+    } else if (strategy == "dynamic_index") {
+      AddDynamicIndexAlternative(&rules);
+    } else if (strategy == "bloomjoin") {
+      AddBloomJoinAlternative(&rules);
+    } else if (strategy == "tid_sort") {
+      AddTidSortAlternative(&rules);
+    } else if (strategy == "index_and") {
+      AddIndexAndAlternative(&rules);
+    } else {
+      std::printf("unknown strategy '%s'\n", strategy.c_str());
+      return;
+    }
+    std::printf("enabled %s (rule base now has %d STARs)\n",
+                strategy.c_str(), optimizer.rules().size());
+  }
+
+  void Command(const std::string& line) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    std::string rest;
+    std::getline(in, rest);
+    while (!rest.empty() && rest.front() == ' ') rest.erase(rest.begin());
+
+    if (cmd == "\\help") {
+      PrintHelp();
+    } else if (cmd == "\\catalog") {
+      PrintCatalog(catalog);
+    } else if (cmd == "\\rules") {
+      for (const std::string& name : optimizer.rules().Names()) {
+        const Star& star = *optimizer.rules().Find(name).ValueOrDie();
+        std::printf("  %-16s (%zu params, %zu alternatives%s)\n",
+                    name.c_str(), star.params.size(),
+                    star.alternatives.size(),
+                    star.exclusive ? ", exclusive" : "");
+      }
+    } else if (cmd == "\\show") {
+      auto star = optimizer.rules().Find(rest);
+      if (!star.ok()) {
+        std::printf("%s\n", star.status().ToString().c_str());
+        return;
+      }
+      auto text = FormatStar(*star.value());
+      std::printf("%s", text.ok() ? text.value().c_str()
+                                  : text.status().ToString().c_str());
+    } else if (cmd == "\\enable") {
+      Enable(rest);
+    } else if (cmd == "\\load") {
+      Status st = LoadRulesFromFile(&optimizer.rules(), rest);
+      std::printf("%s\n", st.ok() ? "loaded" : st.ToString().c_str());
+    } else if (cmd == "\\explain") {
+      RunSql(rest, /*execute=*/false);
+    } else if (cmd == "\\metrics") {
+      std::printf("engine: %s\nglue:   %s\ntable:  %s\n",
+                  last.engine_metrics.ToString().c_str(),
+                  last.glue_metrics.ToString().c_str(),
+                  last.table_stats.ToString().c_str());
+    } else {
+      std::printf("unknown command %s (try \\help)\n", cmd.c_str());
+    }
+  }
+};
+
+}  // namespace
+
+int main() {
+  Shell shell;
+  std::printf("starburst shell — DEPT/EMP demo database loaded. \\help for "
+              "commands.\n");
+  std::string line;
+  while (true) {
+    std::printf("star> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty()) continue;
+    if (line == "\\quit" || line == "\\q") break;
+    if (line[0] == '\\') {
+      shell.Command(line);
+    } else {
+      shell.RunSql(line, /*execute=*/true);
+    }
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+#include "baseline/pattern.h"
+
+namespace starburst {
+
+bool MatchPattern(const Pattern& pattern, const PlanPtr& node,
+                  MatchResult* result, int64_t* comparisons) {
+  ++*comparisons;
+  if (node == nullptr) return false;
+  if (pattern.binding >= 0) {
+    if (result->bindings.size() <=
+        static_cast<size_t>(pattern.binding)) {
+      result->bindings.resize(static_cast<size_t>(pattern.binding) + 1);
+    }
+    result->bindings[static_cast<size_t>(pattern.binding)] = node;
+  }
+  if (pattern.kind == Pattern::Kind::kAny) return true;
+  if (node->name() != pattern.op_name) return false;
+  if (!pattern.flavor.empty() && node->flavor != pattern.flavor) return false;
+  if (node->inputs.size() != pattern.children.size()) return false;
+  for (size_t i = 0; i < pattern.children.size(); ++i) {
+    if (!MatchPattern(pattern.children[i], node->inputs[i], result,
+                      comparisons)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+void EnumerateRec(const PlanPtr& node, PlanPath* current,
+                  std::vector<PlanPath>* out) {
+  out->push_back(*current);
+  for (size_t i = 0; i < node->inputs.size(); ++i) {
+    current->push_back(static_cast<int>(i));
+    EnumerateRec(node->inputs[i], current, out);
+    current->pop_back();
+  }
+}
+}  // namespace
+
+std::vector<PlanPath> EnumeratePaths(const PlanPtr& root) {
+  std::vector<PlanPath> out;
+  PlanPath current;
+  EnumerateRec(root, &current, &out);
+  return out;
+}
+
+PlanPtr NodeAt(const PlanPtr& root, const PlanPath& path) {
+  PlanPtr node = root;
+  for (int child : path) {
+    node = node->inputs[static_cast<size_t>(child)];
+  }
+  return node;
+}
+
+Result<PlanPtr> ReplaceAt(const PlanFactory& factory, const PlanPtr& root,
+                          const PlanPath& path, PlanPtr replacement,
+                          int64_t* rebuilt_nodes) {
+  if (path.empty()) return replacement;
+  std::vector<PlanPtr> child_inputs = root->inputs;
+  PlanPath rest(path.begin() + 1, path.end());
+  auto rebuilt = ReplaceAt(factory, child_inputs[static_cast<size_t>(path[0])],
+                           rest, std::move(replacement), rebuilt_nodes);
+  if (!rebuilt.ok()) return rebuilt;
+  child_inputs[static_cast<size_t>(path[0])] = std::move(rebuilt).value();
+  ++*rebuilt_nodes;
+  return factory.Make(root->name(), root->flavor, std::move(child_inputs),
+                      root->args);
+}
+
+}  // namespace starburst

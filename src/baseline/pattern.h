@@ -1,0 +1,75 @@
+#ifndef STARBURST_BASELINE_PATTERN_H_
+#define STARBURST_BASELINE_PATTERN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "plan/plan.h"
+
+namespace starburst {
+
+/// A structural pattern over plan trees, the matching machinery of a
+/// transformational optimizer (EXODUS [GRAE 87a] / Freytag [FREY 87]). The
+/// paper's efficiency argument (§1) is that this unification — attempted for
+/// every (rule, plan node) pair on every iteration — is what STAR expansion
+/// avoids; the match counters here are the measured quantity of E1.
+struct Pattern {
+  enum class Kind {
+    kAny,  ///< matches any subtree, binds it to `binding`
+    kOp,   ///< matches a node with the given operator (and flavor, if set)
+  };
+
+  Kind kind = Kind::kAny;
+  std::string op_name;
+  std::string flavor;  ///< empty = any flavor
+  std::vector<Pattern> children;
+  int binding = -1;  ///< slot in MatchResult::bindings, -1 = unbound
+
+  static Pattern Any(int binding) {
+    Pattern p;
+    p.kind = Kind::kAny;
+    p.binding = binding;
+    return p;
+  }
+  static Pattern Op(std::string op, std::string flv,
+                    std::vector<Pattern> children, int binding = -1) {
+    Pattern p;
+    p.kind = Kind::kOp;
+    p.op_name = std::move(op);
+    p.flavor = std::move(flv);
+    p.children = std::move(children);
+    p.binding = binding;
+    return p;
+  }
+};
+
+struct MatchResult {
+  std::vector<PlanPtr> bindings;
+};
+
+/// Matches `pattern` against the subtree rooted at `node`, recording bound
+/// subtrees. `*comparisons` is incremented per pattern-node comparison.
+bool MatchPattern(const Pattern& pattern, const PlanPtr& node,
+                  MatchResult* result, int64_t* comparisons);
+
+/// A position in a plan tree: child indices from the root.
+using PlanPath = std::vector<int>;
+
+/// All node positions of the tree, preorder.
+std::vector<PlanPath> EnumeratePaths(const PlanPtr& root);
+
+/// The node at `path`.
+PlanPtr NodeAt(const PlanPtr& root, const PlanPath& path);
+
+/// Rebuilds the tree with the subtree at `path` replaced by `replacement`,
+/// re-deriving every ancestor's property vector through the factory (this is
+/// the re-estimation cost the paper attributes to transformational systems,
+/// §6). `*rebuilt_nodes` counts re-derived ancestors.
+Result<PlanPtr> ReplaceAt(const PlanFactory& factory, const PlanPtr& root,
+                          const PlanPath& path, PlanPtr replacement,
+                          int64_t* rebuilt_nodes);
+
+}  // namespace starburst
+
+#endif  // STARBURST_BASELINE_PATTERN_H_

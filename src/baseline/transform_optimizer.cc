@@ -1,0 +1,158 @@
+#include "baseline/transform_optimizer.h"
+
+#include <chrono>
+#include <set>
+
+#include "plan/explain.h"
+#include "plan/validate.h"
+#include "properties/property_functions.h"
+
+namespace starburst {
+
+std::string BaselineMetrics::ToString() const {
+  return "{iterations=" + std::to_string(iterations) +
+         " attempts=" + std::to_string(rule_node_attempts) +
+         " comparisons=" + std::to_string(pattern_comparisons) +
+         " conditions=" + std::to_string(conditions_evaluated) +
+         " matches=" + std::to_string(matches) +
+         " applied=" + std::to_string(transformations_applied) +
+         " plans=" + std::to_string(plans_generated) +
+         " dups=" + std::to_string(duplicates_rejected) +
+         " invalid=" + std::to_string(invalid_rejected) +
+         " rebuilt=" + std::to_string(ancestors_rebuilt) +
+         (hit_caps ? " CAPPED" : "") + "}";
+}
+
+TransformOptimizer::TransformOptimizer(BaselineOptions options)
+    : options_(options) {
+  Status st = RegisterBuiltinOperators(&operators_);
+  if (!st.ok()) throw std::runtime_error(st.ToString());
+}
+
+Result<BaselineResult> TransformOptimizer::Optimize(const Query& query) {
+  auto start = std::chrono::steady_clock::now();
+  if (query.catalog().num_sites() > 1) {
+    // Not a limitation of the approach per se, but distributed rules are out
+    // of scope for the baseline (see header).
+  }
+
+  CostModel cost_model(options_.cost_params);
+  PlanFactory factory(query, cost_model, operators_);
+  std::vector<TransformRule> rules = DefaultTransformRules(options_.rules);
+
+  BaselineResult result;
+  BaselineMetrics& m = result.metrics;
+
+  auto initial = MakeInitialPlan(factory);
+  if (!initial.ok()) return initial.status();
+
+  std::vector<PlanPtr> pool{std::move(initial).value()};
+  std::set<std::string> seen{PlanSignature(*pool[0])};
+  std::vector<PlanPtr> frontier = pool;
+
+  while (!frontier.empty() && m.iterations < options_.max_iterations &&
+         static_cast<int64_t>(pool.size()) < options_.max_plans) {
+    ++m.iterations;
+    std::vector<PlanPtr> next;
+    for (const PlanPtr& plan : frontier) {
+      for (const PlanPath& path : EnumeratePaths(plan)) {
+        PlanPtr node = NodeAt(plan, path);
+        for (const TransformRule& rule : rules) {
+          ++m.rule_node_attempts;
+          MatchResult match;
+          if (!MatchPattern(rule.pattern, node, &match,
+                            &m.pattern_comparisons)) {
+            continue;
+          }
+          ++m.matches;
+          if (rule.condition) {
+            ++m.conditions_evaluated;
+            if (!rule.condition(match, factory)) continue;
+          }
+          auto replacements = rule.apply(match, factory);
+          if (!replacements.ok()) {
+            if (replacements.status().code() ==
+                StatusCode::kInvalidArgument) {
+              continue;
+            }
+            return replacements.status();
+          }
+          for (PlanPtr& replacement : replacements.value()) {
+            ++m.transformations_applied;
+            auto rebuilt = ReplaceAt(factory, plan, path,
+                                     std::move(replacement),
+                                     &m.ancestors_rebuilt);
+            if (!rebuilt.ok()) continue;
+            // Transformations can move a correlated subtree out of the
+            // scope that binds it; a well-formedness pass must reject those
+            // plans (one more per-plan cost of this architecture, [ROSE 87]).
+            if (!ValidatePlan(*rebuilt.value(), query).ok()) {
+              ++m.invalid_rejected;
+              continue;
+            }
+            std::string sig = PlanSignature(*rebuilt.value());
+            if (!seen.insert(std::move(sig)).second) {
+              ++m.duplicates_rejected;
+              continue;
+            }
+            ++m.plans_generated;
+            pool.push_back(rebuilt.value());
+            next.push_back(std::move(rebuilt).value());
+            if (static_cast<int64_t>(pool.size()) >= options_.max_plans) {
+              m.hit_caps = true;
+              break;
+            }
+          }
+          if (m.hit_caps) break;
+        }
+        if (m.hit_caps) break;
+      }
+      if (m.hit_caps) break;
+    }
+    frontier = std::move(next);
+  }
+  if (m.iterations >= options_.max_iterations) m.hit_caps = true;
+
+  // Finalize: append SORT/SHIP veneers needed by the query, then pick the
+  // cheapest.
+  auto finalize = [&](const PlanPtr& plan) -> Result<PlanPtr> {
+    PlanPtr p = plan;
+    if (!query.order_by().empty() &&
+        !OrderSatisfies(p->props.order(), query.order_by())) {
+      OpArgs args;
+      args.Set(arg::kOrder, query.order_by());
+      auto sorted = factory.Make(op::kSort, "", {p}, std::move(args));
+      if (!sorted.ok()) return sorted;
+      p = std::move(sorted).value();
+    }
+    SiteId site = query.required_site().value_or(0);
+    if (p->props.site() != site) {
+      OpArgs args;
+      args.Set(arg::kSite, static_cast<int64_t>(site));
+      auto shipped = factory.Make(op::kShip, "", {p}, std::move(args));
+      if (!shipped.ok()) return shipped;
+      p = std::move(shipped).value();
+    }
+    return p;
+  };
+
+  for (const PlanPtr& plan : pool) {
+    auto finalized = finalize(plan);
+    if (!finalized.ok()) continue;
+    double cost = cost_model.Total(finalized.value()->props.cost());
+    if (result.best == nullptr || cost < result.total_cost) {
+      result.best = std::move(finalized).value();
+      result.total_cost = cost;
+    }
+  }
+  if (result.best == nullptr) {
+    return Status::Internal("baseline produced no finalizable plan");
+  }
+  result.plans_total = static_cast<int64_t>(pool.size());
+  result.optimize_micros = std::chrono::duration<double, std::micro>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+  return result;
+}
+
+}  // namespace starburst

@@ -1,0 +1,65 @@
+#ifndef STARBURST_BASELINE_TRANSFORM_OPTIMIZER_H_
+#define STARBURST_BASELINE_TRANSFORM_OPTIMIZER_H_
+
+#include <string>
+
+#include "baseline/transform_rules.h"
+#include "cost/cost_model.h"
+
+namespace starburst {
+
+struct BaselineOptions {
+  TransformRuleOptions rules;
+  CostParams cost_params;
+  /// Safety caps: transformational search is the side of E1 that explodes.
+  int64_t max_plans = 20000;
+  int max_iterations = 100;
+};
+
+/// Effort counters of the transformational search — the quantities the
+/// paper's §1 argues against: every iteration attempts every rule at every
+/// node of every plan, with unification and duplicate detection.
+struct BaselineMetrics {
+  int64_t iterations = 0;
+  int64_t rule_node_attempts = 0;
+  int64_t pattern_comparisons = 0;
+  int64_t conditions_evaluated = 0;
+  int64_t matches = 0;
+  int64_t transformations_applied = 0;
+  int64_t plans_generated = 0;
+  int64_t duplicates_rejected = 0;
+  int64_t invalid_rejected = 0;   ///< rewrites failing well-formedness
+  int64_t ancestors_rebuilt = 0;  ///< cost re-estimations of shared parents
+  bool hit_caps = false;
+
+  std::string ToString() const;
+};
+
+struct BaselineResult {
+  PlanPtr best;
+  double total_cost = 0.0;
+  int64_t plans_total = 0;
+  BaselineMetrics metrics;
+  double optimize_micros = 0.0;
+};
+
+/// An EXODUS/Freytag-style transformational optimizer over the same LOLEPOP
+/// plan algebra and cost model as the STAR engine: start from one initial
+/// plan, exhaustively apply transformation rules to every node of every
+/// plan until closure (or caps), then pick the cheapest plan satisfying the
+/// query requirements. Centralized queries only — the baseline exists for
+/// the E1 efficiency comparison, not as a production path.
+class TransformOptimizer {
+ public:
+  explicit TransformOptimizer(BaselineOptions options = BaselineOptions{});
+
+  Result<BaselineResult> Optimize(const Query& query);
+
+ private:
+  BaselineOptions options_;
+  OperatorRegistry operators_;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_BASELINE_TRANSFORM_OPTIMIZER_H_

@@ -1,0 +1,312 @@
+#include "baseline/transform_rules.h"
+
+#include "properties/property_functions.h"
+
+namespace starburst {
+
+namespace {
+
+/// Join/residual predicate derivation relative to what the inputs applied.
+struct JoinPredSplit {
+  PredSet join;
+  PredSet residual;
+};
+
+JoinPredSplit SplitPreds(const Query& query, const std::string& join_flavor,
+                         const PropertyVector& outer,
+                         const PropertyVector& inner) {
+  QuantifierSet s = outer.tables().Union(inner.tables());
+  PredSet applied = outer.preds().Union(inner.preds());
+  PredSet newly =
+      query.EligiblePredicates(s, query.AllPredicates()).Minus(applied);
+
+  JoinPredSplit split;
+  for (int id : newly.ToVector()) {
+    const Predicate& p = query.predicate(id);
+    bool as_join = false;
+    if (join_flavor == flavor::kMG) {
+      as_join = IsSortable(p, outer.tables(), inner.tables());
+    } else if (join_flavor == flavor::kHA) {
+      as_join = IsHashable(p, outer.tables(), inner.tables());
+    } else {
+      as_join = IsJoinPredicate(p, outer.tables(), inner.tables());
+    }
+    if (as_join) {
+      split.join.Insert(id);
+    } else {
+      split.residual.Insert(id);
+    }
+  }
+  if (join_flavor == flavor::kHA) {
+    // §4.5.1: hashable predicates remain residual as well (collisions).
+    split.residual = split.residual.Union(split.join);
+  }
+  return split;
+}
+
+SortOrder SortColsFor(const Query& query, PredSet sortable,
+                      QuantifierSet side) {
+  SortOrder out;
+  for (int id : sortable.ToVector()) {
+    ColumnRef c = SortColumnFor(query.predicate(id), side);
+    if (std::find(out.begin(), out.end(), c) == out.end()) out.push_back(c);
+  }
+  return out;
+}
+
+Result<PlanPtr> AccessPlanFor(const PlanFactory& factory, int q) {
+  const Query& query = factory.query();
+  const TableDef& table = query.table_of(q);
+  PredSet single =
+      query.EligiblePredicates(QuantifierSet::Single(q),
+                               query.AllPredicates());
+  ColumnSet needed = query.ColumnsNeeded(q);
+  std::vector<ColumnRef> cols(needed.begin(), needed.end());
+  OpArgs args;
+  args.Set(arg::kQuantifier, static_cast<int64_t>(q));
+  args.Set(arg::kCols, cols);
+  args.Set(arg::kPreds, single);
+  const char* flv = table.storage == StorageKind::kBTree ? flavor::kBTree
+                                                         : flavor::kHeap;
+  return factory.Make(op::kAccess, flv, {}, std::move(args));
+}
+
+bool Joinable(const Query& query, QuantifierSet a, QuantifierSet b) {
+  for (int id = 0; id < query.num_predicates(); ++id) {
+    const Predicate& p = query.predicate(id);
+    if (p.quantifiers.size() < 2) continue;
+    if (a.Union(b).ContainsAll(p.quantifiers) &&
+        p.quantifiers.Intersects(a) && p.quantifiers.Intersects(b)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<PlanPtr> MakeBaselineJoin(const PlanFactory& factory,
+                                 const std::string& join_flavor,
+                                 PlanPtr outer, PlanPtr inner) {
+  const Query& query = factory.query();
+  JoinPredSplit split =
+      SplitPreds(query, join_flavor, outer->props, inner->props);
+  OpArgs args;
+  args.Set(arg::kJoinPreds, split.join);
+  args.Set(arg::kResidualPreds, split.residual);
+  return factory.Make(op::kJoin, join_flavor,
+                      {std::move(outer), std::move(inner)}, std::move(args));
+}
+
+Result<PlanPtr> MakeInitialPlan(const PlanFactory& factory) {
+  const Query& query = factory.query();
+  if (query.num_quantifiers() == 0) {
+    return Status::InvalidArgument("query has no tables");
+  }
+  auto plan = AccessPlanFor(factory, 0);
+  if (!plan.ok()) return plan;
+  PlanPtr acc = std::move(plan).value();
+  for (int q = 1; q < query.num_quantifiers(); ++q) {
+    auto rhs = AccessPlanFor(factory, q);
+    if (!rhs.ok()) return rhs;
+    auto joined = MakeBaselineJoin(factory, flavor::kNL, std::move(acc),
+                                   std::move(rhs).value());
+    if (!joined.ok()) return joined;
+    acc = std::move(joined).value();
+  }
+  return acc;
+}
+
+std::vector<TransformRule> DefaultTransformRules(
+    const TransformRuleOptions& options) {
+  std::vector<TransformRule> rules;
+
+  // JOIN(f, A, B) -> JOIN(f, B, A). The transformational hazard the paper
+  // mentions (§4.1) — re-application undoes itself — is contained only by
+  // the optimizer's duplicate detection.
+  {
+    TransformRule r;
+    r.name = "join-commute";
+    r.pattern = Pattern::Op(op::kJoin, "",
+                            {Pattern::Any(0), Pattern::Any(1)}, 2);
+    r.apply = [](const MatchResult& m,
+                 const PlanFactory& f) -> Result<std::vector<PlanPtr>> {
+      auto swapped = MakeBaselineJoin(f, m.bindings[2]->flavor,
+                                      m.bindings[1], m.bindings[0]);
+      if (!swapped.ok()) return std::vector<PlanPtr>{};
+      return std::vector<PlanPtr>{std::move(swapped).value()};
+    };
+    rules.push_back(std::move(r));
+  }
+
+  // JOIN(JOIN(A, B), C) -> JOIN(A, JOIN(B, C)).
+  {
+    TransformRule r;
+    r.name = "join-assoc";
+    r.pattern = Pattern::Op(
+        op::kJoin, "",
+        {Pattern::Op(op::kJoin, "", {Pattern::Any(0), Pattern::Any(1)}),
+         Pattern::Any(2)});
+    r.condition = [](const MatchResult& m, const PlanFactory& f) {
+      return Joinable(f.query(), m.bindings[1]->props.tables(),
+                      m.bindings[2]->props.tables());
+    };
+    r.apply = [](const MatchResult& m,
+                 const PlanFactory& f) -> Result<std::vector<PlanPtr>> {
+      auto bc = MakeBaselineJoin(f, flavor::kNL, m.bindings[1],
+                                 m.bindings[2]);
+      if (!bc.ok()) return std::vector<PlanPtr>{};
+      auto abc = MakeBaselineJoin(f, flavor::kNL, m.bindings[0],
+                                  std::move(bc).value());
+      if (!abc.ok()) return std::vector<PlanPtr>{};
+      return std::vector<PlanPtr>{std::move(abc).value()};
+    };
+    rules.push_back(std::move(r));
+  }
+
+  if (options.merge_join) {
+    // JOIN(NL, A, B) -> JOIN(MG, SORT(A), SORT(B)) when sortable predicates
+    // link the inputs.
+    TransformRule r;
+    r.name = "nl-to-merge";
+    r.pattern = Pattern::Op(op::kJoin, flavor::kNL,
+                            {Pattern::Any(0), Pattern::Any(1)});
+    r.apply = [](const MatchResult& m,
+                 const PlanFactory& f) -> Result<std::vector<PlanPtr>> {
+      const Query& query = f.query();
+      const PlanPtr& a = m.bindings[0];
+      const PlanPtr& b = m.bindings[1];
+      PredSet sortable;
+      PredSet applied = a->props.preds().Union(b->props.preds());
+      QuantifierSet s = a->props.tables().Union(b->props.tables());
+      for (int id :
+           query.EligiblePredicates(s, query.AllPredicates())
+               .Minus(applied)
+               .ToVector()) {
+        if (IsSortable(query.predicate(id), a->props.tables(),
+                       b->props.tables())) {
+          sortable.Insert(id);
+        }
+      }
+      if (sortable.empty()) return std::vector<PlanPtr>{};
+
+      auto sorted = [&](const PlanPtr& in,
+                        QuantifierSet side) -> Result<PlanPtr> {
+        SortOrder order = SortColsFor(query, sortable, side);
+        if (OrderSatisfies(in->props.order(), order)) return in;
+        OpArgs args;
+        args.Set(arg::kOrder, order);
+        return f.Make(op::kSort, "", {in}, std::move(args));
+      };
+      auto sa = sorted(a, a->props.tables());
+      if (!sa.ok()) return std::vector<PlanPtr>{};
+      auto sb = sorted(b, b->props.tables());
+      if (!sb.ok()) return std::vector<PlanPtr>{};
+      auto mg = MakeBaselineJoin(f, flavor::kMG, std::move(sa).value(),
+                                 std::move(sb).value());
+      if (!mg.ok()) return std::vector<PlanPtr>{};
+      return std::vector<PlanPtr>{std::move(mg).value()};
+    };
+    rules.push_back(std::move(r));
+  }
+
+  if (options.hash_join) {
+    TransformRule r;
+    r.name = "nl-to-hash";
+    r.pattern = Pattern::Op(op::kJoin, flavor::kNL,
+                            {Pattern::Any(0), Pattern::Any(1)});
+    r.apply = [](const MatchResult& m,
+                 const PlanFactory& f) -> Result<std::vector<PlanPtr>> {
+      const Query& query = f.query();
+      const PlanPtr& a = m.bindings[0];
+      const PlanPtr& b = m.bindings[1];
+      bool any_hashable = false;
+      QuantifierSet s = a->props.tables().Union(b->props.tables());
+      PredSet applied = a->props.preds().Union(b->props.preds());
+      for (int id : query.EligiblePredicates(s, query.AllPredicates())
+                        .Minus(applied)
+                        .ToVector()) {
+        if (IsHashable(query.predicate(id), a->props.tables(),
+                       b->props.tables())) {
+          any_hashable = true;
+        }
+      }
+      if (!any_hashable) return std::vector<PlanPtr>{};
+      auto ha = MakeBaselineJoin(f, flavor::kHA, a, b);
+      if (!ha.ok()) return std::vector<PlanPtr>{};
+      return std::vector<PlanPtr>{std::move(ha).value()};
+    };
+    rules.push_back(std::move(r));
+  }
+
+  // JOIN(NL, A, single-table inner) -> push converted join predicates into
+  // an index probe of the inner (the baseline's version of sideways
+  // information passing, needed for plan-space parity with the STARs).
+  {
+    TransformRule r;
+    r.name = "index-inner";
+    r.pattern = Pattern::Op(op::kJoin, flavor::kNL,
+                            {Pattern::Any(0), Pattern::Any(1)});
+    r.condition = [](const MatchResult& m, const PlanFactory&) {
+      return m.bindings[1]->props.tables().size() == 1;
+    };
+    r.apply = [](const MatchResult& m,
+                 const PlanFactory& f) -> Result<std::vector<PlanPtr>> {
+      const Query& query = f.query();
+      const PlanPtr& outer = m.bindings[0];
+      const PlanPtr& inner = m.bindings[1];
+      int q = inner->props.tables().First();
+      const TableDef& table = query.table_of(q);
+
+      // Predicates the probe may apply: the inner's own plus join
+      // predicates against the outer.
+      PredSet pushable = inner->props.preds();
+      QuantifierSet s = outer->props.tables().Union(inner->props.tables());
+      for (int id : query.EligiblePredicates(s, query.AllPredicates())
+                        .ToVector()) {
+        const Predicate& p = query.predicate(id);
+        if (IsJoinPredicate(p, outer->props.tables(),
+                            inner->props.tables())) {
+          pushable.Insert(id);
+        }
+      }
+
+      std::vector<PlanPtr> out;
+      for (const IndexDef& ix : table.indexes) {
+        std::vector<ColumnRef> key;
+        for (int ord : ix.key_columns) key.push_back(ColumnRef{q, ord});
+        PredSet kp = IndexEligiblePreds(query, q, key, pushable);
+        if (kp.empty()) continue;
+        std::vector<ColumnRef> ixcols = key;
+        ixcols.push_back(ColumnRef{q, ColumnRef::kTidColumn});
+        OpArgs access_args;
+        access_args.Set(arg::kQuantifier, static_cast<int64_t>(q));
+        access_args.Set(arg::kIndex, ix.name);
+        access_args.Set(arg::kCols, ixcols);
+        access_args.Set(arg::kPreds, kp);
+        auto access =
+            f.Make(op::kAccess, flavor::kIndex, {}, std::move(access_args));
+        if (!access.ok()) continue;
+
+        ColumnSet needed = query.ColumnsNeeded(q);
+        std::vector<ColumnRef> cols(needed.begin(), needed.end());
+        OpArgs get_args;
+        get_args.Set(arg::kQuantifier, static_cast<int64_t>(q));
+        get_args.Set(arg::kCols, cols);
+        get_args.Set(arg::kPreds, pushable.Minus(kp));
+        auto get = f.Make(op::kGet, "", {std::move(access).value()},
+                          std::move(get_args));
+        if (!get.ok()) continue;
+        auto joined = MakeBaselineJoin(f, flavor::kNL, outer,
+                                       std::move(get).value());
+        if (!joined.ok()) continue;
+        out.push_back(std::move(joined).value());
+      }
+      return out;
+    };
+    rules.push_back(std::move(r));
+  }
+  return rules;
+}
+
+}  // namespace starburst

@@ -1,0 +1,54 @@
+#ifndef STARBURST_BASELINE_TRANSFORM_RULES_H_
+#define STARBURST_BASELINE_TRANSFORM_RULES_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "baseline/pattern.h"
+#include "query/query.h"
+
+namespace starburst {
+
+/// One plan-transformation rule (EXODUS-style): a structural pattern, an
+/// optional condition evaluated after unification, and an apply function
+/// producing zero or more replacement subtrees for the matched node.
+struct TransformRule {
+  std::string name;
+  Pattern pattern;
+  std::function<bool(const MatchResult&, const PlanFactory&)> condition;
+  std::function<Result<std::vector<PlanPtr>>(const MatchResult&,
+                                             const PlanFactory&)> apply;
+};
+
+struct TransformRuleOptions {
+  bool merge_join = true;
+  bool hash_join = false;
+};
+
+/// The baseline rule base, mirroring the STAR repertoire so the E1
+/// comparison explores a comparable plan space:
+///   join-commute      JOIN(f, A, B)        -> JOIN(NL, B, A)
+///   join-assoc        JOIN(JOIN(A,B), C)   -> JOIN(A, JOIN(B,C))
+///   nl-to-merge       JOIN(NL, A, B)       -> JOIN(MG, SORT(A), SORT(B))
+///   nl-to-hash        JOIN(NL, A, B)       -> JOIN(HA, A, B)
+///   index-inner       JOIN(NL, A, access)  -> JOIN(NL, A, index probe with
+///                                             pushed join predicates)
+std::vector<TransformRule> DefaultTransformRules(
+    const TransformRuleOptions& options = {});
+
+/// Builds a join node over two plan-bearing inputs, deriving join/residual
+/// predicate sets from eligibility (used by the rules and by the initial
+/// plan builder).
+Result<PlanPtr> MakeBaselineJoin(const PlanFactory& factory,
+                                 const std::string& join_flavor,
+                                 PlanPtr outer, PlanPtr inner);
+
+/// Builds the baseline's initial plan: a left-deep nested-loop join over the
+/// quantifiers in FROM order, heap/btree accesses with single-table
+/// predicates pushed down.
+Result<PlanPtr> MakeInitialPlan(const PlanFactory& factory);
+
+}  // namespace starburst
+
+#endif  // STARBURST_BASELINE_TRANSFORM_RULES_H_

@@ -1,0 +1,115 @@
+#include "catalog/catalog.h"
+
+namespace starburst {
+
+const char* StorageKindName(StorageKind kind) {
+  switch (kind) {
+    case StorageKind::kHeap:
+      return "heap";
+    case StorageKind::kBTree:
+      return "btree";
+  }
+  return "?";
+}
+
+int TableDef::FindColumn(const std::string& column_name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == column_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Catalog::Catalog() {
+  site_names_.push_back("query-site");
+  site_by_name_["query-site"] = 0;
+}
+
+SiteId Catalog::AddSite(const std::string& name) {
+  auto it = site_by_name_.find(name);
+  if (it != site_by_name_.end()) return it->second;
+  SiteId id = static_cast<SiteId>(site_names_.size());
+  site_names_.push_back(name);
+  site_by_name_[name] = id;
+  return id;
+}
+
+Result<TableId> Catalog::AddTable(TableDef def) {
+  if (def.name.empty()) {
+    return Status::InvalidArgument("table name must be non-empty");
+  }
+  if (table_by_name_.count(def.name)) {
+    return Status::AlreadyExists("table '" + def.name + "' already defined");
+  }
+  if (def.columns.empty()) {
+    return Status::InvalidArgument("table '" + def.name + "' has no columns");
+  }
+  if (def.site < 0 || def.site >= num_sites()) {
+    return Status::InvalidArgument("table '" + def.name + "' has unknown site");
+  }
+  for (int ord : def.btree_key) {
+    if (ord < 0 || ord >= static_cast<int>(def.columns.size())) {
+      return Status::InvalidArgument("btree key ordinal out of range for '" +
+                                     def.name + "'");
+    }
+  }
+  if (def.storage == StorageKind::kBTree && def.btree_key.empty()) {
+    return Status::InvalidArgument("btree table '" + def.name +
+                                   "' needs a clustering key");
+  }
+  for (const IndexDef& ix : def.indexes) {
+    for (int ord : ix.key_columns) {
+      if (ord < 0 || ord >= static_cast<int>(def.columns.size())) {
+        return Status::InvalidArgument("index '" + ix.name +
+                                       "' key ordinal out of range");
+      }
+    }
+  }
+  TableId id = static_cast<TableId>(tables_.size());
+  table_by_name_[def.name] = id;
+  tables_.push_back(std::move(def));
+  return id;
+}
+
+Status Catalog::AddIndex(const std::string& table, IndexDef index) {
+  auto id = FindTable(table);
+  if (!id.ok()) return id.status();
+  TableDef& def = tables_[id.value()];
+  for (const IndexDef& existing : def.indexes) {
+    if (existing.name == index.name) {
+      return Status::AlreadyExists("index '" + index.name + "' exists on '" +
+                                   table + "'");
+    }
+  }
+  for (int ord : index.key_columns) {
+    if (ord < 0 || ord >= static_cast<int>(def.columns.size())) {
+      return Status::InvalidArgument("index key ordinal out of range");
+    }
+  }
+  def.indexes.push_back(std::move(index));
+  return Status::OK();
+}
+
+Result<TableId> Catalog::FindTable(const std::string& name) const {
+  auto it = table_by_name_.find(name);
+  if (it == table_by_name_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return it->second;
+}
+
+Result<SiteId> Catalog::FindSite(const std::string& name) const {
+  auto it = site_by_name_.find(name);
+  if (it == site_by_name_.end()) {
+    return Status::NotFound("no site named '" + name + "'");
+  }
+  return it->second;
+}
+
+std::vector<SiteId> Catalog::AllSites() const {
+  std::vector<SiteId> out;
+  out.reserve(site_names_.size());
+  for (int i = 0; i < num_sites(); ++i) out.push_back(i);
+  return out;
+}
+
+}  // namespace starburst

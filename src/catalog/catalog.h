@@ -1,0 +1,114 @@
+#ifndef STARBURST_CATALOG_CATALOG_H_
+#define STARBURST_CATALOG_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace starburst {
+
+/// Identifier of a site in a distributed database. Site 0 is always the
+/// query site ("local"). The paper's SITE property ranges over these.
+using SiteId = int;
+
+/// Identifier of a table within a Catalog (dense, 0-based).
+using TableId = int;
+
+/// Per-column statistics and schema, as recorded in the system catalogs
+/// (paper §3.1: "Initially, the properties of stored objects ... are
+/// determined from the system catalogs").
+struct ColumnDef {
+  std::string name;
+  ColumnType type = ColumnType::kInt64;
+  /// Estimated number of distinct values (System-R style statistic).
+  double distinct_values = 1.0;
+  /// Min/max for range-selectivity estimation; unset for strings.
+  std::optional<double> min_value;
+  std::optional<double> max_value;
+  /// Average stored width in bytes (drives SHIP and temp sizing).
+  double avg_width = 8.0;
+};
+
+/// How a stored table's primary data is managed (paper §4.5.2: the
+/// TableAccess STAR dispatches on the storage-manager type per [LIND 87]).
+enum class StorageKind { kHeap, kBTree };
+
+const char* StorageKindName(StorageKind kind);
+
+/// A secondary access path (index) on a stored table. Index entries expose
+/// the key columns plus the tuple identifier (TID); matching the paper, an
+/// index ACCESS yields {key columns, TID} and a GET fetches the rest.
+struct IndexDef {
+  std::string name;
+  /// Ordinals (into TableDef::columns) of the key columns, in key order.
+  std::vector<int> key_columns;
+  bool unique = false;
+  /// Clustered: data pages are in index order, so range scans touch
+  /// ~selectivity * data_pages pages rather than one page per matching row.
+  bool clustered = false;
+  /// Estimated number of leaf pages.
+  double leaf_pages = 1.0;
+};
+
+/// Schema + statistics + physical placement of one stored table.
+struct TableDef {
+  std::string name;
+  std::vector<ColumnDef> columns;
+  double row_count = 0.0;
+  double data_pages = 1.0;
+  SiteId site = 0;
+  StorageKind storage = StorageKind::kHeap;
+  /// For kBTree storage: ordinals of the clustering key (tuples are stored
+  /// in this order, so the base table itself has a known ORDER property).
+  std::vector<int> btree_key;
+  std::vector<IndexDef> indexes;
+
+  /// Ordinal of `column_name`, or -1 if absent.
+  int FindColumn(const std::string& column_name) const;
+};
+
+/// The system catalogs: sites and stored tables with statistics. This is the
+/// optimizer's entire view of the database; the storage engine (storage/)
+/// holds the actual rows, keyed by the same names.
+class Catalog {
+ public:
+  Catalog();
+
+  /// Registers a site and returns its id. Site 0 ("query site") always
+  /// exists.
+  SiteId AddSite(const std::string& name);
+
+  /// Registers a table; fails if the name exists or the def is malformed.
+  Result<TableId> AddTable(TableDef def);
+
+  /// Adds an index to an existing table.
+  Status AddIndex(const std::string& table, IndexDef index);
+
+  int num_tables() const { return static_cast<int>(tables_.size()); }
+  int num_sites() const { return static_cast<int>(site_names_.size()); }
+
+  const TableDef& table(TableId id) const { return tables_[id]; }
+  TableDef& mutable_table(TableId id) { return tables_[id]; }
+
+  Result<TableId> FindTable(const std::string& name) const;
+  const std::string& site_name(SiteId id) const { return site_names_[id]; }
+  Result<SiteId> FindSite(const std::string& name) const;
+
+  /// All site ids (0..n-1), convenience for the join-site STAR's sigma set.
+  std::vector<SiteId> AllSites() const;
+
+ private:
+  std::vector<TableDef> tables_;
+  std::map<std::string, TableId> table_by_name_;
+  std::vector<std::string> site_names_;
+  std::map<std::string, SiteId> site_by_name_;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_CATALOG_CATALOG_H_

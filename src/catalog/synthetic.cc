@@ -1,0 +1,133 @@
+#include "catalog/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+namespace starburst {
+
+namespace {
+
+ColumnDef IntColumn(std::string name, double distinct, double min_v,
+                    double max_v) {
+  ColumnDef c;
+  c.name = std::move(name);
+  c.type = ColumnType::kInt64;
+  c.distinct_values = distinct;
+  c.min_value = min_v;
+  c.max_value = max_v;
+  c.avg_width = 8.0;
+  return c;
+}
+
+ColumnDef StringColumn(std::string name, double distinct, double width) {
+  ColumnDef c;
+  c.name = std::move(name);
+  c.type = ColumnType::kString;
+  c.distinct_values = distinct;
+  c.avg_width = width;
+  return c;
+}
+
+}  // namespace
+
+Catalog MakeSyntheticCatalog(const SyntheticCatalogOptions& options) {
+  Catalog cat;
+  std::mt19937_64 rng(options.seed);
+  for (int s = 1; s < options.num_sites; ++s) {
+    cat.AddSite("site-" + std::to_string(s));
+  }
+
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  double log_min = std::log(static_cast<double>(options.min_rows));
+  double log_max = std::log(static_cast<double>(options.max_rows));
+
+  std::vector<double> row_counts(options.num_tables);
+  for (int i = 0; i < options.num_tables; ++i) {
+    double lr = log_min + unit(rng) * (log_max - log_min);
+    row_counts[i] = std::floor(std::exp(lr));
+  }
+
+  for (int i = 0; i < options.num_tables; ++i) {
+    TableDef t;
+    t.name = "T" + std::to_string(i);
+    double rows = row_counts[i];
+    t.row_count = rows;
+    t.data_pages = std::max(1.0, std::ceil(rows / options.rows_per_page));
+    t.site = options.num_sites > 1 ? (i % options.num_sites) : 0;
+
+    t.columns.push_back(IntColumn("id", rows, 0, rows - 1));
+    if (i > 0) {
+      // Foreign key into the previous table in the chain; value domain is
+      // that table's id domain.
+      double parent_rows = row_counts[i - 1];
+      t.columns.push_back(
+          IntColumn("fk0", std::min(rows, parent_rows), 0, parent_rows - 1));
+    }
+    for (int p = 0; p < options.payload_columns; ++p) {
+      double distinct = std::max(2.0, std::floor(rows / std::pow(10, p % 3)));
+      t.columns.push_back(IntColumn("c" + std::to_string(p),
+                                    distinct, 0, distinct - 1));
+    }
+
+    if (unit(rng) < options.btree_fraction) {
+      t.storage = StorageKind::kBTree;
+      t.btree_key = {0};  // clustered on id
+    }
+
+    if (i > 0 && unit(rng) < options.fk_index_probability) {
+      IndexDef ix;
+      ix.name = t.name + "_fk0_ix";
+      ix.key_columns = {1};  // fk0
+      ix.leaf_pages = std::max(1.0, std::ceil(rows / 200.0));
+      t.indexes.push_back(ix);
+    }
+    cat.AddTable(std::move(t)).ValueOrDie();
+  }
+  return cat;
+}
+
+Catalog MakePaperCatalog(const PaperCatalogOptions& options) {
+  Catalog cat;
+  SiteId dept_site = 0;
+  if (options.distributed) {
+    dept_site = cat.AddSite("N.Y.");
+    cat.AddSite("L.A.");
+  }
+
+  double dept_rows = static_cast<double>(options.dept_rows);
+  double emp_rows = static_cast<double>(options.emp_rows);
+
+  TableDef dept;
+  dept.name = "DEPT";
+  dept.columns.push_back(IntColumn("DNO", dept_rows, 0, dept_rows - 1));
+  dept.columns.push_back(StringColumn("MGR", dept_rows / 2.0, 16.0));
+  dept.columns.push_back(StringColumn("DNAME", dept_rows, 20.0));
+  dept.columns.push_back(IntColumn("BUDGET", dept_rows / 4.0, 0, 1e6));
+  dept.row_count = dept_rows;
+  dept.data_pages = std::max(1.0, std::ceil(dept_rows / 40.0));
+  dept.site = dept_site;
+  cat.AddTable(std::move(dept)).ValueOrDie();
+
+  TableDef emp;
+  emp.name = "EMP";
+  emp.columns.push_back(IntColumn("ENO", emp_rows, 0, emp_rows - 1));
+  emp.columns.push_back(IntColumn("DNO", dept_rows, 0, dept_rows - 1));
+  emp.columns.push_back(StringColumn("NAME", emp_rows, 16.0));
+  emp.columns.push_back(StringColumn("ADDRESS", emp_rows, 32.0));
+  emp.columns.push_back(IntColumn("SALARY", 1000, 0, 500000));
+  emp.row_count = emp_rows;
+  emp.data_pages = std::max(1.0, std::ceil(emp_rows / 20.0));
+  emp.site = 0;
+  if (options.emp_dno_index) {
+    IndexDef ix;
+    ix.name = "EMP_DNO_IX";
+    ix.key_columns = {1};  // DNO
+    ix.leaf_pages = std::max(1.0, std::ceil(emp_rows / 200.0));
+    emp.indexes.push_back(ix);
+  }
+  cat.AddTable(std::move(emp)).ValueOrDie();
+  return cat;
+}
+
+}  // namespace starburst

@@ -1,0 +1,54 @@
+#ifndef STARBURST_CATALOG_SYNTHETIC_H_
+#define STARBURST_CATALOG_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "catalog/catalog.h"
+
+namespace starburst {
+
+/// Options for the synthetic star/chain-schema catalog generator used by the
+/// benchmarks (the paper evaluated against R*'s catalogs, which we do not
+/// have; a seeded generator with System-R-style statistics is the documented
+/// substitute — see DESIGN.md §6).
+struct SyntheticCatalogOptions {
+  int num_tables = 4;
+  /// Rows in table i are drawn log-uniformly from [min_rows, max_rows].
+  int64_t min_rows = 1000;
+  int64_t max_rows = 100000;
+  /// Non-key payload columns per table (each table also gets `id` and one
+  /// foreign key per chain edge).
+  int payload_columns = 3;
+  /// Fraction of tables whose primary data is a B-tree on `id`.
+  double btree_fraction = 0.5;
+  /// Probability that a foreign-key column has a secondary index.
+  double fk_index_probability = 0.7;
+  /// Number of sites; tables are assigned round-robin. 1 = centralized.
+  int num_sites = 1;
+  /// Rows per data page (uniform, drives page-count statistics).
+  double rows_per_page = 40.0;
+  uint64_t seed = 42;
+};
+
+/// Builds a chain schema T0 <- T1 <- ... <- Tn-1: each Ti (i>0) has a column
+/// `fk0` referencing T(i-1).id, so any contiguous table subset is joinable by
+/// equality predicates — the workload shape the System-R lineage (and the
+/// paper's join enumeration discussion) assumes.
+Catalog MakeSyntheticCatalog(const SyntheticCatalogOptions& options);
+
+/// The paper's running example (§2.1, Figures 1 and 3): DEPT(DNO, MGR, ...)
+/// and EMP(ENO, DNO, NAME, ADDRESS, ...), with an index on EMP.DNO.
+/// `dept_site`/`emp_site` allow the Figure-3 distributed variant (DEPT at
+/// N.Y., query at L.A.); by default everything is at the query site.
+struct PaperCatalogOptions {
+  int64_t dept_rows = 500;
+  int64_t emp_rows = 20000;
+  bool emp_dno_index = true;
+  bool distributed = false;  ///< adds sites N.Y., L.A.; DEPT at N.Y.
+};
+
+Catalog MakePaperCatalog(const PaperCatalogOptions& options = {});
+
+}  // namespace starburst
+
+#endif  // STARBURST_CATALOG_SYNTHETIC_H_

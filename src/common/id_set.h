@@ -1,0 +1,107 @@
+#ifndef STARBURST_COMMON_ID_SET_H_
+#define STARBURST_COMMON_ID_SET_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace starburst {
+
+/// A set of small dense integer ids represented as a 64-bit mask. Used for
+/// quantifier sets (the paper's table sets T1, T2) and predicate sets (P, JP,
+/// SP, ...). The `Tag` parameter makes QuantifierSet and PredSet distinct
+/// types so they cannot be mixed accidentally.
+template <typename Tag>
+class IdSet {
+ public:
+  static constexpr int kMaxId = 64;
+
+  constexpr IdSet() : mask_(0) {}
+  static constexpr IdSet FromMask(uint64_t mask) { return IdSet(mask); }
+  static IdSet Single(int id) { return IdSet(Bit(id)); }
+
+  /// The set {0, 1, ..., n-1}.
+  static IdSet FirstN(int n) {
+    assert(n >= 0 && n <= kMaxId);
+    if (n == 64) return IdSet(~uint64_t{0});
+    return IdSet((uint64_t{1} << n) - 1);
+  }
+
+  uint64_t mask() const { return mask_; }
+  bool empty() const { return mask_ == 0; }
+  int size() const { return __builtin_popcountll(mask_); }
+  bool Contains(int id) const { return (mask_ & Bit(id)) != 0; }
+  bool ContainsAll(IdSet other) const {
+    return (other.mask_ & ~mask_) == 0;
+  }
+  bool Intersects(IdSet other) const { return (mask_ & other.mask_) != 0; }
+
+  IdSet& Insert(int id) {
+    mask_ |= Bit(id);
+    return *this;
+  }
+  IdSet& Remove(int id) {
+    mask_ &= ~Bit(id);
+    return *this;
+  }
+
+  IdSet Union(IdSet other) const { return IdSet(mask_ | other.mask_); }
+  IdSet Intersect(IdSet other) const { return IdSet(mask_ & other.mask_); }
+  IdSet Minus(IdSet other) const { return IdSet(mask_ & ~other.mask_); }
+
+  /// Lowest id in the set; set must be non-empty.
+  int First() const {
+    assert(!empty());
+    return __builtin_ctzll(mask_);
+  }
+
+  /// Members in increasing order.
+  std::vector<int> ToVector() const {
+    std::vector<int> out;
+    out.reserve(static_cast<size_t>(size()));
+    uint64_t m = mask_;
+    while (m != 0) {
+      int id = __builtin_ctzll(m);
+      out.push_back(id);
+      m &= m - 1;
+    }
+    return out;
+  }
+
+  std::string ToString() const {
+    std::string out = "{";
+    bool first = true;
+    for (int id : ToVector()) {
+      if (!first) out += ",";
+      first = false;
+      out += std::to_string(id);
+    }
+    return out + "}";
+  }
+
+  bool operator==(const IdSet& o) const { return mask_ == o.mask_; }
+  bool operator!=(const IdSet& o) const { return mask_ != o.mask_; }
+  bool operator<(const IdSet& o) const { return mask_ < o.mask_; }
+
+ private:
+  explicit constexpr IdSet(uint64_t mask) : mask_(mask) {}
+  static uint64_t Bit(int id) {
+    assert(id >= 0 && id < kMaxId);
+    return uint64_t{1} << id;
+  }
+
+  uint64_t mask_;
+};
+
+struct QuantifierTag {};
+struct PredicateTag {};
+
+/// A set of quantifiers (table occurrences): the paper's T1, T2, table sets.
+using QuantifierSet = IdSet<QuantifierTag>;
+/// A set of predicate ids: the paper's P, JP, SP, HP, IP, XP.
+using PredSet = IdSet<PredicateTag>;
+
+}  // namespace starburst
+
+#endif  // STARBURST_COMMON_ID_SET_H_

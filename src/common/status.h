@@ -1,0 +1,103 @@
+#ifndef STARBURST_COMMON_STATUS_H_
+#define STARBURST_COMMON_STATUS_H_
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace starburst {
+
+/// Error codes used across the library. Kept deliberately small; the message
+/// carries the detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kParseError,
+  kInternal,
+  kUnimplemented,
+};
+
+/// A lightweight status object in the RocksDB/Arrow tradition: functions that
+/// can fail return `Status` (or `Result<T>`), never throw across the public
+/// API boundary.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "ParseError: unexpected token".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-error, in the spirit of arrow::Result. `ValueOrDie()` aborts via
+/// exception on error and is intended for tests and examples; library code
+/// checks `ok()` first.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}          // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  T ValueOrDie() && {
+    if (!ok()) throw std::runtime_error(status_.ToString());
+    return std::move(*value_);
+  }
+  const T& ValueOrDie() const& {
+    if (!ok()) throw std::runtime_error(status_.ToString());
+    return *value_;
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Propagate a non-OK Status from an expression, Arrow-style.
+#define STARBURST_RETURN_NOT_OK(expr)                  \
+  do {                                                 \
+    ::starburst::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                         \
+  } while (0)
+
+}  // namespace starburst
+
+#endif  // STARBURST_COMMON_STATUS_H_

@@ -1,0 +1,36 @@
+#include "common/strings.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace starburst {
+
+std::string StrJoin(const std::vector<std::string>& parts,
+                    const std::string& sep) {
+  return StrJoinMapped(parts, sep, [](const std::string& s) { return s; });
+}
+
+std::string FormatDouble(double v) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  double rounded = std::round(v);
+  if (rounded == v && std::fabs(v) < 1e15) {
+    return std::to_string(static_cast<long long>(rounded));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4g", v);
+  return buf;
+}
+
+std::string ToUpper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return s;
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace starburst

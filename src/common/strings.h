@@ -1,0 +1,44 @@
+#ifndef STARBURST_COMMON_STRINGS_H_
+#define STARBURST_COMMON_STRINGS_H_
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace starburst {
+
+/// Join the elements of `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    const std::string& sep);
+
+/// Join arbitrary elements, rendering each with `fn(element) -> std::string`.
+template <typename Container, typename Fn>
+std::string StrJoinMapped(const Container& items, const std::string& sep,
+                          Fn fn) {
+  std::string out;
+  bool first = true;
+  for (const auto& item : items) {
+    if (!first) out += sep;
+    first = false;
+    out += fn(item);
+  }
+  return out;
+}
+
+/// Render a double compactly ("3", "3.5", "0.123") for plan/explain output.
+std::string FormatDouble(double v);
+
+/// Uppercase a copy of `s` (ASCII).
+std::string ToUpper(std::string s);
+
+/// True if `prefix` is a prefix of `s`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+/// Combine a hash into a seed (boost::hash_combine recipe).
+inline void HashCombine(size_t* seed, size_t h) {
+  *seed ^= h + 0x9e3779b97f4a7c15ULL + (*seed << 6) + (*seed >> 2);
+}
+
+}  // namespace starburst
+
+#endif  // STARBURST_COMMON_STRINGS_H_

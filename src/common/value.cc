@@ -1,0 +1,68 @@
+#include "common/value.h"
+
+#include <functional>
+
+#include "common/strings.h"
+
+namespace starburst {
+
+const char* ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt64:
+      return "INT";
+    case ColumnType::kDouble:
+      return "DOUBLE";
+    case ColumnType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+double Datum::AsDouble() const {
+  if (is_int()) return static_cast<double>(std::get<int64_t>(v_));
+  return std::get<double>(v_);
+}
+
+int Datum::Compare(const Datum& other) const {
+  // NULL sorts before everything, equal to NULL.
+  if (is_null() || other.is_null()) {
+    if (is_null() && other.is_null()) return 0;
+    return is_null() ? -1 : 1;
+  }
+  // Numeric cross-type comparison.
+  if ((is_int() || is_double()) && (other.is_int() || other.is_double())) {
+    if (is_int() && other.is_int()) {
+      int64_t a = AsInt(), b = other.AsInt();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    double a = AsDouble(), b = other.AsDouble();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  if (is_string() && other.is_string()) {
+    int c = AsString().compare(other.AsString());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  // Heterogeneous non-numeric comparison: order by type index for stability.
+  size_t a = v_.index(), b = other.v_.index();
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+size_t Datum::Hash() const {
+  if (is_null()) return 0x9e3779b97f4a7c15ULL;
+  if (is_string()) return std::hash<std::string>{}(AsString());
+  // Hash int-valued doubles identically to ints so that hash join buckets
+  // agree with Compare() equality.
+  double d = AsDouble();
+  int64_t as_int = static_cast<int64_t>(d);
+  if (static_cast<double>(as_int) == d) return std::hash<int64_t>{}(as_int);
+  return std::hash<double>{}(d);
+}
+
+std::string Datum::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int()) return std::to_string(AsInt());
+  if (is_double()) return FormatDouble(AsDouble());
+  return "'" + AsString() + "'";
+}
+
+}  // namespace starburst

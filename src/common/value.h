@@ -1,0 +1,59 @@
+#ifndef STARBURST_COMMON_VALUE_H_
+#define STARBURST_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace starburst {
+
+/// Column data types supported by the storage engine and expression
+/// evaluator. Deliberately small — the paper's subject is plan generation,
+/// not a type system — but wide enough for realistic catalogs.
+enum class ColumnType { kInt64, kDouble, kString };
+
+const char* ColumnTypeName(ColumnType type);
+
+/// A runtime datum: NULL, 64-bit integer, double, or string. Tuples are
+/// vectors of `Datum`; the expression evaluator and the B-tree/index
+/// comparators operate on this type.
+class Datum {
+ public:
+  struct Null {
+    bool operator==(const Null&) const { return true; }
+  };
+
+  Datum() : v_(Null{}) {}
+  explicit Datum(int64_t v) : v_(v) {}
+  explicit Datum(double v) : v_(v) {}
+  explicit Datum(std::string v) : v_(std::move(v)) {}
+
+  static Datum NullValue() { return Datum(); }
+
+  bool is_null() const { return std::holds_alternative<Null>(v_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+
+  int64_t AsInt() const { return std::get<int64_t>(v_); }
+  double AsDouble() const;
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+
+  /// Three-way comparison with SQL-ish semantics used by sort/merge/B-tree:
+  /// NULL sorts first; numeric types compare by value across int/double.
+  /// Returns -1, 0, or +1.
+  int Compare(const Datum& other) const;
+
+  bool operator==(const Datum& other) const { return Compare(other) == 0; }
+  bool operator<(const Datum& other) const { return Compare(other) < 0; }
+
+  size_t Hash() const;
+  std::string ToString() const;
+
+ private:
+  std::variant<Null, int64_t, double, std::string> v_;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_COMMON_VALUE_H_

@@ -1,0 +1,49 @@
+#ifndef STARBURST_COST_COST_H_
+#define STARBURST_COST_COST_H_
+
+#include <string>
+
+namespace starburst {
+
+/// Estimated resource consumption of a plan, per [LOHM 85]: "total resources,
+/// a linear combination of I/O, CPU, and communications costs". Components
+/// are kept separate so the weights can be tuned per deployment (and so the
+/// distributed benchmarks can report communication separately).
+struct Cost {
+  double io = 0.0;    ///< page reads/writes
+  double cpu = 0.0;   ///< abstract instruction units
+  double comm = 0.0;  ///< messages + bytes shipped (already combined)
+
+  Cost operator+(const Cost& o) const {
+    return Cost{io + o.io, cpu + o.cpu, comm + o.comm};
+  }
+  Cost& operator+=(const Cost& o) {
+    io += o.io;
+    cpu += o.cpu;
+    comm += o.comm;
+    return *this;
+  }
+  Cost operator*(double k) const { return Cost{io * k, cpu * k, comm * k}; }
+
+  bool operator==(const Cost& o) const {
+    return io == o.io && cpu == o.cpu && comm == o.comm;
+  }
+
+  std::string ToString() const;
+};
+
+/// Weights of the linear combination. Defaults approximate a 1988-era
+/// disk-bound centralized system with costly WAN communication.
+struct CostWeights {
+  double io = 1.0;
+  double cpu = 0.01;
+  double comm = 1.0;
+};
+
+inline double TotalCost(const Cost& c, const CostWeights& w = CostWeights{}) {
+  return c.io * w.io + c.cpu * w.cpu + c.comm * w.comm;
+}
+
+}  // namespace starburst
+
+#endif  // STARBURST_COST_COST_H_

@@ -1,0 +1,101 @@
+#ifndef STARBURST_COST_COST_MODEL_H_
+#define STARBURST_COST_COST_MODEL_H_
+
+#include "catalog/catalog.h"
+#include "cost/cost.h"
+#include "properties/property.h"
+
+namespace starburst {
+
+class Query;
+
+/// Tunable constants of the cost formulas. Defaults approximate the
+/// R*-validated model of [MACK 86]: unit = one sequential page I/O; CPU is
+/// charged per tuple touched and per predicate comparison; communication is
+/// per-message plus per-byte [LOHM 85].
+struct CostParams {
+  double page_bytes = 4096.0;
+  double cpu_per_tuple = 1.0;        ///< per tuple produced/touched
+  double cpu_per_compare = 0.25;     ///< per predicate or sort comparison
+  double cpu_per_hash = 0.5;         ///< per tuple hashed (build or probe)
+  double random_io = 1.0;            ///< cost of one random page fetch
+  double msg_cost = 5.0;             ///< per network message, comm units
+  double msg_bytes = 4096.0;         ///< payload per message
+  double byte_cost = 0.0005;         ///< per byte shipped
+  double sort_memory_pages = 64.0;   ///< sorts within this spill nothing
+  /// Temps at most this many pages stay buffer-resident: rescans and index
+  /// probes of them cost CPU only ([MACK 86] temp handling; this is what
+  /// makes §4.5.2/§4.5.3 materialization strategies pay off).
+  double buffer_pages = 64.0;
+  double index_fanout = 200.0;       ///< entries per index leaf page
+  CostWeights weights;
+};
+
+/// Cost estimation helpers shared by all property functions. Stateless apart
+/// from the parameters; safe to share across threads.
+class CostModel {
+ public:
+  explicit CostModel(CostParams params = CostParams{}) : params_(params) {}
+
+  const CostParams& params() const { return params_; }
+  double Total(const Cost& c) const { return TotalCost(c, params_.weights); }
+
+  /// Average stored width (bytes) of a tuple carrying `cols`.
+  double RowWidth(const Query& query, const ColumnSet& cols) const;
+
+  /// Pages occupied by `rows` tuples of `row_bytes` each (>= 1 when rows>0).
+  double PagesFor(double rows, double row_bytes) const;
+
+  /// Full sequential scan of a stored table.
+  Cost ScanCost(const TableDef& table) const;
+
+  /// B-tree range access touching `fraction` of the table's pages.
+  Cost BTreeAccessCost(const TableDef& table, double fraction) const;
+
+  /// Secondary-index scan returning `matches` entries out of `index` on
+  /// `table` (leaf pages touched scale with the matched fraction).
+  Cost IndexScanCost(const TableDef& table, const IndexDef& index,
+                     double match_fraction, double matches) const;
+
+  /// Random fetches of `rows` data tuples by TID.
+  Cost FetchCost(double rows) const;
+
+  /// Fetches of `rows` tuples by *sorted* TIDs: page accesses are sequential
+  /// and each data page is touched at most once (the paper's omitted
+  /// "sorting TIDs taken from an unordered index in order to order I/O
+  /// accesses to data pages" STAR, §4).
+  Cost SortedFetchCost(double rows, double table_pages) const;
+
+  /// Sort `rows` of `row_bytes`: N log N compares plus spill I/O when the
+  /// run exceeds sort_memory_pages.
+  Cost SortCost(double rows, double row_bytes) const;
+
+  /// Ship `rows` of `row_bytes` to another site.
+  Cost ShipCost(double rows, double row_bytes) const;
+
+  /// Write `rows` of `row_bytes` into a temp (sequential page writes).
+  Cost StoreCost(double rows, double row_bytes) const;
+
+  /// Read a materialized temp of `rows`/`row_bytes` (sequential).
+  Cost TempScanCost(double rows, double row_bytes) const;
+
+  /// Build a dynamic index over `rows` entries (paper §4.5.3): sort the keys
+  /// and write compact leaves.
+  Cost IndexBuildCost(double rows, double key_bytes) const;
+
+  /// Probe a dynamic/temp index expecting `matches` of `rows` entries.
+  Cost IndexProbeCost(double rows, double matches) const;
+
+  /// CPU to evaluate `num_preds` predicates over `rows` tuples.
+  Cost PredicateCost(double rows, int num_preds) const;
+
+  /// CPU to emit `rows` result tuples.
+  Cost OutputCost(double rows) const;
+
+ private:
+  CostParams params_;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_COST_COST_MODEL_H_

@@ -1,0 +1,113 @@
+#include "cost/selectivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "query/query.h"
+
+namespace starburst {
+
+namespace {
+
+constexpr double kDefaultEq = 0.1;
+constexpr double kDefaultRange = 1.0 / 3.0;
+
+double Clamp01(double v) { return std::min(1.0, std::max(1e-9, v)); }
+
+/// Distinct-value statistic of a bare-column side, or 0 if not a bare column.
+double DistinctOf(const Query& query, const ExprPtr& e) {
+  if (!e->IsBareColumn() || e->column().is_tid()) return 0.0;
+  return std::max(1.0, query.column_def(e->column()).distinct_values);
+}
+
+/// Range interpolation for `col op literal` when min/max statistics exist.
+double RangeSelectivity(const Query& query, const ExprPtr& col,
+                        const Datum& lit, CompareOp op) {
+  if (!col->IsBareColumn() || col->column().is_tid()) return kDefaultRange;
+  const ColumnDef& def = query.column_def(col->column());
+  if (!def.min_value || !def.max_value || lit.is_null() || lit.is_string()) {
+    return kDefaultRange;
+  }
+  double lo = *def.min_value, hi = *def.max_value;
+  if (hi <= lo) return kDefaultRange;
+  double v = lit.AsDouble();
+  double frac_below = (v - lo) / (hi - lo);
+  switch (op) {
+    case CompareOp::kLt:
+    case CompareOp::kLe:
+      return Clamp01(frac_below);
+    case CompareOp::kGt:
+    case CompareOp::kGe:
+      return Clamp01(1.0 - frac_below);
+    default:
+      return kDefaultRange;
+  }
+}
+
+}  // namespace
+
+double PredicateSelectivity(const Query& query, const Predicate& p) {
+  const bool lhs_lit = p.lhs_columns.empty();
+  const bool rhs_lit = p.rhs_columns.empty();
+  double d_lhs = DistinctOf(query, p.lhs);
+  double d_rhs = DistinctOf(query, p.rhs);
+
+  double eq;
+  if (d_lhs > 0 && d_rhs > 0) {
+    eq = 1.0 / std::max(d_lhs, d_rhs);  // col = col
+  } else if (d_lhs > 0 && rhs_lit) {
+    eq = 1.0 / d_lhs;  // col = literal
+  } else if (d_rhs > 0 && lhs_lit) {
+    eq = 1.0 / d_rhs;  // literal = col
+  } else {
+    eq = kDefaultEq;  // expression = expression
+  }
+
+  switch (p.op) {
+    case CompareOp::kEq:
+      return Clamp01(eq);
+    case CompareOp::kNe:
+      return Clamp01(1.0 - eq);
+    case CompareOp::kLt:
+    case CompareOp::kLe:
+    case CompareOp::kGt:
+    case CompareOp::kGe:
+      if (d_lhs > 0 && rhs_lit) {
+        return RangeSelectivity(query, p.lhs, p.rhs->literal(), p.op);
+      }
+      if (d_rhs > 0 && lhs_lit) {
+        // Flip the operator to view it as `col op literal`.
+        CompareOp flipped = p.op;
+        switch (p.op) {
+          case CompareOp::kLt:
+            flipped = CompareOp::kGt;
+            break;
+          case CompareOp::kLe:
+            flipped = CompareOp::kGe;
+            break;
+          case CompareOp::kGt:
+            flipped = CompareOp::kLt;
+            break;
+          case CompareOp::kGe:
+            flipped = CompareOp::kLe;
+            break;
+          default:
+            break;
+        }
+        return RangeSelectivity(query, p.rhs, p.lhs->literal(), flipped);
+      }
+      return kDefaultRange;
+  }
+  return kDefaultRange;
+}
+
+double CombinedSelectivity(const Query& query, PredSet preds,
+                           PredSet already_applied) {
+  double sel = 1.0;
+  for (int id : preds.Minus(already_applied).ToVector()) {
+    sel *= PredicateSelectivity(query, query.predicate(id));
+  }
+  return sel;
+}
+
+}  // namespace starburst

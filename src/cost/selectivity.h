@@ -1,0 +1,28 @@
+#ifndef STARBURST_COST_SELECTIVITY_H_
+#define STARBURST_COST_SELECTIVITY_H_
+
+#include "common/id_set.h"
+#include "query/predicate.h"
+
+namespace starburst {
+
+class Query;
+
+/// System-R-style single-predicate selectivity estimate [SELI 79]:
+///   col = literal   -> 1 / distinct(col)
+///   col = col       -> 1 / max(distinct, distinct)
+///   col <> ...      -> 1 - eq estimate
+///   col < literal   -> interpolated from (min,max) when known, else 1/3
+///   other ranges    -> 1/3
+///   expr = expr     -> 1/10 (no statistics on expressions)
+double PredicateSelectivity(const Query& query, const Predicate& p);
+
+/// Product over the set, assuming independence (as System R did). Predicates
+/// in `already_applied` contribute nothing — this is how property functions
+/// avoid double-counting join predicates that were pushed into an input.
+double CombinedSelectivity(const Query& query, PredSet preds,
+                           PredSet already_applied = PredSet{});
+
+}  // namespace starburst
+
+#endif  // STARBURST_COST_SELECTIVITY_H_

@@ -1,0 +1,115 @@
+#include "exec/evaluator.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace starburst {
+
+namespace {
+Result<int> SlotOf(const Schema& schema, ColumnRef ref) {
+  for (size_t i = 0; i < schema.size(); ++i) {
+    if (schema[i] == ref) return static_cast<int>(i);
+  }
+  return Status::NotFound("column missing from result schema");
+}
+
+bool TupleLess(const Tuple& a, const Tuple& b) {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = a[i].Compare(b[i]);
+    if (c != 0) return c < 0;
+  }
+  return a.size() < b.size();
+}
+}  // namespace
+
+Result<ResultSet> ExecutePlan(const Database& db, const Query& query,
+                              const PlanPtr& plan,
+                              const ExecutorRegistry* registry) {
+  Executor exec(db, query, registry);
+  return exec.Run(plan);
+}
+
+Result<ResultSet> ProjectResult(const ResultSet& rs,
+                                const std::vector<ColumnRef>& cols) {
+  std::vector<int> slots;
+  slots.reserve(cols.size());
+  for (const ColumnRef& c : cols) {
+    auto s = SlotOf(rs.schema, c);
+    if (!s.ok()) return s.status();
+    slots.push_back(s.value());
+  }
+  ResultSet out;
+  out.schema = cols;
+  out.rows.reserve(rs.rows.size());
+  for (const Tuple& t : rs.rows) {
+    Tuple p;
+    p.reserve(slots.size());
+    for (int s : slots) p.push_back(t[static_cast<size_t>(s)]);
+    out.rows.push_back(std::move(p));
+  }
+  return out;
+}
+
+std::vector<Tuple> CanonicalRows(std::vector<Tuple> rows) {
+  std::sort(rows.begin(), rows.end(), TupleLess);
+  return rows;
+}
+
+Result<bool> SameResult(const ResultSet& a, const ResultSet& b,
+                        const std::vector<ColumnRef>& cols) {
+  auto pa = ProjectResult(a, cols);
+  if (!pa.ok()) return pa.status();
+  auto pb = ProjectResult(b, cols);
+  if (!pb.ok()) return pb.status();
+  std::vector<Tuple> ra = CanonicalRows(std::move(pa).value().rows);
+  std::vector<Tuple> rb = CanonicalRows(std::move(pb).value().rows);
+  if (ra.size() != rb.size()) return false;
+  for (size_t i = 0; i < ra.size(); ++i) {
+    if (ra[i].size() != rb[i].size()) return false;
+    for (size_t j = 0; j < ra[i].size(); ++j) {
+      if (ra[i][j].Compare(rb[i][j]) != 0) return false;
+    }
+  }
+  return true;
+}
+
+Result<bool> IsSorted(const ResultSet& rs, const SortOrder& order) {
+  std::vector<int> slots;
+  for (const ColumnRef& c : order) {
+    auto s = SlotOf(rs.schema, c);
+    if (!s.ok()) return s.status();
+    slots.push_back(s.value());
+  }
+  for (size_t i = 1; i < rs.rows.size(); ++i) {
+    for (int s : slots) {
+      int c = rs.rows[i - 1][static_cast<size_t>(s)].Compare(
+          rs.rows[i][static_cast<size_t>(s)]);
+      if (c < 0) break;
+      if (c > 0) return false;
+    }
+  }
+  return true;
+}
+
+std::string FormatResult(const ResultSet& rs, const Query& query,
+                         size_t max_rows) {
+  std::string out = StrJoinMapped(rs.schema, " | ", [&](ColumnRef c) {
+    return query.ColumnName(c);
+  });
+  out += "\n";
+  size_t shown = 0;
+  for (const Tuple& t : rs.rows) {
+    if (shown++ >= max_rows) {
+      out += "... (" + std::to_string(rs.rows.size()) + " rows total)\n";
+      break;
+    }
+    out += StrJoinMapped(t, " | ",
+                         [](const Datum& d) { return d.ToString(); });
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace starburst

@@ -1,0 +1,36 @@
+#ifndef STARBURST_EXEC_EVALUATOR_H_
+#define STARBURST_EXEC_EVALUATOR_H_
+
+#include "exec/executor.h"
+
+namespace starburst {
+
+/// Convenience: run `plan` over `db` and return the rows.
+Result<ResultSet> ExecutePlan(const Database& db, const Query& query,
+                              const PlanPtr& plan,
+                              const ExecutorRegistry* registry = nullptr);
+
+/// Reorders/projects the result's columns to `cols` (e.g. the query's select
+/// list), so results from structurally different plans become comparable.
+Result<ResultSet> ProjectResult(const ResultSet& rs,
+                                const std::vector<ColumnRef>& cols);
+
+/// Rows sorted lexicographically — a canonical form for multiset equality.
+std::vector<Tuple> CanonicalRows(std::vector<Tuple> rows);
+
+/// True if projecting both results onto `cols` yields the same multiset of
+/// rows. The workhorse of the plan-equivalence property tests: every plan in
+/// a SAP must agree (paper §2.2 — alternatives are *semantically equal*).
+Result<bool> SameResult(const ResultSet& a, const ResultSet& b,
+                        const std::vector<ColumnRef>& cols);
+
+/// Verifies the ORDER property: rows are non-decreasing on `order`.
+Result<bool> IsSorted(const ResultSet& rs, const SortOrder& order);
+
+/// Renders rows as an aligned table for the examples.
+std::string FormatResult(const ResultSet& rs, const Query& query,
+                         size_t max_rows = 20);
+
+}  // namespace starburst
+
+#endif  // STARBURST_EXEC_EVALUATOR_H_

@@ -1,0 +1,857 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+
+#include "storage/index.h"
+
+namespace starburst {
+
+// ---------------------------------------------------------------------------
+// ExecutorRegistry
+// ---------------------------------------------------------------------------
+
+Status ExecutorRegistry::Register(const std::string& op_name, ExecFn exec_fn,
+                                  SchemaFn schema_fn) {
+  if (!exec_fn) {
+    return Status::InvalidArgument("executor for '" + op_name +
+                                   "' must be callable");
+  }
+  if (fns_.count(op_name)) {
+    return Status::AlreadyExists("executor for '" + op_name +
+                                 "' already registered");
+  }
+  fns_[op_name] = {std::move(exec_fn), std::move(schema_fn)};
+  return Status::OK();
+}
+
+const std::pair<ExecFn, SchemaFn>* ExecutorRegistry::Find(
+    const std::string& op_name) const {
+  auto it = fns_.find(op_name);
+  return it == fns_.end() ? nullptr : &it->second;
+}
+
+// ---------------------------------------------------------------------------
+// ExecContext
+// ---------------------------------------------------------------------------
+
+const Query& ExecContext::query() const { return *executor_->query_; }
+const Database& ExecContext::database() const { return *executor_->db_; }
+
+Result<std::vector<Tuple>> ExecContext::EvalInput(int i) {
+  if (i < 0 || i >= static_cast<int>(node_->inputs.size())) {
+    return Status::InvalidArgument("no input " + std::to_string(i));
+  }
+  return executor_->Eval(*node_->inputs[i]);
+}
+
+Result<Schema> ExecContext::InputSchema(int i) {
+  if (i < 0 || i >= static_cast<int>(node_->inputs.size())) {
+    return Status::InvalidArgument("no input " + std::to_string(i));
+  }
+  return executor_->SchemaOf(*node_->inputs[i]);
+}
+
+Result<bool> ExecContext::EvalPredicates(PredSet preds, const Schema& schema,
+                                         const Tuple& tuple) {
+  return executor_->EvalPredSet(preds, schema, tuple);
+}
+
+// ---------------------------------------------------------------------------
+// Schema derivation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Result<int> SlotOf(const Schema& schema, ColumnRef ref) {
+  for (size_t i = 0; i < schema.size(); ++i) {
+    if (schema[i] == ref) return static_cast<int>(i);
+  }
+  return Status::NotFound("column not in stream schema");
+}
+
+}  // namespace
+
+Result<Schema> Executor::SchemaOf(const PlanOp& node) {
+  auto it = schema_cache_.find(&node);
+  if (it != schema_cache_.end()) return it->second;
+
+  Schema out;
+  const std::string& name = node.name();
+  if (name == op::kAccess) {
+    if (node.flavor == flavor::kTemp || node.flavor == flavor::kTempIndex) {
+      auto in = SchemaOf(*node.inputs[0]);
+      if (!in.ok()) return in;
+      out = std::move(in).value();
+    } else {
+      out = node.args.GetColumns(arg::kCols);
+    }
+  } else if (name == op::kGet) {
+    auto in = SchemaOf(*node.inputs[0]);
+    if (!in.ok()) return in;
+    out = std::move(in).value();
+    for (const ColumnRef& c : node.args.GetColumns(arg::kCols)) {
+      if (!SlotOf(out, c).ok()) out.push_back(c);
+    }
+  } else if (name == op::kJoin) {
+    auto a = SchemaOf(*node.inputs[0]);
+    if (!a.ok()) return a;
+    auto b = SchemaOf(*node.inputs[1]);
+    if (!b.ok()) return b;
+    out = std::move(a).value();
+    const Schema& rhs = b.value();
+    out.insert(out.end(), rhs.begin(), rhs.end());
+  } else if (name == op::kSort || name == op::kShip || name == op::kStore ||
+             name == op::kFilter) {
+    auto in = SchemaOf(*node.inputs[0]);
+    if (!in.ok()) return in;
+    out = std::move(in).value();
+  } else if (name == op::kTidAnd) {
+    out = Schema{ColumnRef{node.props.tables().First(),
+                           ColumnRef::kTidColumn}};
+  } else if (name == op::kProject) {
+    out = node.args.GetColumns(arg::kCols);
+  } else if (name == op::kFilterBy) {
+    auto in = SchemaOf(*node.inputs[0]);  // probe stream layout
+    if (!in.ok()) return in;
+    out = std::move(in).value();
+  } else {
+    // Custom operator: user-provided schema function, or a sensible default
+    // (concatenate inputs).
+    const auto* entry =
+        registry_ != nullptr ? registry_->Find(name) : nullptr;
+    if (entry != nullptr && entry->second) {
+      std::vector<Schema> ins;
+      for (const PlanPtr& in : node.inputs) {
+        auto s = SchemaOf(*in);
+        if (!s.ok()) return s;
+        ins.push_back(std::move(s).value());
+      }
+      auto s = entry->second(node, ins);
+      if (!s.ok()) return s;
+      out = std::move(s).value();
+    } else {
+      for (const PlanPtr& in : node.inputs) {
+        auto s = SchemaOf(*in);
+        if (!s.ok()) return s;
+        const Schema& v = s.value();
+        out.insert(out.end(), v.begin(), v.end());
+      }
+    }
+  }
+  schema_cache_[&node] = out;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Expression / predicate evaluation
+// ---------------------------------------------------------------------------
+
+Result<Datum> Executor::Resolve(ColumnRef ref, const Schema& schema,
+                                const Tuple& tuple) const {
+  auto slot = SlotOf(schema, ref);
+  if (slot.ok()) return tuple[static_cast<size_t>(slot.value())];
+  // Enclosing nested-loop bindings, innermost first (sideways information
+  // passing, paper §4.4).
+  for (auto it = env_.rbegin(); it != env_.rend(); ++it) {
+    auto s = SlotOf(*it->schema, ref);
+    if (s.ok()) return (*it->tuple)[static_cast<size_t>(s.value())];
+  }
+  // Base rows visible during ACCESS/GET of the referenced quantifier.
+  for (auto it = base_rows_.rbegin(); it != base_rows_.rend(); ++it) {
+    if (it->quantifier == ref.quantifier && !ref.is_tid()) {
+      return (*it->row)[static_cast<size_t>(ref.column)];
+    }
+  }
+  return Status::Internal("unresolvable column q" +
+                          std::to_string(ref.quantifier) + ".c" +
+                          std::to_string(ref.column) + " at run time");
+}
+
+Result<Datum> Executor::EvalExpr(const Expr& expr, const Schema& schema,
+                                 const Tuple& tuple) const {
+  switch (expr.kind()) {
+    case ExprKind::kColumn:
+      return Resolve(expr.column(), schema, tuple);
+    case ExprKind::kLiteral:
+      return expr.literal();
+    default: {
+      auto lhs = EvalExpr(*expr.lhs(), schema, tuple);
+      if (!lhs.ok()) return lhs;
+      auto rhs = EvalExpr(*expr.rhs(), schema, tuple);
+      if (!rhs.ok()) return rhs;
+      return EvalBinary(expr.kind(), lhs.value(), rhs.value());
+    }
+  }
+}
+
+Result<bool> Executor::EvalPred(const Predicate& pred, const Schema& schema,
+                                const Tuple& tuple) const {
+  auto lhs = EvalExpr(*pred.lhs, schema, tuple);
+  if (!lhs.ok()) return lhs.status();
+  auto rhs = EvalExpr(*pred.rhs, schema, tuple);
+  if (!rhs.ok()) return rhs.status();
+  return EvalCompare(pred.op, lhs.value(), rhs.value());
+}
+
+Result<bool> Executor::EvalPredSet(PredSet preds, const Schema& schema,
+                                   const Tuple& tuple) const {
+  for (int id : preds.ToVector()) {
+    auto ok = EvalPred(query_->predicate(id), schema, tuple);
+    if (!ok.ok()) return ok;
+    if (!ok.value()) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Correlation analysis
+// ---------------------------------------------------------------------------
+
+bool Executor::IsCorrelated(const PlanOp& node) const {
+  QuantifierSet own = node.props.tables();
+  auto preds_escape = [&](PredSet preds) {
+    for (int id : preds.ToVector()) {
+      if (!own.ContainsAll(query_->predicate(id).quantifiers)) return true;
+    }
+    return false;
+  };
+  for (const char* name :
+       {arg::kPreds, arg::kJoinPreds, arg::kResidualPreds}) {
+    if (node.args.Has(name) && preds_escape(node.args.GetPreds(name))) {
+      return true;
+    }
+  }
+  for (const PlanPtr& in : node.inputs) {
+    if (IsCorrelated(*in)) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Core evaluation
+// ---------------------------------------------------------------------------
+
+Result<ResultSet> Executor::Run(const PlanPtr& plan) {
+  if (plan == nullptr) return Status::InvalidArgument("null plan");
+  material_cache_.clear();
+  env_.clear();
+  base_rows_.clear();
+  auto rows = Eval(*plan);
+  if (!rows.ok()) return rows.status();
+  auto schema = SchemaOf(*plan);
+  if (!schema.ok()) return schema.status();
+  ResultSet rs;
+  rs.schema = std::move(schema).value();
+  rs.rows = std::move(rows).value();
+  return rs;
+}
+
+Result<std::vector<Tuple>> Executor::Eval(const PlanOp& node) {
+  auto cached = material_cache_.find(&node);
+  if (cached != material_cache_.end()) return cached->second;
+
+  Result<std::vector<Tuple>> rows = Status::Internal("unreached");
+  const std::string& name = node.name();
+  if (name == op::kAccess) {
+    rows = EvalAccess(node);
+  } else if (name == op::kGet) {
+    rows = EvalGet(node);
+  } else if (name == op::kSort) {
+    rows = EvalSort(node);
+  } else if (name == op::kShip || name == op::kStore) {
+    rows = EvalStoreLike(node);
+  } else if (name == op::kJoin) {
+    rows = EvalJoin(node);
+  } else if (name == op::kFilter) {
+    rows = EvalFilter(node);
+  } else if (name == op::kTidAnd) {
+    rows = EvalTidAnd(node);
+  } else if (name == op::kProject) {
+    rows = EvalProject(node);
+  } else if (name == op::kFilterBy) {
+    rows = EvalFilterBy(node);
+  } else {
+    const auto* entry =
+        registry_ != nullptr ? registry_->Find(name) : nullptr;
+    if (entry == nullptr) {
+      return Status::Unimplemented("no run-time routine for operator '" +
+                                   name + "'");
+    }
+    ExecContext ctx(this, node);
+    rows = entry->first(ctx);
+  }
+  if (!rows.ok()) return rows;
+  if (!IsCorrelated(node)) material_cache_[&node] = rows.value();
+  return rows;
+}
+
+Result<std::vector<Tuple>> Executor::EvalAccess(const PlanOp& node) {
+  const Query& query = *query_;
+
+  if (node.flavor == flavor::kTemp || node.flavor == flavor::kTempIndex) {
+    auto in_rows = Eval(*node.inputs[0]);
+    if (!in_rows.ok()) return in_rows;
+    auto schema = SchemaOf(*node.inputs[0]);
+    if (!schema.ok()) return schema.status();
+    std::vector<Tuple> rows = std::move(in_rows).value();
+    if (node.flavor == flavor::kTempIndex) {
+      // The dynamic index yields tuples in key order.
+      AccessPathList paths = node.inputs[0]->props.paths();
+      const AccessPath* dyn = nullptr;
+      for (const AccessPath& p : paths) {
+        if (p.dynamic) dyn = &p;
+      }
+      if (dyn == nullptr) {
+        return Status::Internal("temp-index ACCESS without dynamic path");
+      }
+      std::vector<int> slots;
+      for (const ColumnRef& c : dyn->columns) {
+        auto s = SlotOf(schema.value(), c);
+        if (!s.ok()) return s.status();
+        slots.push_back(s.value());
+      }
+      std::stable_sort(rows.begin(), rows.end(),
+                       [&slots](const Tuple& a, const Tuple& b) {
+                         for (int s : slots) {
+                           int c = a[static_cast<size_t>(s)].Compare(
+                               b[static_cast<size_t>(s)]);
+                           if (c != 0) return c < 0;
+                         }
+                         return false;
+                       });
+    }
+    PredSet preds = node.args.GetPreds(arg::kPreds);
+    std::vector<Tuple> out;
+    for (Tuple& t : rows) {
+      auto keep = EvalPredSet(preds, schema.value(), t);
+      if (!keep.ok()) return keep.status();
+      if (keep.value()) out.push_back(std::move(t));
+    }
+    return out;
+  }
+
+  // Base-table flavors.
+  int q = static_cast<int>(node.args.GetInt(arg::kQuantifier, -1));
+  const StoredTable& table = db_->table(query.quantifier(q).table);
+  std::vector<ColumnRef> cols = node.args.GetColumns(arg::kCols);
+  PredSet preds = node.args.GetPreds(arg::kPreds);
+  Schema schema = cols;
+  std::vector<Tuple> out;
+
+  auto emit = [&](Tid tid, const Tuple& base) -> Status {
+    base_rows_.push_back(BaseRow{q, &base});
+    Tuple t;
+    t.reserve(cols.size());
+    for (const ColumnRef& c : cols) {
+      if (c.is_tid()) {
+        t.push_back(Datum(static_cast<int64_t>(tid)));
+      } else {
+        t.push_back(base[static_cast<size_t>(c.column)]);
+      }
+    }
+    auto keep = EvalPredSet(preds, schema, t);
+    base_rows_.pop_back();
+    if (!keep.ok()) return keep.status();
+    if (keep.value()) out.push_back(std::move(t));
+    return Status::OK();
+  };
+
+  if (node.flavor == flavor::kHeap || node.flavor == flavor::kBTree) {
+    for (Tid tid = 0; tid < table.num_rows(); ++tid) {
+      STARBURST_RETURN_NOT_OK(emit(tid, table.row(tid)));
+    }
+    return out;
+  }
+
+  if (node.flavor == flavor::kIndex) {
+    auto index =
+        db_->FindIndex(query.quantifier(q).table, node.args.GetString(arg::kIndex));
+    if (!index.ok()) return index.status();
+    const SecondaryIndex& ix = *index.value();
+
+    // Try to turn leading equality predicates into a probe prefix whose
+    // probe values are computable from enclosing bindings.
+    std::vector<Datum> prefix;
+    for (int ord : ix.key_columns()) {
+      ColumnRef key{q, ord};
+      const Predicate* match = nullptr;
+      const Expr* probe = nullptr;
+      for (int id : preds.ToVector()) {
+        const Predicate& p = query.predicate(id);
+        if (p.op != CompareOp::kEq) continue;
+        if (p.lhs->IsBareColumn() && p.lhs->column() == key) {
+          match = &p;
+          probe = p.rhs.get();
+        } else if (p.rhs->IsBareColumn() && p.rhs->column() == key) {
+          match = &p;
+          probe = p.lhs.get();
+        }
+        if (match != nullptr) break;
+      }
+      if (match == nullptr) break;
+      static const Schema kEmptySchema;
+      static const Tuple kEmptyTuple;
+      auto v = EvalExpr(*probe, kEmptySchema, kEmptyTuple);
+      if (!v.ok()) break;  // not computable before the scan; filter instead
+      prefix.push_back(std::move(v).value());
+    }
+
+    auto emit_entry = [&](const SecondaryIndex::Entry& e) -> Status {
+      return emit(e.tid, table.row(e.tid));
+    };
+    if (!prefix.empty()) {
+      for (const SecondaryIndex::Entry* e : ix.LookupPrefix(prefix)) {
+        STARBURST_RETURN_NOT_OK(emit_entry(*e));
+      }
+    } else {
+      for (const SecondaryIndex::Entry& e : ix.entries()) {
+        STARBURST_RETURN_NOT_OK(emit_entry(e));
+      }
+    }
+    return out;
+  }
+  return Status::InvalidArgument("unknown ACCESS flavor '" + node.flavor +
+                                 "'");
+}
+
+Result<std::vector<Tuple>> Executor::EvalGet(const PlanOp& node) {
+  auto in_rows = Eval(*node.inputs[0]);
+  if (!in_rows.ok()) return in_rows;
+  auto in_schema = SchemaOf(*node.inputs[0]);
+  if (!in_schema.ok()) return in_schema.status();
+  auto out_schema = SchemaOf(node);
+  if (!out_schema.ok()) return out_schema.status();
+
+  int q = static_cast<int>(node.args.GetInt(arg::kQuantifier, -1));
+  const StoredTable& table = db_->table(query_->quantifier(q).table);
+  auto tid_slot = SlotOf(in_schema.value(), ColumnRef{q, ColumnRef::kTidColumn});
+  if (!tid_slot.ok()) {
+    return Status::InvalidArgument("GET input lacks TID column");
+  }
+  PredSet preds = node.args.GetPreds(arg::kPreds);
+
+  std::vector<Tuple> out;
+  for (const Tuple& in : in_rows.value()) {
+    Tid tid = in[static_cast<size_t>(tid_slot.value())].AsInt();
+    if (tid < 0 || tid >= table.num_rows()) {
+      return Status::Internal("TID out of range in GET");
+    }
+    const Tuple& base = table.row(tid);
+    base_rows_.push_back(BaseRow{q, &base});
+    Tuple t = in;
+    for (size_t i = in.size(); i < out_schema.value().size(); ++i) {
+      const ColumnRef& c = out_schema.value()[i];
+      t.push_back(base[static_cast<size_t>(c.column)]);
+    }
+    auto keep = EvalPredSet(preds, out_schema.value(), t);
+    base_rows_.pop_back();
+    if (!keep.ok()) return keep.status();
+    if (keep.value()) out.push_back(std::move(t));
+  }
+  return out;
+}
+
+Result<std::vector<Tuple>> Executor::EvalSort(const PlanOp& node) {
+  auto in_rows = Eval(*node.inputs[0]);
+  if (!in_rows.ok()) return in_rows;
+  auto schema = SchemaOf(node);
+  if (!schema.ok()) return schema.status();
+  std::vector<int> slots;
+  for (const ColumnRef& c : node.args.GetColumns(arg::kOrder)) {
+    auto s = SlotOf(schema.value(), c);
+    if (!s.ok()) return s.status();
+    slots.push_back(s.value());
+  }
+  std::vector<Tuple> rows = std::move(in_rows).value();
+  std::stable_sort(rows.begin(), rows.end(),
+                   [&slots](const Tuple& a, const Tuple& b) {
+                     for (int s : slots) {
+                       int c = a[static_cast<size_t>(s)].Compare(
+                           b[static_cast<size_t>(s)]);
+                       if (c != 0) return c < 0;
+                     }
+                     return false;
+                   });
+  return rows;
+}
+
+Result<std::vector<Tuple>> Executor::EvalStoreLike(const PlanOp& node) {
+  // SHIP and STORE change physical placement, which an in-memory simulation
+  // realizes as identity on the tuple stream.
+  return Eval(*node.inputs[0]);
+}
+
+Result<std::vector<Tuple>> Executor::EvalJoin(const PlanOp& node) {
+  const PlanOp& outer_node = *node.inputs[0];
+  const PlanOp& inner_node = *node.inputs[1];
+  auto outer_schema_r = SchemaOf(outer_node);
+  if (!outer_schema_r.ok()) return outer_schema_r.status();
+  auto inner_schema_r = SchemaOf(inner_node);
+  if (!inner_schema_r.ok()) return inner_schema_r.status();
+  auto out_schema_r = SchemaOf(node);
+  if (!out_schema_r.ok()) return out_schema_r.status();
+  // Stable addresses: schema_cache_ is a std::map.
+  const Schema& outer_schema = schema_cache_.at(&outer_node);
+  const Schema& inner_schema = schema_cache_.at(&inner_node);
+  const Schema& out_schema = schema_cache_.at(&node);
+
+  PredSet join_preds = node.args.GetPreds(arg::kJoinPreds);
+  PredSet residual = node.args.GetPreds(arg::kResidualPreds);
+  PredSet check = join_preds.Union(residual);
+
+  auto outer_rows_r = Eval(outer_node);
+  if (!outer_rows_r.ok()) return outer_rows_r;
+  const std::vector<Tuple> outer_rows = std::move(outer_rows_r).value();
+
+  std::vector<Tuple> out;
+  auto emit_pair = [&](const Tuple& a, const Tuple& b) -> Status {
+    Tuple t;
+    t.reserve(a.size() + b.size());
+    t.insert(t.end(), a.begin(), a.end());
+    t.insert(t.end(), b.begin(), b.end());
+    auto keep = EvalPredSet(check, out_schema, t);
+    if (!keep.ok()) return keep.status();
+    if (keep.value()) out.push_back(std::move(t));
+    return Status::OK();
+  };
+
+  if (node.flavor == flavor::kNL) {
+    for (const Tuple& o : outer_rows) {
+      env_.push_back(Frame{&outer_schema, &o});
+      auto inner_rows = Eval(inner_node);
+      env_.pop_back();
+      if (!inner_rows.ok()) return inner_rows;
+      for (const Tuple& i : inner_rows.value()) {
+        STARBURST_RETURN_NOT_OK(emit_pair(o, i));
+      }
+    }
+    return out;
+  }
+
+  // MG and HA evaluate the inner once (uncorrelated by construction).
+  auto inner_rows_r = Eval(inner_node);
+  if (!inner_rows_r.ok()) return inner_rows_r;
+  const std::vector<Tuple> inner_rows = std::move(inner_rows_r).value();
+
+  if (node.flavor == flavor::kMG) {
+    // Merge keys: leading pairs of the two inputs' sort orders connected by
+    // equality join predicates.
+    SortOrder oorder = outer_node.props.order();
+    SortOrder iorder = inner_node.props.order();
+    std::vector<std::pair<int, int>> key_slots;
+    size_t depth = std::min(oorder.size(), iorder.size());
+    for (size_t k = 0; k < depth; ++k) {
+      bool linked = false;
+      for (int id : join_preds.ToVector()) {
+        const Predicate& p = query_->predicate(id);
+        if (p.op != CompareOp::kEq || !p.lhs->IsBareColumn() ||
+            !p.rhs->IsBareColumn()) {
+          continue;
+        }
+        ColumnRef a = p.lhs->column(), b = p.rhs->column();
+        if ((a == oorder[k] && b == iorder[k]) ||
+            (b == oorder[k] && a == iorder[k])) {
+          linked = true;
+          break;
+        }
+      }
+      if (!linked) break;
+      auto os = SlotOf(outer_schema, oorder[k]);
+      auto is = SlotOf(inner_schema, iorder[k]);
+      if (!os.ok() || !is.ok()) break;
+      key_slots.push_back({os.value(), is.value()});
+    }
+
+    if (key_slots.empty()) {
+      // No mergeable equality key: degrade to pairing with full predicate
+      // evaluation (still correct; the rule set avoids generating this).
+      for (const Tuple& o : outer_rows) {
+        for (const Tuple& i : inner_rows) {
+          STARBURST_RETURN_NOT_OK(emit_pair(o, i));
+        }
+      }
+      return out;
+    }
+
+    auto key_cmp = [&](const Tuple& o, const Tuple& i) {
+      for (auto [os, is] : key_slots) {
+        // SQL semantics: NULL keys never match; callers skip NULL rows.
+        int c = o[static_cast<size_t>(os)].Compare(i[static_cast<size_t>(is)]);
+        if (c != 0) return c;
+      }
+      return 0;
+    };
+    auto has_null_key = [](const Tuple& t, const std::vector<int>& slots) {
+      for (int s : slots) {
+        if (t[static_cast<size_t>(s)].is_null()) return true;
+      }
+      return false;
+    };
+    std::vector<int> oslots, islots;
+    for (auto [os, is] : key_slots) {
+      oslots.push_back(os);
+      islots.push_back(is);
+    }
+
+    size_t i = 0, j = 0;
+    while (i < outer_rows.size() && j < inner_rows.size()) {
+      if (has_null_key(outer_rows[i], oslots)) {
+        ++i;
+        continue;
+      }
+      if (has_null_key(inner_rows[j], islots)) {
+        ++j;
+        continue;
+      }
+      int c = key_cmp(outer_rows[i], inner_rows[j]);
+      if (c < 0) {
+        ++i;
+      } else if (c > 0) {
+        ++j;
+      } else {
+        // Equal-key groups: cross product.
+        size_t i_end = i;
+        while (i_end < outer_rows.size() &&
+               !has_null_key(outer_rows[i_end], oslots) &&
+               key_cmp(outer_rows[i_end], inner_rows[j]) == 0) {
+          ++i_end;
+        }
+        size_t j_end = j;
+        while (j_end < inner_rows.size() &&
+               !has_null_key(inner_rows[j_end], islots) &&
+               key_cmp(outer_rows[i], inner_rows[j_end]) == 0) {
+          ++j_end;
+        }
+        for (size_t a = i; a < i_end; ++a) {
+          for (size_t b = j; b < j_end; ++b) {
+            STARBURST_RETURN_NOT_OK(emit_pair(outer_rows[a], inner_rows[b]));
+          }
+        }
+        i = i_end;
+        j = j_end;
+      }
+    }
+    return out;
+  }
+
+  if (node.flavor == flavor::kHA) {
+    // Hash keys: equality join predicates with one side per input.
+    struct HashPair {
+      const Expr* outer_expr;
+      const Expr* inner_expr;
+    };
+    QuantifierSet ot = outer_node.props.tables();
+    QuantifierSet it = inner_node.props.tables();
+    std::vector<HashPair> pairs;
+    for (int id : join_preds.ToVector()) {
+      const Predicate& p = query_->predicate(id);
+      if (!IsHashable(p, ot, it)) continue;
+      bool lhs_outer = ColumnsWithin(p.lhs_columns, ot);
+      pairs.push_back(lhs_outer ? HashPair{p.lhs.get(), p.rhs.get()}
+                                : HashPair{p.rhs.get(), p.lhs.get()});
+    }
+    if (pairs.empty()) {
+      for (const Tuple& o : outer_rows) {
+        for (const Tuple& i : inner_rows) {
+          STARBURST_RETURN_NOT_OK(emit_pair(o, i));
+        }
+      }
+      return out;
+    }
+
+    auto key_less = [](const std::vector<Datum>& a,
+                       const std::vector<Datum>& b) {
+      for (size_t k = 0; k < a.size(); ++k) {
+        int c = a[k].Compare(b[k]);
+        if (c != 0) return c < 0;
+      }
+      return false;
+    };
+    std::map<std::vector<Datum>, std::vector<size_t>, decltype(key_less)>
+        build(key_less);
+    for (size_t r = 0; r < inner_rows.size(); ++r) {
+      std::vector<Datum> key;
+      bool null_key = false;
+      for (const HashPair& hp : pairs) {
+        auto v = EvalExpr(*hp.inner_expr, inner_schema, inner_rows[r]);
+        if (!v.ok()) return v.status();
+        if (v.value().is_null()) null_key = true;
+        key.push_back(std::move(v).value());
+      }
+      if (!null_key) build[std::move(key)].push_back(r);
+    }
+    for (const Tuple& o : outer_rows) {
+      std::vector<Datum> key;
+      bool null_key = false;
+      for (const HashPair& hp : pairs) {
+        auto v = EvalExpr(*hp.outer_expr, outer_schema, o);
+        if (!v.ok()) return v.status();
+        if (v.value().is_null()) null_key = true;
+        key.push_back(std::move(v).value());
+      }
+      if (null_key) continue;
+      auto hit = build.find(key);
+      if (hit == build.end()) continue;
+      for (size_t r : hit->second) {
+        STARBURST_RETURN_NOT_OK(emit_pair(o, inner_rows[r]));
+      }
+    }
+    return out;
+  }
+  return Status::InvalidArgument("unknown JOIN flavor '" + node.flavor + "'");
+}
+
+Result<std::vector<Tuple>> Executor::EvalTidAnd(const PlanOp& node) {
+  int q = node.props.tables().First();
+  ColumnRef tid{q, ColumnRef::kTidColumn};
+  auto tids_of = [&](int input) -> Result<std::vector<int64_t>> {
+    auto rows = Eval(*node.inputs[static_cast<size_t>(input)]);
+    if (!rows.ok()) return rows.status();
+    auto schema = SchemaOf(*node.inputs[static_cast<size_t>(input)]);
+    if (!schema.ok()) return schema.status();
+    auto slot = SlotOf(schema.value(), tid);
+    if (!slot.ok()) return slot.status();
+    std::vector<int64_t> out;
+    out.reserve(rows.value().size());
+    for (const Tuple& t : rows.value()) {
+      out.push_back(t[static_cast<size_t>(slot.value())].AsInt());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  auto a = tids_of(0);
+  if (!a.ok()) return a.status();
+  auto b = tids_of(1);
+  if (!b.ok()) return b.status();
+  std::vector<int64_t> common;
+  std::set_intersection(a.value().begin(), a.value().end(),
+                        b.value().begin(), b.value().end(),
+                        std::back_inserter(common));
+  common.erase(std::unique(common.begin(), common.end()), common.end());
+  std::vector<Tuple> out;
+  out.reserve(common.size());
+  for (int64_t t : common) out.push_back(Tuple{Datum(t)});
+  return out;
+}
+
+Result<std::vector<Tuple>> Executor::EvalProject(const PlanOp& node) {
+  auto in_rows = Eval(*node.inputs[0]);
+  if (!in_rows.ok()) return in_rows;
+  auto in_schema = SchemaOf(*node.inputs[0]);
+  if (!in_schema.ok()) return in_schema.status();
+  std::vector<int> slots;
+  for (const ColumnRef& c : node.args.GetColumns(arg::kCols)) {
+    auto s = SlotOf(in_schema.value(), c);
+    if (!s.ok()) return s.status();
+    slots.push_back(s.value());
+  }
+  std::vector<Tuple> out;
+  out.reserve(in_rows.value().size());
+  for (const Tuple& t : in_rows.value()) {
+    Tuple p;
+    p.reserve(slots.size());
+    for (int s : slots) p.push_back(t[static_cast<size_t>(s)]);
+    out.push_back(std::move(p));
+  }
+  if (node.args.GetBool(arg::kDistinct, false)) {
+    std::sort(out.begin(), out.end(), [](const Tuple& a, const Tuple& b) {
+      for (size_t i = 0; i < a.size(); ++i) {
+        int c = a[i].Compare(b[i]);
+        if (c != 0) return c < 0;
+      }
+      return false;
+    });
+    out.erase(std::unique(out.begin(), out.end(),
+                          [](const Tuple& a, const Tuple& b) {
+                            for (size_t i = 0; i < a.size(); ++i) {
+                              if (a[i].Compare(b[i]) != 0) return false;
+                            }
+                            return true;
+                          }),
+              out.end());
+  }
+  return out;
+}
+
+Result<std::vector<Tuple>> Executor::EvalFilterBy(const PlanOp& node) {
+  // Both flavors execute the exact semijoin; the Bloom filter's false
+  // positives only exist in the cost model (and are absorbed by the final
+  // join's predicate re-check anyway).
+  auto probe_rows = Eval(*node.inputs[0]);
+  if (!probe_rows.ok()) return probe_rows;
+  auto filter_rows = Eval(*node.inputs[1]);
+  if (!filter_rows.ok()) return filter_rows;
+  auto probe_schema_r = SchemaOf(*node.inputs[0]);
+  if (!probe_schema_r.ok()) return probe_schema_r.status();
+  auto filter_schema_r = SchemaOf(*node.inputs[1]);
+  if (!filter_schema_r.ok()) return filter_schema_r.status();
+  const Schema& probe_schema = schema_cache_.at(node.inputs[0].get());
+  const Schema& filter_schema = schema_cache_.at(node.inputs[1].get());
+
+  QuantifierSet probe_tables = node.inputs[0]->props.tables();
+  QuantifierSet filter_tables = node.inputs[1]->props.tables();
+  struct KeyPair {
+    const Expr* probe_expr;
+    const Expr* filter_expr;
+  };
+  std::vector<KeyPair> pairs;
+  for (int id : node.args.GetPreds(arg::kJoinPreds).ToVector()) {
+    const Predicate& p = query_->predicate(id);
+    bool lhs_probe = ColumnsWithin(p.lhs_columns, probe_tables);
+    pairs.push_back(lhs_probe ? KeyPair{p.lhs.get(), p.rhs.get()}
+                              : KeyPair{p.rhs.get(), p.lhs.get()});
+  }
+  (void)filter_tables;
+
+  auto key_less = [](const std::vector<Datum>& a,
+                     const std::vector<Datum>& b) {
+    for (size_t k = 0; k < a.size(); ++k) {
+      int c = a[k].Compare(b[k]);
+      if (c != 0) return c < 0;
+    }
+    return false;
+  };
+  std::set<std::vector<Datum>, decltype(key_less)> filter_keys(key_less);
+  for (const Tuple& f : filter_rows.value()) {
+    std::vector<Datum> key;
+    bool null_key = false;
+    for (const KeyPair& kp : pairs) {
+      auto v = EvalExpr(*kp.filter_expr, filter_schema, f);
+      if (!v.ok()) return v.status();
+      if (v.value().is_null()) null_key = true;
+      key.push_back(std::move(v).value());
+    }
+    if (!null_key) filter_keys.insert(std::move(key));
+  }
+
+  std::vector<Tuple> out;
+  for (Tuple& t : probe_rows.value()) {
+    std::vector<Datum> key;
+    bool null_key = false;
+    for (const KeyPair& kp : pairs) {
+      auto v = EvalExpr(*kp.probe_expr, probe_schema, t);
+      if (!v.ok()) return v.status();
+      if (v.value().is_null()) null_key = true;
+      key.push_back(std::move(v).value());
+    }
+    if (!null_key && filter_keys.count(key)) out.push_back(std::move(t));
+  }
+  return out;
+}
+
+Result<std::vector<Tuple>> Executor::EvalFilter(const PlanOp& node) {
+  auto in_rows = Eval(*node.inputs[0]);
+  if (!in_rows.ok()) return in_rows;
+  auto schema = SchemaOf(node);
+  if (!schema.ok()) return schema.status();
+  PredSet preds = node.args.GetPreds(arg::kPreds);
+  std::vector<Tuple> out;
+  for (Tuple& t : in_rows.value()) {
+    auto keep = EvalPredSet(preds, schema.value(), t);
+    if (!keep.ok()) return keep.status();
+    if (keep.value()) out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace starburst

@@ -1,0 +1,143 @@
+#ifndef STARBURST_EXEC_EXECUTOR_H_
+#define STARBURST_EXEC_EXECUTOR_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "plan/plan.h"
+#include "query/query.h"
+#include "storage/table.h"
+
+namespace starburst {
+
+/// Positional layout of a tuple stream: which query-scope column each slot
+/// holds. Index ACCESSes expose `ColumnRef{q, kTidColumn}` slots.
+using Schema = std::vector<ColumnRef>;
+
+/// A fully materialized stream.
+struct ResultSet {
+  Schema schema;
+  std::vector<Tuple> rows;
+};
+
+class Executor;
+
+/// What a user-registered run-time routine may use (paper §5: adding a
+/// LOLEPOP requires "a run-time execution routine that will be invoked by
+/// the query evaluator").
+class ExecContext {
+ public:
+  ExecContext(Executor* executor, const PlanOp& node)
+      : executor_(executor), node_(&node) {}
+
+  const PlanOp& node() const { return *node_; }
+  const Query& query() const;
+  const Database& database() const;
+
+  /// Evaluates input `i` (respecting any outer bindings in scope) and
+  /// returns its rows; `InputSchema` gives the matching layout.
+  Result<std::vector<Tuple>> EvalInput(int i);
+  Result<Schema> InputSchema(int i);
+
+  /// Evaluates the predicate set over a tuple laid out by `schema`,
+  /// consulting enclosing nested-loop bindings for free columns.
+  Result<bool> EvalPredicates(PredSet preds, const Schema& schema,
+                              const Tuple& tuple);
+
+ private:
+  Executor* executor_;
+  const PlanOp* node_;
+};
+
+using ExecFn = std::function<Result<std::vector<Tuple>>(ExecContext&)>;
+using SchemaFn = std::function<Result<Schema>(const PlanOp&,
+                                              const std::vector<Schema>&)>;
+
+/// Run-time routines for operators beyond the built-ins. The schema function
+/// may be omitted: the default concatenates the input schemas (right for
+/// join-like operators) or passes through a single input.
+class ExecutorRegistry {
+ public:
+  Status Register(const std::string& op_name, ExecFn exec_fn,
+                  SchemaFn schema_fn = nullptr);
+  const std::pair<ExecFn, SchemaFn>* Find(const std::string& op_name) const;
+
+ private:
+  std::map<std::string, std::pair<ExecFn, SchemaFn>> fns_;
+};
+
+/// Interprets plan DAGs over a Database: the paper's query evaluator. The
+/// built-in LOLEPOPs are interpreted directly; anything else dispatches
+/// through the ExecutorRegistry. Evaluation is materializing and recursive;
+/// nested-loop inners that reference outer columns (sideways information
+/// passing, §4.4) are re-evaluated per outer tuple under a binding stack.
+class Executor {
+ public:
+  Executor(const Database& db, const Query& query,
+           const ExecutorRegistry* registry = nullptr)
+      : db_(&db), query_(&query), registry_(registry) {}
+
+  /// Runs the plan to completion.
+  Result<ResultSet> Run(const PlanPtr& plan);
+
+  /// The output layout of `plan` without running it.
+  Result<Schema> SchemaOf(const PlanOp& plan);
+
+ private:
+  friend class ExecContext;
+
+  struct Frame {
+    const Schema* schema;
+    const Tuple* tuple;
+  };
+
+  Result<std::vector<Tuple>> Eval(const PlanOp& node);
+
+  /// Resolves a column against (schema, tuple), then enclosing NL frames,
+  /// then — during base-table scans — the current base row.
+  Result<Datum> Resolve(ColumnRef ref, const Schema& schema,
+                        const Tuple& tuple) const;
+  Result<Datum> EvalExpr(const Expr& expr, const Schema& schema,
+                         const Tuple& tuple) const;
+  Result<bool> EvalPred(const Predicate& pred, const Schema& schema,
+                        const Tuple& tuple) const;
+  Result<bool> EvalPredSet(PredSet preds, const Schema& schema,
+                           const Tuple& tuple) const;
+
+  /// True if the subtree references columns of quantifiers outside its own
+  /// TABLES property (i.e. must be re-evaluated per outer binding).
+  bool IsCorrelated(const PlanOp& node) const;
+
+  // Built-in operators.
+  Result<std::vector<Tuple>> EvalAccess(const PlanOp& node);
+  Result<std::vector<Tuple>> EvalGet(const PlanOp& node);
+  Result<std::vector<Tuple>> EvalSort(const PlanOp& node);
+  Result<std::vector<Tuple>> EvalStoreLike(const PlanOp& node);
+  Result<std::vector<Tuple>> EvalJoin(const PlanOp& node);
+  Result<std::vector<Tuple>> EvalTidAnd(const PlanOp& node);
+  Result<std::vector<Tuple>> EvalProject(const PlanOp& node);
+  Result<std::vector<Tuple>> EvalFilterBy(const PlanOp& node);
+  Result<std::vector<Tuple>> EvalFilter(const PlanOp& node);
+
+  const Database* db_;
+  const Query* query_;
+  const ExecutorRegistry* registry_;
+
+  std::vector<Frame> env_;
+  // Cached materializations of uncorrelated subplans (NL inners, temps).
+  std::map<const PlanOp*, std::vector<Tuple>> material_cache_;
+  std::map<const PlanOp*, Schema> schema_cache_;
+  // Base row visible while scanning/fetching quantifier q (for predicates
+  // that reference columns the ACCESS did not project).
+  struct BaseRow {
+    int quantifier;
+    const Tuple* row;
+  };
+  std::vector<BaseRow> base_rows_;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_EXEC_EXECUTOR_H_

@@ -1,0 +1,211 @@
+#include "glue/glue.h"
+
+#include "cost/cost_model.h"
+#include "query/query.h"
+
+namespace starburst {
+
+std::string Glue::Metrics::ToString() const {
+  return "{calls=" + std::to_string(calls) +
+         " base_hits=" + std::to_string(base_hits) +
+         " root_refs=" + std::to_string(root_references) +
+         " veneers=" + std::to_string(veneers_added) +
+         " skipped=" + std::to_string(plans_skipped) + "}";
+}
+
+namespace {
+/// Predicates in `preds` that reference quantifiers outside `tables` —
+/// converted join predicates whose probe values change per outer tuple
+/// (sideways information passing, §4.4). They may be pushed into a plain
+/// stream's access path, but never frozen into a temp: a temp is built once,
+/// so correlated predicates must be applied when the temp is probed.
+PredSet CorrelatedSubset(const Query& query, PredSet preds,
+                         QuantifierSet tables) {
+  PredSet out;
+  for (int id : preds.ToVector()) {
+    if (!tables.ContainsAll(query.predicate(id).quantifiers)) out.Insert(id);
+  }
+  return out;
+}
+}  // namespace
+
+Result<SAP> Glue::BasePlans(const StreamSpec& spec, PredSet base_preds) {
+  const SAP* hit = table_->Lookup(spec.tables, base_preds);
+  if (hit != nullptr) {
+    ++metrics_.base_hits;
+    return *hit;
+  }
+  if (spec.tables.size() == 1) {
+    // Re-reference the single-table root STAR with exactly these predicates
+    // — this is what lets a nested-loop join push converted join predicates
+    // into the inner's access path instead of retrofitting a FILTER (§4.4).
+    ++metrics_.root_references;
+    StreamSpec clean;
+    clean.tables = spec.tables;
+    clean.preds = base_preds;
+    auto sap = engine_->EvalStar(access_root_,
+                                 {RuleValue(clean), RuleValue(base_preds)});
+    if (!sap.ok()) return sap.status();
+    for (const PlanPtr& p : sap.value()) {
+      table_->Insert(spec.tables, base_preds, p);
+    }
+    hit = table_->Lookup(spec.tables, base_preds);
+    return hit != nullptr ? *hit : SAP{};
+  }
+  // Composite stream: fall back to the canonical bucket (all predicates
+  // eligible within the table set, which is how the join enumerator stores
+  // plans); Augment retrofits anything extra that was pushed down.
+  const Query& query = engine_->query();
+  PredSet canonical =
+      query.EligiblePredicates(spec.tables, query.AllPredicates());
+  hit = table_->Lookup(spec.tables, canonical);
+  if (hit != nullptr) {
+    ++metrics_.base_hits;
+    return *hit;
+  }
+  return Status::NotFound(
+      "no plans for composite stream " + spec.tables.ToString() +
+      "; the join enumerator must populate the plan table bottom-up");
+}
+
+bool Glue::Satisfies(const PlanOp& plan, const StreamSpec& spec) const {
+  const PropertyVector& p = plan.props;
+  if (!p.preds().ContainsAll(spec.preds)) return false;
+  const Requirements& req = spec.required;
+  if (req.order.has_value() && !OrderSatisfies(p.order(), *req.order)) {
+    return false;
+  }
+  if (req.site.has_value() && p.site() != *req.site) return false;
+  if (req.temp && !p.temp()) return false;
+  if (req.path.has_value()) {
+    bool found = false;
+    for (const AccessPath& path : p.paths()) {
+      if (OrderSatisfies(path.columns, *req.path)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+Result<PlanPtr> Glue::Augment(PlanPtr plan, const StreamSpec& spec) {
+  const PlanFactory& factory = engine_->factory();
+  const Requirements& req = spec.required;
+  const bool materializes = req.temp || req.path.has_value();
+  PlanPtr p = std::move(plan);
+  PredSet missing = spec.preds.Minus(p->props.preds());
+
+  // Returns false (and nulls p) when this candidate cannot take the veneer.
+  auto veneer = [&](Result<PlanPtr> made) -> bool {
+    if (!made.ok()) {
+      p = nullptr;
+      return false;
+    }
+    p = std::move(made).value();
+    ++metrics_.veneers_added;
+    return true;
+  };
+
+  // 1. Plain streams apply leftover predicates with a FILTER right away
+  //    (composite inners with pushed-down join predicates). Materialized
+  //    streams defer them to the probe in step 5.
+  if (!materializes && !missing.empty()) {
+    OpArgs filter_args;
+    filter_args.Set(arg::kPreds, missing);
+    if (!veneer(factory.Make(op::kFilter, "", {p}, std::move(filter_args)))) {
+      return PlanPtr{};
+    }
+    missing = PredSet{};
+  }
+
+  // 2. [order=...]: SORT unless the stream already arrives in a satisfying
+  //    order.
+  if (req.order.has_value() &&
+      !OrderSatisfies(p->props.order(), *req.order)) {
+    OpArgs sort_args;
+    sort_args.Set(arg::kOrder, *req.order);
+    if (!veneer(factory.Make(op::kSort, "", {p}, std::move(sort_args)))) {
+      return PlanPtr{};
+    }
+  }
+
+  // 3. [site=...]: SHIP to the required site (before any STORE, so the temp
+  //    is built where it will be probed, as R* does).
+  if (req.site.has_value() && p->props.site() != *req.site) {
+    OpArgs ship_args;
+    ship_args.Set(arg::kSite, static_cast<int64_t>(*req.site));
+    if (!veneer(factory.Make(op::kShip, "", {p}, std::move(ship_args)))) {
+      return PlanPtr{};
+    }
+  }
+
+  // 4. [temp] / [paths >= IX]: STORE, optionally building the dynamic
+  //    index (§4.5.3: "the STARs implementing Glue will add [order] and
+  //    [temp] requirements to ensure the creation of a compact index").
+  if (materializes && !p->props.temp()) {
+    OpArgs store_args;
+    store_args.Set(arg::kTempName, "tmp" + std::to_string(++temp_counter_));
+    if (req.path.has_value()) store_args.Set(arg::kIndexOn, *req.path);
+    if (!veneer(factory.Make(op::kStore, "", {p}, std::move(store_args)))) {
+      return PlanPtr{};
+    }
+  }
+
+  // 5. Probe the materialized stream with the deferred (typically
+  //    correlated) predicates.
+  if (materializes && !missing.empty()) {
+    OpArgs probe_args;
+    probe_args.Set(arg::kPreds, missing);
+    const char* probe_flavor =
+        req.path.has_value() ? flavor::kTempIndex : flavor::kTemp;
+    if (!veneer(factory.Make(op::kAccess, probe_flavor, {p},
+                             std::move(probe_args)))) {
+      return PlanPtr{};
+    }
+  }
+  return p;
+}
+
+Result<SAP> Glue::Resolve(const StreamSpec& spec) {
+  ++metrics_.calls;
+  const Query& query = engine_->query();
+
+  // Correlated predicates cannot be frozen into a temp; keep them out of the
+  // base plans when the stream will be materialized.
+  PredSet base_preds = spec.preds;
+  if (spec.required.temp || spec.required.path.has_value()) {
+    base_preds =
+        base_preds.Minus(CorrelatedSubset(query, spec.preds, spec.tables));
+  }
+  auto base = BasePlans(spec, base_preds);
+  if (!base.ok()) return base.status();
+
+  const CostModel& cost_model = engine_->factory().cost_model();
+  SAP out;
+  for (const PlanPtr& candidate : base.value()) {
+    PlanPtr p = candidate;
+    if (!Satisfies(*p, spec)) {
+      auto augmented = Augment(p, spec);
+      if (!augmented.ok()) return augmented.status();
+      p = std::move(augmented).value();
+      if (p == nullptr || !Satisfies(*p, spec)) {
+        ++metrics_.plans_skipped;
+        continue;
+      }
+      // Remember the augmented plan so later Glue references with the same
+      // requirements find it ready-made (Figure 3's plan 3).
+      table_->Insert(spec.tables, p->props.preds(), p);
+    }
+    out.push_back(std::move(p));
+  }
+  PruneDominated(&out, cost_model);
+  if (!engine_->options().glue_return_all && out.size() > 1) {
+    PlanPtr best = CheapestPlan(out, cost_model);
+    out = SAP{std::move(best)};
+  }
+  return out;
+}
+
+}  // namespace starburst

@@ -1,0 +1,64 @@
+#ifndef STARBURST_GLUE_GLUE_H_
+#define STARBURST_GLUE_GLUE_H_
+
+#include <string>
+
+#include "optimizer/plan_table.h"
+#include "star/engine.h"
+
+namespace starburst {
+
+class Query;
+
+/// The paper's Glue mechanism (§3.2): given a stream spec with accumulated
+/// required properties, it
+///   1. checks the plan table for plans with the required relational
+///      properties, referencing the top-most (access) STAR if none exist;
+///   2. injects a "veneer" of glue operators — SORT for [order], SHIP for
+///      [site], STORE for [temp], STORE+dynamic-index+probe for [paths];
+///   3. returns either all satisfying plans (Pareto frontier) or just the
+///      cheapest, per EngineOptions::glue_return_all.
+class Glue : public GlueInterface {
+ public:
+  struct Metrics {
+    int64_t calls = 0;
+    int64_t base_hits = 0;        ///< plan-table hit for the relational key
+    int64_t root_references = 0;  ///< AccessRoot re-references (step 1)
+    int64_t veneers_added = 0;    ///< glue operators injected (step 2)
+    int64_t plans_skipped = 0;    ///< candidates that could not be augmented
+
+    std::string ToString() const;
+  };
+
+  Glue(StarEngine* engine, PlanTable* table,
+       std::string access_root = "AccessRoot")
+      : engine_(engine), table_(table), access_root_(std::move(access_root)) {}
+
+  Result<SAP> Resolve(const StreamSpec& spec) override;
+
+  Metrics& metrics() { return metrics_; }
+
+ private:
+  /// Plans for the spec's relational content before any veneer: plan-table
+  /// bucket for (tables, base_preds), created by re-referencing the
+  /// single-table root STAR when absent. For composite streams the canonical
+  /// bucket is used and missing predicates are retrofitted by Augment.
+  Result<SAP> BasePlans(const StreamSpec& spec, PredSet base_preds);
+
+  /// Adds the veneer operators needed for `plan` to satisfy the spec;
+  /// returns nullptr when this candidate cannot be augmented (e.g. the sort
+  /// key is not in the stream).
+  Result<PlanPtr> Augment(PlanPtr plan, const StreamSpec& spec);
+
+  bool Satisfies(const PlanOp& plan, const StreamSpec& spec) const;
+
+  StarEngine* engine_;
+  PlanTable* table_;
+  std::string access_root_;
+  Metrics metrics_;
+  int temp_counter_ = 0;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_GLUE_GLUE_H_

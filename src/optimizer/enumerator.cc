@@ -1,0 +1,102 @@
+#include "optimizer/enumerator.h"
+
+#include "query/query.h"
+
+namespace starburst {
+
+std::string JoinEnumerator::Stats::ToString() const {
+  return "{subsets=" + std::to_string(subsets) +
+         " splits=" + std::to_string(splits_considered) +
+         " joinable=" + std::to_string(joinable_pairs) +
+         " join_root_refs=" + std::to_string(join_root_refs) + "}";
+}
+
+Status JoinEnumerator::Run() {
+  const Query& query = engine_->query();
+  const int n = query.num_quantifiers();
+  if (n == 0) {
+    return Status::InvalidArgument("query has no tables");
+  }
+  const PredSet all_preds = query.AllPredicates();
+  const bool allow_composite = engine_->options().allow_composite_inner;
+  const bool allow_cartesian = engine_->options().allow_cartesian;
+
+  auto eligible = [&](QuantifierSet tables) {
+    return query.EligiblePredicates(tables, all_preds);
+  };
+
+  // Base case: single-table plans via Glue (which references AccessRoot and
+  // fills the plan table).
+  for (int q = 0; q < n; ++q) {
+    StreamSpec spec;
+    spec.tables = QuantifierSet::Single(q);
+    spec.preds = eligible(spec.tables);
+    auto sap = glue_->Resolve(spec);
+    if (!sap.ok()) return sap.status();
+    if (sap.value().empty()) {
+      return Status::Internal("no access plan generated for quantifier " +
+                              std::to_string(q));
+    }
+  }
+  if (n == 1) return Status::OK();
+
+  // Joinability: some multi-table predicate inside S links the two halves.
+  auto joinable = [&](QuantifierSet t1, QuantifierSet t2) {
+    for (int id = 0; id < query.num_predicates(); ++id) {
+      const Predicate& p = query.predicate(id);
+      if (p.quantifiers.size() < 2) continue;
+      if (!t1.Union(t2).ContainsAll(p.quantifiers)) continue;
+      if (p.quantifiers.Intersects(t1) && p.quantifiers.Intersects(t2)) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // Subsets in ascending mask order: every proper subset of S is visited
+  // before S, so the DP is bottom-up.
+  const uint64_t full = QuantifierSet::FirstN(n).mask();
+  for (uint64_t mask = 1; mask <= full; ++mask) {
+    QuantifierSet s = QuantifierSet::FromMask(mask);
+    if (s.size() < 2) continue;
+    ++stats_.subsets;
+    PredSet elig_s = eligible(s);
+    const uint64_t low_bit = mask & (~mask + 1);
+
+    // Enumerate unordered splits {T1, T2}: T1 keeps the lowest quantifier so
+    // each pair is visited once; JoinRoot's PermutedJoin generates both
+    // orders (§4.1).
+    for (uint64_t sub = (mask - 1) & mask; sub != 0;
+         sub = (sub - 1) & mask) {
+      if ((sub & low_bit) != 0) continue;  // T2 must not hold the low bit
+      QuantifierSet t2 = QuantifierSet::FromMask(sub);
+      QuantifierSet t1 = s.Minus(t2);
+      ++stats_.splits_considered;
+      if (!allow_composite && t1.size() > 1 && t2.size() > 1) continue;
+
+      PredSet elig_t1 = eligible(t1);
+      PredSet elig_t2 = eligible(t2);
+      if (table_->Lookup(t1, elig_t1) == nullptr) continue;
+      if (table_->Lookup(t2, elig_t2) == nullptr) continue;
+      if (!joinable(t1, t2) && !allow_cartesian) continue;
+      ++stats_.joinable_pairs;
+
+      // Newly eligible predicates (§2.3): eligible on the union but on
+      // neither input alone.
+      PredSet newly = elig_s.Minus(elig_t1).Minus(elig_t2);
+
+      StreamSpec spec1{t1, elig_t1, {}};
+      StreamSpec spec2{t2, elig_t2, {}};
+      ++stats_.join_root_refs;
+      auto sap = engine_->EvalStar(
+          join_root_, {RuleValue(spec1), RuleValue(spec2), RuleValue(newly)});
+      if (!sap.ok()) return sap.status();
+      for (const PlanPtr& plan : sap.value()) {
+        table_->Insert(s, elig_s, plan);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace starburst

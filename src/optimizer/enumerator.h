@@ -1,0 +1,48 @@
+#ifndef STARBURST_OPTIMIZER_ENUMERATOR_H_
+#define STARBURST_OPTIMIZER_ENUMERATOR_H_
+
+#include "glue/glue.h"
+#include "optimizer/plan_table.h"
+#include "star/engine.h"
+
+namespace starburst {
+
+/// Bottom-up System-R-style join enumeration, as sketched in paper §2.3:
+/// reference AccessRoot for every table, then repeatedly reference JoinRoot
+/// for joinable pairs of plan-bearing table sets until all tables are
+/// joined. "Joinable" prefers pairs linked by an eligible join predicate;
+/// Cartesian products and composite inners are session parameters.
+class JoinEnumerator {
+ public:
+  struct Stats {
+    int64_t subsets = 0;
+    int64_t splits_considered = 0;
+    int64_t joinable_pairs = 0;
+    int64_t join_root_refs = 0;
+
+    std::string ToString() const;
+  };
+
+  JoinEnumerator(StarEngine* engine, Glue* glue, PlanTable* table,
+                 std::string join_root = "JoinRoot")
+      : engine_(engine),
+        glue_(glue),
+        table_(table),
+        join_root_(std::move(join_root)) {}
+
+  /// Populates the plan table bottom-up for every achievable table subset.
+  Status Run();
+
+  Stats& stats() { return stats_; }
+
+ private:
+  StarEngine* engine_;
+  Glue* glue_;
+  PlanTable* table_;
+  std::string join_root_;
+  Stats stats_;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_OPTIMIZER_ENUMERATOR_H_

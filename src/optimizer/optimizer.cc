@@ -1,0 +1,69 @@
+#include "optimizer/optimizer.h"
+
+#include <chrono>
+
+#include "properties/property_functions.h"
+#include "query/query.h"
+
+namespace starburst {
+
+Optimizer::Optimizer(RuleSet rules, OptimizerOptions options)
+    : rules_(std::move(rules)), options_(options) {
+  // Failures here would be programming errors (duplicate registration in a
+  // fresh registry); surface them loudly.
+  Status st = RegisterBuiltinOperators(&operators_);
+  if (!st.ok()) throw std::runtime_error(st.ToString());
+  st = RegisterBuiltinFunctions(&functions_);
+  if (!st.ok()) throw std::runtime_error(st.ToString());
+}
+
+Result<OptimizeResult> Optimizer::Optimize(const Query& query) {
+  auto start = std::chrono::steady_clock::now();
+
+  CostModel cost_model(options_.cost_params);
+  PlanFactory factory(query, cost_model, operators_);
+  StarEngine engine(&factory, &rules_, &functions_, options_.engine);
+  PlanTable table(&cost_model);
+  Glue glue(&engine, &table);
+  engine.set_glue(&glue);
+
+  JoinEnumerator enumerator(&engine, &glue, &table);
+  STARBURST_RETURN_NOT_OK(enumerator.Run());
+
+  // Final Glue reference: the query's own required properties — deliver the
+  // result at the query site, in the requested order.
+  StreamSpec final_spec;
+  final_spec.tables = query.AllQuantifiers();
+  final_spec.preds =
+      query.EligiblePredicates(final_spec.tables, query.AllPredicates());
+  if (!query.order_by().empty()) {
+    final_spec.required.order = query.order_by();
+  }
+  final_spec.required.site = query.required_site().value_or(0);
+
+  auto final_plans = glue.Resolve(final_spec);
+  if (!final_plans.ok()) return final_plans.status();
+  if (final_plans.value().empty()) {
+    return Status::Internal(
+        "optimization produced no plan satisfying the query requirements "
+        "(disconnected join graph without allow_cartesian?)");
+  }
+
+  OptimizeResult result;
+  result.final_plans = std::move(final_plans).value();
+  result.best = CheapestPlan(result.final_plans, cost_model);
+  result.total_cost = cost_model.Total(result.best->props.cost());
+  result.engine_metrics = engine.metrics();
+  result.glue_metrics = glue.metrics();
+  result.table_stats = table.stats();
+  result.enumerator_stats = enumerator.stats();
+  result.plan_nodes_created = factory.nodes_created();
+  result.plans_in_table = table.num_plans();
+  result.optimize_micros =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace starburst

@@ -1,0 +1,66 @@
+#ifndef STARBURST_OPTIMIZER_OPTIMIZER_H_
+#define STARBURST_OPTIMIZER_OPTIMIZER_H_
+
+#include <string>
+
+#include "cost/cost_model.h"
+#include "glue/glue.h"
+#include "optimizer/enumerator.h"
+#include "optimizer/plan_table.h"
+#include "star/default_rules.h"
+#include "star/engine.h"
+
+namespace starburst {
+
+struct OptimizerOptions {
+  EngineOptions engine;
+  CostParams cost_params;
+};
+
+/// Everything a caller might want to know about one optimization run.
+struct OptimizeResult {
+  PlanPtr best;     ///< cheapest plan satisfying the query's requirements
+  SAP final_plans;  ///< Pareto frontier of satisfying plans
+
+  EngineMetrics engine_metrics;
+  Glue::Metrics glue_metrics;
+  PlanTable::Stats table_stats;
+  JoinEnumerator::Stats enumerator_stats;
+  int64_t plan_nodes_created = 0;
+  int64_t plans_in_table = 0;
+  double total_cost = 0.0;  ///< weighted cost of `best`
+  double optimize_micros = 0.0;
+};
+
+/// The rule-driven optimizer: owns the rule base, the operator registry, and
+/// the function registry — the three things a Database Customizer edits
+/// (paper §5) — and runs the STAR engine + Glue + join enumerator per query.
+class Optimizer {
+ public:
+  explicit Optimizer(RuleSet rules,
+                     OptimizerOptions options = OptimizerOptions{});
+
+  /// Optimizes `query` and returns the chosen plan plus effort metrics.
+  /// Query-level requirements (ORDER BY, AT SITE) become the final Glue
+  /// reference's required properties.
+  Result<OptimizeResult> Optimize(const Query& query);
+
+  /// The live rule base; replace or extend STARs between queries.
+  RuleSet& rules() { return rules_; }
+  /// Register new LOLEPOPs (property functions) here.
+  OperatorRegistry& operators() { return operators_; }
+  /// Register new condition/derivation functions here.
+  FunctionRegistry& functions() { return functions_; }
+
+  OptimizerOptions& options() { return options_; }
+
+ private:
+  RuleSet rules_;
+  OptimizerOptions options_;
+  OperatorRegistry operators_;
+  FunctionRegistry functions_;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_OPTIMIZER_OPTIMIZER_H_

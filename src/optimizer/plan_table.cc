@@ -1,0 +1,144 @@
+#include "optimizer/plan_table.h"
+
+#include <algorithm>
+
+#include "cost/cost_model.h"
+
+namespace starburst {
+
+std::string PlanTable::Stats::ToString() const {
+  return "{inserts=" + std::to_string(inserts) +
+         " kept=" + std::to_string(kept) +
+         " pruned=" + std::to_string(pruned_dominated) +
+         " evicted=" + std::to_string(evicted_dominated) +
+         " lookups=" + std::to_string(lookups) +
+         " hits=" + std::to_string(hits) + "}";
+}
+
+namespace {
+// Paths compare structurally (key columns + dynamic flag), not by name:
+// dynamically built indexes get fresh temp names, and a name difference must
+// not shield an otherwise dominated plan from pruning.
+bool SamePathShape(const AccessPath& a, const AccessPath& b) {
+  return a.dynamic == b.dynamic && a.columns == b.columns;
+}
+
+bool PathsCover(const AccessPathList& a, const AccessPathList& b) {
+  for (const AccessPath& pb : b) {
+    bool found = false;
+    for (const AccessPath& pa : a) {
+      if (SamePathShape(pa, pb)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+}  // namespace
+
+bool PlanDominates(const PlanOp& a, const PlanOp& b,
+                   const CostModel& cost_model) {
+  const PropertyVector& pa = a.props;
+  const PropertyVector& pb = b.props;
+  if (cost_model.Total(pa.cost()) > cost_model.Total(pb.cost())) {
+    return false;
+  }
+  // A costlier-but-cheaper-to-rescan plan may still win as a nested-loop
+  // inner, so RESCAN participates in dominance like any other property.
+  if (cost_model.Total(pa.rescan()) > cost_model.Total(pb.rescan())) {
+    return false;
+  }
+  if (pa.site() != pb.site()) return false;
+  if (pa.temp() != pb.temp()) return false;
+  // a's order must satisfy anything b's order satisfies: b.order must be a
+  // prefix of a.order.
+  if (!OrderSatisfies(pa.order(), pb.order())) return false;
+  if (!PathsCover(pa.paths(), pb.paths())) return false;
+  // DBC-registered properties (ids beyond the built-ins) participate too:
+  // `a` must match every extension property `b` carries, or a plan
+  // distinguished only by a new property would be pruned away — defeating
+  // the §5 "just add a property" story.
+  for (const auto& [id, value] : pb.entries()) {
+    if (id < prop::kNumBuiltin) continue;
+    const PropertyValue* av = pa.Find(id);
+    if (av == nullptr || !PropertyValueEquals(*av, value)) return false;
+  }
+  return true;
+}
+
+void PruneDominated(SAP* plans, const CostModel& cost_model) {
+  SAP kept;
+  for (PlanPtr& candidate : *plans) {
+    bool dominated = false;
+    for (const PlanPtr& k : kept) {
+      if (PlanDominates(*k, *candidate, cost_model)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) continue;
+    kept.erase(std::remove_if(kept.begin(), kept.end(),
+                              [&](const PlanPtr& k) {
+                                return PlanDominates(*candidate, *k,
+                                                     cost_model);
+                              }),
+               kept.end());
+    kept.push_back(std::move(candidate));
+  }
+  *plans = std::move(kept);
+}
+
+PlanPtr CheapestPlan(const SAP& plans, const CostModel& cost_model) {
+  PlanPtr best;
+  double best_cost = 0.0;
+  for (const PlanPtr& p : plans) {
+    double c = cost_model.Total(p->props.cost());
+    if (best == nullptr || c < best_cost) {
+      best = p;
+      best_cost = c;
+    }
+  }
+  return best;
+}
+
+bool PlanTable::Insert(QuantifierSet tables, PredSet preds, PlanPtr plan) {
+  ++stats_.inserts;
+  SAP& bucket = buckets_[Key{tables.mask(), preds.mask()}];
+  for (const PlanPtr& kept : bucket) {
+    if (PlanDominates(*kept, *plan, *cost_model_)) {
+      ++stats_.pruned_dominated;
+      return false;
+    }
+  }
+  size_t before = bucket.size();
+  bucket.erase(std::remove_if(bucket.begin(), bucket.end(),
+                              [&](const PlanPtr& kept) {
+                                return PlanDominates(*plan, *kept,
+                                                     *cost_model_);
+                              }),
+               bucket.end());
+  stats_.evicted_dominated += static_cast<int64_t>(before - bucket.size());
+  bucket.push_back(std::move(plan));
+  ++stats_.kept;
+  return true;
+}
+
+const SAP* PlanTable::Lookup(QuantifierSet tables, PredSet preds) {
+  ++stats_.lookups;
+  auto it = buckets_.find(Key{tables.mask(), preds.mask()});
+  if (it == buckets_.end() || it->second.empty()) return nullptr;
+  ++stats_.hits;
+  return &it->second;
+}
+
+int64_t PlanTable::num_plans() const {
+  int64_t n = 0;
+  for (const auto& [key, bucket] : buckets_) {
+    n += static_cast<int64_t>(bucket.size());
+  }
+  return n;
+}
+
+}  // namespace starburst

@@ -1,0 +1,85 @@
+#ifndef STARBURST_OPTIMIZER_PLAN_TABLE_H_
+#define STARBURST_OPTIMIZER_PLAN_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "common/id_set.h"
+#include "star/rule.h"
+
+namespace starburst {
+
+class CostModel;
+
+/// True if `a` is at least as cheap as `b` and at least as good on every
+/// physical property (site equal, temp equal, b's order a prefix of a's,
+/// a's paths covering b's) — then `b` is redundant.
+bool PlanDominates(const PlanOp& a, const PlanOp& b,
+                   const CostModel& cost_model);
+
+/// Removes every plan dominated by another plan in the set.
+void PruneDominated(SAP* plans, const CostModel& cost_model);
+
+/// The plan with the lowest total cost (nullptr for an empty set).
+PlanPtr CheapestPlan(const SAP& plans, const CostModel& cost_model);
+
+/// The optimizer's memo: "a data structure hashed on the tables and
+/// predicates facilitates finding all such plans" (paper §4.4). Each bucket
+/// keeps the Pareto frontier over (total cost; ORDER, SITE, TEMP, PATHS):
+/// a plan is dropped only if some kept plan is no more expensive and at
+/// least as good on every physical property — the System-R "interesting
+/// order" rule generalized to the whole property vector.
+class PlanTable {
+ public:
+  explicit PlanTable(const CostModel* cost_model) : cost_model_(cost_model) {}
+
+  struct Stats {
+    int64_t inserts = 0;
+    int64_t kept = 0;
+    int64_t pruned_dominated = 0;   ///< arrivals dominated by a kept plan
+    int64_t evicted_dominated = 0;  ///< kept plans dominated by an arrival
+    int64_t lookups = 0;
+    int64_t hits = 0;
+
+    std::string ToString() const;
+  };
+
+  /// Adds `plan` under (tables, preds); returns true if it was kept.
+  bool Insert(QuantifierSet tables, PredSet preds, PlanPtr plan);
+
+  /// All kept plans for the key, or nullptr if none.
+  const SAP* Lookup(QuantifierSet tables, PredSet preds);
+
+  /// Number of keys / total plans held.
+  int64_t num_buckets() const {
+    return static_cast<int64_t>(buckets_.size());
+  }
+  int64_t num_plans() const;
+
+  Stats& stats() { return stats_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Key {
+    uint64_t tables;
+    uint64_t preds;
+    bool operator==(const Key& o) const {
+      return tables == o.tables && preds == o.preds;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return std::hash<uint64_t>{}(k.tables * 0x9e3779b97f4a7c15ULL ^
+                                   k.preds);
+    }
+  };
+
+  const CostModel* cost_model_;
+  std::unordered_map<Key, SAP, KeyHash> buckets_;
+  Stats stats_;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_OPTIMIZER_PLAN_TABLE_H_

@@ -1,0 +1,136 @@
+#include "plan/explain.h"
+
+#include "common/strings.h"
+#include "query/query.h"
+
+namespace starburst {
+
+namespace {
+
+std::string ColsToString(const std::vector<ColumnRef>& cols,
+                         const Query& query) {
+  return "{" + StrJoinMapped(cols, ",", [&](ColumnRef c) {
+           return query.ColumnName(c);
+         }) +
+         "}";
+}
+
+std::string PredsToString(PredSet preds, const Query& query) {
+  return "{" + StrJoinMapped(preds.ToVector(), ", ", [&](int id) {
+           return query.predicate(id).ToString(&query);
+         }) +
+         "}";
+}
+
+std::string ArgsSummary(const PlanOp& node, const Query& query) {
+  std::string out;
+  const OpArgs& args = node.args;
+  if (args.Has(arg::kQuantifier)) {
+    int q = static_cast<int>(args.GetInt(arg::kQuantifier));
+    out += " " + query.quantifier(q).alias;
+  }
+  if (args.Has(arg::kIndex)) out += " via " + args.GetString(arg::kIndex);
+  if (args.Has(arg::kTempName)) out += " as " + args.GetString(arg::kTempName);
+  if (args.Has(arg::kCols)) {
+    out += " cols=" + ColsToString(args.GetColumns(arg::kCols), query);
+  }
+  if (args.Has(arg::kOrder)) {
+    out += " order=" + ColsToString(args.GetColumns(arg::kOrder), query);
+  }
+  if (args.Has(arg::kIndexOn)) {
+    out += " index_on=" + ColsToString(args.GetColumns(arg::kIndexOn), query);
+  }
+  if (args.Has(arg::kSite)) {
+    out += " to " +
+           query.catalog().site_name(
+               static_cast<SiteId>(args.GetInt(arg::kSite)));
+  }
+  if (args.Has(arg::kPreds) && !args.GetPreds(arg::kPreds).empty()) {
+    out += " preds=" + PredsToString(args.GetPreds(arg::kPreds), query);
+  }
+  if (args.Has(arg::kJoinPreds)) {
+    out += " on=" + PredsToString(args.GetPreds(arg::kJoinPreds), query);
+  }
+  if (args.Has(arg::kResidualPreds) &&
+      !args.GetPreds(arg::kResidualPreds).empty()) {
+    out += " residual=" +
+           PredsToString(args.GetPreds(arg::kResidualPreds), query);
+  }
+  return out;
+}
+
+std::string PropsSummary(const PlanOp& node, const Query& query) {
+  const PropertyVector& p = node.props;
+  std::string out = "  [card=" + FormatDouble(p.card()) +
+                    " cost=" + FormatDouble(query.catalog().num_sites() > 0
+                                                ? TotalCost(p.cost())
+                                                : 0.0);
+  SortOrder order = p.order();
+  if (!order.empty()) {
+    out += " order=(" + StrJoinMapped(order, ",", [&](ColumnRef c) {
+             return query.ColumnName(c);
+           }) +
+           ")";
+  }
+  if (query.catalog().num_sites() > 1) {
+    out += " site=" + query.catalog().site_name(p.site());
+  }
+  if (p.temp()) out += " temp";
+  return out + "]";
+}
+
+void ExplainRec(const PlanOp& node, const Query& query,
+                const ExplainOptions& options, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += node.Label();
+  if (options.show_args) *out += ArgsSummary(node, query);
+  if (options.show_properties) *out += PropsSummary(node, query);
+  *out += "\n";
+  for (const PlanPtr& in : node.inputs) {
+    ExplainRec(*in, query, options, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string ExplainPlan(const PlanOp& root, const Query& query,
+                        const ExplainOptions& options) {
+  std::string out;
+  ExplainRec(root, query, options, 0, &out);
+  return out;
+}
+
+std::string PlanSignature(const PlanOp& root) {
+  std::string out = root.Label();
+  if (root.args.Has(arg::kQuantifier)) {
+    out += "#q" + std::to_string(root.args.GetInt(arg::kQuantifier));
+  }
+  if (root.args.Has(arg::kPreds)) {
+    out += "#p" + std::to_string(root.args.GetPreds(arg::kPreds).mask());
+  }
+  if (root.args.Has(arg::kJoinPreds)) {
+    out += "#j" + std::to_string(root.args.GetPreds(arg::kJoinPreds).mask());
+  }
+  if (root.args.Has(arg::kOrder)) {
+    out += "#o" + StrJoinMapped(root.args.GetColumns(arg::kOrder), ".",
+                                [](ColumnRef c) {
+                                  return std::to_string(c.quantifier) + "_" +
+                                         std::to_string(c.column);
+                                });
+  }
+  if (root.args.Has(arg::kSite)) {
+    out += "#s" + std::to_string(root.args.GetInt(arg::kSite));
+  }
+  if (root.args.Has(arg::kIndex)) out += "#i" + root.args.GetString(arg::kIndex);
+  if (root.inputs.empty()) return out;
+  out += "(";
+  bool first = true;
+  for (const PlanPtr& in : root.inputs) {
+    if (!first) out += ",";
+    first = false;
+    out += PlanSignature(*in);
+  }
+  return out + ")";
+}
+
+}  // namespace starburst

@@ -1,0 +1,34 @@
+#ifndef STARBURST_PLAN_EXPLAIN_H_
+#define STARBURST_PLAN_EXPLAIN_H_
+
+#include <string>
+
+#include "plan/plan.h"
+
+namespace starburst {
+
+class Query;
+
+struct ExplainOptions {
+  bool show_properties = true;  ///< append [ORDER=... SITE=... CARD=... COST]
+  bool show_args = true;        ///< append cols/preds/order arguments
+};
+
+/// Renders a plan DAG as an indented tree, e.g. (Figure 1's plan):
+///
+///   JOIN(MG) pred={DEPT.DNO = EMP.DNO} [CARD=... COST=...]
+///     SORT order=(DEPT.DNO)
+///       ACCESS(heap) DEPT cols={DNO,MGR} preds={DEPT.MGR = 'Haas'}
+///     GET EMP cols={NAME,ADDRESS}
+///       ACCESS(index) EMP_DNO_IX cols={DNO,TID}
+std::string ExplainPlan(const PlanOp& root, const Query& query,
+                        const ExplainOptions& options = ExplainOptions{});
+
+/// One-line structural signature, e.g.
+/// "JOIN(MG)(SORT(ACCESS(heap)),GET(ACCESS(index)))" — used by tests and by
+/// the baseline optimizer's duplicate detection.
+std::string PlanSignature(const PlanOp& root);
+
+}  // namespace starburst
+
+#endif  // STARBURST_PLAN_EXPLAIN_H_

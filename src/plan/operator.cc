@@ -1,0 +1,37 @@
+#include "plan/operator.h"
+
+namespace starburst {
+
+Status OperatorRegistry::Register(OperatorDef def) {
+  if (def.name.empty()) {
+    return Status::InvalidArgument("operator name must be non-empty");
+  }
+  if (!def.property_fn) {
+    return Status::InvalidArgument("operator '" + def.name +
+                                   "' needs a property function");
+  }
+  if (ops_.count(def.name)) {
+    return Status::AlreadyExists("operator '" + def.name +
+                                 "' already registered");
+  }
+  ops_.emplace(def.name, std::move(def));
+  return Status::OK();
+}
+
+Result<const OperatorDef*> OperatorRegistry::Find(
+    const std::string& name) const {
+  auto it = ops_.find(name);
+  if (it == ops_.end()) {
+    return Status::NotFound("no operator named '" + name + "'");
+  }
+  return &it->second;
+}
+
+std::vector<std::string> OperatorRegistry::Names() const {
+  std::vector<std::string> out;
+  out.reserve(ops_.size());
+  for (const auto& [name, def] : ops_) out.push_back(name);
+  return out;
+}
+
+}  // namespace starburst

@@ -1,0 +1,172 @@
+#ifndef STARBURST_PLAN_OPERATOR_H_
+#define STARBURST_PLAN_OPERATOR_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/id_set.h"
+#include "common/status.h"
+#include "properties/property.h"
+#include "query/expr.h"
+
+namespace starburst {
+
+class Query;
+class CostModel;
+
+/// Named arguments of a LOLEPOP reference (paper §2.1: "a LOLEPOP may have
+/// other parameters that control its operation"). A small typed bag keyed by
+/// argument name so new operators can define new argument conventions
+/// without changing this layer.
+class OpArgs {
+ public:
+  using ArgValue = std::variant<std::monostate, bool, int64_t, double,
+                                std::string, ColumnRef, std::vector<ColumnRef>,
+                                ColumnSet, PredSet, QuantifierSet>;
+
+  OpArgs& Set(const std::string& name, ArgValue value) {
+    values_[name] = std::move(value);
+    return *this;
+  }
+
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+
+  template <typename T>
+  const T* Get(const std::string& name) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return nullptr;
+    return std::get_if<T>(&it->second);
+  }
+
+  int64_t GetInt(const std::string& name, int64_t fallback = 0) const {
+    const int64_t* v = Get<int64_t>(name);
+    return v != nullptr ? *v : fallback;
+  }
+  bool GetBool(const std::string& name, bool fallback = false) const {
+    const bool* v = Get<bool>(name);
+    return v != nullptr ? *v : fallback;
+  }
+  std::string GetString(const std::string& name) const {
+    const std::string* v = Get<std::string>(name);
+    return v != nullptr ? *v : std::string();
+  }
+  std::vector<ColumnRef> GetColumns(const std::string& name) const {
+    const std::vector<ColumnRef>* v = Get<std::vector<ColumnRef>>(name);
+    return v != nullptr ? *v : std::vector<ColumnRef>();
+  }
+  PredSet GetPreds(const std::string& name) const {
+    const PredSet* v = Get<PredSet>(name);
+    return v != nullptr ? *v : PredSet();
+  }
+
+  const std::map<std::string, ArgValue>& values() const { return values_; }
+
+ private:
+  std::map<std::string, ArgValue> values_;
+};
+
+/// Conventional argument names used by the built-in LOLEPOPs.
+namespace arg {
+inline constexpr const char* kQuantifier = "quantifier";  // int64
+inline constexpr const char* kTable = "table";            // int64 TableId
+inline constexpr const char* kIndex = "index";            // string index name
+inline constexpr const char* kCols = "cols";              // vector<ColumnRef>
+inline constexpr const char* kPreds = "preds";            // PredSet
+inline constexpr const char* kOrder = "order";            // vector<ColumnRef>
+inline constexpr const char* kSite = "site";              // int64 SiteId
+inline constexpr const char* kTempName = "temp_name";     // string
+inline constexpr const char* kIndexOn = "index_on";       // vector<ColumnRef>
+inline constexpr const char* kJoinPreds = "join_preds";   // PredSet
+inline constexpr const char* kResidualPreds = "residual_preds";  // PredSet
+inline constexpr const char* kDistinct = "distinct";      // bool (PROJECT)
+}  // namespace arg
+
+struct PlanOp;
+using PlanPtr = std::shared_ptr<const PlanOp>;
+
+/// Everything a property function may consult: the reference's arguments and
+/// the property vectors of any plan-valued inputs (paper §3.1: "Each property
+/// function is passed the arguments of the LOLEPOP, including the property
+/// vector for arguments that are ... plans, and returns the revised property
+/// vector").
+struct OpContext {
+  const Query& query;
+  const CostModel& cost_model;
+  const std::string& flavor;
+  const OpArgs& args;
+  std::vector<const PropertyVector*> inputs;
+};
+
+using PropertyFn = std::function<Result<PropertyVector>(const OpContext&)>;
+
+/// Definition of one LOLEPOP kind. Adding an operator (paper §5) means
+/// registering one of these (property function) plus an executor in
+/// exec/ExecutorRegistry (run-time routine).
+struct OperatorDef {
+  std::string name;
+  int min_inputs = 0;
+  int max_inputs = 2;
+  /// Allowed flavors; empty means "any" (flavor-less operators pass "").
+  std::vector<std::string> flavors;
+  PropertyFn property_fn;
+};
+
+/// Registry of LOLEPOPs. A fresh registry contains no operators;
+/// `RegisterBuiltinOperators` (properties/property_functions.h) installs the
+/// paper's set.
+class OperatorRegistry {
+ public:
+  Status Register(OperatorDef def);
+  Result<const OperatorDef*> Find(const std::string& name) const;
+  std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, OperatorDef> ops_;
+};
+
+/// Conventional operator names used by the built-in rule set.
+namespace op {
+inline constexpr const char* kAccess = "ACCESS";
+inline constexpr const char* kGet = "GET";
+inline constexpr const char* kSort = "SORT";
+inline constexpr const char* kShip = "SHIP";
+inline constexpr const char* kStore = "STORE";
+inline constexpr const char* kJoin = "JOIN";
+inline constexpr const char* kFilter = "FILTER";
+/// Intersects two TID streams over the same table — the paper's omitted
+/// "ANDing ... of multiple indexes for a single table" STAR (§4).
+inline constexpr const char* kTidAnd = "TIDAND";
+/// Projects a stream to a column subset, optionally deduplicating — the
+/// building block of semijoin reductions (paper §4: "filtration methods").
+inline constexpr const char* kProject = "PROJECT";
+/// Reduces a probe stream by membership of its join-column values in a
+/// shipped filter stream: flavor "exact" is the semijoin [BERN 81], flavor
+/// "bloom" the Bloomjoin [BABB 79, MACK 86] (costed with a false-positive
+/// allowance; executed exactly).
+inline constexpr const char* kFilterBy = "FILTERBY";
+}  // namespace op
+
+/// Conventional flavors.
+namespace flavor {
+// ACCESS flavors (paper §4.5.2 TableAccess + §2.1 index accesses).
+inline constexpr const char* kHeap = "heap";
+inline constexpr const char* kBTree = "btree";
+inline constexpr const char* kIndex = "index";
+inline constexpr const char* kTemp = "temp";
+inline constexpr const char* kTempIndex = "temp-index";
+// JOIN flavors (§4.4, §4.5.1).
+inline constexpr const char* kNL = "NL";
+inline constexpr const char* kMG = "MG";
+inline constexpr const char* kHA = "HA";
+// FILTERBY flavors.
+inline constexpr const char* kExact = "exact";
+inline constexpr const char* kBloom = "bloom";
+}  // namespace flavor
+
+}  // namespace starburst
+
+#endif  // STARBURST_PLAN_OPERATOR_H_

@@ -1,0 +1,64 @@
+#include "plan/plan.h"
+
+#include <algorithm>
+#include <set>
+
+namespace starburst {
+
+namespace {
+void CountNodesRec(const PlanOp* node, std::set<const PlanOp*>* seen) {
+  if (!seen->insert(node).second) return;
+  for (const PlanPtr& in : node->inputs) CountNodesRec(in.get(), seen);
+}
+}  // namespace
+
+int PlanOp::CountNodes() const {
+  std::set<const PlanOp*> seen;
+  CountNodesRec(this, &seen);
+  return static_cast<int>(seen.size());
+}
+
+Result<PlanPtr> PlanFactory::Make(const std::string& op_name,
+                                  std::string flavor,
+                                  std::vector<PlanPtr> inputs,
+                                  OpArgs args) const {
+  auto def = registry_.Find(op_name);
+  if (!def.ok()) return def.status();
+  const OperatorDef* op = def.value();
+
+  int n = static_cast<int>(inputs.size());
+  if (n < op->min_inputs || n > op->max_inputs) {
+    return Status::InvalidArgument(
+        op->name + " takes " + std::to_string(op->min_inputs) + ".." +
+        std::to_string(op->max_inputs) + " inputs, got " + std::to_string(n));
+  }
+  if (!op->flavors.empty() &&
+      std::find(op->flavors.begin(), op->flavors.end(), flavor) ==
+          op->flavors.end()) {
+    return Status::InvalidArgument("unknown flavor '" + flavor + "' of " +
+                                   op->name);
+  }
+  for (const PlanPtr& in : inputs) {
+    if (in == nullptr) {
+      return Status::InvalidArgument(op->name + " got a null input plan");
+    }
+  }
+
+  OpContext ctx{query_, cost_model_, flavor, args, {}};
+  ctx.inputs.reserve(inputs.size());
+  for (const PlanPtr& in : inputs) ctx.inputs.push_back(&in->props);
+
+  auto props = op->property_fn(ctx);
+  if (!props.ok()) return props.status();
+
+  auto node = std::make_shared<PlanOp>();
+  node->op = op;
+  node->flavor = std::move(flavor);
+  node->inputs = std::move(inputs);
+  node->args = std::move(args);
+  node->props = std::move(props).value();
+  ++nodes_created_;
+  return PlanPtr(std::move(node));
+}
+
+}  // namespace starburst

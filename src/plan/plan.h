@@ -1,0 +1,66 @@
+#ifndef STARBURST_PLAN_PLAN_H_
+#define STARBURST_PLAN_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "plan/operator.h"
+
+namespace starburst {
+
+/// One node of a query evaluation plan (QEP, paper §2.1): a LOLEPOP
+/// reference with its flavor, arguments, input plans, and the property
+/// vector computed by the operator's property function at construction.
+/// Nodes are immutable and shared — alternative plans reuse common subplans
+/// ("Alternative plans may incorporate the same plan fragment", §1).
+struct PlanOp {
+  const OperatorDef* op = nullptr;
+  std::string flavor;
+  std::vector<PlanPtr> inputs;
+  OpArgs args;
+  PropertyVector props;
+
+  const std::string& name() const { return op->name; }
+
+  /// "JOIN(MG)" / "ACCESS(index)" / "SORT".
+  std::string Label() const {
+    return flavor.empty() ? op->name : op->name + "(" + flavor + ")";
+  }
+
+  /// Total number of nodes in the DAG, counting shared nodes once.
+  int CountNodes() const;
+};
+
+/// Builds plan nodes: looks up the operator, validates arity/flavor, runs
+/// the property function, and returns the immutable node. The factory is the
+/// single place plans come to life — the STAR engine, Glue, and the baseline
+/// optimizer all construct through it, so every plan always carries a
+/// consistent property vector.
+class PlanFactory {
+ public:
+  PlanFactory(const Query& query, const CostModel& cost_model,
+              const OperatorRegistry& registry)
+      : query_(query), cost_model_(cost_model), registry_(registry) {}
+
+  Result<PlanPtr> Make(const std::string& op_name, std::string flavor,
+                       std::vector<PlanPtr> inputs, OpArgs args) const;
+
+  const Query& query() const { return query_; }
+  const CostModel& cost_model() const { return cost_model_; }
+  const OperatorRegistry& registry() const { return registry_; }
+
+  /// Number of plan nodes constructed through this factory (optimizer
+  /// effort metric used by the benchmarks).
+  int64_t nodes_created() const { return nodes_created_; }
+
+ private:
+  const Query& query_;
+  const CostModel& cost_model_;
+  const OperatorRegistry& registry_;
+  mutable int64_t nodes_created_ = 0;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_PLAN_PLAN_H_

@@ -1,0 +1,52 @@
+#include "plan/validate.h"
+
+#include "query/query.h"
+
+namespace starburst {
+
+namespace {
+
+Status Check(const PlanOp& node, const Query& query, QuantifierSet bound) {
+  QuantifierSet in_scope = bound.Union(node.props.tables());
+  for (const char* name :
+       {arg::kPreds, arg::kJoinPreds, arg::kResidualPreds}) {
+    if (!node.args.Has(name)) continue;
+    for (int id : node.args.GetPreds(name).ToVector()) {
+      const Predicate& p = query.predicate(id);
+      if (!in_scope.ContainsAll(p.quantifiers)) {
+        return Status::InvalidArgument(
+            node.Label() + " evaluates predicate '" + p.ToString(&query) +
+            "' referencing tables outside its scope " + in_scope.ToString());
+      }
+    }
+  }
+  if (node.name() == op::kJoin && node.inputs.size() == 2) {
+    // The outer stream sees only the enclosing bindings; the inner stream
+    // additionally sees the outer's tables (§4.4 sideways information
+    // passing).
+    STARBURST_RETURN_NOT_OK(Check(*node.inputs[0], query, bound));
+    return Check(*node.inputs[1], query,
+                 bound.Union(node.inputs[0]->props.tables()));
+  }
+  for (const PlanPtr& in : node.inputs) {
+    STARBURST_RETURN_NOT_OK(Check(*in, query, bound));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ValidatePlan(const PlanOp& root, const Query& query) {
+  // A complete plan must be self-contained at the top: every predicate it
+  // claims to have applied is over tables it produces.
+  for (int id : root.props.preds().ToVector()) {
+    if (!root.props.tables().ContainsAll(query.predicate(id).quantifiers)) {
+      return Status::InvalidArgument(
+          "plan applies predicate '" + query.predicate(id).ToString(&query) +
+          "' over tables it does not produce");
+    }
+  }
+  return Check(root, query, QuantifierSet{});
+}
+
+}  // namespace starburst

@@ -1,0 +1,25 @@
+#ifndef STARBURST_PLAN_VALIDATE_H_
+#define STARBURST_PLAN_VALIDATE_H_
+
+#include "plan/plan.h"
+
+namespace starburst {
+
+class Query;
+
+/// Checks that a plan is *well-formed* in the sense of Rosenthal & Helman
+/// [ROSE 87] (paper §6): every predicate evaluated by every node references
+/// only columns that are in scope there — the node's own tables plus the
+/// outer bindings of enclosing nested-loop joins (sideways information
+/// passing binds the OUTER side only; a predicate in an outer subtree that
+/// references the inner's tables can never be evaluated).
+///
+/// The STAR engine produces well-formed plans by construction (Glue pushes
+/// correlated predicates only into inner streams); the transformational
+/// baseline must check this after every rewrite — one more per-plan cost of
+/// that architecture.
+Status ValidatePlan(const PlanOp& root, const Query& query);
+
+}  // namespace starburst
+
+#endif  // STARBURST_PLAN_VALIDATE_H_

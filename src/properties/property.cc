@@ -1,0 +1,188 @@
+#include "properties/property.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "query/query.h"
+
+namespace starburst {
+
+bool OrderSatisfies(const SortOrder& available, const SortOrder& required) {
+  if (required.size() > available.size()) return false;
+  return std::equal(required.begin(), required.end(), available.begin());
+}
+
+std::string AccessPath::ToString(const Query* query) const {
+  std::string cols = StrJoinMapped(columns, ",", [query](ColumnRef c) {
+    return query != nullptr ? query->ColumnName(c)
+                            : "q" + std::to_string(c.quantifier) + ".c" +
+                                  std::to_string(c.column);
+  });
+  return name + "(" + cols + ")" + (dynamic ? "*" : "");
+}
+
+std::string Cost::ToString() const {
+  return "{io=" + FormatDouble(io) + " cpu=" + FormatDouble(cpu) +
+         " comm=" + FormatDouble(comm) + "}";
+}
+
+bool PropertyValueEquals(const PropertyValue& a, const PropertyValue& b) {
+  return a == b;
+}
+
+std::string PropertyValueToString(const PropertyValue& v, const Query* query) {
+  struct Visitor {
+    const Query* query;
+    std::string operator()(std::monostate) const { return "unset"; }
+    std::string operator()(bool b) const { return b ? "true" : "false"; }
+    std::string operator()(int64_t i) const { return std::to_string(i); }
+    std::string operator()(double d) const { return FormatDouble(d); }
+    std::string operator()(const QuantifierSet& s) const {
+      return s.ToString();
+    }
+    std::string operator()(const PredSet& s) const { return s.ToString(); }
+    std::string operator()(const ColumnSet& s) const {
+      return "{" + StrJoinMapped(s, ",", [this](ColumnRef c) {
+               return query != nullptr
+                          ? query->ColumnName(c)
+                          : "q" + std::to_string(c.quantifier) + ".c" +
+                                std::to_string(c.column);
+             }) +
+             "}";
+    }
+    std::string operator()(const SortOrder& o) const {
+      if (o.empty()) return "unknown";
+      return "(" + StrJoinMapped(o, ",", [this](ColumnRef c) {
+               return query != nullptr
+                          ? query->ColumnName(c)
+                          : "q" + std::to_string(c.quantifier) + ".c" +
+                                std::to_string(c.column);
+             }) +
+             ")";
+    }
+    std::string operator()(const AccessPathList& l) const {
+      return "{" + StrJoinMapped(l, ",", [this](const AccessPath& p) {
+               return p.ToString(query);
+             }) +
+             "}";
+    }
+    std::string operator()(const Cost& c) const { return c.ToString(); }
+    std::string operator()(const std::string& s) const { return s; }
+  };
+  return std::visit(Visitor{query}, v);
+}
+
+void PropertyVector::Set(PropertyId id, PropertyValue value) {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), id,
+      [](const auto& e, PropertyId key) { return e.first < key; });
+  if (it != entries_.end() && it->first == id) {
+    it->second = std::move(value);
+  } else {
+    entries_.insert(it, {id, std::move(value)});
+  }
+}
+
+const PropertyValue* PropertyVector::Find(PropertyId id) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), id,
+      [](const auto& e, PropertyId key) { return e.first < key; });
+  if (it != entries_.end() && it->first == id) return &it->second;
+  return nullptr;
+}
+
+namespace {
+template <typename T>
+T GetOr(const PropertyVector& pv, PropertyId id, T fallback) {
+  const PropertyValue* v = pv.Find(id);
+  if (v == nullptr) return fallback;
+  if (const T* t = std::get_if<T>(v)) return *t;
+  return fallback;
+}
+}  // namespace
+
+QuantifierSet PropertyVector::tables() const {
+  return GetOr(*this, prop::kTables, QuantifierSet{});
+}
+ColumnSet PropertyVector::cols() const {
+  return GetOr(*this, prop::kCols, ColumnSet{});
+}
+PredSet PropertyVector::preds() const {
+  return GetOr(*this, prop::kPreds, PredSet{});
+}
+SortOrder PropertyVector::order() const {
+  return GetOr(*this, prop::kOrder, SortOrder{});
+}
+SiteId PropertyVector::site() const {
+  return static_cast<SiteId>(GetOr(*this, prop::kSite, int64_t{0}));
+}
+bool PropertyVector::temp() const { return GetOr(*this, prop::kTemp, false); }
+AccessPathList PropertyVector::paths() const {
+  return GetOr(*this, prop::kPaths, AccessPathList{});
+}
+double PropertyVector::card() const {
+  return GetOr(*this, prop::kCard, 0.0);
+}
+Cost PropertyVector::cost() const { return GetOr(*this, prop::kCost, Cost{}); }
+Cost PropertyVector::rescan() const {
+  return GetOr(*this, prop::kRescan, Cost{});
+}
+
+std::string PropertyVector::ToString(const Query* query) const {
+  static const char* kBuiltinNames[] = {"TABLES", "COLS", "PREDS",  "ORDER",
+                                        "SITE",   "TEMP", "PATHS",  "CARD",
+                                        "COST",   "RESCAN"};
+  std::string out = "[";
+  bool first = true;
+  for (const auto& [id, value] : entries_) {
+    if (!first) out += " ";
+    first = false;
+    std::string name = id < prop::kNumBuiltin ? kBuiltinNames[id]
+                                              : "P" + std::to_string(id);
+    if (id == prop::kSite && query != nullptr) {
+      out += name + "=" +
+             query->catalog().site_name(
+                 static_cast<SiteId>(std::get<int64_t>(value)));
+      continue;
+    }
+    out += name + "=" + PropertyValueToString(value, query);
+  }
+  return out + "]";
+}
+
+PropertyRegistry::PropertyRegistry() {
+  static const std::pair<const char*, PropertyValue> kBuiltins[] = {
+      {"TABLES", QuantifierSet{}}, {"COLS", ColumnSet{}},
+      {"PREDS", PredSet{}},        {"ORDER", SortOrder{}},
+      {"SITE", int64_t{0}},        {"TEMP", false},
+      {"PATHS", AccessPathList{}}, {"CARD", 0.0},
+      {"COST", Cost{}},            {"RESCAN", Cost{}},
+  };
+  for (const auto& [name, def] : kBuiltins) {
+    names_.push_back(name);
+    defaults_.push_back(def);
+    by_name_[name] = static_cast<PropertyId>(names_.size()) - 1;
+  }
+}
+
+Result<PropertyId> PropertyRegistry::Register(const std::string& name,
+                                              PropertyValue default_value) {
+  if (by_name_.count(name)) {
+    return Status::AlreadyExists("property '" + name + "' already registered");
+  }
+  names_.push_back(name);
+  defaults_.push_back(std::move(default_value));
+  PropertyId id = static_cast<PropertyId>(names_.size()) - 1;
+  by_name_[name] = id;
+  return id;
+}
+
+Result<PropertyId> PropertyRegistry::Find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no property named '" + name + "'");
+  }
+  return it->second;
+}
+
+}  // namespace starburst

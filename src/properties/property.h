@@ -1,0 +1,152 @@
+#ifndef STARBURST_PROPERTIES_PROPERTY_H_
+#define STARBURST_PROPERTIES_PROPERTY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/id_set.h"
+#include "common/status.h"
+#include "cost/cost.h"
+#include "query/expr.h"
+
+namespace starburst {
+
+class Query;
+
+/// Identifier of a property in the property vector. The nine properties from
+/// the paper's Figure 2 are built in; a Database Customizer can register more
+/// (paper §5), and unregistered operators leave them unchanged by default.
+using PropertyId = int;
+
+namespace prop {
+// Relational ("WHAT").
+inline constexpr PropertyId kTables = 0;  ///< QuantifierSet accessed
+inline constexpr PropertyId kCols = 1;    ///< ColumnSet accessed
+inline constexpr PropertyId kPreds = 2;   ///< PredSet applied
+// Physical ("HOW").
+inline constexpr PropertyId kOrder = 3;  ///< SortOrder of the tuples
+inline constexpr PropertyId kSite = 4;   ///< SiteId tuples are delivered to
+inline constexpr PropertyId kTemp = 5;   ///< bool: materialized in a temp
+inline constexpr PropertyId kPaths = 6;  ///< AccessPathList available
+// Estimated ("HOW MUCH").
+inline constexpr PropertyId kCard = 7;  ///< double: estimated tuples
+inline constexpr PropertyId kCost = 8;  ///< Cost: estimated resources
+/// Estimated cost of re-evaluating the stream once more (what a nested-loop
+/// outer tuple pays to rescan the inner). Not in the paper's Figure 2 —
+/// that list is explicitly "example properties" — but the NL cost equations
+/// of [MACK 86] need it, and carrying it in the vector exercises the
+/// paper's "just add a property" extensibility (§5).
+inline constexpr PropertyId kRescan = 9;  ///< Cost
+
+inline constexpr PropertyId kNumBuiltin = 10;
+}  // namespace prop
+
+/// Tuple ordering: the ordered list of columns the stream is sorted by
+/// (paper Figure 2). Empty = unknown order.
+using SortOrder = std::vector<ColumnRef>;
+
+/// True if `required` is a prefix of `available` — the paper's
+/// "order ⊑ a" test (§2.1).
+bool OrderSatisfies(const SortOrder& available, const SortOrder& required);
+
+/// One available access path on a (set of) tables: an ordered list of key
+/// columns, per Figure 2. Paths come from catalog indexes, B-tree clustering,
+/// or dynamically created indexes on temps (§4.5.3).
+struct AccessPath {
+  std::string name;          ///< index name, or "<btree>"/"<dynamic>"
+  std::vector<ColumnRef> columns;
+  bool dynamic = false;      ///< created by Glue on a temp
+
+  bool operator==(const AccessPath& o) const {
+    return name == o.name && columns == o.columns && dynamic == o.dynamic;
+  }
+  std::string ToString(const Query* query = nullptr) const;
+};
+
+using AccessPathList = std::vector<AccessPath>;
+
+/// The value of one property. `monostate` means "unset" (defaults apply).
+using PropertyValue =
+    std::variant<std::monostate, bool, int64_t, double, QuantifierSet, PredSet,
+                 ColumnSet, SortOrder, AccessPathList, Cost, std::string>;
+
+bool PropertyValueEquals(const PropertyValue& a, const PropertyValue& b);
+std::string PropertyValueToString(const PropertyValue& v,
+                                  const Query* query = nullptr);
+
+/// The per-plan property vector (paper §3.1): a self-defining record with a
+/// variable number of fields. Implemented as a sorted sparse association
+/// list; absent fields read as the registered default, so adding a new
+/// property never perturbs existing property functions (§5).
+class PropertyVector {
+ public:
+  PropertyVector() = default;
+
+  void Set(PropertyId id, PropertyValue value);
+  const PropertyValue* Find(PropertyId id) const;
+  bool Has(PropertyId id) const { return Find(id) != nullptr; }
+
+  // Typed accessors for the built-in properties. Absent -> zero value.
+  QuantifierSet tables() const;
+  ColumnSet cols() const;
+  PredSet preds() const;
+  SortOrder order() const;
+  SiteId site() const;
+  bool temp() const;
+  AccessPathList paths() const;
+  double card() const;
+  Cost cost() const;
+  Cost rescan() const;
+
+  void set_tables(QuantifierSet v) { Set(prop::kTables, v); }
+  void set_cols(ColumnSet v) { Set(prop::kCols, std::move(v)); }
+  void set_preds(PredSet v) { Set(prop::kPreds, v); }
+  void set_order(SortOrder v) { Set(prop::kOrder, std::move(v)); }
+  void set_site(SiteId v) { Set(prop::kSite, static_cast<int64_t>(v)); }
+  void set_temp(bool v) { Set(prop::kTemp, v); }
+  void set_paths(AccessPathList v) { Set(prop::kPaths, std::move(v)); }
+  void set_card(double v) { Set(prop::kCard, v); }
+  void set_cost(Cost v) { Set(prop::kCost, v); }
+  void set_rescan(Cost v) { Set(prop::kRescan, v); }
+
+  /// Fields present, in id order.
+  const std::vector<std::pair<PropertyId, PropertyValue>>& entries() const {
+    return entries_;
+  }
+
+  std::string ToString(const Query* query = nullptr) const;
+
+ private:
+  std::vector<std::pair<PropertyId, PropertyValue>> entries_;
+};
+
+/// Registry of known properties: id, name, and default value. The nine
+/// built-ins are pre-registered; `Register` adds DBC extensions.
+class PropertyRegistry {
+ public:
+  PropertyRegistry();
+
+  /// Registers a new property and returns its id.
+  Result<PropertyId> Register(const std::string& name,
+                              PropertyValue default_value);
+
+  Result<PropertyId> Find(const std::string& name) const;
+  const std::string& name(PropertyId id) const { return names_[id]; }
+  const PropertyValue& default_value(PropertyId id) const {
+    return defaults_[id];
+  }
+  int size() const { return static_cast<int>(names_.size()); }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<PropertyValue> defaults_;
+  std::map<std::string, PropertyId> by_name_;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_PROPERTIES_PROPERTY_H_

@@ -1,0 +1,821 @@
+#include "properties/property_functions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cost/cost_model.h"
+#include "cost/selectivity.h"
+#include "query/query.h"
+
+namespace starburst {
+
+namespace {
+
+/// True if `e` is a bare reference to column `c`.
+bool IsColumn(const ExprPtr& e, ColumnRef c) {
+  return e->IsBareColumn() && e->column() == c;
+}
+
+/// Predicates in `preds` that reference column `c` on one side with the
+/// other side free of quantifier `q` (so the index key can be probed with a
+/// value computable before scanning `q`). Returns (eq_preds, range_preds).
+std::pair<PredSet, PredSet> KeyColumnPreds(const Query& query, int q,
+                                           ColumnRef c, PredSet preds) {
+  PredSet eq, range;
+  for (int id : preds.ToVector()) {
+    const Predicate& p = query.predicate(id);
+    const ExprPtr* other = nullptr;
+    if (IsColumn(p.lhs, c)) {
+      other = &p.rhs;
+    } else if (IsColumn(p.rhs, c)) {
+      other = &p.lhs;
+    } else {
+      continue;
+    }
+    // Other side must not reference q itself (e.g. EMP.A = EMP.B cannot be
+    // applied as an index key probe).
+    bool refs_q = false;
+    for (const ColumnRef& oc : (*other)->Columns()) {
+      if (oc.quantifier == q) refs_q = true;
+    }
+    if (refs_q) continue;
+    if (p.op == CompareOp::kEq) {
+      eq.Insert(id);
+    } else if (p.op != CompareOp::kNe) {
+      range.Insert(id);
+    }
+  }
+  return {eq, range};
+}
+
+}  // namespace
+
+ColumnSet ToColumnSet(const std::vector<ColumnRef>& cols) {
+  return ColumnSet(cols.begin(), cols.end());
+}
+
+AccessPathList BaseTablePaths(const Query& query, int q) {
+  AccessPathList out;
+  const TableDef& table = query.table_of(q);
+  auto refs = [q](const std::vector<int>& ordinals) {
+    std::vector<ColumnRef> cols;
+    cols.reserve(ordinals.size());
+    for (int ord : ordinals) cols.push_back(ColumnRef{q, ord});
+    return cols;
+  };
+  if (table.storage == StorageKind::kBTree) {
+    AccessPath p;
+    p.name = "<btree:" + table.name + ">";
+    p.columns = refs(table.btree_key);
+    out.push_back(std::move(p));
+  }
+  for (const IndexDef& ix : table.indexes) {
+    AccessPath p;
+    p.name = ix.name;
+    p.columns = refs(ix.key_columns);
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+PredSet IndexEligiblePreds(const Query& query, int q,
+                           const std::vector<ColumnRef>& key_columns,
+                           PredSet candidates) {
+  PredSet out;
+  for (const ColumnRef& key : key_columns) {
+    auto [eq, range] = KeyColumnPreds(query, q, key, candidates);
+    out = out.Union(eq);
+    if (eq.empty()) {
+      // No equality on this prefix column: at most a trailing range applies,
+      // then the prefix stops.
+      out = out.Union(range);
+      break;
+    }
+  }
+  return out;
+}
+
+bool PathSatisfiesOrder(const AccessPath& path, const SortOrder& required) {
+  return OrderSatisfies(path.columns, required);
+}
+
+namespace {
+
+// --------------------------------------------------------------------------
+// ACCESS
+// --------------------------------------------------------------------------
+
+Result<PropertyVector> AccessProperties(const OpContext& ctx) {
+  const Query& query = ctx.query;
+  const CostModel& cm = ctx.cost_model;
+  PropertyVector out;
+
+  if (ctx.flavor == flavor::kTemp || ctx.flavor == flavor::kTempIndex) {
+    if (ctx.inputs.size() != 1) {
+      return Status::InvalidArgument("temp ACCESS needs a stored input");
+    }
+    const PropertyVector& in = *ctx.inputs[0];
+    if (!in.temp()) {
+      return Status::InvalidArgument("temp ACCESS over a non-temp input");
+    }
+    PredSet preds = ctx.args.GetPreds(arg::kPreds);
+    PredSet all_preds = in.preds().Union(preds);
+    double sel = CombinedSelectivity(query, preds, in.preds());
+    double card = in.card() * sel;
+    double width = cm.RowWidth(query, in.cols());
+
+    out.set_tables(in.tables());
+    out.set_cols(in.cols());
+    out.set_preds(all_preds);
+    out.set_site(in.site());
+    out.set_temp(true);
+    out.set_paths(in.paths());
+    out.set_card(card);
+    if (ctx.flavor == flavor::kTempIndex) {
+      // Probe the dynamic index built by STORE.
+      AccessPathList paths = in.paths();
+      const AccessPath* dyn = nullptr;
+      for (const AccessPath& p : paths) {
+        if (p.dynamic) dyn = &p;
+      }
+      if (dyn == nullptr) {
+        return Status::InvalidArgument(
+            "temp-index ACCESS needs a dynamic path on its input");
+      }
+      Cost probe = cm.IndexProbeCost(in.card(), card);
+      probe += cm.PredicateCost(card, preds.size());
+      out.set_order(dyn->columns);
+      out.set_cost(in.cost() + probe);
+      out.set_rescan(probe);
+    } else {
+      Cost scan = cm.TempScanCost(in.card(), width);
+      scan += cm.PredicateCost(in.card(), preds.size());
+      out.set_order(in.order());
+      out.set_cost(in.cost() + scan);
+      out.set_rescan(scan);
+    }
+    return out;
+  }
+
+  // Base-table flavors.
+  if (!ctx.inputs.empty()) {
+    return Status::InvalidArgument("base ACCESS takes no plan inputs");
+  }
+  int q = static_cast<int>(ctx.args.GetInt(arg::kQuantifier, -1));
+  if (q < 0 || q >= query.num_quantifiers()) {
+    return Status::InvalidArgument("ACCESS needs a valid quantifier arg");
+  }
+  const TableDef& table = query.table_of(q);
+  std::vector<ColumnRef> cols = ctx.args.GetColumns(arg::kCols);
+  PredSet preds = ctx.args.GetPreds(arg::kPreds);
+  double sel = CombinedSelectivity(query, preds);
+  double card = table.row_count * sel;
+
+  out.set_tables(QuantifierSet::Single(q));
+  out.set_cols(ToColumnSet(cols));
+  out.set_preds(preds);
+  out.set_site(static_cast<SiteId>(table.site));
+  out.set_temp(false);
+  out.set_paths(BaseTablePaths(query, q));
+  out.set_card(card);
+
+  auto key_refs = [&](const std::vector<int>& ordinals) {
+    std::vector<ColumnRef> refs;
+    for (int ord : ordinals) refs.push_back(ColumnRef{q, ord});
+    return refs;
+  };
+
+  if (ctx.flavor == flavor::kHeap) {
+    if (table.storage != StorageKind::kHeap) {
+      return Status::InvalidArgument("heap ACCESS of non-heap table '" +
+                                     table.name + "'");
+    }
+    Cost c = cm.ScanCost(table) + cm.PredicateCost(table.row_count,
+                                                   preds.size());
+    out.set_order(SortOrder{});
+    out.set_cost(c);
+    out.set_rescan(c);
+  } else if (ctx.flavor == flavor::kBTree) {
+    if (table.storage != StorageKind::kBTree) {
+      return Status::InvalidArgument("btree ACCESS of non-btree table '" +
+                                     table.name + "'");
+    }
+    std::vector<ColumnRef> key = key_refs(table.btree_key);
+    PredSet key_preds = IndexEligiblePreds(query, q, key, preds);
+    double key_sel = CombinedSelectivity(query, key_preds);
+    Cost c = cm.BTreeAccessCost(table, key_sel);
+    c += cm.PredicateCost(table.row_count * key_sel,
+                          preds.Minus(key_preds).size());
+    out.set_order(key);
+    out.set_cost(c);
+    out.set_rescan(c);
+  } else if (ctx.flavor == flavor::kIndex) {
+    std::string index_name = ctx.args.GetString(arg::kIndex);
+    const IndexDef* ix = nullptr;
+    for (const IndexDef& cand : table.indexes) {
+      if (cand.name == index_name) ix = &cand;
+    }
+    if (ix == nullptr) {
+      return Status::NotFound("no index '" + index_name + "' on '" +
+                              table.name + "'");
+    }
+    std::vector<ColumnRef> key = key_refs(ix->key_columns);
+    PredSet key_preds = IndexEligiblePreds(query, q, key, preds);
+    if (!preds.Minus(key_preds).empty()) {
+      return Status::InvalidArgument(
+          "index ACCESS may only apply key-prefix predicates");
+    }
+    double key_sel = CombinedSelectivity(query, key_preds);
+    Cost c = cm.IndexScanCost(table, *ix, key_sel, card);
+    out.set_order(key);
+    out.set_cost(c);
+    out.set_rescan(c);
+  } else {
+    return Status::InvalidArgument("unknown ACCESS flavor '" + ctx.flavor +
+                                   "'");
+  }
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// GET: fetch additional columns of a stored table via TIDs in the stream.
+// --------------------------------------------------------------------------
+
+Result<PropertyVector> GetProperties(const OpContext& ctx) {
+  const Query& query = ctx.query;
+  const CostModel& cm = ctx.cost_model;
+  const PropertyVector& in = *ctx.inputs[0];
+
+  int q = static_cast<int>(ctx.args.GetInt(arg::kQuantifier, -1));
+  if (q < 0 || q >= query.num_quantifiers()) {
+    return Status::InvalidArgument("GET needs a valid quantifier arg");
+  }
+  ColumnRef tid{q, ColumnRef::kTidColumn};
+  if (!in.cols().count(tid)) {
+    return Status::InvalidArgument("GET input must carry the TID of q" +
+                                   std::to_string(q));
+  }
+  std::vector<ColumnRef> fetch = ctx.args.GetColumns(arg::kCols);
+  PredSet preds = ctx.args.GetPreds(arg::kPreds);
+
+  ColumnSet cols = in.cols();
+  for (const ColumnRef& c : fetch) cols.insert(c);
+
+  double sel = CombinedSelectivity(query, preds, in.preds());
+  double card = in.card() * sel;
+
+  // A TID-ordered input stream sequentializes the data-page accesses
+  // (the paper's TID-sort strategy).
+  SortOrder in_order = in.order();
+  Cost step = (!in_order.empty() && in_order[0] == tid)
+                  ? cm.SortedFetchCost(in.card(),
+                                       query.table_of(q).data_pages)
+                  : cm.FetchCost(in.card());
+  step += cm.PredicateCost(in.card(), preds.Minus(in.preds()).size());
+
+  PropertyVector out;
+  out.set_tables(in.tables());
+  out.set_cols(std::move(cols));
+  out.set_preds(in.preds().Union(preds));
+  out.set_order(in.order());
+  out.set_site(in.site());
+  out.set_temp(in.temp());
+  out.set_paths(in.paths());
+  out.set_card(card);
+  out.set_cost(in.cost() + step);
+  out.set_rescan(in.rescan() + step);
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// SORT
+// --------------------------------------------------------------------------
+
+Result<PropertyVector> SortProperties(const OpContext& ctx) {
+  const CostModel& cm = ctx.cost_model;
+  const PropertyVector& in = *ctx.inputs[0];
+  std::vector<ColumnRef> order = ctx.args.GetColumns(arg::kOrder);
+  if (order.empty()) {
+    return Status::InvalidArgument("SORT needs a non-empty order arg");
+  }
+  for (const ColumnRef& c : order) {
+    if (!in.cols().count(c)) {
+      return Status::InvalidArgument("SORT key column not in input stream");
+    }
+  }
+  double width = cm.RowWidth(ctx.query, in.cols());
+
+  PropertyVector out;
+  out.set_tables(in.tables());
+  out.set_cols(in.cols());
+  out.set_preds(in.preds());
+  out.set_order(order);
+  out.set_site(in.site());
+  out.set_temp(in.temp());
+  out.set_paths(in.paths());
+  out.set_card(in.card());
+  out.set_cost(in.cost() + cm.SortCost(in.card(), width));
+  // The sorted result is held (in memory or a spill file); a rescan re-reads
+  // it rather than re-sorting.
+  out.set_rescan(cm.TempScanCost(in.card(), width));
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// SHIP
+// --------------------------------------------------------------------------
+
+Result<PropertyVector> ShipProperties(const OpContext& ctx) {
+  const CostModel& cm = ctx.cost_model;
+  const PropertyVector& in = *ctx.inputs[0];
+  SiteId site = static_cast<SiteId>(ctx.args.GetInt(arg::kSite, -1));
+  if (site < 0 || site >= ctx.query.catalog().num_sites()) {
+    return Status::InvalidArgument("SHIP needs a valid site arg");
+  }
+  double width = cm.RowWidth(ctx.query, in.cols());
+
+  PropertyVector out;
+  out.set_tables(in.tables());
+  out.set_cols(in.cols());
+  out.set_preds(in.preds());
+  out.set_order(in.order());
+  out.set_site(site);
+  out.set_temp(false);
+  out.set_paths(in.paths());
+  out.set_card(in.card());
+  if (site == in.site()) {
+    out.set_cost(in.cost());
+    out.set_rescan(in.rescan());
+  } else {
+    out.set_cost(in.cost() + cm.ShipCost(in.card(), width));
+    // The receiving site buffers the stream; rescans re-read locally.
+    out.set_rescan(cm.TempScanCost(in.card(), width));
+  }
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// STORE: materialize a stream as a temp, optionally building a dynamic
+// index (paper §4.5.3: Glue creates "a compact index on a stored table").
+// --------------------------------------------------------------------------
+
+Result<PropertyVector> StoreProperties(const OpContext& ctx) {
+  const CostModel& cm = ctx.cost_model;
+  const PropertyVector& in = *ctx.inputs[0];
+  double width = cm.RowWidth(ctx.query, in.cols());
+
+  PropertyVector out;
+  out.set_tables(in.tables());
+  out.set_cols(in.cols());
+  out.set_preds(in.preds());
+  out.set_order(in.order());
+  out.set_site(in.site());
+  out.set_temp(true);
+  out.set_card(in.card());
+
+  Cost c = in.cost() + cm.StoreCost(in.card(), width);
+  AccessPathList paths;
+  std::vector<ColumnRef> index_on = ctx.args.GetColumns(arg::kIndexOn);
+  if (!index_on.empty()) {
+    for (const ColumnRef& col : index_on) {
+      if (!in.cols().count(col)) {
+        return Status::InvalidArgument("STORE index key not in input stream");
+      }
+    }
+    AccessPath p;
+    p.name = "<dynamic:" + ctx.args.GetString(arg::kTempName) + ">";
+    p.columns = index_on;
+    p.dynamic = true;
+    paths.push_back(std::move(p));
+    ColumnSet key_cols = ToColumnSet(index_on);
+    c += cm.IndexBuildCost(in.card(), cm.RowWidth(ctx.query, key_cols));
+  }
+  out.set_paths(std::move(paths));
+  out.set_cost(c);
+  out.set_rescan(cm.TempScanCost(in.card(), width));
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// JOIN: NL, MG, HA flavors (paper §4.4, §4.5.1).
+// --------------------------------------------------------------------------
+
+Result<PropertyVector> JoinProperties(const OpContext& ctx) {
+  const Query& query = ctx.query;
+  const CostModel& cm = ctx.cost_model;
+  const PropertyVector& outer = *ctx.inputs[0];
+  const PropertyVector& inner = *ctx.inputs[1];
+
+  if (outer.site() != inner.site()) {
+    return Status::InvalidArgument(
+        "JOIN requires both input streams at the same site (paper §3.2)");
+  }
+  if (outer.tables().Intersects(inner.tables())) {
+    return Status::InvalidArgument("JOIN inputs overlap in tables");
+  }
+  PredSet join_preds = ctx.args.GetPreds(arg::kJoinPreds);
+  PredSet residual = ctx.args.GetPreds(arg::kResidualPreds);
+
+  QuantifierSet tables = outer.tables().Union(inner.tables());
+  for (int id : join_preds.Union(residual).ToVector()) {
+    if (!IsEligible(query.predicate(id), tables)) {
+      return Status::InvalidArgument("JOIN predicate not eligible on inputs");
+    }
+  }
+
+  PredSet applied = outer.preds().Union(inner.preds());
+  PredSet new_preds = join_preds.Union(residual).Minus(applied);
+  // Output cardinality is computed from relational content — base row
+  // counts times the selectivity of every predicate applied anywhere in the
+  // plan — so it is invariant under how the inputs chose to apply them
+  // (pushed-down, semijoin-reduced, residual, ...). Input cards still drive
+  // the *cost* formulas below.
+  PredSet all_preds = applied.Union(join_preds).Union(residual);
+  double card = CombinedSelectivity(query, all_preds);
+  for (int q : tables.ToVector()) {
+    card *= std::max(1.0, query.table_of(q).row_count);
+  }
+
+  ColumnSet cols = outer.cols();
+  {
+    ColumnSet ic = inner.cols();
+    cols.insert(ic.begin(), ic.end());
+  }
+  AccessPathList paths = outer.paths();
+  {
+    AccessPathList ip = inner.paths();
+    paths.insert(paths.end(), ip.begin(), ip.end());
+  }
+
+  PropertyVector out;
+  out.set_tables(tables);
+  out.set_cols(std::move(cols));
+  out.set_preds(applied.Union(join_preds).Union(residual));
+  out.set_site(outer.site());
+  out.set_temp(false);
+  out.set_paths(std::move(paths));
+  out.set_card(card);
+
+  Cost c = outer.cost();
+  if (ctx.flavor == flavor::kNL) {
+    // Each outer tuple (re)scans the inner stream; the converted join
+    // predicates were pushed into the inner by Glue, so inner.card is the
+    // expected matches per outer tuple and inner.rescan the per-tuple cost
+    // ([MACK 86] nested-loop equations). The inner is evaluated lazily —
+    // with an expected outer cardinality below one it usually never runs.
+    c += inner.cost() * std::min(1.0, outer.card());
+    c += inner.rescan() * std::max(0.0, outer.card() - 1.0);
+    double pairs = outer.card() * inner.card();
+    c += cm.PredicateCost(pairs, new_preds.size());
+    c += cm.OutputCost(card);
+    out.set_order(outer.order());
+  } else if (ctx.flavor == flavor::kMG) {
+    c += inner.cost();
+    // Inputs must arrive ordered on *corresponding* columns: the leading
+    // sort columns of the two inputs must be linked by an equality join
+    // predicate (the key the run-time merge advances on). The JMeth STAR
+    // guarantees this via [order = χ(SP) ∩ χ(T)]; anything else — e.g. a
+    // transformational rewrite that commuted differently-ordered inputs —
+    // is rejected so the cost model never prices a merge that could not
+    // run as one.
+    SortOrder oorder = outer.order();
+    SortOrder iorder = inner.order();
+    if (oorder.empty() || iorder.empty()) {
+      return Status::InvalidArgument("merge JOIN requires ordered inputs");
+    }
+    bool linked = false;
+    for (int id : join_preds.ToVector()) {
+      const Predicate& p = query.predicate(id);
+      if (p.op != CompareOp::kEq || !p.lhs->IsBareColumn() ||
+          !p.rhs->IsBareColumn()) {
+        continue;
+      }
+      ColumnRef a = p.lhs->column(), b = p.rhs->column();
+      if ((a == oorder[0] && b == iorder[0]) ||
+          (b == oorder[0] && a == iorder[0])) {
+        linked = true;
+        break;
+      }
+    }
+    if (!linked) {
+      return Status::InvalidArgument(
+          "merge JOIN inputs are not ordered on a common equality key");
+    }
+    double merge_sel = CombinedSelectivity(query, join_preds.Minus(applied));
+    double candidates = outer.card() * inner.card() * merge_sel;
+    Cost merge;
+    merge.cpu = (outer.card() + inner.card()) * cm.params().cpu_per_compare;
+    c += merge;
+    c += cm.PredicateCost(candidates, residual.Minus(applied).size());
+    c += cm.OutputCost(card);
+    out.set_order(outer.order());
+  } else if (ctx.flavor == flavor::kHA) {
+    c += inner.cost();
+    double hash_sel = CombinedSelectivity(query, join_preds.Minus(applied));
+    double candidates = outer.card() * inner.card() * hash_sel;
+    Cost hash;
+    hash.cpu = (outer.card() + inner.card()) * cm.params().cpu_per_hash;
+    double width_out = cm.RowWidth(query, outer.cols());
+    double width_in = cm.RowWidth(query, inner.cols());
+    double pages = cm.PagesFor(outer.card(), width_out) +
+                   cm.PagesFor(inner.card(), width_in);
+    if (pages > cm.params().sort_memory_pages) {
+      hash.io = 2.0 * pages;  // partition both inputs to disk and re-read
+    }
+    c += hash;
+    // All join predicates stay residual (hash collisions, §4.5.1): evaluate
+    // them plus residuals on the colliding candidates.
+    c += cm.PredicateCost(candidates, new_preds.size());
+    c += cm.OutputCost(card);
+    out.set_order(SortOrder{});  // bucketizing destroys order
+  } else {
+    return Status::InvalidArgument("unknown JOIN flavor '" + ctx.flavor +
+                                   "'");
+  }
+  out.set_cost(c);
+  out.set_rescan(c);  // composite rescan = recompute (composites get temped)
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// TIDAND: intersect two TID streams over the same stored table (index
+// ANDing, an omitted STAR of paper §4). Output carries only the TID, in TID
+// order — which also sequentializes the subsequent GET.
+// --------------------------------------------------------------------------
+
+Result<PropertyVector> TidAndProperties(const OpContext& ctx) {
+  const Query& query = ctx.query;
+  const CostModel& cm = ctx.cost_model;
+  const PropertyVector& a = *ctx.inputs[0];
+  const PropertyVector& b = *ctx.inputs[1];
+
+  if (a.tables() != b.tables() || a.tables().size() != 1) {
+    return Status::InvalidArgument(
+        "TIDAND requires two streams over the same single table");
+  }
+  int q = a.tables().First();
+  ColumnRef tid{q, ColumnRef::kTidColumn};
+  if (!a.cols().count(tid) || !b.cols().count(tid)) {
+    return Status::InvalidArgument("TIDAND inputs must both carry the TID");
+  }
+  if (a.site() != b.site()) {
+    return Status::InvalidArgument("TIDAND inputs must be co-located");
+  }
+  double rows = std::max(1.0, query.table_of(q).row_count);
+  // Independence: |A ∩ B| = |A| * |B| / N.
+  double card = a.card() * b.card() / rows;
+
+  PropertyVector out;
+  out.set_tables(a.tables());
+  out.set_cols(ColumnSet{tid});
+  out.set_preds(a.preds().Union(b.preds()));
+  out.set_order(SortOrder{tid});
+  out.set_site(a.site());
+  out.set_temp(false);
+  out.set_paths(a.paths());
+  out.set_card(card);
+  Cost c = a.cost() + b.cost();
+  c += cm.SortCost(a.card(), 8.0);
+  c += cm.SortCost(b.card(), 8.0);
+  Cost merge;
+  merge.cpu = (a.card() + b.card()) * cm.params().cpu_per_compare;
+  c += merge;
+  out.set_cost(c);
+  out.set_rescan(c);
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// PROJECT: column subset, optionally deduplicated — the semijoin reduction's
+// "ship only the join columns" step (paper §4 filtration methods).
+// --------------------------------------------------------------------------
+
+Result<PropertyVector> ProjectProperties(const OpContext& ctx) {
+  const Query& query = ctx.query;
+  const CostModel& cm = ctx.cost_model;
+  const PropertyVector& in = *ctx.inputs[0];
+  std::vector<ColumnRef> keep = ctx.args.GetColumns(arg::kCols);
+  if (keep.empty()) {
+    return Status::InvalidArgument("PROJECT needs a non-empty column list");
+  }
+  ColumnSet kept(keep.begin(), keep.end());
+  for (const ColumnRef& c : kept) {
+    if (!in.cols().count(c)) {
+      return Status::InvalidArgument("PROJECT column not in input stream");
+    }
+  }
+  bool distinct = ctx.args.GetBool(arg::kDistinct, false);
+
+  double card = in.card();
+  Cost step = cm.OutputCost(in.card());
+  if (distinct) {
+    // Distinct values of the kept columns bound the output.
+    double domain = 1.0;
+    for (const ColumnRef& c : kept) {
+      domain *= c.is_tid() ? in.card()
+                           : std::max(1.0, query.column_def(c).distinct_values);
+    }
+    card = std::min(in.card(), domain);
+    Cost dedup;
+    dedup.cpu = in.card() * cm.params().cpu_per_hash;
+    step += dedup;
+  }
+
+  // Order survives as long as its leading columns are kept.
+  SortOrder order;
+  for (const ColumnRef& c : in.order()) {
+    if (!kept.count(c)) break;
+    order.push_back(c);
+  }
+
+  PropertyVector out;
+  out.set_tables(in.tables());
+  out.set_cols(std::move(kept));
+  out.set_preds(in.preds());
+  out.set_order(std::move(order));
+  out.set_site(in.site());
+  out.set_temp(false);
+  out.set_paths(in.paths());
+  out.set_card(card);
+  out.set_cost(in.cost() + step);
+  out.set_rescan(in.rescan() + step);
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// FILTERBY: semijoin / Bloomjoin reduction of a probe stream by a shipped
+// filter stream. Both flavors mark the join predicates as applied (the
+// enclosing JOIN re-checks them at run time, which also absorbs the Bloom
+// filter's false positives); "bloom" costs less CPU per probe and allows a
+// small cardinality inflation for collisions.
+// --------------------------------------------------------------------------
+
+Result<PropertyVector> FilterByProperties(const OpContext& ctx) {
+  const Query& query = ctx.query;
+  const CostModel& cm = ctx.cost_model;
+  const PropertyVector& probe = *ctx.inputs[0];
+  const PropertyVector& filter = *ctx.inputs[1];
+
+  if (probe.site() != filter.site()) {
+    return Status::InvalidArgument(
+        "FILTERBY requires the filter to be shipped to the probe's site");
+  }
+  if (probe.tables().Intersects(filter.tables())) {
+    return Status::InvalidArgument("FILTERBY inputs overlap in tables");
+  }
+  PredSet join_preds = ctx.args.GetPreds(arg::kJoinPreds);
+  if (join_preds.empty()) {
+    return Status::InvalidArgument("FILTERBY needs join predicates");
+  }
+  for (int id : join_preds.ToVector()) {
+    if (!IsHashable(query.predicate(id), filter.tables(), probe.tables())) {
+      return Status::InvalidArgument(
+          "FILTERBY predicates must be hashable between filter and probe");
+    }
+  }
+  const bool bloom = ctx.flavor == flavor::kBloom;
+  // Semijoin selectivity: the fraction of the probe's join-key domain
+  // covered by the filter's keys — NOT the per-pair join selectivity.
+  double sel = 1.0;
+  for (int id : join_preds.ToVector()) {
+    const Predicate& p = query.predicate(id);
+    const ExprPtr& probe_side =
+        ColumnsWithin(p.lhs_columns, probe.tables()) ? p.lhs : p.rhs;
+    double domain = 10.0;  // expression fallback
+    if (probe_side->IsBareColumn() && !probe_side->column().is_tid()) {
+      domain =
+          std::max(1.0, query.column_def(probe_side->column()).distinct_values);
+    }
+    sel *= std::min(1.0, filter.card() / domain);
+  }
+  double fp_allowance = bloom ? 1.1 : 1.0;
+  double card = std::min(probe.card(), probe.card() * sel * fp_allowance);
+
+  Cost step;
+  double per_probe = bloom ? cm.params().cpu_per_hash
+                           : cm.params().cpu_per_hash * 2.0;
+  step.cpu = filter.card() * cm.params().cpu_per_hash +  // build
+             probe.card() * per_probe;                   // probe
+
+  PropertyVector out;
+  // The result is a *reduction of the probe stream*: relationally it still
+  // covers only the probe's tables; the filter contributed no columns.
+  out.set_tables(probe.tables());
+  out.set_cols(probe.cols());
+  out.set_preds(probe.preds().Union(join_preds));
+  out.set_order(probe.order());
+  out.set_site(probe.site());
+  out.set_temp(false);
+  out.set_paths(probe.paths());
+  out.set_card(card);
+  out.set_cost(probe.cost() + filter.cost() + step);
+  out.set_rescan(probe.cost() + filter.cost() + step);
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// FILTER: retrofit predicates onto an existing stream.
+// --------------------------------------------------------------------------
+
+Result<PropertyVector> FilterProperties(const OpContext& ctx) {
+  const CostModel& cm = ctx.cost_model;
+  const PropertyVector& in = *ctx.inputs[0];
+  PredSet preds = ctx.args.GetPreds(arg::kPreds);
+  PredSet new_preds = preds.Minus(in.preds());
+  double sel = CombinedSelectivity(ctx.query, new_preds);
+  Cost step = cm.PredicateCost(in.card(), new_preds.size());
+
+  PropertyVector out;
+  out.set_tables(in.tables());
+  out.set_cols(in.cols());
+  out.set_preds(in.preds().Union(preds));
+  out.set_order(in.order());
+  out.set_site(in.site());
+  out.set_temp(in.temp());
+  out.set_paths(in.paths());
+  out.set_card(in.card() * sel);
+  out.set_cost(in.cost() + step);
+  out.set_rescan(in.rescan() + step);
+  return out;
+}
+
+}  // namespace
+
+Status RegisterBuiltinOperators(OperatorRegistry* registry) {
+  OperatorDef access;
+  access.name = op::kAccess;
+  access.min_inputs = 0;
+  access.max_inputs = 1;
+  access.flavors = {flavor::kHeap, flavor::kBTree, flavor::kIndex,
+                    flavor::kTemp, flavor::kTempIndex};
+  access.property_fn = AccessProperties;
+  STARBURST_RETURN_NOT_OK(registry->Register(std::move(access)));
+
+  OperatorDef get;
+  get.name = op::kGet;
+  get.min_inputs = 1;
+  get.max_inputs = 1;
+  get.property_fn = GetProperties;
+  STARBURST_RETURN_NOT_OK(registry->Register(std::move(get)));
+
+  OperatorDef sort;
+  sort.name = op::kSort;
+  sort.min_inputs = 1;
+  sort.max_inputs = 1;
+  sort.property_fn = SortProperties;
+  STARBURST_RETURN_NOT_OK(registry->Register(std::move(sort)));
+
+  OperatorDef ship;
+  ship.name = op::kShip;
+  ship.min_inputs = 1;
+  ship.max_inputs = 1;
+  ship.property_fn = ShipProperties;
+  STARBURST_RETURN_NOT_OK(registry->Register(std::move(ship)));
+
+  OperatorDef store;
+  store.name = op::kStore;
+  store.min_inputs = 1;
+  store.max_inputs = 1;
+  store.property_fn = StoreProperties;
+  STARBURST_RETURN_NOT_OK(registry->Register(std::move(store)));
+
+  OperatorDef join;
+  join.name = op::kJoin;
+  join.min_inputs = 2;
+  join.max_inputs = 2;
+  join.flavors = {flavor::kNL, flavor::kMG, flavor::kHA};
+  join.property_fn = JoinProperties;
+  STARBURST_RETURN_NOT_OK(registry->Register(std::move(join)));
+
+  OperatorDef filter;
+  filter.name = op::kFilter;
+  filter.min_inputs = 1;
+  filter.max_inputs = 1;
+  filter.property_fn = FilterProperties;
+  STARBURST_RETURN_NOT_OK(registry->Register(std::move(filter)));
+
+  OperatorDef tid_and;
+  tid_and.name = op::kTidAnd;
+  tid_and.min_inputs = 2;
+  tid_and.max_inputs = 2;
+  tid_and.property_fn = TidAndProperties;
+  STARBURST_RETURN_NOT_OK(registry->Register(std::move(tid_and)));
+
+  OperatorDef project;
+  project.name = op::kProject;
+  project.min_inputs = 1;
+  project.max_inputs = 1;
+  project.property_fn = ProjectProperties;
+  STARBURST_RETURN_NOT_OK(registry->Register(std::move(project)));
+
+  OperatorDef filter_by;
+  filter_by.name = op::kFilterBy;
+  filter_by.min_inputs = 2;
+  filter_by.max_inputs = 2;
+  filter_by.flavors = {flavor::kExact, flavor::kBloom};
+  filter_by.property_fn = FilterByProperties;
+  STARBURST_RETURN_NOT_OK(registry->Register(std::move(filter_by)));
+  return Status::OK();
+}
+
+}  // namespace starburst

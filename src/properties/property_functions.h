@@ -1,0 +1,39 @@
+#ifndef STARBURST_PROPERTIES_PROPERTY_FUNCTIONS_H_
+#define STARBURST_PROPERTIES_PROPERTY_FUNCTIONS_H_
+
+#include "plan/operator.h"
+
+namespace starburst {
+
+/// Registers the paper's built-in LOLEPOPs — ACCESS (heap / btree / index /
+/// temp / temp-index flavors), GET, SORT, SHIP, STORE, JOIN (NL / MG / HA),
+/// FILTER — with their property functions (paper §3.1). The run-time
+/// executors live in exec/ and are registered separately, mirroring the
+/// paper's split of "a run-time execution routine ... and a property
+/// function" (§5).
+Status RegisterBuiltinOperators(OperatorRegistry* registry);
+
+/// Access paths available on quantifier `q`'s stored table: the B-tree
+/// clustering order (if any) plus every secondary index, with columns
+/// expressed as query-scope references.
+AccessPathList BaseTablePaths(const Query& query, int q);
+
+/// The subset of `candidates` a given index can apply: predicates of the
+/// form `key_col op <expr free of q>` where the referenced key columns form
+/// a prefix of the index key — equality on every prefix column, at most one
+/// trailing range (paper §1: "a multi-column index can apply one or more
+/// predicates only if the columns referenced ... form a prefix").
+PredSet IndexEligiblePreds(const Query& query, int q,
+                           const std::vector<ColumnRef>& key_columns,
+                           PredSet candidates);
+
+/// Helper: the ordered key of `path` satisfies `required` order (prefix
+/// test, paper's "order ⊑ a").
+bool PathSatisfiesOrder(const AccessPath& path, const SortOrder& required);
+
+/// Helper: set from an ordered column list.
+ColumnSet ToColumnSet(const std::vector<ColumnRef>& cols);
+
+}  // namespace starburst
+
+#endif  // STARBURST_PROPERTIES_PROPERTY_FUNCTIONS_H_

@@ -1,0 +1,108 @@
+#include "query/expr.h"
+
+#include "query/query.h"
+
+namespace starburst {
+
+ExprPtr Expr::Column(ColumnRef ref) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kColumn;
+  e->column_ = ref;
+  return e;
+}
+
+ExprPtr Expr::Literal(Datum value) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kLiteral;
+  e->literal_ = std::move(value);
+  return e;
+}
+
+ExprPtr Expr::Binary(ExprKind op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = op;
+  e->lhs_ = std::move(lhs);
+  e->rhs_ = std::move(rhs);
+  return e;
+}
+
+void Expr::CollectColumns(ColumnSet* out) const {
+  switch (kind_) {
+    case ExprKind::kColumn:
+      out->insert(column_);
+      return;
+    case ExprKind::kLiteral:
+      return;
+    default:
+      lhs_->CollectColumns(out);
+      rhs_->CollectColumns(out);
+      return;
+  }
+}
+
+ColumnSet Expr::Columns() const {
+  ColumnSet out;
+  CollectColumns(&out);
+  return out;
+}
+
+std::string Expr::ToString(const Query* query) const {
+  switch (kind_) {
+    case ExprKind::kColumn:
+      if (query != nullptr) return query->ColumnName(column_);
+      if (column_.is_tid()) {
+        return "q" + std::to_string(column_.quantifier) + ".TID";
+      }
+      return "q" + std::to_string(column_.quantifier) + ".c" +
+             std::to_string(column_.column);
+    case ExprKind::kLiteral:
+      return literal_.ToString();
+    case ExprKind::kAdd:
+      return "(" + lhs_->ToString(query) + " + " + rhs_->ToString(query) + ")";
+    case ExprKind::kSub:
+      return "(" + lhs_->ToString(query) + " - " + rhs_->ToString(query) + ")";
+    case ExprKind::kMul:
+      return "(" + lhs_->ToString(query) + " * " + rhs_->ToString(query) + ")";
+    case ExprKind::kDiv:
+      return "(" + lhs_->ToString(query) + " / " + rhs_->ToString(query) + ")";
+  }
+  return "?";
+}
+
+Datum EvalBinary(ExprKind op, const Datum& lhs, const Datum& rhs) {
+  if (lhs.is_null() || rhs.is_null()) return Datum::NullValue();
+  if (lhs.is_string() || rhs.is_string()) return Datum::NullValue();
+  // Integer arithmetic when both sides are ints (except division by zero).
+  if (lhs.is_int() && rhs.is_int()) {
+    int64_t a = lhs.AsInt(), b = rhs.AsInt();
+    switch (op) {
+      case ExprKind::kAdd:
+        return Datum(a + b);
+      case ExprKind::kSub:
+        return Datum(a - b);
+      case ExprKind::kMul:
+        return Datum(a * b);
+      case ExprKind::kDiv:
+        if (b == 0) return Datum::NullValue();
+        return Datum(a / b);
+      default:
+        return Datum::NullValue();
+    }
+  }
+  double a = lhs.AsDouble(), b = rhs.AsDouble();
+  switch (op) {
+    case ExprKind::kAdd:
+      return Datum(a + b);
+    case ExprKind::kSub:
+      return Datum(a - b);
+    case ExprKind::kMul:
+      return Datum(a * b);
+    case ExprKind::kDiv:
+      if (b == 0) return Datum::NullValue();
+      return Datum(a / b);
+    default:
+      return Datum::NullValue();
+  }
+}
+
+}  // namespace starburst

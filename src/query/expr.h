@@ -1,0 +1,87 @@
+#ifndef STARBURST_QUERY_EXPR_H_
+#define STARBURST_QUERY_EXPR_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace starburst {
+
+class Query;
+
+/// A column reference at query scope: quantifier (table occurrence in the
+/// FROM list) plus column ordinal within that table's definition.
+/// `column == kTidColumn` denotes the tuple identifier pseudo-column that
+/// index ACCESSes expose and GET consumes (paper §2.1).
+struct ColumnRef {
+  static constexpr int kTidColumn = -1;
+
+  int quantifier = 0;
+  int column = 0;
+
+  bool is_tid() const { return column == kTidColumn; }
+
+  bool operator==(const ColumnRef& o) const {
+    return quantifier == o.quantifier && column == o.column;
+  }
+  bool operator<(const ColumnRef& o) const {
+    if (quantifier != o.quantifier) return quantifier < o.quantifier;
+    return column < o.column;
+  }
+};
+
+using ColumnSet = std::set<ColumnRef>;
+
+/// Scalar expression node kinds. Arithmetic is enough to exercise the
+/// paper's "expressions OK" join predicates (§4.4) and hashable predicates
+/// of the form expr(χ(T1)) = expr(χ(T2)) (§4.5.1).
+enum class ExprKind { kColumn, kLiteral, kAdd, kSub, kMul, kDiv };
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Immutable scalar expression tree over column references and literals.
+class Expr {
+ public:
+  static ExprPtr Column(ColumnRef ref);
+  static ExprPtr Literal(Datum value);
+  static ExprPtr Binary(ExprKind op, ExprPtr lhs, ExprPtr rhs);
+
+  ExprKind kind() const { return kind_; }
+  const ColumnRef& column() const { return column_; }
+  const Datum& literal() const { return literal_; }
+  const ExprPtr& lhs() const { return lhs_; }
+  const ExprPtr& rhs() const { return rhs_; }
+
+  /// Collects every column referenced anywhere in the tree.
+  void CollectColumns(ColumnSet* out) const;
+  ColumnSet Columns() const;
+
+  /// True if the tree is exactly one bare column reference.
+  bool IsBareColumn() const { return kind_ == ExprKind::kColumn; }
+
+  /// Renders with quantifier aliases resolved through `query` (nullptr ->
+  /// positional names like q0.c1).
+  std::string ToString(const Query* query = nullptr) const;
+
+ private:
+  Expr() = default;
+
+  ExprKind kind_ = ExprKind::kLiteral;
+  ColumnRef column_;
+  Datum literal_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+/// Evaluates arithmetic over datums; NULL propagates. Division by zero
+/// yields NULL (SQL-ish, keeps the evaluator total).
+Datum EvalBinary(ExprKind op, const Datum& lhs, const Datum& rhs);
+
+}  // namespace starburst
+
+#endif  // STARBURST_QUERY_EXPR_H_

@@ -1,0 +1,133 @@
+#include "query/predicate.h"
+
+#include "query/query.h"
+
+namespace starburst {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool EvalCompare(CompareOp op, const Datum& lhs, const Datum& rhs) {
+  if (lhs.is_null() || rhs.is_null()) return false;
+  int c = lhs.Compare(rhs);
+  switch (op) {
+    case CompareOp::kEq:
+      return c == 0;
+    case CompareOp::kNe:
+      return c != 0;
+    case CompareOp::kLt:
+      return c < 0;
+    case CompareOp::kLe:
+      return c <= 0;
+    case CompareOp::kGt:
+      return c > 0;
+    case CompareOp::kGe:
+      return c >= 0;
+  }
+  return false;
+}
+
+ColumnSet Predicate::Columns() const {
+  ColumnSet out = lhs_columns;
+  out.insert(rhs_columns.begin(), rhs_columns.end());
+  return out;
+}
+
+std::string Predicate::ToString(const Query* query) const {
+  return lhs->ToString(query) + " " + CompareOpName(op) + " " +
+         rhs->ToString(query);
+}
+
+namespace {
+
+QuantifierSet QuantifiersOf(const ColumnSet& columns) {
+  QuantifierSet out;
+  for (const ColumnRef& c : columns) out.Insert(c.quantifier);
+  return out;
+}
+
+}  // namespace
+
+bool ColumnsWithin(const ColumnSet& columns, QuantifierSet tables) {
+  return tables.ContainsAll(QuantifiersOf(columns));
+}
+
+bool IsEligible(const Predicate& p, QuantifierSet tables) {
+  return tables.ContainsAll(p.quantifiers);
+}
+
+bool IsJoinPredicate(const Predicate& p, QuantifierSet t1, QuantifierSet t2) {
+  // References both sides; eligible on the union; no ORs/subqueries exist in
+  // this predicate form by construction.
+  return p.quantifiers.Intersects(t1) && p.quantifiers.Intersects(t2) &&
+         t1.Union(t2).ContainsAll(p.quantifiers);
+}
+
+bool IsSortable(const Predicate& p, QuantifierSet t1, QuantifierSet t2) {
+  if (!IsJoinPredicate(p, t1, t2)) return false;
+  if (!p.lhs->IsBareColumn() || !p.rhs->IsBareColumn()) return false;
+  QuantifierSet lq = QuantifiersOf(p.lhs_columns);
+  QuantifierSet rq = QuantifiersOf(p.rhs_columns);
+  return (t1.ContainsAll(lq) && t2.ContainsAll(rq)) ||
+         (t2.ContainsAll(lq) && t1.ContainsAll(rq));
+}
+
+bool IsHashable(const Predicate& p, QuantifierSet t1, QuantifierSet t2) {
+  if (p.op != CompareOp::kEq) return false;
+  if (!IsJoinPredicate(p, t1, t2)) return false;
+  QuantifierSet lq = QuantifiersOf(p.lhs_columns);
+  QuantifierSet rq = QuantifiersOf(p.rhs_columns);
+  if (lq.empty() || rq.empty()) return false;
+  return (t1.ContainsAll(lq) && t2.ContainsAll(rq)) ||
+         (t2.ContainsAll(lq) && t1.ContainsAll(rq));
+}
+
+bool IsInnerOnly(const Predicate& p, QuantifierSet inner) {
+  return !p.quantifiers.empty() && inner.ContainsAll(p.quantifiers);
+}
+
+bool IsIndexable(const Predicate& p, QuantifierSet outer, QuantifierSet inner) {
+  if (!IsJoinPredicate(p, outer, inner)) return false;
+  QuantifierSet lq = QuantifiersOf(p.lhs_columns);
+  QuantifierSet rq = QuantifiersOf(p.rhs_columns);
+  // 'expr(χ(outer)) op inner.col': one side is a bare inner column, the other
+  // side references only outer tables.
+  if (p.rhs->IsBareColumn() && inner.ContainsAll(rq) && outer.ContainsAll(lq)) {
+    return true;
+  }
+  if (p.lhs->IsBareColumn() && inner.ContainsAll(lq) && outer.ContainsAll(rq)) {
+    return true;
+  }
+  return false;
+}
+
+ColumnRef SortColumnFor(const Predicate& p, QuantifierSet side) {
+  if (p.lhs->IsBareColumn() && side.Contains(p.lhs->column().quantifier)) {
+    return p.lhs->column();
+  }
+  return p.rhs->column();
+}
+
+ColumnRef IndexColumnFor(const Predicate& p, QuantifierSet inner) {
+  if (p.rhs->IsBareColumn() && inner.Contains(p.rhs->column().quantifier)) {
+    return p.rhs->column();
+  }
+  return p.lhs->column();
+}
+
+}  // namespace starburst

@@ -1,0 +1,71 @@
+#ifndef STARBURST_QUERY_PREDICATE_H_
+#define STARBURST_QUERY_PREDICATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/id_set.h"
+#include "query/expr.h"
+
+namespace starburst {
+
+class Query;
+
+/// Comparison operators for predicates.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CompareOpName(CompareOp op);
+
+/// SQL three-valued logic collapsed to two: a comparison involving NULL is
+/// not satisfied.
+bool EvalCompare(CompareOp op, const Datum& lhs, const Datum& rhs);
+
+/// A conjunct of the WHERE clause: `lhs op rhs` over scalar expressions.
+/// Disjunctions/subqueries are out of scope exactly as in the paper's JP
+/// definition ("no ORs or subqueries, etc., but expressions OK", §4.4).
+struct Predicate {
+  int id = -1;
+  ExprPtr lhs;
+  CompareOp op = CompareOp::kEq;
+  ExprPtr rhs;
+  /// Quantifiers referenced on either side (derived at AddPredicate time).
+  QuantifierSet quantifiers;
+  /// Columns referenced on each side (derived).
+  ColumnSet lhs_columns;
+  ColumnSet rhs_columns;
+
+  ColumnSet Columns() const;
+  std::string ToString(const Query* query = nullptr) const;
+};
+
+/// --- Predicate classification (paper §4.4 and §4.5) -----------------------
+///
+/// All classifiers take the two table (quantifier) sets being joined.
+/// Notation from the paper:
+///   JP = join predicates: reference both sides, nothing outside T1 ∪ T2.
+///   SP = sortable: 'col1 op col2' with col1 ∈ χ(T1), col2 ∈ χ(T2) (or
+///        flipped).
+///   HP = hashable: 'expr(χ(T1)) = expr(χ(T2))'.
+///   IP = eligible on the inner only: χ(p) ⊆ χ(T2).
+///   XP = indexable: 'expr(χ(T1)) op T2.col' (or flipped).
+
+bool IsEligible(const Predicate& p, QuantifierSet tables);
+bool IsJoinPredicate(const Predicate& p, QuantifierSet t1, QuantifierSet t2);
+bool IsSortable(const Predicate& p, QuantifierSet t1, QuantifierSet t2);
+bool IsHashable(const Predicate& p, QuantifierSet t1, QuantifierSet t2);
+bool IsInnerOnly(const Predicate& p, QuantifierSet inner);
+bool IsIndexable(const Predicate& p, QuantifierSet outer, QuantifierSet inner);
+
+/// For a sortable predicate, the column belonging to side `side` (one of the
+/// two join inputs). Requires IsSortable(p, side, other).
+ColumnRef SortColumnFor(const Predicate& p, QuantifierSet side);
+
+/// For an indexable predicate, the bare inner column (the `T2.col` side).
+ColumnRef IndexColumnFor(const Predicate& p, QuantifierSet inner);
+
+/// Whether all quantifiers of `columns` lie within `tables`.
+bool ColumnsWithin(const ColumnSet& columns, QuantifierSet tables);
+
+}  // namespace starburst
+
+#endif  // STARBURST_QUERY_PREDICATE_H_

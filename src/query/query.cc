@@ -1,0 +1,147 @@
+#include "query/query.h"
+
+#include "common/strings.h"
+
+namespace starburst {
+
+Result<int> Query::AddQuantifier(const std::string& table_name,
+                                 std::string alias) {
+  auto table = catalog_->FindTable(table_name);
+  if (!table.ok()) return table.status();
+  if (alias.empty()) alias = table_name;
+  for (const Quantifier& q : quantifiers_) {
+    if (q.alias == alias) {
+      return Status::AlreadyExists("duplicate quantifier alias '" + alias +
+                                   "'");
+    }
+  }
+  if (num_quantifiers() >= QuantifierSet::kMaxId) {
+    return Status::InvalidArgument("too many quantifiers (max 64)");
+  }
+  Quantifier q;
+  q.alias = std::move(alias);
+  q.table = table.value();
+  quantifiers_.push_back(std::move(q));
+  return num_quantifiers() - 1;
+}
+
+Result<int> Query::AddPredicate(ExprPtr lhs, CompareOp op, ExprPtr rhs) {
+  if (lhs == nullptr || rhs == nullptr) {
+    return Status::InvalidArgument("predicate sides must be non-null");
+  }
+  if (num_predicates() >= PredSet::kMaxId) {
+    return Status::InvalidArgument("too many predicates (max 64)");
+  }
+  Predicate p;
+  p.id = num_predicates();
+  p.lhs = std::move(lhs);
+  p.rhs = std::move(rhs);
+  p.op = op;
+  p.lhs_columns = p.lhs->Columns();
+  p.rhs_columns = p.rhs->Columns();
+  for (const ColumnRef& c : p.Columns()) {
+    if (c.quantifier < 0 || c.quantifier >= num_quantifiers()) {
+      return Status::InvalidArgument("predicate references unknown quantifier");
+    }
+    if (!c.is_tid() &&
+        (c.column < 0 ||
+         c.column >= static_cast<int>(table_of(c.quantifier).columns.size()))) {
+      return Status::InvalidArgument("predicate references unknown column");
+    }
+    p.quantifiers.Insert(c.quantifier);
+  }
+  predicates_.push_back(std::move(p));
+  return predicates_.back().id;
+}
+
+Result<ColumnRef> Query::ResolveColumn(const std::string& alias,
+                                       const std::string& column) const {
+  for (int q = 0; q < num_quantifiers(); ++q) {
+    if (quantifiers_[q].alias != alias) continue;
+    int ord = table_of(q).FindColumn(column);
+    if (ord < 0) {
+      return Status::NotFound("no column '" + column + "' in '" + alias + "'");
+    }
+    return ColumnRef{q, ord};
+  }
+  return Status::NotFound("no quantifier with alias '" + alias + "'");
+}
+
+Result<ColumnRef> Query::ResolveBareColumn(const std::string& column) const {
+  std::optional<ColumnRef> found;
+  for (int q = 0; q < num_quantifiers(); ++q) {
+    int ord = table_of(q).FindColumn(column);
+    if (ord < 0) continue;
+    if (found.has_value()) {
+      return Status::InvalidArgument("ambiguous column '" + column + "'");
+    }
+    found = ColumnRef{q, ord};
+  }
+  if (!found.has_value()) {
+    return Status::NotFound("no column named '" + column + "'");
+  }
+  return *found;
+}
+
+std::string Query::ColumnName(ColumnRef ref) const {
+  if (ref.quantifier < 0 || ref.quantifier >= num_quantifiers()) {
+    return "q?" + std::to_string(ref.quantifier);
+  }
+  const std::string& alias = quantifiers_[ref.quantifier].alias;
+  if (ref.is_tid()) return alias + ".TID";
+  return alias + "." + table_of(ref.quantifier).columns[ref.column].name;
+}
+
+const ColumnDef& Query::column_def(ColumnRef ref) const {
+  return table_of(ref.quantifier).columns[ref.column];
+}
+
+PredSet Query::EligiblePredicates(QuantifierSet tables,
+                                  PredSet candidates) const {
+  PredSet out;
+  for (int id : candidates.ToVector()) {
+    if (IsEligible(predicates_[id], tables)) out.Insert(id);
+  }
+  return out;
+}
+
+ColumnSet Query::ColumnsNeeded(int q) const {
+  ColumnSet out;
+  for (const ColumnRef& c : select_list_) {
+    if (c.quantifier == q) out.insert(c);
+  }
+  for (const ColumnRef& c : order_by_) {
+    if (c.quantifier == q) out.insert(c);
+  }
+  for (const Predicate& p : predicates_) {
+    for (const ColumnRef& c : p.Columns()) {
+      if (c.quantifier == q) out.insert(c);
+    }
+  }
+  return out;
+}
+
+std::string Query::ToString() const {
+  std::string out = "SELECT ";
+  out += StrJoinMapped(select_list_, ", ",
+                       [this](ColumnRef c) { return ColumnName(c); });
+  out += " FROM ";
+  out += StrJoinMapped(quantifiers_, ", ", [this](const Quantifier& q) {
+    const std::string& tbl = catalog_->table(q.table).name;
+    return q.alias == tbl ? tbl : tbl + " " + q.alias;
+  });
+  if (!predicates_.empty()) {
+    out += " WHERE ";
+    out += StrJoinMapped(predicates_, " AND ", [this](const Predicate& p) {
+      return p.ToString(this);
+    });
+  }
+  if (!order_by_.empty()) {
+    out += " ORDER BY ";
+    out += StrJoinMapped(order_by_, ", ",
+                         [this](ColumnRef c) { return ColumnName(c); });
+  }
+  return out;
+}
+
+}  // namespace starburst

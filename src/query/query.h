@@ -1,0 +1,94 @@
+#ifndef STARBURST_QUERY_QUERY_H_
+#define STARBURST_QUERY_QUERY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/id_set.h"
+#include "query/expr.h"
+#include "query/predicate.h"
+
+namespace starburst {
+
+/// A table occurrence in the FROM list. The same stored table may appear
+/// under several quantifiers (self-joins).
+struct Quantifier {
+  std::string alias;
+  TableId table = -1;
+};
+
+/// A parsed, analyzed conjunctive query: SELECT <columns> FROM <quantifiers>
+/// WHERE <conjuncts> [ORDER BY <columns>], optionally with a required result
+/// site (the R* "query site" requirement). This is the non-procedural input
+/// the optimizer turns into a SAP.
+class Query {
+ public:
+  explicit Query(const Catalog* catalog) : catalog_(catalog) {}
+
+  const Catalog& catalog() const { return *catalog_; }
+
+  /// Adds a quantifier over `table_name`; `alias` defaults to the name.
+  /// Returns the quantifier id.
+  Result<int> AddQuantifier(const std::string& table_name,
+                            std::string alias = "");
+
+  /// Adds a WHERE conjunct and returns its predicate id. Fails if the
+  /// expressions reference unknown quantifiers/columns.
+  Result<int> AddPredicate(ExprPtr lhs, CompareOp op, ExprPtr rhs);
+
+  void AddSelectColumn(ColumnRef ref) { select_list_.push_back(ref); }
+  void AddOrderBy(ColumnRef ref) { order_by_.push_back(ref); }
+  void set_required_site(SiteId site) { required_site_ = site; }
+
+  int num_quantifiers() const { return static_cast<int>(quantifiers_.size()); }
+  const Quantifier& quantifier(int id) const { return quantifiers_[id]; }
+  const TableDef& table_of(int quantifier) const {
+    return catalog_->table(quantifiers_[quantifier].table);
+  }
+
+  int num_predicates() const { return static_cast<int>(predicates_.size()); }
+  const Predicate& predicate(int id) const { return predicates_[id]; }
+
+  const std::vector<ColumnRef>& select_list() const { return select_list_; }
+  const std::vector<ColumnRef>& order_by() const { return order_by_; }
+  std::optional<SiteId> required_site() const { return required_site_; }
+
+  /// Resolves "alias.column" (or bare column if unambiguous).
+  Result<ColumnRef> ResolveColumn(const std::string& alias,
+                                  const std::string& column) const;
+  Result<ColumnRef> ResolveBareColumn(const std::string& column) const;
+
+  /// "alias.COLNAME" rendering for explain output.
+  std::string ColumnName(ColumnRef ref) const;
+  const ColumnDef& column_def(ColumnRef ref) const;
+
+  QuantifierSet AllQuantifiers() const {
+    return QuantifierSet::FirstN(num_quantifiers());
+  }
+  PredSet AllPredicates() const { return PredSet::FirstN(num_predicates()); }
+
+  /// Predicates in `candidates` eligible on `tables` (χ(p) ⊆ χ(tables)).
+  PredSet EligiblePredicates(QuantifierSet tables, PredSet candidates) const;
+
+  /// Columns of quantifier `q` that the rest of the query needs: referenced
+  /// by the select list, order-by, or any predicate. Drives projection
+  /// push-down in ACCESS.
+  ColumnSet ColumnsNeeded(int q) const;
+
+  /// Human-readable one-line rendering for logs and explain headers.
+  std::string ToString() const;
+
+ private:
+  const Catalog* catalog_;
+  std::vector<Quantifier> quantifiers_;
+  std::vector<Predicate> predicates_;
+  std::vector<ColumnRef> select_list_;
+  std::vector<ColumnRef> order_by_;
+  std::optional<SiteId> required_site_;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_QUERY_QUERY_H_

@@ -1,0 +1,112 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <set>
+
+#include "common/strings.h"
+
+namespace starburst::sql {
+
+namespace {
+
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string> kKeywords = {
+      "SELECT", "FROM", "WHERE", "AND", "ORDER", "BY", "AT", "SITE", "AS",
+  };
+  return kKeywords;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.position = static_cast<int>(i);
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      // Identifiers may contain one '.' separator (alias.column); the parser
+      // splits on it. Site names like "N.Y." are quoted strings instead.
+      while (j < n && IsIdentChar(input[j])) ++j;
+      std::string word = input.substr(i, j - i);
+      std::string upper = ToUpper(word);
+      if (Keywords().count(upper)) {
+        tok.kind = TokenKind::kKeyword;
+        tok.text = upper;
+      } else {
+        tok.kind = TokenKind::kIdent;
+        tok.text = word;
+      }
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t j = i;
+      bool seen_dot = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(input[j])) ||
+                       (input[j] == '.' && !seen_dot))) {
+        if (input[j] == '.') seen_dot = true;
+        ++j;
+      }
+      tok.kind = TokenKind::kNumber;
+      tok.text = input.substr(i, j - i);
+      i = j;
+    } else if (c == '\'') {
+      size_t j = i + 1;
+      std::string content;
+      while (j < n && input[j] != '\'') content += input[j++];
+      if (j >= n) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(i));
+      }
+      tok.kind = TokenKind::kString;
+      tok.text = content;
+      i = j + 1;
+    } else {
+      static const char* kTwoCharOps[] = {"<=", ">=", "<>", "!="};
+      tok.kind = TokenKind::kSymbol;
+      bool matched = false;
+      if (i + 1 < n) {
+        std::string two = input.substr(i, 2);
+        for (const char* op : kTwoCharOps) {
+          if (two == op) {
+            tok.text = two == "!=" ? "<>" : two;
+            i += 2;
+            matched = true;
+            break;
+          }
+        }
+      }
+      if (!matched) {
+        if (std::string("=<>+-*/(),.").find(c) == std::string::npos) {
+          return Status::ParseError(std::string("unexpected character '") + c +
+                                    "' at offset " + std::to_string(i));
+        }
+        tok.text = std::string(1, c);
+        ++i;
+      }
+    }
+    out.push_back(std::move(tok));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.position = static_cast<int>(n);
+  out.push_back(end);
+  return out;
+}
+
+}  // namespace starburst::sql

@@ -1,0 +1,39 @@
+#ifndef STARBURST_SQL_LEXER_H_
+#define STARBURST_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace starburst::sql {
+
+enum class TokenKind {
+  kIdent,
+  kNumber,   // int or double literal; text holds the spelling
+  kString,   // quoted string, text holds the unquoted content
+  kSymbol,   // punctuation / operators, text holds the spelling
+  kKeyword,  // uppercased SQL keyword
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  int position = 0;  ///< byte offset in the input, for error messages
+
+  bool IsKeyword(const char* kw) const {
+    return kind == TokenKind::kKeyword && text == kw;
+  }
+  bool IsSymbol(const char* sym) const {
+    return kind == TokenKind::kSymbol && text == sym;
+  }
+};
+
+/// Tokenizes a SQL string. Keywords are recognized case-insensitively and
+/// normalized to upper case; identifiers keep their spelling.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace starburst::sql
+
+#endif  // STARBURST_SQL_LEXER_H_

@@ -1,0 +1,279 @@
+#include "sql/parser.h"
+
+#include <cstdlib>
+
+#include "sql/lexer.h"
+
+namespace starburst {
+
+namespace {
+
+using sql::Token;
+using sql::TokenKind;
+
+/// Recursive-descent parser over the token stream. Quantifiers must be
+/// registered before predicate expressions can resolve columns, so we parse
+/// FROM before SELECT columns are resolved (select text is buffered).
+class Parser {
+ public:
+  Parser(const Catalog& catalog, std::vector<Token> tokens)
+      : catalog_(catalog), tokens_(std::move(tokens)), query_(&catalog) {}
+
+  Result<Query> Parse() {
+    STARBURST_RETURN_NOT_OK(Expect(TokenKind::kKeyword, "SELECT"));
+    // Buffer select-list tokens until FROM; resolve after quantifiers exist.
+    std::vector<Token> select_tokens;
+    while (!Peek().IsKeyword("FROM")) {
+      if (Peek().kind == TokenKind::kEnd) {
+        return Status::ParseError("expected FROM clause");
+      }
+      select_tokens.push_back(Next());
+    }
+    STARBURST_RETURN_NOT_OK(Expect(TokenKind::kKeyword, "FROM"));
+    STARBURST_RETURN_NOT_OK(ParseFromList());
+    STARBURST_RETURN_NOT_OK(ResolveSelectList(select_tokens));
+    if (Peek().IsKeyword("WHERE")) {
+      Next();
+      STARBURST_RETURN_NOT_OK(ParseConjuncts());
+    }
+    if (Peek().IsKeyword("ORDER")) {
+      Next();
+      STARBURST_RETURN_NOT_OK(Expect(TokenKind::kKeyword, "BY"));
+      STARBURST_RETURN_NOT_OK(ParseOrderBy());
+    }
+    if (Peek().IsKeyword("AT")) {
+      Next();
+      STARBURST_RETURN_NOT_OK(Expect(TokenKind::kKeyword, "SITE"));
+      STARBURST_RETURN_NOT_OK(ParseSite());
+    }
+    if (Peek().kind != TokenKind::kEnd) {
+      return Status::ParseError("trailing input at offset " +
+                                std::to_string(Peek().position));
+    }
+    return std::move(query_);
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  Token Next() { return tokens_[pos_++]; }
+
+  Status Expect(TokenKind kind, const char* text) {
+    const Token& t = Peek();
+    if (t.kind != kind || t.text != text) {
+      return Status::ParseError(std::string("expected '") + text +
+                                "' at offset " + std::to_string(t.position) +
+                                ", got '" + t.text + "'");
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  Status ParseFromList() {
+    while (true) {
+      const Token& t = Peek();
+      if (t.kind != TokenKind::kIdent) {
+        return Status::ParseError("expected table name at offset " +
+                                  std::to_string(t.position));
+      }
+      std::string table = Next().text;
+      std::string alias;
+      if (Peek().IsKeyword("AS")) Next();
+      if (Peek().kind == TokenKind::kIdent) alias = Next().text;
+      auto q = query_.AddQuantifier(table, alias);
+      if (!q.ok()) return q.status();
+      if (Peek().IsSymbol(",")) {
+        Next();
+        continue;
+      }
+      return Status::OK();
+    }
+  }
+
+  Status ResolveSelectList(const std::vector<Token>& toks) {
+    if (toks.size() == 1 && toks[0].IsSymbol("*")) {
+      for (int q = 0; q < query_.num_quantifiers(); ++q) {
+        int ncols = static_cast<int>(query_.table_of(q).columns.size());
+        for (int c = 0; c < ncols; ++c) {
+          query_.AddSelectColumn(ColumnRef{q, c});
+        }
+      }
+      return Status::OK();
+    }
+    size_t i = 0;
+    while (i < toks.size()) {
+      if (toks[i].kind != TokenKind::kIdent) {
+        return Status::ParseError("expected column in select list at offset " +
+                                  std::to_string(toks[i].position));
+      }
+      auto ref = ResolveColumnToken(toks[i]);
+      if (!ref.ok()) return ref.status();
+      query_.AddSelectColumn(ref.value());
+      ++i;
+      if (i < toks.size()) {
+        if (!toks[i].IsSymbol(",")) {
+          return Status::ParseError("expected ',' in select list at offset " +
+                                    std::to_string(toks[i].position));
+        }
+        ++i;
+      }
+    }
+    if (query_.select_list().empty()) {
+      return Status::ParseError("empty select list");
+    }
+    return Status::OK();
+  }
+
+  Result<ColumnRef> ResolveColumnToken(const Token& tok) {
+    // Identifier may be "alias.column" or bare "column".
+    size_t dot = tok.text.find('.');
+    if (dot != std::string::npos) {
+      return query_.ResolveColumn(tok.text.substr(0, dot),
+                                  tok.text.substr(dot + 1));
+    }
+    return query_.ResolveBareColumn(tok.text);
+  }
+
+  Status ParseConjuncts() {
+    while (true) {
+      auto lhs = ParseExpr();
+      if (!lhs.ok()) return lhs.status();
+      auto op = ParseCompareOp();
+      if (!op.ok()) return op.status();
+      auto rhs = ParseExpr();
+      if (!rhs.ok()) return rhs.status();
+      auto pred = query_.AddPredicate(lhs.value(), op.value(), rhs.value());
+      if (!pred.ok()) return pred.status();
+      if (Peek().IsKeyword("AND")) {
+        Next();
+        continue;
+      }
+      return Status::OK();
+    }
+  }
+
+  Result<CompareOp> ParseCompareOp() {
+    const Token& t = Peek();
+    if (t.kind == TokenKind::kSymbol) {
+      if (t.text == "=") return (Next(), CompareOp::kEq);
+      if (t.text == "<>") return (Next(), CompareOp::kNe);
+      if (t.text == "<") return (Next(), CompareOp::kLt);
+      if (t.text == "<=") return (Next(), CompareOp::kLe);
+      if (t.text == ">") return (Next(), CompareOp::kGt);
+      if (t.text == ">=") return (Next(), CompareOp::kGe);
+    }
+    return Status::ParseError("expected comparison operator at offset " +
+                              std::to_string(t.position));
+  }
+
+  Result<ExprPtr> ParseExpr() {
+    auto lhs = ParseTerm();
+    if (!lhs.ok()) return lhs;
+    while (Peek().IsSymbol("+") || Peek().IsSymbol("-")) {
+      ExprKind op = Next().text == "+" ? ExprKind::kAdd : ExprKind::kSub;
+      auto rhs = ParseTerm();
+      if (!rhs.ok()) return rhs;
+      lhs = Expr::Binary(op, std::move(lhs).value(), std::move(rhs).value());
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseTerm() {
+    auto lhs = ParseFactor();
+    if (!lhs.ok()) return lhs;
+    while (Peek().IsSymbol("*") || Peek().IsSymbol("/")) {
+      ExprKind op = Next().text == "*" ? ExprKind::kMul : ExprKind::kDiv;
+      auto rhs = ParseFactor();
+      if (!rhs.ok()) return rhs;
+      lhs = Expr::Binary(op, std::move(lhs).value(), std::move(rhs).value());
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseFactor() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kNumber: {
+        Token tok = Next();
+        if (tok.text.find('.') != std::string::npos) {
+          return Expr::Literal(Datum(std::strtod(tok.text.c_str(), nullptr)));
+        }
+        return Expr::Literal(
+            Datum(static_cast<int64_t>(std::strtoll(tok.text.c_str(),
+                                                    nullptr, 10))));
+      }
+      case TokenKind::kString:
+        return Expr::Literal(Datum(Next().text));
+      case TokenKind::kIdent: {
+        auto ref = ResolveColumnToken(Next());
+        if (!ref.ok()) return ref.status();
+        return Expr::Column(ref.value());
+      }
+      case TokenKind::kSymbol:
+        if (t.text == "(") {
+          Next();
+          auto inner = ParseExpr();
+          if (!inner.ok()) return inner;
+          if (!Peek().IsSymbol(")")) {
+            return Status::ParseError("expected ')' at offset " +
+                                      std::to_string(Peek().position));
+          }
+          Next();
+          return inner;
+        }
+        break;
+      default:
+        break;
+    }
+    return Status::ParseError("expected expression at offset " +
+                              std::to_string(t.position));
+  }
+
+  Status ParseOrderBy() {
+    while (true) {
+      const Token& t = Peek();
+      if (t.kind != TokenKind::kIdent) {
+        return Status::ParseError("expected column in ORDER BY at offset " +
+                                  std::to_string(t.position));
+      }
+      auto ref = ResolveColumnToken(Next());
+      if (!ref.ok()) return ref.status();
+      query_.AddOrderBy(ref.value());
+      if (Peek().IsSymbol(",")) {
+        Next();
+        continue;
+      }
+      return Status::OK();
+    }
+  }
+
+  Status ParseSite() {
+    const Token& t = Peek();
+    std::string name;
+    if (t.kind == TokenKind::kIdent || t.kind == TokenKind::kString) {
+      name = Next().text;
+    } else {
+      return Status::ParseError("expected site name at offset " +
+                                std::to_string(t.position));
+    }
+    auto site = catalog_.FindSite(name);
+    if (!site.ok()) return site.status();
+    query_.set_required_site(site.value());
+    return Status::OK();
+  }
+
+  const Catalog& catalog_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  Query query_;
+};
+
+}  // namespace
+
+Result<Query> ParseSql(const Catalog& catalog, const std::string& text) {
+  auto tokens = sql::Tokenize(text);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(catalog, std::move(tokens).value());
+  return parser.Parse();
+}
+
+}  // namespace starburst

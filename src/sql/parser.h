@@ -1,0 +1,33 @@
+#ifndef STARBURST_SQL_PARSER_H_
+#define STARBURST_SQL_PARSER_H_
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "query/query.h"
+
+namespace starburst {
+
+/// Parses a conjunctive SQL query against `catalog` into an analyzed Query.
+///
+/// Supported grammar (enough for every example in the paper):
+///
+///   query     := SELECT select FROM tables [WHERE conj] [ORDER BY cols]
+///                [AT SITE name]
+///   select    := '*' | column (',' column)*
+///   tables    := table [alias] (',' table [alias])*
+///   conj      := cmp (AND cmp)*
+///   cmp       := expr ('='|'<>'|'<'|'<='|'>'|'>=') expr
+///   expr      := term (('+'|'-') term)*
+///   term      := factor (('*'|'/') factor)*
+///   factor    := number | 'string' | column | '(' expr ')'
+///   column    := [alias '.'] name
+///
+/// `AT SITE` is an extension expressing the R* requirement that results be
+/// delivered to a particular site (the query site by default).
+Result<Query> ParseSql(const Catalog& catalog, const std::string& text);
+
+}  // namespace starburst
+
+#endif  // STARBURST_SQL_PARSER_H_

@@ -1,0 +1,672 @@
+#include "star/builtins.h"
+
+#include <algorithm>
+
+#include "properties/property_functions.h"
+#include "query/query.h"
+
+namespace starburst {
+
+void FunctionRegistry::Register(const std::string& name, RuleFn fn) {
+  fns_[name] = std::move(fn);
+}
+
+Result<const RuleFn*> FunctionRegistry::Find(const std::string& name) const {
+  auto it = fns_.find(name);
+  if (it == fns_.end()) {
+    return Status::NotFound("no rule function named '" + name + "'");
+  }
+  return &it->second;
+}
+
+std::vector<std::string> FunctionRegistry::Names() const {
+  std::vector<std::string> out;
+  out.reserve(fns_.size());
+  for (const auto& [name, fn] : fns_) out.push_back(name);
+  return out;
+}
+
+namespace {
+
+// ---- coercion helpers ------------------------------------------------------
+
+Result<QuantifierSet> TablesOf(const RuleValue& v) {
+  if (const StreamSpec* s = v.get_if<StreamSpec>()) return s->tables;
+  if (const QuantifierSet* t = v.get_if<QuantifierSet>()) return *t;
+  return Status::InvalidArgument("expected a stream or table set, got " +
+                                 v.ToString());
+}
+
+Result<const StreamSpec*> StreamOf(const RuleValue& v) {
+  if (const StreamSpec* s = v.get_if<StreamSpec>()) return s;
+  return Status::InvalidArgument("expected a stream, got " + v.ToString());
+}
+
+Result<PredSet> PredsOf(const RuleValue& v) {
+  if (const PredSet* p = v.get_if<PredSet>()) return *p;
+  if (v.is<std::monostate>()) return PredSet{};
+  return Status::InvalidArgument("expected a predicate set, got " +
+                                 v.ToString());
+}
+
+Result<int> SingleQuantifier(const RuleValue& v) {
+  auto tables = TablesOf(v);
+  if (!tables.ok()) return tables.status();
+  if (tables.value().size() != 1) {
+    return Status::InvalidArgument("expected a single-table stream, got " +
+                                   tables.value().ToString());
+  }
+  return tables.value().First();
+}
+
+Status Arity(const std::vector<RuleValue>& args, size_t n,
+             const char* name) {
+  if (args.size() != n) {
+    return Status::InvalidArgument(std::string(name) + " expects " +
+                                   std::to_string(n) + " argument(s), got " +
+                                   std::to_string(args.size()));
+  }
+  return Status::OK();
+}
+
+/// For an indexable-style predicate, the bare column of side `t` when the
+/// other side does not reference `t`; nullopt otherwise.
+std::optional<ColumnRef> ProbeColumnOf(const Predicate& p, QuantifierSet t) {
+  auto side_free_of_t = [&](const ColumnSet& cols) {
+    for (const ColumnRef& c : cols) {
+      if (t.Contains(c.quantifier)) return false;
+    }
+    return true;
+  };
+  if (p.lhs->IsBareColumn() && t.Contains(p.lhs->column().quantifier) &&
+      side_free_of_t(p.rhs_columns)) {
+    return p.lhs->column();
+  }
+  if (p.rhs->IsBareColumn() && t.Contains(p.rhs->column().quantifier) &&
+      side_free_of_t(p.lhs_columns)) {
+    return p.rhs->column();
+  }
+  return std::nullopt;
+}
+
+// ---- set algebra -----------------------------------------------------------
+
+Result<RuleValue> FnUnion(const std::vector<RuleValue>& args,
+                          const RuleFnContext&) {
+  STARBURST_RETURN_NOT_OK(Arity(args, 2, "union"));
+  if (args[0].is<PredSet>() || args[1].is<PredSet>()) {
+    auto a = PredsOf(args[0]);
+    if (!a.ok()) return a.status();
+    auto b = PredsOf(args[1]);
+    if (!b.ok()) return b.status();
+    return RuleValue(a.value().Union(b.value()));
+  }
+  if (args[0].is<ColumnSet>() && args[1].is<ColumnSet>()) {
+    ColumnSet out = args[0].as<ColumnSet>();
+    const ColumnSet& b = args[1].as<ColumnSet>();
+    out.insert(b.begin(), b.end());
+    return RuleValue(out);
+  }
+  if (args[0].is<QuantifierSet>() && args[1].is<QuantifierSet>()) {
+    return RuleValue(args[0].as<QuantifierSet>().Union(
+        args[1].as<QuantifierSet>()));
+  }
+  return Status::InvalidArgument("union: incompatible operand types");
+}
+
+Result<RuleValue> FnMinus(const std::vector<RuleValue>& args,
+                          const RuleFnContext&) {
+  STARBURST_RETURN_NOT_OK(Arity(args, 2, "minus"));
+  if (args[0].is<PredSet>() || args[1].is<PredSet>()) {
+    auto a = PredsOf(args[0]);
+    if (!a.ok()) return a.status();
+    auto b = PredsOf(args[1]);
+    if (!b.ok()) return b.status();
+    return RuleValue(a.value().Minus(b.value()));
+  }
+  if (args[0].is<ColumnSet>() && args[1].is<ColumnSet>()) {
+    ColumnSet out;
+    const ColumnSet& b = args[1].as<ColumnSet>();
+    for (const ColumnRef& c : args[0].as<ColumnSet>()) {
+      if (!b.count(c)) out.insert(c);
+    }
+    return RuleValue(out);
+  }
+  if (args[0].is<QuantifierSet>() && args[1].is<QuantifierSet>()) {
+    return RuleValue(args[0].as<QuantifierSet>().Minus(
+        args[1].as<QuantifierSet>()));
+  }
+  return Status::InvalidArgument("minus: incompatible operand types");
+}
+
+Result<RuleValue> FnIntersect(const std::vector<RuleValue>& args,
+                              const RuleFnContext&) {
+  STARBURST_RETURN_NOT_OK(Arity(args, 2, "intersect"));
+  if (args[0].is<PredSet>() || args[1].is<PredSet>()) {
+    auto a = PredsOf(args[0]);
+    if (!a.ok()) return a.status();
+    auto b = PredsOf(args[1]);
+    if (!b.ok()) return b.status();
+    return RuleValue(a.value().Intersect(b.value()));
+  }
+  if (args[0].is<ColumnSet>() && args[1].is<ColumnSet>()) {
+    ColumnSet out;
+    const ColumnSet& b = args[1].as<ColumnSet>();
+    for (const ColumnRef& c : args[0].as<ColumnSet>()) {
+      if (b.count(c)) out.insert(c);
+    }
+    return RuleValue(out);
+  }
+  return Status::InvalidArgument("intersect: incompatible operand types");
+}
+
+Result<RuleValue> FnEmpty(const std::vector<RuleValue>& args,
+                          const RuleFnContext&) {
+  STARBURST_RETURN_NOT_OK(Arity(args, 1, "empty"));
+  if (const PredSet* p = args[0].get_if<PredSet>()) {
+    return RuleValue(p->empty());
+  }
+  if (const ColumnSet* c = args[0].get_if<ColumnSet>()) {
+    return RuleValue(c->empty());
+  }
+  if (const QuantifierSet* t = args[0].get_if<QuantifierSet>()) {
+    return RuleValue(t->empty());
+  }
+  if (const SortOrder* o = args[0].get_if<SortOrder>()) {
+    return RuleValue(o->empty());
+  }
+  if (const RuleList* l = args[0].get_if<RuleList>()) {
+    return RuleValue(l->empty());
+  }
+  if (args[0].is<std::monostate>()) return RuleValue(true);
+  return Status::InvalidArgument("empty: expected a set");
+}
+
+Result<RuleValue> FnNonempty(const std::vector<RuleValue>& args,
+                             const RuleFnContext& ctx) {
+  auto e = FnEmpty(args, ctx);
+  if (!e.ok()) return e;
+  return RuleValue(!e.value().as<bool>());
+}
+
+Result<RuleValue> FnSize(const std::vector<RuleValue>& args,
+                         const RuleFnContext&) {
+  STARBURST_RETURN_NOT_OK(Arity(args, 1, "size"));
+  if (const PredSet* p = args[0].get_if<PredSet>()) {
+    return RuleValue(static_cast<int64_t>(p->size()));
+  }
+  if (const ColumnSet* c = args[0].get_if<ColumnSet>()) {
+    return RuleValue(static_cast<int64_t>(c->size()));
+  }
+  if (const QuantifierSet* t = args[0].get_if<QuantifierSet>()) {
+    return RuleValue(static_cast<int64_t>(t->size()));
+  }
+  if (const RuleList* l = args[0].get_if<RuleList>()) {
+    return RuleValue(static_cast<int64_t>(l->size()));
+  }
+  return Status::InvalidArgument("size: expected a set");
+}
+
+// ---- logic -----------------------------------------------------------------
+
+Result<bool> AsBool(const RuleValue& v, const char* fn) {
+  if (const bool* b = v.get_if<bool>()) return *b;
+  return Status::InvalidArgument(std::string(fn) + ": expected a boolean");
+}
+
+Result<RuleValue> FnAnd(const std::vector<RuleValue>& args,
+                        const RuleFnContext&) {
+  for (const RuleValue& v : args) {
+    auto b = AsBool(v, "and");
+    if (!b.ok()) return b.status();
+    if (!b.value()) return RuleValue(false);
+  }
+  return RuleValue(true);
+}
+
+Result<RuleValue> FnOr(const std::vector<RuleValue>& args,
+                       const RuleFnContext&) {
+  for (const RuleValue& v : args) {
+    auto b = AsBool(v, "or");
+    if (!b.ok()) return b.status();
+    if (b.value()) return RuleValue(true);
+  }
+  return RuleValue(false);
+}
+
+Result<RuleValue> FnNot(const std::vector<RuleValue>& args,
+                        const RuleFnContext&) {
+  STARBURST_RETURN_NOT_OK(Arity(args, 1, "not"));
+  auto b = AsBool(args[0], "not");
+  if (!b.ok()) return b.status();
+  return RuleValue(!b.value());
+}
+
+Result<RuleValue> FnEq(const std::vector<RuleValue>& args,
+                       const RuleFnContext&) {
+  STARBURST_RETURN_NOT_OK(Arity(args, 2, "eq"));
+  if (args[0].is<int64_t>() && args[1].is<int64_t>()) {
+    return RuleValue(args[0].as<int64_t>() == args[1].as<int64_t>());
+  }
+  if (args[0].is<std::string>() && args[1].is<std::string>()) {
+    return RuleValue(args[0].as<std::string>() == args[1].as<std::string>());
+  }
+  if (args[0].is<bool>() && args[1].is<bool>()) {
+    return RuleValue(args[0].as<bool>() == args[1].as<bool>());
+  }
+  return Status::InvalidArgument("eq: incompatible operand types");
+}
+
+// ---- stream tests ----------------------------------------------------------
+
+Result<RuleValue> FnComposite(const std::vector<RuleValue>& args,
+                              const RuleFnContext&) {
+  STARBURST_RETURN_NOT_OK(Arity(args, 1, "composite"));
+  auto t = TablesOf(args[0]);
+  if (!t.ok()) return t.status();
+  return RuleValue(t.value().size() > 1);
+}
+
+Result<RuleValue> FnNaturalSite(const std::vector<RuleValue>& args,
+                                const RuleFnContext& ctx) {
+  STARBURST_RETURN_NOT_OK(Arity(args, 1, "natural_site"));
+  auto t = TablesOf(args[0]);
+  if (!t.ok()) return t.status();
+  int64_t site = -1;
+  for (int q : t.value().ToVector()) {
+    SiteId s = ctx.query->table_of(q).site;
+    if (site == -1) {
+      site = s;
+    } else if (site != s) {
+      return RuleValue(int64_t{-1});  // mixed sites
+    }
+  }
+  return RuleValue(site);
+}
+
+Result<RuleValue> FnRequiredSite(const std::vector<RuleValue>& args,
+                                 const RuleFnContext&) {
+  STARBURST_RETURN_NOT_OK(Arity(args, 1, "required_site"));
+  auto s = StreamOf(args[0]);
+  if (!s.ok()) return s.status();
+  if (!s.value()->required.site.has_value()) return RuleValue(int64_t{-1});
+  return RuleValue(static_cast<int64_t>(*s.value()->required.site));
+}
+
+Result<RuleValue> FnIsLocalQuery(const std::vector<RuleValue>& args,
+                                 const RuleFnContext& ctx) {
+  if (!args.empty()) {
+    return Status::InvalidArgument("is_local_query takes no arguments");
+  }
+  SiteId query_site = ctx.query->required_site().value_or(0);
+  for (int q = 0; q < ctx.query->num_quantifiers(); ++q) {
+    if (ctx.query->table_of(q).site != query_site) return RuleValue(false);
+  }
+  return RuleValue(true);
+}
+
+Result<RuleValue> FnAllowCompositeInner(const std::vector<RuleValue>&,
+                                        const RuleFnContext& ctx) {
+  return RuleValue(ctx.allow_composite_inner);
+}
+
+Result<RuleValue> FnAllowCartesian(const std::vector<RuleValue>&,
+                                   const RuleFnContext& ctx) {
+  return RuleValue(ctx.allow_cartesian);
+}
+
+// ---- predicate classification (paper §4.4-4.5) -----------------------------
+
+template <bool (*Classify)(const Predicate&, QuantifierSet, QuantifierSet)>
+Result<RuleValue> ClassifyPreds(const std::vector<RuleValue>& args,
+                                const RuleFnContext& ctx, const char* name) {
+  STARBURST_RETURN_NOT_OK(Arity(args, 3, name));
+  auto preds = PredsOf(args[0]);
+  if (!preds.ok()) return preds.status();
+  auto t1 = TablesOf(args[1]);
+  if (!t1.ok()) return t1.status();
+  auto t2 = TablesOf(args[2]);
+  if (!t2.ok()) return t2.status();
+  PredSet out;
+  for (int id : preds.value().ToVector()) {
+    if (Classify(ctx.query->predicate(id), t1.value(), t2.value())) {
+      out.Insert(id);
+    }
+  }
+  return RuleValue(out);
+}
+
+Result<RuleValue> FnJoinPreds(const std::vector<RuleValue>& args,
+                              const RuleFnContext& ctx) {
+  return ClassifyPreds<IsJoinPredicate>(args, ctx, "join_preds");
+}
+Result<RuleValue> FnSortablePreds(const std::vector<RuleValue>& args,
+                                  const RuleFnContext& ctx) {
+  return ClassifyPreds<IsSortable>(args, ctx, "sortable_preds");
+}
+Result<RuleValue> FnHashablePreds(const std::vector<RuleValue>& args,
+                                  const RuleFnContext& ctx) {
+  return ClassifyPreds<IsHashable>(args, ctx, "hashable_preds");
+}
+Result<RuleValue> FnIndexablePreds(const std::vector<RuleValue>& args,
+                                   const RuleFnContext& ctx) {
+  return ClassifyPreds<IsIndexable>(args, ctx, "indexable_preds");
+}
+
+Result<RuleValue> FnInnerPreds(const std::vector<RuleValue>& args,
+                               const RuleFnContext& ctx) {
+  STARBURST_RETURN_NOT_OK(Arity(args, 2, "inner_preds"));
+  auto preds = PredsOf(args[0]);
+  if (!preds.ok()) return preds.status();
+  auto t2 = TablesOf(args[1]);
+  if (!t2.ok()) return t2.status();
+  PredSet out;
+  for (int id : preds.value().ToVector()) {
+    if (IsInnerOnly(ctx.query->predicate(id), t2.value())) out.Insert(id);
+  }
+  return RuleValue(out);
+}
+
+// ---- column derivation -----------------------------------------------------
+
+Result<RuleValue> FnSortCols(const std::vector<RuleValue>& args,
+                             const RuleFnContext& ctx) {
+  STARBURST_RETURN_NOT_OK(Arity(args, 2, "sort_cols"));
+  auto preds = PredsOf(args[0]);
+  if (!preds.ok()) return preds.status();
+  auto t = TablesOf(args[1]);
+  if (!t.ok()) return t.status();
+  SortOrder out;
+  for (int id : preds.value().ToVector()) {
+    const Predicate& p = ctx.query->predicate(id);
+    if (!p.lhs->IsBareColumn() || !p.rhs->IsBareColumn()) continue;
+    ColumnRef c = SortColumnFor(p, t.value());
+    if (!t.value().Contains(c.quantifier)) continue;
+    if (std::find(out.begin(), out.end(), c) == out.end()) out.push_back(c);
+  }
+  return RuleValue(out);
+}
+
+Result<RuleValue> FnIndexCols(const std::vector<RuleValue>& args,
+                              const RuleFnContext& ctx) {
+  STARBURST_RETURN_NOT_OK(Arity(args, 3, "index_cols"));
+  auto ip = PredsOf(args[0]);
+  if (!ip.ok()) return ip.status();
+  auto xp = PredsOf(args[1]);
+  if (!xp.ok()) return xp.status();
+  auto t = TablesOf(args[2]);
+  if (!t.ok()) return t.status();
+  // '=' predicates first (paper §4.5.3).
+  SortOrder out;
+  PredSet all = ip.value().Union(xp.value());
+  auto add_matching = [&](bool want_eq) {
+    for (int id : all.ToVector()) {
+      const Predicate& p = ctx.query->predicate(id);
+      if ((p.op == CompareOp::kEq) != want_eq) continue;
+      std::optional<ColumnRef> c = ProbeColumnOf(p, t.value());
+      if (!c.has_value()) continue;
+      if (std::find(out.begin(), out.end(), *c) == out.end()) {
+        out.push_back(*c);
+      }
+    }
+  };
+  add_matching(true);
+  add_matching(false);
+  return RuleValue(out);
+}
+
+Result<RuleValue> FnAccessCols(const std::vector<RuleValue>& args,
+                               const RuleFnContext& ctx) {
+  STARBURST_RETURN_NOT_OK(Arity(args, 2, "access_cols"));
+  auto q = SingleQuantifier(args[0]);
+  if (!q.ok()) return q.status();
+  auto preds = PredsOf(args[1]);
+  if (!preds.ok()) return preds.status();
+  ColumnSet cols = ctx.query->ColumnsNeeded(q.value());
+  for (int id : preds.value().ToVector()) {
+    for (const ColumnRef& c : ctx.query->predicate(id).Columns()) {
+      if (c.quantifier == q.value()) cols.insert(c);
+    }
+  }
+  SortOrder out(cols.begin(), cols.end());
+  return RuleValue(out);
+}
+
+Result<const IndexDef*> FindIndexDef(const Query& query, int q,
+                                     const std::string& name) {
+  for (const IndexDef& ix : query.table_of(q).indexes) {
+    if (ix.name == name) return &ix;
+  }
+  return Status::NotFound("no index '" + name + "'");
+}
+
+Result<RuleValue> FnIndexKey(const std::vector<RuleValue>& args,
+                             const RuleFnContext& ctx) {
+  STARBURST_RETURN_NOT_OK(Arity(args, 2, "index_key"));
+  auto q = SingleQuantifier(args[0]);
+  if (!q.ok()) return q.status();
+  if (!args[1].is<std::string>()) {
+    return Status::InvalidArgument("index_key: expected an index name");
+  }
+  auto ix = FindIndexDef(*ctx.query, q.value(), args[1].as<std::string>());
+  if (!ix.ok()) return ix.status();
+  SortOrder out;
+  for (int ord : ix.value()->key_columns) {
+    out.push_back(ColumnRef{q.value(), ord});
+  }
+  return RuleValue(out);
+}
+
+Result<RuleValue> FnKeyAndTid(const std::vector<RuleValue>& args,
+                              const RuleFnContext& ctx) {
+  STARBURST_RETURN_NOT_OK(Arity(args, 2, "key_and_tid"));
+  auto key = FnIndexKey(args, ctx);
+  if (!key.ok()) return key;
+  auto q = SingleQuantifier(args[0]);
+  if (!q.ok()) return q.status();
+  SortOrder out = key.value().as<SortOrder>();
+  out.push_back(ColumnRef{q.value(), ColumnRef::kTidColumn});
+  return RuleValue(out);
+}
+
+Result<RuleValue> FnPrefixOf(const std::vector<RuleValue>& args,
+                             const RuleFnContext&) {
+  STARBURST_RETURN_NOT_OK(Arity(args, 2, "prefix_of"));
+  const SortOrder* required = args[0].get_if<SortOrder>();
+  const SortOrder* available = args[1].get_if<SortOrder>();
+  if (required == nullptr || available == nullptr) {
+    return Status::InvalidArgument("prefix_of: expected two column lists");
+  }
+  return RuleValue(OrderSatisfies(*available, *required));
+}
+
+// ---- catalog access --------------------------------------------------------
+
+Result<RuleValue> FnSites(const std::vector<RuleValue>&,
+                          const RuleFnContext& ctx) {
+  // σ: sites at which tables of the query are stored, plus the query site
+  // (paper §4.2).
+  std::set<SiteId> sites;
+  sites.insert(ctx.query->required_site().value_or(0));
+  for (int q = 0; q < ctx.query->num_quantifiers(); ++q) {
+    sites.insert(ctx.query->table_of(q).site);
+  }
+  RuleList out;
+  for (SiteId s : sites) out.push_back(RuleValue(static_cast<int64_t>(s)));
+  return RuleValue(out);
+}
+
+Result<RuleValue> FnIndexesOn(const std::vector<RuleValue>& args,
+                              const RuleFnContext& ctx) {
+  STARBURST_RETURN_NOT_OK(Arity(args, 1, "indexes_on"));
+  auto q = SingleQuantifier(args[0]);
+  if (!q.ok()) return q.status();
+  RuleList out;
+  for (const IndexDef& ix : ctx.query->table_of(q.value()).indexes) {
+    out.push_back(RuleValue(ix.name));
+  }
+  return RuleValue(out);
+}
+
+Result<RuleValue> FnIndexEligiblePreds(const std::vector<RuleValue>& args,
+                                       const RuleFnContext& ctx) {
+  STARBURST_RETURN_NOT_OK(Arity(args, 3, "index_eligible_preds"));
+  auto q = SingleQuantifier(args[0]);
+  if (!q.ok()) return q.status();
+  if (!args[1].is<std::string>()) {
+    return Status::InvalidArgument(
+        "index_eligible_preds: expected an index name");
+  }
+  auto preds = PredsOf(args[2]);
+  if (!preds.ok()) return preds.status();
+  auto ix = FindIndexDef(*ctx.query, q.value(), args[1].as<std::string>());
+  if (!ix.ok()) return ix.status();
+  std::vector<ColumnRef> key;
+  for (int ord : ix.value()->key_columns) {
+    key.push_back(ColumnRef{q.value(), ord});
+  }
+  return RuleValue(
+      IndexEligiblePreds(*ctx.query, q.value(), key, preds.value()));
+}
+
+Result<RuleValue> FnStorageKind(const std::vector<RuleValue>& args,
+                                const RuleFnContext& ctx) {
+  STARBURST_RETURN_NOT_OK(Arity(args, 1, "storage_kind"));
+  auto q = SingleQuantifier(args[0]);
+  if (!q.ok()) return q.status();
+  return RuleValue(
+      std::string(StorageKindName(ctx.query->table_of(q.value()).storage)));
+}
+
+Result<RuleValue> FnAtNaturalSite(const std::vector<RuleValue>& args,
+                                  const RuleFnContext&) {
+  STARBURST_RETURN_NOT_OK(Arity(args, 1, "at_natural_site"));
+  auto s = StreamOf(args[0]);
+  if (!s.ok()) return s.status();
+  // The stream with its placement requirements stripped: Glue will build it
+  // where its tables live (semijoin reductions filter *before* shipping).
+  StreamSpec out = *s.value();
+  out.required.site.reset();
+  out.required.temp = false;
+  return RuleValue(std::move(out));
+}
+
+Result<RuleValue> FnPredCols(const std::vector<RuleValue>& args,
+                             const RuleFnContext& ctx) {
+  STARBURST_RETURN_NOT_OK(Arity(args, 2, "pred_cols"));
+  auto preds = PredsOf(args[0]);
+  if (!preds.ok()) return preds.status();
+  auto t = TablesOf(args[1]);
+  if (!t.ok()) return t.status();
+  // χ(P) ∩ χ(T): every column of the predicates that belongs to T, in
+  // predicate order.
+  SortOrder out;
+  for (int id : preds.value().ToVector()) {
+    for (const ColumnRef& c : ctx.query->predicate(id).Columns()) {
+      if (!t.value().Contains(c.quantifier)) continue;
+      if (std::find(out.begin(), out.end(), c) == out.end()) {
+        out.push_back(c);
+      }
+    }
+  }
+  return RuleValue(out);
+}
+
+Result<RuleValue> FnTidCol(const std::vector<RuleValue>& args,
+                           const RuleFnContext&) {
+  STARBURST_RETURN_NOT_OK(Arity(args, 1, "tid_col"));
+  auto q = SingleQuantifier(args[0]);
+  if (!q.ok()) return q.status();
+  return RuleValue(SortOrder{ColumnRef{q.value(), ColumnRef::kTidColumn}});
+}
+
+Result<RuleValue> FnLt(const std::vector<RuleValue>& args,
+                       const RuleFnContext&) {
+  STARBURST_RETURN_NOT_OK(Arity(args, 2, "lt"));
+  if (args[0].is<int64_t>() && args[1].is<int64_t>()) {
+    return RuleValue(args[0].as<int64_t>() < args[1].as<int64_t>());
+  }
+  if (args[0].is<std::string>() && args[1].is<std::string>()) {
+    return RuleValue(args[0].as<std::string>() < args[1].as<std::string>());
+  }
+  return Status::InvalidArgument("lt: incompatible operand types");
+}
+
+Result<RuleValue> FnQuant(const std::vector<RuleValue>& args,
+                          const RuleFnContext&) {
+  STARBURST_RETURN_NOT_OK(Arity(args, 1, "quant"));
+  auto q = SingleQuantifier(args[0]);
+  if (!q.ok()) return q.status();
+  return RuleValue(static_cast<int64_t>(q.value()));
+}
+
+Result<RuleValue> FnPredsOfStream(const std::vector<RuleValue>& args,
+                                  const RuleFnContext&) {
+  STARBURST_RETURN_NOT_OK(Arity(args, 1, "preds_of"));
+  auto s = StreamOf(args[0]);
+  if (!s.ok()) return s.status();
+  return RuleValue(s.value()->preds);
+}
+
+Result<RuleValue> FnHasOrderRequirement(const std::vector<RuleValue>& args,
+                                        const RuleFnContext&) {
+  STARBURST_RETURN_NOT_OK(Arity(args, 1, "has_order_requirement"));
+  auto s = StreamOf(args[0]);
+  if (!s.ok()) return s.status();
+  return RuleValue(s.value()->required.order.has_value());
+}
+
+Result<RuleValue> FnRequiredOrder(const std::vector<RuleValue>& args,
+                                  const RuleFnContext&) {
+  STARBURST_RETURN_NOT_OK(Arity(args, 1, "required_order"));
+  auto s = StreamOf(args[0]);
+  if (!s.ok()) return s.status();
+  return RuleValue(s.value()->required.order.value_or(SortOrder{}));
+}
+
+}  // namespace
+
+Status RegisterBuiltinFunctions(FunctionRegistry* registry) {
+  registry->Register("union", FnUnion);
+  registry->Register("minus", FnMinus);
+  registry->Register("intersect", FnIntersect);
+  registry->Register("empty", FnEmpty);
+  registry->Register("nonempty", FnNonempty);
+  registry->Register("size", FnSize);
+  registry->Register("and", FnAnd);
+  registry->Register("or", FnOr);
+  registry->Register("not", FnNot);
+  registry->Register("eq", FnEq);
+  registry->Register("composite", FnComposite);
+  registry->Register("natural_site", FnNaturalSite);
+  registry->Register("required_site", FnRequiredSite);
+  registry->Register("is_local_query", FnIsLocalQuery);
+  registry->Register("allow_composite_inner", FnAllowCompositeInner);
+  registry->Register("allow_cartesian", FnAllowCartesian);
+  registry->Register("join_preds", FnJoinPreds);
+  registry->Register("sortable_preds", FnSortablePreds);
+  registry->Register("hashable_preds", FnHashablePreds);
+  registry->Register("indexable_preds", FnIndexablePreds);
+  registry->Register("inner_preds", FnInnerPreds);
+  registry->Register("sort_cols", FnSortCols);
+  registry->Register("index_cols", FnIndexCols);
+  registry->Register("access_cols", FnAccessCols);
+  registry->Register("index_key", FnIndexKey);
+  registry->Register("key_and_tid", FnKeyAndTid);
+  registry->Register("prefix_of", FnPrefixOf);
+  registry->Register("sites", FnSites);
+  registry->Register("indexes_on", FnIndexesOn);
+  registry->Register("index_eligible_preds", FnIndexEligiblePreds);
+  registry->Register("storage_kind", FnStorageKind);
+  registry->Register("tid_col", FnTidCol);
+  registry->Register("lt", FnLt);
+  registry->Register("at_natural_site", FnAtNaturalSite);
+  registry->Register("pred_cols", FnPredCols);
+  registry->Register("quant", FnQuant);
+  registry->Register("preds_of", FnPredsOfStream);
+  registry->Register("has_order_requirement", FnHasOrderRequirement);
+  registry->Register("required_order", FnRequiredOrder);
+  return Status::OK();
+}
+
+}  // namespace starburst

@@ -1,0 +1,63 @@
+#ifndef STARBURST_STAR_BUILTINS_H_
+#define STARBURST_STAR_BUILTINS_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "star/rule.h"
+
+namespace starburst {
+
+class Query;
+
+/// Read-only context handed to rule functions: the query being optimized and
+/// the session's compile-time parameters (paper §2.3: "What constitutes a
+/// joinable pair of streams depends upon a compile-time parameter").
+struct RuleFnContext {
+  const Query* query = nullptr;
+  bool allow_composite_inner = true;
+  bool allow_cartesian = false;
+};
+
+using RuleFn =
+    std::function<Result<RuleValue>(const std::vector<RuleValue>&,
+                                    const RuleFnContext&)>;
+
+/// Named functions callable from STAR conditions and argument expressions.
+/// The paper's conditions compile to C functions (§5); registering a RuleFn
+/// is this library's equivalent. `Register` replaces existing names so a DBC
+/// can refine a condition without touching the library.
+class FunctionRegistry {
+ public:
+  void Register(const std::string& name, RuleFn fn);
+  Result<const RuleFn*> Find(const std::string& name) const;
+  std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, RuleFn> fns_;
+};
+
+/// Installs the standard function library:
+///
+/// Set algebra:      union, minus, intersect, empty, nonempty, size
+/// Logic:            and, or, not, eq, true, false
+/// Stream tests:     composite(T), natural_site(T), required_site(T),
+///                   is_local_query(), allow_composite_inner(),
+///                   allow_cartesian()
+/// Predicate classes (paper §4.4-4.5):
+///                   join_preds(P,T1,T2), sortable_preds(P,T1,T2),
+///                   hashable_preds(P,T1,T2), indexable_preds(P,T1,T2),
+///                   inner_preds(P,T2)
+/// Column derivation: sort_cols(SP,T), index_cols(IP,XP,T),
+///                   access_cols(T,P), key_and_tid(T,index),
+///                   index_key(T,index), prefix_of(order,key)
+/// Catalog access:   sites(), indexes_on(T), index_eligible_preds(T,ix,P),
+///                   storage_kind(T), has_order_requirement(T),
+///                   required_order(T)
+Status RegisterBuiltinFunctions(FunctionRegistry* registry);
+
+}  // namespace starburst
+
+#endif  // STARBURST_STAR_BUILTINS_H_

@@ -1,0 +1,536 @@
+#include "star/default_rules.h"
+
+#include <algorithm>
+
+#include "plan/operator.h"
+
+namespace starburst {
+
+namespace {
+
+// Terse builders so the rule definitions below read like the paper's
+// notation.
+RuleExprPtr P(const char* name) { return RuleExpr::Param(name); }
+RuleExprPtr Fn(const char* fn, std::vector<RuleExprPtr> args) {
+  return RuleExpr::Call(fn, std::move(args));
+}
+RuleExprPtr NoPreds() { return RuleExpr::Const(RuleValue(PredSet{})); }
+RuleExprPtr True() { return RuleExpr::Const(RuleValue(true)); }
+RuleExprPtr Str(const char* s) {
+  return RuleExpr::Const(RuleValue(std::string(s)));
+}
+RuleExprPtr Int(int64_t v) { return RuleExpr::Const(RuleValue(v)); }
+
+using NamedArgs = std::vector<std::pair<std::string, RuleExprPtr>>;
+
+Alternative TidSortRootAlternative();
+Alternative IndexAndRootAlternative();
+
+// ---------------------------------------------------------------------------
+// Single-table access STARs ([LEE 88], paper §2.1 OrderedStream examples and
+// §4.5.2 TableAccess).
+// ---------------------------------------------------------------------------
+
+Star MakeAccessRoot(const DefaultRuleOptions& options) {
+  Star s;
+  s.name = "AccessRoot";
+  s.params = {"T", "P"};
+  // Inclusive: a sequential/clustered scan plus one plan per index, plus the
+  // optional §4 "omitted STAR" access strategies.
+  Alternative scan;
+  scan.label = "table-scan";
+  scan.body = RuleExpr::StarRef("TableAccess", {P("T"), P("P")});
+  s.alternatives.push_back(std::move(scan));
+
+  Alternative index;
+  index.label = "index-scans";
+  index.body = RuleExpr::ForEach(
+      "i", Fn("indexes_on", {P("T")}),
+      RuleExpr::StarRef("IndexAccess", {P("T"), P("P"), P("i")}));
+  s.alternatives.push_back(std::move(index));
+
+  if (options.tid_sort) s.alternatives.push_back(TidSortRootAlternative());
+  if (options.index_and) s.alternatives.push_back(IndexAndRootAlternative());
+  return s;
+}
+
+Star MakeTableAccess() {
+  // One (and only one) flavor of ACCESS, dispatched on the storage-manager
+  // type (§4.5.2) — hence an *exclusive* STAR.
+  Star s;
+  s.name = "TableAccess";
+  s.params = {"T", "P"};
+  s.exclusive = true;
+
+  auto access_with = [](const char* flv) {
+    return RuleExpr::OpRef(
+        op::kAccess, flv, {},
+        NamedArgs{{arg::kQuantifier, Fn("quant", {P("T")})},
+                  {arg::kCols, Fn("access_cols", {P("T"), P("P")})},
+                  {arg::kPreds, P("P")}});
+  };
+
+  Alternative heap;
+  heap.label = "heap";
+  heap.condition = Fn("eq", {Fn("storage_kind", {P("T")}), Str("heap")});
+  heap.body = access_with(flavor::kHeap);
+  s.alternatives.push_back(std::move(heap));
+
+  Alternative btree;
+  btree.label = "btree";
+  btree.condition = Fn("eq", {Fn("storage_kind", {P("T")}), Str("btree")});
+  btree.body = access_with(flavor::kBTree);
+  s.alternatives.push_back(std::move(btree));
+  return s;
+}
+
+Star MakeIndexAccess() {
+  // GET(ACCESS(index, {key, TID}, KP), T, remaining columns, P - KP) — the
+  // paper's OrderedStream2 shape (§2.1).
+  Star s;
+  s.name = "IndexAccess";
+  s.params = {"T", "P", "i"};
+
+  Alternative alt;
+  alt.label = "index";
+  alt.lets = {{"KP", Fn("index_eligible_preds", {P("T"), P("i"), P("P")})}};
+  alt.body = RuleExpr::OpRef(
+      op::kGet, "",
+      {RuleExpr::OpRef(
+          op::kAccess, flavor::kIndex, {},
+          NamedArgs{{arg::kQuantifier, Fn("quant", {P("T")})},
+                    {arg::kIndex, P("i")},
+                    {arg::kCols, Fn("key_and_tid", {P("T"), P("i")})},
+                    {arg::kPreds, P("KP")}})},
+      NamedArgs{{arg::kQuantifier, Fn("quant", {P("T")})},
+                {arg::kCols, Fn("access_cols", {P("T"), P("P")})},
+                {arg::kPreds, Fn("minus", {P("P"), P("KP")})}});
+  s.alternatives.push_back(std::move(alt));
+  return s;
+}
+
+Star MakeTidSortAccess() {
+  // GET(SORT(ACCESS(index), TID), ...): sort the TIDs of a filtering index
+  // so the data-page fetches are sequential (paper §4, omitted STAR #1).
+  Star s;
+  s.name = "TidSortAccess";
+  s.params = {"T", "P", "i"};
+
+  Alternative alt;
+  alt.label = "tid-sort";
+  alt.lets = {{"KP", Fn("index_eligible_preds", {P("T"), P("i"), P("P")})}};
+  alt.condition = Fn("nonempty", {P("KP")});  // unfiltered scans gain nothing
+  alt.body = RuleExpr::OpRef(
+      op::kGet, "",
+      {RuleExpr::OpRef(
+          op::kSort, "",
+          {RuleExpr::OpRef(
+              op::kAccess, flavor::kIndex, {},
+              NamedArgs{{arg::kQuantifier, Fn("quant", {P("T")})},
+                        {arg::kIndex, P("i")},
+                        {arg::kCols, Fn("key_and_tid", {P("T"), P("i")})},
+                        {arg::kPreds, P("KP")}})},
+          NamedArgs{{arg::kOrder, Fn("tid_col", {P("T")})}})},
+      NamedArgs{{arg::kQuantifier, Fn("quant", {P("T")})},
+                {arg::kCols, Fn("access_cols", {P("T"), P("P")})},
+                {arg::kPreds, Fn("minus", {P("P"), P("KP")})}});
+  s.alternatives.push_back(std::move(alt));
+  return s;
+}
+
+Star MakeAndIndexAccess() {
+  // GET(TIDAND(ACCESS(i), ACCESS(j)), ...): intersect the TID streams of
+  // two filtering indexes (paper §4, omitted STAR #2). TIDAND emits in TID
+  // order, so the GET's page accesses are sequential for free.
+  Star s;
+  s.name = "AndIndexAccess";
+  s.params = {"T", "P", "i", "j"};
+
+  auto index_access = [](const char* index_param, const char* preds_let) {
+    return RuleExpr::OpRef(
+        op::kAccess, flavor::kIndex, {},
+        NamedArgs{{arg::kQuantifier, Fn("quant", {P("T")})},
+                  {arg::kIndex, P(index_param)},
+                  {arg::kCols, Fn("key_and_tid", {P("T"), P(index_param)})},
+                  {arg::kPreds, P(preds_let)}});
+  };
+
+  Alternative alt;
+  alt.label = "index-and";
+  alt.lets = {
+      {"KPi", Fn("index_eligible_preds", {P("T"), P("i"), P("P")})},
+      {"KPj", Fn("index_eligible_preds",
+                 {P("T"), P("j"), Fn("minus", {P("P"), P("KPi")})})}};
+  alt.condition = Fn("and", {Fn("lt", {P("i"), P("j")}),
+                             Fn("nonempty", {P("KPi")}),
+                             Fn("nonempty", {P("KPj")})});
+  alt.body = RuleExpr::OpRef(
+      op::kGet, "",
+      {RuleExpr::OpRef(op::kTidAnd, "",
+                       {index_access("i", "KPi"), index_access("j", "KPj")},
+                       {})},
+      NamedArgs{{arg::kQuantifier, Fn("quant", {P("T")})},
+                {arg::kCols, Fn("access_cols", {P("T"), P("P")})},
+                {arg::kPreds,
+                 Fn("minus", {P("P"), Fn("union", {P("KPi"), P("KPj")})})}});
+  s.alternatives.push_back(std::move(alt));
+  return s;
+}
+
+Alternative TidSortRootAlternative() {
+  Alternative alt;
+  alt.label = "tid-sort-scans";
+  alt.body = RuleExpr::ForEach(
+      "i", Fn("indexes_on", {P("T")}),
+      RuleExpr::StarRef("TidSortAccess", {P("T"), P("P"), P("i")}));
+  return alt;
+}
+
+Alternative IndexAndRootAlternative() {
+  Alternative alt;
+  alt.label = "index-and-scans";
+  alt.body = RuleExpr::ForEach(
+      "i", Fn("indexes_on", {P("T")}),
+      RuleExpr::ForEach(
+          "j", Fn("indexes_on", {P("T")}),
+          RuleExpr::StarRef("AndIndexAccess",
+                            {P("T"), P("P"), P("i"), P("j")})));
+  return alt;
+}
+
+Star MakeTempAccess() {
+  // Re-ACCESS a materialized temp, applying P2 during the scan (§4.5.2:
+  // "All columns (*) of the temp are then re-accessed").
+  Star s;
+  s.name = "TempAccess";
+  s.params = {"S", "P2"};
+
+  Alternative alt;
+  alt.label = "temp-scan";
+  alt.body = RuleExpr::OpRef(op::kAccess, flavor::kTemp, {P("S")},
+                             NamedArgs{{arg::kPreds, P("P2")}});
+  s.alternatives.push_back(std::move(alt));
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Join STARs (paper §4.1-§4.4).
+// ---------------------------------------------------------------------------
+
+Star MakeJoinRoot() {
+  // §4.1 PermutedJoin: either side may be the outer. Composite inners are
+  // gated by the session's compile-time parameter (§2.3; the paper notes the
+  // condition "restricting the inner table-set to be one table").
+  Star s;
+  s.name = "JoinRoot";
+  s.params = {"T1", "T2", "P"};
+
+  auto gate = [](const char* inner) {
+    return Fn("or", {Fn("not", {Fn("composite", {P(inner)})}),
+                     Fn("allow_composite_inner", {})});
+  };
+
+  Alternative keep;
+  keep.label = "as-given";
+  keep.condition = gate("T2");
+  keep.body = RuleExpr::StarRef("PermutedJoin", {P("T1"), P("T2"), P("P")});
+  s.alternatives.push_back(std::move(keep));
+
+  Alternative swapped;
+  swapped.label = "swapped";
+  swapped.condition = gate("T1");
+  swapped.body = RuleExpr::StarRef("PermutedJoin", {P("T2"), P("T1"), P("P")});
+  s.alternatives.push_back(std::move(swapped));
+  return s;
+}
+
+Star MakePermutedJoin() {
+  // §4.2 join-site alternatives: local queries skip RemoteJoin; otherwise
+  // require the join at each candidate site s ∈ σ.
+  Star s;
+  s.name = "PermutedJoin";
+  s.params = {"T1", "T2", "P"};
+  s.exclusive = true;
+
+  Alternative local;
+  local.label = "local";
+  local.condition = Fn("is_local_query", {});
+  local.body = RuleExpr::StarRef("SitedJoin", {P("T1"), P("T2"), P("P")});
+  s.alternatives.push_back(std::move(local));
+
+  Alternative remote;
+  remote.label = "remote";  // OTHERWISE
+  remote.body = RuleExpr::ForEach(
+      "s", Fn("sites", {}),
+      RuleExpr::StarRef("RemoteJoin", {P("T1"), P("T2"), P("P"), P("s")}));
+  s.alternatives.push_back(std::move(remote));
+  return s;
+}
+
+Star MakeRemoteJoin() {
+  Star s;
+  s.name = "RemoteJoin";
+  s.params = {"T1", "T2", "P", "s"};
+
+  Alternative alt;
+  alt.label = "site";
+  alt.body = RuleExpr::StarRef(
+      "SitedJoin",
+      {RuleExpr::Require(P("T1"), ReqKind::kSite, P("s")),
+       RuleExpr::Require(P("T2"), ReqKind::kSite, P("s")), P("P")});
+  s.alternatives.push_back(std::move(alt));
+  return s;
+}
+
+Star MakeSitedJoin() {
+  // §4.3 store-inner-stream condition C1: composite inner, or the inner's
+  // natural site differs from its required site.
+  Star s;
+  s.name = "SitedJoin";
+  s.params = {"T1", "T2", "P"};
+  s.exclusive = true;
+
+  RuleExprPtr c1 = Fn(
+      "or",
+      {Fn("composite", {P("T2")}),
+       Fn("and",
+          {Fn("not", {Fn("eq", {Fn("required_site", {P("T2")}), Int(-1)})}),
+           Fn("not", {Fn("eq", {Fn("natural_site", {P("T2")}),
+                                Fn("required_site", {P("T2")})})})})});
+
+  Alternative temp;
+  temp.label = "temp-inner";
+  temp.condition = std::move(c1);
+  temp.body = RuleExpr::StarRef(
+      "JMeth",
+      {P("T1"), RuleExpr::Require(P("T2"), ReqKind::kTemp, True()), P("P")});
+  s.alternatives.push_back(std::move(temp));
+
+  Alternative plain;
+  plain.label = "plain";  // OTHERWISE
+  plain.body = RuleExpr::StarRef("JMeth", {P("T1"), P("T2"), P("P")});
+  s.alternatives.push_back(std::move(plain));
+  return s;
+}
+
+Alternative NestedLoopAlternative() {
+  // JOIN(NL, Glue(T1, φ), Glue(T2, JP ∪ IP), JP, P - (JP ∪ IP)).
+  Alternative alt;
+  alt.label = "nested-loop";
+  alt.body = RuleExpr::OpRef(
+      op::kJoin, flavor::kNL,
+      {RuleExpr::Glue(P("T1"), NoPreds()),
+       RuleExpr::Glue(P("T2"), Fn("union", {P("JP"), P("IP")}))},
+      NamedArgs{
+          {arg::kJoinPreds, P("JP")},
+          {arg::kResidualPreds,
+           Fn("minus", {P("P"), Fn("union", {P("JP"), P("IP")})})}});
+  return alt;
+}
+
+Alternative MergeJoinAlternative() {
+  // JOIN(MG, Glue(T1[order = χ(SP) ∩ χ(T1)], φ),
+  //          Glue(T2[order = χ(SP) ∩ χ(T2)], IP), SP, P - (IP ∪ SP))
+  //                                                        IF SP ≠ φ.
+  Alternative alt;
+  alt.label = "sort-merge";
+  alt.lets = {{"SP", Fn("sortable_preds", {P("P"), P("T1"), P("T2")})}};
+  alt.condition = Fn("nonempty", {P("SP")});
+  alt.body = RuleExpr::OpRef(
+      op::kJoin, flavor::kMG,
+      {RuleExpr::Glue(RuleExpr::Require(P("T1"), ReqKind::kOrder,
+                                        Fn("sort_cols", {P("SP"), P("T1")})),
+                      NoPreds()),
+       RuleExpr::Glue(RuleExpr::Require(P("T2"), ReqKind::kOrder,
+                                        Fn("sort_cols", {P("SP"), P("T2")})),
+                      P("IP"))},
+      NamedArgs{
+          {arg::kJoinPreds, P("SP")},
+          {arg::kResidualPreds,
+           Fn("minus", {P("P"), Fn("union", {P("IP"), P("SP")})})}});
+  return alt;
+}
+
+Alternative HashJoinAlternative() {
+  // §4.5.1: JOIN(HA, Glue(T1, φ), Glue(T2, IP), HP, P - IP)  IF HP ≠ φ.
+  // All multi-table predicates stay residual (hash collisions).
+  Alternative alt;
+  alt.label = "hash";
+  alt.lets = {{"HP", Fn("hashable_preds", {P("P"), P("T1"), P("T2")})}};
+  alt.condition = Fn("nonempty", {P("HP")});
+  alt.body = RuleExpr::OpRef(
+      op::kJoin, flavor::kHA,
+      {RuleExpr::Glue(P("T1"), NoPreds()),
+       RuleExpr::Glue(P("T2"), P("IP"))},
+      NamedArgs{{arg::kJoinPreds, P("HP")},
+                {arg::kResidualPreds, Fn("minus", {P("P"), P("IP")})}});
+  return alt;
+}
+
+Alternative ForcedProjectionAlternative() {
+  // §4.5.2: JOIN(NL, Glue(T1, φ),
+  //              TempAccess(Glue(T2[temp], IP), JP), JP, P - (IP ∪ JP)).
+  // The STAR structure confines the join predicates to the re-access, so the
+  // temp is not re-materialized for each outer tuple.
+  Alternative alt;
+  alt.label = "forced-projection";
+  alt.condition = Fn("nonempty", {P("JP")});
+  alt.body = RuleExpr::OpRef(
+      op::kJoin, flavor::kNL,
+      {RuleExpr::Glue(P("T1"), NoPreds()),
+       RuleExpr::StarRef(
+           "TempAccess",
+           {RuleExpr::Glue(RuleExpr::Require(P("T2"), ReqKind::kTemp, True()),
+                           P("IP")),
+            P("JP")})},
+      NamedArgs{
+          {arg::kJoinPreds, P("JP")},
+          {arg::kResidualPreds,
+           Fn("minus", {P("P"), Fn("union", {P("IP"), P("JP")})})}});
+  return alt;
+}
+
+Alternative DynamicIndexAlternative() {
+  // §4.5.3: JOIN(NL, Glue(T1, φ), Glue(T2[paths ⊇ IX], XP ∪ IP),
+  //              XP - IP, P - (XP ∪ IP))
+  // where IX = (χ(IP) ∪ χ(XP)) ∩ χ(T2), '=' predicates first.
+  Alternative alt;
+  alt.label = "dynamic-index";
+  alt.lets = {{"XP", Fn("indexable_preds", {P("P"), P("T1"), P("T2")})},
+              {"IX", Fn("index_cols", {P("IP"), P("XP"), P("T2")})}};
+  alt.condition = Fn("nonempty", {P("XP")});
+  alt.body = RuleExpr::OpRef(
+      op::kJoin, flavor::kNL,
+      {RuleExpr::Glue(P("T1"), NoPreds()),
+       RuleExpr::Glue(RuleExpr::Require(P("T2"), ReqKind::kPath, P("IX")),
+                      Fn("union", {P("XP"), P("IP")}))},
+      NamedArgs{
+          {arg::kJoinPreds, Fn("minus", {P("XP"), P("IP")})},
+          {arg::kResidualPreds,
+           Fn("minus", {P("P"), Fn("union", {P("XP"), P("IP")})})}});
+  return alt;
+}
+
+Alternative BloomJoinAlternative() {
+  // Distributed filtration (paper §4's "filtration methods such as
+  // semi-joins and Bloom-joins", validated for R* in [MACK 86]): project the
+  // outer's join columns, ship the (small) filter to the inner's home site,
+  // reduce the inner there, and ship only the survivors to the join site.
+  Alternative alt;
+  alt.label = "bloomjoin";
+  alt.lets = {{"BP", Fn("hashable_preds", {P("P"), P("T1"), P("T2")})}};
+  alt.condition =
+      Fn("and", {Fn("not", {Fn("is_local_query", {})}),
+                 Fn("not", {Fn("composite", {P("T2")})}),
+                 Fn("nonempty", {P("BP")}),
+                 Fn("not", {Fn("eq", {Fn("required_site", {P("T2")}),
+                                      Int(-1)})})});
+
+  RuleExprPtr filter_stream = RuleExpr::OpRef(
+      op::kShip, "",
+      {RuleExpr::OpRef(
+          op::kProject, "", {RuleExpr::Glue(P("T1"), NoPreds())},
+          NamedArgs{{arg::kCols, Fn("pred_cols", {P("BP"), P("T1")})},
+                    {arg::kDistinct, RuleExpr::Const(RuleValue(true))}})},
+      NamedArgs{{arg::kSite, Fn("natural_site", {P("T2")})}});
+
+  RuleExprPtr reduced_inner = RuleExpr::OpRef(
+      op::kShip, "",
+      {RuleExpr::OpRef(
+          op::kFilterBy, flavor::kBloom,
+          {RuleExpr::Glue(Fn("at_natural_site", {P("T2")}), P("IP")),
+           std::move(filter_stream)},
+          NamedArgs{{arg::kJoinPreds, P("BP")}})},
+      NamedArgs{{arg::kSite, Fn("required_site", {P("T2")})}});
+
+  alt.body = RuleExpr::OpRef(
+      op::kJoin, flavor::kHA,
+      {RuleExpr::Glue(P("T1"), NoPreds()), std::move(reduced_inner)},
+      NamedArgs{
+          {arg::kJoinPreds, P("BP")},
+          {arg::kResidualPreds,
+           Fn("minus", {P("P"), Fn("union", {P("IP"), P("BP")})})}});
+  return alt;
+}
+
+Star MakeJMeth(const DefaultRuleOptions& options) {
+  Star s;
+  s.name = "JMeth";
+  s.params = {"T1", "T2", "P"};
+  s.lets = {{"JP", Fn("join_preds", {P("P"), P("T1"), P("T2")})},
+            {"IP", Fn("inner_preds", {P("P"), P("T2")})}};
+  s.alternatives.push_back(NestedLoopAlternative());
+  if (options.merge_join) s.alternatives.push_back(MergeJoinAlternative());
+  if (options.hash_join) s.alternatives.push_back(HashJoinAlternative());
+  if (options.forced_projection) {
+    s.alternatives.push_back(ForcedProjectionAlternative());
+  }
+  if (options.dynamic_index) {
+    s.alternatives.push_back(DynamicIndexAlternative());
+  }
+  if (options.bloomjoin) s.alternatives.push_back(BloomJoinAlternative());
+  return s;
+}
+
+void AppendAlternative(RuleSet* rules, const char* star_name,
+                       Alternative alt) {
+  auto star = rules->Find(star_name);
+  if (!star.ok()) return;
+  Star updated = *star.value();
+  for (const Alternative& existing : updated.alternatives) {
+    if (existing.label == alt.label) return;  // already present
+  }
+  updated.alternatives.push_back(std::move(alt));
+  rules->AddOrReplace(std::move(updated));
+}
+
+void AppendJMethAlternative(RuleSet* rules, Alternative alt) {
+  AppendAlternative(rules, "JMeth", std::move(alt));
+}
+
+}  // namespace
+
+RuleSet DefaultRuleSet(const DefaultRuleOptions& options) {
+  RuleSet rules;
+  rules.AddOrReplace(MakeAccessRoot(options));
+  rules.AddOrReplace(MakeTableAccess());
+  rules.AddOrReplace(MakeIndexAccess());
+  if (options.tid_sort) rules.AddOrReplace(MakeTidSortAccess());
+  if (options.index_and) rules.AddOrReplace(MakeAndIndexAccess());
+  rules.AddOrReplace(MakeTempAccess());
+  rules.AddOrReplace(MakeJoinRoot());
+  rules.AddOrReplace(MakePermutedJoin());
+  rules.AddOrReplace(MakeRemoteJoin());
+  rules.AddOrReplace(MakeSitedJoin());
+  rules.AddOrReplace(MakeJMeth(options));
+  return rules;
+}
+
+void AddMergeJoinAlternative(RuleSet* rules) {
+  AppendJMethAlternative(rules, MergeJoinAlternative());
+}
+void AddHashJoinAlternative(RuleSet* rules) {
+  AppendJMethAlternative(rules, HashJoinAlternative());
+}
+void AddForcedProjectionAlternative(RuleSet* rules) {
+  AppendJMethAlternative(rules, ForcedProjectionAlternative());
+}
+void AddDynamicIndexAlternative(RuleSet* rules) {
+  AppendJMethAlternative(rules, DynamicIndexAlternative());
+}
+
+void AddBloomJoinAlternative(RuleSet* rules) {
+  AppendJMethAlternative(rules, BloomJoinAlternative());
+}
+
+void AddTidSortAlternative(RuleSet* rules) {
+  rules->AddOrReplace(MakeTidSortAccess());
+  AppendAlternative(rules, "AccessRoot", TidSortRootAlternative());
+}
+
+void AddIndexAndAlternative(RuleSet* rules) {
+  rules->AddOrReplace(MakeAndIndexAccess());
+  AppendAlternative(rules, "AccessRoot", IndexAndRootAlternative());
+}
+
+}  // namespace starburst

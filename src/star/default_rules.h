@@ -1,0 +1,57 @@
+#ifndef STARBURST_STAR_DEFAULT_RULES_H_
+#define STARBURST_STAR_DEFAULT_RULES_H_
+
+#include "star/rule.h"
+
+namespace starburst {
+
+/// Which strategies the default rule base includes. Nested-loop join and the
+/// single-table access STARs are always present; the rest map one-to-one to
+/// the paper's sections.
+struct DefaultRuleOptions {
+  bool merge_join = true;         ///< §4.4 MG alternative
+  bool hash_join = false;         ///< §4.5.1 HA alternative
+  bool forced_projection = false; ///< §4.5.2 materialize-the-inner alternative
+  bool dynamic_index = false;     ///< §4.5.3 build-an-index-on-the-fly
+  /// The two access-path STARs the paper lists as "constructed, but omitted
+  /// for brevity" (§4): sort TIDs from an unordered index to order the data
+  /// page I/O, and AND the TID streams of two indexes on the same table.
+  bool tid_sort = false;
+  bool index_and = false;
+  /// Distributed filtration (§4's omitted "semi-joins and Bloom-joins"):
+  /// reduce a remote inner by a shipped filter of the outer's join columns
+  /// before shipping it to the join site.
+  bool bloomjoin = false;
+};
+
+/// Builds the paper's rule base (§4 plus the single-table access STARs of
+/// [LEE 88]):
+///
+///   AccessRoot(T, P)     — table scan plus one plan per index
+///   TableAccess(T, P)    — heap vs. B-tree flavor by storage manager type
+///   IndexAccess(T, P, i) — GET(ACCESS(index i, key+TID, KP), remaining)
+///   TempAccess(S, P2)    — re-ACCESS a materialized temp (§4.5.2)
+///   JoinRoot(T1, T2, P)  — §4.1 permutation (composite inners gated by the
+///                          session parameter)
+///   PermutedJoin(...)    — §4.2 join-site alternatives
+///   RemoteJoin(...)      — §4.2 [site=s] requirement
+///   SitedJoin(...)       — §4.3 store-inner-as-temp condition C1
+///   JMeth(...)           — §4.4/§4.5 join-method alternatives
+RuleSet DefaultRuleSet(const DefaultRuleOptions& options = {});
+
+/// Appends one strategy to an existing rule base's JMeth STAR — what a DBC
+/// does to extend the optimizer (§5). Idempotent by alternative label.
+void AddMergeJoinAlternative(RuleSet* rules);
+void AddHashJoinAlternative(RuleSet* rules);
+void AddForcedProjectionAlternative(RuleSet* rules);
+void AddDynamicIndexAlternative(RuleSet* rules);
+void AddBloomJoinAlternative(RuleSet* rules);
+
+/// Appends the TID-sort / index-ANDing access strategies to AccessRoot
+/// (installing their helper STARs). Idempotent by alternative label.
+void AddTidSortAlternative(RuleSet* rules);
+void AddIndexAndAlternative(RuleSet* rules);
+
+}  // namespace starburst
+
+#endif  // STARBURST_STAR_DEFAULT_RULES_H_

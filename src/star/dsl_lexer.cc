@@ -1,0 +1,89 @@
+#include "star/dsl_lexer.h"
+
+#include <cctype>
+#include <set>
+
+namespace starburst::dsl {
+
+namespace {
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string> kKeywords = {
+      "star", "exclusive", "where", "alt", "if",
+      "end",  "forall",    "in",    "do",  "true",
+      "false"};
+  return kKeywords;
+}
+}  // namespace
+
+Result<std::vector<Tok>> Tokenize(const std::string& input) {
+  std::vector<Tok> out;
+  size_t i = 0;
+  int line = 1;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    Tok tok;
+    tok.line = line;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '_')) {
+        ++j;
+      }
+      std::string word = input.substr(i, j - i);
+      tok.kind = Keywords().count(word) ? TokKind::kKeyword : TokKind::kIdent;
+      tok.text = std::move(word);
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      while (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) ++j;
+      tok.kind = TokKind::kNumber;
+      tok.text = input.substr(i, j - i);
+      i = j;
+    } else if (c == '\'') {
+      size_t j = i + 1;
+      std::string content;
+      while (j < n && input[j] != '\'') content += input[j++];
+      if (j >= n) {
+        return Status::ParseError("unterminated string on line " +
+                                  std::to_string(line));
+      }
+      tok.kind = TokKind::kString;
+      tok.text = std::move(content);
+      i = j + 1;
+    } else {
+      tok.kind = TokKind::kSymbol;
+      if (c == '>' && i + 1 < n && input[i + 1] == '=') {
+        tok.text = ">=";
+        i += 2;
+      } else if (std::string("()[]{},;:=-").find(c) != std::string::npos) {
+        tok.text = std::string(1, c);
+        ++i;
+      } else {
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' on line " + std::to_string(line));
+      }
+    }
+    out.push_back(std::move(tok));
+  }
+  Tok end;
+  end.kind = TokKind::kEnd;
+  end.line = line;
+  out.push_back(end);
+  return out;
+}
+
+}  // namespace starburst::dsl

@@ -1,0 +1,38 @@
+#ifndef STARBURST_STAR_DSL_LEXER_H_
+#define STARBURST_STAR_DSL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace starburst::dsl {
+
+enum class TokKind {
+  kIdent,    // identifiers; the parser classifies by capitalization
+  kNumber,   // integer literal
+  kString,   // 'quoted'
+  kSymbol,   // ( ) [ ] { } , ; : = >= -
+  kKeyword,  // star exclusive where alt if end forall in do true false
+  kEnd,
+};
+
+struct Tok {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  int line = 1;
+
+  bool IsKeyword(const char* kw) const {
+    return kind == TokKind::kKeyword && text == kw;
+  }
+  bool IsSymbol(const char* sym) const {
+    return kind == TokKind::kSymbol && text == sym;
+  }
+};
+
+/// Tokenizes STAR rule text. `#` starts a comment to end of line.
+Result<std::vector<Tok>> Tokenize(const std::string& input);
+
+}  // namespace starburst::dsl
+
+#endif  // STARBURST_STAR_DSL_LEXER_H_

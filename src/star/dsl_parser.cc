@@ -1,0 +1,375 @@
+#include "star/dsl_parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "star/dsl_lexer.h"
+
+namespace starburst {
+
+namespace {
+
+using dsl::Tok;
+using dsl::TokKind;
+
+enum class NameClass { kOperator, kStar, kFunctionOrVar };
+
+NameClass ClassifyName(const std::string& name) {
+  bool any_lower = false, any_upper = false;
+  for (char c : name) {
+    if (std::islower(static_cast<unsigned char>(c))) any_lower = true;
+    if (std::isupper(static_cast<unsigned char>(c))) any_upper = true;
+  }
+  if (any_upper && !any_lower) return NameClass::kOperator;
+  if (std::isupper(static_cast<unsigned char>(name[0]))) {
+    return NameClass::kStar;
+  }
+  return NameClass::kFunctionOrVar;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Tok> toks) : toks_(std::move(toks)) {}
+
+  Result<std::vector<Star>> ParseFile() {
+    std::vector<Star> out;
+    while (!Peek().IsKeyword("end") && Peek().kind != TokKind::kEnd) {
+      auto star = ParseStar();
+      if (!star.ok()) return star.status();
+      out.push_back(std::move(star).value());
+    }
+    if (Peek().kind != TokKind::kEnd) {
+      return Err("unexpected trailing input");
+    }
+    return out;
+  }
+
+ private:
+  const Tok& Peek(int ahead = 0) const {
+    size_t i = pos_ + static_cast<size_t>(ahead);
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  Tok Next() { return toks_[pos_++]; }
+
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(msg + " (line " +
+                              std::to_string(Peek().line) + ", near '" +
+                              Peek().text + "')");
+  }
+
+  Status ExpectSymbol(const char* sym) {
+    if (!Peek().IsSymbol(sym)) {
+      return Err(std::string("expected '") + sym + "'");
+    }
+    Next();
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdent() {
+    if (Peek().kind != TokKind::kIdent) return Err("expected identifier");
+    return Next().text;
+  }
+
+  Result<Star> ParseStar() {
+    if (!Peek().IsKeyword("star")) return Err("expected 'star'");
+    Next();
+    Star star;
+    if (Peek().IsKeyword("exclusive")) {
+      Next();
+      star.exclusive = true;
+    }
+    auto name = ExpectIdent();
+    if (!name.ok()) return name.status();
+    star.name = std::move(name).value();
+    if (ClassifyName(star.name) != NameClass::kStar) {
+      return Err("STAR names must be MixedCase: '" + star.name + "'");
+    }
+    STARBURST_RETURN_NOT_OK(ExpectSymbol("("));
+    while (!Peek().IsSymbol(")")) {
+      auto param = ExpectIdent();
+      if (!param.ok()) return param.status();
+      star.params.push_back(std::move(param).value());
+      if (Peek().IsSymbol(",")) Next();
+    }
+    Next();  // ')'
+
+    while (Peek().IsKeyword("where")) {
+      auto let = ParseWhere();
+      if (!let.ok()) return let.status();
+      star.lets.push_back(std::move(let).value());
+    }
+    while (Peek().IsKeyword("alt")) {
+      auto alt = ParseAlt();
+      if (!alt.ok()) return alt.status();
+      star.alternatives.push_back(std::move(alt).value());
+    }
+    if (star.alternatives.empty()) {
+      return Err("STAR '" + star.name + "' has no alternatives");
+    }
+    if (!Peek().IsKeyword("end")) return Err("expected 'end'");
+    Next();
+    return star;
+  }
+
+  Result<std::pair<std::string, RuleExprPtr>> ParseWhere() {
+    Next();  // 'where'
+    auto name = ExpectIdent();
+    if (!name.ok()) return name.status();
+    STARBURST_RETURN_NOT_OK(ExpectSymbol("="));
+    auto expr = ParseExpr();
+    if (!expr.ok()) return expr.status();
+    return std::make_pair(std::move(name).value(), std::move(expr).value());
+  }
+
+  Result<Alternative> ParseAlt() {
+    Next();  // 'alt'
+    Alternative alt;
+    if (Peek().kind != TokKind::kString) return Err("expected alt label");
+    alt.label = Next().text;
+    while (Peek().IsKeyword("where")) {
+      auto let = ParseWhere();
+      if (!let.ok()) return let.status();
+      alt.lets.push_back(std::move(let).value());
+    }
+    if (Peek().IsKeyword("if")) {
+      Next();
+      auto cond = ParseExpr();
+      if (!cond.ok()) return cond.status();
+      alt.condition = std::move(cond).value();
+    }
+    STARBURST_RETURN_NOT_OK(ExpectSymbol(":"));
+    auto body = ParseExpr();
+    if (!body.ok()) return body.status();
+    alt.body = std::move(body).value();
+    return alt;
+  }
+
+  Result<RuleExprPtr> ParseExpr() {
+    if (Peek().IsKeyword("forall")) return ParseForall();
+    auto base = ParsePrimary();
+    if (!base.ok()) return base;
+    // Required-property suffixes: T[order = ..., temp, ...]
+    RuleExprPtr expr = std::move(base).value();
+    while (Peek().IsSymbol("[")) {
+      Next();
+      while (true) {
+        auto tagged = ParseRequirement(expr);
+        if (!tagged.ok()) return tagged;
+        expr = std::move(tagged).value();
+        if (Peek().IsSymbol(",")) {
+          Next();
+          continue;
+        }
+        break;
+      }
+      STARBURST_RETURN_NOT_OK(ExpectSymbol("]"));
+    }
+    return expr;
+  }
+
+  Result<RuleExprPtr> ParseRequirement(RuleExprPtr stream) {
+    auto name = ExpectIdent();
+    if (!name.ok()) return name.status();
+    const std::string& req = name.value();
+    if (req == "temp") {
+      return RuleExpr::Require(std::move(stream), ReqKind::kTemp,
+                               RuleExpr::Const(RuleValue(true)));
+    }
+    if (req == "order") {
+      STARBURST_RETURN_NOT_OK(ExpectSymbol("="));
+      auto value = ParseExpr();
+      if (!value.ok()) return value;
+      return RuleExpr::Require(std::move(stream), ReqKind::kOrder,
+                               std::move(value).value());
+    }
+    if (req == "site") {
+      STARBURST_RETURN_NOT_OK(ExpectSymbol("="));
+      auto value = ParseExpr();
+      if (!value.ok()) return value;
+      return RuleExpr::Require(std::move(stream), ReqKind::kSite,
+                               std::move(value).value());
+    }
+    if (req == "paths") {
+      STARBURST_RETURN_NOT_OK(ExpectSymbol(">="));
+      auto value = ParseExpr();
+      if (!value.ok()) return value;
+      return RuleExpr::Require(std::move(stream), ReqKind::kPath,
+                               std::move(value).value());
+    }
+    return Err("unknown required property '" + req +
+               "' (order, site, temp, paths)");
+  }
+
+  Result<RuleExprPtr> ParseForall() {
+    Next();  // 'forall'
+    auto var = ExpectIdent();
+    if (!var.ok()) return var.status();
+    if (!Peek().IsKeyword("in")) return Err("expected 'in'");
+    Next();
+    auto domain = ParseExpr();
+    if (!domain.ok()) return domain;
+    if (!Peek().IsKeyword("do")) return Err("expected 'do'");
+    Next();
+    auto body = ParseExpr();
+    if (!body.ok()) return body;
+    return RuleExpr::ForEach(std::move(var).value(),
+                             std::move(domain).value(),
+                             std::move(body).value());
+  }
+
+  Result<RuleExprPtr> ParsePrimary() {
+    const Tok& t = Peek();
+    switch (t.kind) {
+      case TokKind::kNumber:
+        return RuleExpr::Const(
+            RuleValue(static_cast<int64_t>(std::strtoll(
+                Next().text.c_str(), nullptr, 10))));
+      case TokKind::kString:
+        return RuleExpr::Const(RuleValue(Next().text));
+      case TokKind::kKeyword:
+        if (t.text == "true" || t.text == "false") {
+          return RuleExpr::Const(RuleValue(Next().text == "true"));
+        }
+        return Err("unexpected keyword '" + t.text + "'");
+      case TokKind::kSymbol:
+        if (t.IsSymbol("-")) {
+          Next();
+          if (Peek().kind != TokKind::kNumber) {
+            return Err("expected number after '-'");
+          }
+          return RuleExpr::Const(
+              RuleValue(-static_cast<int64_t>(std::strtoll(
+                  Next().text.c_str(), nullptr, 10))));
+        }
+        if (t.IsSymbol("{")) {
+          Next();
+          STARBURST_RETURN_NOT_OK(ExpectSymbol("}"));
+          return RuleExpr::Const(RuleValue(PredSet{}));  // φ
+        }
+        if (t.IsSymbol("(")) {
+          Next();
+          auto inner = ParseExpr();
+          if (!inner.ok()) return inner;
+          STARBURST_RETURN_NOT_OK(ExpectSymbol(")"));
+          return inner;
+        }
+        return Err("unexpected symbol '" + t.text + "'");
+      case TokKind::kIdent:
+        return ParseIdentExpr();
+      case TokKind::kEnd:
+        return Err("unexpected end of input");
+    }
+    return Err("unexpected token");
+  }
+
+  Result<RuleExprPtr> ParseIdentExpr() {
+    std::string name = Next().text;
+    // Flavor suffix: NAME:flavor (flavor may contain '-', e.g. temp-index).
+    std::string flavor;
+    if (Peek().IsSymbol(":") && Peek(1).kind == TokKind::kIdent) {
+      Next();
+      flavor = Next().text;
+      while (Peek().IsSymbol("-") && Peek(1).kind == TokKind::kIdent) {
+        Next();
+        flavor += "-" + Next().text;
+      }
+    }
+    if (!Peek().IsSymbol("(")) {
+      if (!flavor.empty()) return Err("flavor on a non-call");
+      return RuleExpr::Param(std::move(name));  // bare variable reference
+    }
+    Next();  // '('
+
+    if (name == "Glue") {
+      auto stream = ParseExpr();
+      if (!stream.ok()) return stream;
+      STARBURST_RETURN_NOT_OK(ExpectSymbol(","));
+      auto preds = ParseExpr();
+      if (!preds.ok()) return preds;
+      STARBURST_RETURN_NOT_OK(ExpectSymbol(")"));
+      return RuleExpr::Glue(std::move(stream).value(),
+                            std::move(preds).value());
+    }
+
+    NameClass cls = ClassifyName(name);
+    std::vector<RuleExprPtr> positional;
+    std::vector<std::pair<std::string, RuleExprPtr>> named;
+    bool in_named = false;
+    while (!Peek().IsSymbol(")")) {
+      if (Peek().IsSymbol(";")) {
+        Next();
+        in_named = true;
+        continue;
+      }
+      if (in_named) {
+        auto arg_name = ExpectIdent();
+        if (!arg_name.ok()) return arg_name.status();
+        STARBURST_RETURN_NOT_OK(ExpectSymbol("="));
+        auto value = ParseExpr();
+        if (!value.ok()) return value;
+        named.emplace_back(std::move(arg_name).value(),
+                           std::move(value).value());
+      } else {
+        auto value = ParseExpr();
+        if (!value.ok()) return value;
+        positional.push_back(std::move(value).value());
+      }
+      if (Peek().IsSymbol(",")) Next();
+    }
+    Next();  // ')'
+
+    switch (cls) {
+      case NameClass::kOperator:
+        return RuleExpr::OpRef(std::move(name), std::move(flavor),
+                               std::move(positional), std::move(named));
+      case NameClass::kStar:
+        if (!named.empty()) {
+          return Err("STAR references take positional arguments only");
+        }
+        if (!flavor.empty()) return Err("STAR references have no flavor");
+        return RuleExpr::StarRef(std::move(name), std::move(positional));
+      case NameClass::kFunctionOrVar:
+        if (!named.empty()) {
+          return Err("function calls take positional arguments only");
+        }
+        if (!flavor.empty()) return Err("function calls have no flavor");
+        return RuleExpr::Call(std::move(name), std::move(positional));
+    }
+    return Err("unreachable");
+  }
+
+  std::vector<Tok> toks_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::vector<Star>> ParseRules(const std::string& text) {
+  auto toks = dsl::Tokenize(text);
+  if (!toks.ok()) return toks.status();
+  Parser parser(std::move(toks).value());
+  return parser.ParseFile();
+}
+
+Status LoadRules(RuleSet* rules, const std::string& text) {
+  auto parsed = ParseRules(text);
+  if (!parsed.ok()) return parsed.status();
+  for (Star& star : parsed.value()) {
+    rules->AddOrReplace(std::move(star));
+  }
+  return Status::OK();
+}
+
+Status LoadRulesFromFile(RuleSet* rules, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open rule file '" + path + "'");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return LoadRules(rules, buf.str());
+}
+
+}  // namespace starburst

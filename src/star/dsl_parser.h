@@ -1,0 +1,46 @@
+#ifndef STARBURST_STAR_DSL_PARSER_H_
+#define STARBURST_STAR_DSL_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "star/rule.h"
+
+namespace starburst {
+
+/// Parses STAR definitions from the rule DSL — the concrete form of the
+/// paper's §5 "STARs ... treated as input data to a rule interpreter".
+///
+/// Syntax (see rules/default.star for the full default rule base):
+///
+///   # comment
+///   star [exclusive] Name(Param, ...)
+///     where V = expr            # STAR-level bindings, usable by all alts
+///     alt 'label' [where V = expr]* [if expr] :
+///       body-expr
+///     ...
+///   end
+///
+/// Expressions:
+///   P                         parameter / where-variable reference
+///   123, -1, 'text', true     literals;  {} is the empty predicate set (φ)
+///   lower_case(args)          function call (FunctionRegistry)
+///   MixedCase(args)           STAR reference
+///   UPPER[:flavor](inputs ; name = expr, ...)   LOLEPOP reference
+///   Glue(stream, preds)       Glue reference
+///   forall v in domain do body                  ∀-expansion
+///   stream[order = e, site = e, temp, paths >= e]  required properties
+///
+/// Capitalization encodes the paper's typography: LOLEPOPs are BOLD CAPS,
+/// STAR names RegularMixedCase, functions lowercase.
+Result<std::vector<Star>> ParseRules(const std::string& text);
+
+/// Parses and installs (AddOrReplace) every STAR in `text`.
+Status LoadRules(RuleSet* rules, const std::string& text);
+
+/// Loads rule text from a file.
+Status LoadRulesFromFile(RuleSet* rules, const std::string& path);
+
+}  // namespace starburst
+
+#endif  // STARBURST_STAR_DSL_PARSER_H_

@@ -1,0 +1,175 @@
+#include "star/dsl_printer.h"
+
+#include "common/strings.h"
+
+namespace starburst {
+
+namespace {
+
+Result<std::string> FormatExpr(const RuleExpr& e);
+
+Result<std::string> FormatArgs(const std::vector<RuleExprPtr>& args,
+                               const char* sep = ", ") {
+  std::string out;
+  bool first = true;
+  for (const RuleExprPtr& a : args) {
+    if (!first) out += sep;
+    first = false;
+    auto s = FormatExpr(*a);
+    if (!s.ok()) return s;
+    out += s.value();
+  }
+  return out;
+}
+
+Result<std::string> FormatConst(const RuleValue& v) {
+  if (const bool* b = v.get_if<bool>()) return std::string(*b ? "true" : "false");
+  if (const int64_t* i = v.get_if<int64_t>()) return std::to_string(*i);
+  if (const std::string* s = v.get_if<std::string>()) return "'" + *s + "'";
+  if (const PredSet* p = v.get_if<PredSet>()) {
+    if (p->empty()) return std::string("{}");
+  }
+  return Status::InvalidArgument("constant has no DSL spelling: " +
+                                 v.ToString());
+}
+
+const char* ReqName(ReqKind kind) {
+  switch (kind) {
+    case ReqKind::kOrder:
+      return "order";
+    case ReqKind::kSite:
+      return "site";
+    case ReqKind::kTemp:
+      return "temp";
+    case ReqKind::kPath:
+      return "paths";
+  }
+  return "?";
+}
+
+Result<std::string> FormatExpr(const RuleExpr& e) {
+  switch (e.kind()) {
+    case RuleExprKind::kParam:
+      return e.name();
+    case RuleExprKind::kConst:
+      return FormatConst(e.value());
+    case RuleExprKind::kCall: {
+      auto args = FormatArgs(e.args());
+      if (!args.ok()) return args;
+      return e.name() + "(" + args.value() + ")";
+    }
+    case RuleExprKind::kStarRef: {
+      auto args = FormatArgs(e.args());
+      if (!args.ok()) return args;
+      return e.name() + "(" + args.value() + ")";
+    }
+    case RuleExprKind::kOpRef: {
+      std::string out = e.name();
+      if (!e.flavor().empty()) out += ":" + e.flavor();
+      auto inputs = FormatArgs(e.args());
+      if (!inputs.ok()) return inputs;
+      out += "(" + inputs.value();
+      if (!e.named_args().empty()) {
+        out += "; ";
+        bool first = true;
+        for (const auto& [name, value] : e.named_args()) {
+          if (!first) out += ", ";
+          first = false;
+          auto v = FormatExpr(*value);
+          if (!v.ok()) return v;
+          out += name + " = " + v.value();
+        }
+      }
+      return out + ")";
+    }
+    case RuleExprKind::kGlue: {
+      auto stream = FormatExpr(*e.args()[0]);
+      if (!stream.ok()) return stream;
+      auto preds = FormatExpr(*e.args()[1]);
+      if (!preds.ok()) return preds;
+      return "Glue(" + stream.value() + ", " + preds.value() + ")";
+    }
+    case RuleExprKind::kForEach: {
+      auto domain = FormatExpr(*e.args()[0]);
+      if (!domain.ok()) return domain;
+      auto body = FormatExpr(*e.args()[1]);
+      if (!body.ok()) return body;
+      return "forall " + e.name() + " in " + domain.value() + " do " +
+             body.value();
+    }
+    case RuleExprKind::kRequire: {
+      auto base = FormatExpr(*e.args()[0]);
+      if (!base.ok()) return base;
+      if (e.req_kind() == ReqKind::kTemp) {
+        return base.value() + "[temp]";
+      }
+      auto value = FormatExpr(*e.args()[1]);
+      if (!value.ok()) return value;
+      const char* op = e.req_kind() == ReqKind::kPath ? " >= " : " = ";
+      return base.value() + "[" + ReqName(e.req_kind()) + op + value.value() +
+             "]";
+    }
+  }
+  return Status::Internal("unknown rule expression kind");
+}
+
+Result<std::string> FormatLets(
+    const std::vector<std::pair<std::string, RuleExprPtr>>& lets,
+    const char* indent) {
+  std::string out;
+  for (const auto& [name, expr] : lets) {
+    auto s = FormatExpr(*expr);
+    if (!s.ok()) return s;
+    out += std::string(indent) + "where " + name + " = " + s.value() + "\n";
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::string> FormatStar(const Star& star) {
+  std::string out = "star ";
+  if (star.exclusive) out += "exclusive ";
+  out += star.name + "(" + StrJoin(star.params, ", ") + ")\n";
+  auto lets = FormatLets(star.lets, "  ");
+  if (!lets.ok()) return lets;
+  out += lets.value();
+  for (const Alternative& alt : star.alternatives) {
+    out += "  alt '" + alt.label + "'";
+    if (!alt.lets.empty()) {
+      out += "\n";
+      auto alt_lets = FormatLets(alt.lets, "    ");
+      if (!alt_lets.ok()) return alt_lets;
+      // trim the trailing newline so the condition/colon lines up
+      std::string text = alt_lets.value();
+      if (!text.empty() && text.back() == '\n') text.pop_back();
+      out += text;
+    }
+    if (alt.condition != nullptr) {
+      auto cond = FormatExpr(*alt.condition);
+      if (!cond.ok()) return cond.status();
+      out += (alt.lets.empty() ? " " : "\n    ");
+      out += "if " + cond.value();
+    }
+    out += ":\n    ";
+    auto body = FormatExpr(*alt.body);
+    if (!body.ok()) return body.status();
+    out += body.value() + "\n";
+  }
+  out += "end\n";
+  return out;
+}
+
+Result<std::string> FormatRules(const RuleSet& rules) {
+  std::string out;
+  for (const std::string& name : rules.Names()) {
+    auto star = rules.Find(name);
+    if (!star.ok()) return star.status();
+    auto text = FormatStar(*star.value());
+    if (!text.ok()) return text;
+    out += text.value() + "\n";
+  }
+  return out;
+}
+
+}  // namespace starburst

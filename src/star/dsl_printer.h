@@ -1,0 +1,23 @@
+#ifndef STARBURST_STAR_DSL_PRINTER_H_
+#define STARBURST_STAR_DSL_PRINTER_H_
+
+#include <string>
+
+#include "star/rule.h"
+
+namespace starburst {
+
+/// Renders a STAR (or a whole rule base) back into the rule DSL, the inverse
+/// of ParseRules. Useful for inspecting a live rule base after programmatic
+/// edits and for persisting it; `ParseRules(FormatRules(rules))` yields a
+/// behaviorally identical rule base (tested).
+///
+/// Only constants that have DSL spellings can be printed: booleans,
+/// integers, strings, and the empty predicate set φ. Rule bases built by
+/// DefaultRuleSet and the DSL itself never contain anything else.
+Result<std::string> FormatStar(const Star& star);
+Result<std::string> FormatRules(const RuleSet& rules);
+
+}  // namespace starburst
+
+#endif  // STARBURST_STAR_DSL_PRINTER_H_

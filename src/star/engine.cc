@@ -1,0 +1,353 @@
+#include "star/engine.h"
+
+#include "query/query.h"
+
+namespace starburst {
+
+std::string EngineMetrics::ToString() const {
+  return "{star_refs=" + std::to_string(star_refs) +
+         " alts_considered=" + std::to_string(alternatives_considered) +
+         " alts_taken=" + std::to_string(alternatives_taken) +
+         " conditions=" + std::to_string(conditions_evaluated) +
+         " op_refs=" + std::to_string(op_refs) +
+         " plans_built=" + std::to_string(plans_built) +
+         " infeasible=" + std::to_string(infeasible_combinations) +
+         " glue_calls=" + std::to_string(glue_calls) +
+         " foreach=" + std::to_string(foreach_expansions) + "}";
+}
+
+const RuleValue* StarEngine::Env::Lookup(const std::string& name) const {
+  auto it = vars_.find(name);
+  if (it != vars_.end()) return &it->second;
+  return parent_ != nullptr ? parent_->Lookup(name) : nullptr;
+}
+
+StarEngine::StarEngine(const PlanFactory* factory, const RuleSet* rules,
+                       const FunctionRegistry* functions,
+                       EngineOptions options)
+    : factory_(factory),
+      rules_(rules),
+      functions_(functions),
+      options_(options) {}
+
+const Query& StarEngine::query() const { return factory_->query(); }
+
+Result<SAP> StarEngine::ToSAP(RuleValue value) const {
+  if (const SAP* sap = value.get_if<SAP>()) return *sap;
+  if (value.is<std::monostate>()) return SAP{};
+  if (value.is<StreamSpec>()) {
+    return Status::InvalidArgument(
+        "a STAR body produced an unresolved stream; reference Glue to turn "
+        "it into plans");
+  }
+  return Status::InvalidArgument("a STAR body must produce plans, got " +
+                                 value.ToString());
+}
+
+Result<SAP> StarEngine::EvalStar(const std::string& name,
+                                 const std::vector<RuleValue>& args) {
+  auto v = EvalStarRef(name, args);
+  if (!v.ok()) return v.status();
+  return ToSAP(std::move(v).value());
+}
+
+Result<RuleValue> StarEngine::EvalStarRef(const std::string& name,
+                                          const std::vector<RuleValue>& args) {
+  auto star_r = rules_->Find(name);
+  if (!star_r.ok()) return star_r.status();
+  const Star& star = *star_r.value();
+  if (args.size() != star.params.size()) {
+    return Status::InvalidArgument(
+        "STAR " + name + " takes " + std::to_string(star.params.size()) +
+        " argument(s), got " + std::to_string(args.size()));
+  }
+  if (++depth_ > options_.max_depth) {
+    --depth_;
+    return Status::Internal("STAR recursion limit exceeded at '" + name +
+                            "' (cyclic rule set?)");
+  }
+  ++metrics_.star_refs;
+
+  Env env;
+  for (size_t i = 0; i < args.size(); ++i) env.Bind(star.params[i], args[i]);
+
+  auto finish = [this](Result<RuleValue> r) {
+    --depth_;
+    return r;
+  };
+
+  // STAR-level `where` bindings, in order (later ones may use earlier ones).
+  for (const auto& [let_name, let_expr] : star.lets) {
+    auto v = Eval(*let_expr, env);
+    if (!v.ok()) return finish(v.status());
+    env.Bind(let_name, std::move(v).value());
+  }
+
+  SAP result;
+  for (const Alternative& alt : star.alternatives) {
+    ++metrics_.alternatives_considered;
+    Env alt_env(&env);
+    for (const auto& [let_name, let_expr] : alt.lets) {
+      auto v = Eval(*let_expr, alt_env);
+      if (!v.ok()) return finish(v.status());
+      alt_env.Bind(let_name, std::move(v).value());
+    }
+    bool applicable = true;
+    if (alt.condition != nullptr) {
+      ++metrics_.conditions_evaluated;
+      auto cond = Eval(*alt.condition, alt_env);
+      if (!cond.ok()) return finish(cond.status());
+      const bool* b = cond.value().get_if<bool>();
+      if (b == nullptr) {
+        return finish(Status::InvalidArgument(
+            "condition of " + name + "/" + alt.label +
+            " did not evaluate to a boolean"));
+      }
+      applicable = *b;
+    }
+    if (!applicable) continue;
+    ++metrics_.alternatives_taken;
+    auto body = Eval(*alt.body, alt_env);
+    if (!body.ok()) return finish(body.status());
+    auto sap = ToSAP(std::move(body).value());
+    if (!sap.ok()) return finish(sap.status());
+    result.insert(result.end(), sap.value().begin(), sap.value().end());
+    if (star.exclusive) break;  // '{': first applicable definition wins
+  }
+  return finish(RuleValue(std::move(result)));
+}
+
+Result<RuleValue> StarEngine::EvalOpRef(const RuleExpr& expr, const Env& env) {
+  ++metrics_.op_refs;
+  // Evaluate the plan-valued inputs: each must be a SAP; map the LOLEPOP
+  // over the cartesian product of the input SAPs (paper §2.2: STARs "are
+  // mapped (in the LISP sense) onto each element of those SAPs").
+  std::vector<SAP> input_saps;
+  for (const RuleExprPtr& in : expr.args()) {
+    auto v = Eval(*in, env);
+    if (!v.ok()) return v.status();
+    auto sap = ToSAP(std::move(v).value());
+    if (!sap.ok()) return sap.status();
+    input_saps.push_back(std::move(sap).value());
+  }
+  // Evaluate operator arguments once (they do not depend on which
+  // alternative input plan is chosen).
+  OpArgs args;
+  for (const auto& [arg_name, arg_expr] : expr.named_args()) {
+    auto v = Eval(*arg_expr, env);
+    if (!v.ok()) return v.status();
+    const RuleValue& rv = v.value();
+    if (const int64_t* i = rv.get_if<int64_t>()) {
+      args.Set(arg_name, *i);
+    } else if (const bool* b = rv.get_if<bool>()) {
+      args.Set(arg_name, *b);
+    } else if (const double* d = rv.get_if<double>()) {
+      args.Set(arg_name, *d);
+    } else if (const std::string* s = rv.get_if<std::string>()) {
+      args.Set(arg_name, *s);
+    } else if (const SortOrder* o = rv.get_if<SortOrder>()) {
+      args.Set(arg_name, *o);
+    } else if (const ColumnSet* c = rv.get_if<ColumnSet>()) {
+      args.Set(arg_name, *c);
+    } else if (const PredSet* p = rv.get_if<PredSet>()) {
+      args.Set(arg_name, *p);
+    } else if (const QuantifierSet* t = rv.get_if<QuantifierSet>()) {
+      args.Set(arg_name, *t);
+    } else if (const ColumnRef* cr = rv.get_if<ColumnRef>()) {
+      args.Set(arg_name, *cr);
+    } else if (rv.is<std::monostate>()) {
+      // omitted optional argument
+    } else {
+      return Status::InvalidArgument("argument '" + arg_name + "' of " +
+                                     expr.name() +
+                                     " has no operator-argument encoding");
+    }
+  }
+
+  SAP out;
+  std::vector<size_t> idx(input_saps.size(), 0);
+  while (true) {
+    std::vector<PlanPtr> combo;
+    combo.reserve(input_saps.size());
+    bool done = false;
+    for (size_t i = 0; i < input_saps.size(); ++i) {
+      if (input_saps[i].empty()) {
+        done = true;  // an empty input SAP yields no plans at all
+        break;
+      }
+      combo.push_back(input_saps[i][idx[i]]);
+    }
+    if (done) break;
+
+    auto plan = factory_->Make(expr.name(), expr.flavor(), std::move(combo),
+                               args);
+    if (plan.ok()) {
+      ++metrics_.plans_built;
+      out.push_back(std::move(plan).value());
+    } else if (plan.status().code() == StatusCode::kInvalidArgument ||
+               plan.status().code() == StatusCode::kNotFound) {
+      // This particular combination of alternatives is infeasible (e.g.
+      // sites differ before Glue, or the index lacks a column) — skip it.
+      ++metrics_.infeasible_combinations;
+    } else {
+      return plan.status();
+    }
+
+    // Advance the cartesian-product counter.
+    if (input_saps.empty()) break;
+    size_t i = 0;
+    while (i < idx.size()) {
+      if (++idx[i] < input_saps[i].size()) break;
+      idx[i] = 0;
+      ++i;
+    }
+    if (i == idx.size()) break;
+  }
+  return RuleValue(std::move(out));
+}
+
+Result<RuleValue> StarEngine::Eval(const RuleExpr& expr, const Env& env) {
+  switch (expr.kind()) {
+    case RuleExprKind::kConst:
+      return expr.value();
+    case RuleExprKind::kParam: {
+      const RuleValue* v = env.Lookup(expr.name());
+      if (v == nullptr) {
+        return Status::InvalidArgument("unbound rule parameter '" +
+                                       expr.name() + "'");
+      }
+      return *v;
+    }
+    case RuleExprKind::kCall: {
+      auto fn = functions_->Find(expr.name());
+      if (!fn.ok()) return fn.status();
+      std::vector<RuleValue> args;
+      args.reserve(expr.args().size());
+      for (const RuleExprPtr& a : expr.args()) {
+        auto v = Eval(*a, env);
+        if (!v.ok()) return v;
+        args.push_back(std::move(v).value());
+      }
+      RuleFnContext ctx;
+      ctx.query = &query();
+      ctx.allow_composite_inner = options_.allow_composite_inner;
+      ctx.allow_cartesian = options_.allow_cartesian;
+      return (*fn.value())(args, ctx);
+    }
+    case RuleExprKind::kOpRef:
+      return EvalOpRef(expr, env);
+    case RuleExprKind::kStarRef: {
+      std::vector<RuleValue> args;
+      args.reserve(expr.args().size());
+      for (const RuleExprPtr& a : expr.args()) {
+        auto v = Eval(*a, env);
+        if (!v.ok()) return v;
+        args.push_back(std::move(v).value());
+      }
+      return EvalStarRef(expr.name(), args);
+    }
+    case RuleExprKind::kGlue: {
+      if (glue_ == nullptr) {
+        return Status::Internal("no Glue mechanism attached to the engine");
+      }
+      auto stream = Eval(*expr.args()[0], env);
+      if (!stream.ok()) return stream;
+      const StreamSpec* spec = stream.value().get_if<StreamSpec>();
+      if (spec == nullptr) {
+        return Status::InvalidArgument("Glue expects a stream argument");
+      }
+      auto preds = Eval(*expr.args()[1], env);
+      if (!preds.ok()) return preds;
+      StreamSpec resolved = *spec;
+      if (const PredSet* p = preds.value().get_if<PredSet>()) {
+        resolved.preds = resolved.preds.Union(*p);
+      } else if (!preds.value().is<std::monostate>()) {
+        return Status::InvalidArgument(
+            "Glue expects a predicate-set argument");
+      }
+      ++metrics_.glue_calls;
+      auto sap = glue_->Resolve(resolved);
+      if (!sap.ok()) return sap.status();
+      return RuleValue(std::move(sap).value());
+    }
+    case RuleExprKind::kForEach: {
+      auto domain = Eval(*expr.args()[0], env);
+      if (!domain.ok()) return domain;
+      RuleList items;
+      if (const RuleList* l = domain.value().get_if<RuleList>()) {
+        items = *l;
+      } else if (const PredSet* p = domain.value().get_if<PredSet>()) {
+        for (int id : p->ToVector()) {
+          items.push_back(RuleValue(static_cast<int64_t>(id)));
+        }
+      } else if (const ColumnSet* c = domain.value().get_if<ColumnSet>()) {
+        for (const ColumnRef& ref : *c) items.push_back(RuleValue(ref));
+      } else if (const SortOrder* o = domain.value().get_if<SortOrder>()) {
+        for (const ColumnRef& ref : *o) items.push_back(RuleValue(ref));
+      } else {
+        return Status::InvalidArgument("forall: domain is not iterable: " +
+                                       domain.value().ToString());
+      }
+      SAP out;
+      for (RuleValue& item : items) {
+        ++metrics_.foreach_expansions;
+        Env inner(&env);
+        inner.Bind(expr.name(), std::move(item));
+        auto body = Eval(*expr.args()[1], inner);
+        if (!body.ok()) return body;
+        auto sap = ToSAP(std::move(body).value());
+        if (!sap.ok()) return sap.status();
+        out.insert(out.end(), sap.value().begin(), sap.value().end());
+      }
+      return RuleValue(std::move(out));
+    }
+    case RuleExprKind::kRequire: {
+      auto stream = Eval(*expr.args()[0], env);
+      if (!stream.ok()) return stream;
+      const StreamSpec* spec = stream.value().get_if<StreamSpec>();
+      if (spec == nullptr) {
+        return Status::InvalidArgument(
+            "required properties can only be attached to a stream");
+      }
+      StreamSpec out = *spec;
+      auto value = Eval(*expr.args()[1], env);
+      if (!value.ok()) return value;
+      const RuleValue& rv = value.value();
+      switch (expr.req_kind()) {
+        case ReqKind::kOrder: {
+          const SortOrder* o = rv.get_if<SortOrder>();
+          if (o == nullptr) {
+            return Status::InvalidArgument("[order=...] expects columns");
+          }
+          // An empty order requirement is vacuous (arises when the sortable
+          // predicates contribute no columns for this side).
+          if (!o->empty()) out.required.order = *o;
+          break;
+        }
+        case ReqKind::kSite: {
+          const int64_t* s = rv.get_if<int64_t>();
+          if (s == nullptr) {
+            return Status::InvalidArgument("[site=...] expects a site id");
+          }
+          out.required.site = static_cast<SiteId>(*s);
+          break;
+        }
+        case ReqKind::kTemp:
+          out.required.temp = true;
+          break;
+        case ReqKind::kPath: {
+          const SortOrder* o = rv.get_if<SortOrder>();
+          if (o == nullptr) {
+            return Status::InvalidArgument("[paths>=...] expects columns");
+          }
+          if (!o->empty()) out.required.path = *o;
+          break;
+        }
+      }
+      return RuleValue(std::move(out));
+    }
+  }
+  return Status::Internal("unknown rule expression kind");
+}
+
+}  // namespace starburst

@@ -1,0 +1,112 @@
+#ifndef STARBURST_STAR_ENGINE_H_
+#define STARBURST_STAR_ENGINE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "star/builtins.h"
+#include "star/rule.h"
+
+namespace starburst {
+
+/// Session options of the rule engine — the paper's compile-time parameters
+/// (§2.3) plus interpreter safety limits.
+struct EngineOptions {
+  bool allow_composite_inner = true;
+  bool allow_cartesian = false;
+  /// Glue returns the whole Pareto frontier (true) or only the cheapest
+  /// satisfying plan (false) — §3.2's "cheapest ... or (optionally) all".
+  bool glue_return_all = true;
+  /// Recursion guard against cyclic STAR definitions (an open issue the
+  /// paper acknowledges in §5: "we assume the DBC specifies the STARs
+  /// correctly, i.e. without infinite cycles").
+  int max_depth = 64;
+};
+
+/// Interpreter effort counters, the measured quantity of experiment E1/E6:
+/// a STAR reference expands only the STARs its definition mentions
+/// (dictionary lookup), so these stay small compared to the transformational
+/// baseline's match attempts.
+struct EngineMetrics {
+  int64_t star_refs = 0;
+  int64_t alternatives_considered = 0;
+  int64_t alternatives_taken = 0;
+  int64_t conditions_evaluated = 0;
+  int64_t op_refs = 0;
+  int64_t plans_built = 0;
+  int64_t infeasible_combinations = 0;
+  int64_t glue_calls = 0;
+  int64_t foreach_expansions = 0;
+
+  void Reset() { *this = EngineMetrics{}; }
+  std::string ToString() const;
+};
+
+/// Interface Glue implements; broken out so star/ does not depend on glue/
+/// (Glue itself re-references root STARs through the engine, §3.2 step 1).
+class GlueInterface {
+ public:
+  virtual ~GlueInterface() = default;
+  /// Returns plans for the spec's relational content that satisfy its
+  /// accumulated requirements, injecting veneer operators as needed.
+  virtual Result<SAP> Resolve(const StreamSpec& spec) = 0;
+};
+
+/// The STAR interpreter (the paper's §2.3 / [LEE 88] prototype): expands a
+/// root STAR reference top-down into a SAP by substituting alternative
+/// definitions whose conditions hold, mapping LOLEPOP references over
+/// SAP-valued inputs, and delegating required-property matching to Glue.
+class StarEngine {
+ public:
+  StarEngine(const PlanFactory* factory, const RuleSet* rules,
+             const FunctionRegistry* functions,
+             EngineOptions options = EngineOptions{});
+
+  void set_glue(GlueInterface* glue) { glue_ = glue; }
+
+  /// Evaluates `name(args...)` to a set of alternative plans.
+  Result<SAP> EvalStar(const std::string& name,
+                       const std::vector<RuleValue>& args);
+
+  /// Scoped variable bindings during rule evaluation.
+  class Env {
+   public:
+    explicit Env(const Env* parent = nullptr) : parent_(parent) {}
+    void Bind(const std::string& name, RuleValue value) {
+      vars_[name] = std::move(value);
+    }
+    const RuleValue* Lookup(const std::string& name) const;
+
+   private:
+    const Env* parent_;
+    std::map<std::string, RuleValue> vars_;
+  };
+
+  /// Evaluates one rule expression under `env` (exposed for tests and for
+  /// Glue's own glue-operator STARs).
+  Result<RuleValue> Eval(const RuleExpr& expr, const Env& env);
+
+  EngineMetrics& metrics() { return metrics_; }
+  const EngineOptions& options() const { return options_; }
+  const PlanFactory& factory() const { return *factory_; }
+  const Query& query() const;
+
+ private:
+  Result<RuleValue> EvalStarRef(const std::string& name,
+                                const std::vector<RuleValue>& args);
+  Result<RuleValue> EvalOpRef(const RuleExpr& expr, const Env& env);
+  Result<SAP> ToSAP(RuleValue value) const;
+
+  const PlanFactory* factory_;
+  const RuleSet* rules_;
+  const FunctionRegistry* functions_;
+  GlueInterface* glue_ = nullptr;
+  EngineOptions options_;
+  EngineMetrics metrics_;
+  int depth_ = 0;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_STAR_ENGINE_H_

@@ -1,0 +1,189 @@
+#include "star/rule.h"
+
+#include "common/strings.h"
+#include "query/query.h"
+
+namespace starburst {
+
+namespace {
+std::string ColsToString(const std::vector<ColumnRef>& cols,
+                         const Query* query) {
+  return "(" + StrJoinMapped(cols, ",", [query](ColumnRef c) {
+           return query != nullptr ? query->ColumnName(c)
+                                   : "q" + std::to_string(c.quantifier) +
+                                         ".c" + std::to_string(c.column);
+         }) +
+         ")";
+}
+}  // namespace
+
+void Requirements::Merge(const Requirements& other) {
+  if (other.order.has_value()) order = other.order;
+  if (other.site.has_value()) site = other.site;
+  temp = temp || other.temp;
+  if (other.path.has_value()) path = other.path;
+}
+
+std::string Requirements::ToString(const Query* query) const {
+  std::vector<std::string> parts;
+  if (order.has_value()) {
+    parts.push_back("order=" + ColsToString(*order, query));
+  }
+  if (site.has_value()) {
+    parts.push_back("site=" + (query != nullptr
+                                   ? query->catalog().site_name(*site)
+                                   : std::to_string(*site)));
+  }
+  if (temp) parts.push_back("temp");
+  if (path.has_value()) {
+    parts.push_back("paths>=" + ColsToString(*path, query));
+  }
+  if (parts.empty()) return "";
+  return "[" + StrJoin(parts, " ") + "]";
+}
+
+std::string StreamSpec::ToString(const Query* query) const {
+  std::string out = "stream" + tables.ToString();
+  if (!preds.empty()) out += "|preds" + preds.ToString();
+  out += required.ToString(query);
+  return out;
+}
+
+std::string RuleValue::ToString(const Query* query) const {
+  struct Visitor {
+    const Query* query;
+    std::string operator()(std::monostate) const { return "nil"; }
+    std::string operator()(bool b) const { return b ? "true" : "false"; }
+    std::string operator()(int64_t i) const { return std::to_string(i); }
+    std::string operator()(double d) const { return FormatDouble(d); }
+    std::string operator()(const std::string& s) const {
+      return "'" + s + "'";
+    }
+    std::string operator()(const QuantifierSet& s) const {
+      return "T" + s.ToString();
+    }
+    std::string operator()(const PredSet& s) const {
+      return "P" + s.ToString();
+    }
+    std::string operator()(const ColumnSet& s) const {
+      return "{" + StrJoinMapped(s, ",", [this](ColumnRef c) {
+               return query != nullptr ? query->ColumnName(c)
+                                       : std::to_string(c.quantifier) + "." +
+                                             std::to_string(c.column);
+             }) +
+             "}";
+    }
+    std::string operator()(const SortOrder& o) const {
+      return ColsToString(o, query);
+    }
+    std::string operator()(const ColumnRef& c) const {
+      return query != nullptr ? query->ColumnName(c)
+                              : std::to_string(c.quantifier) + "." +
+                                    std::to_string(c.column);
+    }
+    std::string operator()(const StreamSpec& s) const {
+      return s.ToString(query);
+    }
+    std::string operator()(const SAP& sap) const {
+      return "SAP<" + std::to_string(sap.size()) + ">";
+    }
+    std::string operator()(const RuleList& l) const {
+      return "[" + StrJoinMapped(l, ",", [this](const RuleValue& v) {
+               return v.ToString(query);
+             }) +
+             "]";
+    }
+  };
+  return std::visit(Visitor{query}, v_);
+}
+
+RuleExprPtr RuleExpr::Param(std::string name) {
+  auto e = std::shared_ptr<RuleExpr>(new RuleExpr());
+  e->kind_ = RuleExprKind::kParam;
+  e->name_ = std::move(name);
+  return e;
+}
+
+RuleExprPtr RuleExpr::Const(RuleValue value) {
+  auto e = std::shared_ptr<RuleExpr>(new RuleExpr());
+  e->kind_ = RuleExprKind::kConst;
+  e->value_ = std::move(value);
+  return e;
+}
+
+RuleExprPtr RuleExpr::Call(std::string fn, std::vector<RuleExprPtr> args) {
+  auto e = std::shared_ptr<RuleExpr>(new RuleExpr());
+  e->kind_ = RuleExprKind::kCall;
+  e->name_ = std::move(fn);
+  e->args_ = std::move(args);
+  return e;
+}
+
+RuleExprPtr RuleExpr::OpRef(
+    std::string op, std::string flavor, std::vector<RuleExprPtr> inputs,
+    std::vector<std::pair<std::string, RuleExprPtr>> args) {
+  auto e = std::shared_ptr<RuleExpr>(new RuleExpr());
+  e->kind_ = RuleExprKind::kOpRef;
+  e->name_ = std::move(op);
+  e->flavor_ = std::move(flavor);
+  e->args_ = std::move(inputs);
+  e->named_args_ = std::move(args);
+  return e;
+}
+
+RuleExprPtr RuleExpr::StarRef(std::string star,
+                              std::vector<RuleExprPtr> args) {
+  auto e = std::shared_ptr<RuleExpr>(new RuleExpr());
+  e->kind_ = RuleExprKind::kStarRef;
+  e->name_ = std::move(star);
+  e->args_ = std::move(args);
+  return e;
+}
+
+RuleExprPtr RuleExpr::Glue(RuleExprPtr stream, RuleExprPtr preds) {
+  auto e = std::shared_ptr<RuleExpr>(new RuleExpr());
+  e->kind_ = RuleExprKind::kGlue;
+  e->args_ = {std::move(stream), std::move(preds)};
+  return e;
+}
+
+RuleExprPtr RuleExpr::ForEach(std::string var, RuleExprPtr domain,
+                              RuleExprPtr body) {
+  auto e = std::shared_ptr<RuleExpr>(new RuleExpr());
+  e->kind_ = RuleExprKind::kForEach;
+  e->name_ = std::move(var);
+  e->args_ = {std::move(domain), std::move(body)};
+  return e;
+}
+
+RuleExprPtr RuleExpr::Require(RuleExprPtr stream, ReqKind req,
+                              RuleExprPtr value) {
+  auto e = std::shared_ptr<RuleExpr>(new RuleExpr());
+  e->kind_ = RuleExprKind::kRequire;
+  e->req_kind_ = req;
+  e->args_ = {std::move(stream), std::move(value)};
+  return e;
+}
+
+void RuleSet::AddOrReplace(Star star) { stars_[star.name] = std::move(star); }
+
+Result<const Star*> RuleSet::Find(const std::string& name) const {
+  auto it = stars_.find(name);
+  if (it == stars_.end()) {
+    return Status::NotFound("no STAR named '" + name + "'");
+  }
+  return &it->second;
+}
+
+bool RuleSet::Remove(const std::string& name) {
+  return stars_.erase(name) > 0;
+}
+
+std::vector<std::string> RuleSet::Names() const {
+  std::vector<std::string> out;
+  out.reserve(stars_.size());
+  for (const auto& [name, star] : stars_) out.push_back(name);
+  return out;
+}
+
+}  // namespace starburst

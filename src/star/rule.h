@@ -1,0 +1,202 @@
+#ifndef STARBURST_STAR_RULE_H_
+#define STARBURST_STAR_RULE_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/id_set.h"
+#include "common/status.h"
+#include "plan/plan.h"
+#include "properties/property.h"
+
+namespace starburst {
+
+/// A Set of Alternative Plans — the abstract data type every STAR consumes
+/// and produces (paper §2.2: "It is easiest to treat all STARs as operations
+/// on the abstract data type Set of Alternative Plans for a stream (SAP)").
+using SAP = std::vector<PlanPtr>;
+
+/// Properties *required* of a stream (paper §3.2): the square-bracket
+/// annotations like [order=...], [site=...], [temp], [paths ⊇ IX]. They
+/// accumulate on a StreamSpec until Glue is referenced.
+struct Requirements {
+  std::optional<SortOrder> order;
+  std::optional<SiteId> site;
+  bool temp = false;
+  /// Key columns an access path must exist on (dynamic index, §4.5.3).
+  std::optional<std::vector<ColumnRef>> path;
+
+  bool Any() const {
+    return order.has_value() || site.has_value() || temp || path.has_value();
+  }
+  /// Later requirements override earlier ones for the same property (the
+  /// innermost STAR to require a property wins; in the paper's rule sets at
+  /// most one STAR requires each property per stream).
+  void Merge(const Requirements& other);
+  std::string ToString(const Query* query = nullptr) const;
+
+  bool operator==(const Requirements& o) const {
+    return order == o.order && site == o.site && temp == o.temp &&
+           path == o.path;
+  }
+};
+
+/// A descriptor of a not-yet-materialized table stream: which quantifiers it
+/// covers, which predicates its plans must apply, and the requirements
+/// accumulated so far. This is the value the paper's T1/T2 parameters carry
+/// between STARs; only Glue turns it into a SAP.
+struct StreamSpec {
+  QuantifierSet tables;
+  PredSet preds;
+  Requirements required;
+
+  bool operator==(const StreamSpec& o) const {
+    return tables == o.tables && preds == o.preds && required == o.required;
+  }
+  std::string ToString(const Query* query = nullptr) const;
+};
+
+class RuleValue;
+/// Generic list for ∀-expansion domains (sites, indexes, ...).
+using RuleList = std::vector<RuleValue>;
+
+/// The value domain of rule-expression evaluation.
+class RuleValue {
+ public:
+  using Storage =
+      std::variant<std::monostate, bool, int64_t, double, std::string,
+                   QuantifierSet, PredSet, ColumnSet, SortOrder, ColumnRef,
+                   StreamSpec, SAP, RuleList>;
+
+  RuleValue() = default;
+  RuleValue(Storage v) : v_(std::move(v)) {}  // NOLINT(runtime/explicit)
+  template <typename T>
+  RuleValue(T v) : v_(std::move(v)) {}  // NOLINT(runtime/explicit)
+
+  const Storage& storage() const { return v_; }
+
+  template <typename T>
+  bool is() const {
+    return std::holds_alternative<T>(v_);
+  }
+  template <typename T>
+  const T& as() const {
+    return std::get<T>(v_);
+  }
+  template <typename T>
+  const T* get_if() const {
+    return std::get_if<T>(&v_);
+  }
+
+  std::string ToString(const Query* query = nullptr) const;
+
+ private:
+  Storage v_;
+};
+
+/// Kinds of rule-expression nodes.
+enum class RuleExprKind {
+  kParam,    ///< parameter or ∀-variable reference by name
+  kConst,    ///< literal RuleValue
+  kCall,     ///< builtin / DBC-registered function call
+  kOpRef,    ///< LOLEPOP reference — a grammar *terminal*
+  kStarRef,  ///< STAR reference — a grammar *non-terminal*
+  kGlue,     ///< Glue reference (paper §3.2)
+  kForEach,  ///< ∀ var ∈ set : body (paper §2.2, IndexAccess example)
+  kRequire,  ///< attach a required property to a stream: T[order=...]
+};
+
+class RuleExpr;
+using RuleExprPtr = std::shared_ptr<const RuleExpr>;
+
+/// Which requirement a kRequire node attaches.
+enum class ReqKind { kOrder, kSite, kTemp, kPath };
+
+/// An immutable rule-expression tree. Construct via the factory functions;
+/// fields are interpreted per `kind` (see accessors).
+class RuleExpr {
+ public:
+  static RuleExprPtr Param(std::string name);
+  static RuleExprPtr Const(RuleValue value);
+  static RuleExprPtr Call(std::string fn, std::vector<RuleExprPtr> args);
+  /// LOLEPOP reference: `inputs` evaluate to SAPs (mapped, §2.2); `args`
+  /// evaluate to operator arguments.
+  static RuleExprPtr OpRef(std::string op, std::string flavor,
+                           std::vector<RuleExprPtr> inputs,
+                           std::vector<std::pair<std::string, RuleExprPtr>> args);
+  static RuleExprPtr StarRef(std::string star, std::vector<RuleExprPtr> args);
+  /// Glue(stream, preds): resolve the stream spec into a SAP, pushing
+  /// `preds` into its plans.
+  static RuleExprPtr Glue(RuleExprPtr stream, RuleExprPtr preds);
+  static RuleExprPtr ForEach(std::string var, RuleExprPtr domain,
+                             RuleExprPtr body);
+  static RuleExprPtr Require(RuleExprPtr stream, ReqKind req,
+                             RuleExprPtr value);
+
+  RuleExprKind kind() const { return kind_; }
+  const std::string& name() const { return name_; }    // param/fn/op/star
+  const std::string& flavor() const { return flavor_; }
+  const RuleValue& value() const { return value_; }    // kConst
+  const std::vector<RuleExprPtr>& args() const { return args_; }
+  const std::vector<std::pair<std::string, RuleExprPtr>>& named_args() const {
+    return named_args_;
+  }
+  ReqKind req_kind() const { return req_kind_; }
+  /// kForEach: args_[0]=domain, args_[1]=body; name_ = variable.
+  /// kGlue/kRequire: args_[0]=stream, args_[1]=value/preds.
+
+ private:
+  RuleExpr() = default;
+
+  RuleExprKind kind_ = RuleExprKind::kConst;
+  std::string name_;
+  std::string flavor_;
+  RuleValue value_;
+  std::vector<RuleExprPtr> args_;
+  std::vector<std::pair<std::string, RuleExprPtr>> named_args_;
+  ReqKind req_kind_ = ReqKind::kOrder;
+};
+
+/// One alternative definition of a STAR: optional condition, local `where`
+/// bindings, and a body producing plans.
+struct Alternative {
+  std::string label;
+  RuleExprPtr condition;  ///< null = always applicable ("OTHERWISE")
+  std::vector<std::pair<std::string, RuleExprPtr>> lets;
+  RuleExprPtr body;
+};
+
+/// A STrategy Alternative Rule: a named, parameterized non-terminal with
+/// alternative definitions (paper §2.2). `exclusive` distinguishes the
+/// paper's '{' (first applicable alternative only) from '[' (all applicable
+/// alternatives).
+struct Star {
+  std::string name;
+  std::vector<std::string> params;
+  std::vector<std::pair<std::string, RuleExprPtr>> lets;  ///< shared `where`s
+  std::vector<Alternative> alternatives;
+  bool exclusive = false;
+};
+
+/// The rule base: a dictionary of STARs, replaceable at run time — the
+/// paper's "rules as input data to the optimizer" (§5). Re-adding a name
+/// replaces the definition (how a DBC revises a strategy).
+class RuleSet {
+ public:
+  void AddOrReplace(Star star);
+  Result<const Star*> Find(const std::string& name) const;
+  bool Remove(const std::string& name);
+  std::vector<std::string> Names() const;
+  int size() const { return static_cast<int>(stars_.size()); }
+
+ private:
+  std::map<std::string, Star> stars_;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_STAR_RULE_H_

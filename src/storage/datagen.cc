@@ -1,0 +1,105 @@
+#include "storage/datagen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+namespace starburst {
+
+namespace {
+
+Datum RandomValue(const ColumnDef& col, std::mt19937_64* rng) {
+  double distinct = std::max(1.0, col.distinct_values);
+  uint64_t bucket = (*rng)() % static_cast<uint64_t>(distinct);
+  switch (col.type) {
+    case ColumnType::kInt64: {
+      int64_t lo = col.min_value ? static_cast<int64_t>(*col.min_value) : 0;
+      int64_t hi = col.max_value ? static_cast<int64_t>(*col.max_value)
+                                 : lo + static_cast<int64_t>(distinct) - 1;
+      int64_t span = std::max<int64_t>(1, hi - lo + 1);
+      // Spread the distinct buckets across [lo, hi].
+      int64_t step = std::max<int64_t>(1, span / static_cast<int64_t>(distinct));
+      return Datum(lo + static_cast<int64_t>(bucket) * step % span);
+    }
+    case ColumnType::kDouble:
+      return Datum(static_cast<double>(bucket));
+    case ColumnType::kString:
+      return Datum("v" + std::to_string(bucket));
+  }
+  return Datum::NullValue();
+}
+
+int64_t ScaledRows(double row_count, double scale) {
+  return std::max<int64_t>(1, static_cast<int64_t>(std::llround(
+                                  row_count * std::max(0.0, scale))));
+}
+
+}  // namespace
+
+Status PopulateDatabase(Database* db, uint64_t seed, double scale) {
+  std::mt19937_64 rng(seed);
+  const Catalog& cat = db->catalog();
+  for (TableId id = 0; id < cat.num_tables(); ++id) {
+    const TableDef& def = cat.table(id);
+    StoredTable& table = db->table(id);
+    int64_t rows = ScaledRows(def.row_count, scale);
+    for (int64_t r = 0; r < rows; ++r) {
+      Tuple row;
+      row.reserve(def.columns.size());
+      for (size_t c = 0; c < def.columns.size(); ++c) {
+        // Column "id" gets unique ascending values so foreign keys can hit.
+        if (def.columns[c].name == "id") {
+          row.push_back(Datum(r));
+        } else {
+          row.push_back(RandomValue(def.columns[c], &rng));
+        }
+      }
+      STARBURST_RETURN_NOT_OK(table.Insert(std::move(row)));
+    }
+  }
+  return db->Finalize();
+}
+
+Status PopulatePaperDatabase(Database* db, uint64_t seed, double scale) {
+  std::mt19937_64 rng(seed);
+  const Catalog& cat = db->catalog();
+
+  auto dept_id = cat.FindTable("DEPT");
+  auto emp_id = cat.FindTable("EMP");
+  if (!dept_id.ok()) return dept_id.status();
+  if (!emp_id.ok()) return emp_id.status();
+
+  const TableDef& dept_def = cat.table(dept_id.value());
+  const TableDef& emp_def = cat.table(emp_id.value());
+  int64_t dept_rows = ScaledRows(dept_def.row_count, scale);
+  int64_t emp_rows = ScaledRows(emp_def.row_count, scale);
+
+  StoredTable& dept = db->table(dept_id.value());
+  // Managers: 'Haas' runs a handful of departments, everybody else one.
+  for (int64_t d = 0; d < dept_rows; ++d) {
+    Tuple row;
+    row.push_back(Datum(d));  // DNO
+    bool haas = d % std::max<int64_t>(2, dept_rows / 3) == 0;
+    row.push_back(Datum(haas ? std::string("Haas")
+                             : "mgr" + std::to_string(d)));  // MGR
+    row.push_back(Datum("dept" + std::to_string(d)));        // DNAME
+    row.push_back(Datum(static_cast<int64_t>(rng() % 1000000)));  // BUDGET
+    STARBURST_RETURN_NOT_OK(dept.Insert(std::move(row)));
+  }
+
+  StoredTable& emp = db->table(emp_id.value());
+  for (int64_t e = 0; e < emp_rows; ++e) {
+    Tuple row;
+    row.push_back(Datum(e));  // ENO
+    row.push_back(Datum(static_cast<int64_t>(rng() %
+                                             std::max<int64_t>(1, dept_rows))));  // DNO
+    row.push_back(Datum("emp" + std::to_string(e)));                 // NAME
+    row.push_back(Datum("addr" + std::to_string(e % 97)));           // ADDRESS
+    row.push_back(Datum(static_cast<int64_t>(30000 + rng() % 470000)));  // SALARY
+    STARBURST_RETURN_NOT_OK(emp.Insert(std::move(row)));
+  }
+  (void)emp_def;
+  return db->Finalize();
+}
+
+}  // namespace starburst

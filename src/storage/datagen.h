@@ -1,0 +1,25 @@
+#ifndef STARBURST_STORAGE_DATAGEN_H_
+#define STARBURST_STORAGE_DATAGEN_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "storage/table.h"
+
+namespace starburst {
+
+/// Fills every table in `db` with rows consistent with its catalog
+/// statistics: integer columns draw uniformly from `distinct_values` values
+/// in [min,max]; string columns draw from "v0".."v<distinct-1>". `scale`
+/// multiplies catalog row counts (use < 1 to keep executor tests fast while
+/// the optimizer sees the full statistics).
+Status PopulateDatabase(Database* db, uint64_t seed, double scale = 1.0);
+
+/// Builds and populates the paper's DEPT/EMP example database (§2.1): DNO
+/// values join, and DEPT.MGR includes the literal 'Haas' so Figure 1's
+/// predicate selects real rows. Row counts are scaled the same way.
+Status PopulatePaperDatabase(Database* db, uint64_t seed, double scale = 1.0);
+
+}  // namespace starburst
+
+#endif  // STARBURST_STORAGE_DATAGEN_H_

@@ -1,0 +1,52 @@
+#include "storage/index.h"
+
+#include <algorithm>
+
+namespace starburst {
+
+namespace {
+int CompareKeys(const std::vector<Datum>& a, const std::vector<Datum>& b,
+                size_t prefix_len) {
+  size_t n = std::min({a.size(), b.size(), prefix_len});
+  for (size_t i = 0; i < n; ++i) {
+    int c = a[i].Compare(b[i]);
+    if (c != 0) return c;
+  }
+  return 0;
+}
+}  // namespace
+
+SecondaryIndex::SecondaryIndex(const StoredTable& table,
+                               std::vector<int> key_columns, std::string name)
+    : name_(std::move(name)), key_columns_(std::move(key_columns)) {
+  entries_.reserve(static_cast<size_t>(table.num_rows()));
+  for (Tid tid = 0; tid < table.num_rows(); ++tid) {
+    Entry e;
+    e.key.reserve(key_columns_.size());
+    for (int ord : key_columns_) e.key.push_back(table.row(tid)[ord]);
+    e.tid = tid;
+    entries_.push_back(std::move(e));
+  }
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [](const Entry& a, const Entry& b) {
+                     int c = CompareKeys(a.key, b.key, a.key.size());
+                     if (c != 0) return c < 0;
+                     return a.tid < b.tid;
+                   });
+}
+
+std::vector<const SecondaryIndex::Entry*> SecondaryIndex::LookupPrefix(
+    const std::vector<Datum>& prefix) const {
+  std::vector<const Entry*> out;
+  auto lo = std::lower_bound(entries_.begin(), entries_.end(), prefix,
+                             [&](const Entry& e, const std::vector<Datum>& p) {
+                               return CompareKeys(e.key, p, p.size()) < 0;
+                             });
+  for (auto it = lo; it != entries_.end(); ++it) {
+    if (CompareKeys(it->key, prefix, prefix.size()) != 0) break;
+    out.push_back(&*it);
+  }
+  return out;
+}
+
+}  // namespace starburst

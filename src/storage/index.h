@@ -1,0 +1,43 @@
+#ifndef STARBURST_STORAGE_INDEX_H_
+#define STARBURST_STORAGE_INDEX_H_
+
+#include <vector>
+
+#include "storage/table.h"
+
+namespace starburst {
+
+/// A secondary access path: sorted (key, TID) entries over a stored table.
+/// Scanning it yields tuples in key order — exactly the ORDER property the
+/// optimizer attributes to an index ACCESS — and equality prefixes can be
+/// probed by binary search.
+class SecondaryIndex {
+ public:
+  /// Builds the index over `table` with the given key column ordinals.
+  SecondaryIndex(const StoredTable& table, std::vector<int> key_columns,
+                 std::string name);
+
+  const std::string& name() const { return name_; }
+  const std::vector<int>& key_columns() const { return key_columns_; }
+
+  struct Entry {
+    std::vector<Datum> key;
+    Tid tid;
+  };
+
+  /// All entries in key order.
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Entries whose key starts with `prefix` (binary search; prefix may be
+  /// shorter than the full key).
+  std::vector<const Entry*> LookupPrefix(const std::vector<Datum>& prefix) const;
+
+ private:
+  std::string name_;
+  std::vector<int> key_columns_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_STORAGE_INDEX_H_

@@ -1,0 +1,72 @@
+#include "storage/table.h"
+
+#include <algorithm>
+
+#include "storage/index.h"
+
+namespace starburst {
+
+Status StoredTable::Insert(Tuple row) {
+  if (row.size() != def_->columns.size()) {
+    return Status::InvalidArgument("row arity mismatch for table '" +
+                                   def_->name + "'");
+  }
+  rows_.push_back(std::move(row));
+  finalized_ = false;
+  return Status::OK();
+}
+
+void StoredTable::Finalize() {
+  if (finalized_) return;
+  if (def_->storage == StorageKind::kBTree) {
+    const std::vector<int>& key = def_->btree_key;
+    std::stable_sort(rows_.begin(), rows_.end(),
+                     [&key](const Tuple& a, const Tuple& b) {
+                       for (int ord : key) {
+                         int c = a[ord].Compare(b[ord]);
+                         if (c != 0) return c < 0;
+                       }
+                       return false;
+                     });
+  }
+  finalized_ = true;
+}
+
+Database::Database(const Catalog& catalog) : catalog_(&catalog) {
+  tables_.reserve(catalog.num_tables());
+  indexes_.resize(catalog.num_tables());
+  for (int i = 0; i < catalog.num_tables(); ++i) {
+    tables_.push_back(std::make_unique<StoredTable>(catalog.table(i)));
+  }
+}
+
+Database::~Database() = default;
+
+Result<StoredTable*> Database::FindTable(const std::string& name) {
+  auto id = catalog_->FindTable(name);
+  if (!id.ok()) return id.status();
+  return tables_[id.value()].get();
+}
+
+Status Database::Finalize() {
+  for (int i = 0; i < catalog_->num_tables(); ++i) {
+    tables_[i]->Finalize();
+    indexes_[i].clear();
+    for (const IndexDef& ix : catalog_->table(i).indexes) {
+      indexes_[i].push_back(std::make_unique<SecondaryIndex>(
+          *tables_[i], ix.key_columns, ix.name));
+    }
+  }
+  return Status::OK();
+}
+
+Result<const SecondaryIndex*> Database::FindIndex(
+    TableId id, const std::string& index_name) const {
+  for (const auto& ix : indexes_[id]) {
+    if (ix->name() == index_name) return ix.get();
+  }
+  return Status::NotFound("index '" + index_name + "' not built on table " +
+                          catalog_->table(id).name);
+}
+
+}  // namespace starburst

@@ -1,0 +1,84 @@
+#ifndef STARBURST_STORAGE_TABLE_H_
+#define STARBURST_STORAGE_TABLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace starburst {
+
+/// A row of datums, positionally matching a table's column definitions (or a
+/// stream schema in the executor).
+using Tuple = std::vector<Datum>;
+
+/// Tuple identifier: position of the row within its stored table. The paper
+/// treats TIDs as opaque values carried through index ACCESSes and consumed
+/// by GET; row position is the simplest faithful realization in an
+/// in-memory store.
+using Tid = int64_t;
+
+/// One stored table: the run-time counterpart of a catalog TableDef. For
+/// kBTree storage the rows are kept sorted on the clustering key (so a
+/// "btree" ACCESS naturally yields ordered tuples, giving the base table its
+/// ORDER property).
+class StoredTable {
+ public:
+  explicit StoredTable(const TableDef& def) : def_(&def) {}
+
+  const TableDef& def() const { return *def_; }
+
+  /// Appends a row; must match the column count. Call Finalize() after the
+  /// last insert.
+  Status Insert(Tuple row);
+
+  /// Sorts B-tree tables into clustering-key order. Idempotent.
+  void Finalize();
+
+  int64_t num_rows() const { return static_cast<int64_t>(rows_.size()); }
+  const Tuple& row(Tid tid) const { return rows_[static_cast<size_t>(tid)]; }
+  const std::vector<Tuple>& rows() const { return rows_; }
+
+ private:
+  const TableDef* def_;
+  std::vector<Tuple> rows_;
+  bool finalized_ = false;
+};
+
+class SecondaryIndex;
+
+/// The run-time database: one StoredTable per catalog table plus built
+/// secondary indexes. Pointer-stable across inserts; the catalog must
+/// outlive it.
+class Database {
+ public:
+  explicit Database(const Catalog& catalog);
+  ~Database();
+
+  const Catalog& catalog() const { return *catalog_; }
+
+  StoredTable& table(TableId id) { return *tables_[id]; }
+  const StoredTable& table(TableId id) const { return *tables_[id]; }
+
+  Result<StoredTable*> FindTable(const std::string& name);
+
+  /// Sorts B-tree tables and (re)builds every secondary index declared in
+  /// the catalog. Call once after loading data.
+  Status Finalize();
+
+  /// The built index named `index_name` on table `id` (after Finalize).
+  Result<const SecondaryIndex*> FindIndex(TableId id,
+                                          const std::string& index_name) const;
+
+ private:
+  const Catalog* catalog_;
+  std::vector<std::unique_ptr<StoredTable>> tables_;
+  // Parallel to catalog indexes: (table id, index name) -> built index.
+  std::vector<std::vector<std::unique_ptr<SecondaryIndex>>> indexes_;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_STORAGE_TABLE_H_

@@ -1,0 +1,188 @@
+// Direct unit tests for the rule-function library (star/builtins.h): the
+// vocabulary STAR conditions and argument expressions are written in.
+
+#include <gtest/gtest.h>
+
+#include "catalog/synthetic.h"
+#include "sql/parser.h"
+#include "star/builtins.h"
+
+namespace starburst {
+namespace {
+
+class BuiltinsTest : public ::testing::Test {
+ protected:
+  BuiltinsTest()
+      : catalog_(MakePaperCatalog()),
+        query_(ParseSql(catalog_,
+                        "SELECT EMP.NAME FROM DEPT, EMP WHERE "
+                        "DEPT.MGR = 'Haas' AND DEPT.DNO = EMP.DNO AND "
+                        "EMP.SALARY > 1000")
+                   .ValueOrDie()) {
+    EXPECT_TRUE(RegisterBuiltinFunctions(&registry_).ok());
+    ctx_.query = &query_;
+  }
+
+  RuleValue Call(const char* fn, std::vector<RuleValue> args) {
+    const RuleFn* f = registry_.Find(fn).ValueOrDie();
+    auto r = (*f)(args, ctx_);
+    EXPECT_TRUE(r.ok()) << fn << ": " << r.status().ToString();
+    return r.ok() ? r.value() : RuleValue();
+  }
+
+  Status CallErr(const char* fn, std::vector<RuleValue> args) {
+    const RuleFn* f = registry_.Find(fn).ValueOrDie();
+    auto r = (*f)(args, ctx_);
+    return r.ok() ? Status::OK() : r.status();
+  }
+
+  StreamSpec Dept() {
+    return StreamSpec{QuantifierSet::Single(0), PredSet{}, {}};
+  }
+  StreamSpec Emp() {
+    return StreamSpec{QuantifierSet::Single(1), PredSet{}, {}};
+  }
+
+  Catalog catalog_;
+  Query query_;
+  FunctionRegistry registry_;
+  RuleFnContext ctx_;
+};
+
+TEST_F(BuiltinsTest, SetAlgebra) {
+  PredSet a = PredSet::Single(0).Union(PredSet::Single(1));
+  PredSet b = PredSet::Single(1).Union(PredSet::Single(2));
+  EXPECT_EQ(Call("union", {a, b}).as<PredSet>().size(), 3);
+  EXPECT_EQ(Call("minus", {a, b}).as<PredSet>(), PredSet::Single(0));
+  EXPECT_EQ(Call("intersect", {a, b}).as<PredSet>(), PredSet::Single(1));
+  EXPECT_TRUE(Call("empty", {PredSet{}}).as<bool>());
+  EXPECT_TRUE(Call("nonempty", {a}).as<bool>());
+  EXPECT_EQ(Call("size", {a}).as<int64_t>(), 2);
+  // monostate coerces to the empty predicate set (φ).
+  EXPECT_EQ(Call("union", {a, RuleValue()}).as<PredSet>(), a);
+  EXPECT_FALSE(CallErr("union", {a, RuleValue(int64_t{1})}).ok());
+}
+
+TEST_F(BuiltinsTest, Logic) {
+  EXPECT_TRUE(Call("and", {true, true, true}).as<bool>());
+  EXPECT_FALSE(Call("and", {true, false}).as<bool>());
+  EXPECT_TRUE(Call("or", {false, true}).as<bool>());
+  EXPECT_FALSE(Call("or", {}).as<bool>());
+  EXPECT_TRUE(Call("and", {}).as<bool>());
+  EXPECT_TRUE(Call("not", {false}).as<bool>());
+  EXPECT_TRUE(Call("eq", {int64_t{3}, int64_t{3}}).as<bool>());
+  EXPECT_TRUE(
+      Call("eq", {std::string("x"), std::string("x")}).as<bool>());
+  EXPECT_TRUE(Call("lt", {std::string("a"), std::string("b")}).as<bool>());
+  EXPECT_FALSE(Call("lt", {int64_t{5}, int64_t{5}}).as<bool>());
+}
+
+TEST_F(BuiltinsTest, PredicateClassification) {
+  PredSet all = query_.AllPredicates();
+  RuleValue t1(Dept()), t2(Emp());
+  // Pred 1 (DNO = DNO) is the only join predicate.
+  EXPECT_EQ(Call("join_preds", {all, t1, t2}).as<PredSet>(),
+            PredSet::Single(1));
+  EXPECT_EQ(Call("sortable_preds", {all, t1, t2}).as<PredSet>(),
+            PredSet::Single(1));
+  EXPECT_EQ(Call("hashable_preds", {all, t1, t2}).as<PredSet>(),
+            PredSet::Single(1));
+  EXPECT_EQ(Call("indexable_preds", {all, t1, t2}).as<PredSet>(),
+            PredSet::Single(1));
+  // Pred 2 (SALARY > 1000) is inner-only on EMP.
+  EXPECT_EQ(Call("inner_preds", {all, t2}).as<PredSet>(),
+            PredSet::Single(2));
+  EXPECT_EQ(Call("inner_preds", {all, t1}).as<PredSet>(),
+            PredSet::Single(0));
+}
+
+TEST_F(BuiltinsTest, ColumnDerivation) {
+  RuleValue t1(Dept()), t2(Emp());
+  PredSet jp = PredSet::Single(1);
+  SortOrder dept_side = Call("sort_cols", {jp, t1}).as<SortOrder>();
+  ASSERT_EQ(dept_side.size(), 1u);
+  EXPECT_EQ(query_.ColumnName(dept_side[0]), "DEPT.DNO");
+  SortOrder emp_side = Call("sort_cols", {jp, t2}).as<SortOrder>();
+  EXPECT_EQ(query_.ColumnName(emp_side[0]), "EMP.DNO");
+
+  SortOrder ix =
+      Call("index_cols", {PredSet::Single(2), jp, t2}).as<SortOrder>();
+  // '=' predicates first: DNO (from the join pred) leads; SALARY (range)
+  // follows.
+  ASSERT_EQ(ix.size(), 2u);
+  EXPECT_EQ(query_.ColumnName(ix[0]), "EMP.DNO");
+  EXPECT_EQ(query_.ColumnName(ix[1]), "EMP.SALARY");
+
+  SortOrder cols = Call("access_cols", {t2, jp}).as<SortOrder>();
+  // NAME (select), DNO (join pred), SALARY (single pred) — all needed.
+  EXPECT_EQ(cols.size(), 3u);
+
+  SortOrder tid = Call("tid_col", {t2}).as<SortOrder>();
+  ASSERT_EQ(tid.size(), 1u);
+  EXPECT_TRUE(tid[0].is_tid());
+}
+
+TEST_F(BuiltinsTest, CatalogAccess) {
+  RuleValue t1(Dept()), t2(Emp());
+  EXPECT_EQ(Call("storage_kind", {t1}).as<std::string>(), "heap");
+  EXPECT_EQ(Call("quant", {t2}).as<int64_t>(), 1);
+  RuleList ix = Call("indexes_on", {t2}).as<RuleList>();
+  ASSERT_EQ(ix.size(), 1u);
+  EXPECT_EQ(ix[0].as<std::string>(), "EMP_DNO_IX");
+  EXPECT_TRUE(Call("indexes_on", {t1}).as<RuleList>().empty());
+
+  SortOrder key =
+      Call("index_key", {t2, std::string("EMP_DNO_IX")}).as<SortOrder>();
+  ASSERT_EQ(key.size(), 1u);
+  EXPECT_EQ(query_.ColumnName(key[0]), "EMP.DNO");
+  SortOrder key_tid =
+      Call("key_and_tid", {t2, std::string("EMP_DNO_IX")}).as<SortOrder>();
+  EXPECT_EQ(key_tid.size(), 2u);
+
+  // Prefix-eligibility through the index.
+  PredSet kp = Call("index_eligible_preds",
+                    {t2, std::string("EMP_DNO_IX"), query_.AllPredicates()})
+                   .as<PredSet>();
+  EXPECT_EQ(kp, PredSet::Single(1));
+  EXPECT_FALSE(
+      CallErr("index_key", {t2, std::string("NOPE")}).ok());
+}
+
+TEST_F(BuiltinsTest, SiteFunctions) {
+  EXPECT_TRUE(Call("is_local_query", {}).as<bool>());
+  EXPECT_EQ(Call("natural_site", {RuleValue(Dept())}).as<int64_t>(), 0);
+  EXPECT_EQ(Call("required_site", {RuleValue(Dept())}).as<int64_t>(), -1);
+  StreamSpec required = Dept();
+  required.required.site = 0;
+  EXPECT_EQ(Call("required_site", {RuleValue(required)}).as<int64_t>(), 0);
+  StreamSpec sited = Dept();
+  sited.required.site = 0;
+  sited.required.temp = true;
+  StreamSpec stripped =
+      Call("at_natural_site", {RuleValue(sited)}).as<StreamSpec>();
+  EXPECT_FALSE(stripped.required.site.has_value());
+  EXPECT_FALSE(stripped.required.temp);
+  RuleList sites = Call("sites", {}).as<RuleList>();
+  EXPECT_EQ(sites.size(), 1u);  // centralized catalog: only the query site
+}
+
+TEST_F(BuiltinsTest, SessionParameters) {
+  ctx_.allow_composite_inner = false;
+  ctx_.allow_cartesian = true;
+  EXPECT_FALSE(Call("allow_composite_inner", {}).as<bool>());
+  EXPECT_TRUE(Call("allow_cartesian", {}).as<bool>());
+}
+
+TEST_F(BuiltinsTest, ArityAndTypeErrors) {
+  EXPECT_FALSE(CallErr("union", {PredSet{}}).ok());
+  EXPECT_FALSE(CallErr("quant", {RuleValue(int64_t{1})}).ok());
+  EXPECT_FALSE(CallErr("sort_cols", {PredSet{}}).ok());
+  EXPECT_FALSE(registry_.Find("no_such_function").ok());
+  // A two-table stream is not a valid single-quantifier argument.
+  StreamSpec both;
+  both.tables = QuantifierSet::FirstN(2);
+  EXPECT_FALSE(CallErr("quant", {RuleValue(both)}).ok());
+}
+
+}  // namespace
+}  // namespace starburst

@@ -1,0 +1,164 @@
+// Unit tests for the catalog layer and the synthetic catalog generator.
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "catalog/synthetic.h"
+
+namespace starburst {
+namespace {
+
+TableDef SimpleTable(const std::string& name, int cols = 2) {
+  TableDef t;
+  t.name = name;
+  for (int i = 0; i < cols; ++i) {
+    ColumnDef c;
+    c.name = "c" + std::to_string(i);
+    c.distinct_values = 10;
+    t.columns.push_back(c);
+  }
+  t.row_count = 100;
+  return t;
+}
+
+TEST(CatalogTest, AddAndFindTables) {
+  Catalog cat;
+  auto id = cat.AddTable(SimpleTable("orders"));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(cat.table(id.value()).name, "orders");
+  EXPECT_TRUE(cat.FindTable("orders").ok());
+  EXPECT_FALSE(cat.FindTable("nope").ok());
+  EXPECT_EQ(cat.FindTable("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, RejectsInvalidTables) {
+  Catalog cat;
+  EXPECT_FALSE(cat.AddTable(TableDef{}).ok());  // empty name + no columns
+  ASSERT_TRUE(cat.AddTable(SimpleTable("t")).ok());
+  EXPECT_EQ(cat.AddTable(SimpleTable("t")).status().code(),
+            StatusCode::kAlreadyExists);
+
+  TableDef bad_site = SimpleTable("s");
+  bad_site.site = 99;
+  EXPECT_FALSE(cat.AddTable(bad_site).ok());
+
+  TableDef bad_btree = SimpleTable("b");
+  bad_btree.storage = StorageKind::kBTree;  // no key
+  EXPECT_FALSE(cat.AddTable(bad_btree).ok());
+
+  TableDef bad_key = SimpleTable("k");
+  bad_key.storage = StorageKind::kBTree;
+  bad_key.btree_key = {7};
+  EXPECT_FALSE(cat.AddTable(bad_key).ok());
+}
+
+TEST(CatalogTest, Indexes) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddTable(SimpleTable("t", 3)).ok());
+  IndexDef ix;
+  ix.name = "t_c1";
+  ix.key_columns = {1};
+  EXPECT_TRUE(cat.AddIndex("t", ix).ok());
+  EXPECT_EQ(cat.AddIndex("t", ix).code(), StatusCode::kAlreadyExists);
+  IndexDef bad;
+  bad.name = "bad";
+  bad.key_columns = {9};
+  EXPECT_FALSE(cat.AddIndex("t", bad).ok());
+  EXPECT_FALSE(cat.AddIndex("missing", ix).ok());
+}
+
+TEST(CatalogTest, Sites) {
+  Catalog cat;
+  EXPECT_EQ(cat.num_sites(), 1);  // query site always exists
+  SiteId ny = cat.AddSite("N.Y.");
+  SiteId ny2 = cat.AddSite("N.Y.");
+  EXPECT_EQ(ny, ny2);  // idempotent
+  EXPECT_EQ(cat.num_sites(), 2);
+  EXPECT_EQ(cat.site_name(ny), "N.Y.");
+  EXPECT_EQ(cat.FindSite("N.Y.").ValueOrDie(), ny);
+  EXPECT_FALSE(cat.FindSite("L.A.").ok());
+  EXPECT_EQ(cat.AllSites(), (std::vector<SiteId>{0, 1}));
+}
+
+TEST(CatalogTest, FindColumn) {
+  TableDef t = SimpleTable("t", 3);
+  EXPECT_EQ(t.FindColumn("c1"), 1);
+  EXPECT_EQ(t.FindColumn("zzz"), -1);
+}
+
+TEST(SyntheticCatalogTest, DeterministicWithSeed) {
+  SyntheticCatalogOptions opts;
+  opts.num_tables = 6;
+  opts.seed = 123;
+  Catalog a = MakeSyntheticCatalog(opts);
+  Catalog b = MakeSyntheticCatalog(opts);
+  ASSERT_EQ(a.num_tables(), b.num_tables());
+  for (int i = 0; i < a.num_tables(); ++i) {
+    EXPECT_EQ(a.table(i).row_count, b.table(i).row_count);
+    EXPECT_EQ(a.table(i).storage, b.table(i).storage);
+    EXPECT_EQ(a.table(i).indexes.size(), b.table(i).indexes.size());
+  }
+}
+
+TEST(SyntheticCatalogTest, ChainSchemaIsJoinable) {
+  SyntheticCatalogOptions opts;
+  opts.num_tables = 5;
+  Catalog cat = MakeSyntheticCatalog(opts);
+  ASSERT_EQ(cat.num_tables(), 5);
+  for (int i = 1; i < 5; ++i) {
+    const TableDef& t = cat.table(i);
+    EXPECT_GE(t.FindColumn("fk0"), 0) << t.name;
+    EXPECT_GE(t.FindColumn("id"), 0) << t.name;
+  }
+}
+
+TEST(SyntheticCatalogTest, RowCountsWithinBounds) {
+  SyntheticCatalogOptions opts;
+  opts.num_tables = 10;
+  opts.min_rows = 500;
+  opts.max_rows = 5000;
+  Catalog cat = MakeSyntheticCatalog(opts);
+  for (int i = 0; i < cat.num_tables(); ++i) {
+    EXPECT_GE(cat.table(i).row_count, 500);
+    EXPECT_LE(cat.table(i).row_count, 5000);
+    EXPECT_GE(cat.table(i).data_pages, 1);
+  }
+}
+
+TEST(SyntheticCatalogTest, SitesRoundRobin) {
+  SyntheticCatalogOptions opts;
+  opts.num_tables = 6;
+  opts.num_sites = 3;
+  Catalog cat = MakeSyntheticCatalog(opts);
+  EXPECT_EQ(cat.num_sites(), 3);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(cat.table(i).site, i % 3);
+  }
+}
+
+TEST(PaperCatalogTest, MatchesSection21) {
+  Catalog cat = MakePaperCatalog();
+  const TableDef& dept = cat.table(cat.FindTable("DEPT").ValueOrDie());
+  const TableDef& emp = cat.table(cat.FindTable("EMP").ValueOrDie());
+  EXPECT_GE(dept.FindColumn("DNO"), 0);
+  EXPECT_GE(dept.FindColumn("MGR"), 0);
+  EXPECT_GE(emp.FindColumn("DNO"), 0);
+  EXPECT_GE(emp.FindColumn("NAME"), 0);
+  EXPECT_GE(emp.FindColumn("ADDRESS"), 0);
+  ASSERT_EQ(emp.indexes.size(), 1u);
+  EXPECT_EQ(emp.indexes[0].name, "EMP_DNO_IX");
+  EXPECT_EQ(emp.indexes[0].key_columns, (std::vector<int>{1}));
+}
+
+TEST(PaperCatalogTest, DistributedVariantPlacesDeptRemotely) {
+  PaperCatalogOptions opts;
+  opts.distributed = true;
+  Catalog cat = MakePaperCatalog(opts);
+  EXPECT_EQ(cat.num_sites(), 3);  // query site + N.Y. + L.A.
+  SiteId ny = cat.FindSite("N.Y.").ValueOrDie();
+  EXPECT_EQ(cat.table(cat.FindTable("DEPT").ValueOrDie()).site, ny);
+  EXPECT_EQ(cat.table(cat.FindTable("EMP").ValueOrDie()).site, 0);
+}
+
+}  // namespace
+}  // namespace starburst

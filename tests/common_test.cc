@@ -1,0 +1,126 @@
+// Unit tests for the common substrate: Status/Result, Datum, IdSet, strings.
+
+#include <gtest/gtest.h>
+
+#include "common/id_set.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/value.h"
+
+namespace starburst {
+namespace {
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+  Status s = Status::NotFound("thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: thing");
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> ok(42);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  Result<int> err(Status::InvalidArgument("bad"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_THROW(err.ValueOrDie(), std::runtime_error);
+}
+
+TEST(DatumTest, CompareWithinTypes) {
+  EXPECT_LT(Datum(int64_t{1}).Compare(Datum(int64_t{2})), 0);
+  EXPECT_EQ(Datum(int64_t{5}).Compare(Datum(int64_t{5})), 0);
+  EXPECT_GT(Datum(std::string("b")).Compare(Datum(std::string("a"))), 0);
+  EXPECT_LT(Datum(1.5).Compare(Datum(2.5)), 0);
+}
+
+TEST(DatumTest, CrossNumericCompare) {
+  EXPECT_EQ(Datum(int64_t{3}).Compare(Datum(3.0)), 0);
+  EXPECT_LT(Datum(int64_t{3}).Compare(Datum(3.5)), 0);
+  EXPECT_GT(Datum(4.5).Compare(Datum(int64_t{4})), 0);
+}
+
+TEST(DatumTest, NullSortsFirst) {
+  EXPECT_LT(Datum::NullValue().Compare(Datum(int64_t{-100})), 0);
+  EXPECT_LT(Datum::NullValue().Compare(Datum(std::string(""))), 0);
+  EXPECT_EQ(Datum::NullValue().Compare(Datum::NullValue()), 0);
+}
+
+TEST(DatumTest, HashConsistentWithEquality) {
+  // int and double with the same value must hash identically because they
+  // compare equal (hash-join buckets depend on this).
+  EXPECT_EQ(Datum(int64_t{7}).Hash(), Datum(7.0).Hash());
+  EXPECT_EQ(Datum(std::string("x")).Hash(), Datum(std::string("x")).Hash());
+}
+
+TEST(DatumTest, ToString) {
+  EXPECT_EQ(Datum(int64_t{3}).ToString(), "3");
+  EXPECT_EQ(Datum(std::string("hi")).ToString(), "'hi'");
+  EXPECT_EQ(Datum::NullValue().ToString(), "NULL");
+}
+
+TEST(IdSetTest, BasicOperations) {
+  QuantifierSet s;
+  EXPECT_TRUE(s.empty());
+  s.Insert(3).Insert(5);
+  EXPECT_EQ(s.size(), 2);
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_FALSE(s.Contains(4));
+  EXPECT_EQ(s.First(), 3);
+  s.Remove(3);
+  EXPECT_EQ(s.First(), 5);
+}
+
+TEST(IdSetTest, Algebra) {
+  PredSet a = PredSet::Single(1).Union(PredSet::Single(2));
+  PredSet b = PredSet::Single(2).Union(PredSet::Single(3));
+  EXPECT_EQ(a.Union(b).size(), 3);
+  EXPECT_EQ(a.Intersect(b).size(), 1);
+  EXPECT_TRUE(a.Intersect(b).Contains(2));
+  EXPECT_EQ(a.Minus(b).size(), 1);
+  EXPECT_TRUE(a.Minus(b).Contains(1));
+  EXPECT_TRUE(a.Union(b).ContainsAll(a));
+  EXPECT_FALSE(a.ContainsAll(b));
+  EXPECT_TRUE(a.Intersects(b));
+}
+
+TEST(IdSetTest, FirstNAndVector) {
+  QuantifierSet s = QuantifierSet::FirstN(4);
+  EXPECT_EQ(s.size(), 4);
+  EXPECT_EQ(s.ToVector(), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(QuantifierSet::FirstN(0).size(), 0);
+  EXPECT_EQ(QuantifierSet::FirstN(64).size(), 64);
+  EXPECT_EQ(s.ToString(), "{0,1,2,3}");
+}
+
+TEST(IdSetTest, TypeSafetyIsCompileTime) {
+  // QuantifierSet and PredSet are distinct instantiations; this test simply
+  // documents that mixing them does not compile:
+  //   QuantifierSet{}.Union(PredSet{});  // error
+  SUCCEED();
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ", "), "");
+  EXPECT_EQ(StrJoinMapped(std::vector<int>{1, 2}, "-",
+                          [](int v) { return std::to_string(v * 2); }),
+            "2-4");
+}
+
+TEST(StringsTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.0), "3");
+  EXPECT_EQ(FormatDouble(0.5), "0.5");
+  EXPECT_EQ(FormatDouble(-2.0), "-2");
+}
+
+TEST(StringsTest, UpperAndPrefix) {
+  EXPECT_EQ(ToUpper("select"), "SELECT");
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+}
+
+}  // namespace
+}  // namespace starburst

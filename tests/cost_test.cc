@@ -1,0 +1,204 @@
+// Unit tests for selectivity estimation (System-R formulas) and the cost
+// model, including parameterized monotonicity sweeps.
+
+#include <gtest/gtest.h>
+
+#include "catalog/synthetic.h"
+#include "cost/cost_model.h"
+#include "cost/selectivity.h"
+#include "sql/parser.h"
+
+namespace starburst {
+namespace {
+
+class SelectivityTest : public ::testing::Test {
+ protected:
+  SelectivityTest() : catalog_(MakePaperCatalog()), query_(&catalog_) {
+    dept_ = query_.AddQuantifier("DEPT").ValueOrDie();
+    emp_ = query_.AddQuantifier("EMP").ValueOrDie();
+  }
+
+  ExprPtr Col(int q, const char* name) {
+    const std::string& alias = query_.quantifier(q).alias;
+    return Expr::Column(query_.ResolveColumn(alias, name).ValueOrDie());
+  }
+
+  double Sel(ExprPtr lhs, CompareOp op, ExprPtr rhs) {
+    int id =
+        query_.AddPredicate(std::move(lhs), op, std::move(rhs)).ValueOrDie();
+    return PredicateSelectivity(query_, query_.predicate(id));
+  }
+
+  Catalog catalog_;
+  Query query_;
+  int dept_, emp_;
+};
+
+TEST_F(SelectivityTest, EqualityWithLiteral) {
+  // DEPT.DNO has 500 distinct values.
+  EXPECT_DOUBLE_EQ(
+      Sel(Col(dept_, "DNO"), CompareOp::kEq, Expr::Literal(Datum(int64_t{7}))),
+      1.0 / 500.0);
+}
+
+TEST_F(SelectivityTest, ColumnEqualsColumnUsesMaxDistinct) {
+  // DEPT.DNO (500 distinct) = EMP.DNO (500 distinct).
+  EXPECT_DOUBLE_EQ(Sel(Col(dept_, "DNO"), CompareOp::kEq, Col(emp_, "DNO")),
+                   1.0 / 500.0);
+}
+
+TEST_F(SelectivityTest, NotEqualsIsComplement) {
+  double eq = 1.0 / 500.0;
+  EXPECT_DOUBLE_EQ(
+      Sel(Col(dept_, "DNO"), CompareOp::kNe, Expr::Literal(Datum(int64_t{7}))),
+      1.0 - eq);
+}
+
+TEST_F(SelectivityTest, RangeInterpolation) {
+  // EMP.SALARY ranges 0..500000.
+  double sel = Sel(Col(emp_, "SALARY"), CompareOp::kLt,
+                   Expr::Literal(Datum(int64_t{250000})));
+  EXPECT_NEAR(sel, 0.5, 0.01);
+  double sel_flipped = Sel(Expr::Literal(Datum(int64_t{250000})),
+                           CompareOp::kLt, Col(emp_, "SALARY"));
+  EXPECT_NEAR(sel_flipped, 0.5, 0.01);  // literal < col == col > literal
+  double sel_small = Sel(Col(emp_, "SALARY"), CompareOp::kLt,
+                         Expr::Literal(Datum(int64_t{50000})));
+  EXPECT_NEAR(sel_small, 0.1, 0.01);
+}
+
+TEST_F(SelectivityTest, StringRangeFallsBackToDefault) {
+  EXPECT_NEAR(Sel(Col(emp_, "NAME"), CompareOp::kGt,
+                  Expr::Literal(Datum(std::string("m")))),
+              1.0 / 3.0, 1e-9);
+}
+
+TEST_F(SelectivityTest, ExpressionEqualityUsesDefault) {
+  EXPECT_NEAR(Sel(Expr::Binary(ExprKind::kAdd, Col(dept_, "DNO"),
+                               Expr::Literal(Datum(int64_t{1}))),
+                  CompareOp::kEq,
+                  Expr::Binary(ExprKind::kMul, Col(emp_, "DNO"),
+                               Expr::Literal(Datum(int64_t{2})))),
+              0.1, 1e-9);
+}
+
+TEST_F(SelectivityTest, CombinedIsProductAndExcludesApplied) {
+  int p0 = query_
+               .AddPredicate(Col(dept_, "DNO"), CompareOp::kEq,
+                             Expr::Literal(Datum(int64_t{1})))
+               .ValueOrDie();
+  int p1 = query_
+               .AddPredicate(Col(emp_, "DNO"), CompareOp::kEq,
+                             Expr::Literal(Datum(int64_t{1})))
+               .ValueOrDie();
+  PredSet both = PredSet::Single(p0).Union(PredSet::Single(p1));
+  double s0 = PredicateSelectivity(query_, query_.predicate(p0));
+  double s1 = PredicateSelectivity(query_, query_.predicate(p1));
+  EXPECT_DOUBLE_EQ(CombinedSelectivity(query_, both), s0 * s1);
+  EXPECT_DOUBLE_EQ(CombinedSelectivity(query_, both, PredSet::Single(p0)),
+                   s1);
+  EXPECT_DOUBLE_EQ(CombinedSelectivity(query_, both, both), 1.0);
+  EXPECT_DOUBLE_EQ(CombinedSelectivity(query_, PredSet{}), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Cost model.
+// ---------------------------------------------------------------------------
+
+TEST(CostTest, Arithmetic) {
+  Cost a{1, 2, 3}, b{10, 20, 30};
+  Cost c = a + b;
+  EXPECT_EQ(c.io, 11);
+  EXPECT_EQ(c.cpu, 22);
+  EXPECT_EQ(c.comm, 33);
+  Cost d = a * 2.0;
+  EXPECT_EQ(d.io, 2);
+  CostWeights w{1.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(TotalCost(c, w), 11.0);
+}
+
+TEST(CostModelTest, PagesForBounds) {
+  CostModel cm;
+  EXPECT_EQ(cm.PagesFor(0, 100), 0.0);
+  EXPECT_EQ(cm.PagesFor(1, 8), 1.0);  // at least one page
+  EXPECT_EQ(cm.PagesFor(1024, 8), 2.0);
+}
+
+class SortCostSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SortCostSweep, MonotoneInRows) {
+  CostModel cm;
+  double rows = GetParam();
+  Cost small = cm.SortCost(rows, 64);
+  Cost bigger = cm.SortCost(rows * 2, 64);
+  EXPECT_GE(cm.Total(bigger), cm.Total(small));
+  EXPECT_GE(cm.Total(small), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rows, SortCostSweep,
+                         ::testing::Values(1.0, 10.0, 1000.0, 1e5, 1e7));
+
+TEST(CostModelTest, SortSpillsOnlyWhenLarge) {
+  CostModel cm;
+  EXPECT_EQ(cm.SortCost(100, 8).io, 0.0);  // fits in sort memory
+  EXPECT_GT(cm.SortCost(1e6, 64).io, 0.0);  // spills
+}
+
+class ShipCostSweep
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(ShipCostSweep, MonotoneInRowsAndWidth) {
+  CostModel cm;
+  auto [rows, width] = GetParam();
+  Cost base = cm.ShipCost(rows, width);
+  EXPECT_GE(cm.ShipCost(rows * 2, width).comm, base.comm);
+  EXPECT_GE(cm.ShipCost(rows, width * 2).comm, base.comm);
+  EXPECT_GT(base.comm, 0.0);  // at least one message
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RowsWidth, ShipCostSweep,
+    ::testing::Values(std::pair{1.0, 8.0}, std::pair{100.0, 64.0},
+                      std::pair{1e5, 256.0}));
+
+TEST(CostModelTest, IndexProbeCheaperThanScanForSelectiveMatch) {
+  CostModel cm;
+  double rows = 100000;
+  Cost probe = cm.IndexProbeCost(rows, 5);
+  Cost scan = cm.TempScanCost(rows, 64);
+  EXPECT_LT(cm.Total(probe), cm.Total(scan));
+}
+
+TEST(CostModelTest, BTreePrefixAccessCheaperThanFullScan) {
+  CostModel cm;
+  TableDef t;
+  t.name = "t";
+  t.row_count = 100000;
+  t.data_pages = 2500;
+  EXPECT_LT(cm.Total(cm.BTreeAccessCost(t, 0.01)),
+            cm.Total(cm.BTreeAccessCost(t, 1.0)));
+}
+
+TEST(CostModelTest, WeightsSteerTotal) {
+  CostParams params;
+  params.weights = {0.0, 1.0, 0.0};  // CPU only
+  CostModel cm(params);
+  Cost c{100, 5, 100};
+  EXPECT_DOUBLE_EQ(cm.Total(c), 5.0);
+}
+
+TEST(CostModelTest, RowWidthUsesCatalogWidths) {
+  Catalog cat = MakePaperCatalog();
+  Query q = ParseSql(cat, "SELECT EMP.NAME FROM EMP").ValueOrDie();
+  CostModel cm;
+  ColumnSet narrow{q.ResolveColumn("EMP", "ENO").ValueOrDie()};
+  ColumnSet wide = narrow;
+  wide.insert(q.ResolveColumn("EMP", "ADDRESS").ValueOrDie());
+  EXPECT_LT(cm.RowWidth(q, narrow), cm.RowWidth(q, wide));
+  // TID pseudo-columns carry 8 bytes.
+  ColumnSet tid{ColumnRef{0, ColumnRef::kTidColumn}};
+  EXPECT_DOUBLE_EQ(cm.RowWidth(q, tid), 8.0);
+}
+
+}  // namespace
+}  // namespace starburst

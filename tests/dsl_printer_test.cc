@@ -1,0 +1,109 @@
+// Round-trip tests for the rule pretty-printer: FormatRules(rules) parses
+// back into a rule base with identical optimizer behavior — the invariant
+// that makes "edit the live rule base, then persist it" a safe DBC workflow.
+
+#include <gtest/gtest.h>
+
+#include "catalog/synthetic.h"
+#include "optimizer/optimizer.h"
+#include "plan/explain.h"
+#include "sql/parser.h"
+#include "star/default_rules.h"
+#include "star/dsl_parser.h"
+#include "star/dsl_printer.h"
+
+namespace starburst {
+namespace {
+
+DefaultRuleOptions Everything() {
+  DefaultRuleOptions o;
+  o.merge_join = o.hash_join = true;
+  o.forced_projection = o.dynamic_index = true;
+  o.tid_sort = o.index_and = o.bloomjoin = true;
+  return o;
+}
+
+TEST(DslPrinterTest, FormatsASimpleStar) {
+  auto stars = ParseRules(R"(
+    star exclusive Pick(T, P)
+      where JP = join_preds(P, T, T)
+      alt 'a' where X = union(JP, {}) if nonempty(X):
+        Other(T[order = sort_cols(X, T), temp], X)
+      alt 'b':
+        forall i in indexes_on(T) do IndexAccess(T, P, i)
+    end
+  )").ValueOrDie();
+  auto text = FormatStar(stars[0]);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text.value().find("star exclusive Pick(T, P)"),
+            std::string::npos);
+  EXPECT_NE(text.value().find("where JP = join_preds(P, T, T)"),
+            std::string::npos);
+  EXPECT_NE(text.value().find("[order = sort_cols(X, T)][temp]"),
+            std::string::npos);
+  EXPECT_NE(text.value().find("forall i in indexes_on(T) do"),
+            std::string::npos);
+  // And it parses back.
+  auto reparsed = ParseRules(text.value());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n"
+                             << text.value();
+  EXPECT_EQ(reparsed.value()[0].alternatives.size(), 2u);
+}
+
+TEST(DslPrinterTest, DefaultRuleBaseRoundTripsStructurally) {
+  RuleSet rules = DefaultRuleSet(Everything());
+  auto text = FormatRules(rules);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  RuleSet reparsed;
+  ASSERT_TRUE(LoadRules(&reparsed, text.value()).ok()) << text.value();
+  EXPECT_EQ(reparsed.size(), rules.size());
+  for (const std::string& name : rules.Names()) {
+    const Star& a = *rules.Find(name).ValueOrDie();
+    const Star& b = *reparsed.Find(name).ValueOrDie();
+    EXPECT_EQ(a.params, b.params) << name;
+    EXPECT_EQ(a.exclusive, b.exclusive) << name;
+    ASSERT_EQ(a.alternatives.size(), b.alternatives.size()) << name;
+    for (size_t i = 0; i < a.alternatives.size(); ++i) {
+      EXPECT_EQ(a.alternatives[i].label, b.alternatives[i].label);
+      EXPECT_EQ(a.alternatives[i].condition == nullptr,
+                b.alternatives[i].condition == nullptr);
+    }
+  }
+}
+
+TEST(DslPrinterTest, RoundTripPreservesOptimizerBehavior) {
+  Catalog catalog = MakePaperCatalog();
+  Query query = ParseSql(catalog,
+                         "SELECT EMP.NAME FROM DEPT, EMP WHERE "
+                         "DEPT.MGR = 'Haas' AND DEPT.DNO = EMP.DNO")
+                    .ValueOrDie();
+  RuleSet original = DefaultRuleSet(Everything());
+  RuleSet round_tripped;
+  ASSERT_TRUE(
+      LoadRules(&round_tripped, FormatRules(original).ValueOrDie()).ok());
+
+  Optimizer a(std::move(original));
+  Optimizer b(std::move(round_tripped));
+  auto ra = a.Optimize(query).ValueOrDie();
+  auto rb = b.Optimize(query).ValueOrDie();
+  EXPECT_DOUBLE_EQ(ra.total_cost, rb.total_cost);
+  EXPECT_EQ(PlanSignature(*ra.best), PlanSignature(*rb.best));
+  EXPECT_EQ(ra.engine_metrics.plans_built, rb.engine_metrics.plans_built);
+  EXPECT_EQ(ra.final_plans.size(), rb.final_plans.size());
+}
+
+TEST(DslPrinterTest, ShippedRuleFileSurvivesARoundTripToo) {
+  RuleSet from_file;
+  ASSERT_TRUE(LoadRulesFromFile(&from_file,
+                                std::string(STARBURST_RULES_DIR) +
+                                    "/default.star")
+                  .ok());
+  auto text = FormatRules(from_file);
+  ASSERT_TRUE(text.ok());
+  RuleSet again;
+  ASSERT_TRUE(LoadRules(&again, text.value()).ok());
+  EXPECT_EQ(again.size(), from_file.size());
+}
+
+}  // namespace
+}  // namespace starburst

@@ -1,0 +1,181 @@
+// Tests for the STAR rule DSL: parsing, error reporting, and — the key
+// property — that the text form of the default rule base is *equivalent* to
+// the built-in builder form: same plan space, same costs, same winner.
+
+#include <gtest/gtest.h>
+
+#include "catalog/synthetic.h"
+#include "optimizer/optimizer.h"
+#include "plan/explain.h"
+#include "sql/parser.h"
+#include "star/default_rules.h"
+#include "star/dsl_parser.h"
+
+namespace starburst {
+namespace {
+
+TEST(DslParserTest, ParsesMinimalStar) {
+  auto stars = ParseRules(R"(
+    star Simple(T, P)
+      alt 'only':
+        TableAccess(T, P)
+    end
+  )");
+  ASSERT_TRUE(stars.ok()) << stars.status().ToString();
+  ASSERT_EQ(stars.value().size(), 1u);
+  const Star& s = stars.value()[0];
+  EXPECT_EQ(s.name, "Simple");
+  EXPECT_FALSE(s.exclusive);
+  ASSERT_EQ(s.params.size(), 2u);
+  ASSERT_EQ(s.alternatives.size(), 1u);
+  EXPECT_EQ(s.alternatives[0].label, "only");
+  EXPECT_EQ(s.alternatives[0].body->kind(), RuleExprKind::kStarRef);
+}
+
+TEST(DslParserTest, ParsesExclusiveConditionsAndWheres) {
+  auto stars = ParseRules(R"(
+    star exclusive Pick(T, P)
+      where JP = join_preds(P, T, T)
+      alt 'a' where X = union(JP, {}) if nonempty(X):
+        Other(T, X)
+      alt 'b':
+        Other(T, P)
+    end
+  )");
+  ASSERT_TRUE(stars.ok()) << stars.status().ToString();
+  const Star& s = stars.value()[0];
+  EXPECT_TRUE(s.exclusive);
+  ASSERT_EQ(s.lets.size(), 1u);
+  EXPECT_EQ(s.lets[0].first, "JP");
+  ASSERT_EQ(s.alternatives.size(), 2u);
+  EXPECT_NE(s.alternatives[0].condition, nullptr);
+  ASSERT_EQ(s.alternatives[0].lets.size(), 1u);
+  EXPECT_EQ(s.alternatives[1].condition, nullptr);
+}
+
+TEST(DslParserTest, ParsesOpRefsWithFlavorsAndNamedArgs) {
+  auto stars = ParseRules(R"(
+    star Aa(T, P)
+      alt 'x':
+        JOIN:NL(Glue(T, {}), Glue(T, P); join_preds = P, residual_preds = {})
+    end
+  )");
+  ASSERT_TRUE(stars.ok()) << stars.status().ToString();
+  const RuleExprPtr& body = stars.value()[0].alternatives[0].body;
+  EXPECT_EQ(body->kind(), RuleExprKind::kOpRef);
+  EXPECT_EQ(body->name(), "JOIN");
+  EXPECT_EQ(body->flavor(), "NL");
+  EXPECT_EQ(body->args().size(), 2u);
+  EXPECT_EQ(body->named_args().size(), 2u);
+  EXPECT_EQ(body->args()[0]->kind(), RuleExprKind::kGlue);
+}
+
+TEST(DslParserTest, ParsesRequirementsAndForall) {
+  auto stars = ParseRules(R"(
+    star Rr(T1, T2, P, s)
+      alt 'req':
+        Sited(T1[site = s], T2[order = sort_cols(P, T2), temp], P)
+      alt 'fa':
+        forall i in indexes_on(T1) do IndexAccess(T1, P, i)
+      alt 'path':
+        Other(T2[paths >= index_cols(P, P, T2)], P)
+    end
+  )");
+  ASSERT_TRUE(stars.ok()) << stars.status().ToString();
+  const Star& s = stars.value()[0];
+  const RuleExprPtr& req = s.alternatives[0].body;
+  ASSERT_EQ(req->kind(), RuleExprKind::kStarRef);
+  EXPECT_EQ(req->args()[0]->kind(), RuleExprKind::kRequire);
+  EXPECT_EQ(req->args()[0]->req_kind(), ReqKind::kSite);
+  // T2 has two chained requirements: order then temp.
+  EXPECT_EQ(req->args()[1]->kind(), RuleExprKind::kRequire);
+  EXPECT_EQ(req->args()[1]->req_kind(), ReqKind::kTemp);
+  EXPECT_EQ(req->args()[1]->args()[0]->kind(), RuleExprKind::kRequire);
+  EXPECT_EQ(req->args()[1]->args()[0]->req_kind(), ReqKind::kOrder);
+
+  EXPECT_EQ(s.alternatives[1].body->kind(), RuleExprKind::kForEach);
+  EXPECT_EQ(s.alternatives[2].body->args()[0]->req_kind(), ReqKind::kPath);
+}
+
+TEST(DslParserTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseRules("star lower(T) alt 'x': T end").ok());
+  EXPECT_FALSE(ParseRules("star NoAlts(T) end").ok());
+  EXPECT_FALSE(ParseRules("star A(T) alt 'x': T").ok());        // missing end
+  EXPECT_FALSE(ParseRules("star A(T) alt missing: T end").ok()); // no label
+  EXPECT_FALSE(ParseRules("star A(T) alt 'x': T[weird = 1] end").ok());
+  EXPECT_FALSE(ParseRules("star A(T) alt 'x': JOIN:NL(T,").ok());
+  EXPECT_FALSE(ParseRules("star A(T) alt 'x': 'unterminated").ok());
+}
+
+TEST(DslParserTest, ReplacingAStarOverridesIt) {
+  RuleSet rules = DefaultRuleSet();
+  int before = rules.size();
+  ASSERT_TRUE(LoadRules(&rules, R"(
+    star JoinRoot(T1, T2, P)
+      alt 'only-as-given':
+        PermutedJoin(T1, T2, P)
+    end
+  )").ok());
+  EXPECT_EQ(rules.size(), before);
+  auto jr = rules.Find("JoinRoot");
+  ASSERT_TRUE(jr.ok());
+  EXPECT_EQ(jr.value()->alternatives.size(), 1u);
+  EXPECT_EQ(jr.value()->alternatives[0].label, "only-as-given");
+}
+
+// --- equivalence of the DSL file and the builder rule base ----------------
+
+class DslEquivalenceTest : public ::testing::Test {
+ protected:
+  static RuleSet LoadDefaultDsl() {
+    RuleSet rules;
+    Status st =
+        LoadRulesFromFile(&rules, std::string(STARBURST_RULES_DIR) +
+                                      "/default.star");
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return rules;
+  }
+};
+
+TEST_F(DslEquivalenceTest, DefaultFileParses) {
+  RuleSet rules = LoadDefaultDsl();
+  for (const char* name :
+       {"AccessRoot", "TableAccess", "IndexAccess", "TidSortAccess",
+        "AndIndexAccess", "TempAccess", "JoinRoot", "PermutedJoin",
+        "RemoteJoin", "SitedJoin", "JMeth"}) {
+    EXPECT_TRUE(rules.Find(name).ok()) << name;
+  }
+  // The DSL file carries the full repertoire: 6 JMeth alternatives.
+  EXPECT_EQ(rules.Find("JMeth").ValueOrDie()->alternatives.size(), 6u);
+}
+
+TEST_F(DslEquivalenceTest, DslAndBuilderProduceTheSamePlanSpace) {
+  Catalog catalog = MakePaperCatalog();
+  Query query = ParseSql(catalog,
+                         "SELECT EMP.NAME FROM DEPT, EMP WHERE "
+                         "DEPT.MGR = 'Haas' AND DEPT.DNO = EMP.DNO")
+                    .ValueOrDie();
+
+  DefaultRuleOptions all;
+  all.merge_join = all.hash_join = true;
+  all.forced_projection = all.dynamic_index = true;
+  all.tid_sort = all.index_and = true;
+  all.bloomjoin = true;
+
+  Optimizer built(DefaultRuleSet(all));
+  Optimizer loaded(LoadDefaultDsl());
+  auto r1 = built.Optimize(query);
+  auto r2 = loaded.Optimize(query);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+
+  EXPECT_DOUBLE_EQ(r1.value().total_cost, r2.value().total_cost);
+  EXPECT_EQ(r1.value().final_plans.size(), r2.value().final_plans.size());
+  EXPECT_EQ(PlanSignature(*r1.value().best),
+            PlanSignature(*r2.value().best));
+  EXPECT_EQ(r1.value().engine_metrics.plans_built,
+            r2.value().engine_metrics.plans_built);
+}
+
+}  // namespace
+}  // namespace starburst

@@ -1,0 +1,269 @@
+// End-to-end test of the paper's §5 extensibility story: a Database
+// Customizer adds a LEFT OUTERJOIN to the system by supplying
+//   (1) a property function   (optimizer side),
+//   (2) a run-time routine    (query evaluator side),
+//   (3) a STAR referencing it (rule base, via the text DSL),
+// without touching any library code. Also covers rule-base editing
+// (replace/extend JMeth) and new-property registration.
+
+#include <gtest/gtest.h>
+
+#include "catalog/synthetic.h"
+#include "cost/selectivity.h"
+#include "exec/evaluator.h"
+#include "optimizer/optimizer.h"
+#include "sql/parser.h"
+#include "star/default_rules.h"
+#include "star/dsl_parser.h"
+#include "storage/datagen.h"
+#include "test_util.h"
+
+namespace starburst {
+namespace {
+
+/// (1) Property function: like a nested-loop join, but every outer tuple
+/// survives (card >= outer card) and the paper's site discipline holds.
+Result<PropertyVector> OuterJoinProperties(const OpContext& ctx) {
+  const PropertyVector& outer = *ctx.inputs[0];
+  const PropertyVector& inner = *ctx.inputs[1];
+  if (outer.site() != inner.site()) {
+    return Status::InvalidArgument("OUTERJOIN requires co-located inputs");
+  }
+  PredSet join_preds = ctx.args.GetPreds(arg::kJoinPreds);
+  PredSet applied = outer.preds().Union(inner.preds());
+  double sel = CombinedSelectivity(ctx.query, join_preds, applied);
+  double matched = outer.card() * inner.card() * sel;
+
+  PropertyVector out;
+  out.set_tables(outer.tables().Union(inner.tables()));
+  ColumnSet cols = outer.cols();
+  ColumnSet icols = inner.cols();
+  cols.insert(icols.begin(), icols.end());
+  out.set_cols(std::move(cols));
+  out.set_preds(applied.Union(join_preds));
+  out.set_order(outer.order());
+  out.set_site(outer.site());
+  out.set_card(std::max(outer.card(), matched));
+  Cost c = outer.cost() + inner.cost() +
+           inner.rescan() * std::max(0.0, outer.card() - 1.0);
+  out.set_cost(c);
+  out.set_rescan(c);
+  return out;
+}
+
+/// (2) Run-time routine: pad non-matching outer tuples with NULLs.
+Result<std::vector<Tuple>> OuterJoinExec(ExecContext& ctx) {
+  auto outer_rows = ctx.EvalInput(0);
+  if (!outer_rows.ok()) return outer_rows;
+  auto inner_rows = ctx.EvalInput(1);
+  if (!inner_rows.ok()) return inner_rows;
+  auto outer_schema = ctx.InputSchema(0);
+  if (!outer_schema.ok()) return outer_schema.status();
+  auto inner_schema = ctx.InputSchema(1);
+  if (!inner_schema.ok()) return inner_schema.status();
+  Schema out_schema = outer_schema.value();
+  out_schema.insert(out_schema.end(), inner_schema.value().begin(),
+                    inner_schema.value().end());
+  PredSet preds = ctx.node().args.GetPreds(arg::kJoinPreds);
+
+  std::vector<Tuple> out;
+  for (const Tuple& o : outer_rows.value()) {
+    bool matched = false;
+    for (const Tuple& i : inner_rows.value()) {
+      Tuple t = o;
+      t.insert(t.end(), i.begin(), i.end());
+      auto keep = ctx.EvalPredicates(preds, out_schema, t);
+      if (!keep.ok()) return keep.status();
+      if (keep.value()) {
+        matched = true;
+        out.push_back(std::move(t));
+      }
+    }
+    if (!matched) {
+      Tuple t = o;
+      t.resize(out_schema.size(), Datum::NullValue());
+      out.push_back(std::move(t));
+    }
+  }
+  return out;
+}
+
+class OuterJoinTest : public ::testing::Test {
+ protected:
+  OuterJoinTest()
+      : catalog_(MakePaperCatalog()),
+        db_(catalog_),
+        query_(ParseSql(catalog_,
+                        "SELECT DEPT.DNO, EMP.NAME FROM DEPT, EMP WHERE "
+                        "DEPT.DNO = EMP.DNO")
+                   .ValueOrDie()),
+        harness_(query_, DefaultRuleSet()) {
+    // (1) Register the operator with its property function.
+    OperatorDef def;
+    def.name = "OUTERJOIN";
+    def.min_inputs = 2;
+    def.max_inputs = 2;
+    def.property_fn = OuterJoinProperties;
+    EXPECT_TRUE(harness_.operators().Register(std::move(def)).ok());
+    // (3) Add a STAR referencing it, from rule text.
+    EXPECT_TRUE(LoadRules(&harness_.rules(), R"(
+      star OuterJoinRoot(T1, T2, P)
+        where JP = join_preds(P, T1, T2)
+        alt 'outer-nl':
+          OUTERJOIN(Glue(T1, {}), Glue(T2, inner_preds(P, T2));
+                    join_preds = JP)
+      end
+    )").ok());
+
+    // A small database: department 3 has no employees.
+    StoredTable* dept = db_.FindTable("DEPT").ValueOrDie();
+    for (int64_t d = 0; d < 4; ++d) {
+      EXPECT_TRUE(dept->Insert({Datum(d), Datum(std::string("m")),
+                                Datum(std::string("d")), Datum(int64_t{1})})
+                      .ok());
+    }
+    StoredTable* emp = db_.FindTable("EMP").ValueOrDie();
+    for (int64_t e = 0; e < 6; ++e) {
+      EXPECT_TRUE(emp->Insert({Datum(e), Datum(e % 3),
+                               Datum("emp" + std::to_string(e)),
+                               Datum(std::string("a")), Datum(int64_t{1})})
+                      .ok());
+    }
+    EXPECT_TRUE(db_.Finalize().ok());
+  }
+
+  Catalog catalog_;
+  Database db_;
+  Query query_;
+  EngineHarness harness_;
+};
+
+TEST_F(OuterJoinTest, NewOperatorFlowsThroughStarsGlueAndEvaluator) {
+  StreamSpec dept{QuantifierSet::Single(0), PredSet{}, {}};
+  StreamSpec emp{QuantifierSet::Single(1), PredSet{}, {}};
+  auto sap = harness_.engine().EvalStar(
+      "OuterJoinRoot",
+      {RuleValue(dept), RuleValue(emp), RuleValue(PredSet::Single(0))});
+  ASSERT_TRUE(sap.ok()) << sap.status().ToString();
+  ASSERT_GE(sap.value().size(), 1u);
+  const PlanPtr& plan = sap.value()[0];
+  EXPECT_EQ(plan->name(), "OUTERJOIN");
+  // Property function ran: every outer tuple survives.
+  EXPECT_GE(plan->props.card(), 4.0 - 1e-9);
+
+  // (2) Register the run-time routine and execute.
+  ExecutorRegistry exec;
+  ASSERT_TRUE(exec.Register("OUTERJOIN", OuterJoinExec).ok());
+  auto rs = ExecutePlan(db_, query_, plan, &exec);
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  // 6 matched employee rows + 1 NULL-padded row for department 3.
+  EXPECT_EQ(rs.value().rows.size(), 7u);
+  int null_rows = 0;
+  for (const Tuple& t : rs.value().rows) {
+    if (t.back().is_null()) ++null_rows;
+  }
+  EXPECT_EQ(null_rows, 1);
+}
+
+TEST(RuleEditingTest, AddAlternativesIsIdempotent) {
+  RuleSet rules = DefaultRuleSet();  // NL + MG
+  EXPECT_EQ(rules.Find("JMeth").ValueOrDie()->alternatives.size(), 2u);
+  AddHashJoinAlternative(&rules);
+  AddHashJoinAlternative(&rules);  // no duplicate
+  AddDynamicIndexAlternative(&rules);
+  AddForcedProjectionAlternative(&rules);
+  AddMergeJoinAlternative(&rules);  // already there
+  EXPECT_EQ(rules.Find("JMeth").ValueOrDie()->alternatives.size(), 5u);
+}
+
+TEST(RuleEditingTest, RemovingAStrategyShrinksThePlanSpace) {
+  Catalog catalog = MakePaperCatalog();
+  Query query = ParseSql(catalog,
+                         "SELECT EMP.NAME FROM DEPT, EMP WHERE "
+                         "DEPT.DNO = EMP.DNO")
+                    .ValueOrDie();
+  DefaultRuleOptions wide;
+  wide.hash_join = true;
+  Optimizer with_hash(DefaultRuleSet(wide));
+  Optimizer without_hash(DefaultRuleSet());
+  auto r1 = with_hash.Optimize(query);
+  auto r2 = without_hash.Optimize(query);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_GT(r1.value().engine_metrics.plans_built,
+            r2.value().engine_metrics.plans_built);
+}
+
+TEST(NewPropertyTest, BucketizedPropertySurvivesParetoPruning) {
+  // §4.5.1's "probably preferable" design: "add a bucketized property to
+  // the property vector and a LOLEPOP to achieve that property". A plan
+  // distinguished *only* by the new property must not be pruned as
+  // dominated.
+  PropertyRegistry registry;
+  PropertyId bucketized =
+      registry.Register("BUCKETIZED", PropertyValue(false)).ValueOrDie();
+
+  Catalog catalog = MakePaperCatalog();
+  Query query = ParseSql(catalog, "SELECT EMP.NAME FROM EMP").ValueOrDie();
+  EngineHarness h(query, DefaultRuleSet());
+
+  // The DBC's BUCKETIZE LOLEPOP: same stream, hashed into buckets.
+  OperatorDef op_def;
+  op_def.name = "BUCKETIZE";
+  op_def.min_inputs = 1;
+  op_def.max_inputs = 1;
+  op_def.property_fn = [bucketized](const OpContext& ctx)
+      -> Result<PropertyVector> {
+    PropertyVector out = *ctx.inputs[0];
+    Cost c = out.cost();
+    c.cpu += out.card() * 0.5;
+    out.set_cost(c);
+    out.Set(bucketized, PropertyValue(true));
+    return out;
+  };
+  ASSERT_TRUE(h.operators().Register(std::move(op_def)).ok());
+
+  OpArgs scan_args;
+  scan_args.Set(arg::kQuantifier, int64_t{0});
+  scan_args.Set(arg::kCols, std::vector<ColumnRef>{ColumnRef{0, 2}});
+  PlanPtr plain = h.factory()
+                      .Make(op::kAccess, flavor::kHeap, {}, scan_args)
+                      .ValueOrDie();
+  PlanPtr hashed =
+      h.factory().Make("BUCKETIZE", "", {plain}, OpArgs{}).ValueOrDie();
+  EXPECT_TRUE(std::get<bool>(*hashed->props.Find(bucketized)));
+
+  // The bucketized plan costs more with otherwise identical built-in
+  // properties — yet both survive because the extension property differs.
+  PlanTable& table = h.table();
+  EXPECT_TRUE(table.Insert(QuantifierSet::Single(0), PredSet{}, hashed));
+  EXPECT_TRUE(table.Insert(QuantifierSet::Single(0), PredSet{}, plain));
+  EXPECT_EQ(table.num_plans(), 2);
+  // And the cheaper plain plan does dominate an identical plain duplicate.
+  EXPECT_FALSE(table.Insert(QuantifierSet::Single(0), PredSet{},
+                            h.factory()
+                                .Make(op::kAccess, flavor::kHeap, {},
+                                      scan_args)
+                                .ValueOrDie()));
+}
+
+TEST(NewPropertyTest, RegisteredPropertyRidesThroughUntouched) {
+  // §5: "the default action of any LOLEPOP on any property is to leave the
+  // input property unchanged" — properties unknown to a property function
+  // simply stay at their default; registering one does not perturb plans.
+  PropertyRegistry registry;
+  auto id = registry.Register("BUCKETIZED", PropertyValue(false));
+  ASSERT_TRUE(id.ok());
+  EXPECT_GE(id.value(), prop::kNumBuiltin);
+
+  Catalog catalog = MakePaperCatalog();
+  Query query = ParseSql(catalog, "SELECT EMP.NAME FROM EMP").ValueOrDie();
+  Optimizer opt(DefaultRuleSet());
+  auto result = opt.Optimize(query);
+  ASSERT_TRUE(result.ok());
+  // The new property is simply absent (default) on existing plans.
+  EXPECT_FALSE(result.value().best->props.Has(id.value()));
+}
+
+}  // namespace
+}  // namespace starburst

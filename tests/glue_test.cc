@@ -1,0 +1,261 @@
+// Unit tests for the Glue mechanism (paper §3.2 and Figure 3): veneer
+// injection for each required property, plan-table reuse, root-STAR
+// re-referencing, cheapest-vs-all modes, and the correlated-predicate rules
+// around temps.
+
+#include <gtest/gtest.h>
+
+#include "catalog/synthetic.h"
+#include "plan/explain.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace starburst {
+namespace {
+
+class GlueTest : public ::testing::Test {
+ protected:
+  GlueTest()
+      : catalog_(MakePaperCatalog()),
+        query_(ParseSql(catalog_,
+                        "SELECT EMP.NAME FROM DEPT, EMP WHERE "
+                        "DEPT.MGR = 'Haas' AND DEPT.DNO = EMP.DNO")
+                   .ValueOrDie()) {}
+
+  ColumnRef Col(const char* alias, const char* name) {
+    return query_.ResolveColumn(alias, name).ValueOrDie();
+  }
+
+  StreamSpec DeptSpec() {
+    StreamSpec s;
+    s.tables = QuantifierSet::Single(0);
+    s.preds = PredSet::Single(0);
+    return s;
+  }
+  StreamSpec EmpSpec() {
+    StreamSpec s;
+    s.tables = QuantifierSet::Single(1);
+    return s;
+  }
+
+  Catalog catalog_;
+  Query query_;
+};
+
+TEST_F(GlueTest, ReferencesAccessRootWhenTableIsEmpty) {
+  EngineHarness h(query_, DefaultRuleSet());
+  auto sap = h.glue().Resolve(DeptSpec());
+  ASSERT_TRUE(sap.ok()) << sap.status().ToString();
+  EXPECT_GE(sap.value().size(), 1u);
+  EXPECT_EQ(h.glue().metrics().root_references, 1);
+  // Second call hits the plan table.
+  auto again = h.glue().Resolve(DeptSpec());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(h.glue().metrics().root_references, 1);
+  EXPECT_GE(h.glue().metrics().base_hits, 1);
+}
+
+TEST_F(GlueTest, OrderRequirementAddsSortAndPrunesDominatedIndexPlan) {
+  // §3.2's own example: although EMP_DNO_IX naturally yields DNO order, it
+  // is cheaper here to scan EMP sequentially and SORT it — Glue keeps the
+  // SORTed scan and the dominated (same order, costlier) index plan is
+  // Pareto-pruned.
+  EngineHarness h(query_, DefaultRuleSet());
+  StreamSpec spec = EmpSpec();
+  spec.required.order = SortOrder{Col("EMP", "DNO")};
+  auto sap = h.glue().Resolve(spec);
+  ASSERT_TRUE(sap.ok()) << sap.status().ToString();
+  ASSERT_EQ(sap.value().size(), 1u);
+  const PlanPtr& p = sap.value()[0];
+  EXPECT_TRUE(OrderSatisfies(p->props.order(), *spec.required.order))
+      << ExplainPlan(*p, query_);
+  EXPECT_EQ(p->name(), "SORT");
+  EXPECT_EQ(p->inputs[0]->flavor, "heap");
+}
+
+TEST_F(GlueTest, NaturallyOrderedBTreeNeedsNoSortVeneer) {
+  // A clustered B-tree table already satisfies an order requirement on its
+  // key prefix; Glue must not add a redundant SORT.
+  SyntheticCatalogOptions opts;
+  opts.num_tables = 1;
+  opts.btree_fraction = 1.0;  // T0 stored as a B-tree on id
+  Catalog catalog = MakeSyntheticCatalog(opts);
+  Query query = ParseSql(catalog, "SELECT id FROM T0").ValueOrDie();
+  EngineHarness h(query, DefaultRuleSet());
+
+  StreamSpec spec;
+  spec.tables = QuantifierSet::Single(0);
+  spec.required.order =
+      SortOrder{query.ResolveColumn("T0", "id").ValueOrDie()};
+  auto sap = h.glue().Resolve(spec);
+  ASSERT_TRUE(sap.ok()) << sap.status().ToString();
+  ASSERT_EQ(sap.value().size(), 1u);
+  EXPECT_EQ(sap.value()[0]->name(), "ACCESS");
+  EXPECT_EQ(sap.value()[0]->flavor, "btree");
+}
+
+TEST_F(GlueTest, CheapestModeReturnsOnePlan) {
+  EngineOptions opts;
+  opts.glue_return_all = false;
+  EngineHarness h(query_, DefaultRuleSet(), opts);
+  StreamSpec spec = EmpSpec();
+  spec.required.order = SortOrder{Col("EMP", "DNO")};
+  auto sap = h.glue().Resolve(spec);
+  ASSERT_TRUE(sap.ok());
+  ASSERT_EQ(sap.value().size(), 1u);
+
+  EngineHarness h_all(query_, DefaultRuleSet());
+  auto all = h_all.glue().Resolve(spec);
+  ASSERT_TRUE(all.ok());
+  double best_all = 1e300;
+  for (const PlanPtr& p : all.value()) {
+    best_all = std::min(best_all,
+                        h_all.cost_model().Total(p->props.cost()));
+  }
+  EXPECT_DOUBLE_EQ(h.cost_model().Total(sap.value()[0]->props.cost()),
+                   best_all);
+}
+
+TEST_F(GlueTest, TempRequirementStores) {
+  EngineHarness h(query_, DefaultRuleSet());
+  StreamSpec spec = DeptSpec();
+  spec.required.temp = true;
+  auto sap = h.glue().Resolve(spec);
+  ASSERT_TRUE(sap.ok());
+  for (const PlanPtr& p : sap.value()) {
+    EXPECT_TRUE(p->props.temp());
+    EXPECT_EQ(p->name(), "STORE");
+  }
+}
+
+TEST_F(GlueTest, PathRequirementBuildsDynamicIndexAndProbes) {
+  EngineHarness h(query_, DefaultRuleSet());
+  StreamSpec spec = DeptSpec();
+  spec.preds.Insert(1);  // push the join predicate DEPT.DNO = EMP.DNO
+  spec.required.path = std::vector<ColumnRef>{Col("DEPT", "DNO")};
+  auto sap = h.glue().Resolve(spec);
+  ASSERT_TRUE(sap.ok()) << sap.status().ToString();
+  ASSERT_GE(sap.value().size(), 1u);
+  for (const PlanPtr& p : sap.value()) {
+    // temp-index probe applying the correlated predicate, over a STORE with
+    // a dynamic path.
+    EXPECT_EQ(p->name(), "ACCESS");
+    EXPECT_EQ(p->flavor, "temp-index");
+    EXPECT_TRUE(p->props.preds().Contains(1));
+    ASSERT_EQ(p->inputs.size(), 1u);
+    EXPECT_EQ(p->inputs[0]->name(), "STORE");
+    // The correlated join predicate is NOT frozen into the temp.
+    EXPECT_FALSE(p->inputs[0]->props.preds().Contains(1));
+  }
+}
+
+TEST_F(GlueTest, CorrelatedPredsStayOutOfPlainTemps) {
+  EngineHarness h(query_, DefaultRuleSet());
+  StreamSpec spec = EmpSpec();
+  spec.preds.Insert(1);  // correlated: references DEPT
+  spec.required.temp = true;
+  auto sap = h.glue().Resolve(spec);
+  ASSERT_TRUE(sap.ok()) << sap.status().ToString();
+  for (const PlanPtr& p : sap.value()) {
+    EXPECT_TRUE(p->props.preds().Contains(1));
+    EXPECT_TRUE(p->props.temp());
+    // The STORE below must not apply the correlated predicate.
+    const PlanOp* node = p.get();
+    while (node->name() != "STORE") {
+      ASSERT_FALSE(node->inputs.empty());
+      node = node->inputs[0].get();
+    }
+    EXPECT_FALSE(node->props.preds().Contains(1));
+  }
+}
+
+TEST_F(GlueTest, PushedPredicatesReReferenceAccessRoot) {
+  // Glue(EMP, {join pred}) must re-reference AccessRoot with the converted
+  // join predicate (not retrofit a FILTER), yielding an index probe.
+  EngineHarness h(query_, DefaultRuleSet());
+  StreamSpec spec = EmpSpec();
+  spec.preds.Insert(1);
+  auto sap = h.glue().Resolve(spec);
+  ASSERT_TRUE(sap.ok());
+  bool found_index_probe = false;
+  for (const PlanPtr& p : sap.value()) {
+    if (p->name() == "GET" && p->inputs[0]->flavor == "index" &&
+        p->inputs[0]->props.preds().Contains(1)) {
+      found_index_probe = true;
+    }
+    EXPECT_NE(p->name(), "FILTER");
+  }
+  EXPECT_TRUE(found_index_probe);
+}
+
+TEST_F(GlueTest, Figure3SiteAndOrderScenario) {
+  // Figure 3: DEPT stored at N.Y., required [site=L.A., order=DNO]. Glue
+  // must deliver plans that are shipped and ordered, choosing SORT+SHIP
+  // veneers as needed.
+  PaperCatalogOptions opts;
+  opts.distributed = true;
+  Catalog catalog = MakePaperCatalog(opts);
+  Query query = ParseSql(catalog, "SELECT DEPT.DNO FROM DEPT").ValueOrDie();
+  SiteId la = catalog.FindSite("L.A.").ValueOrDie();
+  SiteId ny = catalog.FindSite("N.Y.").ValueOrDie();
+
+  EngineHarness h(query, DefaultRuleSet());
+  StreamSpec spec;
+  spec.tables = QuantifierSet::Single(0);
+  spec.required.site = la;
+  spec.required.order =
+      SortOrder{query.ResolveColumn("DEPT", "DNO").ValueOrDie()};
+  auto sap = h.glue().Resolve(spec);
+  ASSERT_TRUE(sap.ok()) << sap.status().ToString();
+  ASSERT_GE(sap.value().size(), 1u);
+  for (const PlanPtr& p : sap.value()) {
+    EXPECT_EQ(p->props.site(), la);
+    EXPECT_TRUE(OrderSatisfies(p->props.order(), *spec.required.order));
+    EXPECT_GT(p->props.cost().comm, 0.0);  // something was shipped from N.Y.
+  }
+  // A later Glue reference requiring only the site finds the plan-table
+  // entry created above (Figure 3's "plan 3" effect).
+  StreamSpec site_only;
+  site_only.tables = QuantifierSet::Single(0);
+  site_only.required.site = la;
+  int64_t veneers_before = h.glue().metrics().veneers_added;
+  auto again = h.glue().Resolve(site_only);
+  ASSERT_TRUE(again.ok());
+  // The already-augmented plan satisfies [site] with no new veneer for it.
+  bool reused = false;
+  for (const PlanPtr& p : again.value()) {
+    if (p->props.site() == la &&
+        h.glue().metrics().veneers_added == veneers_before) {
+      reused = true;
+    }
+  }
+  EXPECT_TRUE(reused || h.glue().metrics().veneers_added > veneers_before);
+  (void)ny;
+}
+
+TEST_F(GlueTest, CompositeStreamWithoutEnumerationIsNotFound) {
+  EngineHarness h(query_, DefaultRuleSet());
+  StreamSpec spec;
+  spec.tables = QuantifierSet::FirstN(2);
+  spec.preds = query_.AllPredicates();
+  auto sap = h.glue().Resolve(spec);
+  ASSERT_FALSE(sap.ok());
+  EXPECT_EQ(sap.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(GlueTest, CompositeStreamAfterEnumerationGetsVeneers) {
+  EngineHarness h(query_, DefaultRuleSet());
+  ASSERT_TRUE(h.Enumerate().ok());
+  StreamSpec spec;
+  spec.tables = QuantifierSet::FirstN(2);
+  spec.preds = query_.AllPredicates();
+  spec.required.order = SortOrder{Col("EMP", "NAME")};
+  auto sap = h.glue().Resolve(spec);
+  ASSERT_TRUE(sap.ok()) << sap.status().ToString();
+  for (const PlanPtr& p : sap.value()) {
+    EXPECT_TRUE(OrderSatisfies(p->props.order(), *spec.required.order));
+  }
+}
+
+}  // namespace
+}  // namespace starburst

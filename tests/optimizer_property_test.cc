@@ -1,0 +1,269 @@
+// Property-based tests over the whole optimizer, parameterized across seeds,
+// table counts, and rule repertoires:
+//
+//   1. semantic equivalence: every plan in the final SAP executes to the
+//      same result multiset (paper §2.2);
+//   2. the winner is the argmin of the Pareto frontier;
+//   3. a naive evaluation oracle agrees with the chosen plan;
+//   4. widening the repertoire (more join methods, composite inners) never
+//      raises the best cost (the paper's "a cheaper plan is more likely to
+//      be discovered among this expanded repertoire", §2.3).
+
+#include <gtest/gtest.h>
+
+#include "catalog/synthetic.h"
+#include "exec/evaluator.h"
+#include "optimizer/optimizer.h"
+#include "plan/explain.h"
+#include "sql/parser.h"
+#include "star/default_rules.h"
+#include "storage/datagen.h"
+
+namespace starburst {
+namespace {
+
+struct SweepCase {
+  int num_tables;
+  uint64_t seed;
+  bool order_by;
+};
+
+std::string ChainSql(int n, bool order_by) {
+  std::string sql = "SELECT T0.id FROM T0";
+  for (int i = 1; i < n; ++i) sql += ", T" + std::to_string(i);
+  sql += " WHERE T0.c0 <= 2";
+  for (int i = 1; i < n; ++i) {
+    sql += " AND T" + std::to_string(i) + ".fk0 = T" + std::to_string(i - 1) +
+           (i == 1 ? ".id" : ".id");
+  }
+  if (order_by) sql += " ORDER BY T0.id";
+  return sql;
+}
+
+class OptimizerSweep : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  void SetUp() override {
+    SweepCase c = GetParam();
+    SyntheticCatalogOptions opts;
+    opts.num_tables = c.num_tables;
+    opts.min_rows = 100;
+    opts.max_rows = 1500;
+    opts.seed = c.seed;
+    catalog_ = MakeSyntheticCatalog(opts);
+    db_ = std::make_unique<Database>(catalog_);
+    ASSERT_TRUE(PopulateDatabase(db_.get(), c.seed + 1, 0.12).ok());
+    auto q = ParseSql(catalog_, ChainSql(c.num_tables, c.order_by));
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+    query_ = std::make_unique<Query>(std::move(q).value());
+  }
+
+  Catalog catalog_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<Query> query_;
+};
+
+TEST_P(OptimizerSweep, AllFinalPlansAgreeAndBestIsCheapest) {
+  DefaultRuleOptions rule_opts;
+  rule_opts.merge_join = true;
+  rule_opts.hash_join = true;
+  rule_opts.dynamic_index = GetParam().num_tables <= 3;
+  Optimizer opt(DefaultRuleSet(rule_opts));
+  auto result = opt.Optimize(*query_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const OptimizeResult& r = result.value();
+  ASSERT_GE(r.final_plans.size(), 1u);
+
+  // Winner is the argmin.
+  for (const PlanPtr& p : r.final_plans) {
+    EXPECT_LE(r.total_cost, TotalCost(p->props.cost()) + 1e-9);
+  }
+
+  // Order requirement honored by every survivor.
+  for (const PlanPtr& p : r.final_plans) {
+    EXPECT_TRUE(OrderSatisfies(p->props.order(), query_->order_by()));
+  }
+
+  // Semantic equivalence of the entire frontier.
+  auto reference = ExecutePlan(*db_, *query_, r.final_plans[0]);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  for (size_t i = 1; i < r.final_plans.size(); ++i) {
+    auto rs = ExecutePlan(*db_, *query_, r.final_plans[i]);
+    ASSERT_TRUE(rs.ok()) << rs.status().ToString() << "\n"
+                         << ExplainPlan(*r.final_plans[i], *query_);
+    auto same =
+        SameResult(reference.value(), rs.value(), query_->select_list());
+    ASSERT_TRUE(same.ok());
+    EXPECT_TRUE(same.value()) << ExplainPlan(*r.final_plans[i], *query_);
+  }
+
+  // Executed order matches the ORDER BY.
+  if (!query_->order_by().empty()) {
+    auto rs = ExecutePlan(*db_, *query_, r.best);
+    ASSERT_TRUE(rs.ok());
+    EXPECT_TRUE(IsSorted(rs.value(), query_->order_by()).ValueOrDie());
+  }
+}
+
+TEST_P(OptimizerSweep, NaiveOracleAgreesOnSmallQueries) {
+  if (GetParam().num_tables > 3) GTEST_SKIP() << "oracle too slow";
+  Optimizer opt(DefaultRuleSet());
+  auto result = opt.Optimize(*query_);
+  ASSERT_TRUE(result.ok());
+  auto rs = ExecutePlan(*db_, *query_, result.value().best);
+  ASSERT_TRUE(rs.ok());
+
+  // Naive oracle: full cartesian product, evaluate every predicate.
+  const int n = query_->num_quantifiers();
+  std::vector<const StoredTable*> tables;
+  for (int q = 0; q < n; ++q) {
+    tables.push_back(&db_->table(query_->quantifier(q).table));
+  }
+  int64_t expected = 0;
+  std::vector<const Tuple*> current(static_cast<size_t>(n));
+  std::function<void(int)> rec = [&](int q) {
+    if (q == n) {
+      for (int id = 0; id < query_->num_predicates(); ++id) {
+        const Predicate& p = query_->predicate(id);
+        // Only bare-column / literal predicates occur in ChainSql.
+        auto value = [&](const ExprPtr& e) {
+          if (e->kind() == ExprKind::kLiteral) return e->literal();
+          const ColumnRef& c = e->column();
+          return (*current[static_cast<size_t>(c.quantifier)])
+              [static_cast<size_t>(c.column)];
+        };
+        if (!EvalCompare(p.op, value(p.lhs), value(p.rhs))) return;
+      }
+      ++expected;
+      return;
+    }
+    for (const Tuple& t : tables[static_cast<size_t>(q)]->rows()) {
+      current[static_cast<size_t>(q)] = &t;
+      rec(q + 1);
+    }
+  };
+  rec(0);
+  EXPECT_EQ(static_cast<int64_t>(rs.value().rows.size()), expected);
+}
+
+TEST_P(OptimizerSweep, WiderRepertoireNeverCostsMore) {
+  DefaultRuleOptions narrow;  // NL + MG only
+  DefaultRuleOptions wide;
+  wide.merge_join = true;
+  wide.hash_join = true;
+  wide.forced_projection = true;
+  wide.dynamic_index = true;
+
+  Optimizer opt_narrow(DefaultRuleSet(narrow));
+  Optimizer opt_wide(DefaultRuleSet(wide));
+  auto narrow_r = opt_narrow.Optimize(*query_);
+  auto wide_r = opt_wide.Optimize(*query_);
+  ASSERT_TRUE(narrow_r.ok()) << narrow_r.status().ToString();
+  ASSERT_TRUE(wide_r.ok()) << wide_r.status().ToString();
+  EXPECT_LE(wide_r.value().total_cost, narrow_r.value().total_cost + 1e-9);
+}
+
+TEST_P(OptimizerSweep, CompositeInnersOnlyWiden) {
+  OptimizerOptions with;
+  with.engine.allow_composite_inner = true;
+  OptimizerOptions without;
+  without.engine.allow_composite_inner = false;
+
+  Optimizer opt_with(DefaultRuleSet(), with);
+  Optimizer opt_without(DefaultRuleSet(), without);
+  auto r_with = opt_with.Optimize(*query_);
+  auto r_without = opt_without.Optimize(*query_);
+  ASSERT_TRUE(r_with.ok());
+  ASSERT_TRUE(r_without.ok());
+  EXPECT_LE(r_with.value().total_cost, r_without.value().total_cost + 1e-9);
+  EXPECT_GE(r_with.value().enumerator_stats.joinable_pairs,
+            r_without.value().enumerator_stats.joinable_pairs);
+}
+
+TEST_P(OptimizerSweep, CheapestOnlyGlueStillProducesAValidPlan) {
+  OptimizerOptions all;
+  OptimizerOptions cheapest;
+  cheapest.engine.glue_return_all = false;
+
+  Optimizer opt_all(DefaultRuleSet(), all);
+  Optimizer opt_cheapest(DefaultRuleSet(), cheapest);
+  auto r_all = opt_all.Optimize(*query_);
+  auto r_cheapest = opt_cheapest.Optimize(*query_);
+  ASSERT_TRUE(r_all.ok());
+  ASSERT_TRUE(r_cheapest.ok());
+  // Keeping only the cheapest satisfying plan per Glue call can lose the
+  // globally best combination, never gain one.
+  EXPECT_LE(r_all.value().total_cost, r_cheapest.value().total_cost + 1e-9);
+  // And it must still be semantically correct.
+  auto rs_a = ExecutePlan(*db_, *query_, r_all.value().best);
+  auto rs_c = ExecutePlan(*db_, *query_, r_cheapest.value().best);
+  ASSERT_TRUE(rs_a.ok());
+  ASSERT_TRUE(rs_c.ok());
+  EXPECT_TRUE(
+      SameResult(rs_a.value(), rs_c.value(), query_->select_list())
+          .ValueOrDie());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OptimizerSweep,
+    ::testing::Values(SweepCase{2, 11, false}, SweepCase{2, 12, true},
+                      SweepCase{3, 13, false}, SweepCase{3, 14, true},
+                      SweepCase{4, 15, false}, SweepCase{4, 16, true},
+                      SweepCase{5, 17, false}),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      return "t" + std::to_string(info.param.num_tables) + "_s" +
+             std::to_string(info.param.seed) +
+             (info.param.order_by ? "_ord" : "");
+    });
+
+TEST(CartesianProductTest, DisconnectedQueryNeedsCartesianOption) {
+  SyntheticCatalogOptions copts;
+  copts.num_tables = 2;
+  copts.min_rows = 50;
+  copts.max_rows = 100;
+  Catalog catalog = MakeSyntheticCatalog(copts);
+  // No join predicate between T0 and T1.
+  Query query =
+      ParseSql(catalog, "SELECT T0.id FROM T0, T1 WHERE T0.c0 = 1")
+          .ValueOrDie();
+
+  Optimizer no_cartesian(DefaultRuleSet());
+  EXPECT_FALSE(no_cartesian.Optimize(query).ok());
+
+  OptimizerOptions opts;
+  opts.engine.allow_cartesian = true;
+  Optimizer with_cartesian(DefaultRuleSet(), opts);
+  auto r = with_cartesian.Optimize(query);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NE(r.value().best, nullptr);
+}
+
+TEST(SelfJoinTest, SameTableTwiceOptimizesAndRuns) {
+  Catalog catalog = MakePaperCatalog();
+  Database db(catalog);
+  ASSERT_TRUE(PopulatePaperDatabase(&db, 3, 0.01).ok());
+  Query query = ParseSql(catalog,
+                         "SELECT a.NAME, b.NAME FROM EMP a, EMP b WHERE "
+                         "a.DNO = b.DNO AND a.ENO <> b.ENO AND a.SALARY > "
+                         "400000")
+                    .ValueOrDie();
+  DefaultRuleOptions rule_opts;
+  rule_opts.hash_join = true;
+  Optimizer opt(DefaultRuleSet(rule_opts));
+  auto result = opt.Optimize(query);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto rs = ExecutePlan(db, query, result.value().best);
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  // Oracle: symmetric pairs.
+  const StoredTable& emp = *db.FindTable("EMP").ValueOrDie();
+  int64_t expected = 0;
+  for (const Tuple& a : emp.rows()) {
+    if (a[4].AsInt() <= 400000) continue;
+    for (const Tuple& b : emp.rows()) {
+      if (a[1].Compare(b[1]) == 0 && a[0].Compare(b[0]) != 0) ++expected;
+    }
+  }
+  EXPECT_EQ(static_cast<int64_t>(rs.value().rows.size()), expected);
+}
+
+}  // namespace
+}  // namespace starburst

@@ -1,0 +1,343 @@
+// Unit tests for the property system (paper §3, Figure 2): the
+// self-defining property vector, the registry, and — via PlanFactory — the
+// property function of every built-in LOLEPOP.
+
+#include <gtest/gtest.h>
+
+#include "catalog/synthetic.h"
+#include "cost/cost_model.h"
+#include "plan/plan.h"
+#include "properties/property_functions.h"
+#include "sql/parser.h"
+
+namespace starburst {
+namespace {
+
+TEST(PropertyVectorTest, DefaultsWhenAbsent) {
+  PropertyVector pv;
+  EXPECT_TRUE(pv.tables().empty());
+  EXPECT_TRUE(pv.cols().empty());
+  EXPECT_TRUE(pv.order().empty());
+  EXPECT_EQ(pv.site(), 0);
+  EXPECT_FALSE(pv.temp());
+  EXPECT_EQ(pv.card(), 0.0);
+  EXPECT_EQ(pv.cost(), Cost{});
+}
+
+TEST(PropertyVectorTest, SetGetOverwrite) {
+  PropertyVector pv;
+  pv.set_card(10.0);
+  pv.set_site(2);
+  pv.set_card(20.0);
+  EXPECT_EQ(pv.card(), 20.0);
+  EXPECT_EQ(pv.site(), 2);
+  EXPECT_EQ(pv.entries().size(), 2u);
+  // Entries stay sorted by id regardless of insertion order.
+  EXPECT_EQ(pv.entries()[0].first, prop::kSite);
+  EXPECT_EQ(pv.entries()[1].first, prop::kCard);
+}
+
+TEST(PropertyVectorTest, SelfDefiningRecordIgnoresUnknownFields) {
+  // A property function that never heard of property 42 still works: the
+  // field just rides along (paper §5's insulation argument).
+  PropertyVector pv;
+  pv.Set(42, PropertyValue(std::string("custom")));
+  pv.set_card(5.0);
+  EXPECT_TRUE(pv.Has(42));
+  EXPECT_EQ(pv.card(), 5.0);
+}
+
+TEST(PropertyRegistryTest, BuiltinsAndExtension) {
+  PropertyRegistry reg;
+  EXPECT_EQ(reg.size(), prop::kNumBuiltin);
+  EXPECT_EQ(reg.Find("ORDER").ValueOrDie(), prop::kOrder);
+  EXPECT_EQ(reg.Find("COST").ValueOrDie(), prop::kCost);
+  EXPECT_FALSE(reg.Find("BUCKETIZED").ok());
+
+  auto id = reg.Register("BUCKETIZED", PropertyValue(false));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(reg.Find("BUCKETIZED").ValueOrDie(), id.value());
+  EXPECT_EQ(reg.name(id.value()), "BUCKETIZED");
+  EXPECT_FALSE(reg.Register("BUCKETIZED", PropertyValue(false)).ok());
+}
+
+TEST(OrderSatisfiesTest, PrefixSemantics) {
+  ColumnRef a{0, 0}, b{0, 1}, c{1, 0};
+  EXPECT_TRUE(OrderSatisfies({a, b, c}, {a, b}));
+  EXPECT_TRUE(OrderSatisfies({a}, {}));       // empty requirement
+  EXPECT_TRUE(OrderSatisfies({}, {}));
+  EXPECT_FALSE(OrderSatisfies({a}, {a, b}));  // too short
+  EXPECT_FALSE(OrderSatisfies({b, a}, {a}));  // wrong leading column
+}
+
+// ---------------------------------------------------------------------------
+// Property functions, exercised through PlanFactory on the paper's schema.
+// ---------------------------------------------------------------------------
+
+class PropertyFnTest : public ::testing::Test {
+ protected:
+  PropertyFnTest()
+      : catalog_(MakePaperCatalog()),
+        query_(ParseSql(catalog_,
+                        "SELECT EMP.NAME, EMP.ADDRESS FROM DEPT, EMP WHERE "
+                        "DEPT.MGR = 'Haas' AND DEPT.DNO = EMP.DNO")
+                   .ValueOrDie()),
+        factory_(query_, cost_model_, registry_) {
+    EXPECT_TRUE(RegisterBuiltinOperators(&registry_).ok());
+  }
+
+  ColumnRef Col(const char* alias, const char* name) {
+    return query_.ResolveColumn(alias, name).ValueOrDie();
+  }
+
+  PlanPtr DeptScan() {
+    OpArgs args;
+    args.Set(arg::kQuantifier, int64_t{0});
+    args.Set(arg::kCols, std::vector<ColumnRef>{Col("DEPT", "DNO"),
+                                                Col("DEPT", "MGR")});
+    args.Set(arg::kPreds, PredSet::Single(0));  // MGR = 'Haas'
+    return factory_.Make(op::kAccess, flavor::kHeap, {}, std::move(args))
+        .ValueOrDie();
+  }
+
+  PlanPtr EmpIndexAccess(PredSet preds) {
+    OpArgs args;
+    args.Set(arg::kQuantifier, int64_t{1});
+    args.Set(arg::kIndex, std::string("EMP_DNO_IX"));
+    args.Set(arg::kCols,
+             std::vector<ColumnRef>{Col("EMP", "DNO"),
+                                    ColumnRef{1, ColumnRef::kTidColumn}});
+    args.Set(arg::kPreds, preds);
+    return factory_.Make(op::kAccess, flavor::kIndex, {}, std::move(args))
+        .ValueOrDie();
+  }
+
+  Catalog catalog_;
+  Query query_;
+  CostModel cost_model_;
+  OperatorRegistry registry_;
+  PlanFactory factory_;
+};
+
+TEST_F(PropertyFnTest, HeapAccessSetsRelationalAndEstimatedProps) {
+  PlanPtr scan = DeptScan();
+  const PropertyVector& p = scan->props;
+  EXPECT_EQ(p.tables(), QuantifierSet::Single(0));
+  EXPECT_EQ(p.cols().size(), 2u);
+  EXPECT_EQ(p.preds(), PredSet::Single(0));
+  EXPECT_TRUE(p.order().empty());  // heap order unknown
+  EXPECT_FALSE(p.temp());
+  // MGR = 'Haas' with 250 distinct managers over 500 rows -> card = 2.
+  EXPECT_NEAR(p.card(), 2.0, 0.01);
+  EXPECT_GT(p.cost().io, 0.0);
+  EXPECT_GT(p.cost().cpu, 0.0);
+  EXPECT_EQ(p.cost().comm, 0.0);
+  // PATHS comes from the catalog (DEPT has none).
+  EXPECT_TRUE(p.paths().empty());
+}
+
+TEST_F(PropertyFnTest, IndexAccessYieldsKeyOrderAndPaths) {
+  PlanPtr ix = EmpIndexAccess(PredSet{});
+  EXPECT_EQ(ix->props.order(), SortOrder{Col("EMP", "DNO")});
+  ASSERT_EQ(ix->props.paths().size(), 1u);
+  EXPECT_EQ(ix->props.paths()[0].name, "EMP_DNO_IX");
+  EXPECT_NEAR(ix->props.card(), 20000.0, 1.0);
+}
+
+TEST_F(PropertyFnTest, IndexAccessRejectsNonKeyPredicates) {
+  OpArgs args;
+  args.Set(arg::kQuantifier, int64_t{1});
+  args.Set(arg::kIndex, std::string("EMP_DNO_IX"));
+  args.Set(arg::kCols,
+           std::vector<ColumnRef>{Col("EMP", "DNO"),
+                                  ColumnRef{1, ColumnRef::kTidColumn}});
+  // Predicate 0 is DEPT.MGR = 'Haas': not applicable by an EMP index.
+  args.Set(arg::kPreds, PredSet::Single(0));
+  auto plan = factory_.Make(op::kAccess, flavor::kIndex, {}, std::move(args));
+  EXPECT_FALSE(plan.ok());
+}
+
+TEST_F(PropertyFnTest, GetRequiresTidAndAddsColumns) {
+  PlanPtr ix = EmpIndexAccess(PredSet{});
+  OpArgs args;
+  args.Set(arg::kQuantifier, int64_t{1});
+  args.Set(arg::kCols, std::vector<ColumnRef>{Col("EMP", "NAME"),
+                                              Col("EMP", "ADDRESS")});
+  args.Set(arg::kPreds, PredSet{});
+  PlanPtr get =
+      factory_.Make(op::kGet, "", {ix}, std::move(args)).ValueOrDie();
+  EXPECT_TRUE(get->props.cols().count(Col("EMP", "NAME")));
+  EXPECT_EQ(get->props.order(), ix->props.order());  // fetch keeps order
+  EXPECT_GT(get->props.cost().io, ix->props.cost().io);
+
+  // Without a TID in the input, GET is rejected.
+  OpArgs args2;
+  args2.Set(arg::kQuantifier, int64_t{0});
+  args2.Set(arg::kCols, std::vector<ColumnRef>{Col("DEPT", "DNAME")});
+  EXPECT_FALSE(factory_.Make(op::kGet, "", {DeptScan()}, args2).ok());
+}
+
+TEST_F(PropertyFnTest, SortSetsOrderAndKeepsEverythingElse) {
+  PlanPtr scan = DeptScan();
+  OpArgs args;
+  args.Set(arg::kOrder, std::vector<ColumnRef>{Col("DEPT", "DNO")});
+  PlanPtr sorted =
+      factory_.Make(op::kSort, "", {scan}, std::move(args)).ValueOrDie();
+  EXPECT_EQ(sorted->props.order(), SortOrder{Col("DEPT", "DNO")});
+  EXPECT_EQ(sorted->props.card(), scan->props.card());
+  EXPECT_EQ(sorted->props.preds(), scan->props.preds());
+  EXPECT_GE(cost_model_.Total(sorted->props.cost()),
+            cost_model_.Total(scan->props.cost()));
+  // Sorting on a column not in the stream is rejected.
+  OpArgs bad;
+  bad.Set(arg::kOrder, std::vector<ColumnRef>{Col("DEPT", "BUDGET")});
+  EXPECT_FALSE(factory_.Make(op::kSort, "", {scan}, std::move(bad)).ok());
+}
+
+TEST_F(PropertyFnTest, SortOfSortedInputStillConstructs) {
+  // Glue avoids redundant SORTs, but the operator itself is total.
+  PlanPtr scan = DeptScan();
+  OpArgs args;
+  args.Set(arg::kOrder, std::vector<ColumnRef>{Col("DEPT", "DNO")});
+  PlanPtr sorted1 = factory_.Make(op::kSort, "", {scan}, args).ValueOrDie();
+  PlanPtr sorted2 =
+      factory_.Make(op::kSort, "", {sorted1}, args).ValueOrDie();
+  EXPECT_EQ(sorted2->props.order(), sorted1->props.order());
+}
+
+TEST(PropertyFnDistributedTest, ShipChangesSiteAndChargesComm) {
+  PaperCatalogOptions copts;
+  copts.distributed = true;
+  Catalog catalog = MakePaperCatalog(copts);
+  Query query =
+      ParseSql(catalog, "SELECT DEPT.DNAME FROM DEPT").ValueOrDie();
+  CostModel cm;
+  OperatorRegistry reg;
+  ASSERT_TRUE(RegisterBuiltinOperators(&reg).ok());
+  PlanFactory factory(query, cm, reg);
+
+  OpArgs access;
+  access.Set(arg::kQuantifier, int64_t{0});
+  access.Set(arg::kCols, std::vector<ColumnRef>{ColumnRef{0, 2}});
+  PlanPtr scan =
+      factory.Make(op::kAccess, flavor::kHeap, {}, std::move(access))
+          .ValueOrDie();
+  SiteId ny = catalog.FindSite("N.Y.").ValueOrDie();
+  SiteId la = catalog.FindSite("L.A.").ValueOrDie();
+  EXPECT_EQ(scan->props.site(), ny);
+
+  OpArgs ship;
+  ship.Set(arg::kSite, static_cast<int64_t>(la));
+  PlanPtr shipped =
+      factory.Make(op::kShip, "", {scan}, std::move(ship)).ValueOrDie();
+  EXPECT_EQ(shipped->props.site(), la);
+  EXPECT_GT(shipped->props.cost().comm, 0.0);
+
+  // Shipping to the current site is free.
+  OpArgs noop;
+  noop.Set(arg::kSite, static_cast<int64_t>(ny));
+  PlanPtr same =
+      factory.Make(op::kShip, "", {scan}, std::move(noop)).ValueOrDie();
+  EXPECT_EQ(same->props.cost(), scan->props.cost());
+}
+
+TEST_F(PropertyFnTest, StoreSetsTempAndDynamicPath) {
+  PlanPtr scan = DeptScan();
+  OpArgs args;
+  args.Set(arg::kTempName, std::string("t1"));
+  args.Set(arg::kIndexOn, std::vector<ColumnRef>{Col("DEPT", "DNO")});
+  PlanPtr stored =
+      factory_.Make(op::kStore, "", {scan}, std::move(args)).ValueOrDie();
+  EXPECT_TRUE(stored->props.temp());
+  ASSERT_EQ(stored->props.paths().size(), 1u);
+  EXPECT_TRUE(stored->props.paths()[0].dynamic);
+  EXPECT_EQ(stored->props.paths()[0].columns,
+            (std::vector<ColumnRef>{Col("DEPT", "DNO")}));
+  // Rescan (temp read) is much cheaper than the build.
+  EXPECT_LT(cost_model_.Total(stored->props.rescan()),
+            cost_model_.Total(stored->props.cost()));
+  // Index key must be inside the stream.
+  OpArgs bad;
+  bad.Set(arg::kTempName, std::string("t2"));
+  bad.Set(arg::kIndexOn, std::vector<ColumnRef>{Col("DEPT", "BUDGET")});
+  EXPECT_FALSE(factory_.Make(op::kStore, "", {scan}, std::move(bad)).ok());
+}
+
+TEST_F(PropertyFnTest, JoinValidatesInputsAndCombinesProps) {
+  PlanPtr dept = DeptScan();
+  PlanPtr emp = EmpIndexAccess(PredSet::Single(1));  // DEPT.DNO = EMP.DNO
+
+  OpArgs args;
+  args.Set(arg::kJoinPreds, PredSet::Single(1));
+  args.Set(arg::kResidualPreds, PredSet{});
+  PlanPtr join =
+      factory_.Make(op::kJoin, flavor::kNL, {dept, emp}, args).ValueOrDie();
+  EXPECT_EQ(join->props.tables(), query_.AllQuantifiers());
+  EXPECT_TRUE(join->props.preds().ContainsAll(query_.AllPredicates()));
+  // Pushed join predicate not double counted: card = 2 * 40 = 80.
+  EXPECT_NEAR(join->props.card(), 80.0, 1.0);
+  EXPECT_EQ(join->props.order(), dept->props.order());
+
+  // Joining overlapping table sets is rejected.
+  EXPECT_FALSE(factory_.Make(op::kJoin, flavor::kNL, {dept, dept}, args).ok());
+}
+
+TEST_F(PropertyFnTest, MergeJoinRequiresOrderedInputs) {
+  PlanPtr dept = DeptScan();  // unordered
+  PlanPtr emp = EmpIndexAccess(PredSet{});
+  OpArgs args;
+  args.Set(arg::kJoinPreds, PredSet::Single(1));
+  args.Set(arg::kResidualPreds, PredSet{});
+  EXPECT_FALSE(factory_.Make(op::kJoin, flavor::kMG, {dept, emp}, args).ok());
+
+  OpArgs sort_args;
+  sort_args.Set(arg::kOrder, std::vector<ColumnRef>{Col("DEPT", "DNO")});
+  PlanPtr sorted_dept =
+      factory_.Make(op::kSort, "", {dept}, std::move(sort_args)).ValueOrDie();
+  EXPECT_TRUE(
+      factory_.Make(op::kJoin, flavor::kMG, {sorted_dept, emp}, args).ok());
+}
+
+TEST_F(PropertyFnTest, HashJoinDestroysOrder) {
+  OpArgs sort_args;
+  sort_args.Set(arg::kOrder, std::vector<ColumnRef>{Col("DEPT", "DNO")});
+  PlanPtr dept =
+      factory_.Make(op::kSort, "", {DeptScan()}, std::move(sort_args))
+          .ValueOrDie();
+  PlanPtr emp = EmpIndexAccess(PredSet{});
+  OpArgs args;
+  args.Set(arg::kJoinPreds, PredSet::Single(1));
+  args.Set(arg::kResidualPreds, PredSet{});
+  PlanPtr ha =
+      factory_.Make(op::kJoin, flavor::kHA, {dept, emp}, args).ValueOrDie();
+  EXPECT_TRUE(ha->props.order().empty());
+}
+
+TEST_F(PropertyFnTest, FilterReducesCardinalityMonotonically) {
+  PlanPtr emp = EmpIndexAccess(PredSet{});
+  OpArgs args;
+  args.Set(arg::kPreds, PredSet::Single(1));
+  PlanPtr filtered =
+      factory_.Make(op::kFilter, "", {emp}, std::move(args)).ValueOrDie();
+  EXPECT_LT(filtered->props.card(), emp->props.card());
+  EXPECT_GE(cost_model_.Total(filtered->props.cost()),
+            cost_model_.Total(emp->props.cost()));
+  // Re-filtering with an already-applied predicate changes nothing.
+  OpArgs again;
+  again.Set(arg::kPreds, PredSet::Single(1));
+  PlanPtr twice =
+      factory_.Make(op::kFilter, "", {filtered}, std::move(again))
+          .ValueOrDie();
+  EXPECT_EQ(twice->props.card(), filtered->props.card());
+}
+
+TEST_F(PropertyFnTest, FactoryValidatesArityAndFlavor) {
+  OpArgs args;
+  EXPECT_FALSE(factory_.Make("NOPE", "", {}, args).ok());
+  EXPECT_FALSE(factory_.Make(op::kJoin, "weird", {DeptScan(), DeptScan()},
+                             args).ok());
+  EXPECT_FALSE(factory_.Make(op::kSort, "", {}, args).ok());  // arity
+}
+
+}  // namespace
+}  // namespace starburst

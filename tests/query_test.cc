@@ -1,0 +1,209 @@
+// Unit tests for the query model: expressions, predicate classification
+// (the paper's JP/SP/HP/IP/XP classes, §4.4-4.5), and query analysis.
+
+#include <gtest/gtest.h>
+
+#include "catalog/synthetic.h"
+#include "query/query.h"
+#include "sql/parser.h"
+
+namespace starburst {
+namespace {
+
+class ClassificationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_ = MakePaperCatalog();
+    query_ = std::make_unique<Query>(&catalog_);
+    dept_ = query_->AddQuantifier("DEPT").ValueOrDie();
+    emp_ = query_->AddQuantifier("EMP").ValueOrDie();
+    t1_ = QuantifierSet::Single(dept_);
+    t2_ = QuantifierSet::Single(emp_);
+  }
+
+  ColumnRef Col(int q, const char* name) {
+    const std::string& alias = query_->quantifier(q).alias;
+    return query_->ResolveColumn(alias, name).ValueOrDie();
+  }
+
+  const Predicate& AddPred(ExprPtr lhs, CompareOp op, ExprPtr rhs) {
+    int id = query_->AddPredicate(std::move(lhs), op, std::move(rhs))
+                 .ValueOrDie();
+    return query_->predicate(id);
+  }
+
+  Catalog catalog_;
+  std::unique_ptr<Query> query_;
+  int dept_, emp_;
+  QuantifierSet t1_, t2_;
+};
+
+TEST_F(ClassificationTest, SimpleEqualityIsEverything) {
+  // DEPT.DNO = EMP.DNO: join, sortable, hashable, indexable both ways.
+  const Predicate& p =
+      AddPred(Expr::Column(Col(dept_, "DNO")), CompareOp::kEq,
+              Expr::Column(Col(emp_, "DNO")));
+  EXPECT_TRUE(IsJoinPredicate(p, t1_, t2_));
+  EXPECT_TRUE(IsSortable(p, t1_, t2_));
+  EXPECT_TRUE(IsHashable(p, t1_, t2_));
+  EXPECT_TRUE(IsIndexable(p, t1_, t2_));
+  EXPECT_TRUE(IsIndexable(p, t2_, t1_));
+  EXPECT_FALSE(IsInnerOnly(p, t2_));
+}
+
+TEST_F(ClassificationTest, ExpressionJoinIsHashableNotSortable) {
+  // DEPT.DNO + 1 = EMP.DNO: hashable (expr = expr across sides) and
+  // indexable on EMP, but not sortable (not bare col op col).
+  const Predicate& p = AddPred(
+      Expr::Binary(ExprKind::kAdd, Expr::Column(Col(dept_, "DNO")),
+                   Expr::Literal(Datum(int64_t{1}))),
+      CompareOp::kEq, Expr::Column(Col(emp_, "DNO")));
+  EXPECT_TRUE(IsJoinPredicate(p, t1_, t2_));
+  EXPECT_FALSE(IsSortable(p, t1_, t2_));
+  EXPECT_TRUE(IsHashable(p, t1_, t2_));
+  EXPECT_TRUE(IsIndexable(p, t1_, t2_));   // EMP.DNO is the bare inner column
+  EXPECT_FALSE(IsIndexable(p, t2_, t1_));  // DEPT side is an expression
+}
+
+TEST_F(ClassificationTest, InequalityJoinIsSortableNotHashable) {
+  // DEPT.BUDGET < EMP.SALARY: sortable (col op col) per §4.5.1's remark
+  // that SP contains inequalities HP lacks; not hashable.
+  const Predicate& p =
+      AddPred(Expr::Column(Col(dept_, "BUDGET")), CompareOp::kLt,
+              Expr::Column(Col(emp_, "SALARY")));
+  EXPECT_TRUE(IsJoinPredicate(p, t1_, t2_));
+  EXPECT_TRUE(IsSortable(p, t1_, t2_));
+  EXPECT_FALSE(IsHashable(p, t1_, t2_));
+  EXPECT_TRUE(IsIndexable(p, t1_, t2_));
+}
+
+TEST_F(ClassificationTest, SingleTablePredicateIsInnerOnly) {
+  const Predicate& p =
+      AddPred(Expr::Column(Col(emp_, "SALARY")), CompareOp::kGt,
+              Expr::Literal(Datum(int64_t{1000})));
+  EXPECT_FALSE(IsJoinPredicate(p, t1_, t2_));
+  EXPECT_TRUE(IsInnerOnly(p, t2_));
+  EXPECT_FALSE(IsInnerOnly(p, t1_));
+  EXPECT_TRUE(IsEligible(p, t2_));
+  EXPECT_FALSE(IsEligible(p, t1_));
+}
+
+TEST_F(ClassificationTest, SortAndIndexColumnExtraction) {
+  const Predicate& p =
+      AddPred(Expr::Column(Col(dept_, "DNO")), CompareOp::kEq,
+              Expr::Column(Col(emp_, "DNO")));
+  EXPECT_EQ(SortColumnFor(p, t1_), Col(dept_, "DNO"));
+  EXPECT_EQ(SortColumnFor(p, t2_), Col(emp_, "DNO"));
+  EXPECT_EQ(IndexColumnFor(p, t2_), Col(emp_, "DNO"));
+  EXPECT_EQ(IndexColumnFor(p, t1_), Col(dept_, "DNO"));
+}
+
+TEST_F(ClassificationTest, EvalCompareSemantics) {
+  EXPECT_TRUE(EvalCompare(CompareOp::kEq, Datum(int64_t{2}), Datum(2.0)));
+  EXPECT_TRUE(EvalCompare(CompareOp::kLe, Datum(int64_t{2}), Datum(int64_t{2})));
+  EXPECT_TRUE(EvalCompare(CompareOp::kNe, Datum(int64_t{1}), Datum(int64_t{2})));
+  // SQL three-valued logic collapsed: NULL compares false under every op.
+  for (CompareOp op : {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
+                       CompareOp::kLe, CompareOp::kGt, CompareOp::kGe}) {
+    EXPECT_FALSE(EvalCompare(op, Datum::NullValue(), Datum(int64_t{1})));
+    EXPECT_FALSE(EvalCompare(op, Datum(int64_t{1}), Datum::NullValue()));
+  }
+}
+
+TEST(ExprTest, ColumnsCollection) {
+  ExprPtr e = Expr::Binary(
+      ExprKind::kMul, Expr::Column(ColumnRef{0, 1}),
+      Expr::Binary(ExprKind::kAdd, Expr::Column(ColumnRef{1, 0}),
+                   Expr::Literal(Datum(int64_t{3}))));
+  ColumnSet cols = e->Columns();
+  EXPECT_EQ(cols.size(), 2u);
+  EXPECT_TRUE(cols.count(ColumnRef{0, 1}));
+  EXPECT_TRUE(cols.count(ColumnRef{1, 0}));
+  EXPECT_FALSE(e->IsBareColumn());
+  EXPECT_TRUE(Expr::Column(ColumnRef{0, 0})->IsBareColumn());
+}
+
+TEST(ExprTest, ArithmeticEvaluation) {
+  EXPECT_EQ(EvalBinary(ExprKind::kAdd, Datum(int64_t{2}), Datum(int64_t{3}))
+                .AsInt(),
+            5);
+  EXPECT_EQ(EvalBinary(ExprKind::kMul, Datum(int64_t{4}), Datum(int64_t{5}))
+                .AsInt(),
+            20);
+  EXPECT_DOUBLE_EQ(
+      EvalBinary(ExprKind::kDiv, Datum(7.0), Datum(int64_t{2})).AsDouble(),
+      3.5);
+  // Integer division truncates; division by zero is NULL; NULL propagates.
+  EXPECT_EQ(EvalBinary(ExprKind::kDiv, Datum(int64_t{7}), Datum(int64_t{2}))
+                .AsInt(),
+            3);
+  EXPECT_TRUE(EvalBinary(ExprKind::kDiv, Datum(int64_t{1}), Datum(int64_t{0}))
+                  .is_null());
+  EXPECT_TRUE(
+      EvalBinary(ExprKind::kAdd, Datum::NullValue(), Datum(int64_t{1}))
+          .is_null());
+}
+
+TEST(QueryTest, ResolutionAndNaming) {
+  Catalog cat = MakePaperCatalog();
+  Query q(&cat);
+  ASSERT_TRUE(q.AddQuantifier("EMP", "e").ok());
+  ASSERT_TRUE(q.AddQuantifier("EMP", "e2").ok());  // self join
+  EXPECT_FALSE(q.AddQuantifier("EMP", "e").ok());  // duplicate alias
+  EXPECT_FALSE(q.AddQuantifier("NOPE").ok());
+
+  auto ref = q.ResolveColumn("e2", "NAME");
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(ref.value().quantifier, 1);
+  EXPECT_EQ(q.ColumnName(ref.value()), "e2.NAME");
+  // Bare NAME is ambiguous with two EMP quantifiers.
+  EXPECT_FALSE(q.ResolveBareColumn("NAME").ok());
+  EXPECT_FALSE(q.ResolveColumn("e", "NOPE").ok());
+}
+
+TEST(QueryTest, ColumnsNeededCoversSelectOrderAndPredicates) {
+  Catalog cat = MakePaperCatalog();
+  Query q = ParseSql(cat,
+                     "SELECT EMP.NAME FROM EMP WHERE EMP.SALARY > 10 "
+                     "ORDER BY EMP.ENO")
+                .ValueOrDie();
+  ColumnSet needed = q.ColumnsNeeded(0);
+  auto has = [&](const char* name) {
+    return needed.count(q.ResolveColumn("EMP", name).ValueOrDie()) > 0;
+  };
+  EXPECT_TRUE(has("NAME"));
+  EXPECT_TRUE(has("SALARY"));
+  EXPECT_TRUE(has("ENO"));
+  EXPECT_FALSE(has("ADDRESS"));
+}
+
+TEST(QueryTest, EligiblePredicates) {
+  Catalog cat = MakePaperCatalog();
+  Query q = ParseSql(cat,
+                     "SELECT EMP.NAME FROM DEPT, EMP WHERE "
+                     "DEPT.MGR = 'Haas' AND DEPT.DNO = EMP.DNO AND "
+                     "EMP.SALARY > 5")
+                .ValueOrDie();
+  PredSet all = q.AllPredicates();
+  EXPECT_EQ(all.size(), 3);
+  PredSet dept_only = q.EligiblePredicates(QuantifierSet::Single(0), all);
+  EXPECT_EQ(dept_only.size(), 1);  // MGR = 'Haas'
+  PredSet emp_only = q.EligiblePredicates(QuantifierSet::Single(1), all);
+  EXPECT_EQ(emp_only.size(), 1);  // SALARY > 5
+  EXPECT_EQ(q.EligiblePredicates(q.AllQuantifiers(), all), all);
+}
+
+TEST(QueryTest, ToStringRoundTripFlavor) {
+  Catalog cat = MakePaperCatalog();
+  Query q = ParseSql(cat,
+                     "SELECT EMP.NAME FROM DEPT, EMP WHERE "
+                     "DEPT.DNO = EMP.DNO ORDER BY EMP.NAME")
+                .ValueOrDie();
+  std::string s = q.ToString();
+  EXPECT_NE(s.find("SELECT EMP.NAME"), std::string::npos);
+  EXPECT_NE(s.find("DEPT.DNO = EMP.DNO"), std::string::npos);
+  EXPECT_NE(s.find("ORDER BY EMP.NAME"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace starburst

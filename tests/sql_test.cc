@@ -1,0 +1,135 @@
+// Unit tests for the SQL front end (lexer + parser).
+
+#include <gtest/gtest.h>
+
+#include "catalog/synthetic.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace starburst {
+namespace {
+
+TEST(SqlLexerTest, TokenKinds) {
+  auto toks = sql::Tokenize("SELECT a.b, 12 3.5 'str' <= <> != (").ValueOrDie();
+  ASSERT_EQ(toks.size(), 11u);  // incl. '(' and kEnd
+  EXPECT_TRUE(toks[0].IsKeyword("SELECT"));
+  EXPECT_EQ(toks[1].kind, sql::TokenKind::kIdent);
+  EXPECT_EQ(toks[1].text, "a.b");
+  EXPECT_TRUE(toks[2].IsSymbol(","));
+  EXPECT_EQ(toks[3].text, "12");
+  EXPECT_EQ(toks[4].text, "3.5");
+  EXPECT_EQ(toks[5].kind, sql::TokenKind::kString);
+  EXPECT_EQ(toks[5].text, "str");
+  EXPECT_TRUE(toks[6].IsSymbol("<="));
+  EXPECT_TRUE(toks[7].IsSymbol("<>"));
+  EXPECT_TRUE(toks[8].IsSymbol("<>"));  // != normalizes
+}
+
+TEST(SqlLexerTest, KeywordsCaseInsensitive) {
+  auto toks = sql::Tokenize("select From WHERE and").ValueOrDie();
+  EXPECT_TRUE(toks[0].IsKeyword("SELECT"));
+  EXPECT_TRUE(toks[1].IsKeyword("FROM"));
+  EXPECT_TRUE(toks[2].IsKeyword("WHERE"));
+  EXPECT_TRUE(toks[3].IsKeyword("AND"));
+}
+
+TEST(SqlLexerTest, Errors) {
+  EXPECT_FALSE(sql::Tokenize("SELECT 'unterminated").ok());
+  EXPECT_FALSE(sql::Tokenize("SELECT @").ok());
+}
+
+class SqlParserTest : public ::testing::Test {
+ protected:
+  SqlParserTest() : catalog_(MakePaperCatalog()) {}
+  Result<Query> Parse(const std::string& sql) {
+    return ParseSql(catalog_, sql);
+  }
+  Catalog catalog_;
+};
+
+TEST_F(SqlParserTest, BasicSelect) {
+  auto q = Parse("SELECT EMP.NAME FROM EMP");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q.value().num_quantifiers(), 1);
+  EXPECT_EQ(q.value().num_predicates(), 0);
+  ASSERT_EQ(q.value().select_list().size(), 1u);
+}
+
+TEST_F(SqlParserTest, SelectStarExpandsAllColumns) {
+  auto q = Parse("SELECT * FROM DEPT, EMP");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().select_list().size(), 4u + 5u);
+}
+
+TEST_F(SqlParserTest, AliasesAndSelfJoin) {
+  auto q = Parse("SELECT a.NAME, b.NAME FROM EMP a, EMP AS b "
+                 "WHERE a.DNO = b.DNO AND a.ENO <> b.ENO");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q.value().num_quantifiers(), 2);
+  EXPECT_EQ(q.value().num_predicates(), 2);
+  EXPECT_EQ(q.value().quantifier(0).alias, "a");
+  EXPECT_EQ(q.value().quantifier(1).alias, "b");
+}
+
+TEST_F(SqlParserTest, BareColumnsResolveWhenUnambiguous) {
+  auto q = Parse("SELECT NAME FROM EMP WHERE SALARY > 100");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q.value().select_list()[0],
+            q.value().ResolveColumn("EMP", "NAME").ValueOrDie());
+}
+
+TEST_F(SqlParserTest, ArithmeticAndPrecedence) {
+  auto q = Parse("SELECT NAME FROM EMP WHERE SALARY + 2 * ENO >= 100 - 1");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const Predicate& p = q.value().predicate(0);
+  // lhs = SALARY + (2 * ENO): root is kAdd.
+  EXPECT_EQ(p.lhs->kind(), ExprKind::kAdd);
+  EXPECT_EQ(p.lhs->rhs()->kind(), ExprKind::kMul);
+  EXPECT_EQ(p.op, CompareOp::kGe);
+  EXPECT_EQ(p.rhs->kind(), ExprKind::kSub);
+}
+
+TEST_F(SqlParserTest, Parentheses) {
+  auto q = Parse("SELECT NAME FROM EMP WHERE (SALARY + 2) * ENO = 10");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q.value().predicate(0).lhs->kind(), ExprKind::kMul);
+  EXPECT_EQ(q.value().predicate(0).lhs->lhs()->kind(), ExprKind::kAdd);
+}
+
+TEST_F(SqlParserTest, OrderByAndSite) {
+  PaperCatalogOptions opts;
+  opts.distributed = true;
+  Catalog cat = MakePaperCatalog(opts);
+  auto q = ParseSql(cat,
+                    "SELECT EMP.NAME FROM EMP ORDER BY EMP.DNO, EMP.NAME "
+                    "AT SITE 'L.A.'");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q.value().order_by().size(), 2u);
+  ASSERT_TRUE(q.value().required_site().has_value());
+  EXPECT_EQ(*q.value().required_site(), cat.FindSite("L.A.").ValueOrDie());
+}
+
+TEST_F(SqlParserTest, ErrorCases) {
+  EXPECT_FALSE(Parse("SELECT FROM EMP").ok());                 // empty select
+  EXPECT_FALSE(Parse("SELECT NAME").ok());                     // no FROM
+  EXPECT_FALSE(Parse("SELECT NAME FROM NOPE").ok());           // bad table
+  EXPECT_FALSE(Parse("SELECT NOPE FROM EMP").ok());            // bad column
+  EXPECT_FALSE(Parse("SELECT NAME FROM EMP WHERE").ok());      // empty where
+  EXPECT_FALSE(Parse("SELECT NAME FROM EMP WHERE NAME").ok()); // no compare
+  EXPECT_FALSE(Parse("SELECT NAME FROM EMP trailing junk=").ok());
+  EXPECT_FALSE(Parse("SELECT NAME FROM EMP WHERE (NAME = 'x'").ok());
+  EXPECT_FALSE(Parse("SELECT NAME FROM EMP AT SITE 'Mars'").ok());
+  EXPECT_FALSE(Parse("SELECT DNO FROM DEPT, EMP").ok());       // ambiguous
+}
+
+TEST_F(SqlParserTest, PredicateQuantifierAnalysis) {
+  auto q = Parse("SELECT EMP.NAME FROM DEPT, EMP "
+                 "WHERE DEPT.DNO = EMP.DNO AND DEPT.BUDGET > 100");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().predicate(0).quantifiers.size(), 2);
+  EXPECT_EQ(q.value().predicate(1).quantifiers.size(), 1);
+  EXPECT_TRUE(q.value().predicate(1).quantifiers.Contains(0));
+}
+
+}  // namespace
+}  // namespace starburst

@@ -1,0 +1,406 @@
+// Unit tests for the storage engine and the query evaluator: every built-in
+// LOLEPOP's run-time routine, including sideways information passing
+// (correlated nested-loop inners), merge order, and hash NULL semantics.
+
+#include <gtest/gtest.h>
+
+#include "catalog/synthetic.h"
+#include "cost/cost_model.h"
+#include "exec/evaluator.h"
+#include "properties/property_functions.h"
+#include "sql/parser.h"
+#include "storage/datagen.h"
+#include "storage/index.h"
+
+namespace starburst {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Storage.
+// ---------------------------------------------------------------------------
+
+TEST(StoredTableTest, InsertValidatesArity) {
+  Catalog cat = MakePaperCatalog();
+  Database db(cat);
+  StoredTable* dept = db.FindTable("DEPT").ValueOrDie();
+  EXPECT_FALSE(dept->Insert({Datum(int64_t{1})}).ok());
+  EXPECT_TRUE(dept->Insert({Datum(int64_t{1}), Datum(std::string("m")),
+                            Datum(std::string("d")), Datum(int64_t{5})})
+                  .ok());
+  EXPECT_EQ(dept->num_rows(), 1);
+}
+
+TEST(StoredTableTest, BTreeFinalizeSortsRows) {
+  Catalog cat;
+  TableDef t;
+  t.name = "b";
+  ColumnDef c;
+  c.name = "k";
+  t.columns.push_back(c);
+  t.storage = StorageKind::kBTree;
+  t.btree_key = {0};
+  t.row_count = 3;
+  cat.AddTable(std::move(t)).ValueOrDie();
+  Database db(cat);
+  StoredTable* table = db.FindTable("b").ValueOrDie();
+  for (int64_t v : {5, 1, 3}) ASSERT_TRUE(table->Insert({Datum(v)}).ok());
+  ASSERT_TRUE(db.Finalize().ok());
+  EXPECT_EQ(table->row(0)[0].AsInt(), 1);
+  EXPECT_EQ(table->row(1)[0].AsInt(), 3);
+  EXPECT_EQ(table->row(2)[0].AsInt(), 5);
+}
+
+TEST(SecondaryIndexTest, PrefixLookup) {
+  Catalog cat = MakePaperCatalog();
+  Database db(cat);
+  StoredTable* emp = db.FindTable("EMP").ValueOrDie();
+  for (int64_t e = 0; e < 20; ++e) {
+    ASSERT_TRUE(emp->Insert({Datum(e), Datum(e % 4),
+                             Datum("n" + std::to_string(e)),
+                             Datum(std::string("a")), Datum(int64_t{100})})
+                    .ok());
+  }
+  ASSERT_TRUE(db.Finalize().ok());
+  auto index = db.FindIndex(cat.FindTable("EMP").ValueOrDie(), "EMP_DNO_IX");
+  ASSERT_TRUE(index.ok());
+  auto hits = index.value()->LookupPrefix({Datum(int64_t{2})});
+  EXPECT_EQ(hits.size(), 5u);  // 20 rows, DNO in 0..3
+  for (const auto* e : hits) EXPECT_EQ(e->key[0].AsInt(), 2);
+  EXPECT_TRUE(index.value()->LookupPrefix({Datum(int64_t{99})}).empty());
+  // Entries come back in key order.
+  const auto& all = index.value()->entries();
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LE(all[i - 1].key[0].AsInt(), all[i].key[0].AsInt());
+  }
+}
+
+TEST(DatagenTest, DeterministicAndScaled) {
+  SyntheticCatalogOptions opts;
+  opts.num_tables = 3;
+  opts.min_rows = 1000;
+  opts.max_rows = 1000;
+  Catalog cat = MakeSyntheticCatalog(opts);
+  Database a(cat), b(cat);
+  ASSERT_TRUE(PopulateDatabase(&a, 9, 0.1).ok());
+  ASSERT_TRUE(PopulateDatabase(&b, 9, 0.1).ok());
+  for (int t = 0; t < 3; ++t) {
+    ASSERT_EQ(a.table(t).num_rows(), b.table(t).num_rows());
+    EXPECT_EQ(a.table(t).num_rows(), 100);
+    for (int64_t r = 0; r < a.table(t).num_rows(); ++r) {
+      EXPECT_EQ(a.table(t).row(r), b.table(t).row(r));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Executor fixture: hand-built plans over a small deterministic database.
+// ---------------------------------------------------------------------------
+
+class ExecTest : public ::testing::Test {
+ protected:
+  ExecTest()
+      : catalog_(MakePaperCatalog()),
+        db_(catalog_),
+        query_(ParseSql(catalog_,
+                        "SELECT EMP.NAME, EMP.ADDRESS FROM DEPT, EMP WHERE "
+                        "DEPT.MGR = 'Haas' AND DEPT.DNO = EMP.DNO")
+                   .ValueOrDie()),
+        factory_(query_, cost_model_, registry_) {
+    EXPECT_TRUE(RegisterBuiltinOperators(&registry_).ok());
+    // 4 departments (0..3), managers: Haas runs 0 and 2.
+    StoredTable* dept = db_.FindTable("DEPT").ValueOrDie();
+    for (int64_t d = 0; d < 4; ++d) {
+      std::string mgr = (d % 2 == 0) ? "Haas" : "Other";
+      EXPECT_TRUE(dept->Insert({Datum(d), Datum(mgr),
+                                Datum("dept" + std::to_string(d)),
+                                Datum(int64_t{100})})
+                      .ok());
+    }
+    // 12 employees round-robin over departments.
+    StoredTable* emp = db_.FindTable("EMP").ValueOrDie();
+    for (int64_t e = 0; e < 12; ++e) {
+      EXPECT_TRUE(emp->Insert({Datum(e), Datum(e % 4),
+                               Datum("emp" + std::to_string(e)),
+                               Datum("addr" + std::to_string(e)),
+                               Datum(int64_t{1000 * (e + 1)})})
+                      .ok());
+    }
+    EXPECT_TRUE(db_.Finalize().ok());
+  }
+
+  ColumnRef Col(const char* alias, const char* name) {
+    return query_.ResolveColumn(alias, name).ValueOrDie();
+  }
+
+  PlanPtr DeptScan(PredSet preds = PredSet::Single(0)) {
+    OpArgs args;
+    args.Set(arg::kQuantifier, int64_t{0});
+    args.Set(arg::kCols, std::vector<ColumnRef>{Col("DEPT", "DNO"),
+                                                Col("DEPT", "MGR")});
+    args.Set(arg::kPreds, preds);
+    return factory_.Make(op::kAccess, flavor::kHeap, {}, std::move(args))
+        .ValueOrDie();
+  }
+
+  PlanPtr EmpIndexGet(PredSet index_preds) {
+    OpArgs access;
+    access.Set(arg::kQuantifier, int64_t{1});
+    access.Set(arg::kIndex, std::string("EMP_DNO_IX"));
+    access.Set(arg::kCols,
+               std::vector<ColumnRef>{Col("EMP", "DNO"),
+                                      ColumnRef{1, ColumnRef::kTidColumn}});
+    access.Set(arg::kPreds, index_preds);
+    PlanPtr ix =
+        factory_.Make(op::kAccess, flavor::kIndex, {}, std::move(access))
+            .ValueOrDie();
+    OpArgs get;
+    get.Set(arg::kQuantifier, int64_t{1});
+    get.Set(arg::kCols, std::vector<ColumnRef>{Col("EMP", "NAME"),
+                                               Col("EMP", "ADDRESS")});
+    get.Set(arg::kPreds, PredSet{});
+    return factory_.Make(op::kGet, "", {ix}, std::move(get)).ValueOrDie();
+  }
+
+  PlanPtr EmpScan(PredSet preds = PredSet{}) {
+    OpArgs args;
+    args.Set(arg::kQuantifier, int64_t{1});
+    args.Set(arg::kCols,
+             std::vector<ColumnRef>{Col("EMP", "DNO"), Col("EMP", "NAME"),
+                                    Col("EMP", "ADDRESS")});
+    args.Set(arg::kPreds, preds);
+    return factory_.Make(op::kAccess, flavor::kHeap, {}, std::move(args))
+        .ValueOrDie();
+  }
+
+  ResultSet Run(const PlanPtr& plan) {
+    auto rs = ExecutePlan(db_, query_, plan);
+    EXPECT_TRUE(rs.ok()) << rs.status().ToString();
+    return std::move(rs).value();
+  }
+
+  Catalog catalog_;
+  Database db_;
+  Query query_;
+  CostModel cost_model_;
+  OperatorRegistry registry_;
+  PlanFactory factory_;
+};
+
+TEST_F(ExecTest, HeapAccessProjectsAndFilters) {
+  ResultSet rs = Run(DeptScan());
+  EXPECT_EQ(rs.rows.size(), 2u);  // Haas runs DNO 0 and 2
+  for (const Tuple& t : rs.rows) {
+    EXPECT_EQ(t[1].AsString(), "Haas");
+  }
+}
+
+TEST_F(ExecTest, PredicateOnUnprojectedColumnWorks) {
+  // ACCESS retrieves only DNO/MGR but the predicate references BUDGET: the
+  // scan must still evaluate it against the base row.
+  int budget_pred =
+      const_cast<Query&>(query_)
+          .AddPredicate(Expr::Column(Col("DEPT", "BUDGET")), CompareOp::kEq,
+                        Expr::Literal(Datum(int64_t{100})))
+          .ValueOrDie();
+  ResultSet rs = Run(DeptScan(PredSet::Single(budget_pred)));
+  EXPECT_EQ(rs.rows.size(), 4u);
+}
+
+TEST_F(ExecTest, IndexAccessInKeyOrderWithGet) {
+  PlanPtr plan = EmpIndexGet(PredSet{});
+  ResultSet rs = Run(plan);
+  EXPECT_EQ(rs.rows.size(), 12u);
+  auto sorted = IsSorted(rs, {Col("EMP", "DNO")});
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_TRUE(sorted.value());
+  // GET appended NAME and ADDRESS.
+  EXPECT_EQ(rs.schema.size(), 4u);
+}
+
+TEST_F(ExecTest, SortOrdersStably) {
+  OpArgs args;
+  args.Set(arg::kOrder, std::vector<ColumnRef>{Col("EMP", "DNO")});
+  PlanPtr plan =
+      factory_.Make(op::kSort, "", {EmpScan()}, std::move(args)).ValueOrDie();
+  ResultSet rs = Run(plan);
+  auto sorted = IsSorted(rs, {Col("EMP", "DNO")});
+  EXPECT_TRUE(sorted.ValueOrDie());
+  // Stability: within DNO 0, ENOs 0,4,8 keep insertion order.
+  EXPECT_EQ(rs.rows[0][1].AsString(), "emp0");
+  EXPECT_EQ(rs.rows[1][1].AsString(), "emp4");
+  EXPECT_EQ(rs.rows[2][1].AsString(), "emp8");
+}
+
+TEST_F(ExecTest, NestedLoopWithSidewaysInformationPassing) {
+  // Inner: index probe on EMP.DNO with the *join* predicate pushed down —
+  // the probe value comes from the current DEPT tuple.
+  PlanPtr inner = EmpIndexGet(PredSet::Single(1));
+  OpArgs join;
+  join.Set(arg::kJoinPreds, PredSet::Single(1));
+  join.Set(arg::kResidualPreds, PredSet{});
+  PlanPtr plan =
+      factory_.Make(op::kJoin, flavor::kNL, {DeptScan(), inner}, join)
+          .ValueOrDie();
+  ResultSet rs = Run(plan);
+  // Haas depts 0,2 × 3 employees each.
+  EXPECT_EQ(rs.rows.size(), 6u);
+}
+
+TEST_F(ExecTest, MergeJoinMatchesNestedLoop) {
+  OpArgs sort_outer;
+  sort_outer.Set(arg::kOrder, std::vector<ColumnRef>{Col("DEPT", "DNO")});
+  PlanPtr outer =
+      factory_.Make(op::kSort, "", {DeptScan()}, std::move(sort_outer))
+          .ValueOrDie();
+  OpArgs sort_inner;
+  sort_inner.Set(arg::kOrder, std::vector<ColumnRef>{Col("EMP", "DNO")});
+  PlanPtr inner =
+      factory_.Make(op::kSort, "", {EmpScan()}, std::move(sort_inner))
+          .ValueOrDie();
+  OpArgs join;
+  join.Set(arg::kJoinPreds, PredSet::Single(1));
+  join.Set(arg::kResidualPreds, PredSet{});
+  PlanPtr mg =
+      factory_.Make(op::kJoin, flavor::kMG, {outer, inner}, join)
+          .ValueOrDie();
+  ResultSet rs = Run(mg);
+  EXPECT_EQ(rs.rows.size(), 6u);
+  // Output arrives in merge-key order.
+  auto sorted = IsSorted(rs, {Col("DEPT", "DNO")});
+  EXPECT_TRUE(sorted.ValueOrDie());
+}
+
+TEST_F(ExecTest, HashJoinMatchesAndSkipsNullKeys) {
+  // Add an employee with NULL DNO: it must not join with anything.
+  StoredTable* emp = db_.FindTable("EMP").ValueOrDie();
+  ASSERT_TRUE(emp->Insert({Datum(int64_t{99}), Datum::NullValue(),
+                           Datum(std::string("ghost")),
+                           Datum(std::string("nowhere")),
+                           Datum(int64_t{0})})
+                  .ok());
+  ASSERT_TRUE(db_.Finalize().ok());
+
+  OpArgs join;
+  join.Set(arg::kJoinPreds, PredSet::Single(1));
+  join.Set(arg::kResidualPreds, PredSet{});
+  PlanPtr ha =
+      factory_.Make(op::kJoin, flavor::kHA, {DeptScan(), EmpScan()}, join)
+          .ValueOrDie();
+  ResultSet rs = Run(ha);
+  EXPECT_EQ(rs.rows.size(), 6u);  // the NULL-DNO ghost matched nothing
+}
+
+TEST_F(ExecTest, StoreAndTempAccessRoundTrip) {
+  OpArgs store;
+  store.Set(arg::kTempName, std::string("t"));
+  PlanPtr stored =
+      factory_.Make(op::kStore, "", {EmpScan()}, std::move(store))
+          .ValueOrDie();
+  OpArgs probe;
+  probe.Set(arg::kPreds, PredSet::Single(1));  // correlated join pred
+  PlanPtr temp_access =
+      factory_.Make(op::kAccess, flavor::kTemp, {stored}, std::move(probe))
+          .ValueOrDie();
+  OpArgs join;
+  join.Set(arg::kJoinPreds, PredSet::Single(1));
+  join.Set(arg::kResidualPreds, PredSet{});
+  PlanPtr nl =
+      factory_.Make(op::kJoin, flavor::kNL, {DeptScan(), temp_access}, join)
+          .ValueOrDie();
+  ResultSet rs = Run(nl);
+  EXPECT_EQ(rs.rows.size(), 6u);
+}
+
+TEST_F(ExecTest, DynamicIndexProbeViaTempIndex) {
+  OpArgs store;
+  store.Set(arg::kTempName, std::string("tix"));
+  store.Set(arg::kIndexOn, std::vector<ColumnRef>{Col("EMP", "DNO")});
+  PlanPtr stored =
+      factory_.Make(op::kStore, "", {EmpScan()}, std::move(store))
+          .ValueOrDie();
+  OpArgs probe;
+  probe.Set(arg::kPreds, PredSet::Single(1));
+  PlanPtr temp_ix =
+      factory_.Make(op::kAccess, flavor::kTempIndex, {stored},
+                    std::move(probe))
+          .ValueOrDie();
+  OpArgs join;
+  join.Set(arg::kJoinPreds, PredSet::Single(1));
+  join.Set(arg::kResidualPreds, PredSet{});
+  PlanPtr nl =
+      factory_.Make(op::kJoin, flavor::kNL, {DeptScan(), temp_ix}, join)
+          .ValueOrDie();
+  ResultSet rs = Run(nl);
+  EXPECT_EQ(rs.rows.size(), 6u);
+}
+
+TEST_F(ExecTest, FilterAndShipAreStreamTransparent) {
+  OpArgs filter;
+  filter.Set(arg::kPreds, PredSet::Single(0));
+  PlanPtr filtered =
+      factory_.Make(op::kFilter, "",
+                    {DeptScan(PredSet{})}, std::move(filter))
+          .ValueOrDie();
+  ResultSet rs = Run(filtered);
+  EXPECT_EQ(rs.rows.size(), 2u);
+
+  OpArgs ship;
+  ship.Set(arg::kSite, int64_t{0});
+  PlanPtr shipped =
+      factory_.Make(op::kShip, "", {filtered}, std::move(ship)).ValueOrDie();
+  EXPECT_EQ(Run(shipped).rows.size(), 2u);
+}
+
+TEST_F(ExecTest, CustomOperatorThroughRegistry) {
+  // A DBC-registered "ECHO" operator that duplicates its input stream —
+  // exercising the §5 run-time-routine hook.
+  OperatorDef echo;
+  echo.name = "ECHO";
+  echo.min_inputs = 1;
+  echo.max_inputs = 1;
+  echo.property_fn = [](const OpContext& ctx) -> Result<PropertyVector> {
+    PropertyVector out = *ctx.inputs[0];
+    out.set_card(out.card() * 2);
+    return out;
+  };
+  ASSERT_TRUE(registry_.Register(std::move(echo)).ok());
+
+  ExecutorRegistry exec_registry;
+  ASSERT_TRUE(exec_registry
+                  .Register("ECHO",
+                            [](ExecContext& ctx) -> Result<std::vector<Tuple>> {
+                              auto rows = ctx.EvalInput(0);
+                              if (!rows.ok()) return rows;
+                              std::vector<Tuple> out = rows.value();
+                              out.insert(out.end(), rows.value().begin(),
+                                         rows.value().end());
+                              return out;
+                            })
+                  .ok());
+
+  PlanPtr plan =
+      factory_.Make("ECHO", "", {DeptScan()}, OpArgs{}).ValueOrDie();
+  auto rs = ExecutePlan(db_, query_, plan, &exec_registry);
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs.value().rows.size(), 4u);  // 2 Haas rows duplicated
+  // Without the registry the evaluator refuses politely.
+  auto missing = ExecutePlan(db_, query_, plan);
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(ExecTest, ProjectionAndCanonicalization) {
+  ResultSet rs = Run(EmpScan());
+  auto projected = ProjectResult(rs, {Col("EMP", "NAME")});
+  ASSERT_TRUE(projected.ok());
+  EXPECT_EQ(projected.value().schema.size(), 1u);
+  EXPECT_EQ(projected.value().rows.size(), 12u);
+  EXPECT_FALSE(ProjectResult(rs, {Col("DEPT", "DNO")}).ok());
+
+  std::vector<Tuple> rows = {{Datum(int64_t{2})}, {Datum(int64_t{1})}};
+  std::vector<Tuple> canon = CanonicalRows(rows);
+  EXPECT_EQ(canon[0][0].AsInt(), 1);
+}
+
+}  // namespace
+}  // namespace starburst

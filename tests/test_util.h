@@ -1,0 +1,64 @@
+#ifndef STARBURST_TESTS_TEST_UTIL_H_
+#define STARBURST_TESTS_TEST_UTIL_H_
+
+// Shared per-query harness for tests that drive the STAR engine, Glue, and
+// plan table directly (below the Optimizer facade).
+
+#include <memory>
+
+#include "cost/cost_model.h"
+#include "glue/glue.h"
+#include "optimizer/enumerator.h"
+#include "optimizer/plan_table.h"
+#include "properties/property_functions.h"
+#include "star/builtins.h"
+#include "star/default_rules.h"
+#include "star/engine.h"
+
+namespace starburst {
+
+class EngineHarness {
+ public:
+  EngineHarness(const Query& query, RuleSet rules,
+                EngineOptions engine_options = EngineOptions{},
+                CostParams cost_params = CostParams{})
+      : rules_(std::move(rules)), cost_model_(cost_params) {
+    if (!RegisterBuiltinOperators(&operators_).ok()) std::abort();
+    if (!RegisterBuiltinFunctions(&functions_).ok()) std::abort();
+    factory_ = std::make_unique<PlanFactory>(query, cost_model_, operators_);
+    engine_ = std::make_unique<StarEngine>(factory_.get(), &rules_,
+                                           &functions_, engine_options);
+    table_ = std::make_unique<PlanTable>(&cost_model_);
+    glue_ = std::make_unique<Glue>(engine_.get(), table_.get());
+    engine_->set_glue(glue_.get());
+  }
+
+  StarEngine& engine() { return *engine_; }
+  Glue& glue() { return *glue_; }
+  PlanTable& table() { return *table_; }
+  PlanFactory& factory() { return *factory_; }
+  const CostModel& cost_model() const { return cost_model_; }
+  RuleSet& rules() { return rules_; }
+  OperatorRegistry& operators() { return operators_; }
+  FunctionRegistry& functions() { return functions_; }
+
+  /// Runs the bottom-up enumeration (single-table plans + joins).
+  Status Enumerate() {
+    JoinEnumerator enumerator(engine_.get(), glue_.get(), table_.get());
+    return enumerator.Run();
+  }
+
+ private:
+  RuleSet rules_;
+  CostModel cost_model_;
+  OperatorRegistry operators_;
+  FunctionRegistry functions_;
+  std::unique_ptr<PlanFactory> factory_;
+  std::unique_ptr<StarEngine> engine_;
+  std::unique_ptr<PlanTable> table_;
+  std::unique_ptr<Glue> glue_;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_TESTS_TEST_UTIL_H_

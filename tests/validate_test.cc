@@ -1,0 +1,101 @@
+// Unit tests for plan well-formedness (plan/validate.h): predicates must be
+// evaluable where they sit, with nested-loop outers binding their tables for
+// the inner only.
+
+#include <gtest/gtest.h>
+
+#include "catalog/synthetic.h"
+#include "optimizer/optimizer.h"
+#include "plan/validate.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace starburst {
+namespace {
+
+class ValidateTest : public ::testing::Test {
+ protected:
+  ValidateTest()
+      : catalog_(MakePaperCatalog()),
+        query_(ParseSql(catalog_,
+                        "SELECT EMP.NAME FROM DEPT, EMP WHERE "
+                        "DEPT.MGR = 'Haas' AND DEPT.DNO = EMP.DNO")
+                   .ValueOrDie()),
+        harness_(query_, DefaultRuleSet()) {}
+
+  PlanPtr Access(int q, PredSet preds) {
+    const TableDef& t = query_.table_of(q);
+    ColumnSet needed = query_.ColumnsNeeded(q);
+    OpArgs args;
+    args.Set(arg::kQuantifier, static_cast<int64_t>(q));
+    args.Set(arg::kCols,
+             std::vector<ColumnRef>(needed.begin(), needed.end()));
+    args.Set(arg::kPreds, preds);
+    (void)t;
+    return harness_.factory()
+        .Make(op::kAccess, flavor::kHeap, {}, std::move(args))
+        .ValueOrDie();
+  }
+
+  PlanPtr Join(const char* flv, PlanPtr outer, PlanPtr inner,
+               PredSet join_preds) {
+    OpArgs args;
+    args.Set(arg::kJoinPreds, join_preds);
+    args.Set(arg::kResidualPreds, PredSet{});
+    return harness_.factory()
+        .Make(op::kJoin, flv, {std::move(outer), std::move(inner)},
+              std::move(args))
+        .ValueOrDie();
+  }
+
+  Catalog catalog_;
+  Query query_;
+  EngineHarness harness_;
+};
+
+TEST_F(ValidateTest, WellFormedNestedLoopPasses) {
+  // Correlated predicate (DEPT.DNO = EMP.DNO) inside the inner: legal, the
+  // outer binds DEPT.
+  PlanPtr plan = Join(flavor::kNL, Access(0, PredSet::Single(0)),
+                      Access(1, PredSet::Single(1)), PredSet::Single(1));
+  EXPECT_TRUE(ValidatePlan(*plan, query_).ok());
+}
+
+TEST_F(ValidateTest, CorrelatedPredicateInOuterIsRejected) {
+  // The same correlated access on the OUTER side has nothing binding DEPT.
+  PlanPtr plan = Join(flavor::kNL, Access(1, PredSet::Single(1)),
+                      Access(0, PredSet::Single(0)), PredSet{});
+  Status st = ValidatePlan(*plan, query_);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("outside its scope"), std::string::npos);
+}
+
+TEST_F(ValidateTest, StandaloneCorrelatedAccessIsRejected) {
+  PlanPtr plan = Access(1, PredSet::Single(1));  // references DEPT, unbound
+  EXPECT_FALSE(ValidatePlan(*plan, query_).ok());
+}
+
+TEST_F(ValidateTest, EveryOptimizerPlanIsWellFormed) {
+  // The STAR engine produces well-formed plans by construction; check the
+  // whole final frontier on a query that exercises temps and probes.
+  DefaultRuleOptions opts;
+  opts.hash_join = opts.dynamic_index = opts.forced_projection = true;
+  Optimizer optimizer(DefaultRuleSet(opts));
+  auto result = optimizer.Optimize(query_).ValueOrDie();
+  for (const PlanPtr& p : result.final_plans) {
+    EXPECT_TRUE(ValidatePlan(*p, query_).ok());
+  }
+}
+
+TEST_F(ValidateTest, RootMustCoverItsPredicates) {
+  // A plan whose root PREDS mention tables it does not produce is rejected
+  // even if each node individually looks fine under some binding. The
+  // correlated single-table access *is* such a root.
+  PlanPtr inner = Access(1, PredSet::Single(1));
+  Status st = ValidatePlan(*inner, query_);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("does not produce"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace starburst
