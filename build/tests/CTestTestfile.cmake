@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/dsl_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/catalog_test[1]_include.cmake")
+include("/root/repo/build/tests/query_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/cost_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_exec_test[1]_include.cmake")
+include("/root/repo/build/tests/star_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/glue_test[1]_include.cmake")
+include("/root/repo/build/tests/plan_table_test[1]_include.cmake")
+include("/root/repo/build/tests/optimizer_property_test[1]_include.cmake")
+include("/root/repo/build/tests/extensibility_test[1]_include.cmake")
+include("/root/repo/build/tests/access_strategies_test[1]_include.cmake")
+include("/root/repo/build/tests/filtration_test[1]_include.cmake")
+include("/root/repo/build/tests/dsl_printer_test[1]_include.cmake")
+include("/root/repo/build/tests/validate_test[1]_include.cmake")
+include("/root/repo/build/tests/explain_test[1]_include.cmake")
+include("/root/repo/build/tests/enumerator_test[1]_include.cmake")
+include("/root/repo/build/tests/sharing_test[1]_include.cmake")
+include("/root/repo/build/tests/executor_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/builtins_test[1]_include.cmake")
