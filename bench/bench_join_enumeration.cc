@@ -188,11 +188,14 @@ void BM_Enumeration(benchmark::State& state) {
   OptimizerOptions opts;
   opts.engine.allow_composite_inner = composite;
   Optimizer optimizer(DefaultRuleSet(), opts);
+  OptimizeResult last;
   for (auto _ : state) {
     auto r = optimizer.Optimize(query);
     if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
-    benchmark::DoNotOptimize(r);
+    last = std::move(r).value();
+    benchmark::DoNotOptimize(last);
   }
+  bench::RecordOptimizerEffort(state, last);
 }
 BENCHMARK(BM_Enumeration)
     ->ArgsProduct({{3, 4, 5, 6, 7, 8}, {0, 1}})

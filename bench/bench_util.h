@@ -5,10 +5,13 @@
 // binary first prints the reproduced paper artifact (figure or claim table)
 // and then runs google-benchmark timings for the mechanism involved.
 
+#include <benchmark/benchmark.h>
+
 #include <cstdio>
 #include <string>
 
 #include "catalog/synthetic.h"
+#include "obs/metrics.h"
 #include "optimizer/optimizer.h"
 #include "sql/parser.h"
 #include "star/default_rules.h"
@@ -48,6 +51,38 @@ inline DefaultRuleOptions FullRepertoire() {
   o.index_and = true;
   o.bloomjoin = true;
   return o;
+}
+
+/// Attaches the optimizer-effort counters of `r` to the benchmark state, so
+/// `--benchmark_out=BENCH_*.json` gains per-benchmark optimizer-effort
+/// columns next to the timings (counters land in each run's JSON record).
+inline void RecordOptimizerEffort(benchmark::State& state,
+                                  const OptimizeResult& r) {
+  state.counters["star_refs"] =
+      static_cast<double>(r.engine_metrics.star_refs);
+  state.counters["alternatives_considered"] =
+      static_cast<double>(r.engine_metrics.alternatives_considered);
+  state.counters["plans_built"] =
+      static_cast<double>(r.engine_metrics.plans_built);
+  state.counters["glue_calls"] =
+      static_cast<double>(r.glue_metrics.calls);
+  state.counters["veneers_added"] =
+      static_cast<double>(r.glue_metrics.veneers_added);
+  state.counters["plans_pruned"] =
+      static_cast<double>(r.table_stats.pruned_dominated +
+                          r.table_stats.evicted_dominated);
+  state.counters["plans_in_table"] = static_cast<double>(r.plans_in_table);
+  state.counters["plan_nodes_created"] =
+      static_cast<double>(r.plan_nodes_created);
+  state.counters["join_root_refs"] =
+      static_cast<double>(r.enumerator_stats.join_root_refs);
+}
+
+/// Dumps a metrics-registry snapshot as JSON to stdout (one line, prefixed),
+/// for harnesses that scrape bench output rather than --benchmark_out.
+inline void PrintMetricsJson(const MetricsRegistry& metrics,
+                             const char* tag) {
+  std::printf("METRICS_JSON %s %s\n", tag, metrics.ToJson().c_str());
 }
 
 inline void PrintHeader(const char* experiment, const char* claim) {

@@ -7,13 +7,17 @@
 // Commands:
 //   <sql>                 optimize, explain, execute
 //   \explain <sql>        optimize + explain only
+//   \analyze <sql>        EXPLAIN ANALYZE: execute and show actual vs
+//                         estimated rows (with q-error) per operator
+//   \trace on|off         record the rule-firing trace of each query
+//   \trace [json]         show the last trace (text tree or Chrome JSON)
 //   \rules                list the STARs in the live rule base
 //   \show <star>          pretty-print one STAR in the rule DSL
 //   \enable <strategy>    hash_join | forced_projection | dynamic_index |
 //                         bloomjoin | tid_sort | index_and
 //   \load <file>          load/replace STARs from a rule file
 //   \catalog              list tables, columns, indexes, sites
-//   \metrics              optimizer effort counters of the last query
+//   \metrics              optimizer effort counters + metrics registry
 //   \help, \quit
 
 #include <cstdio>
@@ -23,6 +27,8 @@
 
 #include "catalog/synthetic.h"
 #include "exec/evaluator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optimizer/optimizer.h"
 #include "plan/explain.h"
 #include "sql/parser.h"
@@ -63,60 +69,95 @@ void PrintHelp() {
   std::printf(
       "  <sql>               optimize, explain, and execute a query\n"
       "  \\explain <sql>      optimize and explain only\n"
+      "  \\analyze <sql>      execute and show actual vs estimated rows\n"
+      "  \\trace on|off       record a rule-firing trace per query\n"
+      "  \\trace [json]       show the last trace (tree, or Chrome JSON)\n"
       "  \\rules              list the STARs of the live rule base\n"
       "  \\show <star>        pretty-print one STAR\n"
       "  \\enable <strategy>  hash_join, forced_projection, dynamic_index,\n"
       "                      bloomjoin, tid_sort, index_and\n"
       "  \\load <file>        load/replace STARs from a rule file\n"
       "  \\catalog            show tables and indexes\n"
-      "  \\metrics            effort counters of the last optimization\n"
+      "  \\metrics            effort counters + metrics registry snapshot\n"
       "  \\quit               exit\n");
 }
 
 struct Shell {
   Catalog catalog;
   Database db;
+  Tracer tracer;
+  MetricsRegistry metrics;
   Optimizer optimizer;
   OptimizeResult last;
 
   Shell()
       : catalog(MakePaperCatalog()),
         db(catalog),
-        optimizer(DefaultRuleSet()) {
+        optimizer(DefaultRuleSet(), MakeOptions(&tracer, &metrics)) {
     Status st = PopulatePaperDatabase(&db, /*seed=*/42, /*scale=*/0.02);
     if (!st.ok()) {
       std::fprintf(stderr, "datagen: %s\n", st.ToString().c_str());
     }
   }
 
-  void RunSql(const std::string& sql, bool execute) {
-    auto query = ParseSql(catalog, sql);
-    if (!query.ok()) {
-      std::printf("parse error: %s\n", query.status().ToString().c_str());
+  static OptimizerOptions MakeOptions(Tracer* tracer,
+                                      MetricsRegistry* metrics) {
+    OptimizerOptions opts;
+    opts.tracer = tracer;
+    opts.metrics = metrics;
+    return opts;
+  }
+
+  void RunSql(const std::string& sql, bool execute, bool analyze = false) {
+    tracer.Clear();
+    ScopedTimer parse_timer(&metrics, "optimizer.phase.parse");
+    auto parsed = ParseSql(catalog, sql);
+    parse_timer.Stop();
+    if (!parsed.ok()) {
+      std::printf("parse error: %s\n", parsed.status().ToString().c_str());
       return;
     }
-    auto result = optimizer.Optimize(query.value());
+    const Query& query = parsed.value();
+    auto result = optimizer.Optimize(query);
     if (!result.ok()) {
       std::printf("optimizer error: %s\n",
                   result.status().ToString().c_str());
       return;
     }
     last = std::move(result).value();
-    std::printf("plan (cost %.1f, %zu alternatives kept):\n%s", last.total_cost,
-                last.final_plans.size(),
-                ExplainPlan(*last.best, query.value()).c_str());
+    if (!analyze) {
+      std::printf("plan (cost %.1f, %zu alternatives kept):\n%s",
+                  last.total_cost, last.final_plans.size(),
+                  ExplainPlan(*last.best, query).c_str());
+    }
     if (!execute) return;
-    auto rs = ExecutePlan(db, query.value(), last.best);
+    PlanRunStats run_stats;
+    ScopedTimer exec_timer(&metrics, "exec.run");
+    auto rs = analyze
+                  ? ExecutePlanAnalyzed(db, query, last.best, &run_stats)
+                  : ExecutePlan(db, query, last.best);
+    exec_timer.Stop();
     if (!rs.ok()) {
       std::printf("executor error: %s\n", rs.status().ToString().c_str());
       return;
     }
-    auto shown = ProjectResult(rs.value(), query.value().select_list());
+    metrics.AddCounter("exec.rows_returned",
+                       static_cast<int64_t>(rs.value().rows.size()));
+    if (analyze) {
+      ExplainOptions opts;
+      opts.analyze = true;
+      opts.run_stats = &run_stats;
+      std::printf("plan (cost %.1f) with actuals:\n%s", last.total_cost,
+                  ExplainPlan(*last.best, query, opts).c_str());
+      std::printf("(%zu row(s))\n", rs.value().rows.size());
+      return;
+    }
+    auto shown = ProjectResult(rs.value(), query.select_list());
     if (!shown.ok()) {
       std::printf("%s\n", shown.status().ToString().c_str());
       return;
     }
-    std::printf("%s", FormatResult(shown.value(), query.value(), 12).c_str());
+    std::printf("%s", FormatResult(shown.value(), query, 12).c_str());
   }
 
   void Enable(const std::string& strategy) {
@@ -177,11 +218,29 @@ struct Shell {
       std::printf("%s\n", st.ok() ? "loaded" : st.ToString().c_str());
     } else if (cmd == "\\explain") {
       RunSql(rest, /*execute=*/false);
+    } else if (cmd == "\\analyze") {
+      RunSql(rest, /*execute=*/true, /*analyze=*/true);
+    } else if (cmd == "\\trace") {
+      if (rest == "on") {
+        tracer.set_enabled(true);
+        std::printf("tracing on — run a query, then \\trace to view\n");
+      } else if (rest == "off") {
+        tracer.set_enabled(false);
+      } else if (rest == "json") {
+        std::printf("%s\n", tracer.ToChromeJson().c_str());
+      } else if (tracer.events().empty()) {
+        std::printf("no trace recorded (\\trace on, then run a query)\n");
+      } else {
+        std::printf("%s", tracer.ToText().c_str());
+      }
     } else if (cmd == "\\metrics") {
-      std::printf("engine: %s\nglue:   %s\ntable:  %s\n",
+      std::printf("engine: %s\nglue:   %s\ntable:  %s\nenum:   %s\n",
                   last.engine_metrics.ToString().c_str(),
                   last.glue_metrics.ToString().c_str(),
-                  last.table_stats.ToString().c_str());
+                  last.table_stats.ToString().c_str(),
+                  last.enumerator_stats.ToString().c_str());
+      std::printf("registry (cumulative):\n%s",
+                  metrics.TakeSnapshot().ToText().c_str());
     } else {
       std::printf("unknown command %s (try \\help)\n", cmd.c_str());
     }

@@ -10,7 +10,7 @@ namespace starburst {
 /// Options for the synthetic star/chain-schema catalog generator used by the
 /// benchmarks (the paper evaluated against R*'s catalogs, which we do not
 /// have; a seeded generator with System-R-style statistics is the documented
-/// substitute — see DESIGN.md §6).
+/// substitute — see DESIGN.md §7).
 struct SyntheticCatalogOptions {
   int num_tables = 4;
   /// Rows in table i are drawn log-uniformly from [min_rows, max_rows].

@@ -31,6 +31,15 @@ Result<ResultSet> ExecutePlan(const Database& db, const Query& query,
   return exec.Run(plan);
 }
 
+Result<ResultSet> ExecutePlanAnalyzed(const Database& db, const Query& query,
+                                      const PlanPtr& plan,
+                                      PlanRunStats* stats,
+                                      const ExecutorRegistry* registry) {
+  Executor exec(db, query, registry);
+  exec.set_run_stats(stats);
+  return exec.Run(plan);
+}
+
 Result<ResultSet> ProjectResult(const ResultSet& rs,
                                 const std::vector<ColumnRef>& cols) {
   std::vector<int> slots;

@@ -10,6 +10,14 @@ Result<ResultSet> ExecutePlan(const Database& db, const Query& query,
                               const PlanPtr& plan,
                               const ExecutorRegistry* registry = nullptr);
 
+/// EXPLAIN ANALYZE: like ExecutePlan, but also collects per-node actuals
+/// into `stats` for rendering via ExplainOptions::analyze.
+Result<ResultSet> ExecutePlanAnalyzed(const Database& db, const Query& query,
+                                      const PlanPtr& plan,
+                                      PlanRunStats* stats,
+                                      const ExecutorRegistry* registry =
+                                          nullptr);
+
 /// Reorders/projects the result's columns to `cols` (e.g. the query's select
 /// list), so results from structurally different plans become comparable.
 Result<ResultSet> ProjectResult(const ResultSet& rs,

@@ -1,6 +1,7 @@
 #include "exec/executor.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "storage/index.h"
 
@@ -247,6 +248,23 @@ Result<ResultSet> Executor::Run(const PlanPtr& plan) {
 }
 
 Result<std::vector<Tuple>> Executor::Eval(const PlanOp& node) {
+  if (run_stats_ == nullptr) return EvalNode(node);
+  // EXPLAIN ANALYZE: time each logical invocation (a cache hit is still an
+  // invocation — it is how often the stream was consumed) and accumulate
+  // rows produced. Wall time is inclusive of inputs, like the `actual
+  // time` column of most systems' EXPLAIN ANALYZE.
+  auto start = std::chrono::steady_clock::now();
+  auto rows = EvalNode(node);
+  OpRunStats& s = (*run_stats_)[&node];
+  ++s.invocations;
+  s.wall_micros += std::chrono::duration<double, std::micro>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  if (rows.ok()) s.rows += static_cast<int64_t>(rows.value().size());
+  return rows;
+}
+
+Result<std::vector<Tuple>> Executor::EvalNode(const PlanOp& node) {
   auto cached = material_cache_.find(&node);
   if (cached != material_cache_.end()) return cached->second;
 

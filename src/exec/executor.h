@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "plan/explain.h"
 #include "plan/plan.h"
 #include "query/query.h"
 #include "storage/table.h"
@@ -85,6 +86,10 @@ class Executor {
   /// The output layout of `plan` without running it.
   Result<Schema> SchemaOf(const PlanOp& plan);
 
+  /// Collect per-node actuals (EXPLAIN ANALYZE) into `stats` during Run.
+  /// Null (the default) disables collection and its timing overhead.
+  void set_run_stats(PlanRunStats* stats) { run_stats_ = stats; }
+
  private:
   friend class ExecContext;
 
@@ -94,6 +99,7 @@ class Executor {
   };
 
   Result<std::vector<Tuple>> Eval(const PlanOp& node);
+  Result<std::vector<Tuple>> EvalNode(const PlanOp& node);
 
   /// Resolves a column against (schema, tuple), then enclosing NL frames,
   /// then — during base-table scans — the current base row.
@@ -124,6 +130,7 @@ class Executor {
   const Database* db_;
   const Query* query_;
   const ExecutorRegistry* registry_;
+  PlanRunStats* run_stats_ = nullptr;
 
   std::vector<Frame> env_;
   // Cached materializations of uncorrelated subplans (NL inners, temps).

@@ -1,6 +1,8 @@
 #include "glue/glue.h"
 
 #include "cost/cost_model.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/query.h"
 
 namespace starburst {
@@ -11,6 +13,15 @@ std::string Glue::Metrics::ToString() const {
          " root_refs=" + std::to_string(root_references) +
          " veneers=" + std::to_string(veneers_added) +
          " skipped=" + std::to_string(plans_skipped) + "}";
+}
+
+void Glue::Metrics::Publish(MetricsRegistry* registry) const {
+  if (registry == nullptr) return;
+  registry->AddCounter("glue.calls", calls);
+  registry->AddCounter("glue.base_hits", base_hits);
+  registry->AddCounter("glue.root_references", root_references);
+  registry->AddCounter("glue.veneers_added", veneers_added);
+  registry->AddCounter("glue.plans_skipped", plans_skipped);
 }
 
 namespace {
@@ -171,6 +182,11 @@ Result<PlanPtr> Glue::Augment(PlanPtr plan, const StreamSpec& spec) {
 Result<SAP> Glue::Resolve(const StreamSpec& spec) {
   ++metrics_.calls;
   const Query& query = engine_->query();
+  std::string label;
+  if (ShouldTrace(tracer_)) label = "Resolve " + spec.ToString(&query);
+  TraceSpan span(tracer_, TraceKind::kGlue, label);
+  const int64_t veneers_before = metrics_.veneers_added;
+  const int64_t skipped_before = metrics_.plans_skipped;
 
   // Correlated predicates cannot be frozen into a temp; keep them out of the
   // base plans when the stream will be materialized.
@@ -204,6 +220,14 @@ Result<SAP> Glue::Resolve(const StreamSpec& spec) {
   if (!engine_->options().glue_return_all && out.size() > 1) {
     PlanPtr best = CheapestPlan(out, cost_model);
     out = SAP{std::move(best)};
+  }
+  if (span.active()) {
+    span.set_detail(
+        std::to_string(out.size()) + " plan(s), " +
+        std::to_string(metrics_.veneers_added - veneers_before) +
+        " veneer op(s), " +
+        std::to_string(metrics_.plans_skipped - skipped_before) +
+        " rejected");
   }
   return out;
 }

@@ -9,6 +9,8 @@
 namespace starburst {
 
 class Query;
+class MetricsRegistry;
+class Tracer;
 
 /// The paper's Glue mechanism (§3.2): given a stream spec with accumulated
 /// required properties, it
@@ -28,6 +30,8 @@ class Glue : public GlueInterface {
     int64_t plans_skipped = 0;    ///< candidates that could not be augmented
 
     std::string ToString() const;
+    /// Publishes the counters into `registry` under the `glue.` prefix.
+    void Publish(MetricsRegistry* registry) const;
   };
 
   Glue(StarEngine* engine, PlanTable* table,
@@ -37,6 +41,8 @@ class Glue : public GlueInterface {
   Result<SAP> Resolve(const StreamSpec& spec) override;
 
   Metrics& metrics() { return metrics_; }
+  /// Attach a tracer to record Resolve spans (null = off).
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
 
  private:
   /// Plans for the spec's relational content before any veneer: plan-table
@@ -54,6 +60,7 @@ class Glue : public GlueInterface {
 
   StarEngine* engine_;
   PlanTable* table_;
+  Tracer* tracer_ = nullptr;
   std::string access_root_;
   Metrics metrics_;
   int temp_counter_ = 0;

@@ -1,0 +1,190 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "obs/trace.h"
+
+namespace starburst {
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram
+// ---------------------------------------------------------------------------
+
+int LatencyHistogram::BucketOf(double micros) {
+  if (!(micros > 1.0)) return 0;  // also catches NaN
+  // Bucket index = log2(micros) * kSubBuckets, capped to the table.
+  int b = static_cast<int>(std::log2(micros) * kSubBuckets);
+  return std::min(b, kNumBuckets - 1);
+}
+
+double LatencyHistogram::BucketLowerBound(int bucket) {
+  return std::exp2(static_cast<double>(bucket) / kSubBuckets);
+}
+
+void LatencyHistogram::Record(double micros) {
+  if (micros < 0.0 || std::isnan(micros)) micros = 0.0;
+  ++buckets_[static_cast<size_t>(BucketOf(micros))];
+  ++count_;
+  sum_ += micros;
+  if (count_ == 1 || micros < min_) min_ = micros;
+  if (micros > max_) max_ = micros;
+}
+
+double LatencyHistogram::Percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the requested observation (1-based, nearest-rank).
+  int64_t rank = static_cast<int64_t>(std::ceil(q * static_cast<double>(count_)));
+  rank = std::max<int64_t>(rank, 1);
+  int64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    int64_t in_bucket = buckets_[static_cast<size_t>(b)];
+    if (in_bucket == 0) continue;
+    if (seen + in_bucket >= rank) {
+      // Interpolate within the bucket; clamp to the observed extremes so a
+      // single-value histogram reports that exact value.
+      double lo = b == 0 ? 0.0 : BucketLowerBound(b);
+      double hi = BucketLowerBound(b + 1);
+      double frac = static_cast<double>(rank - seen) /
+                    static_cast<double>(in_bucket);
+      double v = lo + (hi - lo) * frac;
+      return std::clamp(v, min(), max());
+    }
+    seen += in_bucket;
+  }
+  return max_;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+void MetricsRegistry::AddCounter(const std::string& name, int64_t delta) {
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::SetGauge(const std::string& name, double value) {
+  gauges_[name] = value;
+}
+
+void MetricsRegistry::RecordLatency(const std::string& name, double micros) {
+  histograms_[name].Record(micros);
+}
+
+int64_t MetricsRegistry::counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::gauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+const LatencyHistogram* MetricsRegistry::histogram(
+    const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
+  Snapshot snap;
+  snap.counters = counters_;
+  snap.gauges = gauges_;
+  for (const auto& [name, h] : histograms_) {
+    Snapshot::HistogramStats s;
+    s.count = h.count();
+    s.sum = h.sum();
+    s.min = h.min();
+    s.max = h.max();
+    s.p50 = h.Percentile(0.50);
+    s.p95 = h.Percentile(0.95);
+    s.p99 = h.Percentile(0.99);
+    snap.histograms[name] = s;
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+namespace {
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::Snapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":" + std::to_string(v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":" + JsonNumber(v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":{\"count\":" +
+           std::to_string(h.count) + ",\"sum\":" + JsonNumber(h.sum) +
+           ",\"min\":" + JsonNumber(h.min) + ",\"max\":" + JsonNumber(h.max) +
+           ",\"p50\":" + JsonNumber(h.p50) + ",\"p95\":" + JsonNumber(h.p95) +
+           ",\"p99\":" + JsonNumber(h.p99) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MetricsRegistry::Snapshot::ToText() const {
+  std::string out;
+  char buf[160];
+  for (const auto& [name, v] : counters) {
+    std::snprintf(buf, sizeof(buf), "  %-40s %12lld\n", name.c_str(),
+                  static_cast<long long>(v));
+    out += buf;
+  }
+  for (const auto& [name, v] : gauges) {
+    std::snprintf(buf, sizeof(buf), "  %-40s %12.2f\n", name.c_str(), v);
+    out += buf;
+  }
+  for (const auto& [name, h] : histograms) {
+    std::snprintf(buf, sizeof(buf),
+                  "  %-40s n=%lld p50=%.0fus p95=%.0fus p99=%.0fus "
+                  "max=%.0fus\n",
+                  name.c_str(), static_cast<long long>(h.count), h.p50, h.p95,
+                  h.p99, h.max);
+    out += buf;
+  }
+  return out;
+}
+
+void ScopedTimer::Stop() {
+  if (registry_ == nullptr) return;
+  double us = std::chrono::duration<double, std::micro>(
+                  std::chrono::steady_clock::now() - start_)
+                  .count();
+  registry_->RecordLatency(name_, us);
+  registry_->SetGauge(name_ + ".last_us", us);
+  registry_ = nullptr;
+}
+
+}  // namespace starburst

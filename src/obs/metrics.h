@@ -1,0 +1,121 @@
+#ifndef STARBURST_OBS_METRICS_H_
+#define STARBURST_OBS_METRICS_H_
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace starburst {
+
+/// Log-scale latency histogram: 4 sub-buckets per power of two covers
+/// [1us, ~4.3e9us] with <= ~19% relative bucket width, which is plenty for
+/// p50/p95/p99 over optimizer phases. Recording is two comparisons, a
+/// bit-scan, and an increment.
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBuckets = 4;       ///< buckets per doubling
+  static constexpr int kNumBuckets = 32 * kSubBuckets;
+
+  void Record(double micros);
+
+  int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return max_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+
+  /// Value at quantile `q` in [0,1], interpolated inside the bucket.
+  /// Accuracy is bounded by the bucket width (~19% relative).
+  double Percentile(double q) const;
+
+  void Reset() { *this = LatencyHistogram{}; }
+
+ private:
+  static int BucketOf(double micros);
+  static double BucketLowerBound(int bucket);
+
+  std::array<int64_t, kNumBuckets> buckets_{};
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// One registry instance holds every named observable of a component (or of
+/// the whole process): monotonic counters, point-in-time gauges, and latency
+/// histograms. Names are dot-scoped by subsystem — `star.refs`,
+/// `glue.veneers_added`, `plan_table.pruned_dominated`,
+/// `optimizer.phase.enumeration` — so a snapshot reads like a tree.
+class MetricsRegistry {
+ public:
+  /// Adds `delta` to the named counter (creating it at zero).
+  void AddCounter(const std::string& name, int64_t delta);
+  /// Sets the named gauge.
+  void SetGauge(const std::string& name, double value);
+  /// Records one latency observation into the named histogram.
+  void RecordLatency(const std::string& name, double micros);
+
+  int64_t counter(const std::string& name) const;
+  double gauge(const std::string& name) const;
+  const LatencyHistogram* histogram(const std::string& name) const;
+
+  /// A consistent copy of everything the registry holds.
+  struct Snapshot {
+    struct HistogramStats {
+      int64_t count = 0;
+      double sum = 0.0;
+      double min = 0.0;
+      double max = 0.0;
+      double p50 = 0.0;
+      double p95 = 0.0;
+      double p99 = 0.0;
+    };
+    std::map<std::string, int64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistogramStats> histograms;
+
+    /// {"counters":{...},"gauges":{...},"histograms":{name:{count,...}}}
+    std::string ToJson() const;
+    /// Aligned human-readable listing for the shell's \metrics command.
+    std::string ToText() const;
+  };
+  Snapshot TakeSnapshot() const;
+
+  /// JSON of a fresh snapshot (convenience for benches and the shell).
+  std::string ToJson() const { return TakeSnapshot().ToJson(); }
+
+  void Reset();
+
+ private:
+  std::map<std::string, int64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, LatencyHistogram> histograms_;
+};
+
+/// Times a scope and records the elapsed microseconds into a registry
+/// histogram (and, for at-a-glance reads, a same-named `.last_us` gauge).
+/// Null registry = no-op.
+class ScopedTimer {
+ public:
+  ScopedTimer(MetricsRegistry* registry, std::string name)
+      : registry_(registry), name_(std::move(name)) {
+    if (registry_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() { Stop(); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Records now rather than at scope exit (idempotent).
+  void Stop();
+
+ private:
+  MetricsRegistry* registry_;
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_OBS_METRICS_H_

@@ -1,0 +1,135 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace starburst {
+
+const char* TraceKindName(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kStar:
+      return "star";
+    case TraceKind::kAlternative:
+      return "alt";
+    case TraceKind::kCondition:
+      return "cond";
+    case TraceKind::kOp:
+      return "op";
+    case TraceKind::kGlue:
+      return "glue";
+    case TraceKind::kPlanTable:
+      return "plan_table";
+    case TraceKind::kEnumerator:
+      return "enum";
+    case TraceKind::kPhase:
+      return "phase";
+    case TraceKind::kExec:
+      return "exec";
+  }
+  return "?";
+}
+
+size_t Tracer::BeginSpan(TraceKind kind, std::string label) {
+  TraceEvent ev;
+  ev.kind = kind;
+  ev.label = std::move(label);
+  ev.depth = depth_++;
+  ev.start_us = NowMicros();
+  ev.dur_us = -1;  // open; stamped by EndSpan
+  events_.push_back(std::move(ev));
+  return events_.size() - 1;
+}
+
+void Tracer::EndSpan(size_t index, std::string detail) {
+  --depth_;
+  if (index >= events_.size()) return;  // span opened before a Clear()
+  TraceEvent& ev = events_[index];
+  ev.dur_us = NowMicros() - ev.start_us;
+  if (!detail.empty()) ev.detail = std::move(detail);
+}
+
+void Tracer::Instant(TraceKind kind, std::string label, std::string detail) {
+  TraceEvent ev;
+  ev.kind = kind;
+  ev.label = std::move(label);
+  ev.detail = std::move(detail);
+  ev.depth = depth_;
+  ev.start_us = NowMicros();
+  ev.dur_us = 0;
+  events_.push_back(std::move(ev));
+}
+
+std::string Tracer::ToText() const {
+  std::string out;
+  for (const TraceEvent& ev : events_) {
+    out.append(static_cast<size_t>(ev.depth) * 2, ' ');
+    out += TraceKindName(ev.kind);
+    out += ' ';
+    out += ev.label;
+    if (!ev.detail.empty()) {
+      out += "  -> ";
+      out += ev.detail;
+    }
+    if (ev.dur_us > 0) {
+      out += "  (" + std::to_string(ev.dur_us) + "us)";
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string Tracer::ToChromeJson() const {
+  // Chrome trace-event format: complete events ("ph":"X") carry their own
+  // duration, so nesting is reconstructed by the viewer from time overlap.
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& ev : events_) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + JsonEscape(ev.label) + "\",\"cat\":\"" +
+           TraceKindName(ev.kind) + "\",\"ph\":\"X\",\"ts\":" +
+           std::to_string(ev.start_us) + ",\"dur\":" +
+           std::to_string(ev.dur_us < 0 ? 0 : ev.dur_us) +
+           ",\"pid\":1,\"tid\":1";
+    if (!ev.detail.empty()) {
+      out += ",\"args\":{\"detail\":\"" + JsonEscape(ev.detail) + "\"}";
+    }
+    out += "}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+}  // namespace starburst

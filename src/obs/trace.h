@@ -1,0 +1,143 @@
+#ifndef STARBURST_OBS_TRACE_H_
+#define STARBURST_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace starburst {
+
+/// What part of the optimizer emitted a trace event. The kinds mirror the
+/// stages of one optimization run: STAR interpretation, Glue resolution,
+/// plan-table pruning, join enumeration, the optimizer's coarse phases, and
+/// executor activity during EXPLAIN ANALYZE.
+enum class TraceKind {
+  kStar,         ///< a STAR reference being expanded
+  kAlternative,  ///< one alternative definition of a STAR tried
+  kCondition,    ///< an alternative's condition evaluated (detail: outcome)
+  kOp,           ///< a LOLEPOP reference mapped over its input SAPs
+  kGlue,         ///< a Glue::Resolve call (detail: requirements, veneers)
+  kPlanTable,    ///< a prune/keep/evict decision (detail: dominating plan)
+  kEnumerator,   ///< a join-enumeration subset or JoinRoot reference
+  kPhase,        ///< a coarse optimizer phase (enumeration, glue, costing)
+  kExec,         ///< executor-side activity
+};
+
+const char* TraceKindName(TraceKind kind);
+
+/// One node of the rule-firing trace. Spans (`dur_us >= 0`) nest by `depth`;
+/// instants carry `dur_us == 0` and sit at the depth they were emitted.
+struct TraceEvent {
+  TraceKind kind;
+  std::string label;   ///< e.g. the STAR name, "Resolve", "prune"
+  std::string detail;  ///< outcome summary filled when the span closes
+  int depth = 0;
+  int64_t start_us = 0;  ///< microseconds since the tracer's epoch
+  int64_t dur_us = 0;
+};
+
+/// Low-overhead span tracer for one optimization (or execution) run. A
+/// disabled tracer costs one predictable branch per instrumentation point;
+/// instrumented code must only build labels/details after checking
+/// `ShouldTrace(tracer)` (the RAII TraceSpan does this for you).
+///
+/// Render with ToText() (indented rule-firing tree) or ToChromeJson()
+/// (Chrome trace-event format, loadable in chrome://tracing and Perfetto).
+class Tracer {
+ public:
+  Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  /// Drops recorded events and restarts the clock (depth is preserved so a
+  /// Clear mid-span stays balanced).
+  void Clear() {
+    events_.clear();
+    epoch_ = std::chrono::steady_clock::now();
+  }
+
+  /// Opens a span and returns its event index (pass to EndSpan).
+  size_t BeginSpan(TraceKind kind, std::string label);
+  /// Closes the span, stamping its duration and outcome detail.
+  void EndSpan(size_t index, std::string detail = "");
+  /// Records a zero-duration event at the current nesting depth.
+  void Instant(TraceKind kind, std::string label, std::string detail = "");
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// The indented rule-firing tree, e.g.:
+  ///   star AccessRoot  (2 plans, 312us)
+  ///     alt 'scan'  (1 plan)
+  ///     cond 'HasIndex' -> true
+  std::string ToText() const;
+
+  /// Chrome trace-event JSON ("traceEvents" array of complete events).
+  std::string ToChromeJson() const;
+
+  int64_t NowMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+ private:
+  bool enabled_ = false;
+  int depth_ = 0;
+  std::vector<TraceEvent> events_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// True if instrumentation should pay the cost of building labels.
+inline bool ShouldTrace(const Tracer* tracer) {
+  return tracer != nullptr && tracer->enabled();
+}
+
+/// RAII span: no-op unless the tracer is live. `set_detail` lazily records
+/// the outcome that is only known when the span closes.
+class TraceSpan {
+ public:
+  TraceSpan(Tracer* tracer, TraceKind kind, const std::string& label)
+      : tracer_(ShouldTrace(tracer) ? tracer : nullptr) {
+    if (tracer_ != nullptr) index_ = tracer_->BeginSpan(kind, label);
+  }
+  ~TraceSpan() {
+    if (tracer_ != nullptr) tracer_->EndSpan(index_, std::move(detail_));
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// True if this span records events (guard detail construction with it).
+  bool active() const { return tracer_ != nullptr; }
+  void set_detail(std::string detail) { detail_ = std::move(detail); }
+
+ private:
+  Tracer* tracer_;
+  size_t index_ = 0;
+  std::string detail_;
+};
+
+// STARBURST_TRACE_SPAN(tracer, kind, label): scoped span for the rest of the
+// enclosing block. Compiles to nothing under -DSTARBURST_DISABLE_TRACING so
+// the instrumentation can be removed entirely from release builds.
+#ifdef STARBURST_DISABLE_TRACING
+#define STARBURST_TRACE_SPAN(tracer, kind, label) \
+  do {                                            \
+  } while (0)
+#else
+#define STARBURST_TRACE_CONCAT_INNER(a, b) a##b
+#define STARBURST_TRACE_CONCAT(a, b) STARBURST_TRACE_CONCAT_INNER(a, b)
+#define STARBURST_TRACE_SPAN(tracer, kind, label)                         \
+  ::starburst::TraceSpan STARBURST_TRACE_CONCAT(_sb_trace_span_,          \
+                                                __LINE__)(tracer, kind,  \
+                                                          label)
+#endif
+
+/// Escapes a string for embedding in a JSON double-quoted literal (shared by
+/// the tracer and the metrics registry).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace starburst
+
+#endif  // STARBURST_OBS_TRACE_H_

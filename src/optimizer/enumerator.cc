@@ -1,5 +1,7 @@
 #include "optimizer/enumerator.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/query.h"
 
 namespace starburst {
@@ -11,6 +13,14 @@ std::string JoinEnumerator::Stats::ToString() const {
          " join_root_refs=" + std::to_string(join_root_refs) + "}";
 }
 
+void JoinEnumerator::Stats::Publish(MetricsRegistry* registry) const {
+  if (registry == nullptr) return;
+  registry->AddCounter("enumerator.subsets", subsets);
+  registry->AddCounter("enumerator.splits_considered", splits_considered);
+  registry->AddCounter("enumerator.joinable_pairs", joinable_pairs);
+  registry->AddCounter("enumerator.join_root_refs", join_root_refs);
+}
+
 Status JoinEnumerator::Run() {
   const Query& query = engine_->query();
   const int n = query.num_quantifiers();
@@ -20,6 +30,8 @@ Status JoinEnumerator::Run() {
   const PredSet all_preds = query.AllPredicates();
   const bool allow_composite = engine_->options().allow_composite_inner;
   const bool allow_cartesian = engine_->options().allow_cartesian;
+  Tracer* tracer = engine_->tracer();
+  TraceSpan run_span(tracer, TraceKind::kEnumerator, "enumerate");
 
   auto eligible = [&](QuantifierSet tables) {
     return query.EligiblePredicates(tables, all_preds);
@@ -60,6 +72,9 @@ Status JoinEnumerator::Run() {
     QuantifierSet s = QuantifierSet::FromMask(mask);
     if (s.size() < 2) continue;
     ++stats_.subsets;
+    std::string subset_label;
+    if (ShouldTrace(tracer)) subset_label = "subset " + s.ToString();
+    TraceSpan subset_span(tracer, TraceKind::kEnumerator, subset_label);
     PredSet elig_s = eligible(s);
     const uint64_t low_bit = mask & (~mask + 1);
 
@@ -95,6 +110,9 @@ Status JoinEnumerator::Run() {
         table_->Insert(s, elig_s, plan);
       }
     }
+  }
+  if (run_span.active()) {
+    run_span.set_detail(stats_.ToString());
   }
   return Status::OK();
 }

@@ -7,6 +7,8 @@
 
 namespace starburst {
 
+class MetricsRegistry;
+
 /// Bottom-up System-R-style join enumeration, as sketched in paper §2.3:
 /// reference AccessRoot for every table, then repeatedly reference JoinRoot
 /// for joinable pairs of plan-bearing table sets until all tables are
@@ -21,6 +23,8 @@ class JoinEnumerator {
     int64_t join_root_refs = 0;
 
     std::string ToString() const;
+    /// Publishes the counters into `registry` under the `enumerator.` prefix.
+    void Publish(MetricsRegistry* registry) const;
   };
 
   JoinEnumerator(StarEngine* engine, Glue* glue, PlanTable* table,

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "properties/property_functions.h"
 #include "query/query.h"
 
@@ -19,19 +21,30 @@ Optimizer::Optimizer(RuleSet rules, OptimizerOptions options)
 
 Result<OptimizeResult> Optimizer::Optimize(const Query& query) {
   auto start = std::chrono::steady_clock::now();
+  Tracer* tracer = options_.tracer;
+  MetricsRegistry* metrics = options_.metrics;
 
   CostModel cost_model(options_.cost_params);
   PlanFactory factory(query, cost_model, operators_);
   StarEngine engine(&factory, &rules_, &functions_, options_.engine);
+  engine.set_tracer(tracer);
   PlanTable table(&cost_model);
+  table.set_tracer(tracer);
   Glue glue(&engine, &table);
+  glue.set_tracer(tracer);
   engine.set_glue(&glue);
 
+  // Phase 1: bottom-up STAR expansion over all table subsets (this is where
+  // most STAR references and Glue calls happen).
   JoinEnumerator enumerator(&engine, &glue, &table);
-  STARBURST_RETURN_NOT_OK(enumerator.Run());
+  {
+    STARBURST_TRACE_SPAN(tracer, TraceKind::kPhase, "enumeration");
+    ScopedTimer timer(metrics, "optimizer.phase.enumeration");
+    STARBURST_RETURN_NOT_OK(enumerator.Run());
+  }
 
-  // Final Glue reference: the query's own required properties — deliver the
-  // result at the query site, in the requested order.
+  // Phase 2: final Glue reference — the query's own required properties:
+  // deliver the result at the query site, in the requested order.
   StreamSpec final_spec;
   final_spec.tables = query.AllQuantifiers();
   final_spec.preds =
@@ -41,7 +54,12 @@ Result<OptimizeResult> Optimizer::Optimize(const Query& query) {
   }
   final_spec.required.site = query.required_site().value_or(0);
 
-  auto final_plans = glue.Resolve(final_spec);
+  Result<SAP> final_plans = SAP{};
+  {
+    STARBURST_TRACE_SPAN(tracer, TraceKind::kPhase, "glue");
+    ScopedTimer timer(metrics, "optimizer.phase.glue");
+    final_plans = glue.Resolve(final_spec);
+  }
   if (!final_plans.ok()) return final_plans.status();
   if (final_plans.value().empty()) {
     return Status::Internal(
@@ -49,10 +67,15 @@ Result<OptimizeResult> Optimizer::Optimize(const Query& query) {
         "(disconnected join graph without allow_cartesian?)");
   }
 
+  // Phase 3: pick the cheapest plan off the final Pareto frontier.
   OptimizeResult result;
-  result.final_plans = std::move(final_plans).value();
-  result.best = CheapestPlan(result.final_plans, cost_model);
-  result.total_cost = cost_model.Total(result.best->props.cost());
+  {
+    STARBURST_TRACE_SPAN(tracer, TraceKind::kPhase, "costing");
+    ScopedTimer timer(metrics, "optimizer.phase.costing");
+    result.final_plans = std::move(final_plans).value();
+    result.best = CheapestPlan(result.final_plans, cost_model);
+    result.total_cost = cost_model.Total(result.best->props.cost());
+  }
   result.engine_metrics = engine.metrics();
   result.glue_metrics = glue.metrics();
   result.table_stats = table.stats();
@@ -63,6 +86,21 @@ Result<OptimizeResult> Optimizer::Optimize(const Query& query) {
       std::chrono::duration<double, std::micro>(
           std::chrono::steady_clock::now() - start)
           .count();
+
+  // The ad-hoc structs remain the per-run view on OptimizeResult; the
+  // registry is the accumulated, uniformly named view across runs.
+  if (metrics != nullptr) {
+    result.engine_metrics.Publish(metrics);
+    result.glue_metrics.Publish(metrics);
+    result.table_stats.Publish(metrics);
+    result.enumerator_stats.Publish(metrics);
+    metrics->AddCounter("optimizer.runs", 1);
+    metrics->AddCounter("optimizer.plan_nodes_created",
+                        result.plan_nodes_created);
+    metrics->SetGauge("optimizer.plans_in_table",
+                      static_cast<double>(result.plans_in_table));
+    metrics->RecordLatency("optimizer.optimize", result.optimize_micros);
+  }
   return result;
 }
 

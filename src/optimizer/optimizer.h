@@ -12,9 +12,18 @@
 
 namespace starburst {
 
+class MetricsRegistry;
+class Tracer;
+
 struct OptimizerOptions {
   EngineOptions engine;
   CostParams cost_params;
+  /// Non-owning observability sinks, both optional. The tracer records one
+  /// rule-firing tree per Optimize call; the registry accumulates effort
+  /// counters (star.*, glue.*, plan_table.*, enumerator.*) and per-phase
+  /// latency histograms (optimizer.phase.*) across calls.
+  Tracer* tracer = nullptr;
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Everything a caller might want to know about one optimization run.

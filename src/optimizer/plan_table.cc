@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "cost/cost_model.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace starburst {
 
@@ -13,6 +15,16 @@ std::string PlanTable::Stats::ToString() const {
          " evicted=" + std::to_string(evicted_dominated) +
          " lookups=" + std::to_string(lookups) +
          " hits=" + std::to_string(hits) + "}";
+}
+
+void PlanTable::Stats::Publish(MetricsRegistry* registry) const {
+  if (registry == nullptr) return;
+  registry->AddCounter("plan_table.inserts", inserts);
+  registry->AddCounter("plan_table.kept", kept);
+  registry->AddCounter("plan_table.pruned_dominated", pruned_dominated);
+  registry->AddCounter("plan_table.evicted_dominated", evicted_dominated);
+  registry->AddCounter("plan_table.lookups", lookups);
+  registry->AddCounter("plan_table.hits", hits);
 }
 
 namespace {
@@ -103,23 +115,46 @@ PlanPtr CheapestPlan(const SAP& plans, const CostModel& cost_model) {
   return best;
 }
 
+namespace {
+// "#17 JOIN(MG)" — the trace-facing identity of a plan node.
+std::string PlanRef(const PlanOp& plan) {
+  return "#" + std::to_string(plan.id) + " " + plan.Label();
+}
+}  // namespace
+
 bool PlanTable::Insert(QuantifierSet tables, PredSet preds, PlanPtr plan) {
   ++stats_.inserts;
   SAP& bucket = buckets_[Key{tables.mask(), preds.mask()}];
   for (const PlanPtr& kept : bucket) {
     if (PlanDominates(*kept, *plan, *cost_model_)) {
       ++stats_.pruned_dominated;
+      if (ShouldTrace(tracer_)) {
+        tracer_->Instant(TraceKind::kPlanTable, "prune " + PlanRef(*plan),
+                         "dominated by " + PlanRef(*kept));
+      }
       return false;
     }
   }
   size_t before = bucket.size();
   bucket.erase(std::remove_if(bucket.begin(), bucket.end(),
                               [&](const PlanPtr& kept) {
-                                return PlanDominates(*plan, *kept,
-                                                     *cost_model_);
+                                bool evict =
+                                    PlanDominates(*plan, *kept, *cost_model_);
+                                if (evict && ShouldTrace(tracer_)) {
+                                  tracer_->Instant(
+                                      TraceKind::kPlanTable,
+                                      "evict " + PlanRef(*kept),
+                                      "dominated by " + PlanRef(*plan));
+                                }
+                                return evict;
                               }),
                bucket.end());
   stats_.evicted_dominated += static_cast<int64_t>(before - bucket.size());
+  if (ShouldTrace(tracer_)) {
+    tracer_->Instant(TraceKind::kPlanTable, "keep " + PlanRef(*plan),
+                     "bucket " + tables.ToString() + " now " +
+                         std::to_string(bucket.size() + 1) + " plan(s)");
+  }
   bucket.push_back(std::move(plan));
   ++stats_.kept;
   return true;

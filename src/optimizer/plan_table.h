@@ -11,6 +11,8 @@
 namespace starburst {
 
 class CostModel;
+class MetricsRegistry;
+class Tracer;
 
 /// True if `a` is at least as cheap as `b` and at least as good on every
 /// physical property (site equal, temp equal, b's order a prefix of a's,
@@ -43,6 +45,8 @@ class PlanTable {
     int64_t hits = 0;
 
     std::string ToString() const;
+    /// Publishes the counters into `registry` under the `plan_table.` prefix.
+    void Publish(MetricsRegistry* registry) const;
   };
 
   /// Adds `plan` under (tables, preds); returns true if it was kept.
@@ -60,6 +64,9 @@ class PlanTable {
   Stats& stats() { return stats_; }
   const Stats& stats() const { return stats_; }
 
+  /// Attach a tracer to record each prune/keep/evict decision (null = off).
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
  private:
   struct Key {
     uint64_t tables;
@@ -76,6 +83,7 @@ class PlanTable {
   };
 
   const CostModel* cost_model_;
+  Tracer* tracer_ = nullptr;
   std::unordered_map<Key, SAP, KeyHash> buckets_;
   Stats stats_;
 };

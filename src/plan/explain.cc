@@ -79,12 +79,43 @@ std::string PropsSummary(const PlanOp& node, const Query& query) {
   return out + "]";
 }
 
+std::string AnalyzeSummary(const PlanOp& node, const PlanRunStats& stats) {
+  auto it = stats.find(&node);
+  if (it == stats.end()) {
+    return "  [actual: never executed]";
+  }
+  const OpRunStats& s = it->second;
+  double actual = s.invocations > 0
+                      ? static_cast<double>(s.rows) /
+                            static_cast<double>(s.invocations)
+                      : 0.0;
+  double est = node.props.card();
+  std::string qerr;
+  if (actual == 0.0 && est == 0.0) {
+    qerr = "1";
+  } else if (actual == 0.0 || est == 0.0) {
+    qerr = "inf";
+  } else {
+    qerr = FormatDouble(actual > est ? actual / est : est / actual);
+  }
+  std::string out = "  [actual rows=" + FormatDouble(actual) +
+                    " (est=" + FormatDouble(est) + ", q-err=" + qerr + ")";
+  if (s.invocations != 1) {
+    out += " loops=" + std::to_string(s.invocations);
+  }
+  out += " time=" + FormatDouble(s.wall_micros) + "us]";
+  return out;
+}
+
 void ExplainRec(const PlanOp& node, const Query& query,
                 const ExplainOptions& options, int depth, std::string* out) {
   out->append(static_cast<size_t>(depth) * 2, ' ');
   *out += node.Label();
   if (options.show_args) *out += ArgsSummary(node, query);
   if (options.show_properties) *out += PropsSummary(node, query);
+  if (options.analyze && options.run_stats != nullptr) {
+    *out += AnalyzeSummary(node, *options.run_stats);
+  }
   *out += "\n";
   for (const PlanPtr& in : node.inputs) {
     ExplainRec(*in, query, options, depth + 1, out);

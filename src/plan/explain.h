@@ -1,6 +1,8 @@
 #ifndef STARBURST_PLAN_EXPLAIN_H_
 #define STARBURST_PLAN_EXPLAIN_H_
 
+#include <cstdint>
+#include <map>
 #include <string>
 
 #include "plan/plan.h"
@@ -9,9 +11,31 @@ namespace starburst {
 
 class Query;
 
+/// Run-time actuals for one plan node, collected by the Executor when stats
+/// collection is on (EXPLAIN ANALYZE). `invocations` counts logical
+/// evaluations — a nested-loop inner is invoked once per outer tuple;
+/// `rows` accumulates rows produced across all invocations; `wall_micros`
+/// is inclusive of the node's inputs (tree time, like EXPLAIN ANALYZE in
+/// most systems).
+struct OpRunStats {
+  int64_t invocations = 0;
+  int64_t rows = 0;
+  double wall_micros = 0.0;
+};
+
+/// Actuals per plan node of one execution, keyed by node identity (plans are
+/// shared DAGs, so a node reached through two parents has one entry).
+using PlanRunStats = std::map<const PlanOp*, OpRunStats>;
+
 struct ExplainOptions {
   bool show_properties = true;  ///< append [ORDER=... SITE=... CARD=... COST]
   bool show_args = true;        ///< append cols/preds/order arguments
+  /// EXPLAIN ANALYZE: append `actual rows=... (est=..., q-err=...)` per
+  /// node from `run_stats`. The q-error is max(actual/est, est/actual) on
+  /// per-invocation rows — the standard measure of cardinality-estimation
+  /// error (1.0 = perfect).
+  bool analyze = false;
+  const PlanRunStats* run_stats = nullptr;
 };
 
 /// Renders a plan DAG as an indented tree, e.g. (Figure 1's plan):

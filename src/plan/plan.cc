@@ -58,6 +58,7 @@ Result<PlanPtr> PlanFactory::Make(const std::string& op_name,
   node->args = std::move(args);
   node->props = std::move(props).value();
   ++nodes_created_;
+  node->id = nodes_created_;
   return PlanPtr(std::move(node));
 }
 

@@ -20,6 +20,10 @@ struct PlanOp {
   std::vector<PlanPtr> inputs;
   OpArgs args;
   PropertyVector props;
+  /// Creation sequence number within the factory (1-based): a stable,
+  /// human-readable identity for traces ("#17 JOIN(MG)"); 0 for nodes built
+  /// outside a factory.
+  int64_t id = 0;
 
   const std::string& name() const { return op->name; }
 

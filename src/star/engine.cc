@@ -1,8 +1,25 @@
 #include "star/engine.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/query.h"
 
 namespace starburst {
+
+namespace {
+/// Balances depth_ on every exit path of EvalStarRef — a leaked increment
+/// would make later EvalStar calls hit the recursion guard spuriously.
+class DepthGuard {
+ public:
+  explicit DepthGuard(int* depth) : depth_(depth) { ++*depth_; }
+  ~DepthGuard() { --*depth_; }
+  DepthGuard(const DepthGuard&) = delete;
+  DepthGuard& operator=(const DepthGuard&) = delete;
+
+ private:
+  int* depth_;
+};
+}  // namespace
 
 std::string EngineMetrics::ToString() const {
   return "{star_refs=" + std::to_string(star_refs) +
@@ -14,6 +31,21 @@ std::string EngineMetrics::ToString() const {
          " infeasible=" + std::to_string(infeasible_combinations) +
          " glue_calls=" + std::to_string(glue_calls) +
          " foreach=" + std::to_string(foreach_expansions) + "}";
+}
+
+void EngineMetrics::Publish(MetricsRegistry* registry) const {
+  if (registry == nullptr) return;
+  registry->AddCounter("star.refs", star_refs);
+  registry->AddCounter("star.alternatives_considered",
+                       alternatives_considered);
+  registry->AddCounter("star.alternatives_taken", alternatives_taken);
+  registry->AddCounter("star.conditions_evaluated", conditions_evaluated);
+  registry->AddCounter("star.op_refs", op_refs);
+  registry->AddCounter("star.plans_built", plans_built);
+  registry->AddCounter("star.infeasible_combinations",
+                       infeasible_combinations);
+  registry->AddCounter("star.glue_calls", glue_calls);
+  registry->AddCounter("star.foreach_expansions", foreach_expansions);
 }
 
 const RuleValue* StarEngine::Env::Lookup(const std::string& name) const {
@@ -61,64 +93,75 @@ Result<RuleValue> StarEngine::EvalStarRef(const std::string& name,
         "STAR " + name + " takes " + std::to_string(star.params.size()) +
         " argument(s), got " + std::to_string(args.size()));
   }
-  if (++depth_ > options_.max_depth) {
-    --depth_;
+  if (depth_ >= options_.max_depth) {
     return Status::Internal("STAR recursion limit exceeded at '" + name +
                             "' (cyclic rule set?)");
   }
+  DepthGuard depth_guard(&depth_);
   ++metrics_.star_refs;
+  TraceSpan star_span(tracer_, TraceKind::kStar, name);
 
   Env env;
   for (size_t i = 0; i < args.size(); ++i) env.Bind(star.params[i], args[i]);
 
-  auto finish = [this](Result<RuleValue> r) {
-    --depth_;
-    return r;
-  };
-
   // STAR-level `where` bindings, in order (later ones may use earlier ones).
   for (const auto& [let_name, let_expr] : star.lets) {
     auto v = Eval(*let_expr, env);
-    if (!v.ok()) return finish(v.status());
+    if (!v.ok()) return v.status();
     env.Bind(let_name, std::move(v).value());
   }
 
   SAP result;
   for (const Alternative& alt : star.alternatives) {
     ++metrics_.alternatives_considered;
+    TraceSpan alt_span(tracer_, TraceKind::kAlternative, alt.label);
     Env alt_env(&env);
     for (const auto& [let_name, let_expr] : alt.lets) {
       auto v = Eval(*let_expr, alt_env);
-      if (!v.ok()) return finish(v.status());
+      if (!v.ok()) return v.status();
       alt_env.Bind(let_name, std::move(v).value());
     }
     bool applicable = true;
     if (alt.condition != nullptr) {
       ++metrics_.conditions_evaluated;
       auto cond = Eval(*alt.condition, alt_env);
-      if (!cond.ok()) return finish(cond.status());
+      if (!cond.ok()) return cond.status();
       const bool* b = cond.value().get_if<bool>();
       if (b == nullptr) {
-        return finish(Status::InvalidArgument(
-            "condition of " + name + "/" + alt.label +
-            " did not evaluate to a boolean"));
+        return Status::InvalidArgument("condition of " + name + "/" +
+                                       alt.label +
+                                       " did not evaluate to a boolean");
       }
       applicable = *b;
+      if (alt_span.active()) {
+        tracer_->Instant(TraceKind::kCondition, alt.label,
+                         applicable ? "true" : "false");
+      }
     }
-    if (!applicable) continue;
+    if (!applicable) {
+      alt_span.set_detail("skipped");
+      continue;
+    }
     ++metrics_.alternatives_taken;
     auto body = Eval(*alt.body, alt_env);
-    if (!body.ok()) return finish(body.status());
+    if (!body.ok()) return body.status();
     auto sap = ToSAP(std::move(body).value());
-    if (!sap.ok()) return finish(sap.status());
+    if (!sap.ok()) return sap.status();
+    if (alt_span.active()) {
+      alt_span.set_detail(std::to_string(sap.value().size()) + " plan(s)");
+    }
     result.insert(result.end(), sap.value().begin(), sap.value().end());
     if (star.exclusive) break;  // '{': first applicable definition wins
   }
-  return finish(RuleValue(std::move(result)));
+  if (star_span.active()) {
+    star_span.set_detail("SAP size " + std::to_string(result.size()));
+  }
+  return RuleValue(std::move(result));
 }
 
 Result<RuleValue> StarEngine::EvalOpRef(const RuleExpr& expr, const Env& env) {
   ++metrics_.op_refs;
+  TraceSpan op_span(tracer_, TraceKind::kOp, expr.name());
   // Evaluate the plan-valued inputs: each must be a SAP; map the LOLEPOP
   // over the cartesian product of the input SAPs (paper §2.2: STARs "are
   // mapped (in the LISP sense) onto each element of those SAPs").
@@ -202,6 +245,9 @@ Result<RuleValue> StarEngine::EvalOpRef(const RuleExpr& expr, const Env& env) {
       ++i;
     }
     if (i == idx.size()) break;
+  }
+  if (op_span.active()) {
+    op_span.set_detail(std::to_string(out.size()) + " plan(s)");
   }
   return RuleValue(std::move(out));
 }

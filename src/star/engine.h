@@ -10,6 +10,9 @@
 
 namespace starburst {
 
+class MetricsRegistry;
+class Tracer;
+
 /// Session options of the rule engine — the paper's compile-time parameters
 /// (§2.3) plus interpreter safety limits.
 struct EngineOptions {
@@ -41,6 +44,8 @@ struct EngineMetrics {
 
   void Reset() { *this = EngineMetrics{}; }
   std::string ToString() const;
+  /// Publishes the counters into `registry` under the `star.` prefix.
+  void Publish(MetricsRegistry* registry) const;
 };
 
 /// Interface Glue implements; broken out so star/ does not depend on glue/
@@ -64,6 +69,9 @@ class StarEngine {
              EngineOptions options = EngineOptions{});
 
   void set_glue(GlueInterface* glue) { glue_ = glue; }
+  /// Attach a tracer to record the rule-firing tree (null = off).
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  Tracer* tracer() const { return tracer_; }
 
   /// Evaluates `name(args...)` to a set of alternative plans.
   Result<SAP> EvalStar(const std::string& name,
@@ -102,6 +110,7 @@ class StarEngine {
   const RuleSet* rules_;
   const FunctionRegistry* functions_;
   GlueInterface* glue_ = nullptr;
+  Tracer* tracer_ = nullptr;
   EngineOptions options_;
   EngineMetrics metrics_;
   int depth_ = 0;

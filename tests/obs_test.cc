@@ -1,0 +1,438 @@
+// Tests for the observability subsystem: the span tracer (nesting, text and
+// Chrome-JSON rendering), the log-scale latency histogram, the metrics
+// registry (snapshot + JSON round-trip), their wiring through the Optimizer,
+// and the EXPLAIN ANALYZE rendering on the paper's Figure-1 query.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "catalog/synthetic.h"
+#include "exec/evaluator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "optimizer/optimizer.h"
+#include "plan/explain.h"
+#include "sql/parser.h"
+#include "star/default_rules.h"
+#include "storage/datagen.h"
+
+namespace starburst {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A minimal recursive-descent JSON syntax checker, so "is valid JSON" is a
+// real assertion rather than a substring probe.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool Value() {
+    SkipWs();
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') { ++pos_; return true; }
+    while (true) {
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() || !std::isxdigit(static_cast<unsigned char>(s_[pos_]))) return false;
+          }
+        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool Number() {
+    size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' || s_[pos_] == 'e' ||
+            s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    char* end = nullptr;
+    std::string token = s_.substr(start, pos_ - start);
+    std::strtod(token.c_str(), &end);
+    return end == token.c_str() + token.size();
+  }
+
+  bool Literal(const char* word) {
+    size_t n = std::string(word).size();
+    if (s_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+/// Extracts the number following `"key":` in a flat JSON rendering.
+double ExtractNumber(const std::string& json, const std::string& key) {
+  size_t at = json.find("\"" + key + "\":");
+  EXPECT_NE(at, std::string::npos) << key << " not in " << json;
+  if (at == std::string::npos) return -1.0;
+  return std::strtod(json.c_str() + at + key.size() + 3, nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+
+TEST(TracerTest, DisabledTracerRecordsNothing) {
+  Tracer tracer;
+  EXPECT_FALSE(ShouldTrace(&tracer));
+  EXPECT_FALSE(ShouldTrace(nullptr));
+  {
+    TraceSpan span(&tracer, TraceKind::kStar, "AccessRoot");
+    EXPECT_FALSE(span.active());
+    span.set_detail("ignored");
+  }
+  STARBURST_TRACE_SPAN(&tracer, TraceKind::kPhase, "noop");
+  EXPECT_TRUE(tracer.events().empty());
+}
+
+TEST(TracerTest, SpansNestByDepthAndRecordDetails) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    TraceSpan outer(&tracer, TraceKind::kStar, "JoinRoot");
+    ASSERT_TRUE(outer.active());
+    {
+      TraceSpan inner(&tracer, TraceKind::kAlternative, "merge");
+      inner.set_detail("2 plan(s)");
+      tracer.Instant(TraceKind::kCondition, "sortable", "true");
+    }
+    outer.set_detail("SAP size 2");
+  }
+  const std::vector<TraceEvent>& ev = tracer.events();
+  ASSERT_EQ(ev.size(), 3u);
+  // Events appear in begin order; nesting shows in depth.
+  EXPECT_EQ(ev[0].label, "JoinRoot");
+  EXPECT_EQ(ev[0].depth, 0);
+  EXPECT_EQ(ev[0].detail, "SAP size 2");
+  EXPECT_EQ(ev[1].label, "merge");
+  EXPECT_EQ(ev[1].depth, 1);
+  EXPECT_EQ(ev[1].detail, "2 plan(s)");
+  EXPECT_EQ(ev[2].kind, TraceKind::kCondition);
+  EXPECT_EQ(ev[2].depth, 2);  // instant inside the open 'merge' span
+  EXPECT_EQ(ev[2].dur_us, 0);
+  EXPECT_GE(ev[0].dur_us, ev[1].dur_us);  // outer encloses inner
+
+  std::string text = tracer.ToText();
+  EXPECT_NE(text.find("star JoinRoot"), std::string::npos) << text;
+  EXPECT_NE(text.find("alt merge"), std::string::npos);
+  EXPECT_NE(text.find("cond sortable"), std::string::npos);
+  // Indentation grows with depth.
+  EXPECT_LT(text.find("star JoinRoot"), text.find("alt merge"));
+
+  tracer.Clear();
+  EXPECT_TRUE(tracer.events().empty());
+}
+
+TEST(TracerTest, ChromeJsonIsValidAndEscapesLabels) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    TraceSpan span(&tracer, TraceKind::kGlue,
+                   "Resolve \"quoted\" \\ back\nslash");
+    span.set_detail("ctl\x01char and \ttab");
+  }
+  tracer.Instant(TraceKind::kPlanTable, "prune #3 JOIN(NL)");
+  std::string json = tracer.ToChromeJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram
+
+TEST(LatencyHistogramTest, EmptyHistogramReportsZeros) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.Percentile(0.5), 0.0);
+}
+
+TEST(LatencyHistogramTest, RepeatedValueIsExactAtEveryQuantile) {
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.Record(7.0);
+  EXPECT_EQ(h.count(), 100);
+  EXPECT_DOUBLE_EQ(h.sum(), 700.0);
+  EXPECT_DOUBLE_EQ(h.min(), 7.0);
+  EXPECT_DOUBLE_EQ(h.max(), 7.0);
+  // Percentiles are clamped to [min, max], so a constant stream is exact.
+  EXPECT_DOUBLE_EQ(h.Percentile(0.50), 7.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.99), 7.0);
+}
+
+TEST(LatencyHistogramTest, PercentilesTrackAUniformDistribution) {
+  LatencyHistogram h;
+  for (int v = 1; v <= 1000; ++v) h.Record(static_cast<double>(v));
+  // Log-bucketed with 4 sub-buckets per doubling: <= ~19% relative error,
+  // allow 25% slack.
+  EXPECT_NEAR(h.Percentile(0.50), 500.0, 125.0);
+  EXPECT_NEAR(h.Percentile(0.95), 950.0, 240.0);
+  EXPECT_NEAR(h.Percentile(0.99), 990.0, 250.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+  EXPECT_NEAR(h.mean(), 500.5, 1e-9);
+  // Quantiles are monotone.
+  EXPECT_LE(h.Percentile(0.5), h.Percentile(0.95));
+  EXPECT_LE(h.Percentile(0.95), h.Percentile(0.99));
+
+  h.Reset();
+  EXPECT_EQ(h.count(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+TEST(MetricsRegistryTest, SnapshotAndJsonRoundTripValues) {
+  MetricsRegistry metrics;
+  metrics.AddCounter("star.refs", 3);
+  metrics.AddCounter("star.refs", 4);
+  metrics.AddCounter("glue.calls", 11);
+  metrics.SetGauge("optimizer.plans_in_table", 42.5);
+  for (int i = 1; i <= 4; ++i) {
+    metrics.RecordLatency("optimizer.phase.glue", 100.0 * i);
+  }
+
+  EXPECT_EQ(metrics.counter("star.refs"), 7);
+  EXPECT_EQ(metrics.counter("unknown"), 0);
+  EXPECT_DOUBLE_EQ(metrics.gauge("optimizer.plans_in_table"), 42.5);
+  ASSERT_NE(metrics.histogram("optimizer.phase.glue"), nullptr);
+  EXPECT_EQ(metrics.histogram("unknown"), nullptr);
+
+  MetricsRegistry::Snapshot snap = metrics.TakeSnapshot();
+  EXPECT_EQ(snap.counters.at("star.refs"), 7);
+  EXPECT_EQ(snap.counters.at("glue.calls"), 11);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("optimizer.plans_in_table"), 42.5);
+  const auto& hist = snap.histograms.at("optimizer.phase.glue");
+  EXPECT_EQ(hist.count, 4);
+  EXPECT_DOUBLE_EQ(hist.sum, 1000.0);
+  EXPECT_DOUBLE_EQ(hist.min, 100.0);
+  EXPECT_DOUBLE_EQ(hist.max, 400.0);
+
+  std::string json = metrics.ToJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  // The JSON rendering carries the same values the snapshot reported.
+  EXPECT_DOUBLE_EQ(ExtractNumber(json, "star.refs"), 7.0);
+  EXPECT_DOUBLE_EQ(ExtractNumber(json, "optimizer.plans_in_table"), 42.5);
+  EXPECT_DOUBLE_EQ(ExtractNumber(json, "count"), 4.0);
+
+  std::string text = snap.ToText();
+  EXPECT_NE(text.find("star.refs"), std::string::npos) << text;
+  EXPECT_NE(text.find("p95"), std::string::npos);
+
+  metrics.Reset();
+  EXPECT_EQ(metrics.counter("star.refs"), 0);
+  EXPECT_EQ(metrics.histogram("optimizer.phase.glue"), nullptr);
+}
+
+TEST(MetricsRegistryTest, ScopedTimerRecordsHistogramAndGauge) {
+  MetricsRegistry metrics;
+  {
+    ScopedTimer timer(&metrics, "parse");
+  }
+  ASSERT_NE(metrics.histogram("parse"), nullptr);
+  EXPECT_EQ(metrics.histogram("parse")->count(), 1);
+  EXPECT_GE(metrics.gauge("parse.last_us"), 0.0);
+
+  ScopedTimer twice(&metrics, "parse");
+  twice.Stop();
+  twice.Stop();  // idempotent
+  EXPECT_EQ(metrics.histogram("parse")->count(), 2);
+
+  ScopedTimer noop(nullptr, "ignored");  // null registry must be safe
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: tracer + metrics through the Optimizer, and EXPLAIN ANALYZE.
+
+class ObsEndToEndTest : public ::testing::Test {
+ protected:
+  ObsEndToEndTest()
+      : catalog_(MakePaperCatalog()),
+        query_(ParseSql(catalog_,
+                        "SELECT EMP.NAME, EMP.ADDRESS FROM DEPT, EMP WHERE "
+                        "DEPT.MGR = 'Haas' AND DEPT.DNO = EMP.DNO")
+                   .ValueOrDie()) {}
+
+  Catalog catalog_;
+  Query query_;
+};
+
+TEST_F(ObsEndToEndTest, OptimizerEmitsTraceAndPublishesMetrics) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  MetricsRegistry metrics;
+  OptimizerOptions opts;
+  opts.tracer = &tracer;
+  opts.metrics = &metrics;
+  Optimizer optimizer(DefaultRuleSet(), opts);
+  auto result = optimizer.Optimize(query_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // The trace covers every layer: phases, STAR firings, alternatives, glue
+  // resolutions, plan-table decisions, and the enumerator.
+  bool saw[9] = {};
+  for (const TraceEvent& ev : tracer.events()) {
+    saw[static_cast<int>(ev.kind)] = true;
+  }
+  EXPECT_TRUE(saw[static_cast<int>(TraceKind::kPhase)]);
+  EXPECT_TRUE(saw[static_cast<int>(TraceKind::kStar)]);
+  EXPECT_TRUE(saw[static_cast<int>(TraceKind::kAlternative)]);
+  EXPECT_TRUE(saw[static_cast<int>(TraceKind::kGlue)]);
+  EXPECT_TRUE(saw[static_cast<int>(TraceKind::kPlanTable)]);
+  EXPECT_TRUE(saw[static_cast<int>(TraceKind::kEnumerator)]);
+
+  std::string text = tracer.ToText();
+  EXPECT_NE(text.find("phase enumeration"), std::string::npos);
+  EXPECT_NE(text.find("phase glue"), std::string::npos);
+  EXPECT_NE(text.find("phase costing"), std::string::npos);
+  EXPECT_TRUE(JsonChecker(tracer.ToChromeJson()).Valid());
+
+  // The registry mirrors the per-run structs (compatibility view intact).
+  const OptimizeResult& r = result.value();
+  EXPECT_EQ(metrics.counter("star.refs"), r.engine_metrics.star_refs);
+  EXPECT_EQ(metrics.counter("glue.calls"), r.glue_metrics.calls);
+  EXPECT_EQ(metrics.counter("plan_table.kept"), r.table_stats.kept);
+  EXPECT_EQ(metrics.counter("enumerator.join_root_refs"),
+            r.enumerator_stats.join_root_refs);
+  EXPECT_EQ(metrics.counter("optimizer.runs"), 1);
+  EXPECT_GT(metrics.gauge("optimizer.plans_in_table"), 0.0);
+  for (const char* phase : {"optimizer.phase.enumeration",
+                            "optimizer.phase.glue",
+                            "optimizer.phase.costing",
+                            "optimizer.optimize"}) {
+    ASSERT_NE(metrics.histogram(phase), nullptr) << phase;
+    EXPECT_EQ(metrics.histogram(phase)->count(), 1) << phase;
+  }
+
+  // A second run with tracing off records no new events but keeps counting.
+  tracer.Clear();
+  tracer.set_enabled(false);
+  ASSERT_TRUE(optimizer.Optimize(query_).ok());
+  EXPECT_TRUE(tracer.events().empty());
+  EXPECT_EQ(metrics.counter("optimizer.runs"), 2);
+  EXPECT_EQ(metrics.counter("star.refs"), 2 * r.engine_metrics.star_refs);
+}
+
+TEST_F(ObsEndToEndTest, ExplainAnalyzeShowsActualVsEstimatedOnFigure1) {
+  Optimizer optimizer(DefaultRuleSet());
+  auto result = optimizer.Optimize(query_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const PlanPtr& best = result.value().best;
+
+  Database db(catalog_);
+  ASSERT_TRUE(PopulatePaperDatabase(&db, /*seed=*/7, /*scale=*/0.02).ok());
+  PlanRunStats stats;
+  auto rs = ExecutePlanAnalyzed(db, query_, best, &stats);
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+
+  // Every operator that ran has actuals (an inner under an empty outer may
+  // legitimately never execute, so <=, not ==).
+  EXPECT_GE(stats.size(), 1u);
+  EXPECT_LE(static_cast<int64_t>(stats.size()), best->CountNodes());
+  const OpRunStats& root = stats.at(best.get());
+  EXPECT_EQ(root.invocations, 1);
+  EXPECT_EQ(root.rows, static_cast<int64_t>(rs.value().rows.size()));
+  EXPECT_GE(root.wall_micros, 0.0);
+
+  ExplainOptions opts;
+  opts.analyze = true;
+  opts.run_stats = &stats;
+  std::string text = ExplainPlan(*best, query_, opts);
+  EXPECT_NE(text.find("actual rows="), std::string::npos) << text;
+  EXPECT_NE(text.find("est="), std::string::npos);
+  EXPECT_NE(text.find("q-err="), std::string::npos);
+  EXPECT_NE(text.find("time="), std::string::npos);
+  // The root line reports the true result cardinality.
+  std::string root_actual =
+      "actual rows=" + std::to_string(rs.value().rows.size());
+  EXPECT_NE(text.find(root_actual), std::string::npos) << text;
+
+  // Analyze off (or no stats) renders the plain explain.
+  EXPECT_EQ(ExplainPlan(*best, query_).find("actual rows="),
+            std::string::npos);
+  ExplainOptions no_stats;
+  no_stats.analyze = true;
+  EXPECT_EQ(ExplainPlan(*best, query_, no_stats).find("actual rows="),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace starburst

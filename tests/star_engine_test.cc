@@ -236,6 +236,33 @@ TEST_F(StarEngineTest, CyclicRulesHitTheRecursionGuard) {
   EXPECT_NE(r.status().message().find("recursion"), std::string::npos);
 }
 
+TEST_F(StarEngineTest, RecursionGuardUnwindsDepthOnEveryExit) {
+  // Regression: the depth counter must be restored on *all* exit paths
+  // (including the error return from the guard itself), so a cyclic rule set
+  // fails identically on every call and never poisons later evaluations.
+  RuleSet rules = DefaultRuleSet();
+  ASSERT_TRUE(LoadRules(&rules, R"(
+    star LoopA(T, P)
+      alt 'x': LoopB(T, P)
+    end
+    star LoopB(T, P)
+      alt 'x': LoopA(T, P)
+    end
+  )").ok());
+  EngineHarness h(query_, std::move(rules));
+  std::vector<RuleValue> args = {RuleValue(DeptSpec()),
+                                 RuleValue(PredSet::Single(0))};
+  for (int i = 0; i < 3; ++i) {
+    auto r = h.engine().EvalStar("LoopA", args);
+    ASSERT_FALSE(r.ok()) << "call " << i;
+    EXPECT_NE(r.status().message().find("recursion"), std::string::npos)
+        << "call " << i << ": " << r.status().ToString();
+  }
+  // A healthy STAR still evaluates from a clean depth afterwards.
+  auto ok = h.engine().EvalStar("AccessRoot", args);
+  EXPECT_TRUE(ok.ok()) << ok.status().ToString();
+}
+
 TEST_F(StarEngineTest, DbcCanRegisterConditionFunctions) {
   // §5: "any STAR having a condition not yet defined would require defining
   // a C function for that condition".
