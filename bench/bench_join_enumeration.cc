@@ -6,7 +6,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "bench_util.h"
+#include "plan/explain.h"
 
 namespace starburst {
 namespace {
@@ -177,6 +180,65 @@ void PrintCartesianArtifact() {
   std::printf("\n");
 }
 
+/// Parallel-enumeration artifact: a 10-table chain optimized at 1, 2 and 4
+/// threads. Emits one machine-readable BENCH_JSON line per thread count so
+/// CI can assert the speedup and, more importantly, that every thread count
+/// lands on the identical best plan (cost and shape).
+void PrintParallelArtifact() {
+  constexpr int kTables = 10;
+  constexpr int kReps = 3;  // best-of-N to shave scheduler noise
+  SyntheticCatalogOptions copts;
+  copts.num_tables = kTables;
+  copts.seed = 90 + static_cast<uint64_t>(kTables);
+  Catalog catalog = MakeSyntheticCatalog(copts);
+  Query query = bench::MustParse(catalog, bench::ChainSql(kTables));
+
+  std::printf("parallel enumeration (%d-table chain, best of %d runs):\n",
+              kTables, kReps);
+  std::string baseline_sig;
+  double baseline_us = 0.0;
+  for (int threads : {1, 2, 4}) {
+    OptimizerOptions opts;
+    opts.num_threads = threads;
+    Optimizer optimizer(DefaultRuleSet(), opts);
+    double best_us = 0.0;
+    OptimizeResult last;
+    for (int rep = 0; rep < kReps; ++rep) {
+      auto t0 = std::chrono::steady_clock::now();
+      auto r = optimizer.Optimize(query);
+      auto t1 = std::chrono::steady_clock::now();
+      if (!r.ok()) {
+        std::printf("  threads=%d FAILED: %s\n", threads,
+                    r.status().ToString().c_str());
+        return;
+      }
+      last = std::move(r).value();
+      double us = std::chrono::duration<double, std::micro>(t1 - t0).count();
+      if (rep == 0 || us < best_us) best_us = us;
+    }
+    std::string sig = PlanSignature(*last.best);
+    if (threads == 1) {
+      baseline_sig = sig;
+      baseline_us = best_us;
+    }
+    bool match = sig == baseline_sig;
+    std::printf(
+        "  threads=%d  %10.0f us  speedup %.2fx  best cost %.0f  plans %lld"
+        "  plan %s\n",
+        threads, best_us, baseline_us / best_us, last.total_cost,
+        static_cast<long long>(last.plans_in_table),
+        match ? "identical" : "DIVERGED");
+    std::printf(
+        "BENCH_JSON {\"bench\":\"join_enumeration\",\"tables\":%d,"
+        "\"threads\":%d,\"micros\":%.0f,\"best_cost\":%.2f,\"plans\":%lld,"
+        "\"signature_match\":%s}\n",
+        kTables, threads, best_us, last.total_cost,
+        static_cast<long long>(last.plans_in_table),
+        match ? "true" : "false");
+  }
+  std::printf("\n");
+}
+
 void BM_Enumeration(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
   bool composite = state.range(1) != 0;
@@ -201,6 +263,30 @@ BENCHMARK(BM_Enumeration)
     ->ArgsProduct({{3, 4, 5, 6, 7, 8}, {0, 1}})
     ->Unit(benchmark::kMicrosecond);
 
+void BM_ParallelEnumeration(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  int threads = static_cast<int>(state.range(1));
+  SyntheticCatalogOptions copts;
+  copts.num_tables = n;
+  copts.seed = 90 + static_cast<uint64_t>(n);
+  Catalog catalog = MakeSyntheticCatalog(copts);
+  Query query = bench::MustParse(catalog, bench::ChainSql(n));
+  OptimizerOptions opts;
+  opts.num_threads = threads;
+  Optimizer optimizer(DefaultRuleSet(), opts);
+  OptimizeResult last;
+  for (auto _ : state) {
+    auto r = optimizer.Optimize(query);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    last = std::move(r).value();
+    benchmark::DoNotOptimize(last);
+  }
+  bench::RecordOptimizerEffort(state, last);
+}
+BENCHMARK(BM_ParallelEnumeration)
+    ->ArgsProduct({{8, 10}, {1, 2, 4}})
+    ->Unit(benchmark::kMicrosecond);
+
 }  // namespace
 }  // namespace starburst
 
@@ -208,6 +294,7 @@ int main(int argc, char** argv) {
   starburst::PrintArtifact();
   starburst::PrintBushyArtifact();
   starburst::PrintCartesianArtifact();
+  starburst::PrintParallelArtifact();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -18,9 +18,11 @@
 //   \load <file>          load/replace STARs from a rule file
 //   \catalog              list tables, columns, indexes, sites
 //   \metrics              optimizer effort counters + metrics registry
+//   \threads [n]          show/set join-enumeration worker threads
 //   \help, \quit
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -79,6 +81,7 @@ void PrintHelp() {
       "  \\load <file>        load/replace STARs from a rule file\n"
       "  \\catalog            show tables and indexes\n"
       "  \\metrics            effort counters + metrics registry snapshot\n"
+      "  \\threads [n]        show/set join-enumeration threads (0 = hw)\n"
       "  \\quit               exit\n");
 }
 
@@ -233,6 +236,25 @@ struct Shell {
       } else {
         std::printf("%s", tracer.ToText().c_str());
       }
+    } else if (cmd == "\\threads") {
+      if (rest.empty()) {
+        std::printf("enumeration threads: %d%s\n",
+                    optimizer.options().num_threads,
+                    optimizer.options().num_threads == 0
+                        ? " (hardware concurrency)"
+                        : "");
+        return;
+      }
+      char* end = nullptr;
+      long n = std::strtol(rest.c_str(), &end, 10);
+      if (end == rest.c_str() || *end != '\0' || n < 0 || n > 1024) {
+        std::printf("usage: \\threads <0..1024>   (0 = hardware "
+                    "concurrency)\n");
+        return;
+      }
+      optimizer.options().num_threads = static_cast<int>(n);
+      std::printf("enumeration threads set to %ld%s\n", n,
+                  n == 0 ? " (hardware concurrency)" : "");
     } else if (cmd == "\\metrics") {
       std::printf("engine: %s\nglue:   %s\ntable:  %s\nenum:   %s\n",
                   last.engine_metrics.ToString().c_str(),

@@ -24,6 +24,14 @@ void Glue::Metrics::Publish(MetricsRegistry* registry) const {
   registry->AddCounter("glue.plans_skipped", plans_skipped);
 }
 
+void Glue::Metrics::MergeFrom(const Metrics& other) {
+  calls += other.calls;
+  base_hits += other.base_hits;
+  root_references += other.root_references;
+  veneers_added += other.veneers_added;
+  plans_skipped += other.plans_skipped;
+}
+
 namespace {
 /// Predicates in `preds` that reference quantifiers outside `tables` —
 /// converted join predicates whose probe values change per outer tuple
@@ -41,10 +49,10 @@ PredSet CorrelatedSubset(const Query& query, PredSet preds,
 }  // namespace
 
 Result<SAP> Glue::BasePlans(const StreamSpec& spec, PredSet base_preds) {
-  const SAP* hit = table_->Lookup(spec.tables, base_preds);
-  if (hit != nullptr) {
+  std::optional<SAP> hit = table_->Lookup(spec.tables, base_preds);
+  if (hit.has_value()) {
     ++metrics_.base_hits;
-    return *hit;
+    return *std::move(hit);
   }
   if (spec.tables.size() == 1) {
     // Re-reference the single-table root STAR with exactly these predicates
@@ -57,11 +65,11 @@ Result<SAP> Glue::BasePlans(const StreamSpec& spec, PredSet base_preds) {
     auto sap = engine_->EvalStar(access_root_,
                                  {RuleValue(clean), RuleValue(base_preds)});
     if (!sap.ok()) return sap.status();
-    for (const PlanPtr& p : sap.value()) {
-      table_->Insert(spec.tables, base_preds, p);
-    }
+    // One batch insert: concurrent readers of this key see either no bucket
+    // or the fully pruned frontier, never a half-built one.
+    table_->InsertBatch(spec.tables, base_preds, sap.value());
     hit = table_->Lookup(spec.tables, base_preds);
-    return hit != nullptr ? *hit : SAP{};
+    return hit.has_value() ? *std::move(hit) : SAP{};
   }
   // Composite stream: fall back to the canonical bucket (all predicates
   // eligible within the table set, which is how the join enumerator stores
@@ -70,9 +78,9 @@ Result<SAP> Glue::BasePlans(const StreamSpec& spec, PredSet base_preds) {
   PredSet canonical =
       query.EligiblePredicates(spec.tables, query.AllPredicates());
   hit = table_->Lookup(spec.tables, canonical);
-  if (hit != nullptr) {
+  if (hit.has_value()) {
     ++metrics_.base_hits;
-    return *hit;
+    return *std::move(hit);
   }
   return Status::NotFound(
       "no plans for composite stream " + spec.tables.ToString() +
@@ -157,7 +165,7 @@ Result<PlanPtr> Glue::Augment(PlanPtr plan, const StreamSpec& spec) {
   //    [temp] requirements to ensure the creation of a compact index").
   if (materializes && !p->props.temp()) {
     OpArgs store_args;
-    store_args.Set(arg::kTempName, "tmp" + std::to_string(++temp_counter_));
+    store_args.Set(arg::kTempName, temp_prefix_ + std::to_string(++temp_counter_));
     if (req.path.has_value()) store_args.Set(arg::kIndexOn, *req.path);
     if (!veneer(factory.Make(op::kStore, "", {p}, std::move(store_args)))) {
       return PlanPtr{};
@@ -211,8 +219,12 @@ Result<SAP> Glue::Resolve(const StreamSpec& spec) {
         continue;
       }
       // Remember the augmented plan so later Glue references with the same
-      // requirements find it ready-made (Figure 3's plan 3).
-      table_->Insert(spec.tables, p->props.preds(), p);
+      // requirements find it ready-made (Figure 3's plan 3). Disabled during
+      // enumeration (see set_cache_augmented) to keep candidate sets
+      // independent of resolve order.
+      if (cache_augmented_) {
+        table_->Insert(spec.tables, p->props.preds(), p);
+      }
     }
     out.push_back(std::move(p));
   }

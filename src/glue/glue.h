@@ -32,6 +32,9 @@ class Glue : public GlueInterface {
     std::string ToString() const;
     /// Publishes the counters into `registry` under the `glue.` prefix.
     void Publish(MetricsRegistry* registry) const;
+    /// Accumulates another Glue instance's counters (parallel enumeration
+    /// merges per-worker Glues back into the main one after the run).
+    void MergeFrom(const Metrics& other);
   };
 
   Glue(StarEngine* engine, PlanTable* table,
@@ -43,6 +46,24 @@ class Glue : public GlueInterface {
   Metrics& metrics() { return metrics_; }
   /// Attach a tracer to record Resolve spans (null = off).
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
+  /// Whether Resolve may cache augmented plans back into the plan table
+  /// (Figure 3's plan 3). The join enumerator turns this off for the
+  /// duration of enumeration — at every thread count — because which
+  /// augmented plans get cached depends on resolve order, and a cached
+  /// temp-probe plan can shadow the root-reference path that pushes
+  /// predicates into access paths, changing candidate sets run-to-run.
+  void set_cache_augmented(bool cache) { cache_augmented_ = cache; }
+  bool cache_augmented() const { return cache_augmented_; }
+
+  /// The root STAR this Glue references for single-table streams (exposed so
+  /// parallel enumeration workers can clone the configuration).
+  const std::string& access_root() const { return access_root_; }
+
+  /// Prefix for generated temp names ("tmp" by default). Parallel workers
+  /// get distinct prefixes ("w0_tmp", ...) so concurrently built temps never
+  /// collide; plan signatures exclude temp names, so determinism is kept.
+  void set_temp_prefix(std::string prefix) { temp_prefix_ = std::move(prefix); }
 
  private:
   /// Plans for the spec's relational content before any veneer: plan-table
@@ -63,6 +84,8 @@ class Glue : public GlueInterface {
   Tracer* tracer_ = nullptr;
   std::string access_root_;
   Metrics metrics_;
+  bool cache_augmented_ = true;
+  std::string temp_prefix_ = "tmp";
   int temp_counter_ = 0;
 };
 

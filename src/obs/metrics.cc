@@ -20,11 +20,17 @@ int LatencyHistogram::BucketOf(double micros) {
 }
 
 double LatencyHistogram::BucketLowerBound(int bucket) {
+  // Bucket 0 holds everything BucketOf sends there — all samples in
+  // [0, 2^(1/kSubBuckets)) — so its lower bound is 0, not 2^0.
+  if (bucket <= 0) return 0.0;
   return std::exp2(static_cast<double>(bucket) / kSubBuckets);
 }
 
 void LatencyHistogram::Record(double micros) {
-  if (micros < 0.0 || std::isnan(micros)) micros = 0.0;
+  if (micros < 0.0 || std::isnan(micros)) {
+    ++dropped_;  // a measurement bug, not an observation
+    return;
+  }
   ++buckets_[static_cast<size_t>(BucketOf(micros))];
   ++count_;
   sum_ += micros;
@@ -45,7 +51,7 @@ double LatencyHistogram::Percentile(double q) const {
     if (seen + in_bucket >= rank) {
       // Interpolate within the bucket; clamp to the observed extremes so a
       // single-value histogram reports that exact value.
-      double lo = b == 0 ? 0.0 : BucketLowerBound(b);
+      double lo = BucketLowerBound(b);
       double hi = BucketLowerBound(b + 1);
       double frac = static_cast<double>(rank - seen) /
                     static_cast<double>(in_bucket);
@@ -62,40 +68,48 @@ double LatencyHistogram::Percentile(double q) const {
 // ---------------------------------------------------------------------------
 
 void MetricsRegistry::AddCounter(const std::string& name, int64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
   counters_[name] += delta;
 }
 
 void MetricsRegistry::SetGauge(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
   gauges_[name] = value;
 }
 
 void MetricsRegistry::RecordLatency(const std::string& name, double micros) {
+  std::lock_guard<std::mutex> lock(mu_);
   histograms_[name].Record(micros);
 }
 
 int64_t MetricsRegistry::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
 }
 
 double MetricsRegistry::gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = gauges_.find(name);
   return it == gauges_.end() ? 0.0 : it->second;
 }
 
 const LatencyHistogram* MetricsRegistry::histogram(
     const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : &it->second;
 }
 
 MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
   Snapshot snap;
   snap.counters = counters_;
   snap.gauges = gauges_;
   for (const auto& [name, h] : histograms_) {
     Snapshot::HistogramStats s;
     s.count = h.count();
+    s.dropped = h.dropped();
     s.sum = h.sum();
     s.min = h.min();
     s.max = h.max();
@@ -108,6 +122,7 @@ MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
 }
 
 void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
@@ -145,7 +160,8 @@ std::string MetricsRegistry::Snapshot::ToJson() const {
     if (!first) out += ",";
     first = false;
     out += "\"" + JsonEscape(name) + "\":{\"count\":" +
-           std::to_string(h.count) + ",\"sum\":" + JsonNumber(h.sum) +
+           std::to_string(h.count) + ",\"dropped\":" +
+           std::to_string(h.dropped) + ",\"sum\":" + JsonNumber(h.sum) +
            ",\"min\":" + JsonNumber(h.min) + ",\"max\":" + JsonNumber(h.max) +
            ",\"p50\":" + JsonNumber(h.p50) + ",\"p95\":" + JsonNumber(h.p95) +
            ",\"p99\":" + JsonNumber(h.p99) + "}";

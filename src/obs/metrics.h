@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 namespace starburst {
@@ -18,9 +19,13 @@ class LatencyHistogram {
   static constexpr int kSubBuckets = 4;       ///< buckets per doubling
   static constexpr int kNumBuckets = 32 * kSubBuckets;
 
+  /// Records one sample. Negative and NaN durations are measurement bugs,
+  /// not observations: they are dropped (not folded into count/sum/min) and
+  /// tallied in `dropped()` so the corruption stays visible.
   void Record(double micros);
 
   int64_t count() const { return count_; }
+  int64_t dropped() const { return dropped_; }
   double sum() const { return sum_; }
   double min() const { return count_ == 0 ? 0.0 : min_; }
   double max() const { return max_; }
@@ -38,6 +43,7 @@ class LatencyHistogram {
 
   std::array<int64_t, kNumBuckets> buckets_{};
   int64_t count_ = 0;
+  int64_t dropped_ = 0;
   double sum_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
@@ -48,6 +54,11 @@ class LatencyHistogram {
 /// histograms. Names are dot-scoped by subsystem — `star.refs`,
 /// `glue.veneers_added`, `plan_table.pruned_dominated`,
 /// `optimizer.phase.enumeration` — so a snapshot reads like a tree.
+///
+/// Thread-safe: every method takes an internal mutex, so parallel
+/// enumeration workers (and any other threads) may publish concurrently.
+/// The one exception is `histogram()`, which hands out a raw pointer for
+/// test convenience — do not use it while writers are active.
 class MetricsRegistry {
  public:
   /// Adds `delta` to the named counter (creating it at zero).
@@ -65,6 +76,7 @@ class MetricsRegistry {
   struct Snapshot {
     struct HistogramStats {
       int64_t count = 0;
+      int64_t dropped = 0;
       double sum = 0.0;
       double min = 0.0;
       double max = 0.0;
@@ -89,6 +101,7 @@ class MetricsRegistry {
   void Reset();
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, int64_t> counters_;
   std::map<std::string, double> gauges_;
   std::map<std::string, LatencyHistogram> histograms_;

@@ -47,6 +47,19 @@ void Tracer::EndSpan(size_t index, std::string detail) {
   if (!detail.empty()) ev.detail = std::move(detail);
 }
 
+void Tracer::MergeFrom(const Tracer& other) {
+  if (other.events_.empty()) return;
+  const int64_t offset = std::chrono::duration_cast<std::chrono::microseconds>(
+                             other.epoch_ - epoch_)
+                             .count();
+  events_.reserve(events_.size() + other.events_.size());
+  for (TraceEvent ev : other.events_) {
+    ev.depth += depth_;
+    ev.start_us += offset;
+    events_.push_back(std::move(ev));
+  }
+}
+
 void Tracer::Instant(TraceKind kind, std::string label, std::string detail) {
   TraceEvent ev;
   ev.kind = kind;

@@ -65,6 +65,14 @@ class Tracer {
   /// Records a zero-duration event at the current nesting depth.
   void Instant(TraceKind kind, std::string label, std::string detail = "");
 
+  /// Appends another tracer's events to this one, re-based onto this
+  /// tracer's epoch and nested under the current depth. Parallel enumeration
+  /// gives each worker its own Tracer (a Tracer is not thread-safe) and
+  /// merges the buffers back in worker-creation order once the workers have
+  /// joined, so the combined trace is deterministic in structure even though
+  /// the workers ran concurrently.
+  void MergeFrom(const Tracer& other);
+
   const std::vector<TraceEvent>& events() const { return events_; }
 
   /// The indented rule-firing tree, e.g.:

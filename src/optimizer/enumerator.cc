@@ -1,5 +1,13 @@
 #include "optimizer/enumerator.h"
 
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "query/query.h"
@@ -21,36 +29,48 @@ void JoinEnumerator::Stats::Publish(MetricsRegistry* registry) const {
   registry->AddCounter("enumerator.join_root_refs", join_root_refs);
 }
 
-Status JoinEnumerator::Run() {
-  const Query& query = engine_->query();
-  const int n = query.num_quantifiers();
-  if (n == 0) {
-    return Status::InvalidArgument("query has no tables");
+void JoinEnumerator::Stats::MergeFrom(const Stats& other) {
+  subsets += other.subsets;
+  splits_considered += other.splits_considered;
+  joinable_pairs += other.joinable_pairs;
+  join_root_refs += other.join_root_refs;
+}
+
+namespace {
+
+/// Restores Glue's augmented-plan caching on scope exit. Caching is off for
+/// the whole enumeration — at every thread count — because which augmented
+/// plans land in the table depends on resolve order, and a cached temp-probe
+/// plan can shadow the root-reference path that pushes predicates into
+/// access paths; either way the candidate sets would differ run-to-run.
+class GlueCacheGuard {
+ public:
+  explicit GlueCacheGuard(Glue* glue)
+      : glue_(glue), saved_(glue->cache_augmented()) {
+    glue_->set_cache_augmented(false);
   }
+  ~GlueCacheGuard() { glue_->set_cache_augmented(saved_); }
+  GlueCacheGuard(const GlueCacheGuard&) = delete;
+  GlueCacheGuard& operator=(const GlueCacheGuard&) = delete;
+
+ private:
+  Glue* glue_;
+  bool saved_;
+};
+
+}  // namespace
+
+Status JoinEnumerator::ProcessSubset(uint64_t mask, StarEngine* engine,
+                                     Stats* stats) {
+  const Query& query = engine->query();
   const PredSet all_preds = query.AllPredicates();
-  const bool allow_composite = engine_->options().allow_composite_inner;
-  const bool allow_cartesian = engine_->options().allow_cartesian;
-  Tracer* tracer = engine_->tracer();
-  TraceSpan run_span(tracer, TraceKind::kEnumerator, "enumerate");
+  const bool allow_composite = engine->options().allow_composite_inner;
+  const bool allow_cartesian = engine->options().allow_cartesian;
+  Tracer* tracer = engine->tracer();
 
   auto eligible = [&](QuantifierSet tables) {
     return query.EligiblePredicates(tables, all_preds);
   };
-
-  // Base case: single-table plans via Glue (which references AccessRoot and
-  // fills the plan table).
-  for (int q = 0; q < n; ++q) {
-    StreamSpec spec;
-    spec.tables = QuantifierSet::Single(q);
-    spec.preds = eligible(spec.tables);
-    auto sap = glue_->Resolve(spec);
-    if (!sap.ok()) return sap.status();
-    if (sap.value().empty()) {
-      return Status::Internal("no access plan generated for quantifier " +
-                              std::to_string(q));
-    }
-  }
-  if (n == 1) return Status::OK();
 
   // Joinability: some multi-table predicate inside S links the two halves.
   auto joinable = [&](QuantifierSet t1, QuantifierSet t2) {
@@ -65,52 +85,211 @@ Status JoinEnumerator::Run() {
     return false;
   };
 
-  // Subsets in ascending mask order: every proper subset of S is visited
-  // before S, so the DP is bottom-up.
+  QuantifierSet s = QuantifierSet::FromMask(mask);
+  ++stats->subsets;
+  std::string subset_label;
+  if (ShouldTrace(tracer)) subset_label = "subset " + s.ToString();
+  TraceSpan subset_span(tracer, TraceKind::kEnumerator, subset_label);
+  PredSet elig_s = eligible(s);
+  const uint64_t low_bit = mask & (~mask + 1);
+
+  // Enumerate unordered splits {T1, T2}: T1 keeps the lowest quantifier so
+  // each pair is visited once; JoinRoot's PermutedJoin generates both
+  // orders (§4.1).
+  for (uint64_t sub = (mask - 1) & mask; sub != 0; sub = (sub - 1) & mask) {
+    if ((sub & low_bit) != 0) continue;  // T2 must not hold the low bit
+    QuantifierSet t2 = QuantifierSet::FromMask(sub);
+    QuantifierSet t1 = s.Minus(t2);
+    ++stats->splits_considered;
+    if (!allow_composite && t1.size() > 1 && t2.size() > 1) continue;
+
+    PredSet elig_t1 = eligible(t1);
+    PredSet elig_t2 = eligible(t2);
+    // Both halves were fully enumerated in earlier ranks (the rank barrier
+    // guarantees it), so a missing bucket is a definitive "no plans".
+    if (!table_->Contains(t1, elig_t1)) continue;
+    if (!table_->Contains(t2, elig_t2)) continue;
+    if (!joinable(t1, t2) && !allow_cartesian) continue;
+    ++stats->joinable_pairs;
+
+    // Newly eligible predicates (§2.3): eligible on the union but on
+    // neither input alone.
+    PredSet newly = elig_s.Minus(elig_t1).Minus(elig_t2);
+
+    StreamSpec spec1{t1, elig_t1, {}};
+    StreamSpec spec2{t2, elig_t2, {}};
+    ++stats->join_root_refs;
+    auto sap = engine->EvalStar(
+        join_root_, {RuleValue(spec1), RuleValue(spec2), RuleValue(newly)});
+    if (!sap.ok()) return sap.status();
+    // One batch per (subset, split): readers in the next rank never see a
+    // partially inserted frontier.
+    table_->InsertBatch(s, elig_s, sap.value());
+  }
+  return Status::OK();
+}
+
+Status JoinEnumerator::RunParallel(int n, int threads) {
+  // Group the size >= 2 subsets by rank (popcount). Rank k only reads plans
+  // of ranks < k, so the masks within one rank are independent work items.
+  std::vector<std::vector<uint64_t>> ranks(static_cast<size_t>(n) + 1);
   const uint64_t full = QuantifierSet::FirstN(n).mask();
   for (uint64_t mask = 1; mask <= full; ++mask) {
-    QuantifierSet s = QuantifierSet::FromMask(mask);
-    if (s.size() < 2) continue;
-    ++stats_.subsets;
-    std::string subset_label;
-    if (ShouldTrace(tracer)) subset_label = "subset " + s.ToString();
-    TraceSpan subset_span(tracer, TraceKind::kEnumerator, subset_label);
-    PredSet elig_s = eligible(s);
-    const uint64_t low_bit = mask & (~mask + 1);
+    int k = std::popcount(mask);
+    if (k >= 2) ranks[static_cast<size_t>(k)].push_back(mask);
+  }
 
-    // Enumerate unordered splits {T1, T2}: T1 keeps the lowest quantifier so
-    // each pair is visited once; JoinRoot's PermutedJoin generates both
-    // orders (§4.1).
-    for (uint64_t sub = (mask - 1) & mask; sub != 0;
-         sub = (sub - 1) & mask) {
-      if ((sub & low_bit) != 0) continue;  // T2 must not hold the low bit
-      QuantifierSet t2 = QuantifierSet::FromMask(sub);
-      QuantifierSet t1 = s.Minus(t2);
-      ++stats_.splits_considered;
-      if (!allow_composite && t1.size() > 1 && t2.size() > 1) continue;
+  Tracer* main_tracer = engine_->tracer();
 
-      PredSet elig_t1 = eligible(t1);
-      PredSet elig_t2 = eligible(t2);
-      if (table_->Lookup(t1, elig_t1) == nullptr) continue;
-      if (table_->Lookup(t2, elig_t2) == nullptr) continue;
-      if (!joinable(t1, t2) && !allow_cartesian) continue;
-      ++stats_.joinable_pairs;
+  // Each worker owns a complete evaluation context over the shared immutable
+  // inputs (factory, rules, functions) and the shared thread-safe PlanTable.
+  // Engines and Glues hold per-run state (recursion depth, metrics, temp
+  // counters) and are not thread-safe, so they cannot be shared.
+  struct Worker {
+    std::unique_ptr<Tracer> tracer;
+    std::unique_ptr<StarEngine> engine;
+    std::unique_ptr<Glue> glue;
+    Stats stats;
+    std::vector<std::pair<uint64_t, Status>> failures;
+  };
+  std::vector<Worker> workers(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    Worker& w = workers[static_cast<size_t>(i)];
+    if (ShouldTrace(main_tracer)) {
+      w.tracer = std::make_unique<Tracer>();
+      w.tracer->set_enabled(true);
+    }
+    w.engine = std::make_unique<StarEngine>(&engine_->factory(),
+                                            engine_->rules(),
+                                            engine_->functions(),
+                                            engine_->options());
+    w.glue = std::make_unique<Glue>(w.engine.get(), table_,
+                                    glue_->access_root());
+    w.glue->set_cache_augmented(false);
+    // Distinct temp-name prefixes keep concurrently built temps from
+    // colliding; plan signatures exclude temp names, so plan identity is
+    // unaffected.
+    w.glue->set_temp_prefix("w" + std::to_string(i) + "_tmp");
+    w.engine->set_glue(w.glue.get());
+    if (w.tracer != nullptr) {
+      w.engine->set_tracer(w.tracer.get());
+      w.glue->set_tracer(w.tracer.get());
+    }
+  }
 
-      // Newly eligible predicates (§2.3): eligible on the union but on
-      // neither input alone.
-      PredSet newly = elig_s.Minus(elig_t1).Minus(elig_t2);
+  for (int k = 2; k <= n; ++k) {
+    const std::vector<uint64_t>& rank = ranks[static_cast<size_t>(k)];
+    if (rank.empty()) continue;
+    std::atomic<size_t> next{0};
+    auto drain = [&](Worker* w) {
+      for (size_t i = next.fetch_add(1, std::memory_order_relaxed);
+           i < rank.size();
+           i = next.fetch_add(1, std::memory_order_relaxed)) {
+        Status st = ProcessSubset(rank[i], w->engine.get(), &w->stats);
+        if (!st.ok()) w->failures.emplace_back(rank[i], std::move(st));
+      }
+    };
+    std::vector<std::thread> pool;
+    size_t active = std::min(static_cast<size_t>(threads), rank.size());
+    pool.reserve(active);
+    for (size_t i = 1; i < active; ++i) {
+      pool.emplace_back(drain, &workers[i]);
+    }
+    drain(&workers[0]);  // the calling thread is worker 0
+    for (std::thread& t : pool) t.join();
 
-      StreamSpec spec1{t1, elig_t1, {}};
-      StreamSpec spec2{t2, elig_t2, {}};
-      ++stats_.join_root_refs;
-      auto sap = engine_->EvalStar(
-          join_root_, {RuleValue(spec1), RuleValue(spec2), RuleValue(newly)});
-      if (!sap.ok()) return sap.status();
-      for (const PlanPtr& plan : sap.value()) {
-        table_->Insert(s, elig_s, plan);
+    // The rank barrier: every subset of size k is fully inserted before any
+    // subset of size k+1 reads the table.
+    bool failed = false;
+    for (const Worker& w : workers) {
+      if (!w.failures.empty()) failed = true;
+    }
+    if (failed) break;
+  }
+
+  // Merge worker state back in creation order so the combined stats and
+  // trace are deterministic in structure.
+  Status result = Status::OK();
+  uint64_t failed_mask = ~uint64_t{0};
+  for (Worker& w : workers) {
+    stats_.MergeFrom(w.stats);
+    engine_->metrics().MergeFrom(w.engine->metrics());
+    glue_->metrics().MergeFrom(w.glue->metrics());
+    if (w.tracer != nullptr && main_tracer != nullptr) {
+      main_tracer->MergeFrom(*w.tracer);
+    }
+    // Report the failure with the smallest mask — the same subset a
+    // sequential run would have tripped on first.
+    for (auto& [mask, st] : w.failures) {
+      if (mask < failed_mask) {
+        failed_mask = mask;
+        result = std::move(st);
       }
     }
   }
+  return result;
+}
+
+Status JoinEnumerator::Run() {
+  const Query& query = engine_->query();
+  const int n = query.num_quantifiers();
+  if (n == 0) {
+    return Status::InvalidArgument("query has no tables");
+  }
+  const PredSet all_preds = query.AllPredicates();
+  Tracer* tracer = engine_->tracer();
+  TraceSpan run_span(tracer, TraceKind::kEnumerator, "enumerate");
+
+  // Candidate sets must not depend on resolve order (see GlueCacheGuard),
+  // so augmented-plan caching is off for the whole run at any thread count.
+  GlueCacheGuard cache_guard(glue_);
+
+  // Base case: single-table plans via Glue (which references AccessRoot and
+  // fills the plan table).
+  for (int q = 0; q < n; ++q) {
+    StreamSpec spec;
+    spec.tables = QuantifierSet::Single(q);
+    spec.preds = query.EligiblePredicates(spec.tables, all_preds);
+    auto sap = glue_->Resolve(spec);
+    if (!sap.ok()) return sap.status();
+    if (sap.value().empty()) {
+      // An empty SAP is a legitimate outcome (unsatisfiable requirements,
+      // everything pruned), not an engine invariant violation.
+      std::string preds_desc;
+      for (int id : spec.preds.ToVector()) {
+        if (!preds_desc.empty()) preds_desc += ", ";
+        preds_desc += query.predicate(id).ToString(&query);
+      }
+      return Status::NotFound(
+          "no access plan satisfies quantifier '" +
+          query.quantifier(q).alias + "' (predicates: " +
+          (preds_desc.empty() ? "none" : preds_desc) +
+          "); its requirements are unsatisfiable or every candidate was "
+          "pruned");
+    }
+  }
+  if (n == 1) return Status::OK();
+
+  int threads = num_threads_;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+
+  Status status = Status::OK();
+  if (threads == 1) {
+    // Sequential: subsets in ascending mask order visits every proper
+    // subset of S before S, so the DP is bottom-up.
+    const uint64_t full = QuantifierSet::FirstN(n).mask();
+    for (uint64_t mask = 1; mask <= full && status.ok(); ++mask) {
+      if (std::popcount(mask) < 2) continue;
+      status = ProcessSubset(mask, engine_, &stats_);
+    }
+  } else {
+    status = RunParallel(n, threads);
+  }
+  if (!status.ok()) return status;
+
   if (run_span.active()) {
     run_span.set_detail(stats_.ToString());
   }

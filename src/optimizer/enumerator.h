@@ -1,6 +1,9 @@
 #ifndef STARBURST_OPTIMIZER_ENUMERATOR_H_
 #define STARBURST_OPTIMIZER_ENUMERATOR_H_
 
+#include <cstdint>
+#include <string>
+
 #include "glue/glue.h"
 #include "optimizer/plan_table.h"
 #include "star/engine.h"
@@ -14,6 +17,14 @@ class MetricsRegistry;
 /// for joinable pairs of plan-bearing table sets until all tables are
 /// joined. "Joinable" prefers pairs linked by an eligible join predicate;
 /// Cartesian products and composite inners are session parameters.
+///
+/// With `num_threads > 1` the DP runs rank-parallel: every subset of size k
+/// depends only on subsets of size < k, so each rank is a parallel batch
+/// over a worker pool with a barrier between ranks. Each worker owns a full
+/// evaluation context (StarEngine + Glue + Tracer) over the shared immutable
+/// inputs and the shared thread-safe PlanTable; each subset is processed by
+/// exactly one worker. The result is deterministic — identical best-plan
+/// cost and plan shape at any thread count (see DESIGN.md).
 class JoinEnumerator {
  public:
   struct Stats {
@@ -25,14 +36,19 @@ class JoinEnumerator {
     std::string ToString() const;
     /// Publishes the counters into `registry` under the `enumerator.` prefix.
     void Publish(MetricsRegistry* registry) const;
+    /// Accumulates a worker's counters into this one.
+    void MergeFrom(const Stats& other);
   };
 
+  /// `num_threads`: 1 = sequential (the default), 0 = one per hardware
+  /// thread, n = a pool of n workers.
   JoinEnumerator(StarEngine* engine, Glue* glue, PlanTable* table,
-                 std::string join_root = "JoinRoot")
+                 std::string join_root = "JoinRoot", int num_threads = 1)
       : engine_(engine),
         glue_(glue),
         table_(table),
-        join_root_(std::move(join_root)) {}
+        join_root_(std::move(join_root)),
+        num_threads_(num_threads) {}
 
   /// Populates the plan table bottom-up for every achievable table subset.
   Status Run();
@@ -40,10 +56,20 @@ class JoinEnumerator {
   Stats& stats() { return stats_; }
 
  private:
+  /// Enumerates the splits of one subset and inserts the resulting join
+  /// plans; `engine` is the calling worker's (or the main) engine, `stats`
+  /// the worker-local counters.
+  Status ProcessSubset(uint64_t mask, StarEngine* engine, Stats* stats);
+
+  /// Runs ranks 2..n over a pool of `threads` workers with a barrier
+  /// between ranks.
+  Status RunParallel(int n, int threads);
+
   StarEngine* engine_;
   Glue* glue_;
   PlanTable* table_;
   std::string join_root_;
+  int num_threads_;
   Stats stats_;
 };
 

@@ -1,6 +1,7 @@
 #include "optimizer/optimizer.h"
 
 #include <chrono>
+#include <cstdlib>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -8,6 +9,17 @@
 #include "query/query.h"
 
 namespace starburst {
+
+int DefaultEnumerationThreads() {
+  // Lets CI (and users) run the whole suite parallel without touching every
+  // call site: STARBURST_NUM_THREADS=4 ctest ...
+  const char* env = std::getenv("STARBURST_NUM_THREADS");
+  if (env == nullptr || *env == '\0') return 1;
+  char* end = nullptr;
+  long v = std::strtol(env, &end, 10);
+  if (end == env || v < 0 || v > 1024) return 1;
+  return static_cast<int>(v);
+}
 
 Optimizer::Optimizer(RuleSet rules, OptimizerOptions options)
     : rules_(std::move(rules)), options_(options) {
@@ -36,7 +48,8 @@ Result<OptimizeResult> Optimizer::Optimize(const Query& query) {
 
   // Phase 1: bottom-up STAR expansion over all table subsets (this is where
   // most STAR references and Glue calls happen).
-  JoinEnumerator enumerator(&engine, &glue, &table);
+  JoinEnumerator enumerator(&engine, &glue, &table, "JoinRoot",
+                            options_.num_threads);
   {
     STARBURST_TRACE_SPAN(tracer, TraceKind::kPhase, "enumeration");
     ScopedTimer timer(metrics, "optimizer.phase.enumeration");

@@ -15,9 +15,17 @@ namespace starburst {
 class MetricsRegistry;
 class Tracer;
 
+/// Default for OptimizerOptions::num_threads: the STARBURST_NUM_THREADS
+/// environment variable if set (0 = one per hardware thread), else 1.
+int DefaultEnumerationThreads();
+
 struct OptimizerOptions {
   EngineOptions engine;
   CostParams cost_params;
+  /// Worker count for rank-parallel join enumeration: 1 = sequential,
+  /// 0 = one per hardware thread, n = a pool of n workers. Any value yields
+  /// the same best-plan cost and plan shape (see DESIGN.md).
+  int num_threads = DefaultEnumerationThreads();
   /// Non-owning observability sinks, both optional. The tracer records one
   /// rule-firing tree per Optimize call; the registry accumulates effort
   /// counters (star.*, glue.*, plan_table.*, enumerator.*) and per-phase

@@ -5,6 +5,7 @@
 #include "cost/cost_model.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "plan/explain.h"
 
 namespace starburst {
 
@@ -80,6 +81,15 @@ bool PlanDominates(const PlanOp& a, const PlanOp& b,
   return true;
 }
 
+// The kept set is the set of maximal elements under dominance, which is
+// insensitive to arrival order: a plan survives iff nothing in the *input*
+// dominates it (two plans that dominate each other are equal on cost and
+// every property, and dominance is transitive, so "dominated by a kept plan"
+// and "dominated by any arrival" select the same survivors, modulo which of
+// several equal plans represents its equivalence class). Parallel
+// enumeration therefore yields the same frontier whatever order workers
+// insert in; only representative identity can differ, and CheapestPlan's
+// structural tie-break makes that invisible downstream.
 void PruneDominated(SAP* plans, const CostModel& cost_model) {
   SAP kept;
   for (PlanPtr& candidate : *plans) {
@@ -105,11 +115,24 @@ void PruneDominated(SAP* plans, const CostModel& cost_model) {
 PlanPtr CheapestPlan(const SAP& plans, const CostModel& cost_model) {
   PlanPtr best;
   double best_cost = 0.0;
+  std::string best_sig;
   for (const PlanPtr& p : plans) {
     double c = cost_model.Total(p->props.cost());
     if (best == nullptr || c < best_cost) {
       best = p;
       best_cost = c;
+      best_sig.clear();
+    } else if (c == best_cost) {
+      // Tie-break on the structural signature first (stable across runs and
+      // thread counts), then on node id for byte-identical plans. Node id
+      // alone would not do: creation order — and hence id assignment —
+      // depends on worker scheduling.
+      if (best_sig.empty()) best_sig = PlanSignature(*best);
+      std::string sig = PlanSignature(*p);
+      if (sig < best_sig || (sig == best_sig && p->id < best->id)) {
+        best = p;
+        best_sig = std::move(sig);
+      }
     }
   }
   return best;
@@ -122,13 +145,13 @@ std::string PlanRef(const PlanOp& plan) {
 }
 }  // namespace
 
-bool PlanTable::Insert(QuantifierSet tables, PredSet preds, PlanPtr plan) {
-  ++stats_.inserts;
-  SAP& bucket = buckets_[Key{tables.mask(), preds.mask()}];
+bool PlanTable::InsertLocked(QuantifierSet tables, SAP& bucket, PlanPtr plan) {
+  inserts_.fetch_add(1, std::memory_order_relaxed);
   for (const PlanPtr& kept : bucket) {
     if (PlanDominates(*kept, *plan, *cost_model_)) {
-      ++stats_.pruned_dominated;
+      pruned_dominated_.fetch_add(1, std::memory_order_relaxed);
       if (ShouldTrace(tracer_)) {
+        std::lock_guard<std::mutex> trace_lock(trace_mu_);
         tracer_->Instant(TraceKind::kPlanTable, "prune " + PlanRef(*plan),
                          "dominated by " + PlanRef(*kept));
       }
@@ -141,6 +164,8 @@ bool PlanTable::Insert(QuantifierSet tables, PredSet preds, PlanPtr plan) {
                                 bool evict =
                                     PlanDominates(*plan, *kept, *cost_model_);
                                 if (evict && ShouldTrace(tracer_)) {
+                                  std::lock_guard<std::mutex> trace_lock(
+                                      trace_mu_);
                                   tracer_->Instant(
                                       TraceKind::kPlanTable,
                                       "evict " + PlanRef(*kept),
@@ -149,31 +174,90 @@ bool PlanTable::Insert(QuantifierSet tables, PredSet preds, PlanPtr plan) {
                                 return evict;
                               }),
                bucket.end());
-  stats_.evicted_dominated += static_cast<int64_t>(before - bucket.size());
+  evicted_dominated_.fetch_add(static_cast<int64_t>(before - bucket.size()),
+                               std::memory_order_relaxed);
   if (ShouldTrace(tracer_)) {
+    std::lock_guard<std::mutex> trace_lock(trace_mu_);
     tracer_->Instant(TraceKind::kPlanTable, "keep " + PlanRef(*plan),
                      "bucket " + tables.ToString() + " now " +
                          std::to_string(bucket.size() + 1) + " plan(s)");
   }
   bucket.push_back(std::move(plan));
-  ++stats_.kept;
+  kept_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
-const SAP* PlanTable::Lookup(QuantifierSet tables, PredSet preds) {
-  ++stats_.lookups;
-  auto it = buckets_.find(Key{tables.mask(), preds.mask()});
-  if (it == buckets_.end() || it->second.empty()) return nullptr;
-  ++stats_.hits;
-  return &it->second;
+bool PlanTable::Insert(QuantifierSet tables, PredSet preds, PlanPtr plan) {
+  Key key{tables.mask(), preds.mask()};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return InsertLocked(tables, shard.buckets[key], std::move(plan));
+}
+
+int PlanTable::InsertBatch(QuantifierSet tables, PredSet preds,
+                           const SAP& plans) {
+  Key key{tables.mask(), preds.mask()};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  SAP& bucket = shard.buckets[key];
+  int kept = 0;
+  for (const PlanPtr& p : plans) {
+    if (InsertLocked(tables, bucket, p)) ++kept;
+  }
+  return kept;
+}
+
+std::optional<SAP> PlanTable::Lookup(QuantifierSet tables, PredSet preds) {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  Key key{tables.mask(), preds.mask()};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.buckets.find(key);
+  if (it == shard.buckets.end() || it->second.empty()) return std::nullopt;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+bool PlanTable::Contains(QuantifierSet tables, PredSet preds) {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  Key key{tables.mask(), preds.mask()};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.buckets.find(key);
+  if (it == shard.buckets.end() || it->second.empty()) return false;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+int64_t PlanTable::num_buckets() const {
+  int64_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += static_cast<int64_t>(shard.buckets.size());
+  }
+  return n;
 }
 
 int64_t PlanTable::num_plans() const {
   int64_t n = 0;
-  for (const auto& [key, bucket] : buckets_) {
-    n += static_cast<int64_t>(bucket.size());
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [key, bucket] : shard.buckets) {
+      n += static_cast<int64_t>(bucket.size());
+    }
   }
   return n;
+}
+
+PlanTable::Stats PlanTable::stats() const {
+  Stats s;
+  s.inserts = inserts_.load(std::memory_order_relaxed);
+  s.kept = kept_.load(std::memory_order_relaxed);
+  s.pruned_dominated = pruned_dominated_.load(std::memory_order_relaxed);
+  s.evicted_dominated = evicted_dominated_.load(std::memory_order_relaxed);
+  s.lookups = lookups_.load(std::memory_order_relaxed);
+  s.hits = hits_.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace starburst

@@ -1,7 +1,11 @@
 #ifndef STARBURST_OPTIMIZER_PLAN_TABLE_H_
 #define STARBURST_OPTIMIZER_PLAN_TABLE_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 
@@ -23,7 +27,10 @@ bool PlanDominates(const PlanOp& a, const PlanOp& b,
 /// Removes every plan dominated by another plan in the set.
 void PruneDominated(SAP* plans, const CostModel& cost_model);
 
-/// The plan with the lowest total cost (nullptr for an empty set).
+/// The plan with the lowest total cost (nullptr for an empty set). Cost ties
+/// are broken structurally (plan signature, then node id), never by position
+/// in `plans`, so the choice is identical no matter what order parallel
+/// enumeration inserted the candidates in.
 PlanPtr CheapestPlan(const SAP& plans, const CostModel& cost_model);
 
 /// The optimizer's memo: "a data structure hashed on the tables and
@@ -32,6 +39,12 @@ PlanPtr CheapestPlan(const SAP& plans, const CostModel& cost_model);
 /// a plan is dropped only if some kept plan is no more expensive and at
 /// least as good on every physical property — the System-R "interesting
 /// order" rule generalized to the whole property vector.
+///
+/// Thread-safe: the buckets are sharded by key hash, each shard behind its
+/// own mutex, so rank-parallel enumeration workers insert and look up
+/// concurrently. Lookup returns a copy of the bucket taken under the shard
+/// lock rather than a pointer into it — a pointer could dangle (or expose a
+/// half-built bucket) the moment another worker inserts into the same key.
 class PlanTable {
  public:
   explicit PlanTable(const CostModel* cost_model) : cost_model_(cost_model) {}
@@ -52,19 +65,28 @@ class PlanTable {
   /// Adds `plan` under (tables, preds); returns true if it was kept.
   bool Insert(QuantifierSet tables, PredSet preds, PlanPtr plan);
 
-  /// All kept plans for the key, or nullptr if none.
-  const SAP* Lookup(QuantifierSet tables, PredSet preds);
+  /// Inserts every plan of `plans` under one shard-lock acquisition, so
+  /// concurrent readers see either none or all of the batch — never a
+  /// partially filled bucket whose Pareto frontier is still being built.
+  /// Returns the number of plans kept.
+  int InsertBatch(QuantifierSet tables, PredSet preds, const SAP& plans);
+
+  /// A copy of the kept plans for the key, or nullopt if none. The copy is
+  /// cheap (a vector of shared_ptr) and safe to use without holding any lock.
+  std::optional<SAP> Lookup(QuantifierSet tables, PredSet preds);
+
+  /// True if the key holds at least one plan (counted as a lookup/hit).
+  bool Contains(QuantifierSet tables, PredSet preds);
 
   /// Number of keys / total plans held.
-  int64_t num_buckets() const {
-    return static_cast<int64_t>(buckets_.size());
-  }
+  int64_t num_buckets() const;
   int64_t num_plans() const;
 
-  Stats& stats() { return stats_; }
-  const Stats& stats() const { return stats_; }
+  /// A consistent snapshot of the counters.
+  Stats stats() const;
 
   /// Attach a tracer to record each prune/keep/evict decision (null = off).
+  /// Not safe to call while inserts are in flight.
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
 
  private:
@@ -82,10 +104,38 @@ class PlanTable {
     }
   };
 
+  // 16 shards keeps lock contention negligible for the handful of workers a
+  // query optimizer runs, without bloating the table for tiny queries.
+  static constexpr size_t kNumShards = 16;
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<Key, SAP, KeyHash> buckets;
+  };
+
+  Shard& ShardFor(const Key& key) {
+    return shards_[KeyHash{}(key) % kNumShards];
+  }
+  const Shard& ShardFor(const Key& key) const {
+    return shards_[KeyHash{}(key) % kNumShards];
+  }
+
+  /// Inserts one plan into `bucket` (the shard lock must be held).
+  bool InsertLocked(QuantifierSet tables, SAP& bucket, PlanPtr plan);
+
   const CostModel* cost_model_;
   Tracer* tracer_ = nullptr;
-  std::unordered_map<Key, SAP, KeyHash> buckets_;
-  Stats stats_;
+  std::array<Shard, kNumShards> shards_;
+
+  // The tracer itself is not thread-safe; a dedicated mutex serializes the
+  // (rare, debug-only) prune/keep/evict instants from concurrent workers.
+  std::mutex trace_mu_;
+
+  std::atomic<int64_t> inserts_{0};
+  std::atomic<int64_t> kept_{0};
+  std::atomic<int64_t> pruned_dominated_{0};
+  std::atomic<int64_t> evicted_dominated_{0};
+  std::atomic<int64_t> lookups_{0};
+  std::atomic<int64_t> hits_{0};
 };
 
 }  // namespace starburst

@@ -57,8 +57,7 @@ Result<PlanPtr> PlanFactory::Make(const std::string& op_name,
   node->inputs = std::move(inputs);
   node->args = std::move(args);
   node->props = std::move(props).value();
-  ++nodes_created_;
-  node->id = nodes_created_;
+  node->id = nodes_created_.fetch_add(1, std::memory_order_relaxed) + 1;
   return PlanPtr(std::move(node));
 }
 

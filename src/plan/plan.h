@@ -1,6 +1,7 @@
 #ifndef STARBURST_PLAN_PLAN_H_
 #define STARBURST_PLAN_PLAN_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -56,13 +57,17 @@ class PlanFactory {
 
   /// Number of plan nodes constructed through this factory (optimizer
   /// effort metric used by the benchmarks).
-  int64_t nodes_created() const { return nodes_created_; }
+  int64_t nodes_created() const {
+    return nodes_created_.load(std::memory_order_relaxed);
+  }
 
  private:
   const Query& query_;
   const CostModel& cost_model_;
   const OperatorRegistry& registry_;
-  mutable int64_t nodes_created_ = 0;
+  // Atomic so parallel enumeration workers can construct plans through the
+  // shared factory; ids stay unique but their order reflects scheduling.
+  mutable std::atomic<int64_t> nodes_created_{0};
 };
 
 }  // namespace starburst

@@ -48,6 +48,18 @@ void EngineMetrics::Publish(MetricsRegistry* registry) const {
   registry->AddCounter("star.foreach_expansions", foreach_expansions);
 }
 
+void EngineMetrics::MergeFrom(const EngineMetrics& other) {
+  star_refs += other.star_refs;
+  alternatives_considered += other.alternatives_considered;
+  alternatives_taken += other.alternatives_taken;
+  conditions_evaluated += other.conditions_evaluated;
+  op_refs += other.op_refs;
+  plans_built += other.plans_built;
+  infeasible_combinations += other.infeasible_combinations;
+  glue_calls += other.glue_calls;
+  foreach_expansions += other.foreach_expansions;
+}
+
 const RuleValue* StarEngine::Env::Lookup(const std::string& name) const {
   auto it = vars_.find(name);
   if (it != vars_.end()) return &it->second;

@@ -46,6 +46,9 @@ struct EngineMetrics {
   std::string ToString() const;
   /// Publishes the counters into `registry` under the `star.` prefix.
   void Publish(MetricsRegistry* registry) const;
+  /// Accumulates another engine's counters (parallel enumeration merges
+  /// per-worker engines back into the main one after the run).
+  void MergeFrom(const EngineMetrics& other);
 };
 
 /// Interface Glue implements; broken out so star/ does not depend on glue/
@@ -98,6 +101,12 @@ class StarEngine {
   EngineMetrics& metrics() { return metrics_; }
   const EngineOptions& options() const { return options_; }
   const PlanFactory& factory() const { return *factory_; }
+  // The immutable inputs, exposed so parallel enumeration can build one
+  // engine per worker over the same factory/rules/functions (the engine's
+  // own state — depth, metrics, glue, tracer — is per-instance and not
+  // thread-safe, so workers must not share an engine).
+  const RuleSet* rules() const { return rules_; }
+  const FunctionRegistry* functions() const { return functions_; }
   const Query& query() const;
 
  private:

@@ -6,6 +6,7 @@
 
 #include "catalog/synthetic.h"
 #include "sql/parser.h"
+#include "star/dsl_parser.h"
 #include "test_util.h"
 
 namespace starburst {
@@ -43,14 +44,15 @@ TEST(EnumeratorTest, PopulatesEveryConnectedSubset) {
     for (int hi = lo; hi < 4; ++hi) {
       QuantifierSet s;
       for (int q = lo; q <= hi; ++q) s.Insert(q);
-      EXPECT_NE(h.table().Lookup(s, eligible(s)), nullptr)
+      EXPECT_TRUE(h.table().Lookup(s, eligible(s)).has_value())
           << "missing bucket for " << s.ToString();
     }
   }
   // Disconnected subsets (e.g. {T0, T2}) have no plans without cartesian.
   QuantifierSet disconnected = QuantifierSet::Single(0).Union(
       QuantifierSet::Single(2));
-  EXPECT_EQ(h.table().Lookup(disconnected, eligible(disconnected)), nullptr);
+  EXPECT_FALSE(
+      h.table().Lookup(disconnected, eligible(disconnected)).has_value());
 }
 
 TEST(EnumeratorTest, SplitAccountingMatchesTheory) {
@@ -109,7 +111,33 @@ TEST(EnumeratorTest, SingleTableQueryNeedsNoJoins) {
   JoinEnumerator e(&h.engine(), &h.glue(), &h.table());
   ASSERT_TRUE(e.Run().ok());
   EXPECT_EQ(e.stats().subsets, 0);
-  EXPECT_NE(h.table().Lookup(QuantifierSet::Single(0), PredSet{}), nullptr);
+  EXPECT_TRUE(
+      h.table().Lookup(QuantifierSet::Single(0), PredSet{}).has_value());
+}
+
+TEST(EnumeratorTest, EmptyAccessSapIsDescriptiveNotFound) {
+  // An AccessRoot whose only alternative never applies produces an empty SAP
+  // for every single-table stream — a legitimate "nothing satisfies the
+  // requirements" outcome, not an engine invariant violation. The enumerator
+  // must surface it as NotFound and name the quantifier it gave up on.
+  Catalog cat = ChainCatalog(2);
+  Query query = ParseSql(cat, ChainSql(2)).ValueOrDie();
+  RuleSet rules = DefaultRuleSet();
+  auto stars = ParseRules(R"(
+    star AccessRoot(T, P)
+      alt 'never' if nonempty({}):
+        TableAccess(T, P)
+    end
+  )");
+  ASSERT_TRUE(stars.ok()) << stars.status().ToString();
+  for (Star& s : stars.value()) rules.AddOrReplace(std::move(s));
+  EngineHarness h(query, std::move(rules));
+  JoinEnumerator e(&h.engine(), &h.glue(), &h.table());
+  Status st = e.Run();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound) << st.ToString();
+  // The message names the quantifier so the failure is actionable.
+  EXPECT_NE(st.ToString().find("'T0'"), std::string::npos) << st.ToString();
 }
 
 TEST(EnumeratorTest, EmptyQueryIsAnError) {

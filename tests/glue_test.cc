@@ -169,6 +169,76 @@ TEST_F(GlueTest, CorrelatedPredsStayOutOfPlainTemps) {
   }
 }
 
+TEST_F(GlueTest, CorrelatedPredicateMaterializationStoresThenProbes) {
+  // Augment steps 4-5 end to end: a [temp] requirement on a stream carrying
+  // a correlated predicate must STORE the uncorrelated content (step 4) and
+  // then probe the temp applying the deferred predicate (step 5) — never a
+  // FILTER before the STORE, which would freeze one outer tuple's probe
+  // value into the materialization.
+  EngineHarness h(query_, DefaultRuleSet());
+  StreamSpec spec = EmpSpec();
+  spec.preds.Insert(1);  // correlated: DEPT.DNO = EMP.DNO references DEPT
+  spec.required.temp = true;
+  auto sap = h.glue().Resolve(spec);
+  ASSERT_TRUE(sap.ok()) << sap.status().ToString();
+  ASSERT_GE(sap.value().size(), 1u);
+  bool saw_probe_over_store = false;
+  for (const PlanPtr& p : sap.value()) {
+    if (p->name() != "ACCESS") continue;
+    saw_probe_over_store = true;
+    // Step 5: the probe is the plain temp flavor (no [paths] requirement)
+    // and applies the deferred correlated predicate.
+    EXPECT_EQ(p->flavor, flavor::kTemp);
+    EXPECT_TRUE(p->props.preds().Contains(1)) << ExplainPlan(*p, query_);
+    // Step 4: its input is the STORE, a temp without the correlated
+    // predicate, carrying the generated temp name.
+    ASSERT_EQ(p->inputs.size(), 1u);
+    const PlanPtr& store = p->inputs[0];
+    EXPECT_EQ(store->name(), "STORE");
+    EXPECT_TRUE(store->props.temp());
+    EXPECT_FALSE(store->props.preds().Contains(1));
+    EXPECT_FALSE(store->args.GetString(arg::kTempName).empty());
+  }
+  EXPECT_TRUE(saw_probe_over_store)
+      << "no ACCESS(temp)-over-STORE plan came back";
+}
+
+TEST_F(GlueTest, TempNamesFollowTheConfiguredPrefix) {
+  // Parallel enumeration gives each worker its own prefix so concurrently
+  // generated temp names cannot collide.
+  EngineHarness h(query_, DefaultRuleSet());
+  h.glue().set_temp_prefix("w3_tmp");
+  StreamSpec spec = DeptSpec();
+  spec.required.temp = true;
+  auto sap = h.glue().Resolve(spec);
+  ASSERT_TRUE(sap.ok()) << sap.status().ToString();
+  ASSERT_GE(sap.value().size(), 1u);
+  for (const PlanPtr& p : sap.value()) {
+    ASSERT_EQ(p->name(), "STORE");
+    EXPECT_EQ(p->args.GetString(arg::kTempName).rfind("w3_tmp", 0), 0u)
+        << p->args.GetString(arg::kTempName);
+  }
+}
+
+TEST_F(GlueTest, AugmentedPlanCachingCanBeDisabled) {
+  // With caching off (as during enumeration), Resolve must not grow the
+  // plan table with augmented plans — candidate sets stay resolve-order
+  // independent.
+  EngineHarness h(query_, DefaultRuleSet());
+  h.glue().set_cache_augmented(false);
+  StreamSpec spec = DeptSpec();
+  spec.required.temp = true;
+  auto sap = h.glue().Resolve(spec);
+  ASSERT_TRUE(sap.ok());
+  int64_t plans_after_first = h.table().num_plans();
+  auto again = h.glue().Resolve(spec);
+  ASSERT_TRUE(again.ok());
+  // The base bucket exists (root reference), but no STORE-augmented plans
+  // were added on top of it.
+  EXPECT_EQ(h.table().num_plans(), plans_after_first);
+  for (const PlanPtr& p : again.value()) EXPECT_EQ(p->name(), "STORE");
+}
+
 TEST_F(GlueTest, PushedPredicatesReReferenceAccessRoot) {
   // Glue(EMP, {join pred}) must re-reference AccessRoot with the converted
   // join predicate (not retrofit a FILTER), yielding an index probe.

@@ -7,6 +7,7 @@
 
 #include <cctype>
 #include <cstdlib>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -257,6 +258,43 @@ TEST(LatencyHistogramTest, PercentilesTrackAUniformDistribution) {
   EXPECT_EQ(h.count(), 0);
 }
 
+TEST(LatencyHistogramTest, SubMicrosecondSamplesStayInsideBucketZero) {
+  // Bucket 0 holds everything in [0, 2^(1/4)); its lower bound is 0, so
+  // interpolation cannot inflate a quantile of sub-microsecond data past the
+  // bucket (the old lower bound of 2^0 = 1.0 contradicted BucketOf).
+  LatencyHistogram h;
+  for (int i = 1; i <= 10; ++i) h.Record(i / 10.0);  // 0.1 .. 1.0
+  EXPECT_EQ(h.count(), 10);
+  for (double q : {0.1, 0.5, 0.9}) {
+    double v = h.Percentile(q);
+    EXPECT_GE(v, h.min()) << "q=" << q;
+    EXPECT_LE(v, h.max()) << "q=" << q;
+  }
+  // A constant sub-microsecond stream reports that exact value.
+  LatencyHistogram constant;
+  for (int i = 0; i < 50; ++i) constant.Record(0.5);
+  EXPECT_DOUBLE_EQ(constant.Percentile(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(constant.Percentile(0.99), 0.5);
+}
+
+TEST(LatencyHistogramTest, NegativeAndNanSamplesAreDroppedNotCoerced) {
+  LatencyHistogram h;
+  h.Record(-5.0);
+  h.Record(std::numeric_limits<double>::quiet_NaN());
+  h.Record(2.0);
+  // The bogus samples are tallied separately, not folded into the stats as
+  // zeros (which would silently drag down min/mean).
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.dropped(), 2);
+  EXPECT_DOUBLE_EQ(h.sum(), 2.0);
+  EXPECT_DOUBLE_EQ(h.min(), 2.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 2.0);
+
+  h.Reset();
+  EXPECT_EQ(h.dropped(), 0);
+}
+
 // ---------------------------------------------------------------------------
 // MetricsRegistry
 
@@ -300,6 +338,18 @@ TEST(MetricsRegistryTest, SnapshotAndJsonRoundTripValues) {
   metrics.Reset();
   EXPECT_EQ(metrics.counter("star.refs"), 0);
   EXPECT_EQ(metrics.histogram("optimizer.phase.glue"), nullptr);
+}
+
+TEST(MetricsRegistryTest, DroppedSamplesSurfaceInSnapshotAndJson) {
+  MetricsRegistry metrics;
+  metrics.RecordLatency("phase", -1.0);
+  metrics.RecordLatency("phase", 3.0);
+  MetricsRegistry::Snapshot snap = metrics.TakeSnapshot();
+  EXPECT_EQ(snap.histograms.at("phase").count, 1);
+  EXPECT_EQ(snap.histograms.at("phase").dropped, 1);
+  std::string json = metrics.ToJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_DOUBLE_EQ(ExtractNumber(json, "dropped"), 1.0);
 }
 
 TEST(MetricsRegistryTest, ScopedTimerRecordsHistogramAndGauge) {

@@ -1,0 +1,279 @@
+// Tests for rank-parallel join enumeration: the determinism guarantee
+// (identical best-plan cost and shape at any thread count), order-insensitive
+// tie-breaking, and concurrent hammering of the shared structures (the
+// latter mostly for the TSan CI job to chew on).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "catalog/synthetic.h"
+#include "obs/metrics.h"
+#include "optimizer/optimizer.h"
+#include "plan/explain.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace starburst {
+namespace {
+
+Catalog ChainCatalog(int n) {
+  SyntheticCatalogOptions opts;
+  opts.num_tables = n;
+  opts.seed = 21;
+  return MakeSyntheticCatalog(opts);
+}
+
+// All-heap variant for tests that hand-build ACCESS(heap) scans.
+Catalog HeapCatalog(int n) {
+  SyntheticCatalogOptions opts;
+  opts.num_tables = n;
+  opts.seed = 21;
+  opts.btree_fraction = 0.0;
+  return MakeSyntheticCatalog(opts);
+}
+
+std::string ChainSql(int n) {
+  std::string sql = "SELECT T0.id FROM T0";
+  for (int i = 1; i < n; ++i) sql += ", T" + std::to_string(i);
+  sql += " WHERE T1.fk0 = T0.id";
+  for (int i = 2; i < n; ++i) {
+    sql += " AND T" + std::to_string(i) + ".fk0 = T" + std::to_string(i - 1) +
+           ".id";
+  }
+  return sql;
+}
+
+// A star query: every satellite joins the hub T0.
+std::string StarSql(int n) {
+  std::string sql = "SELECT T0.id FROM T0";
+  for (int i = 1; i < n; ++i) sql += ", T" + std::to_string(i);
+  sql += " WHERE T1.fk0 = T0.id";
+  for (int i = 2; i < n; ++i) {
+    sql += " AND T" + std::to_string(i) + ".fk0 = T0.id";
+  }
+  return sql;
+}
+
+struct RunOutcome {
+  double total_cost = 0.0;
+  std::string signature;
+  int64_t plans_in_table = 0;
+  JoinEnumerator::Stats enumerator_stats;
+};
+
+RunOutcome OptimizeAt(const Catalog& cat, const std::string& sql,
+                      int threads) {
+  Query query = ParseSql(cat, sql).ValueOrDie();
+  OptimizerOptions options;
+  options.num_threads = threads;
+  Optimizer optimizer(DefaultRuleSet(), options);
+  auto result = optimizer.Optimize(query);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  RunOutcome out;
+  out.total_cost = result.value().total_cost;
+  out.signature = PlanSignature(*result.value().best);
+  out.plans_in_table = result.value().plans_in_table;
+  out.enumerator_stats = result.value().enumerator_stats;
+  return out;
+}
+
+void ExpectSameOutcome(const RunOutcome& a, const RunOutcome& b,
+                       const char* label) {
+  EXPECT_DOUBLE_EQ(a.total_cost, b.total_cost) << label;
+  EXPECT_EQ(a.signature, b.signature) << label;
+  EXPECT_EQ(a.plans_in_table, b.plans_in_table) << label;
+  EXPECT_EQ(a.enumerator_stats.subsets, b.enumerator_stats.subsets) << label;
+  EXPECT_EQ(a.enumerator_stats.splits_considered,
+            b.enumerator_stats.splits_considered)
+      << label;
+  EXPECT_EQ(a.enumerator_stats.joinable_pairs,
+            b.enumerator_stats.joinable_pairs)
+      << label;
+  EXPECT_EQ(a.enumerator_stats.join_root_refs,
+            b.enumerator_stats.join_root_refs)
+      << label;
+}
+
+TEST(ParallelEnumerationTest, ChainQueryIsDeterministicAcrossThreadCounts) {
+  Catalog cat = ChainCatalog(8);
+  std::string sql = ChainSql(8);
+  RunOutcome base = OptimizeAt(cat, sql, 1);
+  EXPECT_GT(base.total_cost, 0.0);
+  for (int threads : {2, 4, 0 /* hardware concurrency */}) {
+    RunOutcome parallel = OptimizeAt(cat, sql, threads);
+    ExpectSameOutcome(base, parallel,
+                      ("chain, threads=" + std::to_string(threads)).c_str());
+  }
+}
+
+TEST(ParallelEnumerationTest, StarQueryIsDeterministicAcrossThreadCounts) {
+  Catalog cat = ChainCatalog(8);
+  std::string sql = StarSql(8);
+  RunOutcome base = OptimizeAt(cat, sql, 1);
+  for (int threads : {2, 4}) {
+    RunOutcome parallel = OptimizeAt(cat, sql, threads);
+    ExpectSameOutcome(base, parallel,
+                      ("star, threads=" + std::to_string(threads)).c_str());
+  }
+}
+
+TEST(ParallelEnumerationTest, RepeatedParallelRunsAgree) {
+  // Thread scheduling varies run to run; the outcome must not.
+  Catalog cat = ChainCatalog(7);
+  std::string sql = StarSql(7);
+  RunOutcome first = OptimizeAt(cat, sql, 4);
+  for (int run = 0; run < 3; ++run) {
+    RunOutcome again = OptimizeAt(cat, sql, 4);
+    ExpectSameOutcome(first, again, "repeated parallel run");
+  }
+}
+
+TEST(ParallelEnumerationTest, EnumeratorErrorSurvivesParallelRun) {
+  // A query with no tables errors identically at any thread count.
+  Catalog cat = ChainCatalog(1);
+  Query query(&cat);
+  EngineHarness h(query, DefaultRuleSet());
+  JoinEnumerator e(&h.engine(), &h.glue(), &h.table(), "JoinRoot", 4);
+  EXPECT_FALSE(e.Run().ok());
+}
+
+TEST(CheapestPlanTest, TieBreakIsInsensitiveToInsertionOrder) {
+  Catalog cat = HeapCatalog(2);
+  Query query = ParseSql(cat, ChainSql(2)).ValueOrDie();
+  EngineHarness h(query, DefaultRuleSet());
+
+  auto scan = [&](int q) {
+    OpArgs args;
+    args.Set(arg::kQuantifier, int64_t{q});
+    args.Set(arg::kCols, std::vector<ColumnRef>{
+                             query.ResolveColumn("T" + std::to_string(q), "id")
+                                 .ValueOrDie()});
+    return h.factory()
+        .Make(op::kAccess, flavor::kHeap, {}, std::move(args))
+        .ValueOrDie();
+  };
+  // Two scans of the same table: equal cost AND equal signature, so the
+  // final id tie-break decides. Whatever order they arrive in, the winner
+  // must be the same node (the one created first, i.e. the smaller id).
+  PlanPtr a = scan(0);
+  PlanPtr b = scan(0);
+  ASSERT_EQ(h.cost_model().Total(a->props.cost()),
+            h.cost_model().Total(b->props.cost()));
+  ASSERT_NE(a->id, b->id);
+  SAP forward{a, b};
+  SAP backward{b, a};
+  PlanPtr pick1 = CheapestPlan(forward, h.cost_model());
+  PlanPtr pick2 = CheapestPlan(backward, h.cost_model());
+  ASSERT_NE(pick1, nullptr);
+  EXPECT_EQ(pick1.get(), pick2.get());
+  EXPECT_EQ(PlanSignature(*pick1), PlanSignature(*pick2));
+}
+
+// --- Concurrency hammers (primarily for the TSan job) ----------------------
+
+TEST(ThreadSafetyTest, PlanTableConcurrentInsertLookup) {
+  Catalog cat = HeapCatalog(2);
+  Query query = ParseSql(cat, ChainSql(2)).ValueOrDie();
+  EngineHarness h(query, DefaultRuleSet());
+  PlanTable& table = h.table();
+
+  auto scan = [&](int q) {
+    OpArgs args;
+    args.Set(arg::kQuantifier, int64_t{q});
+    args.Set(arg::kCols, std::vector<ColumnRef>{
+                             query.ResolveColumn("T" + std::to_string(q), "id")
+                                 .ValueOrDie()});
+    return h.factory()
+        .Make(op::kAccess, flavor::kHeap, {}, std::move(args))
+        .ValueOrDie();
+  };
+
+  constexpr int kThreads = 4;
+  constexpr int kKeys = 32;
+  std::vector<std::thread> pool;
+  std::atomic<int> found{0};
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      PlanPtr mine = scan(t % 2);
+      for (int i = 0; i < 200; ++i) {
+        QuantifierSet key = QuantifierSet::FromMask(
+            static_cast<uint64_t>(i % kKeys) + 1);
+        table.Insert(key, PredSet{}, mine);
+        if (table.Contains(key, PredSet{})) {
+          std::optional<SAP> bucket = table.Lookup(key, PredSet{});
+          if (bucket.has_value() && !bucket->empty()) {
+            found.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(found.load(), kThreads * 200);
+  EXPECT_EQ(table.num_buckets(), kKeys);
+  EXPECT_GT(table.stats().inserts, 0);
+}
+
+TEST(ThreadSafetyTest, PlanFactoryConcurrentIdsAreUnique) {
+  Catalog cat = HeapCatalog(2);
+  Query query = ParseSql(cat, ChainSql(2)).ValueOrDie();
+  EngineHarness h(query, DefaultRuleSet());
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 250;
+  std::vector<std::vector<int64_t>> ids(kThreads);
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        OpArgs args;
+        args.Set(arg::kQuantifier, int64_t{0});
+        args.Set(arg::kCols,
+                 std::vector<ColumnRef>{
+                     query.ResolveColumn("T0", "id").ValueOrDie()});
+        PlanPtr p = h.factory()
+                        .Make(op::kAccess, flavor::kHeap, {}, std::move(args))
+                        .ValueOrDie();
+        ids[static_cast<size_t>(t)].push_back(p->id);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+
+  std::vector<int64_t> all;
+  for (const auto& v : ids) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end())
+      << "duplicate plan ids under concurrent construction";
+  EXPECT_EQ(h.factory().nodes_created(), kThreads * kPerThread);
+}
+
+TEST(ThreadSafetyTest, MetricsRegistryConcurrentWriters) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        registry.AddCounter("hammer.counter", 1);
+        registry.SetGauge("hammer.gauge", static_cast<double>(i));
+        registry.RecordLatency("hammer.latency", static_cast<double>(i));
+        if (i % 64 == 0) (void)registry.TakeSnapshot();
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(registry.counter("hammer.counter"), kThreads * kPerThread);
+  MetricsRegistry::Snapshot snap = registry.TakeSnapshot();
+  EXPECT_EQ(snap.histograms.at("hammer.latency").count,
+            kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace starburst

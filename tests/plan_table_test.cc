@@ -51,13 +51,13 @@ class PlanTableTest : public ::testing::Test {
 TEST_F(PlanTableTest, LookupMissesBeforeInsertHitsAfter) {
   PlanTable& t = harness_.table();
   QuantifierSet q = QuantifierSet::Single(0);
-  EXPECT_EQ(t.Lookup(q, PredSet{}), nullptr);
+  EXPECT_FALSE(t.Lookup(q, PredSet{}).has_value());
   EXPECT_TRUE(t.Insert(q, PredSet{}, Scan(PredSet{})));
-  const SAP* bucket = t.Lookup(q, PredSet{});
-  ASSERT_NE(bucket, nullptr);
+  std::optional<SAP> bucket = t.Lookup(q, PredSet{});
+  ASSERT_TRUE(bucket.has_value());
   EXPECT_EQ(bucket->size(), 1u);
   // Different predicate key = different bucket.
-  EXPECT_EQ(t.Lookup(q, PredSet::Single(0)), nullptr);
+  EXPECT_FALSE(t.Lookup(q, PredSet::Single(0)).has_value());
   EXPECT_EQ(t.num_buckets(), 1);
   EXPECT_EQ(t.num_plans(), 1);
 }
@@ -91,8 +91,8 @@ TEST_F(PlanTableTest, CheaperEqualPropertiesEvicts) {
   EXPECT_TRUE(t.Insert(q, PredSet{}, expensive));
   EXPECT_TRUE(t.Insert(q, PredSet{}, cheap));
   EXPECT_EQ(t.stats().evicted_dominated, 1);
-  const SAP* bucket = t.Lookup(q, PredSet{});
-  ASSERT_NE(bucket, nullptr);
+  std::optional<SAP> bucket = t.Lookup(q, PredSet{});
+  ASSERT_TRUE(bucket.has_value());
   ASSERT_EQ(bucket->size(), 1u);
   EXPECT_EQ((*bucket)[0].get(), cheap.get());
 }
