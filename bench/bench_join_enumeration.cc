@@ -231,10 +231,10 @@ void PrintParallelArtifact() {
     std::printf(
         "BENCH_JSON {\"bench\":\"join_enumeration\",\"tables\":%d,"
         "\"threads\":%d,\"micros\":%.0f,\"best_cost\":%.2f,\"plans\":%lld,"
-        "\"signature_match\":%s}\n",
+        "\"signature_match\":%s,\"degraded\":%d}\n",
         kTables, threads, best_us, last.total_cost,
         static_cast<long long>(last.plans_in_table),
-        match ? "true" : "false");
+        match ? "true" : "false", last.degraded() ? 1 : 0);
   }
   std::printf("\n");
 }

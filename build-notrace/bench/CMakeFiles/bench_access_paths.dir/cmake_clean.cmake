@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_access_paths.dir/bench_access_paths.cc.o"
+  "CMakeFiles/bench_access_paths.dir/bench_access_paths.cc.o.d"
+  "bench_access_paths"
+  "bench_access_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_access_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

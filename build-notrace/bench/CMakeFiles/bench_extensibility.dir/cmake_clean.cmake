@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extensibility.dir/bench_extensibility.cc.o"
+  "CMakeFiles/bench_extensibility.dir/bench_extensibility.cc.o.d"
+  "bench_extensibility"
+  "bench_extensibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extensibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

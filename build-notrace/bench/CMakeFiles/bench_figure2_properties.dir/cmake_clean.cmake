@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure2_properties.dir/bench_figure2_properties.cc.o"
+  "CMakeFiles/bench_figure2_properties.dir/bench_figure2_properties.cc.o.d"
+  "bench_figure2_properties"
+  "bench_figure2_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure2_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure3_glue.dir/bench_figure3_glue.cc.o"
+  "CMakeFiles/bench_figure3_glue.dir/bench_figure3_glue.cc.o.d"
+  "bench_figure3_glue"
+  "bench_figure3_glue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure3_glue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

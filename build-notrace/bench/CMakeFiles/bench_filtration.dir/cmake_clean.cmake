@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_filtration.dir/bench_filtration.cc.o"
+  "CMakeFiles/bench_filtration.dir/bench_filtration.cc.o.d"
+  "bench_filtration"
+  "bench_filtration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_filtration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

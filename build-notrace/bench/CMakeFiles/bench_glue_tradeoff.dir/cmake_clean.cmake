@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_glue_tradeoff.dir/bench_glue_tradeoff.cc.o"
+  "CMakeFiles/bench_glue_tradeoff.dir/bench_glue_tradeoff.cc.o.d"
+  "bench_glue_tradeoff"
+  "bench_glue_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_glue_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_interpreter.dir/bench_interpreter.cc.o"
+  "CMakeFiles/bench_interpreter.dir/bench_interpreter.cc.o.d"
+  "bench_interpreter"
+  "bench_interpreter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_interpreter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

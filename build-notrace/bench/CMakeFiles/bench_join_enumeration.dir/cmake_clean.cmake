@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_join_enumeration.dir/bench_join_enumeration.cc.o"
+  "CMakeFiles/bench_join_enumeration.dir/bench_join_enumeration.cc.o.d"
+  "bench_join_enumeration"
+  "bench_join_enumeration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_join_enumeration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_join_methods.dir/bench_join_methods.cc.o"
+  "CMakeFiles/bench_join_methods.dir/bench_join_methods.cc.o.d"
+  "bench_join_methods"
+  "bench_join_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_join_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

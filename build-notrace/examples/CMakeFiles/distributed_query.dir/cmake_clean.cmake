@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_query.dir/distributed_query.cpp.o"
+  "CMakeFiles/distributed_query.dir/distributed_query.cpp.o.d"
+  "distributed_query"
+  "distributed_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extend_optimizer.dir/extend_optimizer.cpp.o"
+  "CMakeFiles/extend_optimizer.dir/extend_optimizer.cpp.o.d"
+  "extend_optimizer"
+  "extend_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extend_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

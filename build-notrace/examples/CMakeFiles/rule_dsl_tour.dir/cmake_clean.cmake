@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_dsl_tour.dir/rule_dsl_tour.cpp.o"
+  "CMakeFiles/rule_dsl_tour.dir/rule_dsl_tour.cpp.o.d"
+  "rule_dsl_tour"
+  "rule_dsl_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_dsl_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

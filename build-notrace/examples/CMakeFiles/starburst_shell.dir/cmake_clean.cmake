@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starburst_shell.dir/starburst_shell.cpp.o"
+  "CMakeFiles/starburst_shell.dir/starburst_shell.cpp.o.d"
+  "starburst_shell"
+  "starburst_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starburst_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

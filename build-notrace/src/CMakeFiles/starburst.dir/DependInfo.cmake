@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/pattern.cc" "src/CMakeFiles/starburst.dir/baseline/pattern.cc.o" "gcc" "src/CMakeFiles/starburst.dir/baseline/pattern.cc.o.d"
+  "/root/repo/src/baseline/transform_optimizer.cc" "src/CMakeFiles/starburst.dir/baseline/transform_optimizer.cc.o" "gcc" "src/CMakeFiles/starburst.dir/baseline/transform_optimizer.cc.o.d"
+  "/root/repo/src/baseline/transform_rules.cc" "src/CMakeFiles/starburst.dir/baseline/transform_rules.cc.o" "gcc" "src/CMakeFiles/starburst.dir/baseline/transform_rules.cc.o.d"
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/starburst.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/starburst.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/catalog/synthetic.cc" "src/CMakeFiles/starburst.dir/catalog/synthetic.cc.o" "gcc" "src/CMakeFiles/starburst.dir/catalog/synthetic.cc.o.d"
+  "/root/repo/src/common/fault_injector.cc" "src/CMakeFiles/starburst.dir/common/fault_injector.cc.o" "gcc" "src/CMakeFiles/starburst.dir/common/fault_injector.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/starburst.dir/common/status.cc.o" "gcc" "src/CMakeFiles/starburst.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/starburst.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/starburst.dir/common/strings.cc.o.d"
+  "/root/repo/src/common/value.cc" "src/CMakeFiles/starburst.dir/common/value.cc.o" "gcc" "src/CMakeFiles/starburst.dir/common/value.cc.o.d"
+  "/root/repo/src/cost/cost_model.cc" "src/CMakeFiles/starburst.dir/cost/cost_model.cc.o" "gcc" "src/CMakeFiles/starburst.dir/cost/cost_model.cc.o.d"
+  "/root/repo/src/cost/selectivity.cc" "src/CMakeFiles/starburst.dir/cost/selectivity.cc.o" "gcc" "src/CMakeFiles/starburst.dir/cost/selectivity.cc.o.d"
+  "/root/repo/src/exec/evaluator.cc" "src/CMakeFiles/starburst.dir/exec/evaluator.cc.o" "gcc" "src/CMakeFiles/starburst.dir/exec/evaluator.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/CMakeFiles/starburst.dir/exec/executor.cc.o" "gcc" "src/CMakeFiles/starburst.dir/exec/executor.cc.o.d"
+  "/root/repo/src/glue/glue.cc" "src/CMakeFiles/starburst.dir/glue/glue.cc.o" "gcc" "src/CMakeFiles/starburst.dir/glue/glue.cc.o.d"
+  "/root/repo/src/obs/metrics.cc" "src/CMakeFiles/starburst.dir/obs/metrics.cc.o" "gcc" "src/CMakeFiles/starburst.dir/obs/metrics.cc.o.d"
+  "/root/repo/src/obs/trace.cc" "src/CMakeFiles/starburst.dir/obs/trace.cc.o" "gcc" "src/CMakeFiles/starburst.dir/obs/trace.cc.o.d"
+  "/root/repo/src/optimizer/enumerator.cc" "src/CMakeFiles/starburst.dir/optimizer/enumerator.cc.o" "gcc" "src/CMakeFiles/starburst.dir/optimizer/enumerator.cc.o.d"
+  "/root/repo/src/optimizer/governor.cc" "src/CMakeFiles/starburst.dir/optimizer/governor.cc.o" "gcc" "src/CMakeFiles/starburst.dir/optimizer/governor.cc.o.d"
+  "/root/repo/src/optimizer/greedy_enumerator.cc" "src/CMakeFiles/starburst.dir/optimizer/greedy_enumerator.cc.o" "gcc" "src/CMakeFiles/starburst.dir/optimizer/greedy_enumerator.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/CMakeFiles/starburst.dir/optimizer/optimizer.cc.o" "gcc" "src/CMakeFiles/starburst.dir/optimizer/optimizer.cc.o.d"
+  "/root/repo/src/optimizer/plan_table.cc" "src/CMakeFiles/starburst.dir/optimizer/plan_table.cc.o" "gcc" "src/CMakeFiles/starburst.dir/optimizer/plan_table.cc.o.d"
+  "/root/repo/src/plan/explain.cc" "src/CMakeFiles/starburst.dir/plan/explain.cc.o" "gcc" "src/CMakeFiles/starburst.dir/plan/explain.cc.o.d"
+  "/root/repo/src/plan/operator.cc" "src/CMakeFiles/starburst.dir/plan/operator.cc.o" "gcc" "src/CMakeFiles/starburst.dir/plan/operator.cc.o.d"
+  "/root/repo/src/plan/plan.cc" "src/CMakeFiles/starburst.dir/plan/plan.cc.o" "gcc" "src/CMakeFiles/starburst.dir/plan/plan.cc.o.d"
+  "/root/repo/src/plan/validate.cc" "src/CMakeFiles/starburst.dir/plan/validate.cc.o" "gcc" "src/CMakeFiles/starburst.dir/plan/validate.cc.o.d"
+  "/root/repo/src/properties/property.cc" "src/CMakeFiles/starburst.dir/properties/property.cc.o" "gcc" "src/CMakeFiles/starburst.dir/properties/property.cc.o.d"
+  "/root/repo/src/properties/property_functions.cc" "src/CMakeFiles/starburst.dir/properties/property_functions.cc.o" "gcc" "src/CMakeFiles/starburst.dir/properties/property_functions.cc.o.d"
+  "/root/repo/src/query/expr.cc" "src/CMakeFiles/starburst.dir/query/expr.cc.o" "gcc" "src/CMakeFiles/starburst.dir/query/expr.cc.o.d"
+  "/root/repo/src/query/predicate.cc" "src/CMakeFiles/starburst.dir/query/predicate.cc.o" "gcc" "src/CMakeFiles/starburst.dir/query/predicate.cc.o.d"
+  "/root/repo/src/query/query.cc" "src/CMakeFiles/starburst.dir/query/query.cc.o" "gcc" "src/CMakeFiles/starburst.dir/query/query.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/starburst.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/starburst.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/starburst.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/starburst.dir/sql/parser.cc.o.d"
+  "/root/repo/src/star/builtins.cc" "src/CMakeFiles/starburst.dir/star/builtins.cc.o" "gcc" "src/CMakeFiles/starburst.dir/star/builtins.cc.o.d"
+  "/root/repo/src/star/default_rules.cc" "src/CMakeFiles/starburst.dir/star/default_rules.cc.o" "gcc" "src/CMakeFiles/starburst.dir/star/default_rules.cc.o.d"
+  "/root/repo/src/star/dsl_lexer.cc" "src/CMakeFiles/starburst.dir/star/dsl_lexer.cc.o" "gcc" "src/CMakeFiles/starburst.dir/star/dsl_lexer.cc.o.d"
+  "/root/repo/src/star/dsl_parser.cc" "src/CMakeFiles/starburst.dir/star/dsl_parser.cc.o" "gcc" "src/CMakeFiles/starburst.dir/star/dsl_parser.cc.o.d"
+  "/root/repo/src/star/dsl_printer.cc" "src/CMakeFiles/starburst.dir/star/dsl_printer.cc.o" "gcc" "src/CMakeFiles/starburst.dir/star/dsl_printer.cc.o.d"
+  "/root/repo/src/star/engine.cc" "src/CMakeFiles/starburst.dir/star/engine.cc.o" "gcc" "src/CMakeFiles/starburst.dir/star/engine.cc.o.d"
+  "/root/repo/src/star/rule.cc" "src/CMakeFiles/starburst.dir/star/rule.cc.o" "gcc" "src/CMakeFiles/starburst.dir/star/rule.cc.o.d"
+  "/root/repo/src/storage/datagen.cc" "src/CMakeFiles/starburst.dir/storage/datagen.cc.o" "gcc" "src/CMakeFiles/starburst.dir/storage/datagen.cc.o.d"
+  "/root/repo/src/storage/index.cc" "src/CMakeFiles/starburst.dir/storage/index.cc.o" "gcc" "src/CMakeFiles/starburst.dir/storage/index.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/starburst.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/starburst.dir/storage/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

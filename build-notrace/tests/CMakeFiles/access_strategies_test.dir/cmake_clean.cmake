@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/access_strategies_test.dir/access_strategies_test.cc.o"
+  "CMakeFiles/access_strategies_test.dir/access_strategies_test.cc.o.d"
+  "access_strategies_test"
+  "access_strategies_test.pdb"
+  "access_strategies_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/access_strategies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

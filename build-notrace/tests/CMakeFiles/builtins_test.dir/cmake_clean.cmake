@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/builtins_test.dir/builtins_test.cc.o"
+  "CMakeFiles/builtins_test.dir/builtins_test.cc.o.d"
+  "builtins_test"
+  "builtins_test.pdb"
+  "builtins_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/builtins_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

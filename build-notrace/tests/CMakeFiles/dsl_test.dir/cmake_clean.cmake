@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsl_test.dir/dsl_test.cc.o"
+  "CMakeFiles/dsl_test.dir/dsl_test.cc.o.d"
+  "dsl_test"
+  "dsl_test.pdb"
+  "dsl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/executor_edge_test.dir/executor_edge_test.cc.o"
+  "CMakeFiles/executor_edge_test.dir/executor_edge_test.cc.o.d"
+  "executor_edge_test"
+  "executor_edge_test.pdb"
+  "executor_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/executor_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filtration_test.dir/filtration_test.cc.o"
+  "CMakeFiles/filtration_test.dir/filtration_test.cc.o.d"
+  "filtration_test"
+  "filtration_test.pdb"
+  "filtration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filtration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

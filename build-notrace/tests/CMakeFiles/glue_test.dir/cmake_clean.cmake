@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glue_test.dir/glue_test.cc.o"
+  "CMakeFiles/glue_test.dir/glue_test.cc.o.d"
+  "glue_test"
+  "glue_test.pdb"
+  "glue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimizer_property_test.dir/optimizer_property_test.cc.o"
+  "CMakeFiles/optimizer_property_test.dir/optimizer_property_test.cc.o.d"
+  "optimizer_property_test"
+  "optimizer_property_test.pdb"
+  "optimizer_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimizer_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/star_engine_test.dir/star_engine_test.cc.o"
+  "CMakeFiles/star_engine_test.dir/star_engine_test.cc.o.d"
+  "star_engine_test"
+  "star_engine_test.pdb"
+  "star_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/star_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

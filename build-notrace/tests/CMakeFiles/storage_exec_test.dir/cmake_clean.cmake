@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_exec_test.dir/storage_exec_test.cc.o"
+  "CMakeFiles/storage_exec_test.dir/storage_exec_test.cc.o.d"
+  "storage_exec_test"
+  "storage_exec_test.pdb"
+  "storage_exec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -91,7 +91,7 @@ int main() {
                 join_preds = JP,
                 residual_preds = minus(P, union(JP, IP)))
     end
-  )");
+  )", &sampled_opt.operators());
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;

@@ -19,6 +19,9 @@
 //   \catalog              list tables, columns, indexes, sites
 //   \metrics              optimizer effort counters + metrics registry
 //   \threads [n]          show/set join-enumeration worker threads
+//   \budget [spec]        show/set optimizer budgets (deadline_ms=, plans=,
+//                         bytes=; 0 = unlimited, "off" clears all)
+//   \faults [spec]        show/set fault injection (STARBURST_FAULTS syntax)
 //   \help, \quit
 
 #include <cstdio>
@@ -28,6 +31,7 @@
 #include <string>
 
 #include "catalog/synthetic.h"
+#include "common/fault_injector.h"
 #include "exec/evaluator.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -82,6 +86,10 @@ void PrintHelp() {
       "  \\catalog            show tables and indexes\n"
       "  \\metrics            effort counters + metrics registry snapshot\n"
       "  \\threads [n]        show/set join-enumeration threads (0 = hw)\n"
+      "  \\budget [spec]      show/set budgets: deadline_ms=N plans=N "
+      "bytes=N (0 = unlimited, 'off' clears)\n"
+      "  \\faults [spec]      show/set fault injection, e.g. "
+      "exec.scan.open=2 or seed=7,rate=0.02 ('off' disarms)\n"
       "  \\quit               exit\n");
 }
 
@@ -128,6 +136,10 @@ struct Shell {
       return;
     }
     last = std::move(result).value();
+    if (last.degraded()) {
+      std::printf("note: degraded to greedy enumeration (%s)\n",
+                  last.degradation_reason.c_str());
+    }
     if (!analyze) {
       std::printf("plan (cost %.1f, %zu alternatives kept):\n%s",
                   last.total_cost, last.final_plans.size(),
@@ -217,7 +229,8 @@ struct Shell {
     } else if (cmd == "\\enable") {
       Enable(rest);
     } else if (cmd == "\\load") {
-      Status st = LoadRulesFromFile(&optimizer.rules(), rest);
+      Status st = LoadRulesFromFile(&optimizer.rules(), rest,
+                                    &optimizer.operators());
       std::printf("%s\n", st.ok() ? "loaded" : st.ToString().c_str());
     } else if (cmd == "\\explain") {
       RunSql(rest, /*execute=*/false);
@@ -261,8 +274,69 @@ struct Shell {
                   last.glue_metrics.ToString().c_str(),
                   last.table_stats.ToString().c_str(),
                   last.enumerator_stats.ToString().c_str());
+      if (last.degraded()) {
+        std::printf("degraded: %s\n", last.degradation_reason.c_str());
+      }
       std::printf("registry (cumulative):\n%s",
                   metrics.TakeSnapshot().ToText().c_str());
+    } else if (cmd == "\\budget") {
+      OptimizerOptions& opts = optimizer.options();
+      if (rest.empty()) {
+        std::printf("deadline_ms=%lld plans=%lld bytes=%lld "
+                    "(0 = unlimited)\n",
+                    static_cast<long long>(opts.deadline_ms),
+                    static_cast<long long>(opts.max_plans),
+                    static_cast<long long>(opts.max_plan_table_bytes));
+        return;
+      }
+      if (rest == "off") {
+        opts.deadline_ms = opts.max_plans = opts.max_plan_table_bytes = 0;
+        std::printf("budgets cleared\n");
+        return;
+      }
+      std::istringstream spec(rest);
+      std::string part;
+      bool ok = true;
+      while (spec >> part) {
+        auto eq = part.find('=');
+        char* end = nullptr;
+        long long v = eq == std::string::npos
+                          ? -1
+                          : std::strtoll(part.c_str() + eq + 1, &end, 10);
+        if (eq == std::string::npos || end == part.c_str() + eq + 1 ||
+            *end != '\0' || v < 0) {
+          ok = false;
+          break;
+        }
+        std::string key = part.substr(0, eq);
+        if (key == "deadline_ms") {
+          opts.deadline_ms = v;
+        } else if (key == "plans") {
+          opts.max_plans = v;
+        } else if (key == "bytes") {
+          opts.max_plan_table_bytes = v;
+        } else {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) {
+        std::printf("usage: \\budget [deadline_ms=N] [plans=N] [bytes=N] "
+                    "| off\n");
+        return;
+      }
+      std::printf("budgets: deadline_ms=%lld plans=%lld bytes=%lld\n",
+                  static_cast<long long>(opts.deadline_ms),
+                  static_cast<long long>(opts.max_plans),
+                  static_cast<long long>(opts.max_plan_table_bytes));
+    } else if (cmd == "\\faults") {
+      if (rest.empty()) {
+        std::printf("%s\n", FaultInjector::Global()->ToString().c_str());
+        return;
+      }
+      Status st = FaultInjector::Global()->Configure(rest);
+      std::printf("%s\n", st.ok() ? FaultInjector::Global()->ToString().c_str()
+                                  : st.ToString().c_str());
     } else {
       std::printf("unknown command %s (try \\help)\n", cmd.c_str());
     }

@@ -25,11 +25,11 @@ std::string BaselineMetrics::ToString() const {
 
 TransformOptimizer::TransformOptimizer(BaselineOptions options)
     : options_(options) {
-  Status st = RegisterBuiltinOperators(&operators_);
-  if (!st.ok()) throw std::runtime_error(st.ToString());
+  init_status_ = RegisterBuiltinOperators(&operators_);
 }
 
 Result<BaselineResult> TransformOptimizer::Optimize(const Query& query) {
+  STARBURST_RETURN_NOT_OK(init_status_);
   auto start = std::chrono::steady_clock::now();
   if (query.catalog().num_sites() > 1) {
     // Not a limitation of the approach per se, but distributed rules are out

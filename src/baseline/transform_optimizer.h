@@ -58,6 +58,9 @@ class TransformOptimizer {
  private:
   BaselineOptions options_;
   OperatorRegistry operators_;
+  /// Builtin-registration outcome, reported from Optimize() rather than
+  /// thrown from the constructor.
+  Status init_status_;
 };
 
 }  // namespace starburst

@@ -2,11 +2,25 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <random>
 
 namespace starburst {
 
 namespace {
+
+/// AddTable can only fail on a duplicate name, which the generators never
+/// produce; if that invariant is ever broken, abort with the message instead
+/// of throwing (the library keeps exceptions out of its public surface).
+void MustAddTable(Catalog* cat, TableDef t) {
+  auto added = cat->AddTable(std::move(t));
+  if (!added.ok()) {
+    std::fprintf(stderr, "synthetic catalog: %s\n",
+                 added.status().ToString().c_str());
+    std::abort();
+  }
+}
 
 ColumnDef IntColumn(std::string name, double distinct, double min_v,
                     double max_v) {
@@ -82,7 +96,7 @@ Catalog MakeSyntheticCatalog(const SyntheticCatalogOptions& options) {
       ix.leaf_pages = std::max(1.0, std::ceil(rows / 200.0));
       t.indexes.push_back(ix);
     }
-    cat.AddTable(std::move(t)).ValueOrDie();
+    MustAddTable(&cat, std::move(t));
   }
   return cat;
 }
@@ -107,7 +121,7 @@ Catalog MakePaperCatalog(const PaperCatalogOptions& options) {
   dept.row_count = dept_rows;
   dept.data_pages = std::max(1.0, std::ceil(dept_rows / 40.0));
   dept.site = dept_site;
-  cat.AddTable(std::move(dept)).ValueOrDie();
+  MustAddTable(&cat, std::move(dept));
 
   TableDef emp;
   emp.name = "EMP";
@@ -126,7 +140,7 @@ Catalog MakePaperCatalog(const PaperCatalogOptions& options) {
     ix.leaf_pages = std::max(1.0, std::ceil(emp_rows / 200.0));
     emp.indexes.push_back(ix);
   }
-  cat.AddTable(std::move(emp)).ValueOrDie();
+  MustAddTable(&cat, std::move(emp));
   return cat;
 }
 

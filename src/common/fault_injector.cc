@@ -1,0 +1,197 @@
+#include "common/fault_injector.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace starburst {
+
+const std::vector<std::string>& KnownFaultSites() {
+  static const std::vector<std::string> kSites = {
+      faultsite::kEngineExpand, faultsite::kGlueResolve,
+      faultsite::kGlueStore,    faultsite::kExecScanOpen,
+      faultsite::kExecTempProbe, faultsite::kExecJoinRun,
+      faultsite::kExecSortRun,  faultsite::kExecStoreRun,
+  };
+  return kSites;
+}
+
+namespace {
+
+bool IsKnownSite(const std::string& name) {
+  for (const std::string& s : KnownFaultSites()) {
+    if (s == name) return true;
+  }
+  return false;
+}
+
+/// SplitMix64: a well-mixed 64-bit hash, good enough to turn
+/// (seed, site, hit) into an independent uniform draw.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double UniformDraw(uint64_t seed, const std::string& site, int64_t hit) {
+  uint64_t h = seed;
+  for (char c : site) h = Mix64(h ^ static_cast<uint64_t>(c));
+  h = Mix64(h ^ static_cast<uint64_t>(hit));
+  // Top 53 bits → [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+Result<double> ParseRate(const std::string& text) {
+  char* end = nullptr;
+  double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || v < 0.0 || v > 1.0) {
+    return Status::InvalidArgument("fault spec: rate '" + text +
+                                   "' is not a probability in [0,1]");
+  }
+  return v;
+}
+
+}  // namespace
+
+Status FaultInjector::Configure(const std::string& spec) {
+  uint64_t seed = 0;
+  double global_rate = 0.0;
+  std::map<std::string, SiteRule> rules;
+
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    std::string entry = spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? spec.size() : comma + 1;
+    // Trim surrounding spaces.
+    while (!entry.empty() && entry.front() == ' ') entry.erase(entry.begin());
+    while (!entry.empty() && entry.back() == ' ') entry.pop_back();
+    if (entry.empty() || entry == "off") continue;
+
+    size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument(
+          "fault spec: entry '" + entry +
+          "' is not key=value (expected seed=, rate=, or <site>=)");
+    }
+    std::string key = entry.substr(0, eq);
+    std::string value = entry.substr(eq + 1);
+    if (key == "seed") {
+      char* end = nullptr;
+      unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("fault spec: seed '" + value +
+                                       "' is not an unsigned integer");
+      }
+      seed = static_cast<uint64_t>(v);
+    } else if (key == "rate") {
+      auto rate = ParseRate(value);
+      if (!rate.ok()) return rate.status();
+      global_rate = rate.value();
+    } else {
+      if (!IsKnownSite(key)) {
+        std::string known;
+        for (const std::string& s : KnownFaultSites()) {
+          if (!known.empty()) known += ", ";
+          known += s;
+        }
+        return Status::InvalidArgument("fault spec: unknown site '" + key +
+                                       "' (known sites: " + known + ")");
+      }
+      SiteRule rule;
+      if (value.find('.') != std::string::npos) {
+        auto rate = ParseRate(value);
+        if (!rate.ok()) return rate.status();
+        rule.rate = rate.value();
+      } else {
+        char* end = nullptr;
+        long long v = std::strtoll(value.c_str(), &end, 10);
+        if (end == value.c_str() || *end != '\0' || v < 1) {
+          return Status::InvalidArgument(
+              "fault spec: '" + key + "=" + value +
+              "' must name a 1-based hit count or a probability with '.'");
+        }
+        rule.nth = v;
+      }
+      rules[key] = rule;
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  seed_ = seed;
+  global_rate_ = global_rate;
+  rules_ = std::move(rules);
+  hits_.clear();
+  armed_.store(!rules_.empty() || global_rate_ > 0.0,
+               std::memory_order_release);
+  return Status::OK();
+}
+
+Status FaultInjector::Check(const char* site) {
+  if (!armed_.load(std::memory_order_acquire)) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string key(site);
+  int64_t hit = ++hits_[key];
+
+  bool fire = false;
+  auto it = rules_.find(key);
+  if (it != rules_.end()) {
+    if (it->second.nth > 0 && hit == it->second.nth) fire = true;
+    if (it->second.rate > 0.0 &&
+        UniformDraw(seed_, key, hit) < it->second.rate) {
+      fire = true;
+    }
+  }
+  if (!fire && global_rate_ > 0.0 &&
+      UniformDraw(seed_, key, hit) < global_rate_) {
+    fire = true;
+  }
+  if (!fire) return Status::OK();
+  return Status::Internal("injected fault at " + key + " (hit " +
+                          std::to_string(hit) + ", seed " +
+                          std::to_string(seed_) + ")");
+}
+
+int64_t FaultInjector::hits(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = hits_.find(site);
+  return it == hits_.end() ? 0 : it->second;
+}
+
+void FaultInjector::ResetCounters() {
+  std::lock_guard<std::mutex> lock(mu_);
+  hits_.clear();
+}
+
+std::string FaultInjector::ToString() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (rules_.empty() && global_rate_ == 0.0) return "off";
+  std::string out = "seed=" + std::to_string(seed_);
+  if (global_rate_ > 0.0) {
+    out += ",rate=" + std::to_string(global_rate_);
+  }
+  for (const auto& [site, rule] : rules_) {
+    out += "," + site + "=";
+    out += rule.nth > 0 ? std::to_string(rule.nth) : std::to_string(rule.rate);
+  }
+  return out;
+}
+
+FaultInjector* FaultInjector::Global() {
+  static FaultInjector* injector = [] {
+    auto* f = new FaultInjector();
+    const char* env = std::getenv("STARBURST_FAULTS");
+    if (env != nullptr && *env != '\0') {
+      Status st = f->Configure(env);
+      if (!st.ok()) {
+        std::fprintf(stderr, "STARBURST_FAULTS ignored: %s\n",
+                     st.ToString().c_str());
+      }
+    }
+    return f;
+  }();
+  return injector;
+}
+
+}  // namespace starburst

@@ -1,0 +1,94 @@
+#ifndef STARBURST_COMMON_FAULT_INJECTOR_H_
+#define STARBURST_COMMON_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace starburst {
+
+/// The registered fault sites: every place in the pipeline where a
+/// FaultInjector::Check call is compiled in. Kept as a central list so tests
+/// can iterate all of them (and the spec parser can reject typos).
+namespace faultsite {
+inline constexpr const char* kEngineExpand = "engine.expand";
+inline constexpr const char* kGlueResolve = "glue.resolve";
+inline constexpr const char* kGlueStore = "glue.store";
+inline constexpr const char* kExecScanOpen = "exec.scan.open";
+inline constexpr const char* kExecTempProbe = "exec.temp.probe";
+inline constexpr const char* kExecJoinRun = "exec.join.run";
+inline constexpr const char* kExecSortRun = "exec.sort.run";
+inline constexpr const char* kExecStoreRun = "exec.store.run";
+}  // namespace faultsite
+
+/// All registered fault-site names, in a fixed order.
+const std::vector<std::string>& KnownFaultSites();
+
+/// Deterministic, seeded, site-keyed fault injection for robustness tests
+/// and the CI fault sweep. A disarmed injector costs one relaxed atomic load
+/// per Check — cheap enough to leave compiled into hot paths.
+///
+/// Spec grammar (STARBURST_FAULTS), comma-separated entries:
+///   seed=<uint>           seed for probabilistic entries (default 0)
+///   rate=<float in [0,1]> every site fails each hit with probability p,
+///                         decided by a deterministic hash of
+///                         (seed, site, hit index) — same seed, same faults
+///   <site>=<n>            the n-th hit (1-based) of <site> fails, exactly once
+///   <site>=<p>            per-hit probability for <site> alone (p contains '.')
+///   off                   disarm (also: the empty string)
+///
+/// Examples:
+///   STARBURST_FAULTS="exec.scan.open=2"        second scan open fails
+///   STARBURST_FAULTS="seed=7,rate=0.02"        2% of every site's hits fail
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+
+  /// Parses `spec` and replaces the active configuration. "" and "off"
+  /// disarm. Unknown site names and malformed entries are rejected with a
+  /// descriptive InvalidArgument (the whole point is failing loudly at
+  /// configuration time, not silently never firing).
+  Status Configure(const std::string& spec);
+
+  bool armed() const { return armed_.load(std::memory_order_acquire); }
+
+  /// The cooperative hook: returns OK, or the injected fault as
+  /// Internal("injected fault at <site> ...") when this hit fires.
+  /// Thread-safe; hit counting is per site.
+  Status Check(const char* site);
+
+  /// Times `site` was checked since the last Configure (armed mode only).
+  int64_t hits(const std::string& site) const;
+  /// Resets hit counters without changing the configuration.
+  void ResetCounters();
+
+  std::string ToString() const;
+
+  /// Process-wide injector, configured once from STARBURST_FAULTS on first
+  /// use (a malformed env spec disarms and is reported on stderr once).
+  /// Components default to this instance so the env knob reaches every
+  /// executor/engine/glue without explicit wiring.
+  static FaultInjector* Global();
+
+ private:
+  struct SiteRule {
+    int64_t nth = 0;    // fail the nth hit (1-based); 0 = not set
+    double rate = 0.0;  // per-hit probability; 0 = not set
+  };
+
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mu_;
+  uint64_t seed_ = 0;
+  double global_rate_ = 0.0;
+  std::map<std::string, SiteRule> rules_;
+  std::map<std::string, int64_t> hits_;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_COMMON_FAULT_INJECTOR_H_

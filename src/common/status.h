@@ -18,6 +18,11 @@ enum class StatusCode {
   kParseError,
   kInternal,
   kUnimplemented,
+  /// A cooperative budget (deadline, plan count, memory) was exhausted. A
+  /// distinct code because kInvalidArgument/kNotFound are treated as
+  /// "infeasible, skip this combination" inside the STAR engine — budget
+  /// exhaustion must never be swallowed that way.
+  kResourceExhausted,
 };
 
 /// A lightweight status object in the RocksDB/Arrow tradition: functions that
@@ -47,6 +52,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

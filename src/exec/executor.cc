@@ -3,9 +3,17 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/fault_injector.h"
 #include "storage/index.h"
 
 namespace starburst {
+
+Executor::Executor(const Database& db, const Query& query,
+                   const ExecutorRegistry* registry)
+    : db_(&db),
+      query_(&query),
+      registry_(registry),
+      faults_(FaultInjector::Global()) {}
 
 // ---------------------------------------------------------------------------
 // ExecutorRegistry
@@ -237,10 +245,24 @@ Result<ResultSet> Executor::Run(const PlanPtr& plan) {
   material_cache_.clear();
   env_.clear();
   base_rows_.clear();
+  // A failed run — real or injected — must not strand temps or binding
+  // frames: release everything before the error propagates.
+  auto release = [&]() {
+    material_cache_.clear();
+    schema_cache_.clear();
+    env_.clear();
+    base_rows_.clear();
+  };
   auto rows = Eval(*plan);
-  if (!rows.ok()) return rows.status();
+  if (!rows.ok()) {
+    release();
+    return rows.status();
+  }
   auto schema = SchemaOf(*plan);
-  if (!schema.ok()) return schema.status();
+  if (!schema.ok()) {
+    release();
+    return schema.status();
+  }
   ResultSet rs;
   rs.schema = std::move(schema).value();
   rs.rows = std::move(rows).value();
@@ -307,6 +329,7 @@ Result<std::vector<Tuple>> Executor::EvalAccess(const PlanOp& node) {
   const Query& query = *query_;
 
   if (node.flavor == flavor::kTemp || node.flavor == flavor::kTempIndex) {
+    STARBURST_RETURN_NOT_OK(faults_->Check(faultsite::kExecTempProbe));
     auto in_rows = Eval(*node.inputs[0]);
     if (!in_rows.ok()) return in_rows;
     auto schema = SchemaOf(*node.inputs[0]);
@@ -349,6 +372,7 @@ Result<std::vector<Tuple>> Executor::EvalAccess(const PlanOp& node) {
   }
 
   // Base-table flavors.
+  STARBURST_RETURN_NOT_OK(faults_->Check(faultsite::kExecScanOpen));
   int q = static_cast<int>(node.args.GetInt(arg::kQuantifier, -1));
   const StoredTable& table = db_->table(query.quantifier(q).table);
   std::vector<ColumnRef> cols = node.args.GetColumns(arg::kCols);
@@ -470,6 +494,7 @@ Result<std::vector<Tuple>> Executor::EvalGet(const PlanOp& node) {
 }
 
 Result<std::vector<Tuple>> Executor::EvalSort(const PlanOp& node) {
+  STARBURST_RETURN_NOT_OK(faults_->Check(faultsite::kExecSortRun));
   auto in_rows = Eval(*node.inputs[0]);
   if (!in_rows.ok()) return in_rows;
   auto schema = SchemaOf(node);
@@ -494,12 +519,14 @@ Result<std::vector<Tuple>> Executor::EvalSort(const PlanOp& node) {
 }
 
 Result<std::vector<Tuple>> Executor::EvalStoreLike(const PlanOp& node) {
+  STARBURST_RETURN_NOT_OK(faults_->Check(faultsite::kExecStoreRun));
   // SHIP and STORE change physical placement, which an in-memory simulation
   // realizes as identity on the tuple stream.
   return Eval(*node.inputs[0]);
 }
 
 Result<std::vector<Tuple>> Executor::EvalJoin(const PlanOp& node) {
+  STARBURST_RETURN_NOT_OK(faults_->Check(faultsite::kExecJoinRun));
   const PlanOp& outer_node = *node.inputs[0];
   const PlanOp& inner_node = *node.inputs[1];
   auto outer_schema_r = SchemaOf(outer_node);

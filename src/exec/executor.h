@@ -13,6 +13,8 @@
 
 namespace starburst {
 
+class FaultInjector;
+
 /// Positional layout of a tuple stream: which query-scope column each slot
 /// holds. Index ACCESSes expose `ColumnRef{q, kTidColumn}` slots.
 using Schema = std::vector<ColumnRef>;
@@ -77,10 +79,11 @@ class ExecutorRegistry {
 class Executor {
  public:
   Executor(const Database& db, const Query& query,
-           const ExecutorRegistry* registry = nullptr)
-      : db_(&db), query_(&query), registry_(registry) {}
+           const ExecutorRegistry* registry = nullptr);
 
-  /// Runs the plan to completion.
+  /// Runs the plan to completion. On failure — real or injected — every
+  /// cached materialization (temps, NL inners) is released before the error
+  /// returns, so an abandoned run leaks no execution state.
   Result<ResultSet> Run(const PlanPtr& plan);
 
   /// The output layout of `plan` without running it.
@@ -89,6 +92,13 @@ class Executor {
   /// Collect per-node actuals (EXPLAIN ANALYZE) into `stats` during Run.
   /// Null (the default) disables collection and its timing overhead.
   void set_run_stats(PlanRunStats* stats) { run_stats_ = stats; }
+
+  /// Override the fault injector (tests); defaults to FaultInjector::Global().
+  void set_faults(FaultInjector* faults) { faults_ = faults; }
+
+  /// Number of cached subplan materializations currently held (tests assert
+  /// this drops to zero after a failed Run).
+  size_t cached_materializations() const { return material_cache_.size(); }
 
  private:
   friend class ExecContext;
@@ -131,6 +141,7 @@ class Executor {
   const Query* query_;
   const ExecutorRegistry* registry_;
   PlanRunStats* run_stats_ = nullptr;
+  FaultInjector* faults_;
 
   std::vector<Frame> env_;
   // Cached materializations of uncorrelated subplans (NL inners, temps).

@@ -1,11 +1,19 @@
 #include "glue/glue.h"
 
+#include "common/fault_injector.h"
 #include "cost/cost_model.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "optimizer/governor.h"
 #include "query/query.h"
 
 namespace starburst {
+
+Glue::Glue(StarEngine* engine, PlanTable* table, std::string access_root)
+    : engine_(engine),
+      table_(table),
+      faults_(FaultInjector::Global()),
+      access_root_(std::move(access_root)) {}
 
 std::string Glue::Metrics::ToString() const {
   return "{calls=" + std::to_string(calls) +
@@ -164,6 +172,10 @@ Result<PlanPtr> Glue::Augment(PlanPtr plan, const StreamSpec& spec) {
   //    index (§4.5.3: "the STARs implementing Glue will add [order] and
   //    [temp] requirements to ensure the creation of a compact index").
   if (materializes && !p->props.temp()) {
+    // An injected failure here must surface as an error, not as a "candidate
+    // cannot take the veneer" nullptr — a silent skip would just pick a
+    // different plan and hide the fault.
+    STARBURST_RETURN_NOT_OK(faults_->Check(faultsite::kGlueStore));
     OpArgs store_args;
     store_args.Set(arg::kTempName, temp_prefix_ + std::to_string(++temp_counter_));
     if (req.path.has_value()) store_args.Set(arg::kIndexOn, *req.path);
@@ -188,6 +200,10 @@ Result<PlanPtr> Glue::Augment(PlanPtr plan, const StreamSpec& spec) {
 }
 
 Result<SAP> Glue::Resolve(const StreamSpec& spec) {
+  if (governor_ != nullptr) {
+    STARBURST_RETURN_NOT_OK(governor_->Check());
+  }
+  STARBURST_RETURN_NOT_OK(faults_->Check(faultsite::kGlueResolve));
   ++metrics_.calls;
   const Query& query = engine_->query();
   std::string label;

@@ -8,8 +8,10 @@
 
 namespace starburst {
 
+class FaultInjector;
 class Query;
 class MetricsRegistry;
+class ResourceGovernor;
 class Tracer;
 
 /// The paper's Glue mechanism (§3.2): given a stream spec with accumulated
@@ -38,14 +40,17 @@ class Glue : public GlueInterface {
   };
 
   Glue(StarEngine* engine, PlanTable* table,
-       std::string access_root = "AccessRoot")
-      : engine_(engine), table_(table), access_root_(std::move(access_root)) {}
+       std::string access_root = "AccessRoot");
 
   Result<SAP> Resolve(const StreamSpec& spec) override;
 
   Metrics& metrics() { return metrics_; }
   /// Attach a tracer to record Resolve spans (null = off).
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  /// Attach a resource governor checked at every Resolve (null = off).
+  void set_governor(ResourceGovernor* governor) { governor_ = governor; }
+  /// Override the fault injector (tests); defaults to FaultInjector::Global().
+  void set_faults(FaultInjector* faults) { faults_ = faults; }
 
   /// Whether Resolve may cache augmented plans back into the plan table
   /// (Figure 3's plan 3). The join enumerator turns this off for the
@@ -82,6 +87,8 @@ class Glue : public GlueInterface {
   StarEngine* engine_;
   PlanTable* table_;
   Tracer* tracer_ = nullptr;
+  ResourceGovernor* governor_ = nullptr;
+  FaultInjector* faults_;
   std::string access_root_;
   Metrics metrics_;
   bool cache_augmented_ = true;

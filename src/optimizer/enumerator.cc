@@ -10,6 +10,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "optimizer/governor.h"
 #include "query/query.h"
 
 namespace starburst {
@@ -62,6 +63,9 @@ class GlueCacheGuard {
 
 Status JoinEnumerator::ProcessSubset(uint64_t mask, StarEngine* engine,
                                      Stats* stats) {
+  if (governor_ != nullptr) {
+    STARBURST_RETURN_NOT_OK(governor_->Check());
+  }
   const Query& query = engine->query();
   const PredSet all_preds = query.AllPredicates();
   const bool allow_composite = engine->options().allow_composite_inner;
@@ -98,6 +102,9 @@ Status JoinEnumerator::ProcessSubset(uint64_t mask, StarEngine* engine,
   // orders (§4.1).
   for (uint64_t sub = (mask - 1) & mask; sub != 0; sub = (sub - 1) & mask) {
     if ((sub & low_bit) != 0) continue;  // T2 must not hold the low bit
+    if (governor_ != nullptr && governor_->stopped()) {
+      return governor_->Check();
+    }
     QuantifierSet t2 = QuantifierSet::FromMask(sub);
     QuantifierSet t1 = s.Minus(t2);
     ++stats->splits_considered;
@@ -171,6 +178,10 @@ Status JoinEnumerator::RunParallel(int n, int threads) {
     // unaffected.
     w.glue->set_temp_prefix("w" + std::to_string(i) + "_tmp");
     w.engine->set_glue(w.glue.get());
+    // Workers observe the same governor: the first budget trip raises the
+    // shared stop flag and every worker's next check sees it.
+    w.engine->set_governor(governor_);
+    w.glue->set_governor(governor_);
     if (w.tracer != nullptr) {
       w.engine->set_tracer(w.tracer.get());
       w.glue->set_tracer(w.tracer.get());
@@ -186,7 +197,12 @@ Status JoinEnumerator::RunParallel(int n, int threads) {
            i < rank.size();
            i = next.fetch_add(1, std::memory_order_relaxed)) {
         Status st = ProcessSubset(rank[i], w->engine.get(), &w->stats);
-        if (!st.ok()) w->failures.emplace_back(rank[i], std::move(st));
+        if (!st.ok()) {
+          w->failures.emplace_back(rank[i], std::move(st));
+          // A tripped budget stops the whole run; don't claim further
+          // subsets just to fail them one by one.
+          if (governor_ != nullptr && governor_->stopped()) return;
+        }
       }
     };
     std::vector<std::thread> pool;

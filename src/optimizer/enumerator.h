@@ -11,6 +11,7 @@
 namespace starburst {
 
 class MetricsRegistry;
+class ResourceGovernor;
 
 /// Bottom-up System-R-style join enumeration, as sketched in paper §2.3:
 /// reference AccessRoot for every table, then repeatedly reference JoinRoot
@@ -55,6 +56,12 @@ class JoinEnumerator {
 
   Stats& stats() { return stats_; }
 
+  /// Attach a resource governor (null = off). Checked between subsets and —
+  /// via per-worker engines and Glues — inside STAR expansion, so a tripped
+  /// budget stops every worker within one bounded unit of work. Run() then
+  /// returns kResourceExhausted for the Optimizer to catch and degrade.
+  void set_governor(ResourceGovernor* governor) { governor_ = governor; }
+
  private:
   /// Enumerates the splits of one subset and inserts the resulting join
   /// plans; `engine` is the calling worker's (or the main) engine, `stats`
@@ -70,6 +77,7 @@ class JoinEnumerator {
   PlanTable* table_;
   std::string join_root_;
   int num_threads_;
+  ResourceGovernor* governor_ = nullptr;
   Stats stats_;
 };
 

@@ -1,0 +1,53 @@
+#include "optimizer/governor.h"
+
+namespace starburst {
+
+ResourceGovernor::ResourceGovernor(GovernorLimits limits) : limits_(limits) {
+  if (limits_.deadline_ms > 0) {
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(limits_.deadline_ms);
+  }
+}
+
+void ResourceGovernor::Trip(std::string reason) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (reason_.empty()) reason_ = std::move(reason);
+  }
+  stopped_.store(true, std::memory_order_release);
+}
+
+std::string ResourceGovernor::reason() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reason_;
+}
+
+Status ResourceGovernor::Check() {
+  // Once tripped — by any thread — every check everywhere reports the same
+  // exhaustion, so the whole run winds down cooperatively.
+  if (!stopped_.load(std::memory_order_acquire)) {
+    if (limits_.max_plans > 0 &&
+        plans_.load(std::memory_order_relaxed) >= limits_.max_plans) {
+      Trip("max_plans budget of " + std::to_string(limits_.max_plans) +
+           " plans exhausted (" +
+           std::to_string(plans_.load(std::memory_order_relaxed)) +
+           " considered)");
+    } else if (limits_.max_plan_table_bytes > 0 &&
+               bytes_.load(std::memory_order_relaxed) >=
+                   limits_.max_plan_table_bytes) {
+      Trip("plan-table memory budget of " +
+           std::to_string(limits_.max_plan_table_bytes) +
+           " bytes exhausted (approx " +
+           std::to_string(bytes_.load(std::memory_order_relaxed)) +
+           " bytes held)");
+    } else if (limits_.deadline_ms > 0 &&
+               std::chrono::steady_clock::now() >= deadline_) {
+      Trip("deadline of " + std::to_string(limits_.deadline_ms) +
+           "ms exceeded");
+    }
+  }
+  if (!stopped_.load(std::memory_order_acquire)) return Status::OK();
+  return Status::ResourceExhausted("optimizer budget exhausted: " + reason());
+}
+
+}  // namespace starburst

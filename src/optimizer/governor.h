@@ -1,0 +1,83 @@
+#ifndef STARBURST_OPTIMIZER_GOVERNOR_H_
+#define STARBURST_OPTIMIZER_GOVERNOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace starburst {
+
+/// The optimizer's resource budgets; 0 means unlimited for each.
+struct GovernorLimits {
+  int64_t deadline_ms = 0;           ///< wall-clock budget for one Optimize
+  int64_t max_plans = 0;             ///< plans arriving at the plan table
+  int64_t max_plan_table_bytes = 0;  ///< approximate plan-table memory
+};
+
+/// Cooperative resource governor for one optimization run. The enumerator,
+/// the STAR engine, and Glue call Check() at their natural re-entry points;
+/// the first exceeded budget trips a shared atomic stop flag (with the
+/// reason recorded once), and every subsequent Check — on any thread —
+/// returns kResourceExhausted immediately. Rank-parallel workers therefore
+/// observe the stop within one subset of work.
+///
+/// Budget exhaustion is not an error: the Optimizer catches
+/// kResourceExhausted and degrades to the greedy left-deep enumerator,
+/// tagging the result with degradation_reason().
+class ResourceGovernor {
+ public:
+  explicit ResourceGovernor(GovernorLimits limits);
+
+  /// False when every limit is 0 — callers can skip attaching entirely.
+  bool enabled() const {
+    return limits_.deadline_ms > 0 || limits_.max_plans > 0 ||
+           limits_.max_plan_table_bytes > 0;
+  }
+
+  /// The cooperative check: OK while within budget, ResourceExhausted (with
+  /// the tripping reason) afterwards. Thread-safe and cheap — atomic loads
+  /// plus a steady_clock read when a deadline is set.
+  Status Check();
+
+  /// True once any budget tripped (the workers' shared stop flag).
+  bool stopped() const { return stopped_.load(std::memory_order_acquire); }
+
+  /// The human-readable reason the run was stopped ("" while running).
+  std::string reason() const;
+
+  /// Accounting hooks (called by the PlanTable).
+  void NotePlansConsidered(int64_t n) {
+    plans_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void NotePlanTableBytes(int64_t delta) {
+    bytes_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  int64_t plans_considered() const {
+    return plans_.load(std::memory_order_relaxed);
+  }
+  int64_t plan_table_bytes() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+  const GovernorLimits& limits() const { return limits_; }
+
+ private:
+  /// Records the first trip reason and raises the stop flag.
+  void Trip(std::string reason);
+
+  GovernorLimits limits_;
+  std::chrono::steady_clock::time_point deadline_;
+  std::atomic<bool> stopped_{false};
+  std::atomic<int64_t> plans_{0};
+  std::atomic<int64_t> bytes_{0};
+  mutable std::mutex mu_;
+  std::string reason_;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_OPTIMIZER_GOVERNOR_H_

@@ -1,0 +1,141 @@
+#include "optimizer/greedy_enumerator.h"
+
+#include <limits>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "obs/trace.h"
+#include "query/query.h"
+
+namespace starburst {
+
+namespace {
+/// Same rationale as enumeration proper: augmented-plan caching depends on
+/// resolve order, and the degraded plan must not.
+class GlueCacheGuard {
+ public:
+  explicit GlueCacheGuard(Glue* glue)
+      : glue_(glue), saved_(glue->cache_augmented()) {
+    glue_->set_cache_augmented(false);
+  }
+  ~GlueCacheGuard() { glue_->set_cache_augmented(saved_); }
+  GlueCacheGuard(const GlueCacheGuard&) = delete;
+  GlueCacheGuard& operator=(const GlueCacheGuard&) = delete;
+
+ private:
+  Glue* glue_;
+  bool saved_;
+};
+}  // namespace
+
+Status GreedyJoinEnumerator::Run() {
+  const Query& query = engine_->query();
+  const int n = query.num_quantifiers();
+  if (n == 0) {
+    return Status::InvalidArgument("query has no tables");
+  }
+  const PredSet all_preds = query.AllPredicates();
+  const CostModel& cost_model = engine_->factory().cost_model();
+  const bool allow_cartesian = engine_->options().allow_cartesian;
+  Tracer* tracer = engine_->tracer();
+  TraceSpan run_span(tracer, TraceKind::kEnumerator, "greedy enumerate");
+
+  GlueCacheGuard cache_guard(glue_);
+
+  auto eligible = [&](QuantifierSet tables) {
+    return query.EligiblePredicates(tables, all_preds);
+  };
+
+  // Base plans for every table (the table was cleared before the fallback,
+  // so each Resolve re-references AccessRoot and repopulates the bucket).
+  std::vector<double> base_cost(static_cast<size_t>(n), 0.0);
+  for (int q = 0; q < n; ++q) {
+    StreamSpec spec;
+    spec.tables = QuantifierSet::Single(q);
+    spec.preds = eligible(spec.tables);
+    auto sap = glue_->Resolve(spec);
+    if (!sap.ok()) return sap.status();
+    PlanPtr cheapest = CheapestPlan(sap.value(), cost_model);
+    if (cheapest == nullptr) {
+      return Status::NotFound("greedy fallback: no access plan satisfies "
+                              "quantifier '" + query.quantifier(q).alias +
+                              "'");
+    }
+    base_cost[static_cast<size_t>(q)] = cost_model.Total(cheapest->props.cost());
+  }
+  if (n == 1) return Status::OK();
+
+  // Start from the cheapest base table (ties to the lowest index).
+  int start = 0;
+  for (int q = 1; q < n; ++q) {
+    if (base_cost[static_cast<size_t>(q)] <
+        base_cost[static_cast<size_t>(start)]) {
+      start = q;
+    }
+  }
+
+  auto joinable = [&](QuantifierSet t1, QuantifierSet t2) {
+    for (int id = 0; id < query.num_predicates(); ++id) {
+      const Predicate& p = query.predicate(id);
+      if (p.quantifiers.size() < 2) continue;
+      if (!t1.Union(t2).ContainsAll(p.quantifiers)) continue;
+      if (p.quantifiers.Intersects(t1) && p.quantifiers.Intersects(t2)) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  QuantifierSet current = QuantifierSet::Single(start);
+  while (current.size() < static_cast<size_t>(n)) {
+    PredSet elig_cur = eligible(current);
+    StreamSpec cur_spec{current, elig_cur, {}};
+
+    // Cheapest feasible next join: evaluate JoinRoot(current, t) for every
+    // joinable remaining table and commit the cheapest extension.
+    int best_q = -1;
+    double best_cost = std::numeric_limits<double>::infinity();
+    SAP best_sap;
+    for (int q = 0; q < n; ++q) {
+      QuantifierSet t = QuantifierSet::Single(q);
+      if (current.Intersects(t)) continue;
+      if (!joinable(current, t) && !allow_cartesian) continue;
+
+      PredSet elig_t = eligible(t);
+      PredSet elig_union = eligible(current.Union(t));
+      PredSet newly = elig_union.Minus(elig_cur).Minus(elig_t);
+      StreamSpec t_spec{t, elig_t, {}};
+      ++join_root_refs_;
+      auto sap = engine_->EvalStar(join_root_, {RuleValue(cur_spec),
+                                                RuleValue(t_spec),
+                                                RuleValue(newly)});
+      if (!sap.ok()) return sap.status();
+      PlanPtr cheapest = CheapestPlan(sap.value(), cost_model);
+      if (cheapest == nullptr) continue;
+      double cost = cost_model.Total(cheapest->props.cost());
+      // Strict `<` breaks cost ties toward the lowest quantifier index.
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_q = q;
+        best_sap = std::move(sap).value();
+      }
+    }
+    if (best_q < 0) {
+      return Status::NotFound(
+          "greedy fallback: no joinable table extends " +
+          current.ToString() +
+          (allow_cartesian ? "" : " (Cartesian products are disabled)"));
+    }
+    current = current.Union(QuantifierSet::Single(best_q));
+    // The canonical key is where Glue's composite lookup will search.
+    table_->InsertBatch(current, eligible(current), best_sap);
+  }
+
+  if (run_span.active()) {
+    run_span.set_detail(std::to_string(join_root_refs_) +
+                        " join_root_ref(s)");
+  }
+  return Status::OK();
+}
+
+}  // namespace starburst

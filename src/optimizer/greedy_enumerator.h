@@ -1,0 +1,52 @@
+#ifndef STARBURST_OPTIMIZER_GREEDY_ENUMERATOR_H_
+#define STARBURST_OPTIMIZER_GREEDY_ENUMERATOR_H_
+
+#include <string>
+
+#include "glue/glue.h"
+#include "optimizer/plan_table.h"
+#include "star/engine.h"
+
+namespace starburst {
+
+/// The degraded-mode planner: a greedy left-deep enumerator that the
+/// Optimizer falls back to when the ResourceGovernor trips a budget mid-DP.
+/// It reuses the same STARs and Glue as exhaustive enumeration — AccessRoot
+/// for the base tables, JoinRoot for every join step — so every plan it
+/// emits is one the rule set could have produced; only the search strategy
+/// changes (cheapest-feasible-join-next instead of dynamic programming).
+///
+/// Cost: O(n^2) JoinRoot references for n tables instead of O(3^n) subset
+/// splits, so it completes even for queries whose DP blew the budget.
+///
+/// Deterministic by construction: it runs single-threaded over a plan table
+/// cleared of any partial DP state, starts from the cheapest base table, and
+/// breaks cost ties by quantifier index.
+class GreedyJoinEnumerator {
+ public:
+  GreedyJoinEnumerator(StarEngine* engine, Glue* glue, PlanTable* table,
+                       std::string join_root = "JoinRoot")
+      : engine_(engine),
+        glue_(glue),
+        table_(table),
+        join_root_(std::move(join_root)) {}
+
+  /// Populates the plan table with base plans for every table plus one
+  /// join bucket per greedy step, ending at the full table set (under its
+  /// canonical key, where Glue's final Resolve will find it).
+  Status Run();
+
+  /// JoinRoot references made (for metrics/diagnostics).
+  int64_t join_root_refs() const { return join_root_refs_; }
+
+ private:
+  StarEngine* engine_;
+  Glue* glue_;
+  PlanTable* table_;
+  std::string join_root_;
+  int64_t join_root_refs_ = 0;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_OPTIMIZER_GREEDY_ENUMERATOR_H_

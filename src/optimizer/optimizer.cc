@@ -5,6 +5,8 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "optimizer/governor.h"
+#include "optimizer/greedy_enumerator.h"
 #include "properties/property_functions.h"
 #include "query/query.h"
 
@@ -21,17 +23,38 @@ int DefaultEnumerationThreads() {
   return static_cast<int>(v);
 }
 
+namespace {
+/// Shared parser for the budget variables: a non-negative integer, anything
+/// else (unset, empty, malformed, negative) meaning unlimited.
+int64_t EnvBudget(const char* name) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  long long v = std::strtoll(env, &end, 10);
+  if (end == env || *end != '\0' || v < 0) return 0;
+  return static_cast<int64_t>(v);
+}
+}  // namespace
+
+int64_t DefaultDeadlineMs() { return EnvBudget("STARBURST_DEADLINE_MS"); }
+int64_t DefaultMaxPlans() { return EnvBudget("STARBURST_MAX_PLANS"); }
+int64_t DefaultMaxPlanTableBytes() {
+  return EnvBudget("STARBURST_MAX_PLAN_TABLE_BYTES");
+}
+
 Optimizer::Optimizer(RuleSet rules, OptimizerOptions options)
     : rules_(std::move(rules)), options_(options) {
   // Failures here would be programming errors (duplicate registration in a
-  // fresh registry); surface them loudly.
-  Status st = RegisterBuiltinOperators(&operators_);
-  if (!st.ok()) throw std::runtime_error(st.ToString());
-  st = RegisterBuiltinFunctions(&functions_);
-  if (!st.ok()) throw std::runtime_error(st.ToString());
+  // fresh registry). Recorded rather than thrown: every Optimize call
+  // reports them as a Status, keeping the library exception-free.
+  init_status_ = RegisterBuiltinOperators(&operators_);
+  if (init_status_.ok()) {
+    init_status_ = RegisterBuiltinFunctions(&functions_);
+  }
 }
 
 Result<OptimizeResult> Optimizer::Optimize(const Query& query) {
+  STARBURST_RETURN_NOT_OK(init_status_);
   auto start = std::chrono::steady_clock::now();
   Tracer* tracer = options_.tracer;
   MetricsRegistry* metrics = options_.metrics;
@@ -46,14 +69,53 @@ Result<OptimizeResult> Optimizer::Optimize(const Query& query) {
   glue.set_tracer(tracer);
   engine.set_glue(&glue);
 
+  // The governor's clock starts here and covers the whole Optimize call.
+  GovernorLimits limits;
+  limits.deadline_ms = options_.deadline_ms;
+  limits.max_plans = options_.max_plans;
+  limits.max_plan_table_bytes = options_.max_plan_table_bytes;
+  ResourceGovernor governor(limits);
+  if (governor.enabled()) {
+    engine.set_governor(&governor);
+    glue.set_governor(&governor);
+    table.set_governor(&governor);
+  }
+
+  std::string degradation_reason;
+  // Degraded mode: detach the governor (the fallback must be allowed to
+  // finish — an O(n^2) greedy pass over an already-loaded rule set is fast),
+  // drop whatever partial DP state the interrupt left behind (its content
+  // depends on trip timing and thread count; the greedy rebuild from a clean
+  // table is deterministic), and re-enumerate greedily.
+  auto degrade = [&]() -> Status {
+    degradation_reason = governor.reason();
+    engine.set_governor(nullptr);
+    glue.set_governor(nullptr);
+    table.set_governor(nullptr);
+    if (ShouldTrace(tracer)) {
+      tracer->Instant(TraceKind::kPhase, "degrade to greedy",
+                      degradation_reason);
+    }
+    table.Clear();
+    GreedyJoinEnumerator greedy(&engine, &glue, &table, "JoinRoot");
+    STARBURST_TRACE_SPAN(tracer, TraceKind::kPhase, "greedy fallback");
+    ScopedTimer timer(metrics, "optimizer.phase.greedy_fallback");
+    return greedy.Run();
+  };
+
   // Phase 1: bottom-up STAR expansion over all table subsets (this is where
   // most STAR references and Glue calls happen).
   JoinEnumerator enumerator(&engine, &glue, &table, "JoinRoot",
                             options_.num_threads);
+  if (governor.enabled()) enumerator.set_governor(&governor);
   {
     STARBURST_TRACE_SPAN(tracer, TraceKind::kPhase, "enumeration");
     ScopedTimer timer(metrics, "optimizer.phase.enumeration");
-    STARBURST_RETURN_NOT_OK(enumerator.Run());
+    Status st = enumerator.Run();
+    if (!st.ok()) {
+      if (st.code() != StatusCode::kResourceExhausted) return st;
+      STARBURST_RETURN_NOT_OK(degrade());
+    }
   }
 
   // Phase 2: final Glue reference — the query's own required properties:
@@ -71,6 +133,14 @@ Result<OptimizeResult> Optimizer::Optimize(const Query& query) {
   {
     STARBURST_TRACE_SPAN(tracer, TraceKind::kPhase, "glue");
     ScopedTimer timer(metrics, "optimizer.phase.glue");
+    final_plans = glue.Resolve(final_spec);
+  }
+  if (!final_plans.ok() &&
+      final_plans.status().code() == StatusCode::kResourceExhausted &&
+      degradation_reason.empty()) {
+    // The budget held through enumeration but tripped during the final
+    // resolve (a deadline, typically): same degradation path, then retry.
+    STARBURST_RETURN_NOT_OK(degrade());
     final_plans = glue.Resolve(final_spec);
   }
   if (!final_plans.ok()) return final_plans.status();
@@ -95,6 +165,7 @@ Result<OptimizeResult> Optimizer::Optimize(const Query& query) {
   result.enumerator_stats = enumerator.stats();
   result.plan_nodes_created = factory.nodes_created();
   result.plans_in_table = table.num_plans();
+  result.degradation_reason = degradation_reason;
   result.optimize_micros =
       std::chrono::duration<double, std::micro>(
           std::chrono::steady_clock::now() - start)
@@ -108,6 +179,7 @@ Result<OptimizeResult> Optimizer::Optimize(const Query& query) {
     result.table_stats.Publish(metrics);
     result.enumerator_stats.Publish(metrics);
     metrics->AddCounter("optimizer.runs", 1);
+    if (result.degraded()) metrics->AddCounter("optimizer.degraded", 1);
     metrics->AddCounter("optimizer.plan_nodes_created",
                         result.plan_nodes_created);
     metrics->SetGauge("optimizer.plans_in_table",

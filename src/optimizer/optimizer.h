@@ -19,6 +19,13 @@ class Tracer;
 /// environment variable if set (0 = one per hardware thread), else 1.
 int DefaultEnumerationThreads();
 
+/// Defaults for the resource budgets, from STARBURST_DEADLINE_MS,
+/// STARBURST_MAX_PLANS, and STARBURST_MAX_PLAN_TABLE_BYTES respectively
+/// (0 or unset/invalid = unlimited).
+int64_t DefaultDeadlineMs();
+int64_t DefaultMaxPlans();
+int64_t DefaultMaxPlanTableBytes();
+
 struct OptimizerOptions {
   EngineOptions engine;
   CostParams cost_params;
@@ -26,6 +33,12 @@ struct OptimizerOptions {
   /// 0 = one per hardware thread, n = a pool of n workers. Any value yields
   /// the same best-plan cost and plan shape (see DESIGN.md).
   int num_threads = DefaultEnumerationThreads();
+  /// Resource budgets for one Optimize call (0 = unlimited). When a budget
+  /// trips mid-enumeration the optimizer degrades to a greedy left-deep
+  /// search instead of failing; see OptimizeResult::degradation_reason.
+  int64_t deadline_ms = DefaultDeadlineMs();
+  int64_t max_plans = DefaultMaxPlans();
+  int64_t max_plan_table_bytes = DefaultMaxPlanTableBytes();
   /// Non-owning observability sinks, both optional. The tracer records one
   /// rule-firing tree per Optimize call; the registry accumulates effort
   /// counters (star.*, glue.*, plan_table.*, enumerator.*) and per-phase
@@ -47,6 +60,12 @@ struct OptimizeResult {
   int64_t plans_in_table = 0;
   double total_cost = 0.0;  ///< weighted cost of `best`
   double optimize_micros = 0.0;
+  /// Empty for a full dynamic-programming run; otherwise the budget that
+  /// tripped (e.g. "max_plans budget of 500 plans exhausted ..."), meaning
+  /// `best` came from the greedy left-deep fallback.
+  std::string degradation_reason;
+
+  bool degraded() const { return !degradation_reason.empty(); }
 };
 
 /// The rule-driven optimizer: owns the rule base, the operator registry, and
@@ -76,6 +95,9 @@ class Optimizer {
   OptimizerOptions options_;
   OperatorRegistry operators_;
   FunctionRegistry functions_;
+  /// Builtin-registration outcome, reported from Optimize() rather than
+  /// thrown from the constructor.
+  Status init_status_;
 };
 
 }  // namespace starburst

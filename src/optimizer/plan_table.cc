@@ -5,6 +5,7 @@
 #include "cost/cost_model.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "optimizer/governor.h"
 #include "plan/explain.h"
 
 namespace starburst {
@@ -15,7 +16,22 @@ std::string PlanTable::Stats::ToString() const {
          " pruned=" + std::to_string(pruned_dominated) +
          " evicted=" + std::to_string(evicted_dominated) +
          " lookups=" + std::to_string(lookups) +
-         " hits=" + std::to_string(hits) + "}";
+         " hits=" + std::to_string(hits) +
+         " approx_bytes=" + std::to_string(approx_bytes) + "}";
+}
+
+int64_t ApproxPlanBytes(const PlanOp& plan) {
+  // A node-level estimate: the struct itself plus the heap payloads it
+  // uniquely owns. Shared subtrees are counted at their own insertion, not
+  // per parent, so the table-wide sum stays linear in kept plans.
+  int64_t bytes = static_cast<int64_t>(sizeof(PlanOp));
+  bytes += static_cast<int64_t>(plan.flavor.capacity());
+  bytes += static_cast<int64_t>(plan.inputs.capacity() * sizeof(PlanPtr));
+  for (const auto& [name, value] : plan.args.values()) {
+    bytes += static_cast<int64_t>(name.capacity() + sizeof(value) + 16);
+  }
+  bytes += static_cast<int64_t>(plan.props.entries().size()) * 48;
+  return bytes;
 }
 
 void PlanTable::Stats::Publish(MetricsRegistry* registry) const {
@@ -26,6 +42,8 @@ void PlanTable::Stats::Publish(MetricsRegistry* registry) const {
   registry->AddCounter("plan_table.evicted_dominated", evicted_dominated);
   registry->AddCounter("plan_table.lookups", lookups);
   registry->AddCounter("plan_table.hits", hits);
+  registry->SetGauge("plan_table.approx_bytes",
+                     static_cast<double>(approx_bytes));
 }
 
 namespace {
@@ -147,6 +165,7 @@ std::string PlanRef(const PlanOp& plan) {
 
 bool PlanTable::InsertLocked(QuantifierSet tables, SAP& bucket, PlanPtr plan) {
   inserts_.fetch_add(1, std::memory_order_relaxed);
+  if (governor_ != nullptr) governor_->NotePlansConsidered(1);
   for (const PlanPtr& kept : bucket) {
     if (PlanDominates(*kept, *plan, *cost_model_)) {
       pruned_dominated_.fetch_add(1, std::memory_order_relaxed);
@@ -159,10 +178,14 @@ bool PlanTable::InsertLocked(QuantifierSet tables, SAP& bucket, PlanPtr plan) {
     }
   }
   size_t before = bucket.size();
+  int64_t evicted_bytes = 0;
   bucket.erase(std::remove_if(bucket.begin(), bucket.end(),
                               [&](const PlanPtr& kept) {
                                 bool evict =
                                     PlanDominates(*plan, *kept, *cost_model_);
+                                if (evict) {
+                                  evicted_bytes += ApproxPlanBytes(*kept);
+                                }
                                 if (evict && ShouldTrace(tracer_)) {
                                   std::lock_guard<std::mutex> trace_lock(
                                       trace_mu_);
@@ -176,6 +199,9 @@ bool PlanTable::InsertLocked(QuantifierSet tables, SAP& bucket, PlanPtr plan) {
                bucket.end());
   evicted_dominated_.fetch_add(static_cast<int64_t>(before - bucket.size()),
                                std::memory_order_relaxed);
+  int64_t byte_delta = ApproxPlanBytes(*plan) - evicted_bytes;
+  approx_bytes_.fetch_add(byte_delta, std::memory_order_relaxed);
+  if (governor_ != nullptr) governor_->NotePlanTableBytes(byte_delta);
   if (ShouldTrace(tracer_)) {
     std::lock_guard<std::mutex> trace_lock(trace_mu_);
     tracer_->Instant(TraceKind::kPlanTable, "keep " + PlanRef(*plan),
@@ -249,6 +275,19 @@ int64_t PlanTable::num_plans() const {
   return n;
 }
 
+void PlanTable::Clear() {
+  int64_t dropped = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [key, bucket] : shard.buckets) {
+      for (const PlanPtr& p : bucket) dropped += ApproxPlanBytes(*p);
+    }
+    shard.buckets.clear();
+  }
+  approx_bytes_.fetch_sub(dropped, std::memory_order_relaxed);
+  if (governor_ != nullptr) governor_->NotePlanTableBytes(-dropped);
+}
+
 PlanTable::Stats PlanTable::stats() const {
   Stats s;
   s.inserts = inserts_.load(std::memory_order_relaxed);
@@ -257,6 +296,7 @@ PlanTable::Stats PlanTable::stats() const {
   s.evicted_dominated = evicted_dominated_.load(std::memory_order_relaxed);
   s.lookups = lookups_.load(std::memory_order_relaxed);
   s.hits = hits_.load(std::memory_order_relaxed);
+  s.approx_bytes = approx_bytes_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -16,7 +16,12 @@ namespace starburst {
 
 class CostModel;
 class MetricsRegistry;
+class ResourceGovernor;
 class Tracer;
+
+/// Rough per-node memory footprint of a plan (the node itself, excluding
+/// shared subtrees) — the unit of the plan table's byte accounting.
+int64_t ApproxPlanBytes(const PlanOp& plan);
 
 /// True if `a` is at least as cheap as `b` and at least as good on every
 /// physical property (site equal, temp equal, b's order a prefix of a's,
@@ -56,6 +61,7 @@ class PlanTable {
     int64_t evicted_dominated = 0;  ///< kept plans dominated by an arrival
     int64_t lookups = 0;
     int64_t hits = 0;
+    int64_t approx_bytes = 0;  ///< approximate memory of currently kept plans
 
     std::string ToString() const;
     /// Publishes the counters into `registry` under the `plan_table.` prefix.
@@ -82,12 +88,27 @@ class PlanTable {
   int64_t num_buckets() const;
   int64_t num_plans() const;
 
+  /// Approximate memory held by the kept plans (node-level estimate).
+  int64_t approx_bytes() const {
+    return approx_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Drops every bucket and resets the byte gauge (cumulative counters are
+  /// kept). The greedy fallback clears the table before rebuilding so the
+  /// degraded plan never depends on whatever partial DP state the interrupt
+  /// left behind — that keeps the fallback deterministic at any thread count.
+  void Clear();
+
   /// A consistent snapshot of the counters.
   Stats stats() const;
 
   /// Attach a tracer to record each prune/keep/evict decision (null = off).
   /// Not safe to call while inserts are in flight.
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
+  /// Attach a governor to account plan arrivals and byte deltas against its
+  /// budgets (null = off). Not safe to call while inserts are in flight.
+  void set_governor(ResourceGovernor* governor) { governor_ = governor; }
 
  private:
   struct Key {
@@ -124,6 +145,7 @@ class PlanTable {
 
   const CostModel* cost_model_;
   Tracer* tracer_ = nullptr;
+  ResourceGovernor* governor_ = nullptr;
   std::array<Shard, kNumShards> shards_;
 
   // The tracer itself is not thread-safe; a dedicated mutex serializes the
@@ -136,6 +158,7 @@ class PlanTable {
   std::atomic<int64_t> evicted_dominated_{0};
   std::atomic<int64_t> lookups_{0};
   std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> approx_bytes_{0};
 };
 
 }  // namespace starburst

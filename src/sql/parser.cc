@@ -166,6 +166,19 @@ class Parser {
   }
 
   Result<ExprPtr> ParseExpr() {
+    // Depth guard: deeply parenthesized input must fail with a Status, not
+    // exhaust the stack (ParseExpr → ParseTerm → ParseFactor → ParseExpr).
+    if (depth_ >= kMaxExprDepth) {
+      return Status::ParseError("expression nesting exceeds " +
+                                std::to_string(kMaxExprDepth) + " levels");
+    }
+    ++depth_;
+    auto lhs = ParseExprNoGuard();
+    --depth_;
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseExprNoGuard() {
     auto lhs = ParseTerm();
     if (!lhs.ok()) return lhs;
     while (Peek().IsSymbol("+") || Peek().IsSymbol("-")) {
@@ -261,9 +274,12 @@ class Parser {
     return Status::OK();
   }
 
+  static constexpr int kMaxExprDepth = 200;
+
   const Catalog& catalog_;
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  int depth_ = 0;
   Query query_;
 };
 

@@ -3,8 +3,12 @@
 #include <cctype>
 #include <cstdlib>
 #include <fstream>
+#include <map>
+#include <set>
 #include <sstream>
 
+#include "plan/operator.h"
+#include "properties/property_functions.h"
 #include "star/dsl_lexer.h"
 
 namespace starburst {
@@ -74,8 +78,9 @@ class Parser {
 
   Result<Star> ParseStar() {
     if (!Peek().IsKeyword("star")) return Err("expected 'star'");
-    Next();
     Star star;
+    star.line = Peek().line;
+    Next();
     if (Peek().IsKeyword("exclusive")) {
       Next();
       star.exclusive = true;
@@ -147,6 +152,19 @@ class Parser {
   }
 
   Result<RuleExprPtr> ParseExpr() {
+    // Recursion depth tracks input nesting; without a cap, a deep chain of
+    // '('s overflows the stack before any syntax error is reached.
+    if (depth_ >= kMaxExprDepth) {
+      return Err("expression nesting exceeds " +
+                 std::to_string(kMaxExprDepth) + " levels");
+    }
+    ++depth_;
+    auto expr = ParseExprNoGuard();
+    --depth_;
+    return expr;
+  }
+
+  Result<RuleExprPtr> ParseExprNoGuard() {
     if (Peek().IsKeyword("forall")) return ParseForall();
     auto base = ParsePrimary();
     if (!base.ok()) return base;
@@ -265,6 +283,7 @@ class Parser {
   }
 
   Result<RuleExprPtr> ParseIdentExpr() {
+    const int line = Peek().line;
     std::string name = Next().text;
     // Flavor suffix: NAME:flavor (flavor may contain '-', e.g. temp-index).
     std::string flavor;
@@ -323,26 +342,144 @@ class Parser {
     switch (cls) {
       case NameClass::kOperator:
         return RuleExpr::OpRef(std::move(name), std::move(flavor),
-                               std::move(positional), std::move(named));
+                               std::move(positional), std::move(named), line);
       case NameClass::kStar:
         if (!named.empty()) {
           return Err("STAR references take positional arguments only");
         }
         if (!flavor.empty()) return Err("STAR references have no flavor");
-        return RuleExpr::StarRef(std::move(name), std::move(positional));
+        return RuleExpr::StarRef(std::move(name), std::move(positional), line);
       case NameClass::kFunctionOrVar:
         if (!named.empty()) {
           return Err("function calls take positional arguments only");
         }
         if (!flavor.empty()) return Err("function calls have no flavor");
-        return RuleExpr::Call(std::move(name), std::move(positional));
+        return RuleExpr::Call(std::move(name), std::move(positional), line);
     }
     return Err("unreachable");
   }
 
+  static constexpr int kMaxExprDepth = 200;
+
   std::vector<Tok> toks_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
+
+std::string AtLine(int line) {
+  return line > 0 ? " (line " + std::to_string(line) + ")" : "";
+}
+
+/// Recursively checks every STAR and LOLEPOP reference in `expr`.
+/// `arities` holds the parameter counts of every resolvable STAR (the batch
+/// being loaded shadowing the already-installed rule set, matching
+/// AddOrReplace semantics); `op_names` the registered LOLEPOPs.
+Status ValidateExpr(const Star& star, const RuleExpr& expr,
+                    const std::map<std::string, size_t>& arities,
+                    const std::set<std::string>& op_names) {
+  switch (expr.kind()) {
+    case RuleExprKind::kStarRef: {
+      auto it = arities.find(expr.name());
+      if (it == arities.end()) {
+        return Status::InvalidArgument(
+            "rule validation: STAR '" + star.name + "'" + AtLine(star.line) +
+            " references undefined STAR '" + expr.name() + "'" +
+            AtLine(expr.line()));
+      }
+      if (expr.args().size() != it->second) {
+        return Status::InvalidArgument(
+            "rule validation: STAR '" + star.name + "'" + AtLine(star.line) +
+            " references '" + expr.name() + "' with " +
+            std::to_string(expr.args().size()) + " argument(s)" +
+            AtLine(expr.line()) + ", but it takes " +
+            std::to_string(it->second));
+      }
+      break;
+    }
+    case RuleExprKind::kOpRef:
+      if (op_names.count(expr.name()) == 0) {
+        return Status::InvalidArgument(
+            "rule validation: STAR '" + star.name + "'" + AtLine(star.line) +
+            " references unregistered LOLEPOP '" + expr.name() + "'" +
+            AtLine(expr.line()) +
+            "; register it (OperatorRegistry) before loading the rule");
+      }
+      break;
+    default:
+      break;
+  }
+  for (const RuleExprPtr& a : expr.args()) {
+    if (a != nullptr) {
+      STARBURST_RETURN_NOT_OK(ValidateExpr(star, *a, arities, op_names));
+    }
+  }
+  for (const auto& [arg_name, a] : expr.named_args()) {
+    if (a != nullptr) {
+      STARBURST_RETURN_NOT_OK(ValidateExpr(star, *a, arities, op_names));
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateRules(const std::vector<Star>& batch, const RuleSet* existing,
+                     const OperatorRegistry* operators) {
+  // Validating LOLEPOP references against the builtin registry is the right
+  // default: rule text referencing a custom operator should be loaded with
+  // the registry the operator was registered in.
+  static const OperatorRegistry* builtin = [] {
+    auto* r = new OperatorRegistry();
+    Status st = RegisterBuiltinOperators(r);
+    (void)st;  // a fresh registry cannot hold duplicates
+    return r;
+  }();
+  const OperatorRegistry* ops = operators != nullptr ? operators : builtin;
+  std::set<std::string> op_names;
+  for (const std::string& name : ops->Names()) op_names.insert(name);
+
+  // Duplicate definitions in one text are almost always an editing mistake
+  // (a stale copy that would silently be replaced by the later one).
+  std::map<std::string, int> batch_lines;
+  for (const Star& star : batch) {
+    auto [it, inserted] = batch_lines.emplace(star.name, star.line);
+    if (!inserted) {
+      return Status::InvalidArgument(
+          "rule validation: STAR '" + star.name +
+          "' is defined twice in one rule text" + AtLine(it->second) +
+          AtLine(star.line));
+    }
+  }
+
+  // STAR references resolve against the union of the batch and the already
+  // installed rules, the batch shadowing (AddOrReplace semantics).
+  std::map<std::string, size_t> arities;
+  if (existing != nullptr) {
+    for (const std::string& name : existing->Names()) {
+      auto found = existing->Find(name);
+      if (found.ok()) arities[name] = found.value()->params.size();
+    }
+  }
+  for (const Star& star : batch) arities[star.name] = star.params.size();
+
+  for (const Star& star : batch) {
+    for (const auto& [let_name, let_expr] : star.lets) {
+      STARBURST_RETURN_NOT_OK(
+          ValidateExpr(star, *let_expr, arities, op_names));
+    }
+    for (const Alternative& alt : star.alternatives) {
+      if (alt.condition != nullptr) {
+        STARBURST_RETURN_NOT_OK(
+            ValidateExpr(star, *alt.condition, arities, op_names));
+      }
+      for (const auto& [let_name, let_expr] : alt.lets) {
+        STARBURST_RETURN_NOT_OK(
+            ValidateExpr(star, *let_expr, arities, op_names));
+      }
+      STARBURST_RETURN_NOT_OK(
+          ValidateExpr(star, *alt.body, arities, op_names));
+    }
+  }
+  return Status::OK();
+}
 
 }  // namespace
 
@@ -353,23 +490,26 @@ Result<std::vector<Star>> ParseRules(const std::string& text) {
   return parser.ParseFile();
 }
 
-Status LoadRules(RuleSet* rules, const std::string& text) {
+Status LoadRules(RuleSet* rules, const std::string& text,
+                 const OperatorRegistry* operators) {
   auto parsed = ParseRules(text);
   if (!parsed.ok()) return parsed.status();
+  STARBURST_RETURN_NOT_OK(ValidateRules(parsed.value(), rules, operators));
   for (Star& star : parsed.value()) {
     rules->AddOrReplace(std::move(star));
   }
   return Status::OK();
 }
 
-Status LoadRulesFromFile(RuleSet* rules, const std::string& path) {
+Status LoadRulesFromFile(RuleSet* rules, const std::string& path,
+                         const OperatorRegistry* operators) {
   std::ifstream in(path);
   if (!in) {
     return Status::NotFound("cannot open rule file '" + path + "'");
   }
   std::ostringstream buf;
   buf << in.rdbuf();
-  return LoadRules(rules, buf.str());
+  return LoadRules(rules, buf.str(), operators);
 }
 
 }  // namespace starburst

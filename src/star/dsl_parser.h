@@ -8,6 +8,8 @@
 
 namespace starburst {
 
+class OperatorRegistry;
+
 /// Parses STAR definitions from the rule DSL — the concrete form of the
 /// paper's §5 "STARs ... treated as input data to a rule interpreter".
 ///
@@ -35,11 +37,23 @@ namespace starburst {
 /// STAR names RegularMixedCase, functions lowercase.
 Result<std::vector<Star>> ParseRules(const std::string& text);
 
-/// Parses and installs (AddOrReplace) every STAR in `text`.
-Status LoadRules(RuleSet* rules, const std::string& text);
+/// Parses, validates, and installs (AddOrReplace) every STAR in `text`.
+///
+/// Validation catches the DBC mistakes that would otherwise surface as
+/// confusing mid-optimization errors (or not at all):
+///   - the same STAR defined twice in one text (almost always a stale copy);
+///   - references to STARs that exist neither in `text` nor in `rules`;
+///   - STAR references whose argument count differs from the definition;
+///   - LOLEPOP references not present in the operator registry.
+/// Each failure names the STAR and the source line. `operators` is the
+/// registry to check LOLEPOP references against — pass the optimizer's own
+/// registry when custom operators are in play; null uses the builtin set.
+Status LoadRules(RuleSet* rules, const std::string& text,
+                 const OperatorRegistry* operators = nullptr);
 
-/// Loads rule text from a file.
-Status LoadRulesFromFile(RuleSet* rules, const std::string& path);
+/// Loads rule text from a file (same validation as LoadRules).
+Status LoadRulesFromFile(RuleSet* rules, const std::string& path,
+                         const OperatorRegistry* operators = nullptr);
 
 }  // namespace starburst
 

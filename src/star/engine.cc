@@ -1,7 +1,9 @@
 #include "star/engine.h"
 
+#include "common/fault_injector.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "optimizer/governor.h"
 #include "query/query.h"
 
 namespace starburst {
@@ -72,6 +74,7 @@ StarEngine::StarEngine(const PlanFactory* factory, const RuleSet* rules,
     : factory_(factory),
       rules_(rules),
       functions_(functions),
+      faults_(FaultInjector::Global()),
       options_(options) {}
 
 const Query& StarEngine::query() const { return factory_->query(); }
@@ -97,6 +100,12 @@ Result<SAP> StarEngine::EvalStar(const std::string& name,
 
 Result<RuleValue> StarEngine::EvalStarRef(const std::string& name,
                                           const std::vector<RuleValue>& args) {
+  // STAR expansion is the engine's natural re-entry point: checking here
+  // bounds the work between governor observations to one alternative body.
+  if (governor_ != nullptr) {
+    STARBURST_RETURN_NOT_OK(governor_->Check());
+  }
+  STARBURST_RETURN_NOT_OK(faults_->Check(faultsite::kEngineExpand));
   auto star_r = rules_->Find(name);
   if (!star_r.ok()) return star_r.status();
   const Star& star = *star_r.value();

@@ -10,7 +10,9 @@
 
 namespace starburst {
 
+class FaultInjector;
 class MetricsRegistry;
+class ResourceGovernor;
 class Tracer;
 
 /// Session options of the rule engine — the paper's compile-time parameters
@@ -75,6 +77,10 @@ class StarEngine {
   /// Attach a tracer to record the rule-firing tree (null = off).
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
   Tracer* tracer() const { return tracer_; }
+  /// Attach a resource governor checked at every STAR expansion (null = off).
+  void set_governor(ResourceGovernor* governor) { governor_ = governor; }
+  /// Override the fault injector (tests); defaults to FaultInjector::Global().
+  void set_faults(FaultInjector* faults) { faults_ = faults; }
 
   /// Evaluates `name(args...)` to a set of alternative plans.
   Result<SAP> EvalStar(const std::string& name,
@@ -120,6 +126,8 @@ class StarEngine {
   const FunctionRegistry* functions_;
   GlueInterface* glue_ = nullptr;
   Tracer* tracer_ = nullptr;
+  ResourceGovernor* governor_ = nullptr;
+  FaultInjector* faults_;
   EngineOptions options_;
   EngineMetrics metrics_;
   int depth_ = 0;

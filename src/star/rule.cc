@@ -111,32 +111,36 @@ RuleExprPtr RuleExpr::Const(RuleValue value) {
   return e;
 }
 
-RuleExprPtr RuleExpr::Call(std::string fn, std::vector<RuleExprPtr> args) {
+RuleExprPtr RuleExpr::Call(std::string fn, std::vector<RuleExprPtr> args,
+                           int line) {
   auto e = std::shared_ptr<RuleExpr>(new RuleExpr());
   e->kind_ = RuleExprKind::kCall;
   e->name_ = std::move(fn);
   e->args_ = std::move(args);
+  e->line_ = line;
   return e;
 }
 
 RuleExprPtr RuleExpr::OpRef(
     std::string op, std::string flavor, std::vector<RuleExprPtr> inputs,
-    std::vector<std::pair<std::string, RuleExprPtr>> args) {
+    std::vector<std::pair<std::string, RuleExprPtr>> args, int line) {
   auto e = std::shared_ptr<RuleExpr>(new RuleExpr());
   e->kind_ = RuleExprKind::kOpRef;
   e->name_ = std::move(op);
   e->flavor_ = std::move(flavor);
   e->args_ = std::move(inputs);
   e->named_args_ = std::move(args);
+  e->line_ = line;
   return e;
 }
 
 RuleExprPtr RuleExpr::StarRef(std::string star,
-                              std::vector<RuleExprPtr> args) {
+                              std::vector<RuleExprPtr> args, int line) {
   auto e = std::shared_ptr<RuleExpr>(new RuleExpr());
   e->kind_ = RuleExprKind::kStarRef;
   e->name_ = std::move(star);
   e->args_ = std::move(args);
+  e->line_ = line;
   return e;
 }
 

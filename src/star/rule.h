@@ -122,13 +122,18 @@ class RuleExpr {
  public:
   static RuleExprPtr Param(std::string name);
   static RuleExprPtr Const(RuleValue value);
-  static RuleExprPtr Call(std::string fn, std::vector<RuleExprPtr> args);
+  /// `line` (1-based source line, 0 = unknown/built programmatically) lets
+  /// load-time validation point at the offending reference.
+  static RuleExprPtr Call(std::string fn, std::vector<RuleExprPtr> args,
+                          int line = 0);
   /// LOLEPOP reference: `inputs` evaluate to SAPs (mapped, §2.2); `args`
   /// evaluate to operator arguments.
   static RuleExprPtr OpRef(std::string op, std::string flavor,
                            std::vector<RuleExprPtr> inputs,
-                           std::vector<std::pair<std::string, RuleExprPtr>> args);
-  static RuleExprPtr StarRef(std::string star, std::vector<RuleExprPtr> args);
+                           std::vector<std::pair<std::string, RuleExprPtr>> args,
+                           int line = 0);
+  static RuleExprPtr StarRef(std::string star, std::vector<RuleExprPtr> args,
+                             int line = 0);
   /// Glue(stream, preds): resolve the stream spec into a SAP, pushing
   /// `preds` into its plans.
   static RuleExprPtr Glue(RuleExprPtr stream, RuleExprPtr preds);
@@ -146,6 +151,8 @@ class RuleExpr {
     return named_args_;
   }
   ReqKind req_kind() const { return req_kind_; }
+  /// Source line of the reference (0 = unknown).
+  int line() const { return line_; }
   /// kForEach: args_[0]=domain, args_[1]=body; name_ = variable.
   /// kGlue/kRequire: args_[0]=stream, args_[1]=value/preds.
 
@@ -159,6 +166,7 @@ class RuleExpr {
   std::vector<RuleExprPtr> args_;
   std::vector<std::pair<std::string, RuleExprPtr>> named_args_;
   ReqKind req_kind_ = ReqKind::kOrder;
+  int line_ = 0;
 };
 
 /// One alternative definition of a STAR: optional condition, local `where`
@@ -180,6 +188,8 @@ struct Star {
   std::vector<std::pair<std::string, RuleExprPtr>> lets;  ///< shared `where`s
   std::vector<Alternative> alternatives;
   bool exclusive = false;
+  /// Source line of the definition (0 = built programmatically).
+  int line = 0;
 };
 
 /// The rule base: a dictionary of STARs, replaceable at run time — the

@@ -1,0 +1,150 @@
+// Negative-input corpus for both parsers (SQL and the STAR rule DSL):
+// truncated input, bad tokens, unbalanced structure, pathological nesting,
+// and seeded garbage. Every case must come back as a Status — never a crash
+// or unbounded recursion (the ASan/UBSan CI jobs run these too).
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "catalog/synthetic.h"
+#include "sql/parser.h"
+#include "star/dsl_parser.h"
+
+namespace starburst {
+namespace {
+
+TEST(SqlCorpusTest, TruncatedInputsReturnStatus) {
+  Catalog catalog = MakePaperCatalog();
+  const std::vector<std::string> corpus = {
+      "",
+      "SELECT",
+      "SELECT EMP",
+      "SELECT EMP.",
+      "SELECT EMP.NAME",
+      "SELECT EMP.NAME FROM",
+      "SELECT EMP.NAME FROM EMP WHERE",
+      "SELECT EMP.NAME FROM EMP WHERE EMP.DNO",
+      "SELECT EMP.NAME FROM EMP WHERE EMP.DNO =",
+      "SELECT EMP.NAME FROM EMP WHERE EMP.DNO = (",
+      "SELECT EMP.NAME FROM EMP ORDER BY",
+      "SELECT EMP.NAME FROM EMP ORDER",
+  };
+  for (const std::string& sql : corpus) {
+    auto parsed = ParseSql(catalog, sql);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << sql;
+  }
+}
+
+TEST(SqlCorpusTest, BadTokensReturnStatus) {
+  Catalog catalog = MakePaperCatalog();
+  const std::vector<std::string> corpus = {
+      "SELECT @ FROM EMP",
+      "SELECT EMP.NAME FROM EMP WHERE EMP.DNO = #3",
+      "SELECT EMP.NAME FROM EMP WHERE EMP.DNO = 'unterminated",
+      "SELECT EMP.NAME FROM NO_SUCH_TABLE",
+      "SELECT EMP.NO_SUCH_COLUMN FROM EMP",
+      "SELECT EMP.NAME FROM EMP WHERE EMP.DNO = 3 trailing garbage",
+      "SELECT EMP.NAME FROM EMP WHERE EMP.DNO = ((3)",
+      "SELECT EMP.NAME FROM EMP, FROM DEPT",
+  };
+  for (const std::string& sql : corpus) {
+    auto parsed = ParseSql(catalog, sql);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << sql;
+  }
+}
+
+TEST(SqlCorpusTest, DeepNestingIsBoundedNotFatal) {
+  Catalog catalog = MakePaperCatalog();
+  auto nested = [](int depth) {
+    std::string sql = "SELECT EMP.NAME FROM EMP WHERE EMP.DNO = ";
+    sql.append(static_cast<size_t>(depth), '(');
+    sql += "3";
+    sql.append(static_cast<size_t>(depth), ')');
+    return sql;
+  };
+  // Comfortably inside the limit: parses.
+  EXPECT_TRUE(ParseSql(catalog, nested(50)).ok());
+  // Far beyond it: a ParseError naming the nesting limit, not a stack
+  // overflow.
+  auto deep = ParseSql(catalog, nested(5000));
+  ASSERT_FALSE(deep.ok());
+  EXPECT_NE(deep.status().ToString().find("nesting"), std::string::npos)
+      << deep.status().ToString();
+}
+
+TEST(SqlCorpusTest, SeededGarbageNeverCrashes) {
+  Catalog catalog = MakePaperCatalog();
+  std::mt19937 rng(1234);
+  const std::string alphabet =
+      "SELECT FROM WHERE().,=<>*'\"0123456789abcXYZ @#\t\n";
+  std::uniform_int_distribution<size_t> pick(0, alphabet.size() - 1);
+  std::uniform_int_distribution<size_t> len(0, 120);
+  for (int i = 0; i < 300; ++i) {
+    std::string input;
+    size_t n = len(rng);
+    for (size_t j = 0; j < n; ++j) input += alphabet[pick(rng)];
+    // Any Status outcome is acceptable; the property is "returns".
+    auto parsed = ParseSql(catalog, input);
+    (void)parsed;
+  }
+}
+
+TEST(DslCorpusTest, TruncatedAndMalformedInputsReturnStatus) {
+  const std::vector<std::string> corpus = {
+      "star",
+      "star Broken",
+      "star Broken(",
+      "star Broken(T",
+      "star Broken(T)",
+      "star Broken(T) alt",
+      "star Broken(T) alt 'x'",
+      "star Broken(T) alt 'x':",
+      "star Broken(T) alt 'x': T",           // missing end
+      "star Broken(T) alt 'x': f(T end",     // unbalanced call
+      "star Broken(T) alt 'x': 'oops end",   // unterminated string
+      "star Broken(T) alt 'x': T[order] end",
+      "star Broken(T) where alt 'x': T end",
+      "end",
+      "alt 'x': T end",
+  };
+  for (const std::string& text : corpus) {
+    auto parsed = ParseRules(text);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << text;
+  }
+}
+
+TEST(DslCorpusTest, DeepNestingIsBoundedNotFatal) {
+  auto nested = [](int depth) {
+    std::string body;
+    for (int i = 0; i < depth; ++i) body += "f(";
+    body += "T";
+    body.append(static_cast<size_t>(depth), ')');
+    return "star Deep(T)\n  alt 'x':\n    " + body + "\nend\n";
+  };
+  EXPECT_TRUE(ParseRules(nested(50)).ok());
+  auto deep = ParseRules(nested(5000));
+  ASSERT_FALSE(deep.ok());
+  EXPECT_NE(deep.status().ToString().find("nesting"), std::string::npos)
+      << deep.status().ToString();
+}
+
+TEST(DslCorpusTest, SeededGarbageNeverCrashes) {
+  std::mt19937 rng(4321);
+  const std::string alphabet =
+      "star alt end where if forall in do (){}[]:;=,'AbcT0123 \t\n";
+  std::uniform_int_distribution<size_t> pick(0, alphabet.size() - 1);
+  std::uniform_int_distribution<size_t> len(0, 120);
+  for (int i = 0; i < 300; ++i) {
+    std::string input;
+    size_t n = len(rng);
+    for (size_t j = 0; j < n; ++j) input += alphabet[pick(rng)];
+    auto parsed = ParseRules(input);
+    (void)parsed;
+  }
+}
+
+}  // namespace
+}  // namespace starburst

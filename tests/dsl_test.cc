@@ -7,6 +7,8 @@
 #include "catalog/synthetic.h"
 #include "optimizer/optimizer.h"
 #include "plan/explain.h"
+#include "plan/operator.h"
+#include "properties/property_functions.h"
 #include "sql/parser.h"
 #include "star/default_rules.h"
 #include "star/dsl_parser.h"
@@ -121,6 +123,116 @@ TEST(DslParserTest, ReplacingAStarOverridesIt) {
   ASSERT_TRUE(jr.ok());
   EXPECT_EQ(jr.value()->alternatives.size(), 1u);
   EXPECT_EQ(jr.value()->alternatives[0].label, "only-as-given");
+}
+
+// --- load-time validation --------------------------------------------------
+
+TEST(DslValidationTest, RejectsDuplicateStarInOneText) {
+  RuleSet rules = DefaultRuleSet();
+  Status st = LoadRules(&rules, R"(
+    star Twice(T, P)
+      alt 'a':
+        TableAccess(T, P)
+    end
+    star Twice(T, P)
+      alt 'b':
+        TableAccess(T, P)
+    end
+  )");
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("'Twice'"), std::string::npos)
+      << st.ToString();
+  EXPECT_NE(st.ToString().find("defined twice"), std::string::npos)
+      << st.ToString();
+  // Nothing from the rejected batch was installed.
+  EXPECT_FALSE(rules.Find("Twice").ok());
+}
+
+TEST(DslValidationTest, RejectsUndefinedStarReference) {
+  RuleSet rules;  // empty: nothing to resolve against
+  Status st = LoadRules(&rules, R"(
+    star Caller(T, P)
+      alt 'only':
+        NoSuchStar(T, P)
+    end
+  )");
+  ASSERT_FALSE(st.ok());
+  std::string text = st.ToString();
+  EXPECT_NE(text.find("'Caller'"), std::string::npos) << text;
+  EXPECT_NE(text.find("'NoSuchStar'"), std::string::npos) << text;
+  EXPECT_NE(text.find("line"), std::string::npos) << text;
+  EXPECT_EQ(rules.size(), 0);
+}
+
+TEST(DslValidationTest, RejectsArityMismatch) {
+  RuleSet rules = DefaultRuleSet();
+  // TableAccess takes (T, P); call it with one argument.
+  Status st = LoadRules(&rules, R"(
+    star Caller(T, P)
+      alt 'only':
+        TableAccess(T)
+    end
+  )");
+  ASSERT_FALSE(st.ok());
+  std::string text = st.ToString();
+  EXPECT_NE(text.find("'TableAccess'"), std::string::npos) << text;
+  EXPECT_NE(text.find("1 argument"), std::string::npos) << text;
+  EXPECT_NE(text.find("takes 2"), std::string::npos) << text;
+}
+
+TEST(DslValidationTest, RejectsUnregisteredLolepop) {
+  RuleSet rules = DefaultRuleSet();
+  Status st = LoadRules(&rules, R"(
+    star Caller(T, P)
+      alt 'only':
+        FROBNICATE(Glue(T, {}))
+    end
+  )");
+  ASSERT_FALSE(st.ok());
+  std::string text = st.ToString();
+  EXPECT_NE(text.find("'FROBNICATE'"), std::string::npos) << text;
+  EXPECT_NE(text.find("line"), std::string::npos) << text;
+}
+
+TEST(DslValidationTest, AcceptsCustomLolepopWithProvidedRegistry) {
+  OperatorRegistry operators;
+  ASSERT_TRUE(RegisterBuiltinOperators(&operators).ok());
+  OperatorDef def;
+  def.name = "FROBNICATE";
+  def.min_inputs = 1;
+  def.max_inputs = 1;
+  def.property_fn = [](const OpContext& ctx) -> Result<PropertyVector> {
+    return *ctx.inputs[0];
+  };
+  ASSERT_TRUE(operators.Register(std::move(def)).ok());
+  const std::string text = R"(
+    star Caller(T, P)
+      alt 'only':
+        FROBNICATE(Glue(T, {}))
+    end
+  )";
+  RuleSet rules = DefaultRuleSet();
+  EXPECT_FALSE(LoadRules(&rules, text).ok());  // builtin registry: unknown
+  Status st = LoadRules(&rules, text, &operators);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_TRUE(rules.Find("Caller").ok());
+}
+
+TEST(DslValidationTest, BatchMayReferenceAlreadyLoadedStars) {
+  RuleSet rules = DefaultRuleSet();
+  // JMeth exists in the default rule base; references within the batch to
+  // other batch members must also resolve (in either order).
+  Status st = LoadRules(&rules, R"(
+    star First(T1, T2, P)
+      alt 'fwd':
+        Second(T1, T2, P)
+    end
+    star Second(T1, T2, P)
+      alt 'dispatch':
+        JMeth(T1, T2, P)
+    end
+  )");
+  EXPECT_TRUE(st.ok()) << st.ToString();
 }
 
 // --- equivalence of the DSL file and the builder rule base ----------------

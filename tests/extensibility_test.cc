@@ -113,7 +113,7 @@ class OuterJoinTest : public ::testing::Test {
           OUTERJOIN(Glue(T1, {}), Glue(T2, inner_preds(P, T2));
                     join_preds = JP)
       end
-    )").ok());
+    )", &harness_.operators()).ok());
 
     // A small database: department 3 has no employees.
     StoredTable* dept = db_.FindTable("DEPT").ValueOrDie();

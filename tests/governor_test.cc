@@ -1,0 +1,273 @@
+// Tests for the resource governor and graceful degradation: tripping each
+// budget, the greedy left-deep fallback (completes, is tagged, and returns
+// the same query answer as the unbudgeted plan), deadline interruption at
+// several thread counts, and determinism of the degraded plan.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "catalog/synthetic.h"
+#include "exec/evaluator.h"
+#include "obs/metrics.h"
+#include "optimizer/governor.h"
+#include "optimizer/optimizer.h"
+#include "plan/explain.h"
+#include "sql/parser.h"
+#include "storage/datagen.h"
+
+namespace starburst {
+namespace {
+
+Catalog ChainCatalog(int n) {
+  SyntheticCatalogOptions opts;
+  opts.num_tables = n;
+  opts.seed = 21;
+  return MakeSyntheticCatalog(opts);
+}
+
+std::string ChainSql(int n) {
+  std::string sql = "SELECT T0.id FROM T0";
+  for (int i = 1; i < n; ++i) sql += ", T" + std::to_string(i);
+  sql += " WHERE T1.fk0 = T0.id";
+  for (int i = 2; i < n; ++i) {
+    sql += " AND T" + std::to_string(i) + ".fk0 = T" + std::to_string(i - 1) +
+           ".id";
+  }
+  return sql;
+}
+
+TEST(GovernorTest, DisabledWhenEveryLimitIsZero) {
+  ResourceGovernor governor(GovernorLimits{});
+  EXPECT_FALSE(governor.enabled());
+  EXPECT_TRUE(governor.Check().ok());
+  EXPECT_FALSE(governor.stopped());
+}
+
+TEST(GovernorTest, MaxPlansTrips) {
+  GovernorLimits limits;
+  limits.max_plans = 10;
+  ResourceGovernor governor(limits);
+  EXPECT_TRUE(governor.enabled());
+  governor.NotePlansConsidered(9);
+  EXPECT_TRUE(governor.Check().ok());
+  governor.NotePlansConsidered(1);
+  Status st = governor.Check();
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(governor.stopped());
+  EXPECT_NE(governor.reason().find("max_plans"), std::string::npos)
+      << governor.reason();
+  // Subsequent checks keep reporting the same exhaustion.
+  EXPECT_EQ(governor.Check().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(GovernorTest, PlanTableBytesTrip) {
+  GovernorLimits limits;
+  limits.max_plan_table_bytes = 1024;
+  ResourceGovernor governor(limits);
+  governor.NotePlanTableBytes(1000);
+  EXPECT_TRUE(governor.Check().ok());
+  governor.NotePlanTableBytes(100);
+  EXPECT_EQ(governor.Check().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(governor.reason().find("memory budget"), std::string::npos)
+      << governor.reason();
+}
+
+TEST(GovernorTest, DeadlineTrips) {
+  GovernorLimits limits;
+  limits.deadline_ms = 1;
+  ResourceGovernor governor(limits);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  Status st = governor.Check();
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(governor.reason().find("deadline"), std::string::npos)
+      << governor.reason();
+}
+
+TEST(GovernorTest, FirstTripReasonWins) {
+  GovernorLimits limits;
+  limits.max_plans = 1;
+  limits.max_plan_table_bytes = 1;
+  ResourceGovernor governor(limits);
+  governor.NotePlansConsidered(5);
+  EXPECT_FALSE(governor.Check().ok());
+  std::string first = governor.reason();
+  governor.NotePlanTableBytes(100);
+  EXPECT_FALSE(governor.Check().ok());
+  EXPECT_EQ(governor.reason(), first);
+}
+
+TEST(GovernorTest, EnvDefaultsParse) {
+  ASSERT_EQ(setenv("STARBURST_MAX_PLANS", "123", 1), 0);
+  EXPECT_EQ(DefaultMaxPlans(), 123);
+  ASSERT_EQ(setenv("STARBURST_MAX_PLANS", "not-a-number", 1), 0);
+  EXPECT_EQ(DefaultMaxPlans(), 0);
+  ASSERT_EQ(setenv("STARBURST_MAX_PLANS", "-5", 1), 0);
+  EXPECT_EQ(DefaultMaxPlans(), 0);
+  ASSERT_EQ(unsetenv("STARBURST_MAX_PLANS"), 0);
+  EXPECT_EQ(DefaultMaxPlans(), 0);
+  ASSERT_EQ(setenv("STARBURST_DEADLINE_MS", "250", 1), 0);
+  EXPECT_EQ(DefaultDeadlineMs(), 250);
+  ASSERT_EQ(unsetenv("STARBURST_DEADLINE_MS"), 0);
+}
+
+TEST(GovernorTest, UnbudgetedRunIsNotDegraded) {
+  Catalog catalog = ChainCatalog(4);
+  Query query = ParseSql(catalog, ChainSql(4)).ValueOrDie();
+  // Pin the budgets off so an inherited STARBURST_MAX_PLANS (the CI
+  // low-budget job) cannot degrade this run.
+  OptimizerOptions opts;
+  opts.deadline_ms = 0;
+  opts.max_plans = 0;
+  opts.max_plan_table_bytes = 0;
+  Optimizer optimizer(DefaultRuleSet(), opts);
+  auto result = optimizer.Optimize(query);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result.value().degraded());
+  EXPECT_TRUE(result.value().degradation_reason.empty());
+}
+
+TEST(GovernorTest, MaxPlansDegradesToGreedyWithSameAnswer) {
+  constexpr int kTables = 10;
+  Catalog catalog = ChainCatalog(kTables);
+  Query query = ParseSql(catalog, ChainSql(kTables)).ValueOrDie();
+
+  OptimizerOptions full_opts;
+  full_opts.num_threads = 1;
+  // The baseline must be the true exhaustive run even when the environment
+  // sets a budget (the CI low-budget job).
+  full_opts.deadline_ms = 0;
+  full_opts.max_plans = 0;
+  full_opts.max_plan_table_bytes = 0;
+  Optimizer full(DefaultRuleSet(), full_opts);
+  auto full_result = full.Optimize(query);
+  ASSERT_TRUE(full_result.ok()) << full_result.status().ToString();
+  ASSERT_FALSE(full_result.value().degraded());
+
+  OptimizerOptions tight_opts;
+  tight_opts.num_threads = 1;
+  tight_opts.max_plans = 200;  // far below a 10-table chain's DP plan count
+  MetricsRegistry metrics;
+  tight_opts.metrics = &metrics;
+  Optimizer tight(DefaultRuleSet(), tight_opts);
+  auto tight_result = tight.Optimize(query);
+  ASSERT_TRUE(tight_result.ok()) << tight_result.status().ToString();
+  EXPECT_TRUE(tight_result.value().degraded());
+  EXPECT_NE(tight_result.value().degradation_reason.find("max_plans"),
+            std::string::npos)
+      << tight_result.value().degradation_reason;
+  ASSERT_NE(tight_result.value().best, nullptr);
+  // The greedy plan may cost more, never less, than the DP optimum.
+  EXPECT_GE(tight_result.value().total_cost,
+            full_result.value().total_cost - 1e-6);
+  EXPECT_NE(metrics.TakeSnapshot().ToText().find("optimizer.degraded"),
+            std::string::npos);
+
+  // Both plans are semantically the same query: identical result multisets.
+  Database db(catalog);
+  ASSERT_TRUE(PopulateDatabase(&db, /*seed=*/7, /*scale=*/0.01).ok());
+  auto full_rows = ExecutePlan(db, query, full_result.value().best);
+  ASSERT_TRUE(full_rows.ok()) << full_rows.status().ToString();
+  auto tight_rows = ExecutePlan(db, query, tight_result.value().best);
+  ASSERT_TRUE(tight_rows.ok()) << tight_rows.status().ToString();
+  auto same = SameResult(full_rows.value(), tight_rows.value(),
+                         query.select_list());
+  ASSERT_TRUE(same.ok()) << same.status().ToString();
+  EXPECT_TRUE(same.value());
+}
+
+TEST(GovernorTest, PlanTableBytesBudgetDegrades) {
+  constexpr int kTables = 8;
+  Catalog catalog = ChainCatalog(kTables);
+  Query query = ParseSql(catalog, ChainSql(kTables)).ValueOrDie();
+  OptimizerOptions opts;
+  opts.num_threads = 1;
+  opts.max_plan_table_bytes = 16 * 1024;
+  // Only the byte budget may trip here (we assert on the reason).
+  opts.deadline_ms = 0;
+  opts.max_plans = 0;
+  Optimizer optimizer(DefaultRuleSet(), opts);
+  auto result = optimizer.Optimize(query);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result.value().degraded());
+  EXPECT_NE(result.value().degradation_reason.find("memory budget"),
+            std::string::npos)
+      << result.value().degradation_reason;
+}
+
+TEST(GovernorTest, DeadlineInterruptsAtAnyThreadCount) {
+  // 12 tables make the DP pass long enough that a 1ms deadline reliably
+  // trips whether the enumeration is sequential or rank-parallel.
+  constexpr int kTables = 12;
+  Catalog catalog = ChainCatalog(kTables);
+  Query query = ParseSql(catalog, ChainSql(kTables)).ValueOrDie();
+  for (int threads : {1, 4}) {
+    OptimizerOptions opts;
+    opts.num_threads = threads;
+    opts.deadline_ms = 1;
+    // Only the deadline may trip here, even if the environment sets a plan
+    // budget (first trip wins and we assert on the reason).
+    opts.max_plans = 0;
+    opts.max_plan_table_bytes = 0;
+    Optimizer optimizer(DefaultRuleSet(), opts);
+    auto result = optimizer.Optimize(query);
+    ASSERT_TRUE(result.ok())
+        << "threads=" << threads << ": " << result.status().ToString();
+    EXPECT_TRUE(result.value().degraded()) << "threads=" << threads;
+    EXPECT_NE(result.value().degradation_reason.find("deadline"),
+              std::string::npos)
+        << result.value().degradation_reason;
+    ASSERT_NE(result.value().best, nullptr);
+    // The table was cleared and rebuilt by the greedy pass: it holds plans
+    // for the base tables plus one bucket per greedy step, nothing from the
+    // interrupted DP state (which would be far larger).
+    EXPECT_GT(result.value().plans_in_table, 0);
+    EXPECT_LT(result.value().plans_in_table, 500) << "threads=" << threads;
+  }
+}
+
+TEST(GovernorTest, DegradedPlanIsDeterministicAcrossThreadCounts) {
+  constexpr int kTables = 10;
+  Catalog catalog = ChainCatalog(kTables);
+  Query query = ParseSql(catalog, ChainSql(kTables)).ValueOrDie();
+  std::string baseline_sig;
+  double baseline_cost = 0.0;
+  for (int threads : {1, 2, 4}) {
+    OptimizerOptions opts;
+    opts.num_threads = threads;
+    opts.max_plans = 200;
+    Optimizer optimizer(DefaultRuleSet(), opts);
+    auto result = optimizer.Optimize(query);
+    ASSERT_TRUE(result.ok())
+        << "threads=" << threads << ": " << result.status().ToString();
+    ASSERT_TRUE(result.value().degraded()) << "threads=" << threads;
+    std::string sig = PlanSignature(*result.value().best);
+    if (threads == 1) {
+      baseline_sig = sig;
+      baseline_cost = result.value().total_cost;
+    } else {
+      EXPECT_EQ(sig, baseline_sig) << "threads=" << threads;
+      EXPECT_DOUBLE_EQ(result.value().total_cost, baseline_cost)
+          << "threads=" << threads;
+    }
+  }
+}
+
+TEST(GovernorTest, SingleTableQueryDegradesCleanly) {
+  // The deadline can trip before even the single-table resolve; the greedy
+  // fallback must still produce the (only possible) access plan.
+  Catalog catalog = MakePaperCatalog();
+  Query query = ParseSql(catalog, "SELECT EMP.NAME FROM EMP").ValueOrDie();
+  OptimizerOptions opts;
+  opts.max_plans = 1;
+  Optimizer optimizer(DefaultRuleSet(), opts);
+  auto result = optimizer.Optimize(query);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_NE(result.value().best, nullptr);
+}
+
+}  // namespace
+}  // namespace starburst

@@ -28,6 +28,18 @@ struct SweepCase {
   bool order_by;
 };
 
+// These tests assert properties of the *exhaustive* DP enumeration (the
+// oracle agrees, widening never costs more, ...), which the greedy fallback
+// deliberately trades away. Pin the budgets off so an inherited
+// STARBURST_MAX_PLANS / STARBURST_DEADLINE_MS (the CI low-budget job) cannot
+// degrade these runs.
+OptimizerOptions Exhaustive(OptimizerOptions opts = OptimizerOptions{}) {
+  opts.deadline_ms = 0;
+  opts.max_plans = 0;
+  opts.max_plan_table_bytes = 0;
+  return opts;
+}
+
 std::string ChainSql(int n, bool order_by) {
   std::string sql = "SELECT T0.id FROM T0";
   for (int i = 1; i < n; ++i) sql += ", T" + std::to_string(i);
@@ -67,7 +79,7 @@ TEST_P(OptimizerSweep, AllFinalPlansAgreeAndBestIsCheapest) {
   rule_opts.merge_join = true;
   rule_opts.hash_join = true;
   rule_opts.dynamic_index = GetParam().num_tables <= 3;
-  Optimizer opt(DefaultRuleSet(rule_opts));
+  Optimizer opt(DefaultRuleSet(rule_opts), Exhaustive());
   auto result = opt.Optimize(*query_);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   const OptimizeResult& r = result.value();
@@ -106,7 +118,7 @@ TEST_P(OptimizerSweep, AllFinalPlansAgreeAndBestIsCheapest) {
 
 TEST_P(OptimizerSweep, NaiveOracleAgreesOnSmallQueries) {
   if (GetParam().num_tables > 3) GTEST_SKIP() << "oracle too slow";
-  Optimizer opt(DefaultRuleSet());
+  Optimizer opt(DefaultRuleSet(), Exhaustive());
   auto result = opt.Optimize(*query_);
   ASSERT_TRUE(result.ok());
   auto rs = ExecutePlan(*db_, *query_, result.value().best);
@@ -153,8 +165,8 @@ TEST_P(OptimizerSweep, WiderRepertoireNeverCostsMore) {
   wide.forced_projection = true;
   wide.dynamic_index = true;
 
-  Optimizer opt_narrow(DefaultRuleSet(narrow));
-  Optimizer opt_wide(DefaultRuleSet(wide));
+  Optimizer opt_narrow(DefaultRuleSet(narrow), Exhaustive());
+  Optimizer opt_wide(DefaultRuleSet(wide), Exhaustive());
   auto narrow_r = opt_narrow.Optimize(*query_);
   auto wide_r = opt_wide.Optimize(*query_);
   ASSERT_TRUE(narrow_r.ok()) << narrow_r.status().ToString();
@@ -168,8 +180,8 @@ TEST_P(OptimizerSweep, CompositeInnersOnlyWiden) {
   OptimizerOptions without;
   without.engine.allow_composite_inner = false;
 
-  Optimizer opt_with(DefaultRuleSet(), with);
-  Optimizer opt_without(DefaultRuleSet(), without);
+  Optimizer opt_with(DefaultRuleSet(), Exhaustive(with));
+  Optimizer opt_without(DefaultRuleSet(), Exhaustive(without));
   auto r_with = opt_with.Optimize(*query_);
   auto r_without = opt_without.Optimize(*query_);
   ASSERT_TRUE(r_with.ok());
@@ -184,8 +196,8 @@ TEST_P(OptimizerSweep, CheapestOnlyGlueStillProducesAValidPlan) {
   OptimizerOptions cheapest;
   cheapest.engine.glue_return_all = false;
 
-  Optimizer opt_all(DefaultRuleSet(), all);
-  Optimizer opt_cheapest(DefaultRuleSet(), cheapest);
+  Optimizer opt_all(DefaultRuleSet(), Exhaustive(all));
+  Optimizer opt_cheapest(DefaultRuleSet(), Exhaustive(cheapest));
   auto r_all = opt_all.Optimize(*query_);
   auto r_cheapest = opt_cheapest.Optimize(*query_);
   ASSERT_TRUE(r_all.ok());
@@ -231,7 +243,7 @@ TEST(CartesianProductTest, DisconnectedQueryNeedsCartesianOption) {
 
   OptimizerOptions opts;
   opts.engine.allow_cartesian = true;
-  Optimizer with_cartesian(DefaultRuleSet(), opts);
+  Optimizer with_cartesian(DefaultRuleSet(), Exhaustive(opts));
   auto r = with_cartesian.Optimize(query);
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_NE(r.value().best, nullptr);

@@ -70,6 +70,13 @@ RunOutcome OptimizeAt(const Catalog& cat, const std::string& sql,
                       int threads) {
   Query query = ParseSql(cat, sql).ValueOrDie();
   OptimizerOptions options;
+  // These tests assert that the exhaustive DP enumeration is deterministic
+  // across thread counts. A budget inherited from STARBURST_MAX_PLANS /
+  // STARBURST_DEADLINE_MS would trip at timing-dependent points, so pin the
+  // budgets off.
+  options.deadline_ms = 0;
+  options.max_plans = 0;
+  options.max_plan_table_bytes = 0;
   options.num_threads = threads;
   Optimizer optimizer(DefaultRuleSet(), options);
   auto result = optimizer.Optimize(query);
