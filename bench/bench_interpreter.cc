@@ -10,6 +10,7 @@
 #include "optimizer/plan_table.h"
 #include "properties/property_functions.h"
 #include "star/builtins.h"
+#include "star/memo.h"
 
 namespace starburst {
 namespace {
@@ -59,6 +60,26 @@ void PrintArtifact() {
                  .ValueOrDie();
   std::printf("AccessRoot(EMP, {}) expands to %zu plans with metrics %s\n\n",
               sap.size(), s.engine->metrics().ToString().c_str());
+
+  // The shared-memo view of the same claim: a full optimize of the paper
+  // query with both cache layers on, reporting how much of the interpreter
+  // work the memo absorbed.
+  OptimizerOptions opts;
+  opts.shared_memo = true;
+  opts.cache_augmented = true;
+  Optimizer optimizer(DefaultRuleSet(bench::FullRepertoire()), opts);
+  auto r = optimizer.Optimize(s.query);
+  if (r.ok()) {
+    const ExpansionMemo::Stats& m = r.value().memo_stats;
+    std::printf("shared memo on the paper query: %s\n", m.ToString().c_str());
+    std::printf(
+        "BENCH_JSON {\"bench\":\"interpreter\",\"query\":\"paper\","
+        "\"memo_hit_rate\":%.3f,\"memo_hits\":%lld,\"memo_entries\":%lld,"
+        "\"star_refs\":%lld}\n\n",
+        m.hit_rate(), static_cast<long long>(m.hits),
+        static_cast<long long>(m.entries),
+        static_cast<long long>(r.value().engine_metrics.star_refs));
+  }
 }
 
 void BM_EvalAccessRoot(benchmark::State& state) {
@@ -101,6 +122,23 @@ void BM_GlueMemoHit(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_GlueMemoHit);
+
+void BM_SharedMemoLookupHit(benchmark::State& state) {
+  // One shared-memo probe — the unit of work every cached STAR reference
+  // and Glue resolution pays: canonical-key build plus a sharded map hit.
+  InterpSetup s;
+  std::vector<RuleValue> args{RuleValue(s.Spec(1)), RuleValue(PredSet{})};
+  SAP sap = s.engine->EvalStar("AccessRoot", args).ValueOrDie();
+  ExpansionMemo memo;
+  memo.Insert(CanonicalStarKey("AccessRoot", args), sap);
+  for (auto _ : state) {
+    auto hit = memo.Lookup(CanonicalStarKey("AccessRoot", args));
+    benchmark::DoNotOptimize(hit);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["memo_hit_rate"] = memo.stats().hit_rate();
+}
+BENCHMARK(BM_SharedMemoLookupHit);
 
 void BM_PlanTableLookup(benchmark::State& state) {
   InterpSetup s;

@@ -231,10 +231,79 @@ void PrintParallelArtifact() {
     std::printf(
         "BENCH_JSON {\"bench\":\"join_enumeration\",\"tables\":%d,"
         "\"threads\":%d,\"micros\":%.0f,\"best_cost\":%.2f,\"plans\":%lld,"
-        "\"signature_match\":%s,\"degraded\":%d}\n",
+        "\"signature_match\":%s,\"degraded\":%d,\"memo_hit_rate\":%.3f}\n",
         kTables, threads, best_us, last.total_cost,
         static_cast<long long>(last.plans_in_table),
-        match ? "true" : "false", last.degraded() ? 1 : 0);
+        match ? "true" : "false", last.degraded() ? 1 : 0,
+        last.memo_stats.hit_rate());
+  }
+  std::printf("\n");
+}
+
+/// Shared-memo artifact: an 8-relation chain with the expansion memo and the
+/// deterministic augmented-plan cache on vs. off, sequential and parallel.
+/// The memo-on rows must show a substantial hit rate (>30% on this workload)
+/// and an identical best plan; the threads=1 comparison is the
+/// no-regression evidence for the cache lookups themselves.
+void PrintMemoArtifact() {
+  constexpr int kTables = 8;
+  constexpr int kReps = 3;
+  SyntheticCatalogOptions copts;
+  copts.num_tables = kTables;
+  copts.seed = 90 + static_cast<uint64_t>(kTables);
+  Catalog catalog = MakeSyntheticCatalog(copts);
+  Query query = bench::MustParse(catalog, bench::ChainSql(kTables));
+
+  std::printf("shared expansion memo (%d-table chain, best of %d runs):\n",
+              kTables, kReps);
+  std::string baseline_sig;
+  double off_seq_us = 0.0;
+  for (bool memo : {false, true}) {
+    for (int threads : {1, 4}) {
+      OptimizerOptions opts;
+      opts.num_threads = threads;
+      opts.shared_memo = memo;
+      opts.cache_augmented = memo;
+      Optimizer optimizer(DefaultRuleSet(), opts);
+      double best_us = 0.0;
+      OptimizeResult last;
+      for (int rep = 0; rep < kReps; ++rep) {
+        auto t0 = std::chrono::steady_clock::now();
+        auto r = optimizer.Optimize(query);
+        auto t1 = std::chrono::steady_clock::now();
+        if (!r.ok()) {
+          std::printf("  memo=%d threads=%d FAILED: %s\n", memo ? 1 : 0,
+                      threads, r.status().ToString().c_str());
+          return;
+        }
+        last = std::move(r).value();
+        double us = std::chrono::duration<double, std::micro>(t1 - t0).count();
+        if (rep == 0 || us < best_us) best_us = us;
+      }
+      std::string sig = PlanSignature(*last.best);
+      if (baseline_sig.empty()) baseline_sig = sig;
+      if (!memo && threads == 1) off_seq_us = best_us;
+      bool match = sig == baseline_sig;
+      double hit_rate = last.memo_stats.hit_rate();
+      std::printf(
+          "  memo=%-3s threads=%d  %10.0f us  hit rate %5.1f%%  "
+          "(%lld hits / %lld lookups)  plan %s\n",
+          memo ? "on" : "off", threads, best_us, 100.0 * hit_rate,
+          static_cast<long long>(last.memo_stats.hits),
+          static_cast<long long>(last.memo_stats.hits +
+                                 last.memo_stats.misses),
+          match ? "identical" : "DIVERGED");
+      std::printf(
+          "BENCH_JSON {\"bench\":\"memo\",\"tables\":%d,\"memo\":%d,"
+          "\"threads\":%d,\"micros\":%.0f,\"best_cost\":%.2f,"
+          "\"memo_hit_rate\":%.3f,\"memo_hits\":%lld,"
+          "\"signature_match\":%s,\"seq_micros_vs_uncached\":%.3f}\n",
+          kTables, memo ? 1 : 0, threads, best_us, last.total_cost,
+          hit_rate, static_cast<long long>(last.memo_stats.hits),
+          match ? "true" : "false",
+          (memo && threads == 1 && off_seq_us > 0.0) ? best_us / off_seq_us
+                                                     : 1.0);
+    }
   }
   std::printf("\n");
 }
@@ -295,6 +364,7 @@ int main(int argc, char** argv) {
   starburst::PrintBushyArtifact();
   starburst::PrintCartesianArtifact();
   starburst::PrintParallelArtifact();
+  starburst::PrintMemoArtifact();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

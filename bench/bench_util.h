@@ -76,6 +76,8 @@ inline void RecordOptimizerEffort(benchmark::State& state,
       static_cast<double>(r.plan_nodes_created);
   state.counters["join_root_refs"] =
       static_cast<double>(r.enumerator_stats.join_root_refs);
+  state.counters["memo_hits"] = static_cast<double>(r.memo_stats.hits);
+  state.counters["memo_hit_rate"] = r.memo_stats.hit_rate();
 }
 
 /// Dumps a metrics-registry snapshot as JSON to stdout (one line, prefixed),

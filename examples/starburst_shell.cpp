@@ -86,6 +86,8 @@ void PrintHelp() {
       "  \\catalog            show tables and indexes\n"
       "  \\metrics            effort counters + metrics registry snapshot\n"
       "  \\threads [n]        show/set join-enumeration threads (0 = hw)\n"
+      "  \\memo [on|off]      show/toggle the shared expansion memo and\n"
+      "                      augmented-plan cache (memo.* in \\metrics)\n"
       "  \\budget [spec]      show/set budgets: deadline_ms=N plans=N "
       "bytes=N (0 = unlimited, 'off' clears)\n"
       "  \\faults [spec]      show/set fault injection, e.g. "
@@ -269,11 +271,13 @@ struct Shell {
       std::printf("enumeration threads set to %ld%s\n", n,
                   n == 0 ? " (hardware concurrency)" : "");
     } else if (cmd == "\\metrics") {
-      std::printf("engine: %s\nglue:   %s\ntable:  %s\nenum:   %s\n",
+      std::printf("engine: %s\nglue:   %s\ntable:  %s\nenum:   %s\n"
+                  "memo:   %s\n",
                   last.engine_metrics.ToString().c_str(),
                   last.glue_metrics.ToString().c_str(),
                   last.table_stats.ToString().c_str(),
-                  last.enumerator_stats.ToString().c_str());
+                  last.enumerator_stats.ToString().c_str(),
+                  last.memo_stats.ToString().c_str());
       if (last.degraded()) {
         std::printf("degraded: %s\n", last.degradation_reason.c_str());
       }
@@ -329,6 +333,21 @@ struct Shell {
                   static_cast<long long>(opts.deadline_ms),
                   static_cast<long long>(opts.max_plans),
                   static_cast<long long>(opts.max_plan_table_bytes));
+    } else if (cmd == "\\memo") {
+      OptimizerOptions& opts = optimizer.options();
+      if (rest == "on") {
+        opts.shared_memo = true;
+        opts.cache_augmented = true;
+      } else if (rest == "off") {
+        opts.shared_memo = false;
+        opts.cache_augmented = false;
+      } else if (!rest.empty()) {
+        std::printf("usage: \\memo [on|off]\n");
+        return;
+      }
+      std::printf("shared memo %s, augmented-plan cache %s\n",
+                  opts.shared_memo ? "on" : "off",
+                  opts.cache_augmented ? "on" : "off");
     } else if (cmd == "\\faults") {
       if (rest.empty()) {
         std::printf("%s\n", FaultInjector::Global()->ToString().c_str());

@@ -6,6 +6,7 @@
 #include "obs/trace.h"
 #include "optimizer/governor.h"
 #include "query/query.h"
+#include "star/memo.h"
 
 namespace starburst {
 
@@ -20,7 +21,10 @@ std::string Glue::Metrics::ToString() const {
          " base_hits=" + std::to_string(base_hits) +
          " root_refs=" + std::to_string(root_references) +
          " veneers=" + std::to_string(veneers_added) +
-         " skipped=" + std::to_string(plans_skipped) + "}";
+         " skipped=" + std::to_string(plans_skipped) +
+         " aug_hits=" + std::to_string(augmented_cache_hits) +
+         " aug_misses=" + std::to_string(augmented_cache_misses) +
+         " bypassed=" + std::to_string(cache_bypassed) + "}";
 }
 
 void Glue::Metrics::Publish(MetricsRegistry* registry) const {
@@ -30,6 +34,9 @@ void Glue::Metrics::Publish(MetricsRegistry* registry) const {
   registry->AddCounter("glue.root_references", root_references);
   registry->AddCounter("glue.veneers_added", veneers_added);
   registry->AddCounter("glue.plans_skipped", plans_skipped);
+  registry->AddCounter("glue.augmented_cache_hits", augmented_cache_hits);
+  registry->AddCounter("glue.augmented_cache_misses", augmented_cache_misses);
+  registry->AddCounter("glue.cache_bypassed", cache_bypassed);
 }
 
 void Glue::Metrics::MergeFrom(const Metrics& other) {
@@ -38,6 +45,9 @@ void Glue::Metrics::MergeFrom(const Metrics& other) {
   root_references += other.root_references;
   veneers_added += other.veneers_added;
   plans_skipped += other.plans_skipped;
+  augmented_cache_hits += other.augmented_cache_hits;
+  augmented_cache_misses += other.augmented_cache_misses;
+  cache_bypassed += other.cache_bypassed;
 }
 
 namespace {
@@ -212,6 +222,26 @@ Result<SAP> Glue::Resolve(const StreamSpec& spec) {
   const int64_t veneers_before = metrics_.veneers_added;
   const int64_t skipped_before = metrics_.plans_skipped;
 
+  // With a shared memo attached, the augmented-plan cache is a whole-Resolve
+  // memo entry: Resolve is a pure function of the spec within one run (the
+  // rank barrier completes every bucket it reads before a later rank can
+  // reference it, and augmented plans no longer enter the plan table), so
+  // the first resolution of a spec — by any worker — serves all later ones.
+  const bool use_memo = memo_ != nullptr && cache_augmented_;
+  std::string memo_key;
+  if (use_memo) {
+    memo_key = "glue|" + CanonicalSpecKey(spec);
+    if (std::optional<SAP> cached = memo_->Lookup(memo_key)) {
+      ++metrics_.augmented_cache_hits;
+      if (span.active()) {
+        span.set_detail("memo hit, " + std::to_string(cached->size()) +
+                        " plan(s)");
+      }
+      return *std::move(cached);
+    }
+    ++metrics_.augmented_cache_misses;
+  }
+
   // Correlated predicates cannot be frozen into a temp; keep them out of the
   // base plans when the stream will be materialized.
   PredSet base_preds = spec.preds;
@@ -224,6 +254,7 @@ Result<SAP> Glue::Resolve(const StreamSpec& spec) {
 
   const CostModel& cost_model = engine_->factory().cost_model();
   SAP out;
+  int64_t bypassed = 0;
   for (const PlanPtr& candidate : base.value()) {
     PlanPtr p = candidate;
     if (!Satisfies(*p, spec)) {
@@ -235,14 +266,26 @@ Result<SAP> Glue::Resolve(const StreamSpec& spec) {
         continue;
       }
       // Remember the augmented plan so later Glue references with the same
-      // requirements find it ready-made (Figure 3's plan 3). Disabled during
-      // enumeration (see set_cache_augmented) to keep candidate sets
-      // independent of resolve order.
-      if (cache_augmented_) {
+      // requirements find it ready-made (Figure 3's plan 3). With a memo the
+      // whole Resolve result is memoized after pruning (below); the legacy
+      // plan-table write-back is only used memo-less and outside enumeration
+      // because it is resolve-order dependent.
+      if (use_memo) {
+        // Covered by the whole-Resolve memo insert below.
+      } else if (cache_augmented_) {
         table_->Insert(spec.tables, p->props.preds(), p);
+      } else {
+        ++bypassed;
       }
     }
     out.push_back(std::move(p));
+  }
+  if (bypassed > 0) {
+    metrics_.cache_bypassed += bypassed;
+    if (ShouldTrace(tracer_)) {
+      tracer_->Instant(TraceKind::kGlue, "augmented-cache bypassed",
+                       std::to_string(bypassed) + " plan(s) not cached");
+    }
   }
   PruneDominated(&out, cost_model);
   if (!engine_->options().glue_return_all && out.size() > 1) {
@@ -256,6 +299,11 @@ Result<SAP> Glue::Resolve(const StreamSpec& spec) {
         " veneer op(s), " +
         std::to_string(metrics_.plans_skipped - skipped_before) +
         " rejected");
+  }
+  // Memoize the complete, pruned frontier: error paths return before this
+  // point, so concurrent readers only ever see finished resolutions.
+  if (use_memo) {
+    memo_->Insert(memo_key, out);
   }
   return out;
 }

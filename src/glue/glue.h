@@ -8,6 +8,7 @@
 
 namespace starburst {
 
+class ExpansionMemo;
 class FaultInjector;
 class Query;
 class MetricsRegistry;
@@ -30,6 +31,9 @@ class Glue : public GlueInterface {
     int64_t root_references = 0;  ///< AccessRoot re-references (step 1)
     int64_t veneers_added = 0;    ///< glue operators injected (step 2)
     int64_t plans_skipped = 0;    ///< candidates that could not be augmented
+    int64_t augmented_cache_hits = 0;    ///< whole-Resolve memo hits
+    int64_t augmented_cache_misses = 0;  ///< whole-Resolve memo misses
+    int64_t cache_bypassed = 0;  ///< augmented plans not cached (knob off)
 
     std::string ToString() const;
     /// Publishes the counters into `registry` under the `glue.` prefix.
@@ -52,14 +56,22 @@ class Glue : public GlueInterface {
   /// Override the fault injector (tests); defaults to FaultInjector::Global().
   void set_faults(FaultInjector* faults) { faults_ = faults; }
 
-  /// Whether Resolve may cache augmented plans back into the plan table
-  /// (Figure 3's plan 3). The join enumerator turns this off for the
-  /// duration of enumeration — at every thread count — because which
-  /// augmented plans get cached depends on resolve order, and a cached
-  /// temp-probe plan can shadow the root-reference path that pushes
-  /// predicates into access paths, changing candidate sets run-to-run.
+  /// Whether Resolve may cache augmented plans (Figure 3's plan 3). With a
+  /// shared memo attached (see set_memo) the cache is a whole-Resolve memo
+  /// entry under the spec's canonical key — deterministic at any thread
+  /// count, so it stays on during enumeration. Without a memo the legacy
+  /// behavior applies: augmented plans are written back into the plan table,
+  /// which is resolve-order dependent, so the join enumerator bypasses the
+  /// cache for the duration of enumeration (and says so with a trace
+  /// instant and the cache_bypassed metric).
   void set_cache_augmented(bool cache) { cache_augmented_ = cache; }
   bool cache_augmented() const { return cache_augmented_; }
+
+  /// Attach a shared expansion memo (null = off). When set and caching is
+  /// enabled, Resolve results are memoized whole under canonical spec keys
+  /// instead of inserting augmented plans into the plan table.
+  void set_memo(ExpansionMemo* memo) { memo_ = memo; }
+  ExpansionMemo* memo() const { return memo_; }
 
   /// The root STAR this Glue references for single-table streams (exposed so
   /// parallel enumeration workers can clone the configuration).
@@ -86,6 +98,7 @@ class Glue : public GlueInterface {
 
   StarEngine* engine_;
   PlanTable* table_;
+  ExpansionMemo* memo_ = nullptr;
   Tracer* tracer_ = nullptr;
   ResourceGovernor* governor_ = nullptr;
   FaultInjector* faults_;

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <bit>
 #include <memory>
+#include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -39,11 +40,13 @@ void JoinEnumerator::Stats::MergeFrom(const Stats& other) {
 
 namespace {
 
-/// Restores Glue's augmented-plan caching on scope exit. Caching is off for
-/// the whole enumeration — at every thread count — because which augmented
-/// plans land in the table depends on resolve order, and a cached temp-probe
-/// plan can shadow the root-reference path that pushes predicates into
-/// access paths; either way the candidate sets would differ run-to-run.
+/// Restores Glue's augmented-plan caching on scope exit. Without a shared
+/// memo the cache writes augmented plans back into the plan table, and which
+/// plans land there depends on resolve order — a cached temp-probe plan can
+/// shadow the root-reference path that pushes predicates into access paths,
+/// so candidate sets would differ run-to-run. With a memo attached the cache
+/// is a whole-Resolve memo under canonical keys, deterministic at any thread
+/// count, and enumeration leaves it on (no guard).
 class GlueCacheGuard {
  public:
   explicit GlueCacheGuard(Glue* glue)
@@ -172,7 +175,12 @@ Status JoinEnumerator::RunParallel(int n, int threads) {
                                             engine_->options());
     w.glue = std::make_unique<Glue>(w.engine.get(), table_,
                                     glue_->access_root());
-    w.glue->set_cache_augmented(false);
+    // Workers share the main engine/glue's memo (it is the cross-rank cache)
+    // and inherit the effective caching knob: with no memo, Run() has
+    // already bypassed the order-dependent cache for the whole enumeration.
+    w.engine->set_memo(engine_->memo());
+    w.glue->set_memo(glue_->memo());
+    w.glue->set_cache_augmented(glue_->cache_augmented());
     // Distinct temp-name prefixes keep concurrently built temps from
     // colliding; plan signatures exclude temp names, so plan identity is
     // unaffected.
@@ -256,9 +264,19 @@ Status JoinEnumerator::Run() {
   Tracer* tracer = engine_->tracer();
   TraceSpan run_span(tracer, TraceKind::kEnumerator, "enumerate");
 
-  // Candidate sets must not depend on resolve order (see GlueCacheGuard),
-  // so augmented-plan caching is off for the whole run at any thread count.
-  GlueCacheGuard cache_guard(glue_);
+  // Candidate sets must not depend on resolve order (see GlueCacheGuard):
+  // without a shared memo the order-dependent write-back cache is bypassed
+  // for the whole run at any thread count — announced, not silent, so a
+  // caller who enabled set_cache_augmented can see why it had no effect.
+  std::optional<GlueCacheGuard> cache_guard;
+  if (glue_->memo() == nullptr) {
+    if (glue_->cache_augmented() && ShouldTrace(tracer)) {
+      tracer->Instant(TraceKind::kGlue, "augmented-cache bypassed",
+                      "no shared memo; write-back caching is resolve-order "
+                      "dependent and stays off during enumeration");
+    }
+    cache_guard.emplace(glue_);
+  }
 
   // Base case: single-table plans via Glue (which references AccessRoot and
   // fills the plan table).

@@ -36,6 +36,14 @@ int64_t EnvBudget(const char* name) {
 }
 }  // namespace
 
+bool DefaultSharedMemo() {
+  // On by default; STARBURST_SHARED_MEMO=0 disables it (the CI leg that
+  // proves the optimizer's outcome does not depend on the memo).
+  const char* env = std::getenv("STARBURST_SHARED_MEMO");
+  if (env == nullptr || *env == '\0') return true;
+  return std::string(env) != "0" && std::string(env) != "false";
+}
+
 int64_t DefaultDeadlineMs() { return EnvBudget("STARBURST_DEADLINE_MS"); }
 int64_t DefaultMaxPlans() { return EnvBudget("STARBURST_MAX_PLANS"); }
 int64_t DefaultMaxPlanTableBytes() {
@@ -69,6 +77,15 @@ Result<OptimizeResult> Optimizer::Optimize(const Query& query) {
   glue.set_tracer(tracer);
   engine.set_glue(&glue);
 
+  // One shared memo per run serves both cache layers: STAR expansions
+  // (consulted by the engine and every rank-parallel worker, gated by
+  // shared_memo) and whole Glue resolutions (the deterministic
+  // augmented-plan cache, gated by cache_augmented).
+  ExpansionMemo memo;
+  if (options_.shared_memo) engine.set_memo(&memo);
+  glue.set_memo(&memo);
+  glue.set_cache_augmented(options_.cache_augmented);
+
   // The governor's clock starts here and covers the whole Optimize call.
   GovernorLimits limits;
   limits.deadline_ms = options_.deadline_ms;
@@ -79,6 +96,9 @@ Result<OptimizeResult> Optimizer::Optimize(const Query& query) {
     engine.set_governor(&governor);
     glue.set_governor(&governor);
     table.set_governor(&governor);
+    // Memoized bytes draw from the same budget as the plan table, so a
+    // STARBURST_MAX_PLAN_TABLE_BYTES cap bounds both structures together.
+    memo.set_governor(&governor);
   }
 
   std::string degradation_reason;
@@ -92,10 +112,21 @@ Result<OptimizeResult> Optimizer::Optimize(const Query& query) {
     engine.set_governor(nullptr);
     glue.set_governor(nullptr);
     table.set_governor(nullptr);
+    memo.set_governor(nullptr);
     if (ShouldTrace(tracer)) {
       tracer->Instant(TraceKind::kPhase, "degrade to greedy",
                       degradation_reason);
+      tracer->Instant(TraceKind::kGlue, "expansion memo invalidated",
+                      "cleared and detached for the greedy fallback");
     }
+    if (metrics != nullptr) {
+      metrics->AddCounter("optimizer.cache_invalidated", 1);
+    }
+    // The fallback must not read memoized state: entry content can depend on
+    // where the budget tripped, and the greedy pass has to be deterministic.
+    engine.set_memo(nullptr);
+    glue.set_memo(nullptr);
+    memo.Clear();
     table.Clear();
     GreedyJoinEnumerator greedy(&engine, &glue, &table, "JoinRoot");
     STARBURST_TRACE_SPAN(tracer, TraceKind::kPhase, "greedy fallback");
@@ -163,6 +194,7 @@ Result<OptimizeResult> Optimizer::Optimize(const Query& query) {
   result.glue_metrics = glue.metrics();
   result.table_stats = table.stats();
   result.enumerator_stats = enumerator.stats();
+  result.memo_stats = memo.stats();
   result.plan_nodes_created = factory.nodes_created();
   result.plans_in_table = table.num_plans();
   result.degradation_reason = degradation_reason;
@@ -178,6 +210,7 @@ Result<OptimizeResult> Optimizer::Optimize(const Query& query) {
     result.glue_metrics.Publish(metrics);
     result.table_stats.Publish(metrics);
     result.enumerator_stats.Publish(metrics);
+    result.memo_stats.Publish(metrics);
     metrics->AddCounter("optimizer.runs", 1);
     if (result.degraded()) metrics->AddCounter("optimizer.degraded", 1);
     metrics->AddCounter("optimizer.plan_nodes_created",

@@ -9,6 +9,7 @@
 #include "optimizer/plan_table.h"
 #include "star/default_rules.h"
 #include "star/engine.h"
+#include "star/memo.h"
 
 namespace starburst {
 
@@ -26,6 +27,10 @@ int64_t DefaultDeadlineMs();
 int64_t DefaultMaxPlans();
 int64_t DefaultMaxPlanTableBytes();
 
+/// Default for OptimizerOptions::shared_memo: STARBURST_SHARED_MEMO (on
+/// unless set to 0/false).
+bool DefaultSharedMemo();
+
 struct OptimizerOptions {
   EngineOptions engine;
   CostParams cost_params;
@@ -39,6 +44,16 @@ struct OptimizerOptions {
   int64_t deadline_ms = DefaultDeadlineMs();
   int64_t max_plans = DefaultMaxPlans();
   int64_t max_plan_table_bytes = DefaultMaxPlanTableBytes();
+  /// Consult a shared cross-worker memo of STAR expansions keyed on
+  /// canonical (star, args) signatures. Purely an effort saver: any
+  /// combination of shared_memo/cache_augmented/num_threads yields the same
+  /// best-plan cost and shape (tests/plan_equivalence_test.cc). The memo's
+  /// bytes count against max_plan_table_bytes.
+  bool shared_memo = DefaultSharedMemo();
+  /// Cache Glue resolutions of augmented plans (Figure 3's plan 3) as
+  /// whole-Resolve memo entries under canonical spec keys — deterministic,
+  /// so it stays on during parallel enumeration.
+  bool cache_augmented = true;
   /// Non-owning observability sinks, both optional. The tracer records one
   /// rule-firing tree per Optimize call; the registry accumulates effort
   /// counters (star.*, glue.*, plan_table.*, enumerator.*) and per-phase
@@ -56,6 +71,7 @@ struct OptimizeResult {
   Glue::Metrics glue_metrics;
   PlanTable::Stats table_stats;
   JoinEnumerator::Stats enumerator_stats;
+  ExpansionMemo::Stats memo_stats;
   int64_t plan_nodes_created = 0;
   int64_t plans_in_table = 0;
   double total_cost = 0.0;  ///< weighted cost of `best`

@@ -5,6 +5,7 @@
 #include "obs/trace.h"
 #include "optimizer/governor.h"
 #include "query/query.h"
+#include "star/memo.h"
 
 namespace starburst {
 
@@ -32,7 +33,10 @@ std::string EngineMetrics::ToString() const {
          " plans_built=" + std::to_string(plans_built) +
          " infeasible=" + std::to_string(infeasible_combinations) +
          " glue_calls=" + std::to_string(glue_calls) +
-         " foreach=" + std::to_string(foreach_expansions) + "}";
+         " foreach=" + std::to_string(foreach_expansions) +
+         " memo_hits=" + std::to_string(memo_hits) +
+         " memo_misses=" + std::to_string(memo_misses) +
+         " memo_bytes=" + std::to_string(memo_bytes) + "}";
 }
 
 void EngineMetrics::Publish(MetricsRegistry* registry) const {
@@ -48,6 +52,9 @@ void EngineMetrics::Publish(MetricsRegistry* registry) const {
                        infeasible_combinations);
   registry->AddCounter("star.glue_calls", glue_calls);
   registry->AddCounter("star.foreach_expansions", foreach_expansions);
+  registry->AddCounter("engine.memo_hits", memo_hits);
+  registry->AddCounter("engine.memo_misses", memo_misses);
+  registry->AddCounter("engine.memo_bytes", memo_bytes);
 }
 
 void EngineMetrics::MergeFrom(const EngineMetrics& other) {
@@ -60,6 +67,9 @@ void EngineMetrics::MergeFrom(const EngineMetrics& other) {
   infeasible_combinations += other.infeasible_combinations;
   glue_calls += other.glue_calls;
   foreach_expansions += other.foreach_expansions;
+  memo_hits += other.memo_hits;
+  memo_misses += other.memo_misses;
+  memo_bytes += other.memo_bytes;
 }
 
 const RuleValue* StarEngine::Env::Lookup(const std::string& name) const {
@@ -117,6 +127,24 @@ Result<RuleValue> StarEngine::EvalStarRef(const std::string& name,
   if (depth_ >= options_.max_depth) {
     return Status::Internal("STAR recursion limit exceeded at '" + name +
                             "' (cyclic rule set?)");
+  }
+  // Shared-memo consult: STARs are pure functions from (rule, arguments) to
+  // a SAP, so a prior expansion — by this engine or any rank-parallel peer —
+  // can be substituted wholesale.
+  std::string memo_key;
+  if (memo_ != nullptr) {
+    memo_key = CanonicalStarKey(name, args);
+    if (std::optional<SAP> cached = memo_->Lookup(memo_key)) {
+      ++metrics_.star_refs;
+      ++metrics_.memo_hits;
+      TraceSpan hit_span(tracer_, TraceKind::kStar, name);
+      if (hit_span.active()) {
+        hit_span.set_detail("memo hit, SAP size " +
+                            std::to_string(cached->size()));
+      }
+      return RuleValue(*std::move(cached));
+    }
+    ++metrics_.memo_misses;
   }
   DepthGuard depth_guard(&depth_);
   ++metrics_.star_refs;
@@ -176,6 +204,12 @@ Result<RuleValue> StarEngine::EvalStarRef(const std::string& name,
   }
   if (star_span.active()) {
     star_span.set_detail("SAP size " + std::to_string(result.size()));
+  }
+  // Only complete, successful expansions are memoized (every error path
+  // above returns before this point), so a concurrent reader can never
+  // observe a partially populated entry.
+  if (memo_ != nullptr) {
+    metrics_.memo_bytes += memo_->Insert(memo_key, result);
   }
   return RuleValue(std::move(result));
 }

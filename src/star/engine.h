@@ -10,6 +10,7 @@
 
 namespace starburst {
 
+class ExpansionMemo;
 class FaultInjector;
 class MetricsRegistry;
 class ResourceGovernor;
@@ -43,6 +44,13 @@ struct EngineMetrics {
   int64_t infeasible_combinations = 0;
   int64_t glue_calls = 0;
   int64_t foreach_expansions = 0;
+  /// Shared-memo traffic of this engine instance (see star/memo.h): hits
+  /// and misses of its EvalStarRef consultations, and the bytes its own
+  /// insertions added to the memo. Published under `engine.memo_*` so the
+  /// per-worker counters merged from rank-parallel enumeration stay visible.
+  int64_t memo_hits = 0;
+  int64_t memo_misses = 0;
+  int64_t memo_bytes = 0;
 
   void Reset() { *this = EngineMetrics{}; }
   std::string ToString() const;
@@ -81,6 +89,11 @@ class StarEngine {
   void set_governor(ResourceGovernor* governor) { governor_ = governor; }
   /// Override the fault injector (tests); defaults to FaultInjector::Global().
   void set_faults(FaultInjector* faults) { faults_ = faults; }
+  /// Attach a shared expansion memo consulted before every STAR expansion
+  /// (null = off). The memo may be shared across engines: rank-parallel
+  /// workers all point at the same instance.
+  void set_memo(ExpansionMemo* memo) { memo_ = memo; }
+  ExpansionMemo* memo() const { return memo_; }
 
   /// Evaluates `name(args...)` to a set of alternative plans.
   Result<SAP> EvalStar(const std::string& name,
@@ -126,6 +139,7 @@ class StarEngine {
   const FunctionRegistry* functions_;
   GlueInterface* glue_ = nullptr;
   Tracer* tracer_ = nullptr;
+  ExpansionMemo* memo_ = nullptr;
   ResourceGovernor* governor_ = nullptr;
   FaultInjector* faults_;
   EngineOptions options_;

@@ -1,0 +1,342 @@
+#include "star/memo.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "optimizer/governor.h"
+#include "optimizer/plan_table.h"
+#include "plan/operator.h"
+
+namespace starburst {
+
+namespace {
+
+void AppendInt(int64_t v, std::string* out) {
+  out->append(std::to_string(v));
+}
+
+/// Exact (bit-pattern) encoding: the keys must distinguish doubles that
+/// compare unequal even when they print identically.
+void AppendDouble(double v, std::string* out) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(bits));
+  out->append(buf);
+}
+
+void AppendMask(uint64_t mask, std::string* out) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%llx",
+                static_cast<unsigned long long>(mask));
+  out->append(buf);
+}
+
+/// Length-prefixed so a string can never be confused with the surrounding
+/// punctuation of the key grammar.
+void AppendString(const std::string& s, std::string* out) {
+  AppendInt(static_cast<int64_t>(s.size()), out);
+  out->push_back(':');
+  out->append(s);
+}
+
+void AppendColumn(const ColumnRef& c, std::string* out) {
+  out->push_back('c');
+  AppendInt(c.quantifier, out);
+  out->push_back('.');
+  AppendInt(c.column, out);
+}
+
+void AppendColumns(const std::vector<ColumnRef>& cols, std::string* out) {
+  out->push_back('[');
+  for (const ColumnRef& c : cols) {
+    AppendColumn(c, out);
+    out->push_back(',');
+  }
+  out->push_back(']');
+}
+
+void AppendPlan(const PlanOp& plan, std::string* out);
+
+void AppendArgValue(const OpArgs::ArgValue& value, std::string* out) {
+  if (std::holds_alternative<std::monostate>(value)) {
+    out->push_back('_');
+  } else if (const bool* b = std::get_if<bool>(&value)) {
+    out->append(*b ? "b1" : "b0");
+  } else if (const int64_t* i = std::get_if<int64_t>(&value)) {
+    out->push_back('i');
+    AppendInt(*i, out);
+  } else if (const double* d = std::get_if<double>(&value)) {
+    out->push_back('d');
+    AppendDouble(*d, out);
+  } else if (const std::string* s = std::get_if<std::string>(&value)) {
+    out->push_back('s');
+    AppendString(*s, out);
+  } else if (const ColumnRef* c = std::get_if<ColumnRef>(&value)) {
+    AppendColumn(*c, out);
+  } else if (const std::vector<ColumnRef>* v =
+                 std::get_if<std::vector<ColumnRef>>(&value)) {
+    out->push_back('o');
+    AppendColumns(*v, out);
+  } else if (const ColumnSet* cs = std::get_if<ColumnSet>(&value)) {
+    // std::set iterates in (quantifier, column) order — already canonical.
+    out->push_back('C');
+    out->push_back('{');
+    for (const ColumnRef& c : *cs) {
+      AppendColumn(c, out);
+      out->push_back(',');
+    }
+    out->push_back('}');
+  } else if (const PredSet* p = std::get_if<PredSet>(&value)) {
+    out->push_back('p');
+    AppendMask(p->mask(), out);
+  } else if (const QuantifierSet* q = std::get_if<QuantifierSet>(&value)) {
+    out->push_back('q');
+    AppendMask(q->mask(), out);
+  } else {
+    out->push_back('?');
+  }
+}
+
+void AppendPlan(const PlanOp& plan, std::string* out) {
+  out->push_back('(');
+  out->append(plan.name());
+  out->push_back('/');
+  out->append(plan.flavor);
+  out->push_back('|');
+  // OpArgs iterates its map in argument-name order, so the encoding is
+  // independent of the order arguments were set. Temp names are the one
+  // per-resolver artifact (workers use distinct prefixes); plans differing
+  // only there are interchangeable, exactly as for PlanSignature.
+  for (const auto& [name, value] : plan.args.values()) {
+    if (name == arg::kTempName) continue;
+    out->append(name);
+    out->push_back('=');
+    AppendArgValue(value, out);
+    out->push_back(';');
+  }
+  out->push_back('<');
+  for (const PlanPtr& in : plan.inputs) {
+    AppendPlan(*in, out);
+  }
+  out->push_back('>');
+  out->push_back(')');
+}
+
+void AppendRequirements(const Requirements& req, std::string* out) {
+  out->append("R{");
+  if (req.order.has_value()) {
+    out->append("o=");
+    AppendColumns(*req.order, out);
+  }
+  if (req.site.has_value()) {
+    out->append("s=");
+    AppendInt(static_cast<int64_t>(*req.site), out);
+  }
+  if (req.temp) out->append("t1");
+  if (req.path.has_value()) {
+    out->append("x=");
+    AppendColumns(*req.path, out);
+  }
+  out->push_back('}');
+}
+
+void AppendSpec(const StreamSpec& spec, std::string* out) {
+  out->append("S{q");
+  AppendMask(spec.tables.mask(), out);
+  out->push_back('p');
+  AppendMask(spec.preds.mask(), out);
+  AppendRequirements(spec.required, out);
+  out->push_back('}');
+}
+
+void AppendValue(const RuleValue& value, std::string* out) {
+  if (value.is<std::monostate>()) {
+    out->push_back('_');
+  } else if (const bool* b = value.get_if<bool>()) {
+    out->append(*b ? "b1" : "b0");
+  } else if (const int64_t* i = value.get_if<int64_t>()) {
+    out->push_back('i');
+    AppendInt(*i, out);
+  } else if (const double* d = value.get_if<double>()) {
+    out->push_back('d');
+    AppendDouble(*d, out);
+  } else if (const std::string* s = value.get_if<std::string>()) {
+    out->push_back('s');
+    AppendString(*s, out);
+  } else if (const QuantifierSet* q = value.get_if<QuantifierSet>()) {
+    out->push_back('q');
+    AppendMask(q->mask(), out);
+  } else if (const PredSet* p = value.get_if<PredSet>()) {
+    out->push_back('p');
+    AppendMask(p->mask(), out);
+  } else if (const ColumnSet* cs = value.get_if<ColumnSet>()) {
+    out->push_back('C');
+    out->push_back('{');
+    for (const ColumnRef& c : *cs) {
+      AppendColumn(c, out);
+      out->push_back(',');
+    }
+    out->push_back('}');
+  } else if (const SortOrder* o = value.get_if<SortOrder>()) {
+    out->push_back('o');
+    AppendColumns(*o, out);
+  } else if (const ColumnRef* c = value.get_if<ColumnRef>()) {
+    AppendColumn(*c, out);
+  } else if (const StreamSpec* spec = value.get_if<StreamSpec>()) {
+    AppendSpec(*spec, out);
+  } else if (const SAP* sap = value.get_if<SAP>()) {
+    // SAPs are ordered collections: LOLEPOP references map over them in
+    // element order, so a permuted SAP argument is a different key (and a
+    // correspondingly permuted expansion).
+    out->push_back('A');
+    out->push_back('[');
+    for (const PlanPtr& p : *sap) AppendPlan(*p, out);
+    out->push_back(']');
+  } else if (const RuleList* list = value.get_if<RuleList>()) {
+    out->push_back('L');
+    out->push_back('[');
+    for (const RuleValue& v : *list) {
+      AppendValue(v, out);
+      out->push_back(',');
+    }
+    out->push_back(']');
+  } else {
+    out->push_back('?');
+  }
+}
+
+int64_t ApproxEntryBytes(const std::string& key, const SAP& value) {
+  int64_t bytes = static_cast<int64_t>(key.size()) +
+                  static_cast<int64_t>(sizeof(SAP)) +
+                  static_cast<int64_t>(value.size() * sizeof(PlanPtr));
+  for (const PlanPtr& p : value) bytes += ApproxPlanBytes(*p);
+  return bytes;
+}
+
+}  // namespace
+
+std::string CanonicalPlanKey(const PlanOp& plan) {
+  std::string out;
+  AppendPlan(plan, &out);
+  return out;
+}
+
+std::string CanonicalValueKey(const RuleValue& value) {
+  std::string out;
+  AppendValue(value, &out);
+  return out;
+}
+
+std::string CanonicalStarKey(const std::string& star,
+                             const std::vector<RuleValue>& args) {
+  std::string out = "star|";
+  out.append(star);
+  out.push_back('|');
+  for (const RuleValue& arg : args) {
+    AppendValue(arg, &out);
+    out.push_back('|');
+  }
+  return out;
+}
+
+std::string CanonicalSpecKey(const StreamSpec& spec) {
+  std::string out;
+  AppendSpec(spec, &out);
+  return out;
+}
+
+std::string ExpansionMemo::Stats::ToString() const {
+  return "{hits=" + std::to_string(hits) +
+         " misses=" + std::to_string(misses) +
+         " inserts=" + std::to_string(inserts) +
+         " races=" + std::to_string(insert_races) +
+         " entries=" + std::to_string(entries) +
+         " bytes=" + std::to_string(approx_bytes) + "}";
+}
+
+void ExpansionMemo::Stats::Publish(MetricsRegistry* registry) const {
+  if (registry == nullptr) return;
+  registry->AddCounter("memo.hits", hits);
+  registry->AddCounter("memo.misses", misses);
+  registry->AddCounter("memo.inserts", inserts);
+  registry->AddCounter("memo.insert_races", insert_races);
+  registry->SetGauge("memo.entries", static_cast<double>(entries));
+  registry->SetGauge("memo.approx_bytes", static_cast<double>(approx_bytes));
+}
+
+std::optional<SAP> ExpansionMemo::Lookup(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
+}
+
+int64_t ExpansionMemo::Insert(const std::string& key, const SAP& value) {
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto [it, inserted] = shard.entries.emplace(key, value);
+    if (!inserted) {
+      // First writer wins. Concurrent workers can only have computed the
+      // same expansion (STARs are pure per run), so the incumbent must be
+      // canonically identical — a mismatch means a key that under-describes
+      // its arguments.
+#ifndef NDEBUG
+      assert(it->second.size() == value.size() &&
+             "memo value race with differing SAP size");
+      for (size_t i = 0; i < value.size(); ++i) {
+        assert(CanonicalPlanKey(*it->second[i]) ==
+                   CanonicalPlanKey(*value[i]) &&
+               "memo value race with differing plans");
+      }
+#endif
+      insert_races_.fetch_add(1, std::memory_order_relaxed);
+      return 0;
+    }
+  }
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  entries_.fetch_add(1, std::memory_order_relaxed);
+  const int64_t bytes = ApproxEntryBytes(key, value);
+  approx_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  if (governor_ != nullptr) governor_->NotePlanTableBytes(bytes);
+  return bytes;
+}
+
+void ExpansionMemo::Clear() {
+  int64_t dropped_entries = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    dropped_entries += static_cast<int64_t>(shard.entries.size());
+    shard.entries.clear();
+  }
+  entries_.fetch_sub(dropped_entries, std::memory_order_relaxed);
+  const int64_t bytes = approx_bytes_.exchange(0, std::memory_order_relaxed);
+  if (governor_ != nullptr && bytes > 0) {
+    governor_->NotePlanTableBytes(-bytes);
+  }
+}
+
+ExpansionMemo::Stats ExpansionMemo::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.inserts = inserts_.load(std::memory_order_relaxed);
+  s.insert_races = insert_races_.load(std::memory_order_relaxed);
+  s.entries = entries_.load(std::memory_order_relaxed);
+  s.approx_bytes = approx_bytes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace starburst

@@ -1,0 +1,113 @@
+#ifndef STARBURST_STAR_MEMO_H_
+#define STARBURST_STAR_MEMO_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "star/rule.h"
+
+namespace starburst {
+
+class MetricsRegistry;
+class ResourceGovernor;
+
+/// Canonical, order-insensitive serializations used as memo keys. Two values
+/// that are semantically equal — the same quantifier/predicate bitmasks no
+/// matter what order their ids were inserted in, the same requirements no
+/// matter what order they were attached in — serialize identically; values
+/// whose STAR expansions could differ serialize differently. Plan keys
+/// deliberately exclude generated temp names (like PlanSignature), which is
+/// the one axis along which equal-key expansions may vary.
+std::string CanonicalPlanKey(const PlanOp& plan);
+std::string CanonicalValueKey(const RuleValue& value);
+std::string CanonicalStarKey(const std::string& star,
+                             const std::vector<RuleValue>& args);
+std::string CanonicalSpecKey(const StreamSpec& spec);
+
+/// A read-mostly shared memo of rule-engine expansions, keyed on the
+/// canonical signatures above. One instance serves one Optimize call and is
+/// shared by every rank-parallel worker: STARs are pure functions from
+/// (rule, arguments) to a SAP (paper §2.2), and — once augmented plans stop
+/// being written back into the plan table mid-resolve — so is Glue::Resolve
+/// per run, because every plan-table bucket a resolve reads is complete
+/// before any worker of a later rank can reference it (the rank barrier).
+///
+/// Sharded like the PlanTable; inserts are first-writer-wins, so a lost race
+/// costs only the duplicated expansion work, never a divergent value (debug
+/// builds assert the incumbent is canonically identical).
+class ExpansionMemo {
+ public:
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t inserts = 0;        ///< first-writer insertions kept
+    int64_t insert_races = 0;   ///< insertions dropped (another writer won)
+    int64_t entries = 0;        ///< entries currently held
+    int64_t approx_bytes = 0;   ///< approximate memory of held entries
+
+    double hit_rate() const {
+      const int64_t total = hits + misses;
+      return total > 0 ? static_cast<double>(hits) / total : 0.0;
+    }
+    std::string ToString() const;
+    /// Publishes the counters into `registry` under the `memo.` prefix.
+    void Publish(MetricsRegistry* registry) const;
+  };
+
+  /// A copy of the memoized SAP for `key`, or nullopt. Thread-safe.
+  std::optional<SAP> Lookup(const std::string& key);
+
+  /// Memoizes `value` under `key` (first writer wins). Returns the bytes
+  /// newly accounted, 0 when an earlier writer already holds the key.
+  /// Entries are inserted whole under the shard lock — a concurrent Lookup
+  /// sees either nothing or the complete SAP, never a partial one.
+  int64_t Insert(const std::string& key, const SAP& value);
+
+  /// Drops every entry and returns the byte gauge to zero (cumulative
+  /// counters are kept). The degrade-to-greedy path clears the memo so the
+  /// fallback never reads state whose content depended on trip timing.
+  void Clear();
+
+  /// Attach a governor: memoized bytes count against the same
+  /// max_plan_table_bytes budget as the plan table (null = off). Not safe to
+  /// call while inserts are in flight.
+  void set_governor(ResourceGovernor* governor) { governor_ = governor; }
+
+  int64_t entries() const { return entries_.load(std::memory_order_relaxed); }
+  int64_t approx_bytes() const {
+    return approx_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// A consistent snapshot of the counters.
+  Stats stats() const;
+
+ private:
+  static constexpr size_t kNumShards = 16;
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, SAP> entries;
+  };
+
+  Shard& ShardFor(const std::string& key) {
+    return shards_[std::hash<std::string>{}(key) % kNumShards];
+  }
+
+  ResourceGovernor* governor_ = nullptr;
+  std::array<Shard, kNumShards> shards_;
+
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> inserts_{0};
+  std::atomic<int64_t> insert_races_{0};
+  std::atomic<int64_t> entries_{0};
+  std::atomic<int64_t> approx_bytes_{0};
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_STAR_MEMO_H_

@@ -17,7 +17,9 @@
 #include "optimizer/optimizer.h"
 #include "plan/explain.h"
 #include "sql/parser.h"
+#include "star/memo.h"
 #include "storage/datagen.h"
+#include "test_util.h"
 
 namespace starburst {
 namespace {
@@ -253,6 +255,78 @@ TEST(GovernorTest, DegradedPlanIsDeterministicAcrossThreadCounts) {
       EXPECT_DOUBLE_EQ(result.value().total_cost, baseline_cost)
           << "threads=" << threads;
     }
+  }
+}
+
+TEST(GovernorTest, MemoBytesCountAgainstPlanTableBudget) {
+  // The shared expansion memo draws from the same byte budget as the plan
+  // table: memoized SAPs alone must be able to trip
+  // STARBURST_MAX_PLAN_TABLE_BYTES.
+  SyntheticCatalogOptions heap_opts;
+  heap_opts.num_tables = 2;
+  heap_opts.seed = 21;
+  heap_opts.btree_fraction = 0.0;  // hand-built heap scans below
+  Catalog catalog = MakeSyntheticCatalog(heap_opts);
+  Query query = ParseSql(catalog, ChainSql(2)).ValueOrDie();
+  EngineHarness h(query, DefaultRuleSet());
+  OpArgs args;
+  args.Set(arg::kQuantifier, int64_t{0});
+  args.Set(arg::kCols, std::vector<ColumnRef>{
+                           query.ResolveColumn("T0", "id").ValueOrDie()});
+  PlanPtr plan = h.factory()
+                     .Make(op::kAccess, flavor::kHeap, {}, std::move(args))
+                     .ValueOrDie();
+
+  GovernorLimits limits;
+  limits.max_plan_table_bytes = 2048;
+  ResourceGovernor governor(limits);
+  ExpansionMemo memo;
+  memo.set_governor(&governor);
+
+  int inserted = 0;
+  while (governor.Check().ok() && inserted < 1000) {
+    memo.Insert("key-" + std::to_string(inserted), SAP{plan});
+    ++inserted;
+  }
+  EXPECT_EQ(governor.Check().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(governor.reason().find("memory budget"), std::string::npos)
+      << governor.reason();
+  EXPECT_LT(inserted, 1000) << "memo bytes never reached the governor";
+  EXPECT_EQ(governor.plan_table_bytes(), memo.approx_bytes());
+  // Clearing the memo hands its bytes back to the shared gauge (the degrade
+  // path relies on this so the greedy fallback starts from a clean budget).
+  memo.Clear();
+  EXPECT_EQ(governor.plan_table_bytes(), 0);
+}
+
+TEST(GovernorTest, ByteBudgetTripDegradesWithMemoEnabled) {
+  // A mid-fill byte-budget trip with both cache layers on must degrade
+  // gracefully: the run completes, and the memo is left empty — the greedy
+  // fallback never reads memoized state, whose content would depend on
+  // where the budget happened to trip.
+  constexpr int kTables = 8;
+  Catalog catalog = ChainCatalog(kTables);
+  Query query = ParseSql(catalog, ChainSql(kTables)).ValueOrDie();
+  for (int threads : {1, 4}) {
+    OptimizerOptions opts;
+    opts.num_threads = threads;
+    opts.max_plan_table_bytes = 16 * 1024;
+    opts.deadline_ms = 0;
+    opts.max_plans = 0;
+    opts.shared_memo = true;
+    opts.cache_augmented = true;
+    Optimizer optimizer(DefaultRuleSet(), opts);
+    auto result = optimizer.Optimize(query);
+    ASSERT_TRUE(result.ok())
+        << "threads=" << threads << ": " << result.status().ToString();
+    EXPECT_TRUE(result.value().degraded()) << "threads=" << threads;
+    EXPECT_NE(result.value().degradation_reason.find("memory budget"),
+              std::string::npos)
+        << result.value().degradation_reason;
+    ASSERT_NE(result.value().best, nullptr);
+    EXPECT_EQ(result.value().memo_stats.entries, 0) << "threads=" << threads;
+    EXPECT_EQ(result.value().memo_stats.approx_bytes, 0)
+        << "threads=" << threads;
   }
 }
 

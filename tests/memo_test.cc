@@ -1,0 +1,334 @@
+// Tests for the shared expansion memo (star/memo.h): canonical-key
+// properties — insertion-order independence for set-valued arguments,
+// order sensitivity for SAP-valued arguments, no collisions across distinct
+// signatures — plus the memo container's first-writer-wins and accounting
+// behavior. The keys are what make cross-worker caching sound, so the
+// properties here are checked against actual engine expansions, not just
+// string equality.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "catalog/synthetic.h"
+#include "plan/explain.h"
+#include "sql/parser.h"
+#include "star/memo.h"
+#include "test_util.h"
+
+namespace starburst {
+namespace {
+
+// All-heap so tests can hand-build ACCESS(heap) scans for any table.
+Catalog TestCatalog(int n) {
+  SyntheticCatalogOptions opts;
+  opts.num_tables = n;
+  opts.seed = 77;
+  opts.btree_fraction = 0.0;
+  return MakeSyntheticCatalog(opts);
+}
+
+std::string ChainSql(int n) {
+  std::string sql = "SELECT T0.id FROM T0";
+  for (int i = 1; i < n; ++i) sql += ", T" + std::to_string(i);
+  sql += " WHERE T1.fk0 = T0.id";
+  for (int i = 2; i < n; ++i) {
+    sql += " AND T" + std::to_string(i) + ".fk0 = T" + std::to_string(i - 1) +
+           ".id";
+  }
+  return sql;
+}
+
+/// Builds an IdSet by inserting `ids` in the given order — the insertion
+/// order must not leak into the canonical key.
+template <typename Set>
+Set BuildSet(const std::vector<int>& ids) {
+  Set s;
+  for (int id : ids) s.Insert(id);
+  return s;
+}
+
+/// The expansion a key stands for, as comparable canonical plan keys.
+std::vector<std::string> ExpansionOf(const SAP& sap) {
+  std::vector<std::string> out;
+  out.reserve(sap.size());
+  for (const PlanPtr& p : sap) out.push_back(CanonicalPlanKey(*p));
+  return out;
+}
+
+TEST(MemoKeyTest, SetValuedArgsAreInsertionOrderIndependent) {
+  std::mt19937 rng(7);
+  std::vector<int> ids = {0, 1, 3, 5, 9, 12};
+  const std::string base = CanonicalValueKey(
+      RuleValue(BuildSet<QuantifierSet>(ids)));
+  for (int trial = 0; trial < 20; ++trial) {
+    std::shuffle(ids.begin(), ids.end(), rng);
+    EXPECT_EQ(CanonicalValueKey(RuleValue(BuildSet<QuantifierSet>(ids))),
+              base);
+    EXPECT_EQ(CanonicalValueKey(RuleValue(BuildSet<PredSet>(ids))),
+              CanonicalValueKey(RuleValue(
+                  BuildSet<PredSet>({0, 1, 3, 5, 9, 12}))));
+  }
+  // Different membership is a different key.
+  EXPECT_NE(CanonicalValueKey(RuleValue(BuildSet<QuantifierSet>({0, 1}))),
+            CanonicalValueKey(RuleValue(BuildSet<QuantifierSet>({0, 2}))));
+}
+
+TEST(MemoKeyTest, RequirementAttachmentOrderDoesNotMatter) {
+  ColumnRef col{0, 1};
+  // The same requirements accumulated in different orders.
+  Requirements a;
+  a.order = SortOrder{col};
+  a.site = 1;
+  a.temp = true;
+  Requirements b;
+  b.temp = true;
+  b.site = 1;
+  b.order = SortOrder{col};
+
+  StreamSpec sa{QuantifierSet::Single(0), PredSet::Single(0), a};
+  StreamSpec sb{QuantifierSet::Single(0), PredSet::Single(0), b};
+  EXPECT_EQ(CanonicalSpecKey(sa), CanonicalSpecKey(sb));
+
+  // Any differing requirement is a differing key.
+  StreamSpec sc = sa;
+  sc.required.site = 2;
+  EXPECT_NE(CanonicalSpecKey(sa), CanonicalSpecKey(sc));
+  StreamSpec sd = sa;
+  sd.required.temp = false;
+  EXPECT_NE(CanonicalSpecKey(sa), CanonicalSpecKey(sd));
+  StreamSpec se = sa;
+  se.required.order = SortOrder{ColumnRef{1, 1}};
+  EXPECT_NE(CanonicalSpecKey(sa), CanonicalSpecKey(se));
+  // An order requirement is ordered: permuting its columns changes the key.
+  StreamSpec sf = sa;
+  sf.required.order = SortOrder{col, ColumnRef{1, 1}};
+  StreamSpec sg = sa;
+  sg.required.order = SortOrder{ColumnRef{1, 1}, col};
+  EXPECT_NE(CanonicalSpecKey(sf), CanonicalSpecKey(sg));
+}
+
+TEST(MemoKeyTest, PlanKeysExcludeTempNamesLikeSignatures) {
+  Catalog cat = TestCatalog(2);
+  Query query = ParseSql(cat, ChainSql(2)).ValueOrDie();
+  EngineHarness h(query, DefaultRuleSet());
+
+  auto scan = [&](int q) {
+    OpArgs args;
+    args.Set(arg::kQuantifier, int64_t{q});
+    args.Set(arg::kCols, std::vector<ColumnRef>{
+                             query.ResolveColumn("T" + std::to_string(q), "id")
+                                 .ValueOrDie()});
+    return h.factory()
+        .Make(op::kAccess, flavor::kHeap, {}, std::move(args))
+        .ValueOrDie();
+  };
+  auto store = [&](PlanPtr in, const std::string& temp_name) {
+    OpArgs args;
+    args.Set(arg::kTempName, temp_name);
+    return h.factory()
+        .Make(op::kStore, "", {std::move(in)}, std::move(args))
+        .ValueOrDie();
+  };
+
+  PlanPtr a = store(scan(0), "w0_tmp1");
+  PlanPtr b = store(scan(0), "w3_tmp9");
+  // Parallel workers generate distinct temp names for otherwise identical
+  // plans; both the signature and the memo key treat them as the same plan.
+  EXPECT_EQ(PlanSignature(*a), PlanSignature(*b));
+  EXPECT_EQ(CanonicalPlanKey(*a), CanonicalPlanKey(*b));
+  // But a differing structural argument is a differing key even where the
+  // signature is too coarse to see it (residual predicates, §4.4).
+  PlanPtr c = scan(0);
+  PlanPtr d = scan(1);
+  EXPECT_NE(CanonicalPlanKey(*c), CanonicalPlanKey(*d));
+}
+
+TEST(MemoKeyTest, SapArgPermutationChangesKeyAndExpansionTogether) {
+  Catalog cat = TestCatalog(2);
+  Query query = ParseSql(cat, ChainSql(2)).ValueOrDie();
+  RuleSet rules = DefaultRuleSet();
+  // Echo(P) = P: the simplest SAP-consuming STAR. Its expansion is exactly
+  // its argument, so "equal keys iff equal expansions" is directly checkable
+  // under permutations of the argument.
+  Star echo;
+  echo.name = "Echo";
+  echo.params = {"P"};
+  Alternative alt;
+  alt.label = "echo";
+  alt.body = RuleExpr::Param("P");
+  echo.alternatives.push_back(std::move(alt));
+  rules.AddOrReplace(std::move(echo));
+  EngineHarness h(query, std::move(rules));
+
+  auto scan = [&](int q) {
+    OpArgs args;
+    args.Set(arg::kQuantifier, int64_t{q});
+    args.Set(arg::kCols, std::vector<ColumnRef>{
+                             query.ResolveColumn("T" + std::to_string(q), "id")
+                                 .ValueOrDie()});
+    return h.factory()
+        .Make(op::kAccess, flavor::kHeap, {}, std::move(args))
+        .ValueOrDie();
+  };
+  SAP forward{scan(0), scan(1)};
+  SAP backward{forward[1], forward[0]};
+
+  const std::string key_fwd = CanonicalStarKey("Echo", {RuleValue(forward)});
+  const std::string key_bwd = CanonicalStarKey("Echo", {RuleValue(backward)});
+  auto expansion_fwd =
+      ExpansionOf(h.engine().EvalStar("Echo", {RuleValue(forward)})
+                      .ValueOrDie());
+  auto expansion_bwd =
+      ExpansionOf(h.engine().EvalStar("Echo", {RuleValue(backward)})
+                      .ValueOrDie());
+
+  // A SAP is an ordered collection (LOLEPOPs map over it in element order):
+  // permuting it permutes the expansion, and the keys differ accordingly.
+  EXPECT_NE(key_fwd, key_bwd);
+  EXPECT_NE(expansion_fwd, expansion_bwd);
+
+  // Re-building the same SAP from equal plans gives equal key and equal
+  // expansion (the plans' node ids differ; keys are structural).
+  SAP rebuilt{scan(0), scan(1)};
+  EXPECT_EQ(CanonicalStarKey("Echo", {RuleValue(rebuilt)}), key_fwd);
+  EXPECT_EQ(ExpansionOf(h.engine().EvalStar("Echo", {RuleValue(rebuilt)})
+                            .ValueOrDie()),
+            expansion_fwd);
+}
+
+TEST(MemoKeyTest, RandomizedQuantifierBindingsAgreeWithExpansions) {
+  // The engine-level property behind the shared memo: for the real AccessRoot
+  // STAR, randomized argument tuples built in randomized insertion orders
+  // produce equal keys exactly when they denote the same arguments — and
+  // equal keys always mean equal expansions.
+  Catalog cat = TestCatalog(4);
+  Query query = ParseSql(cat, ChainSql(4)).ValueOrDie();
+  EngineHarness h(query, DefaultRuleSet());
+
+  std::mt19937 rng(99);
+  struct Case {
+    std::string key;
+    std::vector<std::string> expansion;
+  };
+  std::vector<Case> cases;
+  for (int trial = 0; trial < 40; ++trial) {
+    int q = static_cast<int>(rng() % 4);
+    PredSet preds = query.EligiblePredicates(QuantifierSet::Single(q),
+                                             query.AllPredicates());
+    // Rebuild the predicate set in a shuffled insertion order.
+    std::vector<int> ids = preds.ToVector();
+    std::shuffle(ids.begin(), ids.end(), rng);
+    PredSet shuffled;
+    for (int id : ids) shuffled.Insert(id);
+
+    StreamSpec spec;
+    spec.tables = QuantifierSet::Single(q);
+    spec.preds = shuffled;
+    std::vector<RuleValue> args{RuleValue(spec), RuleValue(shuffled)};
+    Case c;
+    c.key = CanonicalStarKey("AccessRoot", args);
+    c.expansion =
+        ExpansionOf(h.engine().EvalStar("AccessRoot", args).ValueOrDie());
+    cases.push_back(std::move(c));
+  }
+  for (size_t i = 0; i < cases.size(); ++i) {
+    for (size_t j = i + 1; j < cases.size(); ++j) {
+      if (cases[i].key == cases[j].key) {
+        EXPECT_EQ(cases[i].expansion, cases[j].expansion)
+            << "equal keys must mean equal expansions (i=" << i
+            << " j=" << j << ")";
+      } else {
+        EXPECT_NE(cases[i].expansion, cases[j].expansion)
+            << "these argument tuples differ, so must their expansions "
+               "(i=" << i << " j=" << j << ")";
+      }
+    }
+  }
+}
+
+TEST(MemoKeyTest, NoCollisionsAcrossTenThousandDistinctSignatures) {
+  // 10k signatures, each distinct by construction (tables mask × requirement
+  // variant × predicate mask), must produce 10k distinct keys.
+  std::unordered_set<std::string> keys;
+  constexpr int kVariants = 4;
+  for (int i = 0; i < 10000; ++i) {
+    StreamSpec spec;
+    spec.tables = QuantifierSet::FromMask(static_cast<uint64_t>(i / kVariants) + 1);
+    spec.preds = PredSet::FromMask(static_cast<uint64_t>(i % 7));
+    switch (i % kVariants) {
+      case 0:
+        break;
+      case 1:
+        spec.required.order = SortOrder{ColumnRef{i % 5, i % 3}};
+        break;
+      case 2:
+        spec.required.site = static_cast<SiteId>(i % 3);
+        break;
+      case 3:
+        spec.required.temp = true;
+        break;
+    }
+    // Every i maps to a unique (tables mask, requirement variant) pair, so
+    // all 10k signatures are distinct by construction.
+    keys.insert(CanonicalStarKey("JMeth", {RuleValue(spec),
+                                           RuleValue(spec.preds)}));
+  }
+  EXPECT_EQ(keys.size(), 10000u);
+}
+
+TEST(ExpansionMemoTest, FirstWriterWinsAndStatsAccount) {
+  Catalog cat = TestCatalog(2);
+  Query query = ParseSql(cat, ChainSql(2)).ValueOrDie();
+  EngineHarness h(query, DefaultRuleSet());
+  auto scan = [&](int q) {
+    OpArgs args;
+    args.Set(arg::kQuantifier, int64_t{q});
+    args.Set(arg::kCols, std::vector<ColumnRef>{
+                             query.ResolveColumn("T" + std::to_string(q), "id")
+                                 .ValueOrDie()});
+    return h.factory()
+        .Make(op::kAccess, flavor::kHeap, {}, std::move(args))
+        .ValueOrDie();
+  };
+
+  ExpansionMemo memo;
+  EXPECT_FALSE(memo.Lookup("k1").has_value());
+  SAP value{scan(0)};
+  int64_t bytes = memo.Insert("k1", value);
+  EXPECT_GT(bytes, 0);
+  EXPECT_EQ(memo.entries(), 1);
+  EXPECT_EQ(memo.approx_bytes(), bytes);
+
+  // Second writer with the canonically identical value loses the race and
+  // accounts nothing.
+  SAP twin{scan(0)};
+  EXPECT_EQ(memo.Insert("k1", twin), 0);
+  EXPECT_EQ(memo.entries(), 1);
+
+  auto hit = memo.Lookup("k1");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->size(), 1u);
+  EXPECT_EQ(CanonicalPlanKey(*hit->front()), CanonicalPlanKey(*value[0]));
+
+  ExpansionMemo::Stats stats = memo.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.inserts, 1);
+  EXPECT_EQ(stats.insert_races, 1);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+
+  memo.Clear();
+  EXPECT_EQ(memo.entries(), 0);
+  EXPECT_EQ(memo.approx_bytes(), 0);
+  EXPECT_FALSE(memo.Lookup("k1").has_value());
+  // Cumulative counters survive a Clear.
+  EXPECT_EQ(memo.stats().inserts, 1);
+}
+
+}  // namespace
+}  // namespace starburst

@@ -1,0 +1,246 @@
+// Differential plan-equivalence harness for the optimizer's cache layers.
+//
+// The oracle is the uncached exhaustive run: shared_memo=false,
+// cache_augmented=false, threads=1 — every STAR expansion recomputed from
+// scratch, no cross-subset or cross-worker sharing. Every other configuration
+// ({shared memo on/off} x {augmented cache on/off} x threads {1,4,8}) must
+// reproduce the oracle bit for bit: same best-plan cost (compared on raw
+// double bits, not within an epsilon), same plan shape signature, same final
+// Pareto frontier, same plan-table content, same enumeration stats. Caching
+// is allowed to save effort, never to change an answer.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "catalog/synthetic.h"
+#include "optimizer/optimizer.h"
+#include "plan/explain.h"
+#include "sql/parser.h"
+
+namespace starburst {
+namespace {
+
+struct CacheConfig {
+  bool shared_memo;
+  bool cache_augmented;
+  int threads;
+
+  std::string Label() const {
+    return std::string("memo=") + (shared_memo ? "on" : "off") +
+           " aug=" + (cache_augmented ? "on" : "off") +
+           " threads=" + std::to_string(threads);
+  }
+};
+
+/// The full matrix: every cache-layer combination at 1, 4, and 8 workers.
+std::vector<CacheConfig> AllConfigs() {
+  std::vector<CacheConfig> out;
+  for (bool memo : {false, true}) {
+    for (bool aug : {false, true}) {
+      for (int threads : {1, 4, 8}) {
+        out.push_back(CacheConfig{memo, aug, threads});
+      }
+    }
+  }
+  return out;
+}
+
+Catalog MakeCat(int num_tables, int num_sites = 1) {
+  SyntheticCatalogOptions opts;
+  opts.num_tables = num_tables;
+  opts.seed = 33;
+  opts.num_sites = num_sites;
+  return MakeSyntheticCatalog(opts);
+}
+
+std::string ChainSql(int n, const std::string& suffix = "") {
+  std::string sql = "SELECT T0.id FROM T0";
+  for (int i = 1; i < n; ++i) sql += ", T" + std::to_string(i);
+  sql += " WHERE T1.fk0 = T0.id";
+  for (int i = 2; i < n; ++i) {
+    sql += " AND T" + std::to_string(i) + ".fk0 = T" + std::to_string(i - 1) +
+           ".id";
+  }
+  return sql + suffix;
+}
+
+std::string StarSql(int n, const std::string& suffix = "") {
+  std::string sql = "SELECT T0.id FROM T0";
+  for (int i = 1; i < n; ++i) sql += ", T" + std::to_string(i);
+  sql += " WHERE T1.fk0 = T0.id";
+  for (int i = 2; i < n; ++i) {
+    sql += " AND T" + std::to_string(i) + ".fk0 = T0.id";
+  }
+  return sql + suffix;
+}
+
+/// The exact bits of a double, so "equal cost" means equal to the last ulp —
+/// a cache replaying a stale or re-derived value with different rounding
+/// would show up here.
+uint64_t Bits(double d) {
+  uint64_t u = 0;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+struct Outcome {
+  double total_cost = 0.0;
+  std::string best_signature;
+  /// Sorted signature@costbits of every plan on the final Pareto frontier.
+  std::vector<std::string> frontier;
+  int64_t plans_in_table = 0;
+  JoinEnumerator::Stats enumerator_stats;
+  ExpansionMemo::Stats memo_stats;
+};
+
+Outcome RunConfig(const Catalog& cat, const std::string& sql,
+                  const CacheConfig& config) {
+  Query query = ParseSql(cat, sql).ValueOrDie();
+  OptimizerOptions options;
+  // Pin every environment-sensitive knob: budgets off (a budget trip is
+  // timing-dependent), thread count and cache switches from the config under
+  // test rather than STARBURST_* variables.
+  options.deadline_ms = 0;
+  options.max_plans = 0;
+  options.max_plan_table_bytes = 0;
+  options.num_threads = config.threads;
+  options.shared_memo = config.shared_memo;
+  options.cache_augmented = config.cache_augmented;
+  Optimizer optimizer(DefaultRuleSet(), options);
+  auto result = optimizer.Optimize(query);
+  EXPECT_TRUE(result.ok()) << config.Label() << ": "
+                           << result.status().ToString();
+  Outcome out;
+  if (!result.ok()) return out;
+  const OptimizeResult& r = result.value();
+  EXPECT_TRUE(r.degradation_reason.empty()) << config.Label();
+  out.total_cost = r.total_cost;
+  out.best_signature = PlanSignature(*r.best);
+  for (const PlanPtr& p : r.final_plans) {
+    out.frontier.push_back(PlanSignature(*p));
+  }
+  std::sort(out.frontier.begin(), out.frontier.end());
+  out.plans_in_table = r.plans_in_table;
+  out.enumerator_stats = r.enumerator_stats;
+  out.memo_stats = r.memo_stats;
+  return out;
+}
+
+void ExpectEquivalent(const Outcome& oracle, const Outcome& got,
+                      const std::string& label) {
+  EXPECT_EQ(Bits(oracle.total_cost), Bits(got.total_cost))
+      << label << ": cost " << oracle.total_cost << " vs " << got.total_cost;
+  EXPECT_EQ(oracle.best_signature, got.best_signature) << label;
+  EXPECT_EQ(oracle.frontier, got.frontier) << label;
+  EXPECT_EQ(oracle.plans_in_table, got.plans_in_table) << label;
+  EXPECT_EQ(oracle.enumerator_stats.subsets, got.enumerator_stats.subsets)
+      << label;
+  EXPECT_EQ(oracle.enumerator_stats.splits_considered,
+            got.enumerator_stats.splits_considered)
+      << label;
+  EXPECT_EQ(oracle.enumerator_stats.joinable_pairs,
+            got.enumerator_stats.joinable_pairs)
+      << label;
+  EXPECT_EQ(oracle.enumerator_stats.join_root_refs,
+            got.enumerator_stats.join_root_refs)
+      << label;
+}
+
+/// Runs the full 12-config matrix for one workload against the uncached
+/// sequential oracle. Returns the total memo hits seen across the memo-on
+/// configurations so callers can assert the cache was actually exercised
+/// (an equivalence proof over a cache nobody hits would be vacuous).
+int64_t RunMatrix(const Catalog& cat, const std::string& sql,
+                  const std::string& workload) {
+  Outcome oracle = RunConfig(cat, sql, CacheConfig{false, false, 1});
+  EXPECT_GT(oracle.total_cost, 0.0) << workload;
+  int64_t memo_hits = 0;
+  for (const CacheConfig& config : AllConfigs()) {
+    Outcome got = RunConfig(cat, sql, config);
+    ExpectEquivalent(oracle, got, workload + " [" + config.Label() + "]");
+    if (config.shared_memo || config.cache_augmented) {
+      memo_hits += got.memo_stats.hits;
+    } else {
+      // With both layers off the memo must stay untouched.
+      EXPECT_EQ(got.memo_stats.hits + got.memo_stats.misses, 0)
+          << workload << " [" << config.Label() << "]";
+    }
+  }
+  return memo_hits;
+}
+
+TEST(PlanEquivalenceTest, ChainJoinsSmallAndMedium) {
+  for (int n : {4, 6}) {
+    Catalog cat = MakeCat(n);
+    int64_t hits = RunMatrix(cat, ChainSql(n),
+                             "chain-" + std::to_string(n));
+    EXPECT_GT(hits, 0) << "chain-" << n
+                       << ": cache configurations never hit the memo";
+  }
+}
+
+TEST(PlanEquivalenceTest, StarJoins) {
+  Catalog cat = MakeCat(6);
+  int64_t hits = RunMatrix(cat, StarSql(6), "star-6");
+  EXPECT_GT(hits, 0);
+}
+
+TEST(PlanEquivalenceTest, RequiredOrder) {
+  // ORDER BY makes the final Glue reference carry an order requirement, so
+  // phase 2 exercises the augmented-plan path (SORT veneers) under every
+  // cache configuration.
+  Catalog cat = MakeCat(5);
+  RunMatrix(cat, ChainSql(5, " ORDER BY T0.id"), "chain-5-order");
+  RunMatrix(cat, StarSql(5, " ORDER BY T1.id"), "star-5-order");
+}
+
+TEST(PlanEquivalenceTest, RequiredSite) {
+  // A multi-site catalog with an AT SITE requirement: SHIP veneers and
+  // site-dependent costs must also be cache-invariant.
+  Catalog cat = MakeCat(5, /*num_sites=*/3);
+  RunMatrix(cat, ChainSql(5, " AT SITE 'site-1'"), "chain-5-site");
+  RunMatrix(cat, ChainSql(5, " ORDER BY T2.id AT SITE 'site-2'"),
+            "chain-5-order-site");
+}
+
+TEST(PlanEquivalenceTest, RepeatedCachedParallelRunsAgree) {
+  // Scheduling varies run to run; with both cache layers on at 8 threads the
+  // outcome still must not.
+  Catalog cat = MakeCat(6);
+  std::string sql = StarSql(6);
+  CacheConfig config{true, true, 8};
+  Outcome first = RunConfig(cat, sql, config);
+  for (int run = 0; run < 2; ++run) {
+    Outcome again = RunConfig(cat, sql, config);
+    ExpectEquivalent(first, again, "repeated cached run " +
+                                       std::to_string(run));
+  }
+}
+
+TEST(PlanEquivalenceTest, MemoIsSharedAcrossWorkers) {
+  // The memo's value under parallelism: once any worker expands a signature,
+  // every other worker reuses it. At 8 threads the glue-layer hits on a
+  // 7-table chain must be substantial, and the hit rate must not degrade
+  // relative to the sequential run (same key space, same reuse).
+  Catalog cat = MakeCat(7);
+  std::string sql = ChainSql(7);
+  Outcome seq = RunConfig(cat, sql, CacheConfig{true, true, 1});
+  Outcome par = RunConfig(cat, sql, CacheConfig{true, true, 8});
+  EXPECT_GT(seq.memo_stats.hits, 0);
+  EXPECT_GT(par.memo_stats.hits, 0);
+  // The hit/miss split is scheduling-dependent in a parallel run — two
+  // workers can race to first-compute the same entry — but the entry set is
+  // canonical: both runs compute exactly the distinct signatures of the
+  // workload, so the successful-insert count (first writers) is identical.
+  // Duplicate concurrent computes land in insert_races, not inserts.
+  EXPECT_EQ(par.memo_stats.inserts, seq.memo_stats.inserts);
+  EXPECT_EQ(par.memo_stats.entries, seq.memo_stats.entries);
+}
+
+}  // namespace
+}  // namespace starburst
