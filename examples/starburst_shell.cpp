@@ -22,6 +22,9 @@
 //   \budget [spec]        show/set optimizer budgets (deadline_ms=, plans=,
 //                         bytes=; 0 = unlimited, "off" clears all)
 //   \faults [spec]        show/set fault injection (STARBURST_FAULTS syntax)
+//   \vectorized [on|off]  show/set the execution engine (batch pipeline vs
+//                         the legacy row-at-a-time oracle)
+//   \batchsize [n]        show/set rows per batch (0 = env default)
 //   \help, \quit
 
 #include <cstdio>
@@ -32,6 +35,7 @@
 
 #include "catalog/synthetic.h"
 #include "common/fault_injector.h"
+#include "exec/batch.h"
 #include "exec/evaluator.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -92,6 +96,9 @@ void PrintHelp() {
       "bytes=N (0 = unlimited, 'off' clears)\n"
       "  \\faults [spec]      show/set fault injection, e.g. "
       "exec.scan.open=2 or seed=7,rate=0.02 ('off' disarms)\n"
+      "  \\vectorized [on|off] show/set the execution engine (on = batch\n"
+      "                      pipeline, off = row-at-a-time oracle)\n"
+      "  \\batchsize [n]      show/set rows per batch (0 = env default)\n"
       "  \\quit               exit\n");
 }
 
@@ -102,6 +109,8 @@ struct Shell {
   MetricsRegistry metrics;
   Optimizer optimizer;
   OptimizeResult last;
+  int vectorized = -1;  // -1 env default, 0 legacy interpreter, 1 batch
+  int batch_size = 0;   // 0 env default
 
   Shell()
       : catalog(MakePaperCatalog()),
@@ -149,10 +158,13 @@ struct Shell {
     }
     if (!execute) return;
     PlanRunStats run_stats;
+    ExecOptions exec_opts;
+    exec_opts.metrics = &metrics;
+    exec_opts.vectorized = vectorized;
+    exec_opts.batch_size = batch_size;
+    if (analyze) exec_opts.stats = &run_stats;
     ScopedTimer exec_timer(&metrics, "exec.run");
-    auto rs = analyze
-                  ? ExecutePlanAnalyzed(db, query, last.best, &run_stats)
-                  : ExecutePlan(db, query, last.best);
+    auto rs = ExecutePlan(db, query, last.best, exec_opts);
     exec_timer.Stop();
     if (!rs.ok()) {
       std::printf("executor error: %s\n", rs.status().ToString().c_str());
@@ -348,6 +360,43 @@ struct Shell {
       std::printf("shared memo %s, augmented-plan cache %s\n",
                   opts.shared_memo ? "on" : "off",
                   opts.cache_augmented ? "on" : "off");
+    } else if (cmd == "\\vectorized") {
+      if (rest == "on") {
+        vectorized = 1;
+      } else if (rest == "off") {
+        vectorized = 0;
+      } else if (!rest.empty()) {
+        std::printf("usage: \\vectorized [on|off]\n");
+        return;
+      }
+      std::printf("engine: %s\n",
+                  vectorized == 1   ? "vectorized batch pipeline"
+                  : vectorized == 0 ? "legacy row-at-a-time"
+                                    : "environment default "
+                                      "(STARBURST_VECTORIZED)");
+    } else if (cmd == "\\batchsize") {
+      if (rest.empty()) {
+        if (batch_size > 0) {
+          std::printf("batch size: %d rows\n", batch_size);
+        } else {
+          std::printf("batch size: environment default "
+                      "(STARBURST_BATCH_SIZE, fallback %d)\n",
+                      kDefaultBatchSize);
+        }
+        return;
+      }
+      char* end = nullptr;
+      long n = std::strtol(rest.c_str(), &end, 10);
+      if (end == rest.c_str() || *end != '\0' || n < 0 || n > 1 << 20) {
+        std::printf("usage: \\batchsize <0..1048576>   (0 = env default)\n");
+        return;
+      }
+      batch_size = static_cast<int>(n);
+      if (batch_size > 0) {
+        std::printf("batch size set to %d rows\n", batch_size);
+      } else {
+        std::printf("batch size: environment default\n");
+      }
     } else if (cmd == "\\faults") {
       if (rest.empty()) {
         std::printf("%s\n", FaultInjector::Global()->ToString().c_str());

@@ -58,6 +58,62 @@ size_t Datum::Hash() const {
   return std::hash<double>{}(d);
 }
 
+namespace {
+
+// SplitMix64 finalizer: cheap, well-distributed bit mixing.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+namespace {
+
+// Hash of a double through its numeric equivalence class: integer-exact
+// values hash by integer, everything else by bit pattern. Casting back to
+// int64 is guarded to stay in range (values at/above 2^63 fall through to
+// the bit-pattern path).
+uint64_t HashDouble(double d) {
+  if (d >= -9.2e18 && d <= 9.2e18) {
+    int64_t t = static_cast<int64_t>(d);
+    if (static_cast<double>(t) == d) return Mix64(static_cast<uint64_t>(t));
+  }
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  __builtin_memcpy(&bits, &d, sizeof(bits));
+  return Mix64(bits);
+}
+
+}  // namespace
+
+uint64_t Datum::Hash64() const {
+  if (is_null()) return 0x2545f4914f6cdd1dULL;
+  if (is_string()) {
+    // FNV-1a over the bytes, then mixed.
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : AsString()) {
+      h = (h ^ c) * 0x100000001b3ULL;
+    }
+    return Mix64(h);
+  }
+  // Numerics hash through their double equivalence class so that values that
+  // Compare() equal across int/double hash equal (mixed-type comparison is
+  // done in double precision).
+  if (is_int()) {
+    int64_t i = AsInt();
+    double d = static_cast<double>(i);
+    if (d >= -9.2e18 && d <= 9.2e18 && static_cast<int64_t>(d) == i) {
+      return Mix64(static_cast<uint64_t>(i));
+    }
+    // |i| not exactly representable: hash its rounded double image.
+    return HashDouble(d);
+  }
+  return HashDouble(AsDouble());
+}
+
 std::string Datum::ToString() const {
   if (is_null()) return "NULL";
   if (is_int()) return std::to_string(AsInt());

@@ -48,11 +48,23 @@ class Datum {
   bool operator<(const Datum& other) const { return Compare(other) < 0; }
 
   size_t Hash() const;
+
+  /// Stable 64-bit hash compatible with Compare() equality across int/double
+  /// (an int and a double that compare equal hash equal). The vectorized hash
+  /// join keys its open-addressing table on this; exact-key verification via
+  /// Compare() backs it up, so collisions cost time, never correctness.
+  uint64_t Hash64() const;
+
   std::string ToString() const;
 
  private:
   std::variant<Null, int64_t, double, std::string> v_;
 };
+
+/// Order-dependent 64-bit hash combiner for composite join keys.
+inline uint64_t HashCombine64(uint64_t seed, uint64_t v) {
+  return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
 
 }  // namespace starburst
 

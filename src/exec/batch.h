@@ -1,0 +1,46 @@
+#ifndef STARBURST_EXEC_BATCH_H_
+#define STARBURST_EXEC_BATCH_H_
+
+#include <cstdlib>
+#include <string_view>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace starburst {
+
+/// Default number of rows per RowBatch when neither the API nor the
+/// STARBURST_BATCH_SIZE environment variable overrides it.
+inline constexpr int kDefaultBatchSize = 1024;
+
+/// Batch size from STARBURST_BATCH_SIZE (clamped to >= 1), else the default.
+inline int DefaultBatchSize() {
+  const char* env = std::getenv("STARBURST_BATCH_SIZE");
+  if (env == nullptr || *env == '\0') return kDefaultBatchSize;
+  int n = std::atoi(env);
+  return n >= 1 ? n : 1;
+}
+
+/// Vectorized execution unless STARBURST_VECTORIZED=0 selects the legacy
+/// row-at-a-time oracle.
+inline bool DefaultVectorized() {
+  const char* env = std::getenv("STARBURST_VECTORIZED");
+  return env == nullptr || std::string_view(env) != "0";
+}
+
+/// One unit of flow through the vectorized pipeline: up to the configured
+/// batch size of materialized tuples. Row-oriented on purpose — tuples are
+/// `std::vector<Datum>` throughout the system and the win over the legacy
+/// path comes from amortized dispatch and compiled predicate programs, not
+/// from columnar storage.
+struct RowBatch {
+  std::vector<Tuple> rows;
+
+  bool empty() const { return rows.empty(); }
+  size_t size() const { return rows.size(); }
+  void clear() { rows.clear(); }
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_EXEC_BATCH_H_

@@ -1,0 +1,1678 @@
+#include "exec/batch_iterator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "common/fault_injector.h"
+#include "exec/hash_table.h"
+#include "exec/pred_program.h"
+#include "storage/index.h"
+
+namespace starburst {
+
+using RowsPtr = std::shared_ptr<const std::vector<Tuple>>;
+
+/// Friend bridge into the Executor's private caches. The pipeline shares the
+/// legacy engine's schema cache (stable Schema addresses — std::map) and
+/// material cache (so temps/NL inners materialize once no matter which engine
+/// or custom-op bridge asks first).
+struct VecAccess {
+  static Result<const Schema*> CachedSchema(Executor* e, const PlanOp& n) {
+    auto s = e->SchemaOf(n);
+    if (!s.ok()) return s.status();
+    return &e->schema_cache_.at(&n);
+  }
+  static std::map<const PlanOp*, RowsPtr>& Cache(Executor* e) {
+    return e->material_cache_;
+  }
+  static void Release(Executor* e) {
+    e->material_cache_.clear();
+    e->schema_cache_.clear();
+    e->env_.clear();
+    e->base_rows_.clear();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// BatchIterator base: stats instrumentation around the virtual hooks
+// ---------------------------------------------------------------------------
+
+Status BatchIterator::Open() {
+  if (rt_->stats == nullptr) return DoOpen();
+  auto start = std::chrono::steady_clock::now();
+  Status s = DoOpen();
+  OpRunStats& st = (*rt_->stats)[node_];
+  ++st.invocations;
+  st.wall_micros += std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  return s;
+}
+
+Status BatchIterator::Next(RowBatch* out) {
+  out->clear();
+  if (rt_->stats == nullptr) return DoNext(out);
+  auto start = std::chrono::steady_clock::now();
+  Status s = DoNext(out);
+  OpRunStats& st = (*rt_->stats)[node_];
+  st.rows += static_cast<int64_t>(out->rows.size());
+  if (!out->rows.empty()) ++st.batches;
+  st.wall_micros += std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  return s;
+}
+
+namespace {
+
+int SlotIn(const Schema& schema, ColumnRef ref) {
+  for (size_t i = 0; i < schema.size(); ++i) {
+    if (schema[i] == ref) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool BatchFull(const RowBatch& b, const VecRuntime& rt) {
+  return static_cast<int>(b.rows.size()) >= rt.batch_size;
+}
+
+Status DrainInto(BatchIterator* it, std::vector<Tuple>* rows) {
+  RowBatch b;
+  for (;;) {
+    STARBURST_RETURN_NOT_OK(it->Next(&b));
+    if (b.empty()) return Status::OK();
+    for (Tuple& t : b.rows) rows->push_back(std::move(t));
+  }
+}
+
+/// Streaming lookahead over a child iterator: Peek the current row (pulling
+/// the next batch on demand), Advance past it. Merge join runs one of these
+/// per side.
+class BatchReader {
+ public:
+  void Reset(BatchIterator* src) {
+    src_ = src;
+    batch_.clear();
+    pos_ = 0;
+    done_ = false;
+  }
+  Status Peek(const Tuple** row) {
+    while (!done_ && pos_ >= batch_.rows.size()) {
+      STARBURST_RETURN_NOT_OK(src_->Next(&batch_));
+      pos_ = 0;
+      if (batch_.empty()) done_ = true;
+    }
+    *row = done_ ? nullptr : &batch_.rows[pos_];
+    return Status::OK();
+  }
+  void Advance() { ++pos_; }
+
+ private:
+  BatchIterator* src_ = nullptr;
+  RowBatch batch_;
+  size_t pos_ = 0;
+  bool done_ = false;
+};
+
+Result<std::unique_ptr<BatchIterator>> Build(VecRuntime* rt,
+                                             const PlanOp& node, int depth,
+                                             bool reopened);
+Result<std::unique_ptr<BatchIterator>> BuildNode(VecRuntime* rt,
+                                                 const PlanOp& node,
+                                                 int depth, bool reopened);
+
+/// Runs a fresh iterator tree for `node` to completion and returns the rows,
+/// caching uncorrelated results in the executor's material cache — the batch
+/// pipeline's equivalent of the legacy interpreter's materialize-and-cache
+/// evaluation (same evaluate-once semantics, same fault-site hit counts:
+/// a cache hit opens nothing).
+Result<RowsPtr> MaterializeSubtree(VecRuntime* rt, const PlanOp& node,
+                                   int depth) {
+  auto& cache = VecAccess::Cache(rt->exec);
+  auto hit = cache.find(&node);
+  if (hit != cache.end()) return hit->second;
+  auto it = BuildNode(rt, node, depth, /*reopened=*/false);
+  if (!it.ok()) return it.status();
+  STARBURST_RETURN_NOT_OK(it.value()->Open());
+  auto rows = std::make_shared<std::vector<Tuple>>();
+  STARBURST_RETURN_NOT_OK(DrainInto(it.value().get(), rows.get()));
+  RowsPtr ptr = std::move(rows);
+  if (!rt->exec->IsCorrelated(node)) cache[&node] = ptr;
+  return ptr;
+}
+
+Status EmitJoinPair(const Tuple& a, const Tuple& b, const PredProgram& check,
+                    VecRuntime* rt, RowBatch* out) {
+  Tuple t;
+  t.reserve(a.size() + b.size());
+  t.insert(t.end(), a.begin(), a.end());
+  t.insert(t.end(), b.begin(), b.end());
+  ProgramCtx ctx{&t, rt->env, nullptr};
+  auto keep = check.Eval(ctx);
+  if (!keep.ok()) return keep.status();
+  if (keep.value()) out->rows.push_back(std::move(t));
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// ACCESS(heap|btree)
+// ---------------------------------------------------------------------------
+
+class HeapScanIterator : public BatchIterator {
+ public:
+  using BatchIterator::BatchIterator;
+
+ protected:
+  Status DoOpen() override {
+    STARBURST_RETURN_NOT_OK(rt_->faults->Check(faultsite::kExecScanOpen));
+    if (!compiled_) {
+      q_ = static_cast<int>(node_->args.GetInt(arg::kQuantifier, -1));
+      table_ = &rt_->db->table(rt_->query->quantifier(q_).table);
+      schema_ = node_->args.GetColumns(arg::kCols);
+      CompileEnv env;
+      env.schema = &schema_;
+      env.frames = rt_->env;
+      env.frame_limit = static_cast<size_t>(depth_);
+      env.base_quantifier = q_;
+      preds_ = PredProgram::Compile(node_->args.GetPreds(arg::kPreds),
+                                    *rt_->query, env);
+      compiled_ = true;
+    }
+    tid_ = 0;
+    return Status::OK();
+  }
+
+  Status DoNext(RowBatch* out) override {
+    while (!BatchFull(*out, *rt_) && tid_ < table_->num_rows()) {
+      const Tuple& base = table_->row(tid_);
+      Tuple t;
+      t.reserve(schema_.size());
+      for (const ColumnRef& c : schema_) {
+        if (c.is_tid()) {
+          t.push_back(Datum(static_cast<int64_t>(tid_)));
+        } else {
+          t.push_back(base[static_cast<size_t>(c.column)]);
+        }
+      }
+      ++tid_;
+      ProgramCtx ctx{&t, rt_->env, &base};
+      auto keep = preds_.Eval(ctx);
+      if (!keep.ok()) return keep.status();
+      if (keep.value()) out->rows.push_back(std::move(t));
+    }
+    return Status::OK();
+  }
+
+ private:
+  bool compiled_ = false;
+  int q_ = -1;
+  const StoredTable* table_ = nullptr;
+  Schema schema_;
+  PredProgram preds_;
+  Tid tid_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// ACCESS(index)
+// ---------------------------------------------------------------------------
+
+class IndexScanIterator : public BatchIterator {
+ public:
+  using BatchIterator::BatchIterator;
+
+ protected:
+  Status DoOpen() override {
+    STARBURST_RETURN_NOT_OK(rt_->faults->Check(faultsite::kExecScanOpen));
+    const Query& query = *rt_->query;
+    if (!compiled_) {
+      q_ = static_cast<int>(node_->args.GetInt(arg::kQuantifier, -1));
+      table_ = &rt_->db->table(query.quantifier(q_).table);
+      auto index = rt_->db->FindIndex(query.quantifier(q_).table,
+                                      node_->args.GetString(arg::kIndex));
+      if (!index.ok()) return index.status();
+      ix_ = index.value();
+      schema_ = node_->args.GetColumns(arg::kCols);
+      PredSet preds = node_->args.GetPreds(arg::kPreds);
+      CompileEnv env;
+      env.schema = &schema_;
+      env.frames = rt_->env;
+      env.frame_limit = static_cast<size_t>(depth_);
+      env.base_quantifier = q_;
+      preds_ = PredProgram::Compile(preds, query, env);
+      // Leading equality predicates become a probe prefix when their probe
+      // side is computable before the scan (constants or enclosing NL
+      // bindings). Compiled once; the probe values are re-evaluated per open
+      // so correlated index lookups see the current outer row.
+      CompileEnv probe_env;
+      probe_env.frames = rt_->env;
+      probe_env.frame_limit = static_cast<size_t>(depth_);
+      for (int ord : ix_->key_columns()) {
+        ColumnRef key{q_, ord};
+        const Expr* probe = nullptr;
+        for (int id : preds.ToVector()) {
+          const Predicate& p = query.predicate(id);
+          if (p.op != CompareOp::kEq) continue;
+          if (p.lhs->IsBareColumn() && p.lhs->column() == key) {
+            probe = p.rhs.get();
+          } else if (p.rhs->IsBareColumn() && p.rhs->column() == key) {
+            probe = p.lhs.get();
+          }
+          if (probe != nullptr) break;
+        }
+        if (probe == nullptr) break;
+        ExprProgram prog = ExprProgram::Compile(*probe, probe_env);
+        if (!prog.resolvable()) break;  // not computable before the scan
+        probe_progs_.push_back(std::move(prog));
+      }
+      compiled_ = true;
+    }
+    prefix_.clear();
+    ProgramCtx ctx{nullptr, rt_->env, nullptr};
+    for (const ExprProgram& p : probe_progs_) {
+      auto v = p.Eval(ctx);
+      if (!v.ok()) return v.status();
+      prefix_.push_back(std::move(v).value());
+    }
+    use_prefix_ = !prefix_.empty();
+    if (use_prefix_) pref_entries_ = ix_->LookupPrefix(prefix_);
+    cursor_ = 0;
+    return Status::OK();
+  }
+
+  Status DoNext(RowBatch* out) override {
+    while (!BatchFull(*out, *rt_)) {
+      const SecondaryIndex::Entry* e = nullptr;
+      if (use_prefix_) {
+        if (cursor_ >= pref_entries_.size()) break;
+        e = pref_entries_[cursor_++];
+      } else {
+        const auto& all = ix_->entries();
+        if (cursor_ >= all.size()) break;
+        e = &all[cursor_++];
+      }
+      const Tuple& base = table_->row(e->tid);
+      Tuple t;
+      t.reserve(schema_.size());
+      for (const ColumnRef& c : schema_) {
+        if (c.is_tid()) {
+          t.push_back(Datum(static_cast<int64_t>(e->tid)));
+        } else {
+          t.push_back(base[static_cast<size_t>(c.column)]);
+        }
+      }
+      ProgramCtx ctx{&t, rt_->env, &base};
+      auto keep = preds_.Eval(ctx);
+      if (!keep.ok()) return keep.status();
+      if (keep.value()) out->rows.push_back(std::move(t));
+    }
+    return Status::OK();
+  }
+
+ private:
+  bool compiled_ = false;
+  int q_ = -1;
+  const StoredTable* table_ = nullptr;
+  const SecondaryIndex* ix_ = nullptr;
+  Schema schema_;
+  PredProgram preds_;
+  std::vector<ExprProgram> probe_progs_;
+  std::vector<Datum> prefix_;
+  std::vector<const SecondaryIndex::Entry*> pref_entries_;
+  bool use_prefix_ = false;
+  size_t cursor_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// ACCESS(temp|temp-index)
+// ---------------------------------------------------------------------------
+
+class TempAccessIterator : public BatchIterator {
+ public:
+  using BatchIterator::BatchIterator;
+
+ protected:
+  Status DoOpen() override {
+    STARBURST_RETURN_NOT_OK(rt_->faults->Check(faultsite::kExecTempProbe));
+    const PlanOp& input = *node_->inputs[0];
+    auto rows = MaterializeSubtree(rt_, input, depth_);
+    if (!rows.ok()) return rows.status();
+    rows_ = std::move(rows).value();
+    if (!compiled_) {
+      auto schema = VecAccess::CachedSchema(rt_->exec, input);
+      if (!schema.ok()) return schema.status();
+      schema_ = schema.value();
+      input_correlated_ = rt_->exec->IsCorrelated(input);
+      CompileEnv env;
+      env.schema = schema_;
+      env.frames = rt_->env;
+      env.frame_limit = static_cast<size_t>(depth_);
+      preds_ = PredProgram::Compile(node_->args.GetPreds(arg::kPreds),
+                                    *rt_->query, env);
+      compiled_ = true;
+    }
+    if (node_->flavor == flavor::kTempIndex &&
+        (!sorted_ready_ || input_correlated_)) {
+      // The dynamic index yields tuples in key order.
+      AccessPathList paths = input.props.paths();
+      const AccessPath* dyn = nullptr;
+      for (const AccessPath& p : paths) {
+        if (p.dynamic) dyn = &p;
+      }
+      if (dyn == nullptr) {
+        return Status::Internal("temp-index ACCESS without dynamic path");
+      }
+      std::vector<int> slots;
+      for (const ColumnRef& c : dyn->columns) {
+        int s = SlotIn(*schema_, c);
+        if (s < 0) return Status::NotFound("column not in stream schema");
+        slots.push_back(s);
+      }
+      sorted_rows_ = *rows_;
+      std::stable_sort(sorted_rows_.begin(), sorted_rows_.end(),
+                       [&slots](const Tuple& a, const Tuple& b) {
+                         for (int s : slots) {
+                           int c = a[static_cast<size_t>(s)].Compare(
+                               b[static_cast<size_t>(s)]);
+                           if (c != 0) return c < 0;
+                         }
+                         return false;
+                       });
+      sorted_ready_ = true;
+    }
+    cursor_ = 0;
+    return Status::OK();
+  }
+
+  Status DoNext(RowBatch* out) override {
+    const std::vector<Tuple>& src =
+        node_->flavor == flavor::kTempIndex ? sorted_rows_ : *rows_;
+    while (!BatchFull(*out, *rt_) && cursor_ < src.size()) {
+      const Tuple& t = src[cursor_++];
+      ProgramCtx ctx{&t, rt_->env, nullptr};
+      auto keep = preds_.Eval(ctx);
+      if (!keep.ok()) return keep.status();
+      if (keep.value()) out->rows.push_back(t);
+    }
+    return Status::OK();
+  }
+
+ private:
+  bool compiled_ = false;
+  bool input_correlated_ = false;
+  const Schema* schema_ = nullptr;
+  PredProgram preds_;
+  RowsPtr rows_;
+  std::vector<Tuple> sorted_rows_;
+  bool sorted_ready_ = false;
+  size_t cursor_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// GET
+// ---------------------------------------------------------------------------
+
+class GetIterator : public BatchIterator {
+ public:
+  GetIterator(VecRuntime* rt, const PlanOp* node, int depth,
+              std::unique_ptr<BatchIterator> child)
+      : BatchIterator(rt, node, depth), child_(std::move(child)) {}
+
+ protected:
+  Status DoOpen() override {
+    STARBURST_RETURN_NOT_OK(child_->Open());
+    if (!compiled_) {
+      auto in_schema = VecAccess::CachedSchema(rt_->exec, *node_->inputs[0]);
+      if (!in_schema.ok()) return in_schema.status();
+      auto out_schema = VecAccess::CachedSchema(rt_->exec, *node_);
+      if (!out_schema.ok()) return out_schema.status();
+      out_schema_ = out_schema.value();
+      q_ = static_cast<int>(node_->args.GetInt(arg::kQuantifier, -1));
+      table_ = &rt_->db->table(rt_->query->quantifier(q_).table);
+      tid_slot_ = SlotIn(*in_schema.value(),
+                         ColumnRef{q_, ColumnRef::kTidColumn});
+      if (tid_slot_ < 0) {
+        return Status::InvalidArgument("GET input lacks TID column");
+      }
+      CompileEnv env;
+      env.schema = out_schema_;
+      env.frames = rt_->env;
+      env.frame_limit = static_cast<size_t>(depth_);
+      env.base_quantifier = q_;
+      preds_ = PredProgram::Compile(node_->args.GetPreds(arg::kPreds),
+                                    *rt_->query, env);
+      compiled_ = true;
+    }
+    in_batch_.clear();
+    in_pos_ = 0;
+    return Status::OK();
+  }
+
+  Status DoNext(RowBatch* out) override {
+    while (!BatchFull(*out, *rt_)) {
+      if (in_pos_ >= in_batch_.rows.size()) {
+        STARBURST_RETURN_NOT_OK(child_->Next(&in_batch_));
+        in_pos_ = 0;
+        if (in_batch_.empty()) break;
+      }
+      const Tuple& in = in_batch_.rows[in_pos_++];
+      Tid tid = in[static_cast<size_t>(tid_slot_)].AsInt();
+      if (tid < 0 || tid >= table_->num_rows()) {
+        return Status::Internal("TID out of range in GET");
+      }
+      const Tuple& base = table_->row(tid);
+      Tuple t = in;
+      for (size_t i = in.size(); i < out_schema_->size(); ++i) {
+        const ColumnRef& c = (*out_schema_)[i];
+        t.push_back(base[static_cast<size_t>(c.column)]);
+      }
+      ProgramCtx ctx{&t, rt_->env, &base};
+      auto keep = preds_.Eval(ctx);
+      if (!keep.ok()) return keep.status();
+      if (keep.value()) out->rows.push_back(std::move(t));
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::unique_ptr<BatchIterator> child_;
+  bool compiled_ = false;
+  int q_ = -1;
+  const StoredTable* table_ = nullptr;
+  const Schema* out_schema_ = nullptr;
+  int tid_slot_ = -1;
+  PredProgram preds_;
+  RowBatch in_batch_;
+  size_t in_pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// SORT (blocking)
+// ---------------------------------------------------------------------------
+
+class SortIterator : public BatchIterator {
+ public:
+  SortIterator(VecRuntime* rt, const PlanOp* node, int depth,
+               std::unique_ptr<BatchIterator> child)
+      : BatchIterator(rt, node, depth), child_(std::move(child)) {}
+
+ protected:
+  Status DoOpen() override {
+    STARBURST_RETURN_NOT_OK(rt_->faults->Check(faultsite::kExecSortRun));
+    STARBURST_RETURN_NOT_OK(child_->Open());
+    if (!compiled_) {
+      auto schema = VecAccess::CachedSchema(rt_->exec, *node_);
+      if (!schema.ok()) return schema.status();
+      for (const ColumnRef& c : node_->args.GetColumns(arg::kOrder)) {
+        int s = SlotIn(*schema.value(), c);
+        if (s < 0) return Status::NotFound("column not in stream schema");
+        slots_.push_back(s);
+      }
+      compiled_ = true;
+    }
+    drained_ = false;
+    rows_.clear();
+    pos_ = 0;
+    return Status::OK();
+  }
+
+  Status DoNext(RowBatch* out) override {
+    if (!drained_) {
+      STARBURST_RETURN_NOT_OK(DrainInto(child_.get(), &rows_));
+      std::stable_sort(rows_.begin(), rows_.end(),
+                       [this](const Tuple& a, const Tuple& b) {
+                         for (int s : slots_) {
+                           int c = a[static_cast<size_t>(s)].Compare(
+                               b[static_cast<size_t>(s)]);
+                           if (c != 0) return c < 0;
+                         }
+                         return false;
+                       });
+      drained_ = true;
+    }
+    while (!BatchFull(*out, *rt_) && pos_ < rows_.size()) {
+      out->rows.push_back(std::move(rows_[pos_++]));
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::unique_ptr<BatchIterator> child_;
+  bool compiled_ = false;
+  std::vector<int> slots_;
+  std::vector<Tuple> rows_;
+  bool drained_ = false;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// STORE / SHIP (identity on the stream; placement is simulated)
+// ---------------------------------------------------------------------------
+
+class StoreLikeIterator : public BatchIterator {
+ public:
+  StoreLikeIterator(VecRuntime* rt, const PlanOp* node, int depth,
+                    std::unique_ptr<BatchIterator> child)
+      : BatchIterator(rt, node, depth), child_(std::move(child)) {}
+
+ protected:
+  Status DoOpen() override {
+    STARBURST_RETURN_NOT_OK(rt_->faults->Check(faultsite::kExecStoreRun));
+    return child_->Open();
+  }
+
+  Status DoNext(RowBatch* out) override { return child_->Next(out); }
+
+ private:
+  std::unique_ptr<BatchIterator> child_;
+};
+
+// ---------------------------------------------------------------------------
+// FILTER
+// ---------------------------------------------------------------------------
+
+class FilterIterator : public BatchIterator {
+ public:
+  FilterIterator(VecRuntime* rt, const PlanOp* node, int depth,
+                 std::unique_ptr<BatchIterator> child)
+      : BatchIterator(rt, node, depth), child_(std::move(child)) {}
+
+ protected:
+  Status DoOpen() override {
+    STARBURST_RETURN_NOT_OK(child_->Open());
+    if (!compiled_) {
+      auto schema = VecAccess::CachedSchema(rt_->exec, *node_);
+      if (!schema.ok()) return schema.status();
+      CompileEnv env;
+      env.schema = schema.value();
+      env.frames = rt_->env;
+      env.frame_limit = static_cast<size_t>(depth_);
+      preds_ = PredProgram::Compile(node_->args.GetPreds(arg::kPreds),
+                                    *rt_->query, env);
+      compiled_ = true;
+    }
+    in_batch_.clear();
+    in_pos_ = 0;
+    return Status::OK();
+  }
+
+  Status DoNext(RowBatch* out) override {
+    while (!BatchFull(*out, *rt_)) {
+      if (in_pos_ >= in_batch_.rows.size()) {
+        STARBURST_RETURN_NOT_OK(child_->Next(&in_batch_));
+        in_pos_ = 0;
+        if (in_batch_.empty()) break;
+      }
+      Tuple& t = in_batch_.rows[in_pos_++];
+      ProgramCtx ctx{&t, rt_->env, nullptr};
+      auto keep = preds_.Eval(ctx);
+      if (!keep.ok()) return keep.status();
+      if (keep.value()) out->rows.push_back(std::move(t));
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::unique_ptr<BatchIterator> child_;
+  bool compiled_ = false;
+  PredProgram preds_;
+  RowBatch in_batch_;
+  size_t in_pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// PROJECT (streaming; DISTINCT blocks on sort+unique)
+// ---------------------------------------------------------------------------
+
+class ProjectIterator : public BatchIterator {
+ public:
+  ProjectIterator(VecRuntime* rt, const PlanOp* node, int depth,
+                  std::unique_ptr<BatchIterator> child)
+      : BatchIterator(rt, node, depth), child_(std::move(child)) {}
+
+ protected:
+  Status DoOpen() override {
+    STARBURST_RETURN_NOT_OK(child_->Open());
+    if (!compiled_) {
+      auto in_schema = VecAccess::CachedSchema(rt_->exec, *node_->inputs[0]);
+      if (!in_schema.ok()) return in_schema.status();
+      for (const ColumnRef& c : node_->args.GetColumns(arg::kCols)) {
+        int s = SlotIn(*in_schema.value(), c);
+        if (s < 0) return Status::NotFound("column not in stream schema");
+        slots_.push_back(s);
+      }
+      distinct_ = node_->args.GetBool(arg::kDistinct, false);
+      compiled_ = true;
+    }
+    in_batch_.clear();
+    in_pos_ = 0;
+    drained_ = false;
+    rows_.clear();
+    pos_ = 0;
+    return Status::OK();
+  }
+
+  Status DoNext(RowBatch* out) override {
+    if (distinct_) {
+      if (!drained_) {
+        std::vector<Tuple> in;
+        STARBURST_RETURN_NOT_OK(DrainInto(child_.get(), &in));
+        rows_.reserve(in.size());
+        for (const Tuple& t : in) rows_.push_back(Project(t));
+        std::sort(rows_.begin(), rows_.end(),
+                  [](const Tuple& a, const Tuple& b) {
+                    for (size_t i = 0; i < a.size(); ++i) {
+                      int c = a[i].Compare(b[i]);
+                      if (c != 0) return c < 0;
+                    }
+                    return false;
+                  });
+        rows_.erase(std::unique(rows_.begin(), rows_.end(),
+                                [](const Tuple& a, const Tuple& b) {
+                                  for (size_t i = 0; i < a.size(); ++i) {
+                                    if (a[i].Compare(b[i]) != 0) return false;
+                                  }
+                                  return true;
+                                }),
+                    rows_.end());
+        drained_ = true;
+      }
+      while (!BatchFull(*out, *rt_) && pos_ < rows_.size()) {
+        out->rows.push_back(std::move(rows_[pos_++]));
+      }
+      return Status::OK();
+    }
+    while (!BatchFull(*out, *rt_)) {
+      if (in_pos_ >= in_batch_.rows.size()) {
+        STARBURST_RETURN_NOT_OK(child_->Next(&in_batch_));
+        in_pos_ = 0;
+        if (in_batch_.empty()) break;
+      }
+      out->rows.push_back(Project(in_batch_.rows[in_pos_++]));
+    }
+    return Status::OK();
+  }
+
+ private:
+  Tuple Project(const Tuple& t) const {
+    Tuple p;
+    p.reserve(slots_.size());
+    for (int s : slots_) p.push_back(t[static_cast<size_t>(s)]);
+    return p;
+  }
+
+  std::unique_ptr<BatchIterator> child_;
+  bool compiled_ = false;
+  std::vector<int> slots_;
+  bool distinct_ = false;
+  RowBatch in_batch_;
+  size_t in_pos_ = 0;
+  std::vector<Tuple> rows_;
+  bool drained_ = false;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// TIDAND (blocking TID-list intersection)
+// ---------------------------------------------------------------------------
+
+class TidAndIterator : public BatchIterator {
+ public:
+  TidAndIterator(VecRuntime* rt, const PlanOp* node, int depth,
+                 std::unique_ptr<BatchIterator> a,
+                 std::unique_ptr<BatchIterator> b)
+      : BatchIterator(rt, node, depth),
+        a_(std::move(a)),
+        b_(std::move(b)) {}
+
+ protected:
+  Status DoOpen() override {
+    STARBURST_RETURN_NOT_OK(a_->Open());
+    STARBURST_RETURN_NOT_OK(b_->Open());
+    if (!compiled_) {
+      int q = node_->props.tables().First();
+      ColumnRef tid{q, ColumnRef::kTidColumn};
+      for (int i = 0; i < 2; ++i) {
+        auto schema = VecAccess::CachedSchema(
+            rt_->exec, *node_->inputs[static_cast<size_t>(i)]);
+        if (!schema.ok()) return schema.status();
+        int s = SlotIn(*schema.value(), tid);
+        if (s < 0) return Status::NotFound("column not in stream schema");
+        slot_[i] = s;
+      }
+      compiled_ = true;
+    }
+    drained_ = false;
+    rows_.clear();
+    pos_ = 0;
+    return Status::OK();
+  }
+
+  Status DoNext(RowBatch* out) override {
+    if (!drained_) {
+      auto tids_of = [this](BatchIterator* it,
+                            int slot) -> Result<std::vector<int64_t>> {
+        std::vector<Tuple> rows;
+        STARBURST_RETURN_NOT_OK(DrainInto(it, &rows));
+        std::vector<int64_t> tids;
+        tids.reserve(rows.size());
+        for (const Tuple& t : rows) {
+          tids.push_back(t[static_cast<size_t>(slot)].AsInt());
+        }
+        std::sort(tids.begin(), tids.end());
+        return tids;
+      };
+      auto ta = tids_of(a_.get(), slot_[0]);
+      if (!ta.ok()) return ta.status();
+      auto tb = tids_of(b_.get(), slot_[1]);
+      if (!tb.ok()) return tb.status();
+      std::vector<int64_t> common;
+      std::set_intersection(ta.value().begin(), ta.value().end(),
+                            tb.value().begin(), tb.value().end(),
+                            std::back_inserter(common));
+      common.erase(std::unique(common.begin(), common.end()), common.end());
+      rows_.reserve(common.size());
+      for (int64_t t : common) rows_.push_back(Tuple{Datum(t)});
+      drained_ = true;
+    }
+    while (!BatchFull(*out, *rt_) && pos_ < rows_.size()) {
+      out->rows.push_back(std::move(rows_[pos_++]));
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::unique_ptr<BatchIterator> a_;
+  std::unique_ptr<BatchIterator> b_;
+  bool compiled_ = false;
+  int slot_[2] = {-1, -1};
+  std::vector<Tuple> rows_;
+  bool drained_ = false;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// FILTERBY (exact semijoin; the hash table doubles as a key set)
+// ---------------------------------------------------------------------------
+
+class FilterByIterator : public BatchIterator {
+ public:
+  FilterByIterator(VecRuntime* rt, const PlanOp* node, int depth,
+                   std::unique_ptr<BatchIterator> probe,
+                   std::unique_ptr<BatchIterator> filter)
+      : BatchIterator(rt, node, depth),
+        probe_(std::move(probe)),
+        filter_(std::move(filter)) {}
+
+ protected:
+  Status DoOpen() override {
+    STARBURST_RETURN_NOT_OK(probe_->Open());
+    STARBURST_RETURN_NOT_OK(filter_->Open());
+    if (!compiled_) {
+      auto probe_schema =
+          VecAccess::CachedSchema(rt_->exec, *node_->inputs[0]);
+      if (!probe_schema.ok()) return probe_schema.status();
+      auto filter_schema =
+          VecAccess::CachedSchema(rt_->exec, *node_->inputs[1]);
+      if (!filter_schema.ok()) return filter_schema.status();
+      QuantifierSet probe_tables = node_->inputs[0]->props.tables();
+      CompileEnv penv;
+      penv.schema = probe_schema.value();
+      penv.frames = rt_->env;
+      penv.frame_limit = static_cast<size_t>(depth_);
+      CompileEnv fenv = penv;
+      fenv.schema = filter_schema.value();
+      for (int id : node_->args.GetPreds(arg::kJoinPreds).ToVector()) {
+        const Predicate& p = rt_->query->predicate(id);
+        bool lhs_probe = ColumnsWithin(p.lhs_columns, probe_tables);
+        probe_key_.push_back(
+            ExprProgram::Compile(lhs_probe ? *p.lhs : *p.rhs, penv));
+        filter_key_.push_back(
+            ExprProgram::Compile(lhs_probe ? *p.rhs : *p.lhs, fenv));
+      }
+      compiled_ = true;
+    }
+    built_ = false;
+    ht_.reset();
+    in_batch_.clear();
+    in_pos_ = 0;
+    return Status::OK();
+  }
+
+  Status DoNext(RowBatch* out) override {
+    const int width = static_cast<int>(filter_key_.size());
+    if (!built_) {
+      std::vector<Tuple> filter_rows;
+      STARBURST_RETURN_NOT_OK(DrainInto(filter_.get(), &filter_rows));
+      ht_ = std::make_unique<JoinHashTable>(width);
+      ht_->Reserve(filter_rows.size());
+      key_buf_.resize(static_cast<size_t>(width));
+      for (const Tuple& f : filter_rows) {
+        ProgramCtx ctx{&f, rt_->env, nullptr};
+        bool null_key = false;
+        for (int k = 0; k < width; ++k) {
+          auto v = filter_key_[static_cast<size_t>(k)].Eval(ctx);
+          if (!v.ok()) return v.status();
+          if (v.value().is_null()) null_key = true;
+          key_buf_[static_cast<size_t>(k)] = std::move(v).value();
+        }
+        if (null_key) continue;
+        ht_->Insert(key_buf_.data(), JoinHashTable::HashKey(key_buf_.data(), width),
+                    0);
+      }
+      built_ = true;
+    }
+    while (!BatchFull(*out, *rt_)) {
+      if (in_pos_ >= in_batch_.rows.size()) {
+        STARBURST_RETURN_NOT_OK(probe_->Next(&in_batch_));
+        in_pos_ = 0;
+        if (in_batch_.empty()) break;
+      }
+      Tuple& t = in_batch_.rows[in_pos_++];
+      ProgramCtx ctx{&t, rt_->env, nullptr};
+      bool null_key = false;
+      for (int k = 0; k < width; ++k) {
+        auto v = probe_key_[static_cast<size_t>(k)].Eval(ctx);
+        if (!v.ok()) return v.status();
+        if (v.value().is_null()) null_key = true;
+        key_buf_[static_cast<size_t>(k)] = std::move(v).value();
+      }
+      if (null_key) continue;
+      if (ht_->FindGroup(key_buf_.data(),
+                         JoinHashTable::HashKey(key_buf_.data(), width)) >= 0) {
+        out->rows.push_back(std::move(t));
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::unique_ptr<BatchIterator> probe_;
+  std::unique_ptr<BatchIterator> filter_;
+  bool compiled_ = false;
+  std::vector<ExprProgram> probe_key_;
+  std::vector<ExprProgram> filter_key_;
+  std::unique_ptr<JoinHashTable> ht_;
+  bool built_ = false;
+  std::vector<Datum> key_buf_;
+  RowBatch in_batch_;
+  size_t in_pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// JOIN(NL): sideways information passing through the shared binding frames
+// ---------------------------------------------------------------------------
+
+class NLJoinIterator : public BatchIterator {
+ public:
+  NLJoinIterator(VecRuntime* rt, const PlanOp* node, int depth,
+                 std::unique_ptr<BatchIterator> outer,
+                 std::unique_ptr<BatchIterator> inner, bool correlated)
+      : BatchIterator(rt, node, depth),
+        outer_(std::move(outer)),
+        inner_(std::move(inner)),
+        correlated_(correlated) {}
+
+ protected:
+  Status DoOpen() override {
+    STARBURST_RETURN_NOT_OK(rt_->faults->Check(faultsite::kExecJoinRun));
+    STARBURST_RETURN_NOT_OK(outer_->Open());
+    if (!compiled_) {
+      auto os = VecAccess::CachedSchema(rt_->exec, *node_->inputs[0]);
+      if (!os.ok()) return os.status();
+      outer_schema_ = os.value();
+      auto out_schema = VecAccess::CachedSchema(rt_->exec, *node_);
+      if (!out_schema.ok()) return out_schema.status();
+      PredSet check = node_->args.GetPreds(arg::kJoinPreds)
+                          .Union(node_->args.GetPreds(arg::kResidualPreds));
+      CompileEnv env;
+      env.schema = out_schema.value();
+      env.frames = rt_->env;
+      env.frame_limit = static_cast<size_t>(depth_);
+      check_ = PredProgram::Compile(check, *rt_->query, env);
+      compiled_ = true;
+    }
+    // This NL's binding frame lives at slot depth_ for the whole run; the
+    // inner pipeline compiled its frame loads against that index.
+    if (rt_->env->size() <= static_cast<size_t>(depth_)) {
+      rt_->env->resize(static_cast<size_t>(depth_) + 1,
+                       ExecFrame{nullptr, nullptr});
+    }
+    (*rt_->env)[static_cast<size_t>(depth_)] =
+        ExecFrame{outer_schema_, nullptr};
+    outer_batch_.clear();
+    outer_pos_ = 0;
+    have_row_ = false;
+    cur_ = nullptr;
+    inner_rows_.reset();
+    inner_pos_ = 0;
+    inner_batch_.clear();
+    inner_batch_pos_ = 0;
+    return Status::OK();
+  }
+
+  Status DoNext(RowBatch* out) override {
+    std::vector<ExecFrame>& env = *rt_->env;
+    for (;;) {
+      if (BatchFull(*out, *rt_)) return Status::OK();
+      if (!have_row_) {
+        if (outer_pos_ >= outer_batch_.rows.size()) {
+          STARBURST_RETURN_NOT_OK(outer_->Next(&outer_batch_));
+          outer_pos_ = 0;
+          if (outer_batch_.empty()) return Status::OK();  // exhausted
+        }
+        cur_ = &outer_batch_.rows[outer_pos_++];
+        have_row_ = true;
+        env[static_cast<size_t>(depth_)] = ExecFrame{outer_schema_, cur_};
+        if (correlated_) {
+          // Per-outer-row re-evaluation of the inner (the legacy interpreter
+          // re-evals exactly the correlated subtrees; uncorrelated pieces
+          // inside are materialize-wrapped by the builder).
+          STARBURST_RETURN_NOT_OK(inner_->Open());
+          inner_batch_.clear();
+          inner_batch_pos_ = 0;
+        } else {
+          if (inner_rows_ == nullptr) {
+            auto rows =
+                MaterializeSubtree(rt_, *node_->inputs[1], depth_ + 1);
+            if (!rows.ok()) return rows.status();
+            inner_rows_ = std::move(rows).value();
+          }
+          inner_pos_ = 0;
+        }
+      } else {
+        // Resuming mid-row (batch boundary or after a sibling NL at the same
+        // nesting depth ran): re-assert this join's binding.
+        env[static_cast<size_t>(depth_)] = ExecFrame{outer_schema_, cur_};
+      }
+      if (correlated_) {
+        for (;;) {
+          if (BatchFull(*out, *rt_)) return Status::OK();
+          if (inner_batch_pos_ >= inner_batch_.rows.size()) {
+            STARBURST_RETURN_NOT_OK(inner_->Next(&inner_batch_));
+            inner_batch_pos_ = 0;
+            if (inner_batch_.empty()) {
+              have_row_ = false;
+              break;
+            }
+          }
+          STARBURST_RETURN_NOT_OK(
+              EmitJoinPair(*cur_, inner_batch_.rows[inner_batch_pos_++],
+                           check_, rt_, out));
+        }
+      } else {
+        const std::vector<Tuple>& inner = *inner_rows_;
+        while (inner_pos_ < inner.size()) {
+          if (BatchFull(*out, *rt_)) return Status::OK();
+          STARBURST_RETURN_NOT_OK(
+              EmitJoinPair(*cur_, inner[inner_pos_++], check_, rt_, out));
+        }
+        have_row_ = false;
+      }
+    }
+  }
+
+ private:
+  std::unique_ptr<BatchIterator> outer_;
+  std::unique_ptr<BatchIterator> inner_;  // correlated inners only
+  bool correlated_;
+  bool compiled_ = false;
+  const Schema* outer_schema_ = nullptr;
+  PredProgram check_;
+  RowBatch outer_batch_;
+  size_t outer_pos_ = 0;
+  bool have_row_ = false;
+  const Tuple* cur_ = nullptr;
+  RowsPtr inner_rows_;  // uncorrelated inner, materialized once
+  size_t inner_pos_ = 0;
+  RowBatch inner_batch_;  // correlated inner, streamed per outer row
+  size_t inner_batch_pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// JOIN(MG): streams both sorted inputs; equal-key groups cross-product
+// ---------------------------------------------------------------------------
+
+class MergeJoinIterator : public BatchIterator {
+ public:
+  MergeJoinIterator(VecRuntime* rt, const PlanOp* node, int depth,
+                    std::unique_ptr<BatchIterator> outer,
+                    std::unique_ptr<BatchIterator> inner)
+      : BatchIterator(rt, node, depth),
+        outer_(std::move(outer)),
+        inner_(std::move(inner)) {}
+
+ protected:
+  Status DoOpen() override {
+    STARBURST_RETURN_NOT_OK(rt_->faults->Check(faultsite::kExecJoinRun));
+    STARBURST_RETURN_NOT_OK(outer_->Open());
+    STARBURST_RETURN_NOT_OK(inner_->Open());
+    if (!compiled_) {
+      auto os = VecAccess::CachedSchema(rt_->exec, *node_->inputs[0]);
+      if (!os.ok()) return os.status();
+      auto is = VecAccess::CachedSchema(rt_->exec, *node_->inputs[1]);
+      if (!is.ok()) return is.status();
+      auto out_schema = VecAccess::CachedSchema(rt_->exec, *node_);
+      if (!out_schema.ok()) return out_schema.status();
+      PredSet join_preds = node_->args.GetPreds(arg::kJoinPreds);
+      PredSet check = join_preds.Union(
+          node_->args.GetPreds(arg::kResidualPreds));
+      // Merge keys: leading pairs of the two inputs' sort orders connected
+      // by equality join predicates; those predicates are enforced by the
+      // key match itself and drop out of the compiled residual check.
+      SortOrder oorder = node_->inputs[0]->props.order();
+      SortOrder iorder = node_->inputs[1]->props.order();
+      PredSet enforced;
+      size_t key_depth = std::min(oorder.size(), iorder.size());
+      for (size_t k = 0; k < key_depth; ++k) {
+        int linked = -1;
+        for (int id : join_preds.ToVector()) {
+          const Predicate& p = rt_->query->predicate(id);
+          if (p.op != CompareOp::kEq || !p.lhs->IsBareColumn() ||
+              !p.rhs->IsBareColumn()) {
+            continue;
+          }
+          ColumnRef a = p.lhs->column(), b = p.rhs->column();
+          if ((a == oorder[k] && b == iorder[k]) ||
+              (b == oorder[k] && a == iorder[k])) {
+            linked = id;
+            break;
+          }
+        }
+        if (linked < 0) break;
+        int oslot = SlotIn(*os.value(), oorder[k]);
+        int islot = SlotIn(*is.value(), iorder[k]);
+        if (oslot < 0 || islot < 0) break;
+        oslots_.push_back(oslot);
+        islots_.push_back(islot);
+        enforced = enforced.Union(PredSet::Single(linked));
+      }
+      degrade_ = oslots_.empty();
+      CompileEnv env;
+      env.schema = out_schema.value();
+      env.frames = rt_->env;
+      env.frame_limit = static_cast<size_t>(depth_);
+      check_ = PredProgram::Compile(
+          degrade_ ? check : check.Minus(enforced), *rt_->query, env);
+      compiled_ = true;
+    }
+    oreader_.Reset(outer_.get());
+    ireader_.Reset(inner_.get());
+    emitting_ = false;
+    ogroup_.clear();
+    igroup_.clear();
+    gi_ = gj_ = 0;
+    drained_ = false;
+    dorows_.clear();
+    dirows_.clear();
+    di_ = dj_ = 0;
+    return Status::OK();
+  }
+
+  Status DoNext(RowBatch* out) override {
+    if (degrade_) return DegradeNext(out);
+    for (;;) {
+      if (BatchFull(*out, *rt_)) return Status::OK();
+      if (emitting_) {
+        while (gi_ < ogroup_.size()) {
+          while (gj_ < igroup_.size()) {
+            if (BatchFull(*out, *rt_)) return Status::OK();
+            STARBURST_RETURN_NOT_OK(
+                EmitJoinPair(ogroup_[gi_], igroup_[gj_], check_, rt_, out));
+            ++gj_;
+          }
+          gj_ = 0;
+          ++gi_;
+        }
+        emitting_ = false;
+      }
+      // Advance both sides past NULL keys (SQL: NULL keys never match) to
+      // the next comparable pair.
+      const Tuple* o = nullptr;
+      for (;;) {
+        STARBURST_RETURN_NOT_OK(oreader_.Peek(&o));
+        if (o == nullptr || !HasNullKey(*o, oslots_)) break;
+        oreader_.Advance();
+      }
+      if (o == nullptr) return Status::OK();  // exhausted
+      const Tuple* i = nullptr;
+      for (;;) {
+        STARBURST_RETURN_NOT_OK(ireader_.Peek(&i));
+        if (i == nullptr || !HasNullKey(*i, islots_)) break;
+        ireader_.Advance();
+      }
+      if (i == nullptr) return Status::OK();
+      int c = KeyCmp(*o, *i);
+      if (c < 0) {
+        oreader_.Advance();
+        continue;
+      }
+      if (c > 0) {
+        ireader_.Advance();
+        continue;
+      }
+      // Equal keys: buffer both groups, then cross-product (resumable).
+      key_.clear();
+      for (int s : oslots_) key_.push_back((*o)[static_cast<size_t>(s)]);
+      ogroup_.clear();
+      for (;;) {
+        ogroup_.push_back(*o);
+        oreader_.Advance();
+        STARBURST_RETURN_NOT_OK(oreader_.Peek(&o));
+        if (o == nullptr || HasNullKey(*o, oslots_) ||
+            !KeyEquals(*o, oslots_)) {
+          break;
+        }
+      }
+      igroup_.clear();
+      for (;;) {
+        igroup_.push_back(*i);
+        ireader_.Advance();
+        STARBURST_RETURN_NOT_OK(ireader_.Peek(&i));
+        if (i == nullptr || HasNullKey(*i, islots_) ||
+            !KeyEquals(*i, islots_)) {
+          break;
+        }
+      }
+      gi_ = gj_ = 0;
+      emitting_ = true;
+    }
+  }
+
+ private:
+  static bool HasNullKey(const Tuple& t, const std::vector<int>& slots) {
+    for (int s : slots) {
+      if (t[static_cast<size_t>(s)].is_null()) return true;
+    }
+    return false;
+  }
+  int KeyCmp(const Tuple& o, const Tuple& i) const {
+    for (size_t k = 0; k < oslots_.size(); ++k) {
+      int c = o[static_cast<size_t>(oslots_[k])].Compare(
+          i[static_cast<size_t>(islots_[k])]);
+      if (c != 0) return c;
+    }
+    return 0;
+  }
+  bool KeyEquals(const Tuple& t, const std::vector<int>& slots) const {
+    for (size_t k = 0; k < slots.size(); ++k) {
+      if (t[static_cast<size_t>(slots[k])].Compare(key_[k]) != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // No mergeable equality key: degrade to pairing with full predicate
+  // evaluation (still correct; the rule set avoids generating this).
+  Status DegradeNext(RowBatch* out) {
+    if (!drained_) {
+      STARBURST_RETURN_NOT_OK(DrainInto(outer_.get(), &dorows_));
+      STARBURST_RETURN_NOT_OK(DrainInto(inner_.get(), &dirows_));
+      drained_ = true;
+    }
+    if (dirows_.empty()) return Status::OK();
+    while (di_ < dorows_.size()) {
+      if (BatchFull(*out, *rt_)) return Status::OK();
+      STARBURST_RETURN_NOT_OK(
+          EmitJoinPair(dorows_[di_], dirows_[dj_], check_, rt_, out));
+      if (++dj_ >= dirows_.size()) {
+        dj_ = 0;
+        ++di_;
+      }
+    }
+    return Status::OK();
+  }
+
+  std::unique_ptr<BatchIterator> outer_;
+  std::unique_ptr<BatchIterator> inner_;
+  bool compiled_ = false;
+  std::vector<int> oslots_, islots_;
+  bool degrade_ = false;
+  PredProgram check_;
+  BatchReader oreader_, ireader_;
+  // Equal-key group state.
+  std::vector<Datum> key_;
+  std::vector<Tuple> ogroup_, igroup_;
+  size_t gi_ = 0, gj_ = 0;
+  bool emitting_ = false;
+  // Degrade-mode state.
+  bool drained_ = false;
+  std::vector<Tuple> dorows_, dirows_;
+  size_t di_ = 0, dj_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// JOIN(HA): open-addressing build side, streamed probe side
+// ---------------------------------------------------------------------------
+
+class HashJoinIterator : public BatchIterator {
+ public:
+  HashJoinIterator(VecRuntime* rt, const PlanOp* node, int depth,
+                   std::unique_ptr<BatchIterator> outer,
+                   std::unique_ptr<BatchIterator> inner)
+      : BatchIterator(rt, node, depth),
+        outer_(std::move(outer)),
+        inner_(std::move(inner)) {}
+
+ protected:
+  Status DoOpen() override {
+    STARBURST_RETURN_NOT_OK(rt_->faults->Check(faultsite::kExecJoinRun));
+    STARBURST_RETURN_NOT_OK(outer_->Open());
+    STARBURST_RETURN_NOT_OK(inner_->Open());
+    if (!compiled_) {
+      auto os = VecAccess::CachedSchema(rt_->exec, *node_->inputs[0]);
+      if (!os.ok()) return os.status();
+      auto is = VecAccess::CachedSchema(rt_->exec, *node_->inputs[1]);
+      if (!is.ok()) return is.status();
+      auto out_schema = VecAccess::CachedSchema(rt_->exec, *node_);
+      if (!out_schema.ok()) return out_schema.status();
+      PredSet join_preds = node_->args.GetPreds(arg::kJoinPreds);
+      PredSet check = join_preds.Union(
+          node_->args.GetPreds(arg::kResidualPreds));
+      QuantifierSet ot = node_->inputs[0]->props.tables();
+      QuantifierSet it = node_->inputs[1]->props.tables();
+      CompileEnv oenv;
+      oenv.schema = os.value();
+      oenv.frames = rt_->env;
+      oenv.frame_limit = static_cast<size_t>(depth_);
+      CompileEnv ienv = oenv;
+      ienv.schema = is.value();
+      PredSet enforced;
+      for (int id : join_preds.ToVector()) {
+        const Predicate& p = rt_->query->predicate(id);
+        if (!IsHashable(p, ot, it)) continue;
+        bool lhs_outer = ColumnsWithin(p.lhs_columns, ot);
+        outer_key_.push_back(
+            ExprProgram::Compile(lhs_outer ? *p.lhs : *p.rhs, oenv));
+        inner_key_.push_back(
+            ExprProgram::Compile(lhs_outer ? *p.rhs : *p.lhs, ienv));
+        enforced = enforced.Union(PredSet::Single(id));
+      }
+      degrade_ = outer_key_.empty();
+      CompileEnv env;
+      env.schema = out_schema.value();
+      env.frames = rt_->env;
+      env.frame_limit = static_cast<size_t>(depth_);
+      check_ = PredProgram::Compile(
+          degrade_ ? check : check.Minus(enforced), *rt_->query, env);
+      compiled_ = true;
+    }
+    built_ = false;
+    build_rows_.clear();
+    ht_.reset();
+    chain_ = -1;
+    cur_ = nullptr;
+    outer_batch_.clear();
+    outer_pos_ = 0;
+    drained_ = false;
+    dorows_.clear();
+    di_ = dj_ = 0;
+    return Status::OK();
+  }
+
+  Status DoNext(RowBatch* out) override {
+    if (degrade_) return DegradeNext(out);
+    const int width = static_cast<int>(inner_key_.size());
+    if (!built_) {
+      STARBURST_RETURN_NOT_OK(DrainInto(inner_.get(), &build_rows_));
+      ht_ = std::make_unique<JoinHashTable>(width);
+      ht_->Reserve(build_rows_.size());
+      key_buf_.resize(static_cast<size_t>(width));
+      for (size_t r = 0; r < build_rows_.size(); ++r) {
+        ProgramCtx ctx{&build_rows_[r], rt_->env, nullptr};
+        bool null_key = false;
+        for (int k = 0; k < width; ++k) {
+          auto v = inner_key_[static_cast<size_t>(k)].Eval(ctx);
+          if (!v.ok()) return v.status();
+          if (v.value().is_null()) null_key = true;
+          key_buf_[static_cast<size_t>(k)] = std::move(v).value();
+        }
+        if (null_key) continue;  // NULL keys never match: row skipped
+        ht_->Insert(key_buf_.data(),
+                    JoinHashTable::HashKey(key_buf_.data(), width),
+                    static_cast<uint32_t>(r));
+      }
+      built_ = true;
+    }
+    for (;;) {
+      if (BatchFull(*out, *rt_)) return Status::OK();
+      if (chain_ >= 0) {
+        const Tuple& b = build_rows_[ht_->EntryRow(chain_)];
+        STARBURST_RETURN_NOT_OK(EmitJoinPair(*cur_, b, check_, rt_, out));
+        chain_ = ht_->NextEntry(chain_);
+        continue;
+      }
+      if (outer_pos_ >= outer_batch_.rows.size()) {
+        STARBURST_RETURN_NOT_OK(outer_->Next(&outer_batch_));
+        outer_pos_ = 0;
+        if (outer_batch_.empty()) return Status::OK();  // exhausted
+      }
+      cur_ = &outer_batch_.rows[outer_pos_++];
+      ProgramCtx ctx{cur_, rt_->env, nullptr};
+      bool null_key = false;
+      for (int k = 0; k < width; ++k) {
+        auto v = outer_key_[static_cast<size_t>(k)].Eval(ctx);
+        if (!v.ok()) return v.status();
+        if (v.value().is_null()) null_key = true;
+        key_buf_[static_cast<size_t>(k)] = std::move(v).value();
+      }
+      if (null_key) continue;
+      int32_t g = ht_->FindGroup(key_buf_.data(),
+                                 JoinHashTable::HashKey(key_buf_.data(), width));
+      if (g >= 0) chain_ = ht_->GroupHead(g);
+    }
+  }
+
+ private:
+  Status DegradeNext(RowBatch* out) {
+    if (!drained_) {
+      STARBURST_RETURN_NOT_OK(DrainInto(outer_.get(), &dorows_));
+      STARBURST_RETURN_NOT_OK(DrainInto(inner_.get(), &build_rows_));
+      drained_ = true;
+    }
+    if (build_rows_.empty()) return Status::OK();
+    while (di_ < dorows_.size()) {
+      if (BatchFull(*out, *rt_)) return Status::OK();
+      STARBURST_RETURN_NOT_OK(
+          EmitJoinPair(dorows_[di_], build_rows_[dj_], check_, rt_, out));
+      if (++dj_ >= build_rows_.size()) {
+        dj_ = 0;
+        ++di_;
+      }
+    }
+    return Status::OK();
+  }
+
+  std::unique_ptr<BatchIterator> outer_;
+  std::unique_ptr<BatchIterator> inner_;
+  bool compiled_ = false;
+  std::vector<ExprProgram> outer_key_, inner_key_;
+  bool degrade_ = false;
+  PredProgram check_;
+  std::vector<Tuple> build_rows_;
+  std::unique_ptr<JoinHashTable> ht_;
+  bool built_ = false;
+  std::vector<Datum> key_buf_;
+  RowBatch outer_batch_;
+  size_t outer_pos_ = 0;
+  const Tuple* cur_ = nullptr;
+  int32_t chain_ = -1;
+  // Degrade-mode state.
+  bool drained_ = false;
+  std::vector<Tuple> dorows_;
+  size_t di_ = 0, dj_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Custom operators: bridge into the legacy evaluator
+// ---------------------------------------------------------------------------
+
+class CustomOpIterator : public BatchIterator {
+ public:
+  CustomOpIterator(VecRuntime* rt, const PlanOp* node, int depth,
+                   const ExecFn* fn)
+      : BatchIterator(rt, node, depth), fn_(fn) {}
+
+ protected:
+  Status DoOpen() override {
+    evaluated_ = false;
+    rows_.clear();
+    pos_ = 0;
+    return Status::OK();
+  }
+
+  Status DoNext(RowBatch* out) override {
+    if (!evaluated_) {
+      // The run-time routine sees exactly the enclosing bindings the legacy
+      // stack would hold here: truncate sibling pipelines' frames for the
+      // duration of the call.
+      std::vector<ExecFrame>& env = *rt_->env;
+      size_t keep = std::min(env.size(), static_cast<size_t>(depth_));
+      std::vector<ExecFrame> saved(env.begin() + static_cast<long>(keep),
+                                   env.end());
+      env.resize(keep);
+      ExecContext ctx(rt_->exec, *node_);
+      auto rows = (*fn_)(ctx);
+      env.insert(env.end(), saved.begin(), saved.end());
+      if (!rows.ok()) return rows.status();
+      rows_ = std::move(rows).value();
+      evaluated_ = true;
+    }
+    while (!BatchFull(*out, *rt_) && pos_ < rows_.size()) {
+      out->rows.push_back(std::move(rows_[pos_++]));
+    }
+    return Status::OK();
+  }
+
+ private:
+  const ExecFn* fn_;
+  bool evaluated_ = false;
+  std::vector<Tuple> rows_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Materialize-once replay (shared DAG nodes; uncorrelated subtrees inside
+// re-opened regions)
+// ---------------------------------------------------------------------------
+
+class MaterializeIterator : public BatchIterator {
+ public:
+  using BatchIterator::BatchIterator;
+
+ protected:
+  Status DoOpen() override {
+    auto rows = MaterializeSubtree(rt_, *node_, depth_);
+    if (!rows.ok()) return rows.status();
+    rows_ = std::move(rows).value();
+    pos_ = 0;
+    return Status::OK();
+  }
+
+  Status DoNext(RowBatch* out) override {
+    while (!BatchFull(*out, *rt_) && pos_ < rows_->size()) {
+      out->rows.push_back((*rows_)[pos_++]);
+    }
+    return Status::OK();
+  }
+
+ private:
+  RowsPtr rows_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+/// `reopened` marks subtrees that may be opened more than once (correlated
+/// NL inners and everything below them). An uncorrelated node inside such a
+/// region materializes once and replays — exactly the set of nodes the
+/// legacy interpreter's material cache would have saved from re-evaluation.
+Result<std::unique_ptr<BatchIterator>> Build(VecRuntime* rt,
+                                             const PlanOp& node, int depth,
+                                             bool reopened) {
+  if ((reopened || rt->shared_nodes.count(&node) > 0) &&
+      !rt->exec->IsCorrelated(node)) {
+    return std::unique_ptr<BatchIterator>(
+        new MaterializeIterator(rt, &node, depth));
+  }
+  return BuildNode(rt, node, depth, reopened);
+}
+
+Result<std::unique_ptr<BatchIterator>> BuildNode(VecRuntime* rt,
+                                                 const PlanOp& node,
+                                                 int depth, bool reopened) {
+  const std::string& name = node.name();
+  if (name == op::kAccess) {
+    if (node.flavor == flavor::kTemp || node.flavor == flavor::kTempIndex) {
+      return std::unique_ptr<BatchIterator>(
+          new TempAccessIterator(rt, &node, depth));
+    }
+    if (node.flavor == flavor::kHeap || node.flavor == flavor::kBTree) {
+      return std::unique_ptr<BatchIterator>(
+          new HeapScanIterator(rt, &node, depth));
+    }
+    if (node.flavor == flavor::kIndex) {
+      return std::unique_ptr<BatchIterator>(
+          new IndexScanIterator(rt, &node, depth));
+    }
+    return Status::InvalidArgument("unknown ACCESS flavor '" + node.flavor +
+                                   "'");
+  }
+  if (name == op::kJoin) {
+    auto outer = Build(rt, *node.inputs[0], depth, reopened);
+    if (!outer.ok()) return outer.status();
+    if (node.flavor == flavor::kNL) {
+      bool correlated = rt->exec->IsCorrelated(*node.inputs[1]);
+      std::unique_ptr<BatchIterator> inner;
+      if (correlated) {
+        auto in = Build(rt, *node.inputs[1], depth + 1, /*reopened=*/true);
+        if (!in.ok()) return in.status();
+        inner = std::move(in).value();
+      }
+      return std::unique_ptr<BatchIterator>(
+          new NLJoinIterator(rt, &node, depth, std::move(outer).value(),
+                             std::move(inner), correlated));
+    }
+    auto inner = Build(rt, *node.inputs[1], depth, reopened);
+    if (!inner.ok()) return inner.status();
+    if (node.flavor == flavor::kMG) {
+      return std::unique_ptr<BatchIterator>(
+          new MergeJoinIterator(rt, &node, depth, std::move(outer).value(),
+                                std::move(inner).value()));
+    }
+    if (node.flavor == flavor::kHA) {
+      return std::unique_ptr<BatchIterator>(
+          new HashJoinIterator(rt, &node, depth, std::move(outer).value(),
+                               std::move(inner).value()));
+    }
+    return Status::InvalidArgument("unknown JOIN flavor '" + node.flavor +
+                                   "'");
+  }
+  if (name == op::kGet || name == op::kSort || name == op::kShip ||
+      name == op::kStore || name == op::kFilter || name == op::kProject) {
+    auto child = Build(rt, *node.inputs[0], depth, reopened);
+    if (!child.ok()) return child.status();
+    if (name == op::kGet) {
+      return std::unique_ptr<BatchIterator>(
+          new GetIterator(rt, &node, depth, std::move(child).value()));
+    }
+    if (name == op::kSort) {
+      return std::unique_ptr<BatchIterator>(
+          new SortIterator(rt, &node, depth, std::move(child).value()));
+    }
+    if (name == op::kFilter) {
+      return std::unique_ptr<BatchIterator>(
+          new FilterIterator(rt, &node, depth, std::move(child).value()));
+    }
+    if (name == op::kProject) {
+      return std::unique_ptr<BatchIterator>(
+          new ProjectIterator(rt, &node, depth, std::move(child).value()));
+    }
+    return std::unique_ptr<BatchIterator>(
+        new StoreLikeIterator(rt, &node, depth, std::move(child).value()));
+  }
+  if (name == op::kTidAnd) {
+    auto a = Build(rt, *node.inputs[0], depth, reopened);
+    if (!a.ok()) return a.status();
+    auto b = Build(rt, *node.inputs[1], depth, reopened);
+    if (!b.ok()) return b.status();
+    return std::unique_ptr<BatchIterator>(
+        new TidAndIterator(rt, &node, depth, std::move(a).value(),
+                           std::move(b).value()));
+  }
+  if (name == op::kFilterBy) {
+    auto probe = Build(rt, *node.inputs[0], depth, reopened);
+    if (!probe.ok()) return probe.status();
+    auto filter = Build(rt, *node.inputs[1], depth, reopened);
+    if (!filter.ok()) return filter.status();
+    return std::unique_ptr<BatchIterator>(
+        new FilterByIterator(rt, &node, depth, std::move(probe).value(),
+                             std::move(filter).value()));
+  }
+  const auto* entry =
+      rt->registry != nullptr ? rt->registry->Find(name) : nullptr;
+  if (entry == nullptr) {
+    return Status::Unimplemented("no run-time routine for operator '" + name +
+                                 "'");
+  }
+  return std::unique_ptr<BatchIterator>(
+      new CustomOpIterator(rt, &node, depth, &entry->first));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<BatchIterator>> BuildBatchIterator(VecRuntime* rt,
+                                                          const PlanOp& node,
+                                                          int depth) {
+  return Build(rt, node, depth, /*reopened=*/false);
+}
+
+// ---------------------------------------------------------------------------
+// Executor entry point
+// ---------------------------------------------------------------------------
+
+Result<ResultSet> Executor::RunVectorized(const PlanPtr& plan) {
+  material_cache_.clear();
+  env_.clear();
+  base_rows_.clear();
+
+  VecRuntime rt;
+  rt.exec = this;
+  rt.db = db_;
+  rt.query = query_;
+  rt.registry = registry_;
+  rt.faults = faults_;
+  rt.stats = run_stats_;
+  rt.batch_size = batch_size_;
+  rt.env = &env_;
+  // Nodes reachable through more than one parent in the plan DAG
+  // materialize once and replay.
+  {
+    std::map<const PlanOp*, int> refs;
+    std::function<void(const PlanOp&)> count = [&](const PlanOp& n) {
+      if (++refs[&n] > 1) return;
+      for (const PlanPtr& in : n.inputs) count(*in);
+    };
+    count(*plan);
+    for (const auto& [n, c] : refs) {
+      if (c > 1 && !IsCorrelated(*n)) rt.shared_nodes.insert(n);
+    }
+  }
+
+  auto schema = SchemaOf(*plan);
+  if (!schema.ok()) {
+    VecAccess::Release(this);
+    return schema.status();
+  }
+  ResultSet rs;
+  rs.schema = std::move(schema).value();
+
+  auto it = BuildBatchIterator(&rt, *plan, 0);
+  if (!it.ok()) {
+    VecAccess::Release(this);
+    return it.status();
+  }
+  Status s = it.value()->Open();
+  if (s.ok()) {
+    RowBatch b;
+    for (;;) {
+      s = it.value()->Next(&b);
+      if (!s.ok() || b.empty()) break;
+      rs.rows.reserve(rs.rows.size() + b.rows.size());
+      for (Tuple& t : b.rows) rs.rows.push_back(std::move(t));
+    }
+  }
+  if (!s.ok()) {
+    VecAccess::Release(this);
+    return s;
+  }
+  env_.clear();
+  return rs;
+}
+
+}  // namespace starburst

@@ -1,0 +1,76 @@
+#ifndef STARBURST_EXEC_BATCH_ITERATOR_H_
+#define STARBURST_EXEC_BATCH_ITERATOR_H_
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "exec/batch.h"
+#include "exec/executor.h"
+
+namespace starburst {
+
+class FaultInjector;
+
+/// Shared state of one vectorized execution: the owning executor (schema and
+/// materialization caches, custom-operator bridge), the fault injector, the
+/// per-node stats sink, and the nested-loop binding frames. `env` aliases the
+/// executor's own binding stack so custom operators that fall back to the
+/// legacy evaluator resolve outer columns identically. Frame slots are
+/// assigned by NL nesting depth at plan-build time, so compiled frame loads
+/// are plain indexed reads.
+struct VecRuntime {
+  Executor* exec = nullptr;
+  const Database* db = nullptr;
+  const Query* query = nullptr;
+  const ExecutorRegistry* registry = nullptr;
+  FaultInjector* faults = nullptr;
+  PlanRunStats* stats = nullptr;
+  int batch_size = kDefaultBatchSize;
+  std::vector<ExecFrame>* env = nullptr;
+  /// Uncorrelated nodes with more than one parent in the plan DAG: they
+  /// materialize once through the executor's material cache and replay per
+  /// parent (evaluate-once parity with the legacy interpreter).
+  std::set<const PlanOp*> shared_nodes;
+};
+
+/// Pull-based batch iterator over one LOLEPOP: Open() (re-)starts the
+/// stream — correlated NL inners are re-opened per outer binding — and
+/// Next() produces up to the configured batch size of rows, with an empty
+/// batch signaling exhaustion. Fault sites are honored at Open, which is the
+/// batch pipeline's analogue of the legacy per-evaluation checks, so
+/// deterministic nth-hit fault specs trip at the same points in both
+/// engines.
+class BatchIterator {
+ public:
+  BatchIterator(VecRuntime* rt, const PlanOp* node, int depth)
+      : rt_(rt), node_(node), depth_(depth) {}
+  virtual ~BatchIterator() = default;
+
+  Status Open();
+  Status Next(RowBatch* out);
+
+  const PlanOp& node() const { return *node_; }
+
+ protected:
+  virtual Status DoOpen() = 0;
+  /// Appends rows to `out` (already cleared). Must either append at least
+  /// one row or return with `out` empty to signal exhaustion.
+  virtual Status DoNext(RowBatch* out) = 0;
+
+  VecRuntime* rt_;
+  const PlanOp* node_;
+  /// Number of enclosing NL binding frames (frame slots [0, depth_) are in
+  /// scope for column resolution).
+  int depth_;
+};
+
+/// Builds the iterator tree for `node` with `depth` enclosing NL frames.
+/// Shared DAG nodes come back wrapped in a materialize-once replay iterator.
+Result<std::unique_ptr<BatchIterator>> BuildBatchIterator(VecRuntime* rt,
+                                                          const PlanOp& node,
+                                                          int depth);
+
+}  // namespace starburst
+
+#endif  // STARBURST_EXEC_BATCH_ITERATOR_H_

@@ -31,6 +31,18 @@ Result<ResultSet> ExecutePlan(const Database& db, const Query& query,
   return exec.Run(plan);
 }
 
+Result<ResultSet> ExecutePlan(const Database& db, const Query& query,
+                              const PlanPtr& plan,
+                              const ExecOptions& options) {
+  Executor exec(db, query, options.registry);
+  if (options.stats != nullptr) exec.set_run_stats(options.stats);
+  if (options.metrics != nullptr) exec.set_metrics(options.metrics);
+  if (options.faults != nullptr) exec.set_faults(options.faults);
+  if (options.vectorized >= 0) exec.set_vectorized(options.vectorized != 0);
+  if (options.batch_size > 0) exec.set_batch_size(options.batch_size);
+  return exec.Run(plan);
+}
+
 Result<ResultSet> ExecutePlanAnalyzed(const Database& db, const Query& query,
                                       const PlanPtr& plan,
                                       PlanRunStats* stats,

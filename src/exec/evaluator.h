@@ -10,6 +10,21 @@ Result<ResultSet> ExecutePlan(const Database& db, const Query& query,
                               const PlanPtr& plan,
                               const ExecutorRegistry* registry = nullptr);
 
+/// One-stop knobs for ExecutePlan: engine selection, batch sizing, stats and
+/// metrics sinks. Fields left at their defaults inherit the environment
+/// (STARBURST_VECTORIZED / STARBURST_BATCH_SIZE) or stay disabled.
+struct ExecOptions {
+  const ExecutorRegistry* registry = nullptr;
+  PlanRunStats* stats = nullptr;        // EXPLAIN ANALYZE sink
+  MetricsRegistry* metrics = nullptr;   // per-run counter sink
+  FaultInjector* faults = nullptr;      // override the global injector
+  int vectorized = -1;                  // -1 env default, 0 legacy, 1 batch
+  int batch_size = 0;                   // 0 env default, else rows per batch
+};
+
+Result<ResultSet> ExecutePlan(const Database& db, const Query& query,
+                              const PlanPtr& plan, const ExecOptions& options);
+
 /// EXPLAIN ANALYZE: like ExecutePlan, but also collects per-node actuals
 /// into `stats` for rendering via ExplainOptions::analyze.
 Result<ResultSet> ExecutePlanAnalyzed(const Database& db, const Query& query,

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <set>
 
 #include "common/fault_injector.h"
+#include "exec/batch.h"
+#include "obs/metrics.h"
 #include "storage/index.h"
 
 namespace starburst {
@@ -13,7 +16,9 @@ Executor::Executor(const Database& db, const Query& query,
     : db_(&db),
       query_(&query),
       registry_(registry),
-      faults_(FaultInjector::Global()) {}
+      faults_(FaultInjector::Global()),
+      vectorized_(DefaultVectorized()),
+      batch_size_(DefaultBatchSize()) {}
 
 // ---------------------------------------------------------------------------
 // ExecutorRegistry
@@ -50,14 +55,16 @@ Result<std::vector<Tuple>> ExecContext::EvalInput(int i) {
   if (i < 0 || i >= static_cast<int>(node_->inputs.size())) {
     return Status::InvalidArgument("no input " + std::to_string(i));
   }
-  return executor_->Eval(*node_->inputs[i]);
+  auto rows = executor_->Eval(*node_->inputs[static_cast<size_t>(i)]);
+  if (!rows.ok()) return rows.status();
+  return *rows.value();
 }
 
 Result<Schema> ExecContext::InputSchema(int i) {
   if (i < 0 || i >= static_cast<int>(node_->inputs.size())) {
     return Status::InvalidArgument("no input " + std::to_string(i));
   }
-  return executor_->SchemaOf(*node_->inputs[i]);
+  return executor_->SchemaOf(*node_->inputs[static_cast<size_t>(i)]);
 }
 
 Result<bool> ExecContext::EvalPredicates(PredSet preds, const Schema& schema,
@@ -237,39 +244,89 @@ bool Executor::IsCorrelated(const PlanOp& node) const {
 }
 
 // ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+void Executor::PublishMetrics(const PlanRunStats& stats,
+                              bool vectorized) const {
+  if (metrics_ == nullptr) return;
+  metrics_->AddCounter(vectorized ? "exec.vectorized_runs"
+                                  : "exec.legacy_runs", 1);
+  metrics_->SetGauge("exec.batch_size", static_cast<double>(batch_size_));
+  int64_t total_rows = 0, total_batches = 0;
+  std::map<std::string, OpRunStats> by_op;
+  for (const auto& [node, s] : stats) {
+    OpRunStats& agg = by_op[node->Label()];
+    agg.invocations += s.invocations;
+    agg.rows += s.rows;
+    agg.batches += s.batches;
+    agg.wall_micros += s.wall_micros;
+    total_rows += s.rows;
+    total_batches += s.batches;
+  }
+  for (const auto& [label, s] : by_op) {
+    metrics_->AddCounter("exec.op." + label + ".rows", s.rows);
+    if (s.batches > 0) {
+      metrics_->AddCounter("exec.op." + label + ".batches", s.batches);
+    }
+    metrics_->AddCounter("exec.op." + label + ".ns",
+                         static_cast<int64_t>(s.wall_micros * 1000.0));
+  }
+  metrics_->AddCounter("exec.rows", total_rows);
+  if (total_batches > 0) metrics_->AddCounter("exec.batches", total_batches);
+}
+
+// ---------------------------------------------------------------------------
 // Core evaluation
 // ---------------------------------------------------------------------------
 
 Result<ResultSet> Executor::Run(const PlanPtr& plan) {
   if (plan == nullptr) return Status::InvalidArgument("null plan");
-  material_cache_.clear();
-  env_.clear();
-  base_rows_.clear();
-  // A failed run — real or injected — must not strand temps or binding
-  // frames: release everything before the error propagates.
-  auto release = [&]() {
+  // Per-operator counters need per-node stats; collect them into a local map
+  // when the caller did not ask for EXPLAIN ANALYZE itself.
+  PlanRunStats local_stats;
+  PlanRunStats* caller_stats = run_stats_;
+  if (metrics_ != nullptr && run_stats_ == nullptr) run_stats_ = &local_stats;
+
+  Result<ResultSet> result = Status::Internal("unreached");
+  if (vectorized_) {
+    result = RunVectorized(plan);
+  } else {
     material_cache_.clear();
-    schema_cache_.clear();
     env_.clear();
     base_rows_.clear();
-  };
-  auto rows = Eval(*plan);
-  if (!rows.ok()) {
-    release();
-    return rows.status();
+    // A failed run — real or injected — must not strand temps or binding
+    // frames: release everything before the error propagates.
+    auto release = [&]() {
+      material_cache_.clear();
+      schema_cache_.clear();
+      env_.clear();
+      base_rows_.clear();
+    };
+    auto rows = Eval(*plan);
+    if (!rows.ok()) {
+      release();
+      result = rows.status();
+    } else {
+      auto schema = SchemaOf(*plan);
+      if (!schema.ok()) {
+        release();
+        result = schema.status();
+      } else {
+        ResultSet rs;
+        rs.schema = std::move(schema).value();
+        rs.rows = *rows.value();
+        result = std::move(rs);
+      }
+    }
   }
-  auto schema = SchemaOf(*plan);
-  if (!schema.ok()) {
-    release();
-    return schema.status();
-  }
-  ResultSet rs;
-  rs.schema = std::move(schema).value();
-  rs.rows = std::move(rows).value();
-  return rs;
+
+  if (run_stats_ != nullptr) PublishMetrics(*run_stats_, vectorized_);
+  run_stats_ = caller_stats;
+  return result;
 }
 
-Result<std::vector<Tuple>> Executor::Eval(const PlanOp& node) {
+Result<Executor::RowsPtr> Executor::Eval(const PlanOp& node) {
   if (run_stats_ == nullptr) return EvalNode(node);
   // EXPLAIN ANALYZE: time each logical invocation (a cache hit is still an
   // invocation — it is how often the stream was consumed) and accumulate
@@ -282,11 +339,11 @@ Result<std::vector<Tuple>> Executor::Eval(const PlanOp& node) {
   s.wall_micros += std::chrono::duration<double, std::micro>(
                        std::chrono::steady_clock::now() - start)
                        .count();
-  if (rows.ok()) s.rows += static_cast<int64_t>(rows.value().size());
+  if (rows.ok()) s.rows += static_cast<int64_t>(rows.value()->size());
   return rows;
 }
 
-Result<std::vector<Tuple>> Executor::EvalNode(const PlanOp& node) {
+Result<Executor::RowsPtr> Executor::EvalNode(const PlanOp& node) {
   auto cached = material_cache_.find(&node);
   if (cached != material_cache_.end()) return cached->second;
 
@@ -320,9 +377,13 @@ Result<std::vector<Tuple>> Executor::EvalNode(const PlanOp& node) {
     ExecContext ctx(this, node);
     rows = entry->first(ctx);
   }
-  if (!rows.ok()) return rows;
-  if (!IsCorrelated(node)) material_cache_[&node] = rows.value();
-  return rows;
+  if (!rows.ok()) return rows.status();
+  // Shared, immutable materialization: the cache and the consumer hold the
+  // same vector instead of two deep copies.
+  RowsPtr ptr =
+      std::make_shared<const std::vector<Tuple>>(std::move(rows).value());
+  if (!IsCorrelated(node)) material_cache_[&node] = ptr;
+  return ptr;
 }
 
 Result<std::vector<Tuple>> Executor::EvalAccess(const PlanOp& node) {
@@ -331,10 +392,10 @@ Result<std::vector<Tuple>> Executor::EvalAccess(const PlanOp& node) {
   if (node.flavor == flavor::kTemp || node.flavor == flavor::kTempIndex) {
     STARBURST_RETURN_NOT_OK(faults_->Check(faultsite::kExecTempProbe));
     auto in_rows = Eval(*node.inputs[0]);
-    if (!in_rows.ok()) return in_rows;
+    if (!in_rows.ok()) return in_rows.status();
     auto schema = SchemaOf(*node.inputs[0]);
     if (!schema.ok()) return schema.status();
-    std::vector<Tuple> rows = std::move(in_rows).value();
+    std::vector<Tuple> rows = *in_rows.value();
     if (node.flavor == flavor::kTempIndex) {
       // The dynamic index yields tuples in key order.
       AccessPathList paths = node.inputs[0]->props.paths();
@@ -458,7 +519,7 @@ Result<std::vector<Tuple>> Executor::EvalAccess(const PlanOp& node) {
 
 Result<std::vector<Tuple>> Executor::EvalGet(const PlanOp& node) {
   auto in_rows = Eval(*node.inputs[0]);
-  if (!in_rows.ok()) return in_rows;
+  if (!in_rows.ok()) return in_rows.status();
   auto in_schema = SchemaOf(*node.inputs[0]);
   if (!in_schema.ok()) return in_schema.status();
   auto out_schema = SchemaOf(node);
@@ -473,7 +534,7 @@ Result<std::vector<Tuple>> Executor::EvalGet(const PlanOp& node) {
   PredSet preds = node.args.GetPreds(arg::kPreds);
 
   std::vector<Tuple> out;
-  for (const Tuple& in : in_rows.value()) {
+  for (const Tuple& in : *in_rows.value()) {
     Tid tid = in[static_cast<size_t>(tid_slot.value())].AsInt();
     if (tid < 0 || tid >= table.num_rows()) {
       return Status::Internal("TID out of range in GET");
@@ -496,7 +557,7 @@ Result<std::vector<Tuple>> Executor::EvalGet(const PlanOp& node) {
 Result<std::vector<Tuple>> Executor::EvalSort(const PlanOp& node) {
   STARBURST_RETURN_NOT_OK(faults_->Check(faultsite::kExecSortRun));
   auto in_rows = Eval(*node.inputs[0]);
-  if (!in_rows.ok()) return in_rows;
+  if (!in_rows.ok()) return in_rows.status();
   auto schema = SchemaOf(node);
   if (!schema.ok()) return schema.status();
   std::vector<int> slots;
@@ -505,7 +566,7 @@ Result<std::vector<Tuple>> Executor::EvalSort(const PlanOp& node) {
     if (!s.ok()) return s.status();
     slots.push_back(s.value());
   }
-  std::vector<Tuple> rows = std::move(in_rows).value();
+  std::vector<Tuple> rows = *in_rows.value();
   std::stable_sort(rows.begin(), rows.end(),
                    [&slots](const Tuple& a, const Tuple& b) {
                      for (int s : slots) {
@@ -522,7 +583,9 @@ Result<std::vector<Tuple>> Executor::EvalStoreLike(const PlanOp& node) {
   STARBURST_RETURN_NOT_OK(faults_->Check(faultsite::kExecStoreRun));
   // SHIP and STORE change physical placement, which an in-memory simulation
   // realizes as identity on the tuple stream.
-  return Eval(*node.inputs[0]);
+  auto rows = Eval(*node.inputs[0]);
+  if (!rows.ok()) return rows.status();
+  return *rows.value();
 }
 
 Result<std::vector<Tuple>> Executor::EvalJoin(const PlanOp& node) {
@@ -545,16 +608,20 @@ Result<std::vector<Tuple>> Executor::EvalJoin(const PlanOp& node) {
   PredSet check = join_preds.Union(residual);
 
   auto outer_rows_r = Eval(outer_node);
-  if (!outer_rows_r.ok()) return outer_rows_r;
-  const std::vector<Tuple> outer_rows = std::move(outer_rows_r).value();
+  if (!outer_rows_r.ok()) return outer_rows_r.status();
+  RowsPtr outer_ptr = std::move(outer_rows_r).value();
+  const std::vector<Tuple>& outer_rows = *outer_ptr;
 
   std::vector<Tuple> out;
-  auto emit_pair = [&](const Tuple& a, const Tuple& b) -> Status {
+  // `preds` is the part of `check` the join machinery has not already
+  // enforced: MG/HA key matches elide their equality predicates.
+  auto emit_pair = [&](const Tuple& a, const Tuple& b,
+                       PredSet preds) -> Status {
     Tuple t;
     t.reserve(a.size() + b.size());
     t.insert(t.end(), a.begin(), a.end());
     t.insert(t.end(), b.begin(), b.end());
-    auto keep = EvalPredSet(check, out_schema, t);
+    auto keep = EvalPredSet(preds, out_schema, t);
     if (!keep.ok()) return keep.status();
     if (keep.value()) out.push_back(std::move(t));
     return Status::OK();
@@ -562,12 +629,12 @@ Result<std::vector<Tuple>> Executor::EvalJoin(const PlanOp& node) {
 
   if (node.flavor == flavor::kNL) {
     for (const Tuple& o : outer_rows) {
-      env_.push_back(Frame{&outer_schema, &o});
+      env_.push_back(ExecFrame{&outer_schema, &o});
       auto inner_rows = Eval(inner_node);
       env_.pop_back();
-      if (!inner_rows.ok()) return inner_rows;
-      for (const Tuple& i : inner_rows.value()) {
-        STARBURST_RETURN_NOT_OK(emit_pair(o, i));
+      if (!inner_rows.ok()) return inner_rows.status();
+      for (const Tuple& i : *inner_rows.value()) {
+        STARBURST_RETURN_NOT_OK(emit_pair(o, i, check));
       }
     }
     return out;
@@ -575,18 +642,21 @@ Result<std::vector<Tuple>> Executor::EvalJoin(const PlanOp& node) {
 
   // MG and HA evaluate the inner once (uncorrelated by construction).
   auto inner_rows_r = Eval(inner_node);
-  if (!inner_rows_r.ok()) return inner_rows_r;
-  const std::vector<Tuple> inner_rows = std::move(inner_rows_r).value();
+  if (!inner_rows_r.ok()) return inner_rows_r.status();
+  RowsPtr inner_ptr = std::move(inner_rows_r).value();
+  const std::vector<Tuple>& inner_rows = *inner_ptr;
 
   if (node.flavor == flavor::kMG) {
     // Merge keys: leading pairs of the two inputs' sort orders connected by
-    // equality join predicates.
+    // equality join predicates. Predicates the merge keys enforce (equality
+    // on non-NULL values) drop out of the residual check on matched pairs.
     SortOrder oorder = outer_node.props.order();
     SortOrder iorder = inner_node.props.order();
     std::vector<std::pair<int, int>> key_slots;
+    PredSet enforced;
     size_t depth = std::min(oorder.size(), iorder.size());
     for (size_t k = 0; k < depth; ++k) {
-      bool linked = false;
+      int linked = -1;
       for (int id : join_preds.ToVector()) {
         const Predicate& p = query_->predicate(id);
         if (p.op != CompareOp::kEq || !p.lhs->IsBareColumn() ||
@@ -596,15 +666,16 @@ Result<std::vector<Tuple>> Executor::EvalJoin(const PlanOp& node) {
         ColumnRef a = p.lhs->column(), b = p.rhs->column();
         if ((a == oorder[k] && b == iorder[k]) ||
             (b == oorder[k] && a == iorder[k])) {
-          linked = true;
+          linked = id;
           break;
         }
       }
-      if (!linked) break;
+      if (linked < 0) break;
       auto os = SlotOf(outer_schema, oorder[k]);
       auto is = SlotOf(inner_schema, iorder[k]);
       if (!os.ok() || !is.ok()) break;
       key_slots.push_back({os.value(), is.value()});
+      enforced = enforced.Union(PredSet::Single(linked));
     }
 
     if (key_slots.empty()) {
@@ -612,11 +683,12 @@ Result<std::vector<Tuple>> Executor::EvalJoin(const PlanOp& node) {
       // evaluation (still correct; the rule set avoids generating this).
       for (const Tuple& o : outer_rows) {
         for (const Tuple& i : inner_rows) {
-          STARBURST_RETURN_NOT_OK(emit_pair(o, i));
+          STARBURST_RETURN_NOT_OK(emit_pair(o, i, check));
         }
       }
       return out;
     }
+    PredSet residual_check = check.Minus(enforced);
 
     auto key_cmp = [&](const Tuple& o, const Tuple& i) {
       for (auto [os, is] : key_slots) {
@@ -669,7 +741,8 @@ Result<std::vector<Tuple>> Executor::EvalJoin(const PlanOp& node) {
         }
         for (size_t a = i; a < i_end; ++a) {
           for (size_t b = j; b < j_end; ++b) {
-            STARBURST_RETURN_NOT_OK(emit_pair(outer_rows[a], inner_rows[b]));
+            STARBURST_RETURN_NOT_OK(
+                emit_pair(outer_rows[a], inner_rows[b], residual_check));
           }
         }
         i = i_end;
@@ -680,7 +753,9 @@ Result<std::vector<Tuple>> Executor::EvalJoin(const PlanOp& node) {
   }
 
   if (node.flavor == flavor::kHA) {
-    // Hash keys: equality join predicates with one side per input.
+    // Hash keys: equality join predicates with one side per input. A key
+    // match (Compare()==0 on non-NULL values) is exactly what the elided
+    // equality predicates would have checked.
     struct HashPair {
       const Expr* outer_expr;
       const Expr* inner_expr;
@@ -688,21 +763,24 @@ Result<std::vector<Tuple>> Executor::EvalJoin(const PlanOp& node) {
     QuantifierSet ot = outer_node.props.tables();
     QuantifierSet it = inner_node.props.tables();
     std::vector<HashPair> pairs;
+    PredSet enforced;
     for (int id : join_preds.ToVector()) {
       const Predicate& p = query_->predicate(id);
       if (!IsHashable(p, ot, it)) continue;
       bool lhs_outer = ColumnsWithin(p.lhs_columns, ot);
       pairs.push_back(lhs_outer ? HashPair{p.lhs.get(), p.rhs.get()}
                                 : HashPair{p.rhs.get(), p.lhs.get()});
+      enforced = enforced.Union(PredSet::Single(id));
     }
     if (pairs.empty()) {
       for (const Tuple& o : outer_rows) {
         for (const Tuple& i : inner_rows) {
-          STARBURST_RETURN_NOT_OK(emit_pair(o, i));
+          STARBURST_RETURN_NOT_OK(emit_pair(o, i, check));
         }
       }
       return out;
     }
+    PredSet residual_check = check.Minus(enforced);
 
     auto key_less = [](const std::vector<Datum>& a,
                        const std::vector<Datum>& b) {
@@ -738,7 +816,7 @@ Result<std::vector<Tuple>> Executor::EvalJoin(const PlanOp& node) {
       auto hit = build.find(key);
       if (hit == build.end()) continue;
       for (size_t r : hit->second) {
-        STARBURST_RETURN_NOT_OK(emit_pair(o, inner_rows[r]));
+        STARBURST_RETURN_NOT_OK(emit_pair(o, inner_rows[r], residual_check));
       }
     }
     return out;
@@ -757,8 +835,8 @@ Result<std::vector<Tuple>> Executor::EvalTidAnd(const PlanOp& node) {
     auto slot = SlotOf(schema.value(), tid);
     if (!slot.ok()) return slot.status();
     std::vector<int64_t> out;
-    out.reserve(rows.value().size());
-    for (const Tuple& t : rows.value()) {
+    out.reserve(rows.value()->size());
+    for (const Tuple& t : *rows.value()) {
       out.push_back(t[static_cast<size_t>(slot.value())].AsInt());
     }
     std::sort(out.begin(), out.end());
@@ -781,7 +859,7 @@ Result<std::vector<Tuple>> Executor::EvalTidAnd(const PlanOp& node) {
 
 Result<std::vector<Tuple>> Executor::EvalProject(const PlanOp& node) {
   auto in_rows = Eval(*node.inputs[0]);
-  if (!in_rows.ok()) return in_rows;
+  if (!in_rows.ok()) return in_rows.status();
   auto in_schema = SchemaOf(*node.inputs[0]);
   if (!in_schema.ok()) return in_schema.status();
   std::vector<int> slots;
@@ -791,8 +869,8 @@ Result<std::vector<Tuple>> Executor::EvalProject(const PlanOp& node) {
     slots.push_back(s.value());
   }
   std::vector<Tuple> out;
-  out.reserve(in_rows.value().size());
-  for (const Tuple& t : in_rows.value()) {
+  out.reserve(in_rows.value()->size());
+  for (const Tuple& t : *in_rows.value()) {
     Tuple p;
     p.reserve(slots.size());
     for (int s : slots) p.push_back(t[static_cast<size_t>(s)]);
@@ -823,9 +901,9 @@ Result<std::vector<Tuple>> Executor::EvalFilterBy(const PlanOp& node) {
   // positives only exist in the cost model (and are absorbed by the final
   // join's predicate re-check anyway).
   auto probe_rows = Eval(*node.inputs[0]);
-  if (!probe_rows.ok()) return probe_rows;
+  if (!probe_rows.ok()) return probe_rows.status();
   auto filter_rows = Eval(*node.inputs[1]);
-  if (!filter_rows.ok()) return filter_rows;
+  if (!filter_rows.ok()) return filter_rows.status();
   auto probe_schema_r = SchemaOf(*node.inputs[0]);
   if (!probe_schema_r.ok()) return probe_schema_r.status();
   auto filter_schema_r = SchemaOf(*node.inputs[1]);
@@ -857,7 +935,7 @@ Result<std::vector<Tuple>> Executor::EvalFilterBy(const PlanOp& node) {
     return false;
   };
   std::set<std::vector<Datum>, decltype(key_less)> filter_keys(key_less);
-  for (const Tuple& f : filter_rows.value()) {
+  for (const Tuple& f : *filter_rows.value()) {
     std::vector<Datum> key;
     bool null_key = false;
     for (const KeyPair& kp : pairs) {
@@ -870,7 +948,7 @@ Result<std::vector<Tuple>> Executor::EvalFilterBy(const PlanOp& node) {
   }
 
   std::vector<Tuple> out;
-  for (Tuple& t : probe_rows.value()) {
+  for (const Tuple& t : *probe_rows.value()) {
     std::vector<Datum> key;
     bool null_key = false;
     for (const KeyPair& kp : pairs) {
@@ -879,22 +957,22 @@ Result<std::vector<Tuple>> Executor::EvalFilterBy(const PlanOp& node) {
       if (v.value().is_null()) null_key = true;
       key.push_back(std::move(v).value());
     }
-    if (!null_key && filter_keys.count(key)) out.push_back(std::move(t));
+    if (!null_key && filter_keys.count(key)) out.push_back(t);
   }
   return out;
 }
 
 Result<std::vector<Tuple>> Executor::EvalFilter(const PlanOp& node) {
   auto in_rows = Eval(*node.inputs[0]);
-  if (!in_rows.ok()) return in_rows;
+  if (!in_rows.ok()) return in_rows.status();
   auto schema = SchemaOf(node);
   if (!schema.ok()) return schema.status();
   PredSet preds = node.args.GetPreds(arg::kPreds);
   std::vector<Tuple> out;
-  for (Tuple& t : in_rows.value()) {
+  for (const Tuple& t : *in_rows.value()) {
     auto keep = EvalPredSet(preds, schema.value(), t);
     if (!keep.ok()) return keep.status();
-    if (keep.value()) out.push_back(std::move(t));
+    if (keep.value()) out.push_back(t);
   }
   return out;
 }

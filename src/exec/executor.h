@@ -14,6 +14,7 @@
 namespace starburst {
 
 class FaultInjector;
+class MetricsRegistry;
 
 /// Positional layout of a tuple stream: which query-scope column each slot
 /// holds. Index ACCESSes expose `ColumnRef{q, kTidColumn}` slots.
@@ -23,6 +24,15 @@ using Schema = std::vector<ColumnRef>;
 struct ResultSet {
   Schema schema;
   std::vector<Tuple> rows;
+};
+
+/// One enclosing nested-loop binding: the outer stream's layout and its
+/// current tuple. Shared between the legacy interpreter's binding stack and
+/// the vectorized pipeline (so custom operators see the same scope either
+/// way).
+struct ExecFrame {
+  const Schema* schema;
+  const Tuple* tuple;
 };
 
 class Executor;
@@ -71,11 +81,21 @@ class ExecutorRegistry {
   std::map<std::string, std::pair<ExecFn, SchemaFn>> fns_;
 };
 
-/// Interprets plan DAGs over a Database: the paper's query evaluator. The
-/// built-in LOLEPOPs are interpreted directly; anything else dispatches
-/// through the ExecutorRegistry. Evaluation is materializing and recursive;
-/// nested-loop inners that reference outer columns (sideways information
-/// passing, §4.4) are re-evaluated per outer tuple under a binding stack.
+/// Interprets plan DAGs over a Database: the paper's query evaluator. Two
+/// interchangeable engines share this class:
+///
+///  - The vectorized pipeline (default): every built-in LOLEPOP is a pull
+///    BatchIterator producing RowBatches, predicates run as compiled
+///    PredPrograms, and the HA join builds an open-addressing hash table
+///    (exec/batch_iterator.cc).
+///  - The legacy materializing recursive interpreter, kept verbatim behind
+///    `set_vectorized(false)` / STARBURST_VECTORIZED=0 as the differential
+///    oracle.
+///
+/// Nested-loop inners that reference outer columns (sideways information
+/// passing, §4.4) are re-evaluated per outer tuple under a binding stack in
+/// both engines; uncorrelated subplans and temps materialize once through
+/// `material_cache_`.
 class Executor {
  public:
   Executor(const Database& db, const Query& query,
@@ -89,6 +109,10 @@ class Executor {
   /// The output layout of `plan` without running it.
   Result<Schema> SchemaOf(const PlanOp& plan);
 
+  /// True if the subtree references columns of quantifiers outside its own
+  /// TABLES property (i.e. must be re-evaluated per outer binding).
+  bool IsCorrelated(const PlanOp& node) const;
+
   /// Collect per-node actuals (EXPLAIN ANALYZE) into `stats` during Run.
   /// Null (the default) disables collection and its timing overhead.
   void set_run_stats(PlanRunStats* stats) { run_stats_ = stats; }
@@ -96,20 +120,31 @@ class Executor {
   /// Override the fault injector (tests); defaults to FaultInjector::Global().
   void set_faults(FaultInjector* faults) { faults_ = faults; }
 
+  /// Engine selection and batch sizing; both default from the environment
+  /// (STARBURST_VECTORIZED, STARBURST_BATCH_SIZE).
+  void set_vectorized(bool on) { vectorized_ = on; }
+  bool vectorized() const { return vectorized_; }
+  void set_batch_size(int rows) { batch_size_ = rows >= 1 ? rows : 1; }
+  int batch_size() const { return batch_size_; }
+
+  /// Publish per-operator rows/batches/time counters after each Run.
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
   /// Number of cached subplan materializations currently held (tests assert
   /// this drops to zero after a failed Run).
   size_t cached_materializations() const { return material_cache_.size(); }
 
  private:
   friend class ExecContext;
+  /// Internal bridge for the vectorized pipeline (exec/batch_iterator.cc).
+  friend struct VecAccess;
 
-  struct Frame {
-    const Schema* schema;
-    const Tuple* tuple;
-  };
+  /// Materialized subplan results are shared, not copied: the cache and any
+  /// in-flight consumer hold the same immutable row vector.
+  using RowsPtr = std::shared_ptr<const std::vector<Tuple>>;
 
-  Result<std::vector<Tuple>> Eval(const PlanOp& node);
-  Result<std::vector<Tuple>> EvalNode(const PlanOp& node);
+  Result<RowsPtr> Eval(const PlanOp& node);
+  Result<RowsPtr> EvalNode(const PlanOp& node);
 
   /// Resolves a column against (schema, tuple), then enclosing NL frames,
   /// then — during base-table scans — the current base row.
@@ -122,11 +157,7 @@ class Executor {
   Result<bool> EvalPredSet(PredSet preds, const Schema& schema,
                            const Tuple& tuple) const;
 
-  /// True if the subtree references columns of quantifiers outside its own
-  /// TABLES property (i.e. must be re-evaluated per outer binding).
-  bool IsCorrelated(const PlanOp& node) const;
-
-  // Built-in operators.
+  // Built-in operators (legacy row-at-a-time engine).
   Result<std::vector<Tuple>> EvalAccess(const PlanOp& node);
   Result<std::vector<Tuple>> EvalGet(const PlanOp& node);
   Result<std::vector<Tuple>> EvalSort(const PlanOp& node);
@@ -137,15 +168,24 @@ class Executor {
   Result<std::vector<Tuple>> EvalFilterBy(const PlanOp& node);
   Result<std::vector<Tuple>> EvalFilter(const PlanOp& node);
 
+  /// The batch-pipeline engine (exec/batch_iterator.cc).
+  Result<ResultSet> RunVectorized(const PlanPtr& plan);
+
+  /// Publishes per-operator and whole-run counters from `stats`.
+  void PublishMetrics(const PlanRunStats& stats, bool vectorized) const;
+
   const Database* db_;
   const Query* query_;
   const ExecutorRegistry* registry_;
   PlanRunStats* run_stats_ = nullptr;
   FaultInjector* faults_;
+  MetricsRegistry* metrics_ = nullptr;
+  bool vectorized_;
+  int batch_size_;
 
-  std::vector<Frame> env_;
+  std::vector<ExecFrame> env_;
   // Cached materializations of uncorrelated subplans (NL inners, temps).
-  std::map<const PlanOp*, std::vector<Tuple>> material_cache_;
+  std::map<const PlanOp*, RowsPtr> material_cache_;
   std::map<const PlanOp*, Schema> schema_cache_;
   // Base row visible while scanning/fetching quantifier q (for predicates
   // that reference columns the ACCESS did not project).

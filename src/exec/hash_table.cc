@@ -1,0 +1,97 @@
+#include "exec/hash_table.h"
+
+namespace starburst {
+
+namespace {
+
+size_t NextPow2(size_t n) {
+  size_t p = 16;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+uint64_t JoinHashTable::HashKey(const Datum* key, int width) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (int i = 0; i < width; ++i) {
+    h = HashCombine64(h, key[i].Hash64());
+  }
+  return h;
+}
+
+bool JoinHashTable::KeysEqual(const Datum* a, const Datum* b) const {
+  for (int i = 0; i < key_width_; ++i) {
+    if (a[i].Compare(b[i]) != 0) return false;
+  }
+  return true;
+}
+
+void JoinHashTable::Reserve(size_t n) {
+  size_t want = NextPow2(n * 2 + 16);
+  if (want > slots_.size()) Rehash(want);
+}
+
+void JoinHashTable::Rehash(size_t slot_count) {
+  slots_.assign(slot_count, -1);
+  slot_mask_ = slot_count - 1;
+  for (size_t g = 0; g < group_hash_.size(); ++g) {
+    uint64_t idx = group_hash_[g] & slot_mask_;
+    while (slots_[idx] != -1) idx = (idx + 1) & slot_mask_;
+    slots_[idx] = static_cast<int32_t>(g);
+  }
+}
+
+void JoinHashTable::Insert(const Datum* key, uint64_t hash, uint32_t row) {
+  // Keep load factor under 1/2.
+  if (slots_.empty() || (group_head_.size() + 1) * 2 > slots_.size()) {
+    Rehash(NextPow2(slots_.empty() ? 16 : slots_.size() * 2));
+  }
+  uint64_t idx = hash & slot_mask_;
+  int32_t group = -1;
+  while (slots_[idx] != -1) {
+    int32_t g = slots_[idx];
+    if (group_hash_[static_cast<size_t>(g)] == hash &&
+        KeysEqual(key, &keys_[static_cast<size_t>(g) *
+                             static_cast<size_t>(key_width_)])) {
+      group = g;
+      break;
+    }
+    idx = (idx + 1) & slot_mask_;
+  }
+  if (group == -1) {
+    group = static_cast<int32_t>(group_head_.size());
+    for (int i = 0; i < key_width_; ++i) keys_.push_back(key[i]);
+    group_hash_.push_back(hash);
+    group_head_.push_back(-1);
+    group_tail_.push_back(-1);
+    slots_[idx] = group;
+  }
+  int32_t entry = static_cast<int32_t>(entry_row_.size());
+  entry_row_.push_back(row);
+  entry_next_.push_back(-1);
+  size_t g = static_cast<size_t>(group);
+  if (group_head_[g] == -1) {
+    group_head_[g] = entry;
+  } else {
+    entry_next_[static_cast<size_t>(group_tail_[g])] = entry;
+  }
+  group_tail_[g] = entry;
+}
+
+int32_t JoinHashTable::FindGroup(const Datum* key, uint64_t hash) const {
+  if (slots_.empty()) return -1;
+  uint64_t idx = hash & slot_mask_;
+  while (slots_[idx] != -1) {
+    int32_t g = slots_[idx];
+    if (group_hash_[static_cast<size_t>(g)] == hash &&
+        KeysEqual(key, &keys_[static_cast<size_t>(g) *
+                             static_cast<size_t>(key_width_)])) {
+      return g;
+    }
+    idx = (idx + 1) & slot_mask_;
+  }
+  return -1;
+}
+
+}  // namespace starburst

@@ -1,0 +1,65 @@
+#ifndef STARBURST_EXEC_HASH_TABLE_H_
+#define STARBURST_EXEC_HASH_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/value.h"
+
+namespace starburst {
+
+/// Build side of the vectorized hash join: an open-addressing (linear probe)
+/// table from composite Datum keys to the rows that carry them. Keyed on the
+/// 64-bit Datum::Hash64 with chained exact-key verification via Compare(),
+/// so hash collisions cost probes, never correctness. Rows within a key
+/// group are chained in insertion order — the join emits matches in build
+/// order, exactly like the legacy std::map-of-row-lists did.
+///
+/// With key_width 0-width rows it also serves as a plain key set (FILTERBY).
+class JoinHashTable {
+ public:
+  explicit JoinHashTable(int key_width) : key_width_(key_width) {}
+
+  /// Pre-sizes the slot array for ~n distinct keys.
+  void Reserve(size_t n);
+
+  /// Hash of a composite key (order-dependent combine of Hash64 per datum).
+  static uint64_t HashKey(const Datum* key, int width);
+
+  /// Adds `row` under `key` (hash must be HashKey(key, key_width)).
+  void Insert(const Datum* key, uint64_t hash, uint32_t row);
+
+  /// Group id for `key`, or -1 if absent.
+  int32_t FindGroup(const Datum* key, uint64_t hash) const;
+
+  /// Insertion-order chain walk: first entry of a group / next entry / the
+  /// row an entry holds. `NextEntry` returns -1 at the end of the chain.
+  int32_t GroupHead(int32_t group) const { return group_head_[static_cast<size_t>(group)]; }
+  int32_t NextEntry(int32_t entry) const { return entry_next_[static_cast<size_t>(entry)]; }
+  uint32_t EntryRow(int32_t entry) const { return entry_row_[static_cast<size_t>(entry)]; }
+
+  size_t num_groups() const { return group_head_.size(); }
+  size_t num_rows() const { return entry_row_.size(); }
+
+ private:
+  void Rehash(size_t slot_count);  // power of two
+  bool KeysEqual(const Datum* a, const Datum* b) const;
+
+  int key_width_;
+  // Per group: flat key storage (group g at keys_[g * key_width_]), its
+  // hash, and the head/tail of its insertion-order entry chain.
+  std::vector<Datum> keys_;
+  std::vector<uint64_t> group_hash_;
+  std::vector<int32_t> group_head_;
+  std::vector<int32_t> group_tail_;
+  // Per entry (one per inserted row).
+  std::vector<uint32_t> entry_row_;
+  std::vector<int32_t> entry_next_;
+  // Open-addressing slot array over group ids (-1 = empty).
+  std::vector<int32_t> slots_;
+  uint64_t slot_mask_ = 0;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_EXEC_HASH_TABLE_H_

@@ -1,0 +1,199 @@
+#include "exec/pred_program.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace starburst {
+
+namespace {
+
+int SlotIn(const Schema* schema, ColumnRef ref) {
+  if (schema == nullptr) return -1;
+  for (size_t i = 0; i < schema->size(); ++i) {
+    if ((*schema)[i] == ref) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+void ExprProgram::CompileNode(const Expr& expr, const CompileEnv& env,
+                              std::vector<Step>* steps, bool* resolvable,
+                              int* max_depth) {
+  switch (expr.kind()) {
+    case ExprKind::kLiteral: {
+      Step s{OpCode::kConst};
+      s.value = expr.literal();
+      steps->push_back(std::move(s));
+      *max_depth = std::max(*max_depth, 1);
+      return;
+    }
+    case ExprKind::kColumn: {
+      ColumnRef ref = expr.column();
+      // Resolution order mirrors Executor::Resolve: stream slot, enclosing
+      // NL frames innermost first, then the scan's base row.
+      int slot = SlotIn(env.schema, ref);
+      if (slot >= 0) {
+        steps->push_back(Step{OpCode::kSlot, slot});
+      } else {
+        int frame = -1, fslot = -1;
+        if (env.frames != nullptr) {
+          size_t limit = std::min(env.frame_limit, env.frames->size());
+          for (int f = static_cast<int>(limit) - 1; f >= 0; --f) {
+            int s = SlotIn((*env.frames)[static_cast<size_t>(f)].schema, ref);
+            if (s >= 0) {
+              frame = f;
+              fslot = s;
+              break;
+            }
+          }
+        }
+        if (frame >= 0) {
+          steps->push_back(Step{OpCode::kFrame, frame, fslot});
+        } else if (ref.quantifier == env.base_quantifier && !ref.is_tid()) {
+          steps->push_back(Step{OpCode::kBase, ref.column});
+        } else {
+          steps->push_back(Step{OpCode::kUnresolved, ref.quantifier,
+                                ref.column});
+          *resolvable = false;
+        }
+      }
+      *max_depth = std::max(*max_depth, 1);
+      return;
+    }
+    default: {
+      size_t before = steps->size();
+      int ldepth = 0, rdepth = 0;
+      CompileNode(*expr.lhs(), env, steps, resolvable, &ldepth);
+      size_t mid = steps->size();
+      CompileNode(*expr.rhs(), env, steps, resolvable, &rdepth);
+      // Fold constant subtrees bottom-up: if both operands compiled to a
+      // single constant, replace the three steps with the computed value.
+      bool lconst = (mid - before) == 1 &&
+                    (*steps)[before].op == OpCode::kConst;
+      bool rconst = (steps->size() - mid) == 1 &&
+                    (*steps)[mid].op == OpCode::kConst;
+      if (lconst && rconst) {
+        Datum folded = EvalBinary(expr.kind(), (*steps)[before].value,
+                                  (*steps)[mid].value);
+        steps->resize(before);
+        Step s{OpCode::kConst};
+        s.value = std::move(folded);
+        steps->push_back(std::move(s));
+        *max_depth = std::max(*max_depth, 1);
+        return;
+      }
+      OpCode op = OpCode::kAdd;
+      switch (expr.kind()) {
+        case ExprKind::kAdd: op = OpCode::kAdd; break;
+        case ExprKind::kSub: op = OpCode::kSub; break;
+        case ExprKind::kMul: op = OpCode::kMul; break;
+        case ExprKind::kDiv: op = OpCode::kDiv; break;
+        default: break;
+      }
+      steps->push_back(Step{op});
+      // The right operand evaluates while the left's value sits on the stack.
+      *max_depth = std::max(*max_depth, std::max(ldepth, 1 + rdepth));
+      return;
+    }
+  }
+}
+
+ExprProgram ExprProgram::Compile(const Expr& expr, const CompileEnv& env) {
+  ExprProgram p;
+  CompileNode(expr, env, &p.steps_, &p.resolvable_, &p.max_stack_);
+  return p;
+}
+
+bool ExprProgram::IsConstant() const {
+  return steps_.size() == 1 && steps_[0].op == OpCode::kConst;
+}
+
+Result<Datum> ExprProgram::Eval(const ProgramCtx& ctx) const {
+  // The stack depth is known at compile time; stay on the C++ stack for the
+  // common shallow case.
+  Datum local[8];
+  std::vector<Datum> heap;
+  Datum* stack = local;
+  if (max_stack_ > 8) {
+    heap.resize(static_cast<size_t>(max_stack_));
+    stack = heap.data();
+  }
+  int top = 0;
+  for (const Step& s : steps_) {
+    switch (s.op) {
+      case OpCode::kSlot:
+        stack[top++] = (*ctx.row)[static_cast<size_t>(s.a)];
+        break;
+      case OpCode::kFrame:
+        stack[top++] =
+            (*(*ctx.frames)[static_cast<size_t>(s.a)].tuple)[
+                static_cast<size_t>(s.b)];
+        break;
+      case OpCode::kBase:
+        stack[top++] = (*ctx.base)[static_cast<size_t>(s.a)];
+        break;
+      case OpCode::kConst:
+        stack[top++] = s.value;
+        break;
+      case OpCode::kAdd:
+        top--;
+        stack[top - 1] = EvalBinary(ExprKind::kAdd, stack[top - 1], stack[top]);
+        break;
+      case OpCode::kSub:
+        top--;
+        stack[top - 1] = EvalBinary(ExprKind::kSub, stack[top - 1], stack[top]);
+        break;
+      case OpCode::kMul:
+        top--;
+        stack[top - 1] = EvalBinary(ExprKind::kMul, stack[top - 1], stack[top]);
+        break;
+      case OpCode::kDiv:
+        top--;
+        stack[top - 1] = EvalBinary(ExprKind::kDiv, stack[top - 1], stack[top]);
+        break;
+      case OpCode::kUnresolved:
+        return Status::Internal("unresolvable column q" +
+                                std::to_string(s.a) + ".c" +
+                                std::to_string(s.b) + " at run time");
+    }
+  }
+  return std::move(stack[0]);
+}
+
+PredProgram PredProgram::Compile(PredSet preds, const Query& query,
+                                 const CompileEnv& env) {
+  PredProgram prog;
+  for (int id : preds.ToVector()) {
+    const Predicate& p = query.predicate(id);
+    CompiledPred cp;
+    cp.lhs = ExprProgram::Compile(*p.lhs, env);
+    cp.rhs = ExprProgram::Compile(*p.rhs, env);
+    cp.op = p.op;
+    if (cp.lhs.IsConstant() && cp.rhs.IsConstant()) {
+      // Decide constant conjuncts now; keep always-false ones as in-order
+      // early returns so that an unresolvable predicate *after* a false one
+      // never errors (exactly the legacy short-circuit behavior).
+      if (EvalCompare(cp.op, cp.lhs.ConstantValue(), cp.rhs.ConstantValue())) {
+        continue;
+      }
+      cp.const_false = true;
+    }
+    prog.preds_.push_back(std::move(cp));
+  }
+  return prog;
+}
+
+Result<bool> PredProgram::Eval(const ProgramCtx& ctx) const {
+  for (const CompiledPred& p : preds_) {
+    if (p.const_false) return false;
+    auto lhs = p.lhs.Eval(ctx);
+    if (!lhs.ok()) return lhs.status();
+    auto rhs = p.rhs.Eval(ctx);
+    if (!rhs.ok()) return rhs.status();
+    if (!EvalCompare(p.op, lhs.value(), rhs.value())) return false;
+  }
+  return true;
+}
+
+}  // namespace starburst

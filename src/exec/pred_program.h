@@ -1,0 +1,111 @@
+#ifndef STARBURST_EXEC_PRED_PROGRAM_H_
+#define STARBURST_EXEC_PRED_PROGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/executor.h"
+#include "query/predicate.h"
+
+namespace starburst {
+
+/// Compilation scope for expression programs: the stream's slot layout, the
+/// enclosing nested-loop binding frames (stable indices for the duration of
+/// a run), and — during base-table ACCESS/GET — the scanned quantifier whose
+/// full base row is visible to predicates on unprojected columns. Resolution
+/// order matches the legacy interpreter: schema slot, then frames innermost
+/// first, then base row.
+struct CompileEnv {
+  const Schema* schema = nullptr;
+  const std::vector<ExecFrame>* frames = nullptr;
+  /// Only frame slots [0, frame_limit) are in scope — frames beyond that
+  /// belong to sibling pipelines whose bindings the legacy interpreter would
+  /// never see (its stack pops them before this node evaluates).
+  size_t frame_limit = 0;
+  int base_quantifier = -1;
+};
+
+/// Per-row evaluation context for a compiled program. `frames` must be the
+/// same vector the program was compiled against (frame loads are by index);
+/// `base` is the current base row when the program was compiled with a base
+/// quantifier.
+struct ProgramCtx {
+  const Tuple* row = nullptr;
+  const std::vector<ExecFrame>* frames = nullptr;
+  const Tuple* base = nullptr;
+};
+
+/// A scalar expression compiled to a flat postfix program: column refs are
+/// resolved to slot/frame/base loads once at open time, constant subtrees
+/// are folded. Columns that do not resolve compile to a trap step that
+/// errors only if executed — the legacy interpreter is exactly as lazy.
+class ExprProgram {
+ public:
+  ExprProgram() = default;
+
+  static ExprProgram Compile(const Expr& expr, const CompileEnv& env);
+
+  Result<Datum> Eval(const ProgramCtx& ctx) const;
+
+  /// Folded to a single constant?
+  bool IsConstant() const;
+  const Datum& ConstantValue() const { return steps_[0].value; }
+
+  /// True if every column reference resolved at compile time.
+  bool resolvable() const { return resolvable_; }
+
+ private:
+  enum class OpCode : uint8_t {
+    kSlot,        // push row[a]
+    kFrame,       // push frames[a].tuple[b]
+    kBase,        // push base[a]
+    kConst,       // push value
+    kAdd, kSub, kMul, kDiv,  // pop two, push EvalBinary
+    kUnresolved,  // error: column unresolvable at run time
+  };
+  struct Step {
+    OpCode op;
+    int32_t a = 0;
+    int32_t b = 0;
+    Datum value;  // kConst payload
+  };
+
+  static void CompileNode(const Expr& expr, const CompileEnv& env,
+                          std::vector<Step>* steps, bool* resolvable,
+                          int* max_depth);
+
+  std::vector<Step> steps_;
+  int max_stack_ = 0;
+  bool resolvable_ = true;
+};
+
+/// A conjunction of predicates compiled against one stream layout. Preds are
+/// evaluated in ascending id order with short-circuiting, exactly like the
+/// legacy EvalPredSet, so error/false ordering is preserved. Predicates
+/// whose two sides fold to constants are decided at compile time: always-true
+/// conjuncts are dropped, always-false ones become an in-order early return.
+class PredProgram {
+ public:
+  PredProgram() = default;
+
+  static PredProgram Compile(PredSet preds, const Query& query,
+                             const CompileEnv& env);
+
+  Result<bool> Eval(const ProgramCtx& ctx) const;
+
+  bool empty() const { return preds_.empty(); }
+  size_t size() const { return preds_.size(); }
+
+ private:
+  struct CompiledPred {
+    ExprProgram lhs;
+    ExprProgram rhs;
+    CompareOp op = CompareOp::kEq;
+    bool const_false = false;  // both sides constant and the compare failed
+  };
+  std::vector<CompiledPred> preds_;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_EXEC_PRED_PROGRAM_H_

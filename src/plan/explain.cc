@@ -103,6 +103,9 @@ std::string AnalyzeSummary(const PlanOp& node, const PlanRunStats& stats) {
   if (s.invocations != 1) {
     out += " loops=" + std::to_string(s.invocations);
   }
+  if (s.batches > 0) {
+    out += " batches=" + std::to_string(s.batches);
+  }
   out += " time=" + FormatDouble(s.wall_micros) + "us]";
   return out;
 }

@@ -20,6 +20,9 @@ class Query;
 struct OpRunStats {
   int64_t invocations = 0;
   int64_t rows = 0;
+  /// RowBatches produced (vectorized executor only; 0 under the legacy
+  /// row-at-a-time path).
+  int64_t batches = 0;
   double wall_micros = 0.0;
 };
 

@@ -1,0 +1,316 @@
+// Differential harness for the two execution engines: the vectorized batch
+// pipeline must reproduce the legacy row-at-a-time interpreter (the
+// STARBURST_VECTORIZED=0 oracle) as an exact multiset — across optimizer
+// output for every join flavor, across batch sizes (including 1, which makes
+// every streaming boundary visible), and under deterministic fault
+// injection, where both engines must fail at the same site with the same
+// status or both succeed with identical rows.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "catalog/synthetic.h"
+#include "common/fault_injector.h"
+#include "cost/cost_model.h"
+#include "exec/evaluator.h"
+#include "optimizer/optimizer.h"
+#include "plan/explain.h"
+#include "properties/property_functions.h"
+#include "sql/parser.h"
+#include "star/default_rules.h"
+#include "storage/datagen.h"
+
+namespace starburst {
+namespace {
+
+const int kBatchSizes[] = {1, 7, 1024, 4096};
+
+Result<ResultSet> RunEngine(const Database& db, const Query& query,
+                            const PlanPtr& plan, bool vectorized,
+                            int batch_size = 1024,
+                            FaultInjector* faults = nullptr,
+                            PlanRunStats* stats = nullptr) {
+  ExecOptions options;
+  options.vectorized = vectorized ? 1 : 0;
+  options.batch_size = batch_size;
+  options.faults = faults;
+  options.stats = stats;
+  return ExecutePlan(db, query, plan, options);
+}
+
+void ExpectEnginesAgree(const Database& db, const Query& query,
+                        const PlanPtr& plan) {
+  auto oracle = RunEngine(db, query, plan, /*vectorized=*/false);
+  ASSERT_TRUE(oracle.ok()) << oracle.status().ToString() << "\nplan:\n"
+                           << ExplainPlan(*plan, query);
+  std::vector<Tuple> want = CanonicalRows(oracle.value().rows);
+  for (int batch_size : kBatchSizes) {
+    auto got = RunEngine(db, query, plan, /*vectorized=*/true, batch_size);
+    ASSERT_TRUE(got.ok()) << got.status().ToString() << "\nbatch_size="
+                          << batch_size << "\nplan:\n"
+                          << ExplainPlan(*plan, query);
+    ASSERT_EQ(got.value().schema, oracle.value().schema)
+        << "schema diverged at batch_size=" << batch_size;
+    std::vector<Tuple> have = CanonicalRows(got.value().rows);
+    ASSERT_EQ(have.size(), want.size())
+        << "row count diverged at batch_size=" << batch_size << "\nplan:\n"
+        << ExplainPlan(*plan, query);
+    for (size_t i = 0; i < want.size(); ++i) {
+      ASSERT_EQ(have[i].size(), want[i].size());
+      for (size_t j = 0; j < want[i].size(); ++j) {
+        ASSERT_EQ(have[i][j].Compare(want[i][j]), 0)
+            << "row " << i << " col " << j << " diverged at batch_size="
+            << batch_size << "\nplan:\n" << ExplainPlan(*plan, query);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Optimizer-produced plans: every alternative in the final SAP, every join
+// flavor the rule set can emit.
+// ---------------------------------------------------------------------------
+
+void SweepQuery(const Database& db, const Catalog& catalog,
+                const std::string& sql) {
+  auto query_r = ParseSql(catalog, sql);
+  ASSERT_TRUE(query_r.ok()) << query_r.status().ToString();
+  const Query& query = query_r.value();
+  DefaultRuleOptions rule_opts;
+  rule_opts.merge_join = true;
+  rule_opts.hash_join = true;
+  rule_opts.dynamic_index = true;
+  rule_opts.forced_projection = true;
+  Optimizer opt(DefaultRuleSet(rule_opts));
+  auto result = opt.Optimize(query);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const SAP& plans = result.value().final_plans;
+  ASSERT_GE(plans.size(), 1u) << sql;
+  for (const PlanPtr& plan : plans) {
+    ExpectEnginesAgree(db, query, plan);
+  }
+}
+
+TEST(ExecEquivalenceTest, PaperQueriesAgreeAcrossEnginesAndBatchSizes) {
+  Catalog catalog = MakePaperCatalog();
+  Database db(catalog);
+  ASSERT_TRUE(PopulatePaperDatabase(&db, /*seed=*/7, /*scale=*/0.05).ok());
+  SweepQuery(db, catalog,
+             "SELECT EMP.NAME, EMP.ADDRESS FROM DEPT, EMP "
+             "WHERE DEPT.MGR = 'Haas' AND DEPT.DNO = EMP.DNO");
+  SweepQuery(db, catalog,
+             "SELECT EMP.NAME, EMP.SALARY FROM EMP "
+             "WHERE EMP.SALARY >= 100000 ORDER BY EMP.SALARY");
+  // Cross-table residual (SALARY vs BUDGET) rides on top of the equality
+  // key: exercises the residual-only check after MG/HA key matching.
+  SweepQuery(db, catalog,
+             "SELECT DEPT.DNAME, EMP.NAME FROM DEPT, EMP "
+             "WHERE DEPT.DNO = EMP.DNO AND EMP.SALARY >= DEPT.BUDGET");
+}
+
+TEST(ExecEquivalenceTest, SyntheticChainAgreesAcrossEngines) {
+  SyntheticCatalogOptions opts;
+  opts.num_tables = 4;
+  opts.min_rows = 200;
+  opts.max_rows = 2000;
+  opts.seed = 11;
+  Catalog catalog = MakeSyntheticCatalog(opts);
+  Database db(catalog);
+  ASSERT_TRUE(PopulateDatabase(&db, /*seed=*/3, /*scale=*/0.1).ok());
+  SweepQuery(db, catalog,
+             "SELECT T0.id, T3.c0 FROM T0, T1, T2, T3 WHERE "
+             "T1.fk0 = T0.id AND T2.fk0 = T1.id AND "
+             "T3.fk0 = T2.id AND T0.c0 = 1");
+}
+
+// ---------------------------------------------------------------------------
+// Hand-built plans: NULL join keys and correlated nested loops, where the
+// engines' structure differs the most.
+// ---------------------------------------------------------------------------
+
+class EngineParityTest : public ::testing::Test {
+ protected:
+  EngineParityTest()
+      : catalog_(MakePaperCatalog()),
+        db_(catalog_),
+        query_(ParseSql(catalog_,
+                        "SELECT EMP.NAME, EMP.ADDRESS FROM DEPT, EMP WHERE "
+                        "DEPT.MGR = 'Haas' AND DEPT.DNO = EMP.DNO")
+                   .ValueOrDie()),
+        factory_(query_, cost_model_, registry_) {
+    EXPECT_TRUE(RegisterBuiltinOperators(&registry_).ok());
+    StoredTable* dept = db_.FindTable("DEPT").ValueOrDie();
+    for (int64_t d = 0; d < 4; ++d) {
+      std::string mgr = (d % 2 == 0) ? "Haas" : "Other";
+      EXPECT_TRUE(dept->Insert({Datum(d), Datum(mgr),
+                                Datum("dept" + std::to_string(d)),
+                                Datum(int64_t{100})})
+                      .ok());
+    }
+    // A department whose DNO is NULL: it must never join.
+    EXPECT_TRUE(dept->Insert({Datum::NullValue(), Datum(std::string("Haas")),
+                              Datum(std::string("limbo")),
+                              Datum(int64_t{100})})
+                    .ok());
+    StoredTable* emp = db_.FindTable("EMP").ValueOrDie();
+    for (int64_t e = 0; e < 12; ++e) {
+      EXPECT_TRUE(emp->Insert({Datum(e), Datum(e % 4),
+                               Datum("emp" + std::to_string(e)),
+                               Datum("addr" + std::to_string(e)),
+                               Datum(int64_t{1000 * (e + 1)})})
+                      .ok());
+    }
+    // And two employees with NULL DNO.
+    for (int64_t e = 90; e < 92; ++e) {
+      EXPECT_TRUE(emp->Insert({Datum(e), Datum::NullValue(),
+                               Datum("ghost" + std::to_string(e)),
+                               Datum(std::string("nowhere")),
+                               Datum(int64_t{0})})
+                      .ok());
+    }
+    EXPECT_TRUE(db_.Finalize().ok());
+  }
+
+  ColumnRef Col(const char* alias, const char* name) {
+    return query_.ResolveColumn(alias, name).ValueOrDie();
+  }
+
+  PlanPtr DeptScan(PredSet preds = PredSet::Single(0)) {
+    OpArgs args;
+    args.Set(arg::kQuantifier, int64_t{0});
+    args.Set(arg::kCols, std::vector<ColumnRef>{Col("DEPT", "DNO"),
+                                                Col("DEPT", "MGR")});
+    args.Set(arg::kPreds, preds);
+    return factory_.Make(op::kAccess, flavor::kHeap, {}, std::move(args))
+        .ValueOrDie();
+  }
+
+  PlanPtr EmpScan(PredSet preds = PredSet{}) {
+    OpArgs args;
+    args.Set(arg::kQuantifier, int64_t{1});
+    args.Set(arg::kCols,
+             std::vector<ColumnRef>{Col("EMP", "DNO"), Col("EMP", "NAME"),
+                                    Col("EMP", "ADDRESS")});
+    args.Set(arg::kPreds, preds);
+    return factory_.Make(op::kAccess, flavor::kHeap, {}, std::move(args))
+        .ValueOrDie();
+  }
+
+  PlanPtr Sorted(PlanPtr input, ColumnRef key) {
+    OpArgs args;
+    args.Set(arg::kOrder, std::vector<ColumnRef>{key});
+    return factory_.Make(op::kSort, "", {std::move(input)}, std::move(args))
+        .ValueOrDie();
+  }
+
+  PlanPtr Join(const std::string& flavor, PlanPtr outer, PlanPtr inner) {
+    OpArgs join;
+    join.Set(arg::kJoinPreds, PredSet::Single(1));
+    join.Set(arg::kResidualPreds, PredSet{});
+    return factory_
+        .Make(op::kJoin, flavor, {std::move(outer), std::move(inner)},
+              std::move(join))
+        .ValueOrDie();
+  }
+
+  Catalog catalog_;
+  Database db_;
+  Query query_;
+  CostModel cost_model_;
+  OperatorRegistry registry_;
+  PlanFactory factory_;
+};
+
+TEST_F(EngineParityTest, MergeJoinSkipsNullKeysInBothEngines) {
+  // NULL sorts first, so both merge inputs lead with the NULL-key rows the
+  // join must step over without matching (and without erroring).
+  PlanPtr mg = Join(flavor::kMG, Sorted(DeptScan(), Col("DEPT", "DNO")),
+                    Sorted(EmpScan(), Col("EMP", "DNO")));
+  auto oracle = RunEngine(db_, query_, mg, /*vectorized=*/false);
+  ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+  EXPECT_EQ(oracle.value().rows.size(), 6u);  // Haas depts 0,2 × 3 emps each
+  ExpectEnginesAgree(db_, query_, mg);
+}
+
+TEST_F(EngineParityTest, HashJoinSkipsNullKeysInBothEngines) {
+  PlanPtr ha = Join(flavor::kHA, DeptScan(), EmpScan());
+  auto oracle = RunEngine(db_, query_, ha, /*vectorized=*/false);
+  ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+  EXPECT_EQ(oracle.value().rows.size(), 6u);  // NULL build and probe keys skip
+  ExpectEnginesAgree(db_, query_, ha);
+}
+
+TEST_F(EngineParityTest, CorrelatedInnerReopensPerOuterRowUnderVectorization) {
+  // Inner EMP scan carries the join predicate (sideways information
+  // passing): it must be re-evaluated for each of the three Haas outer rows
+  // (DNO 0, 2, and the NULL-DNO one), not once against a stale binding.
+  PlanPtr nl = Join(flavor::kNL, DeptScan(), EmpScan(PredSet::Single(1)));
+  PlanRunStats stats;
+  auto rs = RunEngine(db_, query_, nl, /*vectorized=*/true, /*batch_size=*/3,
+                      /*faults=*/nullptr, &stats);
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs.value().rows.size(), 6u);
+  const PlanOp* inner = nl->inputs[1].get();
+  ASSERT_TRUE(stats.count(inner));
+  EXPECT_EQ(stats.at(inner).invocations, 3);  // one Open per Haas department
+  ExpectEnginesAgree(db_, query_, nl);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injection parity: per-site hit counts match between engines, so an
+// nth-hit spec either trips both (same status) or trips neither (same rows).
+// ---------------------------------------------------------------------------
+
+TEST_F(EngineParityTest, FaultSitesTripIdenticallyInBothEngines) {
+  // A plan exercising every exec fault site: scans, STORE into a temp, a
+  // correlated temp probe per outer row, the join itself, and a final sort.
+  auto make_plan = [this] {
+    OpArgs store;
+    store.Set(arg::kTempName, std::string("t"));
+    PlanPtr stored =
+        factory_.Make(op::kStore, "", {EmpScan()}, std::move(store))
+            .ValueOrDie();
+    OpArgs probe;
+    probe.Set(arg::kPreds, PredSet::Single(1));  // correlated join pred
+    PlanPtr temp_access =
+        factory_.Make(op::kAccess, flavor::kTemp, {stored}, std::move(probe))
+            .ValueOrDie();
+    PlanPtr nl = Join(flavor::kNL, DeptScan(), std::move(temp_access));
+    OpArgs sort;
+    sort.Set(arg::kOrder, std::vector<ColumnRef>{Col("EMP", "NAME")});
+    return factory_.Make(op::kSort, "", {std::move(nl)}, std::move(sort))
+        .ValueOrDie();
+  };
+  PlanPtr plan = make_plan();
+
+  const char* specs[] = {
+      "exec.scan.open=1",  "exec.scan.open=2", "exec.scan.open=3",
+      "exec.store.run=1",  "exec.temp.probe=1", "exec.temp.probe=2",
+      "exec.temp.probe=3", "exec.join.run=1",  "exec.sort.run=1",
+  };
+  for (const char* spec : specs) {
+    FaultInjector legacy_faults, vec_faults;
+    ASSERT_TRUE(legacy_faults.Configure(spec).ok());
+    ASSERT_TRUE(vec_faults.Configure(spec).ok());
+    auto oracle =
+        RunEngine(db_, query_, plan, /*vectorized=*/false, 1024,
+                  &legacy_faults);
+    auto vec = RunEngine(db_, query_, plan, /*vectorized=*/true, 1024,
+                         &vec_faults);
+    ASSERT_EQ(oracle.ok(), vec.ok())
+        << spec << ": legacy " << oracle.status().ToString() << " vs batch "
+        << vec.status().ToString();
+    if (!oracle.ok()) {
+      EXPECT_EQ(oracle.status().ToString(), vec.status().ToString()) << spec;
+    } else {
+      EXPECT_EQ(CanonicalRows(oracle.value().rows),
+                CanonicalRows(vec.value().rows))
+          << spec;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace starburst
