@@ -10,6 +10,7 @@
 #include "cost/cost_model.h"
 #include "exec/evaluator.h"
 #include "glue/glue.h"
+#include "obs/profiler.h"
 #include "optimizer/plan_table.h"
 #include "properties/property_functions.h"
 #include "star/builtins.h"
@@ -147,6 +148,81 @@ void PrintExecArtifact() {
       rows, legacy, vec, vec / legacy);
 }
 
+// The observability-overhead claim: profiling must be opt-in at run time
+// with near-zero cost when off (one predicted branch per batch) and a
+// small, bounded cost when on. Same scan-filter as E6b, vectorized engine,
+// profiler off vs on, best-of-several so scheduler noise does not leak
+// into the ratio.
+void PrintProfileArtifact() {
+  bench::PrintHeader(
+      "E6c: profiler overhead, off vs on",
+      "per-operator wall time, row counts, and memory accounting behind one "
+      "branch per batch");
+  Catalog catalog = MakePaperCatalog();
+  Database db(catalog);
+  if (!PopulatePaperDatabase(&db, /*seed=*/23, /*scale=*/1.0).ok())
+    std::abort();
+  Query query = bench::MustParse(
+      catalog, "SELECT EMP.NAME FROM EMP WHERE EMP.SALARY >= 100000");
+
+  CostModel cost_model;
+  OperatorRegistry operators;
+  if (!RegisterBuiltinOperators(&operators).ok()) std::abort();
+  PlanFactory factory(query, cost_model, operators);
+  OpArgs args;
+  args.Set(arg::kQuantifier, int64_t{0});
+  args.Set(arg::kCols, std::vector<ColumnRef>{
+                           query.ResolveColumn("EMP", "NAME").ValueOrDie()});
+  args.Set(arg::kPreds, PredSet::Single(0));
+  PlanPtr scan =
+      factory.Make(op::kAccess, flavor::kHeap, {}, std::move(args))
+          .ValueOrDie();
+
+  ExecProfile sink;
+  size_t rows = 0;
+  // Best-of-kRepeats wall time for kIters executions; the minimum is the
+  // least-noisy estimate of the true cost on a shared machine.
+  auto best_secs = [&](bool profiled) {
+    ExecOptions options;
+    options.vectorized = 1;
+    options.profile = profiled ? 1 : 0;
+    if (profiled) options.profile_sink = &sink;
+    auto warm = ExecutePlan(db, query, scan, options).ValueOrDie();
+    rows = warm.rows.size();
+    const int kIters = 30;
+    const int kRepeats = 5;
+    double best = 1e100;
+    for (int r = 0; r < kRepeats; ++r) {
+      auto start = std::chrono::steady_clock::now();
+      for (int i = 0; i < kIters; ++i) {
+        auto rs = ExecutePlan(db, query, scan, options);
+        if (!rs.ok()) std::abort();
+        benchmark::DoNotOptimize(rs.value().rows.data());
+      }
+      double secs = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count() /
+                    kIters;
+      if (secs < best) best = secs;
+    }
+    return best;
+  };
+  double off = best_secs(false);
+  double on = best_secs(true);
+  double overhead_pct = (on / off - 1.0) * 100.0;
+  const double kBoundPct = 3.0;
+  std::printf("%-28s | %12s | %12s | %9s\n", "EMP scan-filter (vectorized)",
+              "off us/exec", "on us/exec", "overhead");
+  std::printf("%-28s | %12.1f | %12.1f | %8.2f%%\n", "SALARY >= 100000",
+              off * 1e6, on * 1e6, overhead_pct);
+  std::printf(
+      "BENCH_JSON {\"bench\":\"profiler_overhead\",\"rows\":%zu,"
+      "\"off_us\":%.1f,\"on_us\":%.1f,\"overhead_pct\":%.2f,"
+      "\"bound_pct\":%.1f,\"profile_overhead_ok\":%s}\n\n",
+      rows, off * 1e6, on * 1e6, overhead_pct, kBoundPct,
+      overhead_pct <= kBoundPct ? "true" : "false");
+}
+
 void BM_EvalAccessRoot(benchmark::State& state) {
   InterpSetup s;
   std::vector<RuleValue> args{RuleValue(s.Spec(1)), RuleValue(PredSet{})};
@@ -243,6 +319,7 @@ BENCHMARK(BM_ConditionEvaluation);
 int main(int argc, char** argv) {
   starburst::PrintArtifact();
   starburst::PrintExecArtifact();
+  starburst::PrintProfileArtifact();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

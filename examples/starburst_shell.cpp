@@ -17,7 +17,8 @@
 //                         bloomjoin | tid_sort | index_and
 //   \load <file>          load/replace STARs from a rule file
 //   \catalog              list tables, columns, indexes, sites
-//   \metrics              optimizer effort counters + metrics registry
+//   \metrics [prom]       optimizer effort counters + metrics registry
+//                         (prom = Prometheus text exposition)
 //   \threads [n]          show/set join-enumeration worker threads
 //   \budget [spec]        show/set optimizer budgets (deadline_ms=, plans=,
 //                         bytes=; 0 = unlimited, "off" clears all)
@@ -25,6 +26,12 @@
 //   \vectorized [on|off]  show/set the execution engine (batch pipeline vs
 //                         the legacy row-at-a-time oracle)
 //   \batchsize [n]        show/set rows per batch (0 = env default)
+//   \profile [on|off|json] show/set per-operator execution profiling (wall
+//                         time, rows, memory, operator detail); json dumps
+//                         the last profile
+//   \workload [json|clear] workload statistics repository: per-query records
+//                         and per-(table, predicate-shape) cardinality
+//                         feedback aggregated across runs
 //   \help, \quit
 
 #include <cstdio>
@@ -38,7 +45,9 @@
 #include "exec/batch.h"
 #include "exec/evaluator.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
+#include "obs/workload.h"
 #include "optimizer/optimizer.h"
 #include "plan/explain.h"
 #include "sql/parser.h"
@@ -88,7 +97,6 @@ void PrintHelp() {
       "                      bloomjoin, tid_sort, index_and\n"
       "  \\load <file>        load/replace STARs from a rule file\n"
       "  \\catalog            show tables and indexes\n"
-      "  \\metrics            effort counters + metrics registry snapshot\n"
       "  \\threads [n]        show/set join-enumeration threads (0 = hw)\n"
       "  \\memo [on|off]      show/toggle the shared expansion memo and\n"
       "                      augmented-plan cache (memo.* in \\metrics)\n"
@@ -99,6 +107,13 @@ void PrintHelp() {
       "  \\vectorized [on|off] show/set the execution engine (on = batch\n"
       "                      pipeline, off = row-at-a-time oracle)\n"
       "  \\batchsize [n]      show/set rows per batch (0 = env default)\n"
+      "  \\profile [on|off]   show/set per-operator profiling (time, rows,\n"
+      "                      memory, hash/sort/predicate detail; shown by\n"
+      "                      \\analyze); \\profile json dumps the last one\n"
+      "  \\workload [json]    per-query records and (table, pred-shape)\n"
+      "                      cardinality feedback ('clear' resets)\n"
+      "  \\metrics [prom]     effort counters + registry (prom = Prometheus\n"
+      "                      text exposition)\n"
       "  \\quit               exit\n");
 }
 
@@ -111,6 +126,9 @@ struct Shell {
   OptimizeResult last;
   int vectorized = -1;  // -1 env default, 0 legacy interpreter, 1 batch
   int batch_size = 0;   // 0 env default
+  int profile = -1;     // -1 env default (STARBURST_PROFILE), 0 off, 1 on
+  ExecProfile last_profile;
+  WorkloadRepository workload;
 
   Shell()
       : catalog(MakePaperCatalog()),
@@ -163,6 +181,14 @@ struct Shell {
     exec_opts.vectorized = vectorized;
     exec_opts.batch_size = batch_size;
     if (analyze) exec_opts.stats = &run_stats;
+    bool profiling =
+        profile == 1 || (profile == -1 && DefaultProfileEnabled());
+    if (profiling) {
+      exec_opts.profile_sink = &last_profile;
+      exec_opts.workload = &workload;
+    } else {
+      exec_opts.profile = 0;
+    }
     ScopedTimer exec_timer(&metrics, "exec.run");
     auto rs = ExecutePlan(db, query, last.best, exec_opts);
     exec_timer.Stop();
@@ -176,6 +202,7 @@ struct Shell {
       ExplainOptions opts;
       opts.analyze = true;
       opts.run_stats = &run_stats;
+      if (profiling) opts.profile = &last_profile;
       std::printf("plan (cost %.1f) with actuals:\n%s", last.total_cost,
                   ExplainPlan(*last.best, query, opts).c_str());
       std::printf("(%zu row(s))\n", rs.value().rows.size());
@@ -283,6 +310,10 @@ struct Shell {
       std::printf("enumeration threads set to %ld%s\n", n,
                   n == 0 ? " (hardware concurrency)" : "");
     } else if (cmd == "\\metrics") {
+      if (rest == "prom") {
+        std::printf("%s", metrics.TakeSnapshot().ToPrometheus().c_str());
+        return;
+      }
       std::printf("engine: %s\nglue:   %s\ntable:  %s\nenum:   %s\n"
                   "memo:   %s\n",
                   last.engine_metrics.ToString().c_str(),
@@ -295,6 +326,64 @@ struct Shell {
       }
       std::printf("registry (cumulative):\n%s",
                   metrics.TakeSnapshot().ToText().c_str());
+    } else if (cmd == "\\profile") {
+      if (rest == "on") {
+        profile = 1;
+      } else if (rest == "off") {
+        profile = 0;
+      } else if (rest == "json") {
+        if (last_profile.empty()) {
+          std::printf("no profile recorded (\\profile on, then run a "
+                      "query)\n");
+        } else {
+          std::printf("%s\n", last_profile.ToJson().c_str());
+        }
+        return;
+      } else if (!rest.empty()) {
+        std::printf("usage: \\profile [on|off|json]\n");
+        return;
+      }
+      std::printf("profiling: %s\n",
+                  profile == 1   ? "on"
+                  : profile == 0 ? "off"
+                                 : "environment default (STARBURST_PROFILE)");
+    } else if (cmd == "\\workload") {
+      if (rest == "clear") {
+        workload.Clear();
+        std::printf("workload repository cleared\n");
+        return;
+      }
+      if (rest == "json") {
+        std::printf("%s\n", workload.ToJson().c_str());
+        return;
+      }
+      if (!rest.empty()) {
+        std::printf("usage: \\workload [json|clear]\n");
+        return;
+      }
+      if (workload.size() == 0) {
+        std::printf("workload repository empty (\\profile on, then run "
+                    "queries)\n");
+        return;
+      }
+      std::printf("queries (%zu of %zu slots):\n", workload.size(),
+                  workload.capacity());
+      for (const WorkloadQueryRecord& r : workload.Records()) {
+        std::printf("  %s runs=%lld rows=%lld time=%.0fus peak=%lldB "
+                    "max_qerr=%.2f\n    %s\n",
+                    r.digest.c_str(), static_cast<long long>(r.runs),
+                    static_cast<long long>(r.last_rows), r.last_total_micros,
+                    static_cast<long long>(r.last_peak_bytes), r.max_q_error,
+                    r.normalized.c_str());
+      }
+      std::printf("table/predicate-shape feedback:\n");
+      for (const TableShapeStats& s : workload.TableStats()) {
+        std::printf("  %-8s %-40s n=%lld est=%.1f actual=%.1f "
+                    "mean_qerr=%.2f max_qerr=%.2f\n",
+                    s.table.c_str(), s.shape.c_str(),
+                    static_cast<long long>(s.observations), s.est_rows,
+                    s.actual_rows, s.mean_q_error(), s.max_q_error);
+      }
     } else if (cmd == "\\budget") {
       OptimizerOptions& opts = optimizer.options();
       if (rest.empty()) {

@@ -9,6 +9,7 @@
 #include "common/fault_injector.h"
 #include "exec/hash_table.h"
 #include "exec/pred_program.h"
+#include "obs/profiler.h"
 #include "storage/index.h"
 
 namespace starburst {
@@ -37,32 +38,67 @@ struct VecAccess {
 };
 
 // ---------------------------------------------------------------------------
-// BatchIterator base: stats instrumentation around the virtual hooks
+// BatchIterator base: stats/profile instrumentation around the virtual hooks
 // ---------------------------------------------------------------------------
 
 Status BatchIterator::Open() {
-  if (rt_->stats == nullptr) return DoOpen();
+  if (!rt_->instrumented) return DoOpen();
   auto start = std::chrono::steady_clock::now();
   Status s = DoOpen();
-  OpRunStats& st = (*rt_->stats)[node_];
-  ++st.invocations;
-  st.wall_micros += std::chrono::duration<double, std::micro>(
-                        std::chrono::steady_clock::now() - start)
-                        .count();
+  double us = std::chrono::duration<double, std::micro>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+  if (rt_->stats != nullptr) {
+    OpRunStats& st = (*rt_->stats)[node_];
+    ++st.invocations;
+    st.wall_micros += us;
+  }
+  if (rt_->profile != nullptr) {
+    OpProfile& p = rt_->profile->at(node_);
+    ++p.opens;
+    p.open_micros += us;
+  }
   return s;
 }
 
 Status BatchIterator::Next(RowBatch* out) {
   out->clear();
-  if (rt_->stats == nullptr) return DoNext(out);
+  if (!rt_->instrumented) return DoNext(out);
   auto start = std::chrono::steady_clock::now();
   Status s = DoNext(out);
-  OpRunStats& st = (*rt_->stats)[node_];
-  st.rows += static_cast<int64_t>(out->rows.size());
-  if (!out->rows.empty()) ++st.batches;
-  st.wall_micros += std::chrono::duration<double, std::micro>(
-                        std::chrono::steady_clock::now() - start)
-                        .count();
+  double us = std::chrono::duration<double, std::micro>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+  if (rt_->stats != nullptr) {
+    OpRunStats& st = (*rt_->stats)[node_];
+    st.rows += static_cast<int64_t>(out->rows.size());
+    if (!out->rows.empty()) ++st.batches;
+    st.wall_micros += us;
+  }
+  if (rt_->profile != nullptr) {
+    OpProfile& p = rt_->profile->at(node_);
+    ++p.next_calls;
+    p.rows_out += static_cast<int64_t>(out->rows.size());
+    if (!out->rows.empty()) ++p.batches_out;
+    p.next_micros += us;
+  }
+  return s;
+}
+
+Status BatchIterator::Close() {
+  if (closed_) return Status::OK();
+  closed_ = true;
+  if (!rt_->instrumented) return DoClose();
+  auto start = std::chrono::steady_clock::now();
+  Status s = DoClose();
+  double us = std::chrono::duration<double, std::micro>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+  if (rt_->profile != nullptr) {
+    OpProfile& p = rt_->profile->at(node_);
+    ++p.closes;
+    p.close_micros += us;
+  }
   return s;
 }
 
@@ -139,8 +175,16 @@ Result<RowsPtr> MaterializeSubtree(VecRuntime* rt, const PlanOp& node,
   STARBURST_RETURN_NOT_OK(it.value()->Open());
   auto rows = std::make_shared<std::vector<Tuple>>();
   STARBURST_RETURN_NOT_OK(DrainInto(it.value().get(), rows.get()));
+  STARBURST_RETURN_NOT_OK(it.value()->Close());
   RowsPtr ptr = std::move(rows);
-  if (!rt->exec->IsCorrelated(node)) cache[&node] = ptr;
+  if (!rt->exec->IsCorrelated(node)) {
+    cache[&node] = ptr;
+    if (rt->profile != nullptr) {
+      // Cached materializations live until the run releases its caches;
+      // charge them to the node that produced the rows.
+      rt->profile->ChargeBytes(&node, RowsApproxBytes(*ptr));
+    }
+  }
   return ptr;
 }
 
@@ -199,9 +243,19 @@ class HeapScanIterator : public BatchIterator {
       }
       ++tid_;
       ProgramCtx ctx{&t, rt_->env, &base};
+      ++pred_evals_;
       auto keep = preds_.Eval(ctx);
       if (!keep.ok()) return keep.status();
       if (keep.value()) out->rows.push_back(std::move(t));
+    }
+    return Status::OK();
+  }
+
+  Status DoClose() override {
+    if (rt_->profile != nullptr && pred_evals_ > 0) {
+      OpProfile& p = rt_->profile->at(node_);
+      p.pred_evals += pred_evals_;
+      p.pred_steps += pred_evals_ * static_cast<int64_t>(preds_.size());
     }
     return Status::OK();
   }
@@ -213,6 +267,7 @@ class HeapScanIterator : public BatchIterator {
   Schema schema_;
   PredProgram preds_;
   Tid tid_ = 0;
+  int64_t pred_evals_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -304,9 +359,19 @@ class IndexScanIterator : public BatchIterator {
         }
       }
       ProgramCtx ctx{&t, rt_->env, &base};
+      ++pred_evals_;
       auto keep = preds_.Eval(ctx);
       if (!keep.ok()) return keep.status();
       if (keep.value()) out->rows.push_back(std::move(t));
+    }
+    return Status::OK();
+  }
+
+  Status DoClose() override {
+    if (rt_->profile != nullptr && pred_evals_ > 0) {
+      OpProfile& p = rt_->profile->at(node_);
+      p.pred_evals += pred_evals_;
+      p.pred_steps += pred_evals_ * static_cast<int64_t>(preds_.size());
     }
     return Status::OK();
   }
@@ -323,6 +388,7 @@ class IndexScanIterator : public BatchIterator {
   std::vector<const SecondaryIndex::Entry*> pref_entries_;
   bool use_prefix_ = false;
   size_t cursor_ = 0;
+  int64_t pred_evals_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -381,6 +447,14 @@ class TempAccessIterator : public BatchIterator {
                          return false;
                        });
       sorted_ready_ = true;
+      if (rt_->profile != nullptr) {
+        if (charged_ > 0) rt_->profile->ReleaseBytes(node_, charged_);
+        charged_ = RowsApproxBytes(sorted_rows_);
+        rt_->profile->ChargeBytes(node_, charged_);
+        OpProfile& p = rt_->profile->at(node_);
+        p.sort_rows += static_cast<int64_t>(sorted_rows_.size());
+        p.sort_bytes += charged_;
+      }
     }
     cursor_ = 0;
     return Status::OK();
@@ -392,9 +466,25 @@ class TempAccessIterator : public BatchIterator {
     while (!BatchFull(*out, *rt_) && cursor_ < src.size()) {
       const Tuple& t = src[cursor_++];
       ProgramCtx ctx{&t, rt_->env, nullptr};
+      ++pred_evals_;
       auto keep = preds_.Eval(ctx);
       if (!keep.ok()) return keep.status();
       if (keep.value()) out->rows.push_back(t);
+    }
+    return Status::OK();
+  }
+
+  Status DoClose() override {
+    if (rt_->profile != nullptr) {
+      if (charged_ > 0) {
+        rt_->profile->ReleaseBytes(node_, charged_);
+        charged_ = 0;
+      }
+      if (pred_evals_ > 0) {
+        OpProfile& p = rt_->profile->at(node_);
+        p.pred_evals += pred_evals_;
+        p.pred_steps += pred_evals_ * static_cast<int64_t>(preds_.size());
+      }
     }
     return Status::OK();
   }
@@ -408,6 +498,8 @@ class TempAccessIterator : public BatchIterator {
   std::vector<Tuple> sorted_rows_;
   bool sorted_ready_ = false;
   size_t cursor_ = 0;
+  int64_t pred_evals_ = 0;
+  int64_t charged_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -469,11 +561,21 @@ class GetIterator : public BatchIterator {
         t.push_back(base[static_cast<size_t>(c.column)]);
       }
       ProgramCtx ctx{&t, rt_->env, &base};
+      ++pred_evals_;
       auto keep = preds_.Eval(ctx);
       if (!keep.ok()) return keep.status();
       if (keep.value()) out->rows.push_back(std::move(t));
     }
     return Status::OK();
+  }
+
+  Status DoClose() override {
+    if (rt_->profile != nullptr && pred_evals_ > 0) {
+      OpProfile& p = rt_->profile->at(node_);
+      p.pred_evals += pred_evals_;
+      p.pred_steps += pred_evals_ * static_cast<int64_t>(preds_.size());
+    }
+    return child_->Close();
   }
 
  private:
@@ -486,6 +588,7 @@ class GetIterator : public BatchIterator {
   PredProgram preds_;
   RowBatch in_batch_;
   size_t in_pos_ = 0;
+  int64_t pred_evals_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -515,6 +618,7 @@ class SortIterator : public BatchIterator {
     drained_ = false;
     rows_.clear();
     pos_ = 0;
+    ReleaseCharge();
     return Status::OK();
   }
 
@@ -531,6 +635,13 @@ class SortIterator : public BatchIterator {
                          return false;
                        });
       drained_ = true;
+      if (rt_->profile != nullptr) {
+        charged_ = RowsApproxBytes(rows_);
+        rt_->profile->ChargeBytes(node_, charged_);
+        OpProfile& p = rt_->profile->at(node_);
+        p.sort_rows += static_cast<int64_t>(rows_.size());
+        p.sort_bytes += charged_;
+      }
     }
     while (!BatchFull(*out, *rt_) && pos_ < rows_.size()) {
       out->rows.push_back(std::move(rows_[pos_++]));
@@ -538,13 +649,26 @@ class SortIterator : public BatchIterator {
     return Status::OK();
   }
 
+  Status DoClose() override {
+    ReleaseCharge();
+    return child_->Close();
+  }
+
  private:
+  void ReleaseCharge() {
+    if (charged_ > 0 && rt_->profile != nullptr) {
+      rt_->profile->ReleaseBytes(node_, charged_);
+    }
+    charged_ = 0;
+  }
+
   std::unique_ptr<BatchIterator> child_;
   bool compiled_ = false;
   std::vector<int> slots_;
   std::vector<Tuple> rows_;
   bool drained_ = false;
   size_t pos_ = 0;
+  int64_t charged_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -564,6 +688,8 @@ class StoreLikeIterator : public BatchIterator {
   }
 
   Status DoNext(RowBatch* out) override { return child_->Next(out); }
+
+  Status DoClose() override { return child_->Close(); }
 
  private:
   std::unique_ptr<BatchIterator> child_;
@@ -607,11 +733,21 @@ class FilterIterator : public BatchIterator {
       }
       Tuple& t = in_batch_.rows[in_pos_++];
       ProgramCtx ctx{&t, rt_->env, nullptr};
+      ++pred_evals_;
       auto keep = preds_.Eval(ctx);
       if (!keep.ok()) return keep.status();
       if (keep.value()) out->rows.push_back(std::move(t));
     }
     return Status::OK();
+  }
+
+  Status DoClose() override {
+    if (rt_->profile != nullptr && pred_evals_ > 0) {
+      OpProfile& p = rt_->profile->at(node_);
+      p.pred_evals += pred_evals_;
+      p.pred_steps += pred_evals_ * static_cast<int64_t>(preds_.size());
+    }
+    return child_->Close();
   }
 
  private:
@@ -620,6 +756,7 @@ class FilterIterator : public BatchIterator {
   PredProgram preds_;
   RowBatch in_batch_;
   size_t in_pos_ = 0;
+  int64_t pred_evals_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -678,6 +815,10 @@ class ProjectIterator : public BatchIterator {
                                 }),
                     rows_.end());
         drained_ = true;
+        if (rt_->profile != nullptr) {
+          charged_ = RowsApproxBytes(rows_);
+          rt_->profile->ChargeBytes(node_, charged_);
+        }
       }
       while (!BatchFull(*out, *rt_) && pos_ < rows_.size()) {
         out->rows.push_back(std::move(rows_[pos_++]));
@@ -693,6 +834,14 @@ class ProjectIterator : public BatchIterator {
       out->rows.push_back(Project(in_batch_.rows[in_pos_++]));
     }
     return Status::OK();
+  }
+
+  Status DoClose() override {
+    if (charged_ > 0 && rt_->profile != nullptr) {
+      rt_->profile->ReleaseBytes(node_, charged_);
+      charged_ = 0;
+    }
+    return child_->Close();
   }
 
  private:
@@ -712,6 +861,7 @@ class ProjectIterator : public BatchIterator {
   std::vector<Tuple> rows_;
   bool drained_ = false;
   size_t pos_ = 0;
+  int64_t charged_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -783,6 +933,11 @@ class TidAndIterator : public BatchIterator {
     return Status::OK();
   }
 
+  Status DoClose() override {
+    STARBURST_RETURN_NOT_OK(a_->Close());
+    return b_->Close();
+  }
+
  private:
   std::unique_ptr<BatchIterator> a_;
   std::unique_ptr<BatchIterator> b_;
@@ -835,6 +990,7 @@ class FilterByIterator : public BatchIterator {
       compiled_ = true;
     }
     built_ = false;
+    ReleaseCharge();
     ht_.reset();
     in_batch_.clear();
     in_pos_ = 0;
@@ -863,6 +1019,15 @@ class FilterByIterator : public BatchIterator {
                     0);
       }
       built_ = true;
+      if (rt_->profile != nullptr) {
+        charged_ = ht_->ApproxBytes();
+        rt_->profile->ChargeBytes(node_, charged_);
+        OpProfile& p = rt_->profile->at(node_);
+        p.hash_build_rows += static_cast<int64_t>(ht_->num_rows());
+        p.hash_groups += static_cast<int64_t>(ht_->num_groups());
+        p.hash_buckets += static_cast<int64_t>(ht_->num_slots());
+        p.hash_bytes += charged_;
+      }
     }
     while (!BatchFull(*out, *rt_)) {
       if (in_pos_ >= in_batch_.rows.size()) {
@@ -880,6 +1045,7 @@ class FilterByIterator : public BatchIterator {
         key_buf_[static_cast<size_t>(k)] = std::move(v).value();
       }
       if (null_key) continue;
+      ++probes_;
       if (ht_->FindGroup(key_buf_.data(),
                          JoinHashTable::HashKey(key_buf_.data(), width)) >= 0) {
         out->rows.push_back(std::move(t));
@@ -888,7 +1054,23 @@ class FilterByIterator : public BatchIterator {
     return Status::OK();
   }
 
+  Status DoClose() override {
+    if (rt_->profile != nullptr) {
+      ReleaseCharge();
+      if (probes_ > 0) rt_->profile->at(node_).hash_probes += probes_;
+    }
+    STARBURST_RETURN_NOT_OK(probe_->Close());
+    return filter_->Close();
+  }
+
  private:
+  void ReleaseCharge() {
+    if (charged_ > 0 && rt_->profile != nullptr) {
+      rt_->profile->ReleaseBytes(node_, charged_);
+    }
+    charged_ = 0;
+  }
+
   std::unique_ptr<BatchIterator> probe_;
   std::unique_ptr<BatchIterator> filter_;
   bool compiled_ = false;
@@ -897,6 +1079,8 @@ class FilterByIterator : public BatchIterator {
   std::unique_ptr<JoinHashTable> ht_;
   bool built_ = false;
   std::vector<Datum> key_buf_;
+  int64_t probes_ = 0;
+  int64_t charged_ = 0;
   RowBatch in_batch_;
   size_t in_pos_ = 0;
 };
@@ -1012,6 +1196,12 @@ class NLJoinIterator : public BatchIterator {
         have_row_ = false;
       }
     }
+  }
+
+  Status DoClose() override {
+    STARBURST_RETURN_NOT_OK(outer_->Close());
+    if (inner_ != nullptr) return inner_->Close();
+    return Status::OK();
   }
 
  private:
@@ -1226,6 +1416,13 @@ class MergeJoinIterator : public BatchIterator {
     return Status::OK();
   }
 
+ protected:
+  Status DoClose() override {
+    STARBURST_RETURN_NOT_OK(outer_->Close());
+    return inner_->Close();
+  }
+
+ private:
   std::unique_ptr<BatchIterator> outer_;
   std::unique_ptr<BatchIterator> inner_;
   bool compiled_ = false;
@@ -1301,6 +1498,7 @@ class HashJoinIterator : public BatchIterator {
       compiled_ = true;
     }
     built_ = false;
+    ReleaseCharge();
     build_rows_.clear();
     ht_.reset();
     chain_ = -1;
@@ -1336,6 +1534,17 @@ class HashJoinIterator : public BatchIterator {
                     static_cast<uint32_t>(r));
       }
       built_ = true;
+      if (rt_->profile != nullptr) {
+        // The build side holds both the materialized rows and the table
+        // structure for the probe phase; charge both.
+        charged_ = RowsApproxBytes(build_rows_) + ht_->ApproxBytes();
+        rt_->profile->ChargeBytes(node_, charged_);
+        OpProfile& p = rt_->profile->at(node_);
+        p.hash_build_rows += static_cast<int64_t>(build_rows_.size());
+        p.hash_groups += static_cast<int64_t>(ht_->num_groups());
+        p.hash_buckets += static_cast<int64_t>(ht_->num_slots());
+        p.hash_bytes += ht_->ApproxBytes();
+      }
     }
     for (;;) {
       if (BatchFull(*out, *rt_)) return Status::OK();
@@ -1343,6 +1552,7 @@ class HashJoinIterator : public BatchIterator {
         const Tuple& b = build_rows_[ht_->EntryRow(chain_)];
         STARBURST_RETURN_NOT_OK(EmitJoinPair(*cur_, b, check_, rt_, out));
         chain_ = ht_->NextEntry(chain_);
+        ++chain_steps_;
         continue;
       }
       if (outer_pos_ >= outer_batch_.rows.size()) {
@@ -1360,13 +1570,34 @@ class HashJoinIterator : public BatchIterator {
         key_buf_[static_cast<size_t>(k)] = std::move(v).value();
       }
       if (null_key) continue;
+      ++probes_;
       int32_t g = ht_->FindGroup(key_buf_.data(),
                                  JoinHashTable::HashKey(key_buf_.data(), width));
       if (g >= 0) chain_ = ht_->GroupHead(g);
     }
   }
 
+  Status DoClose() override {
+    if (rt_->profile != nullptr) {
+      ReleaseCharge();
+      if (probes_ > 0 || chain_steps_ > 0) {
+        OpProfile& p = rt_->profile->at(node_);
+        p.hash_probes += probes_;
+        p.hash_chain_steps += chain_steps_;
+      }
+    }
+    STARBURST_RETURN_NOT_OK(outer_->Close());
+    return inner_->Close();
+  }
+
  private:
+  void ReleaseCharge() {
+    if (charged_ > 0 && rt_->profile != nullptr) {
+      rt_->profile->ReleaseBytes(node_, charged_);
+    }
+    charged_ = 0;
+  }
+
   Status DegradeNext(RowBatch* out) {
     if (!drained_) {
       STARBURST_RETURN_NOT_OK(DrainInto(outer_.get(), &dorows_));
@@ -1400,6 +1631,9 @@ class HashJoinIterator : public BatchIterator {
   size_t outer_pos_ = 0;
   const Tuple* cur_ = nullptr;
   int32_t chain_ = -1;
+  int64_t probes_ = 0;
+  int64_t chain_steps_ = 0;
+  int64_t charged_ = 0;
   // Degrade-mode state.
   bool drained_ = false;
   std::vector<Tuple> dorows_;
@@ -1628,6 +1862,8 @@ Result<ResultSet> Executor::RunVectorized(const PlanPtr& plan) {
   rt.registry = registry_;
   rt.faults = faults_;
   rt.stats = run_stats_;
+  rt.profile = profile_;
+  rt.instrumented = rt.stats != nullptr || rt.profile != nullptr;
   rt.batch_size = batch_size_;
   rt.env = &env_;
   // Nodes reachable through more than one parent in the plan DAG
@@ -1667,10 +1903,12 @@ Result<ResultSet> Executor::RunVectorized(const PlanPtr& plan) {
       for (Tuple& t : b.rows) rs.rows.push_back(std::move(t));
     }
   }
+  if (s.ok()) s = it.value()->Close();
   if (!s.ok()) {
     VecAccess::Release(this);
     return s;
   }
+  if (profile_ != nullptr) profile_->CaptureLabels();
   env_.clear();
   return rs;
 }

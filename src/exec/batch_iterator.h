@@ -10,6 +10,7 @@
 
 namespace starburst {
 
+class ExecProfile;
 class FaultInjector;
 
 /// Shared state of one vectorized execution: the owning executor (schema and
@@ -26,6 +27,10 @@ struct VecRuntime {
   const ExecutorRegistry* registry = nullptr;
   FaultInjector* faults = nullptr;
   PlanRunStats* stats = nullptr;
+  ExecProfile* profile = nullptr;
+  /// stats != nullptr || profile != nullptr, precomputed so the disabled
+  /// fast path stays one branch per Open/Next/Close.
+  bool instrumented = false;
   int batch_size = kDefaultBatchSize;
   std::vector<ExecFrame>* env = nullptr;
   /// Uncorrelated nodes with more than one parent in the plan DAG: they
@@ -49,6 +54,10 @@ class BatchIterator {
 
   Status Open();
   Status Next(RowBatch* out);
+  /// Ends the stream: closes children, flushes operator detail into the
+  /// profile, and releases charged memory. Idempotent; called once after the
+  /// root (or a materialized subtree) is drained.
+  Status Close();
 
   const PlanOp& node() const { return *node_; }
 
@@ -57,12 +66,14 @@ class BatchIterator {
   /// Appends rows to `out` (already cleared). Must either append at least
   /// one row or return with `out` empty to signal exhaustion.
   virtual Status DoNext(RowBatch* out) = 0;
+  virtual Status DoClose() { return Status::OK(); }
 
   VecRuntime* rt_;
   const PlanOp* node_;
   /// Number of enclosing NL binding frames (frame slots [0, depth_) are in
   /// scope for column resolution).
   int depth_;
+  bool closed_ = false;
 };
 
 /// Builds the iterator tree for `node` with `depth` enclosing NL frames.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/strings.h"
+#include "obs/workload.h"
 
 namespace starburst {
 
@@ -40,7 +41,29 @@ Result<ResultSet> ExecutePlan(const Database& db, const Query& query,
   if (options.faults != nullptr) exec.set_faults(options.faults);
   if (options.vectorized >= 0) exec.set_vectorized(options.vectorized != 0);
   if (options.batch_size > 0) exec.set_batch_size(options.batch_size);
-  return exec.Run(plan);
+  // Profiling: an explicit sink (or workload repository) turns it on; else
+  // the int knob decides, defaulting from STARBURST_PROFILE. The workload
+  // repository needs a profile to read actuals from, so it implies a local
+  // one when the caller supplied none.
+  bool profile_on = options.profile_sink != nullptr ||
+                    options.workload != nullptr ||
+                    (options.profile < 0 ? DefaultProfileEnabled()
+                                         : options.profile != 0);
+  ExecProfile local_profile;
+  ExecProfile* profile = nullptr;
+  if (profile_on) {
+    profile = options.profile_sink != nullptr ? options.profile_sink
+                                              : &local_profile;
+    // One profile = one execution: a reused sink would otherwise keep
+    // entries keyed by nodes of plans that no longer exist.
+    profile->Clear();
+    exec.set_profile(profile);
+  }
+  auto result = exec.Run(plan);
+  if (result.ok() && options.workload != nullptr && profile != nullptr) {
+    options.workload->Observe(query, *plan, *profile);
+  }
+  return result;
 }
 
 Result<ResultSet> ExecutePlanAnalyzed(const Database& db, const Query& query,
@@ -50,6 +73,15 @@ Result<ResultSet> ExecutePlanAnalyzed(const Database& db, const Query& query,
   Executor exec(db, query, registry);
   exec.set_run_stats(stats);
   return exec.Run(plan);
+}
+
+Result<ResultSet> ExecutePlanAnalyzed(const Database& db, const Query& query,
+                                      const PlanPtr& plan,
+                                      PlanRunStats* stats,
+                                      const ExecOptions& options) {
+  ExecOptions opts = options;
+  opts.stats = stats;
+  return ExecutePlan(db, query, plan, opts);
 }
 
 Result<ResultSet> ProjectResult(const ResultSet& rs,

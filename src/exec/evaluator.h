@@ -2,8 +2,11 @@
 #define STARBURST_EXEC_EVALUATOR_H_
 
 #include "exec/executor.h"
+#include "obs/profiler.h"
 
 namespace starburst {
+
+class WorkloadRepository;
 
 /// Convenience: run `plan` over `db` and return the rows.
 Result<ResultSet> ExecutePlan(const Database& db, const Query& query,
@@ -20,6 +23,9 @@ struct ExecOptions {
   FaultInjector* faults = nullptr;      // override the global injector
   int vectorized = -1;                  // -1 env default, 0 legacy, 1 batch
   int batch_size = 0;                   // 0 env default, else rows per batch
+  int profile = -1;                     // -1 STARBURST_PROFILE, 0 off, 1 on
+  ExecProfile* profile_sink = nullptr;  // operator profile sink (implies on)
+  WorkloadRepository* workload = nullptr;  // fold the run into the repository
 };
 
 Result<ResultSet> ExecutePlan(const Database& db, const Query& query,
@@ -32,6 +38,14 @@ Result<ResultSet> ExecutePlanAnalyzed(const Database& db, const Query& query,
                                       PlanRunStats* stats,
                                       const ExecutorRegistry* registry =
                                           nullptr);
+
+/// EXPLAIN ANALYZE with the full option set: collects per-node actuals into
+/// `stats` and honors every ExecOptions field (profile sink, workload
+/// repository, engine/batch knobs, metrics).
+Result<ResultSet> ExecutePlanAnalyzed(const Database& db, const Query& query,
+                                      const PlanPtr& plan,
+                                      PlanRunStats* stats,
+                                      const ExecOptions& options);
 
 /// Reorders/projects the result's columns to `cols` (e.g. the query's select
 /// list), so results from structurally different plans become comparable.

@@ -7,6 +7,7 @@
 #include "common/fault_injector.h"
 #include "exec/batch.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "storage/index.h"
 
 namespace starburst {
@@ -274,6 +275,12 @@ void Executor::PublishMetrics(const PlanRunStats& stats,
   }
   metrics_->AddCounter("exec.rows", total_rows);
   if (total_batches > 0) metrics_->AddCounter("exec.batches", total_batches);
+  if (profile_ != nullptr) {
+    metrics_->SetGauge("exec.peak_bytes",
+                       static_cast<double>(profile_->memory().peak_bytes()));
+    metrics_->SetGauge("exec.current_bytes",
+                       static_cast<double>(profile_->memory().current_bytes()));
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -282,6 +289,10 @@ void Executor::PublishMetrics(const PlanRunStats& stats,
 
 Result<ResultSet> Executor::Run(const PlanPtr& plan) {
   if (plan == nullptr) return Status::InvalidArgument("null plan");
+  // Pre-register every node so profile coverage does not depend on which
+  // operators the chosen engine happens to open (a nested-loop inner with an
+  // empty outer never opens, but should still appear with zero counts).
+  if (profile_ != nullptr) profile_->Register(*plan);
   // Per-operator counters need per-node stats; collect them into a local map
   // when the caller did not ask for EXPLAIN ANALYZE itself.
   PlanRunStats local_stats;
@@ -321,25 +332,42 @@ Result<ResultSet> Executor::Run(const PlanPtr& plan) {
     }
   }
 
+  if (result.ok() && profile_ != nullptr) profile_->CaptureLabels();
   if (run_stats_ != nullptr) PublishMetrics(*run_stats_, vectorized_);
   run_stats_ = caller_stats;
   return result;
 }
 
 Result<Executor::RowsPtr> Executor::Eval(const PlanOp& node) {
-  if (run_stats_ == nullptr) return EvalNode(node);
+  if (run_stats_ == nullptr && profile_ == nullptr) return EvalNode(node);
   // EXPLAIN ANALYZE: time each logical invocation (a cache hit is still an
   // invocation — it is how often the stream was consumed) and accumulate
   // rows produced. Wall time is inclusive of inputs, like the `actual
-  // time` column of most systems' EXPLAIN ANALYZE.
+  // time` column of most systems' EXPLAIN ANALYZE. The profile mirrors the
+  // same accounting (opens = invocations, rows_out = rows) so the two
+  // engines agree on row counts at any batch size.
   auto start = std::chrono::steady_clock::now();
   auto rows = EvalNode(node);
-  OpRunStats& s = (*run_stats_)[&node];
-  ++s.invocations;
-  s.wall_micros += std::chrono::duration<double, std::micro>(
-                       std::chrono::steady_clock::now() - start)
-                       .count();
-  if (rows.ok()) s.rows += static_cast<int64_t>(rows.value()->size());
+  double us = std::chrono::duration<double, std::micro>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+  if (run_stats_ != nullptr) {
+    OpRunStats& s = (*run_stats_)[&node];
+    ++s.invocations;
+    s.wall_micros += us;
+    if (rows.ok()) s.rows += static_cast<int64_t>(rows.value()->size());
+  }
+  if (profile_ != nullptr) {
+    OpProfile& p = profile_->at(&node);
+    ++p.opens;
+    ++p.next_calls;
+    ++p.closes;
+    p.next_micros += us;
+    if (rows.ok()) {
+      p.rows_out += static_cast<int64_t>(rows.value()->size());
+      if (!rows.value()->empty()) ++p.batches_out;
+    }
+  }
   return rows;
 }
 
@@ -382,7 +410,13 @@ Result<Executor::RowsPtr> Executor::EvalNode(const PlanOp& node) {
   // same vector instead of two deep copies.
   RowsPtr ptr =
       std::make_shared<const std::vector<Tuple>>(std::move(rows).value());
-  if (!IsCorrelated(node)) material_cache_[&node] = ptr;
+  if (!IsCorrelated(node)) {
+    material_cache_[&node] = ptr;
+    if (profile_ != nullptr) {
+      // Cached materializations live until the run releases its caches.
+      profile_->ChargeBytes(&node, RowsApproxBytes(*ptr));
+    }
+  }
   return ptr;
 }
 
@@ -576,6 +610,16 @@ Result<std::vector<Tuple>> Executor::EvalSort(const PlanOp& node) {
                      }
                      return false;
                    });
+  if (profile_ != nullptr) {
+    // The sort buffer is transient (returned by value): charge-and-release
+    // still records it in the peak.
+    int64_t bytes = RowsApproxBytes(rows);
+    OpProfile& p = profile_->at(&node);
+    p.sort_rows += static_cast<int64_t>(rows.size());
+    p.sort_bytes += bytes;
+    profile_->ChargeBytes(&node, bytes);
+    profile_->ReleaseBytes(&node, bytes);
+  }
   return rows;
 }
 
@@ -803,6 +847,18 @@ Result<std::vector<Tuple>> Executor::EvalJoin(const PlanOp& node) {
       }
       if (!null_key) build[std::move(key)].push_back(r);
     }
+    int64_t ha_bytes = 0;
+    if (profile_ != nullptr) {
+      for (const auto& [key, entries] : build) {
+        for (const Datum& d : key) ha_bytes += DatumApproxBytes(d);
+        ha_bytes += static_cast<int64_t>(entries.size() * sizeof(size_t));
+      }
+      OpProfile& p = profile_->at(&node);
+      p.hash_build_rows += static_cast<int64_t>(inner_rows.size());
+      p.hash_groups += static_cast<int64_t>(build.size());
+      p.hash_bytes += ha_bytes;
+      profile_->ChargeBytes(&node, ha_bytes);
+    }
     for (const Tuple& o : outer_rows) {
       std::vector<Datum> key;
       bool null_key = false;
@@ -818,6 +874,11 @@ Result<std::vector<Tuple>> Executor::EvalJoin(const PlanOp& node) {
       for (size_t r : hit->second) {
         STARBURST_RETURN_NOT_OK(emit_pair(o, inner_rows[r], residual_check));
       }
+    }
+    if (profile_ != nullptr) {
+      profile_->at(&node).hash_probes +=
+          static_cast<int64_t>(outer_rows.size());
+      profile_->ReleaseBytes(&node, ha_bytes);
     }
     return out;
   }

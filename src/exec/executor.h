@@ -13,6 +13,7 @@
 
 namespace starburst {
 
+class ExecProfile;
 class FaultInjector;
 class MetricsRegistry;
 
@@ -130,6 +131,12 @@ class Executor {
   /// Publish per-operator rows/batches/time counters after each Run.
   void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
 
+  /// Collect the operator profile (Open/Next/Close timings, rows, memory,
+  /// operator detail) into `profile` during Run. Null (the default) disables
+  /// profiling; the fast path then costs one branch per batch.
+  void set_profile(ExecProfile* profile) { profile_ = profile; }
+  ExecProfile* profile() const { return profile_; }
+
   /// Number of cached subplan materializations currently held (tests assert
   /// this drops to zero after a failed Run).
   size_t cached_materializations() const { return material_cache_.size(); }
@@ -178,6 +185,7 @@ class Executor {
   const Query* query_;
   const ExecutorRegistry* registry_;
   PlanRunStats* run_stats_ = nullptr;
+  ExecProfile* profile_ = nullptr;
   FaultInjector* faults_;
   MetricsRegistry* metrics_ = nullptr;
   bool vectorized_;

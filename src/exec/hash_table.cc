@@ -79,6 +79,21 @@ void JoinHashTable::Insert(const Datum* key, uint64_t hash, uint32_t row) {
   group_tail_[g] = entry;
 }
 
+int64_t JoinHashTable::ApproxBytes() const {
+  int64_t bytes = 0;
+  for (const Datum& d : keys_) {
+    bytes += static_cast<int64_t>(sizeof(Datum));
+    if (d.is_string()) bytes += static_cast<int64_t>(d.AsString().size());
+  }
+  bytes += static_cast<int64_t>(group_hash_.size() * sizeof(uint64_t));
+  bytes += static_cast<int64_t>(group_head_.size() * sizeof(int32_t));
+  bytes += static_cast<int64_t>(group_tail_.size() * sizeof(int32_t));
+  bytes += static_cast<int64_t>(entry_row_.size() * sizeof(uint32_t));
+  bytes += static_cast<int64_t>(entry_next_.size() * sizeof(int32_t));
+  bytes += static_cast<int64_t>(slots_.size() * sizeof(int32_t));
+  return bytes;
+}
+
 int32_t JoinHashTable::FindGroup(const Datum* key, uint64_t hash) const {
   if (slots_.empty()) return -1;
   uint64_t idx = hash & slot_mask_;

@@ -40,6 +40,12 @@ class JoinHashTable {
 
   size_t num_groups() const { return group_head_.size(); }
   size_t num_rows() const { return entry_row_.size(); }
+  size_t num_slots() const { return slots_.size(); }
+
+  /// Accounting-granularity size of the table: key Datum payloads plus the
+  /// container element footprints, deterministic from the inserted data so
+  /// the profiler's charge can be recomputed independently in tests.
+  int64_t ApproxBytes() const;
 
  private:
   void Rehash(size_t slot_count);  // power of two

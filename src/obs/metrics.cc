@@ -40,6 +40,11 @@ void LatencyHistogram::Record(double micros) {
 
 double LatencyHistogram::Percentile(double q) const {
   if (count_ == 0) return 0.0;
+  // The edges are exact observations, not interpolations: q=0 is the
+  // minimum (nearest-rank would otherwise upper-bias it inside the first
+  // occupied bucket) and q=1 is the maximum.
+  if (q <= 0.0) return min();
+  if (q >= 1.0) return max_;
   q = std::clamp(q, 0.0, 1.0);
   // Rank of the requested observation (1-based, nearest-rank).
   int64_t rank = static_cast<int64_t>(std::ceil(q * static_cast<double>(count_)));
@@ -189,6 +194,55 @@ std::string MetricsRegistry::Snapshot::ToText() const {
                   name.c_str(), static_cast<long long>(h.count), h.p50, h.p95,
                   h.p99, h.max);
     out += buf;
+  }
+  return out;
+}
+
+namespace {
+
+/// Prometheus metric names admit only [a-zA-Z0-9_:] (and must not start
+/// with a digit); dot-scoped registry names mangle to underscores.
+std::string PromName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out = "_" + out;
+  return out;
+}
+
+std::string PromNumber(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::Snapshot::ToPrometheus() const {
+  std::string out;
+  for (const auto& [name, v] : counters) {
+    std::string n = PromName(name);
+    out += "# TYPE " + n + " counter\n";
+    out += n + " " + std::to_string(v) + "\n";
+  }
+  for (const auto& [name, v] : gauges) {
+    std::string n = PromName(name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " " + PromNumber(v) + "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    std::string n = PromName(name) + "_us";
+    out += "# TYPE " + n + " summary\n";
+    out += n + "{quantile=\"0.5\"} " + PromNumber(h.p50) + "\n";
+    out += n + "{quantile=\"0.95\"} " + PromNumber(h.p95) + "\n";
+    out += n + "{quantile=\"0.99\"} " + PromNumber(h.p99) + "\n";
+    out += n + "_sum " + PromNumber(h.sum) + "\n";
+    out += n + "_count " + std::to_string(h.count) + "\n";
   }
   return out;
 }

@@ -92,6 +92,10 @@ class MetricsRegistry {
     std::string ToJson() const;
     /// Aligned human-readable listing for the shell's \metrics command.
     std::string ToText() const;
+    /// Prometheus text exposition (version 0.0.4): counters and gauges as-is
+    /// (names mangled to [a-zA-Z0-9_:]), histograms as summaries with
+    /// `_count`/`_sum` and quantile-labeled sample lines.
+    std::string ToPrometheus() const;
   };
   Snapshot TakeSnapshot() const;
 

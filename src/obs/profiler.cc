@@ -1,0 +1,131 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/trace.h"
+#include "plan/plan.h"
+
+namespace starburst {
+
+int64_t DatumApproxBytes(const Datum& d) {
+  int64_t bytes = static_cast<int64_t>(sizeof(Datum));
+  if (d.is_string()) bytes += static_cast<int64_t>(d.AsString().size());
+  return bytes;
+}
+
+int64_t TupleApproxBytes(const std::vector<Datum>& t) {
+  int64_t bytes = static_cast<int64_t>(sizeof(std::vector<Datum>));
+  for (const Datum& d : t) bytes += DatumApproxBytes(d);
+  return bytes;
+}
+
+int64_t RowsApproxBytes(const std::vector<std::vector<Datum>>& rows) {
+  int64_t bytes = 0;
+  for (const auto& t : rows) bytes += TupleApproxBytes(t);
+  return bytes;
+}
+
+OpProfile& ExecProfile::at(const PlanOp* node) { return ops_[node]; }
+
+const OpProfile* ExecProfile::find(const PlanOp* node) const {
+  auto it = ops_.find(node);
+  return it == ops_.end() ? nullptr : &it->second;
+}
+
+void ExecProfile::ChargeBytes(const PlanOp* node, int64_t bytes) {
+  OpProfile& p = ops_[node];
+  p.bytes_charged += bytes;
+  p.cur_bytes += bytes;
+  if (p.cur_bytes > p.peak_bytes) p.peak_bytes = p.cur_bytes;
+  mem_.Charge(bytes);
+}
+
+void ExecProfile::ReleaseBytes(const PlanOp* node, int64_t bytes) {
+  OpProfile& p = ops_[node];
+  p.cur_bytes -= bytes;
+  if (p.cur_bytes < 0) p.cur_bytes = 0;
+  mem_.Release(bytes);
+}
+
+void ExecProfile::Clear() {
+  ops_.clear();
+  mem_.Reset();
+}
+
+void ExecProfile::Register(const PlanOp& root) {
+  ops_[&root];
+  for (const PlanPtr& in : root.inputs) {
+    if (in != nullptr) Register(*in);
+  }
+}
+
+void ExecProfile::CaptureLabels() {
+  for (auto& [node, p] : ops_) {
+    if (p.label.empty()) p.label = node->Label();
+    p.node_id = node->id;
+  }
+}
+
+namespace {
+
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string ExecProfile::ToJson() const {
+  // Order by node id (falling back to pointer order for id 0 nodes built
+  // outside a factory) so the export is stable across runs of the same plan.
+  std::vector<std::pair<const PlanOp*, const OpProfile*>> ordered;
+  ordered.reserve(ops_.size());
+  for (const auto& [node, p] : ops_) ordered.push_back({node, &p});
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first->id < b.first->id;
+                   });
+  std::string out = "{\"peak_bytes\":" + std::to_string(mem_.peak_bytes()) +
+                    ",\"ops\":[";
+  bool first = true;
+  for (const auto& [node, p] : ordered) {
+    if (!first) out += ",";
+    first = false;
+    std::string label = p->label.empty() ? node->Label() : p->label;
+    out += "{\"label\":\"" + JsonEscape(label) + "\"";
+    out += ",\"node_id\":" + std::to_string(node->id);
+    out += ",\"opens\":" + std::to_string(p->opens);
+    out += ",\"next_calls\":" + std::to_string(p->next_calls);
+    out += ",\"closes\":" + std::to_string(p->closes);
+    out += ",\"rows_out\":" + std::to_string(p->rows_out);
+    out += ",\"batches_out\":" + std::to_string(p->batches_out);
+    out += ",\"open_us\":" + Num(p->open_micros);
+    out += ",\"next_us\":" + Num(p->next_micros);
+    out += ",\"close_us\":" + Num(p->close_micros);
+    out += ",\"bytes\":" + std::to_string(p->bytes_charged);
+    out += ",\"peak_bytes\":" + std::to_string(p->peak_bytes);
+    if (p->hash_build_rows > 0 || p->hash_groups > 0) {
+      out += ",\"hash\":{\"build_rows\":" + std::to_string(p->hash_build_rows) +
+             ",\"groups\":" + std::to_string(p->hash_groups) +
+             ",\"buckets\":" + std::to_string(p->hash_buckets) +
+             ",\"bytes\":" + std::to_string(p->hash_bytes) +
+             ",\"probes\":" + std::to_string(p->hash_probes) +
+             ",\"chain_steps\":" + std::to_string(p->hash_chain_steps) + "}";
+    }
+    if (p->sort_rows > 0) {
+      out += ",\"sort\":{\"rows\":" + std::to_string(p->sort_rows) +
+             ",\"bytes\":" + std::to_string(p->sort_bytes) + "}";
+    }
+    if (p->pred_evals > 0) {
+      out += ",\"pred\":{\"evals\":" + std::to_string(p->pred_evals) +
+             ",\"steps\":" + std::to_string(p->pred_steps) + "}";
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace starburst

@@ -1,0 +1,141 @@
+#ifndef STARBURST_OBS_PROFILER_H_
+#define STARBURST_OBS_PROFILER_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/value.h"
+
+namespace starburst {
+
+struct PlanOp;
+class Query;
+
+/// Profiling from STARBURST_PROFILE (=1/on/true enables), else off. The
+/// default keeps the executor's fast path at one branch per batch.
+inline bool DefaultProfileEnabled() {
+  const char* env = std::getenv("STARBURST_PROFILE");
+  if (env == nullptr) return false;
+  std::string_view v(env);
+  return v == "1" || v == "on" || v == "true";
+}
+
+/// Per-query memory high-water accounting. Operators charge bytes when they
+/// materialize state (sort buffers, hash tables, cached subplan results) and
+/// release when they drop it; `peak_bytes` is the run's high-water mark.
+/// Byte counts are accounting-granularity approximations — Datum payload
+/// plus container element sizes — not allocator truth.
+class MemoryTracker {
+ public:
+  void Charge(int64_t bytes) {
+    current_ += bytes;
+    if (current_ > peak_) peak_ = current_;
+  }
+  void Release(int64_t bytes) {
+    current_ -= bytes;
+    if (current_ < 0) current_ = 0;
+  }
+  int64_t current_bytes() const { return current_; }
+  int64_t peak_bytes() const { return peak_; }
+  void Reset() { current_ = peak_ = 0; }
+
+ private:
+  int64_t current_ = 0;
+  int64_t peak_ = 0;
+};
+
+/// Actuals for one operator of a profiled run. Wall times are inclusive of
+/// the operator's inputs (tree time, like OpRunStats); `rows_out` follows
+/// exactly the same accounting as OpRunStats::rows, so the two engines and
+/// every batch size agree on it. Operator-specific detail is only filled by
+/// the operator it applies to.
+struct OpProfile {
+  std::string label;   ///< "JOIN(HA)", captured when the profile is exported
+  int64_t node_id = 0;
+
+  int64_t opens = 0;
+  int64_t next_calls = 0;
+  int64_t closes = 0;
+  int64_t rows_out = 0;
+  int64_t batches_out = 0;
+  double open_micros = 0.0;
+  double next_micros = 0.0;
+  double close_micros = 0.0;
+
+  /// Memory charged by this operator (cumulative and its own high water).
+  int64_t bytes_charged = 0;
+  int64_t cur_bytes = 0;
+  int64_t peak_bytes = 0;
+
+  // JOIN(HA) / FILTERBY detail.
+  int64_t hash_build_rows = 0;
+  int64_t hash_groups = 0;
+  int64_t hash_buckets = 0;
+  int64_t hash_bytes = 0;
+  int64_t hash_probes = 0;
+  int64_t hash_chain_steps = 0;
+
+  // SORT (and temp-index dynamic sort) detail.
+  int64_t sort_rows = 0;
+  int64_t sort_bytes = 0;
+
+  // Compiled predicate-program detail.
+  int64_t pred_evals = 0;
+  int64_t pred_steps = 0;
+
+  double total_micros() const {
+    return open_micros + next_micros + close_micros;
+  }
+};
+
+/// The profile of one execution: per-operator actuals keyed by plan-node
+/// identity plus the query-wide memory tracker. Not thread-safe — one
+/// profile belongs to one run (like PlanRunStats).
+class ExecProfile {
+ public:
+  OpProfile& at(const PlanOp* node);
+  const OpProfile* find(const PlanOp* node) const;
+
+  /// Charges `bytes` to `node` and to the query-wide tracker.
+  void ChargeBytes(const PlanOp* node, int64_t bytes);
+  void ReleaseBytes(const PlanOp* node, int64_t bytes);
+
+  MemoryTracker& memory() { return mem_; }
+  const MemoryTracker& memory() const { return mem_; }
+
+  const std::map<const PlanOp*, OpProfile>& ops() const { return ops_; }
+  bool empty() const { return ops_.empty(); }
+  void Clear();
+
+  /// Creates a zeroed entry for every node of `root`. Run once at execution
+  /// start so profile coverage is engine-invariant: an inner that the legacy
+  /// interpreter never opens (empty outer) still reports zeros instead of
+  /// being absent.
+  void Register(const PlanOp& root);
+
+  /// Stamps `label`/`node_id` on every entry (the PlanOp keys may outlive
+  /// neither the export nor a durable workload record otherwise).
+  void CaptureLabels();
+
+  /// {"peak_bytes":...,"ops":[{"label":...,"rows_out":...},...]} — the
+  /// scrapeable JSON export. Ops are ordered by node id for determinism.
+  std::string ToJson() const;
+
+ private:
+  std::map<const PlanOp*, OpProfile> ops_;
+  MemoryTracker mem_;
+};
+
+/// Accounting-granularity byte sizes shared by every charge site, so tests
+/// can recompute them independently.
+int64_t DatumApproxBytes(const Datum& d);
+int64_t TupleApproxBytes(const std::vector<Datum>& t);
+int64_t RowsApproxBytes(const std::vector<std::vector<Datum>>& rows);
+
+}  // namespace starburst
+
+#endif  // STARBURST_OBS_PROFILER_H_

@@ -1,0 +1,269 @@
+#include "obs/workload.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <set>
+
+#include "obs/trace.h"
+#include "plan/plan.h"
+#include "query/query.h"
+
+namespace starburst {
+
+namespace {
+
+const char* ArithName(ExprKind kind) {
+  switch (kind) {
+    case ExprKind::kAdd: return "+";
+    case ExprKind::kSub: return "-";
+    case ExprKind::kMul: return "*";
+    case ExprKind::kDiv: return "/";
+    default: return "?";
+  }
+}
+
+/// Renders an expression with table-qualified columns and literals replaced
+/// by '?': the shape is invariant under literal values and alias renaming.
+std::string ExprShape(const Expr& expr, const Query& query) {
+  switch (expr.kind()) {
+    case ExprKind::kColumn: {
+      ColumnRef ref = expr.column();
+      std::string table = query.table_of(ref.quantifier).name;
+      if (ref.is_tid()) return table + ".TID";
+      return table + "." + query.column_def(ref).name;
+    }
+    case ExprKind::kLiteral:
+      return "?";
+    default:
+      return "(" + ExprShape(*expr.lhs(), query) + " " +
+             ArithName(expr.kind()) + " " + ExprShape(*expr.rhs(), query) +
+             ")";
+  }
+}
+
+uint64_t Fnv1a64(const std::string& s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string Hex64(uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+double QError(double actual, double est) {
+  if (actual == 0.0 && est == 0.0) return 1.0;
+  if (actual <= 0.0 || est <= 0.0) {
+    // One side empty where the other was not: cap rather than inf so
+    // aggregates stay finite.
+    return 1e9;
+  }
+  return actual > est ? actual / est : est / actual;
+}
+
+}  // namespace
+
+std::string WorkloadRepository::PredicateShape(const Predicate& pred,
+                                               const Query& query) {
+  std::string lhs = ExprShape(*pred.lhs, query);
+  std::string rhs = ExprShape(*pred.rhs, query);
+  if ((pred.op == CompareOp::kEq || pred.op == CompareOp::kNe) && rhs < lhs) {
+    std::swap(lhs, rhs);  // symmetric compare: canonical side order
+  }
+  return lhs + " " + CompareOpName(pred.op) + " " + rhs;
+}
+
+std::string WorkloadRepository::NormalizedQuery(const Query& query) {
+  std::set<std::string> tables;
+  for (int q = 0; q < query.num_quantifiers(); ++q) {
+    tables.insert(query.table_of(q).name);
+  }
+  std::set<std::string> shapes;
+  for (int p = 0; p < query.num_predicates(); ++p) {
+    shapes.insert(PredicateShape(query.predicate(p), query));
+  }
+  std::string out = "FROM ";
+  bool first = true;
+  for (const std::string& t : tables) {
+    if (!first) out += ",";
+    first = false;
+    out += t;
+  }
+  if (!shapes.empty()) {
+    out += " WHERE ";
+    first = true;
+    for (const std::string& s : shapes) {
+      if (!first) out += " AND ";
+      first = false;
+      out += s;
+    }
+  }
+  return out;
+}
+
+std::string WorkloadRepository::QueryDigest(const Query& query) {
+  return Hex64(Fnv1a64(NormalizedQuery(query)));
+}
+
+void WorkloadRepository::ObserveAccessLocked(const std::string& table,
+                                             const std::string& shape,
+                                             double est, double actual) {
+  TableShapeStats& s = shapes_[{table, shape}];
+  if (s.observations == 0) {
+    s.table = table;
+    s.shape = shape;
+  }
+  ++s.observations;
+  s.est_rows += est;
+  s.actual_rows += actual;
+  double q = QError(actual, est);
+  s.sum_q_error += q;
+  if (q > s.max_q_error) s.max_q_error = q;
+}
+
+void WorkloadRepository::Observe(const Query& query, const PlanOp& root,
+                                 const ExecProfile& profile) {
+  std::lock_guard<std::mutex> lock(mu_);
+
+  double worst_q = 0.0;
+  // Walk the DAG once; base-table ACCESS nodes feed the (table, shape)
+  // aggregates with per-open actual rows vs the estimated cardinality.
+  std::set<const PlanOp*> seen;
+  std::function<void(const PlanOp&)> walk = [&](const PlanOp& node) {
+    if (!seen.insert(&node).second) return;
+    for (const PlanPtr& in : node.inputs) walk(*in);
+    if (node.name() != op::kAccess) return;
+    if (node.flavor == flavor::kTemp || node.flavor == flavor::kTempIndex) {
+      return;  // temps carry no base-table estimate of their own
+    }
+    const OpProfile* p = profile.find(&node);
+    // Every node is pre-registered at run start, so this only guards against
+    // a profile that belongs to a different plan.
+    if (p == nullptr) return;
+    int q = static_cast<int>(node.args.GetInt(arg::kQuantifier, -1));
+    if (q < 0) return;
+    std::string table = query.table_of(q).name;
+    std::vector<std::string> parts;
+    for (int id : node.args.GetPreds(arg::kPreds).ToVector()) {
+      parts.push_back(PredicateShape(query.predicate(id), query));
+    }
+    std::sort(parts.begin(), parts.end());
+    std::string shape;
+    for (const std::string& part : parts) {
+      if (!shape.empty()) shape += " AND ";
+      shape += part;
+    }
+    if (shape.empty()) shape = "<none>";
+    int64_t invocations = p->opens > 0 ? p->opens : 1;
+    double actual = static_cast<double>(p->rows_out) /
+                    static_cast<double>(invocations);
+    double est = node.props.card();
+    ObserveAccessLocked(table, shape, est, actual);
+    double qe = QError(actual, est);
+    if (qe > worst_q) worst_q = qe;
+  };
+  walk(root);
+
+  std::string digest = QueryDigest(query);
+  auto it = queries_.find(digest);
+  if (it == queries_.end()) {
+    if (queries_.size() >= capacity_) {
+      queries_.erase(ring_.front());
+      ring_.pop_front();
+    }
+    ring_.push_back(digest);
+    WorkloadQueryRecord rec;
+    rec.digest = digest;
+    rec.normalized = NormalizedQuery(query);
+    it = queries_.emplace(digest, std::move(rec)).first;
+  }
+  WorkloadQueryRecord& rec = it->second;
+  ++rec.runs;
+  const OpProfile* rootp = profile.find(&root);
+  if (rootp != nullptr) {
+    rec.last_rows = rootp->rows_out;
+    rec.last_total_micros = rootp->total_micros();
+  }
+  rec.last_peak_bytes = profile.memory().peak_bytes();
+  if (worst_q > rec.max_q_error) rec.max_q_error = worst_q;
+}
+
+size_t WorkloadRepository::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queries_.size();
+}
+
+std::vector<WorkloadQueryRecord> WorkloadRepository::Records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<WorkloadQueryRecord> out;
+  out.reserve(ring_.size());
+  for (const std::string& digest : ring_) {
+    auto it = queries_.find(digest);
+    if (it != queries_.end()) out.push_back(it->second);
+  }
+  return out;
+}
+
+std::vector<TableShapeStats> WorkloadRepository::TableStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TableShapeStats> out;
+  out.reserve(shapes_.size());
+  for (const auto& [key, s] : shapes_) out.push_back(s);
+  return out;
+}
+
+std::string WorkloadRepository::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"queries\":[";
+  bool first = true;
+  for (const std::string& digest : ring_) {
+    auto it = queries_.find(digest);
+    if (it == queries_.end()) continue;
+    const WorkloadQueryRecord& r = it->second;
+    if (!first) out += ",";
+    first = false;
+    out += "{\"digest\":\"" + JsonEscape(r.digest) + "\",\"query\":\"" +
+           JsonEscape(r.normalized) + "\",\"runs\":" + std::to_string(r.runs) +
+           ",\"last_rows\":" + std::to_string(r.last_rows) +
+           ",\"last_total_us\":" + Num(r.last_total_micros) +
+           ",\"last_peak_bytes\":" + std::to_string(r.last_peak_bytes) +
+           ",\"max_q_error\":" + Num(r.max_q_error) + "}";
+  }
+  out += "],\"table_stats\":[";
+  first = true;
+  for (const auto& [key, s] : shapes_) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"table\":\"" + JsonEscape(s.table) + "\",\"shape\":\"" +
+           JsonEscape(s.shape) +
+           "\",\"observations\":" + std::to_string(s.observations) +
+           ",\"est_rows\":" + Num(s.est_rows) +
+           ",\"actual_rows\":" + Num(s.actual_rows) +
+           ",\"mean_q_error\":" + Num(s.mean_q_error()) +
+           ",\"max_q_error\":" + Num(s.max_q_error) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+void WorkloadRepository::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  queries_.clear();
+  shapes_.clear();
+}
+
+}  // namespace starburst

@@ -1,0 +1,104 @@
+#ifndef STARBURST_OBS_WORKLOAD_H_
+#define STARBURST_OBS_WORKLOAD_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/profiler.h"
+
+namespace starburst {
+
+struct PlanOp;
+class Query;
+struct Predicate;
+
+/// Durable record of one observed query: keyed by a normalized digest so
+/// repeated runs of the "same" query (identical tables and predicate shapes,
+/// different literals) fold into one entry.
+struct WorkloadQueryRecord {
+  std::string digest;
+  std::string normalized;  ///< human-readable normalized form
+  int64_t runs = 0;
+  int64_t last_rows = 0;         ///< root rows of the latest run
+  double last_total_micros = 0;  ///< root tree time of the latest run
+  int64_t last_peak_bytes = 0;
+  double max_q_error = 0.0;      ///< worst per-operator q-error ever seen
+};
+
+/// Cumulative actual-vs-estimated cardinalities for one (table,
+/// predicate-shape) pair, aggregated across every observed run. This is the
+/// substrate a feedback-driven re-optimizer reads: "scans of EMP under
+/// `EMP.SALARY >= ?` misestimate by 12x on average".
+struct TableShapeStats {
+  std::string table;
+  std::string shape;  ///< normalized conjunct list, literals replaced by '?'
+  int64_t observations = 0;
+  double est_rows = 0.0;     ///< cumulative estimates
+  double actual_rows = 0.0;  ///< cumulative actuals
+  double max_q_error = 1.0;
+  double sum_q_error = 0.0;
+
+  double mean_q_error() const {
+    return observations > 0 ? sum_q_error / static_cast<double>(observations)
+                            : 0.0;
+  }
+};
+
+/// Workload statistics repository: a bounded ring of per-query records plus
+/// the cumulative per-(table, predicate-shape) cardinality aggregates. When
+/// the ring is full the oldest query record is evicted; the table/shape
+/// aggregates persist (they are the long-lived feedback signal). Thread-safe.
+class WorkloadRepository {
+ public:
+  explicit WorkloadRepository(size_t capacity = 128)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Folds one profiled execution of `query` under plan `root` into the
+  /// repository. Per-(table, shape) actuals come from the plan's base-table
+  /// ACCESS nodes: actual rows per open vs the node's estimated cardinality.
+  void Observe(const Query& query, const PlanOp& root,
+               const ExecProfile& profile);
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+  /// Ring contents, oldest first.
+  std::vector<WorkloadQueryRecord> Records() const;
+  /// Aggregates sorted by (table, shape).
+  std::vector<TableShapeStats> TableStats() const;
+
+  /// {"queries":[...],"table_stats":[...]} for scraping alongside the
+  /// metrics registry.
+  std::string ToJson() const;
+
+  void Clear();
+
+  /// Normalized digest of a query: FNV-1a over its table names and
+  /// predicate shapes (literals replaced by '?'), so the digest is stable
+  /// across literal values and alias renaming.
+  static std::string QueryDigest(const Query& query);
+  /// Normalized human-readable form the digest is computed from.
+  static std::string NormalizedQuery(const Query& query);
+  /// One predicate's shape: `EMP.SALARY >= ?`, table-qualified columns,
+  /// literals replaced by '?', symmetric comparisons side-ordered.
+  static std::string PredicateShape(const Predicate& pred, const Query& query);
+
+ private:
+  void ObserveAccessLocked(const std::string& table, const std::string& shape,
+                           double est, double actual);
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::deque<std::string> ring_;  ///< digests, oldest first
+  std::map<std::string, WorkloadQueryRecord> queries_;
+  std::map<std::pair<std::string, std::string>, TableShapeStats> shapes_;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_OBS_WORKLOAD_H_

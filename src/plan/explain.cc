@@ -1,6 +1,7 @@
 #include "plan/explain.h"
 
 #include "common/strings.h"
+#include "obs/profiler.h"
 #include "query/query.h"
 
 namespace starburst {
@@ -110,8 +111,53 @@ std::string AnalyzeSummary(const PlanOp& node, const PlanRunStats& stats) {
   return out;
 }
 
+std::string FormatBytes(int64_t bytes) {
+  if (bytes >= 1024 * 1024) {
+    return FormatDouble(static_cast<double>(bytes) / (1024.0 * 1024.0)) +
+           "MiB";
+  }
+  if (bytes >= 1024) {
+    return FormatDouble(static_cast<double>(bytes) / 1024.0) + "KiB";
+  }
+  return std::to_string(bytes) + "B";
+}
+
+std::string ProfileSummary(const PlanOp& node, const ExecProfile& profile,
+                           double total_micros) {
+  const OpProfile* p = profile.find(&node);
+  if (p == nullptr) return "  [profile: never executed]";
+  std::string out = "  [time=" + FormatDouble(p->total_micros()) + "us";
+  if (total_micros > 0.0) {
+    out += " (" +
+           FormatDouble(100.0 * p->total_micros() / total_micros) +
+           "% of total)";
+  }
+  out += " rows=" + std::to_string(p->rows_out);
+  if (p->opens != 1) out += " opens=" + std::to_string(p->opens);
+  if (p->peak_bytes > 0) out += " mem=" + FormatBytes(p->peak_bytes);
+  if (p->hash_build_rows > 0 || p->hash_probes > 0) {
+    out += " hash(build=" + std::to_string(p->hash_build_rows) +
+           " groups=" + std::to_string(p->hash_groups) +
+           " probes=" + std::to_string(p->hash_probes);
+    if (p->hash_chain_steps > 0) {
+      out += " chain=" + std::to_string(p->hash_chain_steps);
+    }
+    out += ")";
+  }
+  if (p->sort_rows > 0) {
+    out += " sort(rows=" + std::to_string(p->sort_rows) +
+           " bytes=" + FormatBytes(p->sort_bytes) + ")";
+  }
+  if (p->pred_evals > 0) {
+    out += " pred(evals=" + std::to_string(p->pred_evals) +
+           " steps=" + std::to_string(p->pred_steps) + ")";
+  }
+  return out + "]";
+}
+
 void ExplainRec(const PlanOp& node, const Query& query,
-                const ExplainOptions& options, int depth, std::string* out) {
+                const ExplainOptions& options, int depth, double total_micros,
+                std::string* out) {
   out->append(static_cast<size_t>(depth) * 2, ' ');
   *out += node.Label();
   if (options.show_args) *out += ArgsSummary(node, query);
@@ -119,9 +165,12 @@ void ExplainRec(const PlanOp& node, const Query& query,
   if (options.analyze && options.run_stats != nullptr) {
     *out += AnalyzeSummary(node, *options.run_stats);
   }
+  if (options.profile != nullptr) {
+    *out += ProfileSummary(node, *options.profile, total_micros);
+  }
   *out += "\n";
   for (const PlanPtr& in : node.inputs) {
-    ExplainRec(*in, query, options, depth + 1, out);
+    ExplainRec(*in, query, options, depth + 1, total_micros, out);
   }
 }
 
@@ -130,7 +179,18 @@ void ExplainRec(const PlanOp& node, const Query& query,
 std::string ExplainPlan(const PlanOp& root, const Query& query,
                         const ExplainOptions& options) {
   std::string out;
-  ExplainRec(root, query, options, 0, &out);
+  double total_micros = 0.0;
+  if (options.profile != nullptr) {
+    // "% of total" is relative to the root's inclusive tree time.
+    const OpProfile* p = options.profile->find(&root);
+    if (p != nullptr) total_micros = p->total_micros();
+  }
+  ExplainRec(root, query, options, 0, total_micros, &out);
+  if (options.profile != nullptr) {
+    out += "peak memory: " +
+           std::to_string(options.profile->memory().peak_bytes()) +
+           " bytes\n";
+  }
   return out;
 }
 

@@ -9,6 +9,7 @@
 
 namespace starburst {
 
+class ExecProfile;
 class Query;
 
 /// Run-time actuals for one plan node, collected by the Executor when stats
@@ -39,6 +40,10 @@ struct ExplainOptions {
   /// error (1.0 = perfect).
   bool analyze = false;
   const PlanRunStats* run_stats = nullptr;
+  /// Profile tree: append `actual time=... (N% of total) mem=...` plus
+  /// operator detail (hash build/probes, sort bytes, predicate steps) per
+  /// node from a profiled run. Independent of `run_stats`.
+  const ExecProfile* profile = nullptr;
 };
 
 /// Renders a plan DAG as an indented tree, e.g. (Figure 1's plan):

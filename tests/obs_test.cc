@@ -217,6 +217,29 @@ TEST(TracerTest, ChromeJsonIsValidAndEscapesLabels) {
   EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
 }
 
+TEST(TracerTest, ChromeJsonEscapesEverySpecialInLabelsAndDetails) {
+  // Regression: labels and detail strings flow into the JSON verbatim-ish;
+  // each JSON special must come out as its escape, and raw control bytes as
+  // \u00XX (an unescaped one makes the file unloadable in a trace viewer).
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    TraceSpan span(&tracer, TraceKind::kStar, "quote:\" slash:\\");
+    span.set_detail(std::string("nl:\n tab:\t cr:\r ctl:\x02 nul:") +
+                    '\x01');
+  }
+  std::string json = tracer.ToChromeJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("quote:\\\" slash:\\\\"), std::string::npos) << json;
+  EXPECT_NE(json.find("nl:\\n tab:\\t cr:\\r"), std::string::npos) << json;
+  EXPECT_NE(json.find("ctl:\\u0002"), std::string::npos) << json;
+  EXPECT_NE(json.find("\\u0001"), std::string::npos) << json;
+  // No raw control bytes survive anywhere in the output.
+  for (char c : json) {
+    ASSERT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // LatencyHistogram
 
@@ -275,6 +298,46 @@ TEST(LatencyHistogramTest, SubMicrosecondSamplesStayInsideBucketZero) {
   for (int i = 0; i < 50; ++i) constant.Record(0.5);
   EXPECT_DOUBLE_EQ(constant.Percentile(0.5), 0.5);
   EXPECT_DOUBLE_EQ(constant.Percentile(0.99), 0.5);
+}
+
+TEST(LatencyHistogramTest, QuantileEdgesAreExactObservations) {
+  LatencyHistogram h;
+  for (double v : {3.0, 40.0, 500.0, 6000.0}) h.Record(v);
+  // q=0 is the minimum and q=1 the maximum — exact observations, not
+  // bucket interpolations (nearest-rank alone would upper-bias q=0 inside
+  // the first occupied bucket).
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 6000.0);
+  // Out-of-range quantiles clamp to the same edges.
+  EXPECT_DOUBLE_EQ(h.Percentile(-0.5), 3.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.5), 6000.0);
+}
+
+TEST(LatencyHistogramTest, SingleSampleIsEveryQuantile) {
+  LatencyHistogram h;
+  h.Record(123.0);
+  for (double q : {0.0, 0.01, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.Percentile(q), 123.0) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogramTest, BucketBoundarySamplesStayWithinMinMax) {
+  // Exact powers of two sit on bucket boundaries; interpolation must never
+  // step outside the observed range on either side.
+  LatencyHistogram h;
+  for (double v : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) h.Record(v);
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    double v = h.Percentile(q);
+    EXPECT_GE(v, h.min()) << "q=" << q;
+    EXPECT_LE(v, h.max()) << "q=" << q;
+  }
+  // Quantiles stay monotone across the boundaries.
+  double prev = h.Percentile(0.0);
+  for (double q = 0.1; q <= 1.0; q += 0.1) {
+    double v = h.Percentile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
 }
 
 TEST(LatencyHistogramTest, NegativeAndNanSamplesAreDroppedNotCoerced) {
@@ -350,6 +413,54 @@ TEST(MetricsRegistryTest, DroppedSamplesSurfaceInSnapshotAndJson) {
   std::string json = metrics.ToJson();
   EXPECT_TRUE(JsonChecker(json).Valid()) << json;
   EXPECT_DOUBLE_EQ(ExtractNumber(json, "dropped"), 1.0);
+}
+
+TEST(MetricsRegistryTest, PrometheusExpositionMangledAndTyped) {
+  MetricsRegistry metrics;
+  metrics.AddCounter("exec.rows_returned", 42);
+  metrics.SetGauge("exec.peak_bytes", 1536.0);
+  metrics.SetGauge("0weird name!", 1.0);  // leading digit + bad chars
+  for (int i = 1; i <= 4; ++i) {
+    metrics.RecordLatency("optimizer.phase.glue", 100.0 * i);
+  }
+  std::string prom = metrics.TakeSnapshot().ToPrometheus();
+
+  // Dots mangle to underscores, with a # TYPE line per metric.
+  EXPECT_NE(prom.find("# TYPE exec_rows_returned counter\n"
+                      "exec_rows_returned 42\n"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("# TYPE exec_peak_bytes gauge\nexec_peak_bytes 1536\n"),
+            std::string::npos)
+      << prom;
+  // A leading digit is prefixed so the name stays legal.
+  EXPECT_NE(prom.find("_0weird_name_ 1\n"), std::string::npos) << prom;
+  // Histograms export as summaries: quantile samples plus _sum/_count.
+  EXPECT_NE(prom.find("# TYPE optimizer_phase_glue_us summary"),
+            std::string::npos);
+  EXPECT_NE(prom.find("optimizer_phase_glue_us{quantile=\"0.5\"} "),
+            std::string::npos);
+  EXPECT_NE(prom.find("optimizer_phase_glue_us{quantile=\"0.99\"} "),
+            std::string::npos);
+  EXPECT_NE(prom.find("optimizer_phase_glue_us_sum 1000\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("optimizer_phase_glue_us_count 4\n"),
+            std::string::npos);
+  // Every line is either a comment or `name[{labels}] value`.
+  size_t start = 0;
+  while (start < prom.size()) {
+    size_t end = prom.find('\n', start);
+    ASSERT_NE(end, std::string::npos) << "unterminated line";
+    std::string line = prom.substr(start, end - start);
+    if (line[0] != '#') {
+      size_t space = line.rfind(' ');
+      ASSERT_NE(space, std::string::npos) << line;
+      char* parse_end = nullptr;
+      std::strtod(line.c_str() + space + 1, &parse_end);
+      EXPECT_EQ(*parse_end, '\0') << line;
+    }
+    start = end + 1;
+  }
 }
 
 TEST(MetricsRegistryTest, ScopedTimerRecordsHistogramAndGauge) {

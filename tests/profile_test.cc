@@ -1,0 +1,443 @@
+// Tests for the execution profiler, per-query memory accounting, and the
+// workload statistics repository: profile row counts must equal real
+// operator output on both engines at every batch size, memory charges must
+// be recomputable at accounting granularity (the hash join's table bytes
+// in particular), the workload repository must fold literal-differing runs
+// of the same query shape into one record, and a profiler-off run must be
+// unaffected.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/synthetic.h"
+#include "cost/cost_model.h"
+#include "exec/evaluator.h"
+#include "exec/hash_table.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/workload.h"
+#include "optimizer/optimizer.h"
+#include "plan/explain.h"
+#include "properties/property_functions.h"
+#include "sql/parser.h"
+#include "star/default_rules.h"
+#include "storage/datagen.h"
+
+namespace starburst {
+namespace {
+
+const PlanOp* FindNode(const PlanOp& root, const std::string& label) {
+  if (root.Label() == label) return &root;
+  for (const PlanPtr& in : root.inputs) {
+    if (const PlanOp* hit = FindNode(*in, label)) return hit;
+  }
+  return nullptr;
+}
+
+void CollectRowsOut(const PlanOp& root, const ExecProfile& profile,
+                    std::map<int64_t, int64_t>* out) {
+  const OpProfile* p = profile.find(&root);
+  if (p != nullptr) (*out)[root.id] = p->rows_out;
+  for (const PlanPtr& in : root.inputs) CollectRowsOut(*in, profile, out);
+}
+
+class ProfileTest : public ::testing::Test {
+ protected:
+  ProfileTest() : catalog_(MakePaperCatalog()), db_(catalog_) {
+    Status st = PopulatePaperDatabase(&db_, /*seed=*/7, /*scale=*/0.05);
+    if (!st.ok()) ADD_FAILURE() << st.ToString();
+  }
+
+  Query Parse(const std::string& sql) {
+    return ParseSql(catalog_, sql).ValueOrDie();
+  }
+
+  OptimizeResult Optimize(const Query& query) {
+    // Plan nodes point into the optimizer's operator registry, so every
+    // optimizer must outlive the plans it produced.
+    DefaultRuleOptions rule_opts;
+    rule_opts.merge_join = true;
+    rule_opts.hash_join = true;
+    optimizers_.push_back(
+        std::make_unique<Optimizer>(DefaultRuleSet(rule_opts)));
+    return optimizers_.back()->Optimize(query).ValueOrDie();
+  }
+
+  Result<ResultSet> RunProfiled(const Query& query, const PlanPtr& plan,
+                                bool vectorized, int batch_size,
+                                ExecProfile* sink) {
+    ExecOptions options;
+    options.vectorized = vectorized ? 1 : 0;
+    options.batch_size = batch_size;
+    options.profile_sink = sink;
+    return ExecutePlan(db_, query, plan, options);
+  }
+
+  Catalog catalog_;
+  Database db_;
+  std::vector<std::unique_ptr<Optimizer>> optimizers_;
+};
+
+// ---------------------------------------------------------------------------
+// Row-count exactness: the profiled root must report exactly the rows the
+// query returned, on both engines, at batch sizes 1 / 1024 / 4096; and the
+// vectorized per-node counts must be batch-size invariant.
+// ---------------------------------------------------------------------------
+
+TEST_F(ProfileTest, RootRowCountsExactOnBothEnginesAtEveryBatchSize) {
+  const char* kSqls[] = {
+      "SELECT EMP.NAME, EMP.SALARY FROM EMP WHERE EMP.SALARY >= 100000 "
+      "ORDER BY EMP.SALARY",
+      "SELECT EMP.NAME, EMP.ADDRESS FROM DEPT, EMP "
+      "WHERE DEPT.MGR = 'Haas' AND DEPT.DNO = EMP.DNO",
+  };
+  for (const char* sql : kSqls) {
+    Query query = Parse(sql);
+    PlanPtr best = Optimize(query).best;
+    size_t expected_rows = 0;
+    bool first = true;
+    std::map<int64_t, int64_t> vec_rows_out_at_1;
+    for (bool vectorized : {false, true}) {
+      for (int batch_size : {1, 1024, 4096}) {
+        ExecProfile profile;
+        auto rs = RunProfiled(query, best, vectorized, batch_size, &profile);
+        ASSERT_TRUE(rs.ok()) << rs.status().ToString() << "\n" << sql;
+        if (first) {
+          expected_rows = rs.value().rows.size();
+          first = false;
+        }
+        ASSERT_EQ(rs.value().rows.size(), expected_rows)
+            << sql << " vectorized=" << vectorized
+            << " batch_size=" << batch_size;
+        const OpProfile* root = profile.find(best.get());
+        ASSERT_NE(root, nullptr) << sql;
+        // The root's profiled rows are the real result cardinality — not an
+        // estimate, not a per-batch artifact.
+        EXPECT_EQ(root->rows_out, static_cast<int64_t>(expected_rows))
+            << sql << " vectorized=" << vectorized
+            << " batch_size=" << batch_size;
+        EXPECT_GE(root->opens, 1) << sql;
+        EXPECT_EQ(root->opens, root->closes) << sql;
+        EXPECT_GE(root->total_micros(), 0.0);
+        if (vectorized) {
+          // Batch size changes how rows are chunked, never how many flow
+          // through each operator.
+          std::map<int64_t, int64_t> rows_out;
+          CollectRowsOut(*best, profile, &rows_out);
+          if (batch_size == 1) {
+            vec_rows_out_at_1 = rows_out;
+          } else {
+            EXPECT_EQ(rows_out, vec_rows_out_at_1)
+                << sql << " batch_size=" << batch_size;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_F(ProfileTest, ProfilerOffLeavesResultsIdentical) {
+  Query query = Parse(
+      "SELECT EMP.NAME, EMP.ADDRESS FROM DEPT, EMP "
+      "WHERE DEPT.MGR = 'Haas' AND DEPT.DNO = EMP.DNO");
+  PlanPtr best = Optimize(query).best;
+  for (bool vectorized : {false, true}) {
+    ExecOptions off;
+    off.vectorized = vectorized ? 1 : 0;
+    off.profile = 0;
+    auto plain = ExecutePlan(db_, query, best, off);
+    ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+
+    ExecProfile profile;
+    ExecOptions on = off;
+    on.profile_sink = &profile;
+    auto profiled = ExecutePlan(db_, query, best, on);
+    ASSERT_TRUE(profiled.ok()) << profiled.status().ToString();
+
+    ASSERT_EQ(plain.value().rows.size(), profiled.value().rows.size());
+    for (size_t i = 0; i < plain.value().rows.size(); ++i) {
+      const Tuple& a = plain.value().rows[i];
+      const Tuple& b = profiled.value().rows[i];
+      ASSERT_EQ(a.size(), b.size());
+      for (size_t j = 0; j < a.size(); ++j) {
+        EXPECT_EQ(a[j].Compare(b[j]), 0)
+            << "row " << i << " col " << j << " vectorized=" << vectorized;
+      }
+    }
+    EXPECT_FALSE(profile.empty());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Memory accounting.
+// ---------------------------------------------------------------------------
+
+TEST(MemoryTrackerTest, PeakIsAHighWaterMark) {
+  MemoryTracker mem;
+  mem.Charge(100);
+  mem.Charge(50);
+  EXPECT_EQ(mem.current_bytes(), 150);
+  EXPECT_EQ(mem.peak_bytes(), 150);
+  mem.Release(120);
+  EXPECT_EQ(mem.current_bytes(), 30);
+  EXPECT_EQ(mem.peak_bytes(), 150);  // peak survives releases
+  mem.Charge(10);
+  EXPECT_EQ(mem.peak_bytes(), 150);
+  mem.Release(1000);  // over-release clamps, never goes negative
+  EXPECT_EQ(mem.current_bytes(), 0);
+  mem.Reset();
+  EXPECT_EQ(mem.peak_bytes(), 0);
+}
+
+TEST(JoinHashTableTest, ApproxBytesIsRecomputableFromContents) {
+  JoinHashTable ht(/*key_width=*/1);
+  std::vector<Datum> keys = {Datum(int64_t{3}), Datum(std::string("Haas")),
+                             Datum(int64_t{3}), Datum(std::string("Greer"))};
+  for (uint32_t row = 0; row < keys.size(); ++row) {
+    uint64_t h = JoinHashTable::HashKey(&keys[row], 1);
+    ht.Insert(&keys[row], h, row);
+  }
+  ASSERT_EQ(ht.num_groups(), 3u);  // the duplicate int folds into one group
+  ASSERT_EQ(ht.num_rows(), 4u);
+  // Recompute the documented accounting formula: per-group key Datum payload
+  // + group hash/head/tail + per-entry row/next + slot array.
+  int64_t expected =
+      static_cast<int64_t>(ht.num_groups()) *
+          static_cast<int64_t>(sizeof(Datum)) +
+      static_cast<int64_t>(std::string("Haas").size()) +
+      static_cast<int64_t>(std::string("Greer").size()) +
+      static_cast<int64_t>(ht.num_groups()) *
+          static_cast<int64_t>(sizeof(uint64_t) + 2 * sizeof(int32_t)) +
+      static_cast<int64_t>(ht.num_rows()) *
+          static_cast<int64_t>(sizeof(uint32_t) + sizeof(int32_t)) +
+      static_cast<int64_t>(ht.num_slots()) *
+          static_cast<int64_t>(sizeof(int32_t));
+  EXPECT_EQ(ht.ApproxBytes(), expected);
+}
+
+TEST_F(ProfileTest, HashJoinChargesItsTableToThePeak) {
+  // Build the JOIN(HA) plan by hand so the test does not depend on the
+  // cost model ever preferring it: DEPT scan (MGR = 'Haas') hash-joined
+  // with an EMP scan on the DNO equality.
+  Query query = Parse(
+      "SELECT EMP.NAME, EMP.ADDRESS FROM DEPT, EMP "
+      "WHERE DEPT.MGR = 'Haas' AND DEPT.DNO = EMP.DNO");
+  CostModel cost_model;
+  OperatorRegistry registry;
+  ASSERT_TRUE(RegisterBuiltinOperators(&registry).ok());
+  PlanFactory factory(query, cost_model, registry);
+  auto col = [&](const char* alias, const char* name) {
+    return query.ResolveColumn(alias, name).ValueOrDie();
+  };
+  OpArgs dept_args;
+  dept_args.Set(arg::kQuantifier, int64_t{0});
+  dept_args.Set(arg::kCols, std::vector<ColumnRef>{col("DEPT", "DNO"),
+                                                   col("DEPT", "MGR")});
+  dept_args.Set(arg::kPreds, PredSet::Single(0));
+  PlanPtr dept =
+      factory.Make(op::kAccess, flavor::kHeap, {}, std::move(dept_args))
+          .ValueOrDie();
+  OpArgs emp_args;
+  emp_args.Set(arg::kQuantifier, int64_t{1});
+  emp_args.Set(arg::kCols,
+               std::vector<ColumnRef>{col("EMP", "DNO"), col("EMP", "NAME"),
+                                      col("EMP", "ADDRESS")});
+  emp_args.Set(arg::kPreds, PredSet{});
+  PlanPtr emp =
+      factory.Make(op::kAccess, flavor::kHeap, {}, std::move(emp_args))
+          .ValueOrDie();
+  OpArgs join;
+  join.Set(arg::kJoinPreds, PredSet::Single(1));
+  join.Set(arg::kResidualPreds, PredSet{});
+  PlanPtr ha_plan =
+      factory.Make(op::kJoin, flavor::kHA, {dept, emp}, std::move(join))
+          .ValueOrDie();
+  for (bool vectorized : {false, true}) {
+    ExecProfile profile;
+    auto rs = RunProfiled(query, ha_plan, vectorized, 1024, &profile);
+    ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+    ASSERT_GT(rs.value().rows.size(), 0u);
+    const PlanOp* ha = ha_plan.get();
+    ASSERT_EQ(ha->Label(), "JOIN(HA)");
+    const OpProfile* p = profile.find(ha);
+    ASSERT_NE(p, nullptr) << "vectorized=" << vectorized;
+    EXPECT_GT(p->hash_build_rows, 0) << "vectorized=" << vectorized;
+    EXPECT_GE(p->hash_build_rows, p->hash_groups);
+    EXPECT_GT(p->hash_groups, 0);
+    EXPECT_GT(p->hash_bytes, 0);
+    EXPECT_GT(p->hash_probes, 0);
+    // The table's bytes were charged through this node, so its high water
+    // and the query-wide peak both cover them (the peak may be higher —
+    // build-side materialization is charged too).
+    EXPECT_GE(p->peak_bytes, p->hash_bytes);
+    EXPECT_GE(profile.memory().peak_bytes(), p->hash_bytes);
+    EXPECT_GE(profile.memory().peak_bytes(), p->peak_bytes);
+  }
+}
+
+TEST_F(ProfileTest, SortChargesItsBufferAndRecordsRows) {
+  Query query = Parse(
+      "SELECT EMP.NAME, EMP.SALARY FROM EMP WHERE EMP.SALARY >= 100000 "
+      "ORDER BY EMP.SALARY");
+  PlanPtr best = Optimize(query).best;
+  const PlanOp* sort = FindNode(*best, "SORT");
+  if (sort == nullptr) GTEST_SKIP() << "plan satisfied the order for free";
+  ExecProfile profile;
+  auto rs = RunProfiled(query, best, /*vectorized=*/true, 1024, &profile);
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  const OpProfile* p = profile.find(sort);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->sort_rows, static_cast<int64_t>(rs.value().rows.size()));
+  EXPECT_GT(p->sort_bytes, 0);
+  EXPECT_GE(p->peak_bytes, p->sort_bytes);
+  EXPECT_GE(profile.memory().peak_bytes(), p->sort_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics, JSON export, and EXPLAIN rendering.
+// ---------------------------------------------------------------------------
+
+TEST_F(ProfileTest, ExecGaugesAndAnalyzedOverloadSurfaceTheProfile) {
+  Query query = Parse("SELECT EMP.NAME FROM EMP WHERE EMP.SALARY >= 100000");
+  PlanPtr best = Optimize(query).best;
+
+  MetricsRegistry metrics;
+  ExecProfile profile;
+  PlanRunStats stats;
+  ExecOptions options;
+  options.metrics = &metrics;
+  options.profile_sink = &profile;
+  auto rs = ExecutePlanAnalyzed(db_, query, best, &stats, options);
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+
+  // Both sinks filled from the one run, and they agree on the root.
+  ASSERT_FALSE(profile.empty());
+  ASSERT_GE(stats.size(), 1u);
+  const OpProfile* root = profile.find(best.get());
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->rows_out, stats.at(best.get()).rows);
+
+  // exec.* gauges land in the registry (and survive Prometheus mangling).
+  EXPECT_GE(metrics.gauge("exec.peak_bytes"), 0.0);
+  std::string prom = metrics.TakeSnapshot().ToPrometheus();
+  EXPECT_NE(prom.find("exec_peak_bytes"), std::string::npos) << prom;
+
+  // The JSON export is labeled and ordered.
+  std::string json = profile.ToJson();
+  EXPECT_NE(json.find("\"peak_bytes\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ops\":["), std::string::npos);
+  EXPECT_NE(json.find("\"label\":\""), std::string::npos);
+  EXPECT_NE(json.find("\"rows_out\":"), std::string::npos);
+
+  // EXPLAIN with a profile renders the tree annotations and the footer.
+  ExplainOptions opts;
+  opts.profile = &profile;
+  std::string text = ExplainPlan(*best, query, opts);
+  EXPECT_NE(text.find("time="), std::string::npos) << text;
+  EXPECT_NE(text.find("% of total"), std::string::npos);
+  EXPECT_NE(text.find("rows=" + std::to_string(rs.value().rows.size())),
+            std::string::npos);
+  EXPECT_NE(text.find("peak memory:"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Workload statistics repository.
+// ---------------------------------------------------------------------------
+
+TEST_F(ProfileTest, WorkloadFoldsLiteralDifferingRunsIntoOneRecord) {
+  Query haas = Parse(
+      "SELECT EMP.NAME FROM DEPT, EMP "
+      "WHERE DEPT.MGR = 'Haas' AND DEPT.DNO = EMP.DNO");
+  Query greer = Parse(
+      "SELECT EMP.NAME FROM DEPT, EMP "
+      "WHERE DEPT.MGR = 'Greer' AND DEPT.DNO = EMP.DNO");
+  EXPECT_EQ(WorkloadRepository::QueryDigest(haas),
+            WorkloadRepository::QueryDigest(greer));
+  EXPECT_EQ(WorkloadRepository::NormalizedQuery(haas),
+            WorkloadRepository::NormalizedQuery(greer));
+
+  WorkloadRepository repo;
+  for (const Query* q : {&haas, &greer}) {
+    PlanPtr best = Optimize(*q).best;
+    ExecOptions options;
+    options.workload = &repo;  // implies profiling with a local sink
+    auto rs = ExecutePlan(db_, *q, best, options);
+    ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  }
+  ASSERT_EQ(repo.size(), 1u);
+  std::vector<WorkloadQueryRecord> records = repo.Records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].runs, 2);
+  EXPECT_GE(records[0].max_q_error, 1.0);
+
+  // The per-(table, shape) aggregates use the same normalized keys for both
+  // runs: every key observed twice, literals erased.
+  std::vector<TableShapeStats> stats = repo.TableStats();
+  ASSERT_FALSE(stats.empty());
+  for (const TableShapeStats& s : stats) {
+    EXPECT_EQ(s.observations, 2) << s.table << " | " << s.shape;
+    EXPECT_EQ(s.shape.find("Haas"), std::string::npos) << s.shape;
+    EXPECT_EQ(s.shape.find("Greer"), std::string::npos) << s.shape;
+  }
+}
+
+TEST_F(ProfileTest, WorkloadRepeatedRunsAggregateIdenticalKeys) {
+  Query query = Parse("SELECT EMP.NAME FROM EMP WHERE EMP.SALARY >= 100000");
+  PlanPtr best = Optimize(query).best;
+  auto keys_of = [&](int runs) {
+    WorkloadRepository repo;
+    for (int i = 0; i < runs; ++i) {
+      ExecOptions options;
+      options.workload = &repo;
+      auto rs = ExecutePlan(db_, query, best, options);
+      EXPECT_TRUE(rs.ok()) << rs.status().ToString();
+    }
+    std::vector<std::pair<std::string, std::string>> keys;
+    for (const TableShapeStats& s : repo.TableStats()) {
+      keys.emplace_back(s.table, s.shape);
+    }
+    return keys;
+  };
+  auto once = keys_of(1);
+  auto thrice = keys_of(3);
+  ASSERT_FALSE(once.empty());
+  // Re-running the same query never mints new keys.
+  EXPECT_EQ(once, thrice);
+}
+
+TEST_F(ProfileTest, WorkloadRingEvictsQueriesButKeepsShapeFeedback) {
+  const char* kSqls[] = {
+      "SELECT EMP.NAME FROM EMP WHERE EMP.SALARY >= 100000",
+      "SELECT DEPT.DNAME FROM DEPT WHERE DEPT.MGR = 'Haas'",
+      "SELECT EMP.NAME FROM DEPT, EMP WHERE DEPT.DNO = EMP.DNO",
+  };
+  WorkloadRepository repo(/*capacity=*/2);
+  for (const char* sql : kSqls) {
+    Query query = Parse(sql);
+    PlanPtr best = Optimize(query).best;
+    ExecOptions options;
+    options.workload = &repo;
+    auto rs = ExecutePlan(db_, query, best, options);
+    ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  }
+  // The ring holds the two newest queries; the first one's record is gone
+  // but its (table, shape) feedback persists.
+  EXPECT_EQ(repo.size(), 2u);
+  bool saw_emp_salary_shape = false;
+  for (const TableShapeStats& s : repo.TableStats()) {
+    if (s.table == "EMP" && s.shape.find("SALARY") != std::string::npos) {
+      saw_emp_salary_shape = true;
+    }
+  }
+  EXPECT_TRUE(saw_emp_salary_shape);
+  std::string json = repo.ToJson();
+  EXPECT_NE(json.find("\"queries\":["), std::string::npos) << json;
+  EXPECT_NE(json.find("\"table_stats\":["), std::string::npos);
+}
+
+}  // namespace
+}  // namespace starburst
