@@ -87,6 +87,18 @@ inline void PrintMetricsJson(const MetricsRegistry& metrics,
   std::printf("METRICS_JSON %s %s\n", tag, metrics.ToJson().c_str());
 }
 
+/// Core-aware floor for the parallel-execution scaling artifacts: the
+/// acceptance bar (>= 2.5x rows/s at 8 exchange workers) only makes sense
+/// where 8 hardware threads exist. Smaller machines get a proportionally
+/// lower bar, and a single-core box merely checks that the exchange did not
+/// badly regress (threads can only timeslice there).
+inline double ParallelScalingFloor(unsigned cores) {
+  if (cores >= 8) return 2.5;
+  if (cores >= 4) return 1.8;
+  if (cores >= 2) return 1.25;
+  return 0.5;
+}
+
 inline void PrintHeader(const char* experiment, const char* claim) {
   std::printf("==============================================================="
               "=========\n");

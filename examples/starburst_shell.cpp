@@ -26,6 +26,8 @@
 //   \vectorized [on|off]  show/set the execution engine (batch pipeline vs
 //                         the legacy row-at-a-time oracle)
 //   \batchsize [n]        show/set rows per batch (0 = env default)
+//   \execthreads [n]      show/set exchange worker threads for parallel
+//                         scans/joins/sorts (0 = env default, 1 = off)
 //   \profile [on|off|json] show/set per-operator execution profiling (wall
 //                         time, rows, memory, operator detail); json dumps
 //                         the last profile
@@ -107,6 +109,8 @@ void PrintHelp() {
       "  \\vectorized [on|off] show/set the execution engine (on = batch\n"
       "                      pipeline, off = row-at-a-time oracle)\n"
       "  \\batchsize [n]      show/set rows per batch (0 = env default)\n"
+      "  \\execthreads [n]    show/set exchange worker threads (0 = env\n"
+      "                      default STARBURST_EXEC_THREADS, 1 = off)\n"
       "  \\profile [on|off]   show/set per-operator profiling (time, rows,\n"
       "                      memory, hash/sort/predicate detail; shown by\n"
       "                      \\analyze); \\profile json dumps the last one\n"
@@ -126,6 +130,7 @@ struct Shell {
   OptimizeResult last;
   int vectorized = -1;  // -1 env default, 0 legacy interpreter, 1 batch
   int batch_size = 0;   // 0 env default
+  int exec_threads = 0;  // 0 env default (STARBURST_EXEC_THREADS)
   int profile = -1;     // -1 env default (STARBURST_PROFILE), 0 off, 1 on
   ExecProfile last_profile;
   WorkloadRepository workload;
@@ -180,6 +185,7 @@ struct Shell {
     exec_opts.metrics = &metrics;
     exec_opts.vectorized = vectorized;
     exec_opts.batch_size = batch_size;
+    exec_opts.exec_threads = exec_threads;
     if (analyze) exec_opts.stats = &run_stats;
     bool profiling =
         profile == 1 || (profile == -1 && DefaultProfileEnabled());
@@ -485,6 +491,28 @@ struct Shell {
         std::printf("batch size set to %d rows\n", batch_size);
       } else {
         std::printf("batch size: environment default\n");
+      }
+    } else if (cmd == "\\execthreads") {
+      if (rest.empty()) {
+        if (exec_threads > 0) {
+          std::printf("exec threads: %d\n", exec_threads);
+        } else {
+          std::printf("exec threads: environment default "
+                      "(STARBURST_EXEC_THREADS, fallback 1)\n");
+        }
+        return;
+      }
+      char* end = nullptr;
+      long n = std::strtol(rest.c_str(), &end, 10);
+      if (end == rest.c_str() || *end != '\0' || n < 0 || n > 256) {
+        std::printf("usage: \\execthreads <0..256>   (0 = env default)\n");
+        return;
+      }
+      exec_threads = static_cast<int>(n);
+      if (exec_threads > 0) {
+        std::printf("exec threads set to %d\n", exec_threads);
+      } else {
+        std::printf("exec threads: environment default\n");
       }
     } else if (cmd == "\\faults") {
       if (rest.empty()) {

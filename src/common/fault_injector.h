@@ -60,6 +60,13 @@ class FaultInjector {
   /// The cooperative hook: returns OK, or the injected fault as
   /// Internal("injected fault at <site> ...") when this hit fires.
   /// Thread-safe; hit counting is per site.
+  ///
+  /// Hit ORDER is part of the determinism contract: nth-hit specs like
+  /// "exec.scan.open=2" must trip the same logical operation regardless of
+  /// engine, batch size, or exec thread count. The exchange operator keeps
+  /// this true by construction — every exec-site Check stays on the
+  /// coordinator thread in the sequential call sequence; morsel workers
+  /// never call Check, so parallelism can neither consume nor reorder hits.
   Status Check(const char* site);
 
   /// Times `site` was checked since the last Configure (armed mode only).

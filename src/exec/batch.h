@@ -21,6 +21,17 @@ inline int DefaultBatchSize() {
   return n >= 1 ? n : 1;
 }
 
+/// Worker count for the exchange operator from STARBURST_EXEC_THREADS
+/// (clamped to [1, 256]), else 1 — parallel execution is strictly opt-in so
+/// a default run behaves exactly like the sequential engine.
+inline int DefaultExecThreads() {
+  const char* env = std::getenv("STARBURST_EXEC_THREADS");
+  if (env == nullptr || *env == '\0') return 1;
+  int n = std::atoi(env);
+  if (n < 1) return 1;
+  return n > 256 ? 256 : n;
+}
+
 /// Vectorized execution unless STARBURST_VECTORIZED=0 selects the legacy
 /// row-at-a-time oracle.
 inline bool DefaultVectorized() {

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/fault_injector.h"
+#include "exec/exchange.h"
 #include "exec/hash_table.h"
 #include "exec/pred_program.h"
 #include "obs/profiler.h"
@@ -437,15 +438,10 @@ class TempAccessIterator : public BatchIterator {
         slots.push_back(s);
       }
       sorted_rows_ = *rows_;
-      std::stable_sort(sorted_rows_.begin(), sorted_rows_.end(),
-                       [&slots](const Tuple& a, const Tuple& b) {
-                         for (int s : slots) {
-                           int c = a[static_cast<size_t>(s)].Compare(
-                               b[static_cast<size_t>(s)]);
-                           if (c != 0) return c < 0;
-                         }
-                         return false;
-                       });
+      // The parallel sort is pure, so it is safe even when this temp-index
+      // access sits inside a re-opened (correlated) subtree.
+      int sort_workers =
+          SortRowsBySlots(&sorted_rows_, slots, rt_->exec_threads);
       sorted_ready_ = true;
       if (rt_->profile != nullptr) {
         if (charged_ > 0) rt_->profile->ReleaseBytes(node_, charged_);
@@ -454,6 +450,9 @@ class TempAccessIterator : public BatchIterator {
         OpProfile& p = rt_->profile->at(node_);
         p.sort_rows += static_cast<int64_t>(sorted_rows_.size());
         p.sort_bytes += charged_;
+        if (sort_workers > 1 && sort_workers > p.exchange_workers) {
+          p.exchange_workers = sort_workers;
+        }
       }
     }
     cursor_ = 0;
@@ -625,15 +624,10 @@ class SortIterator : public BatchIterator {
   Status DoNext(RowBatch* out) override {
     if (!drained_) {
       STARBURST_RETURN_NOT_OK(DrainInto(child_.get(), &rows_));
-      std::stable_sort(rows_.begin(), rows_.end(),
-                       [this](const Tuple& a, const Tuple& b) {
-                         for (int s : slots_) {
-                           int c = a[static_cast<size_t>(s)].Compare(
-                               b[static_cast<size_t>(s)]);
-                           if (c != 0) return c < 0;
-                         }
-                         return false;
-                       });
+      // Parallel chunk-sort + stable merge; bit-identical to one
+      // std::stable_sort at every worker count (exec_threads 1 is exactly
+      // that call).
+      int sort_workers = SortRowsBySlots(&rows_, slots_, rt_->exec_threads);
       drained_ = true;
       if (rt_->profile != nullptr) {
         charged_ = RowsApproxBytes(rows_);
@@ -641,6 +635,9 @@ class SortIterator : public BatchIterator {
         OpProfile& p = rt_->profile->at(node_);
         p.sort_rows += static_cast<int64_t>(rows_.size());
         p.sort_bytes += charged_;
+        if (sort_workers > 1 && sort_workers > p.exchange_workers) {
+          p.exchange_workers = sort_workers;
+        }
       }
     }
     while (!BatchFull(*out, *rt_) && pos_ < rows_.size()) {
@@ -1003,7 +1000,7 @@ class FilterByIterator : public BatchIterator {
       std::vector<Tuple> filter_rows;
       STARBURST_RETURN_NOT_OK(DrainInto(filter_.get(), &filter_rows));
       ht_ = std::make_unique<JoinHashTable>(width);
-      ht_->Reserve(filter_rows.size());
+      STARBURST_RETURN_NOT_OK(ht_->Reserve(filter_rows.size()));
       key_buf_.resize(static_cast<size_t>(width));
       for (const Tuple& f : filter_rows) {
         ProgramCtx ctx{&f, rt_->env, nullptr};
@@ -1015,8 +1012,9 @@ class FilterByIterator : public BatchIterator {
           key_buf_[static_cast<size_t>(k)] = std::move(v).value();
         }
         if (null_key) continue;
-        ht_->Insert(key_buf_.data(), JoinHashTable::HashKey(key_buf_.data(), width),
-                    0);
+        STARBURST_RETURN_NOT_OK(ht_->Insert(
+            key_buf_.data(), JoinHashTable::HashKey(key_buf_.data(), width),
+            0));
       }
       built_ = true;
       if (rt_->profile != nullptr) {
@@ -1447,12 +1445,16 @@ class MergeJoinIterator : public BatchIterator {
 
 class HashJoinIterator : public BatchIterator {
  public:
+  /// `exchange_ok` (builder-computed: exec_threads > 1, depth 0, not in a
+  /// re-opened subtree) selects the partitioned build + probe-morsel path;
+  /// its output is bit-identical to the streaming path.
   HashJoinIterator(VecRuntime* rt, const PlanOp* node, int depth,
                    std::unique_ptr<BatchIterator> outer,
-                   std::unique_ptr<BatchIterator> inner)
+                   std::unique_ptr<BatchIterator> inner, bool exchange_ok)
       : BatchIterator(rt, node, depth),
         outer_(std::move(outer)),
-        inner_(std::move(inner)) {}
+        inner_(std::move(inner)),
+        exchange_ok_(exchange_ok) {}
 
  protected:
   Status DoOpen() override {
@@ -1508,16 +1510,23 @@ class HashJoinIterator : public BatchIterator {
     drained_ = false;
     dorows_.clear();
     di_ = dj_ = 0;
+    pt_.reset();
+    probe_rows_.clear();
+    pmorsel_out_.clear();
+    probed_ = false;
+    pemit_morsel_ = 0;
+    pemit_pos_ = 0;
     return Status::OK();
   }
 
   Status DoNext(RowBatch* out) override {
     if (degrade_) return DegradeNext(out);
+    if (exchange_ok_) return ParallelNext(out);
     const int width = static_cast<int>(inner_key_.size());
     if (!built_) {
       STARBURST_RETURN_NOT_OK(DrainInto(inner_.get(), &build_rows_));
       ht_ = std::make_unique<JoinHashTable>(width);
-      ht_->Reserve(build_rows_.size());
+      STARBURST_RETURN_NOT_OK(ht_->Reserve(build_rows_.size()));
       key_buf_.resize(static_cast<size_t>(width));
       for (size_t r = 0; r < build_rows_.size(); ++r) {
         ProgramCtx ctx{&build_rows_[r], rt_->env, nullptr};
@@ -1529,9 +1538,9 @@ class HashJoinIterator : public BatchIterator {
           key_buf_[static_cast<size_t>(k)] = std::move(v).value();
         }
         if (null_key) continue;  // NULL keys never match: row skipped
-        ht_->Insert(key_buf_.data(),
-                    JoinHashTable::HashKey(key_buf_.data(), width),
-                    static_cast<uint32_t>(r));
+        STARBURST_RETURN_NOT_OK(ht_->Insert(
+            key_buf_.data(), JoinHashTable::HashKey(key_buf_.data(), width),
+            static_cast<uint32_t>(r)));
       }
       built_ = true;
       if (rt_->profile != nullptr) {
@@ -1585,6 +1594,12 @@ class HashJoinIterator : public BatchIterator {
         p.hash_probes += probes_;
         p.hash_chain_steps += chain_steps_;
       }
+      if (workers_used_ > 1) {
+        OpProfile& p = rt_->profile->at(node_);
+        if (workers_used_ > p.exchange_workers) {
+          p.exchange_workers = workers_used_;
+        }
+      }
     }
     STARBURST_RETURN_NOT_OK(outer_->Close());
     return inner_->Close();
@@ -1596,6 +1611,95 @@ class HashJoinIterator : public BatchIterator {
       rt_->profile->ReleaseBytes(node_, charged_);
     }
     charged_ = 0;
+  }
+
+  /// Exchange path: partitioned build (global-row-order chains), drained
+  /// outer, probe morsels into per-morsel buffers, emission in morsel order.
+  /// Every observable — row order, rows/batches out, probes, chain steps,
+  /// build rows, groups — matches the streaming path; only partition-layout
+  /// detail (buckets, bytes) differs.
+  Status ParallelNext(RowBatch* out) {
+    const int width = static_cast<int>(inner_key_.size());
+    if (!built_) {
+      STARBURST_RETURN_NOT_OK(DrainInto(inner_.get(), &build_rows_));
+      pt_ = std::make_unique<PartitionedJoinTable>(width);
+      STARBURST_RETURN_NOT_OK(
+          pt_->Build(build_rows_, inner_key_, rt_->env, rt_->exec_threads));
+      built_ = true;
+      if (pt_->build_workers() > workers_used_) {
+        workers_used_ = pt_->build_workers();
+      }
+      if (rt_->profile != nullptr) {
+        charged_ = RowsApproxBytes(build_rows_) + pt_->ApproxBytes();
+        rt_->profile->ChargeBytes(node_, charged_);
+        OpProfile& p = rt_->profile->at(node_);
+        p.hash_build_rows += static_cast<int64_t>(build_rows_.size());
+        p.hash_groups += static_cast<int64_t>(pt_->num_groups());
+        p.hash_buckets += static_cast<int64_t>(pt_->num_slots());
+        p.hash_bytes += pt_->ApproxBytes();
+      }
+    }
+    if (!probed_) {
+      // The drained outer is pipeline transport (like RowBatches), not
+      // operator state — it is not charged to the tracker.
+      STARBURST_RETURN_NOT_OK(DrainInto(outer_.get(), &probe_rows_));
+      size_t n = probe_rows_.size();
+      size_t morsels = MorselCount(n);
+      int workers = ExchangeWorkersFor(rt_->exec_threads, n, morsels);
+      pmorsel_out_.assign(morsels, {});
+      std::vector<int64_t> probes(morsels, 0);
+      std::vector<int64_t> chains(morsels, 0);
+      STARBURST_RETURN_NOT_OK(RunMorsels(workers, morsels, [&](size_t m) {
+        size_t lo = m * kMorselRows;
+        size_t hi = std::min(n, lo + kMorselRows);
+        std::vector<Datum> kb(static_cast<size_t>(width));
+        RowBatch local;
+        for (size_t r = lo; r < hi; ++r) {
+          const Tuple& o = probe_rows_[r];
+          ProgramCtx ctx{&o, rt_->env, nullptr};
+          bool null_key = false;
+          for (int k = 0; k < width; ++k) {
+            auto v = outer_key_[static_cast<size_t>(k)].Eval(ctx);
+            if (!v.ok()) return v.status();
+            if (v.value().is_null()) null_key = true;
+            kb[static_cast<size_t>(k)] = std::move(v).value();
+          }
+          if (null_key) continue;
+          ++probes[m];
+          uint64_t h = JoinHashTable::HashKey(kb.data(), width);
+          const JoinHashTable& table = pt_->partition(h);
+          int32_t g = table.FindGroup(kb.data(), h);
+          if (g < 0) continue;
+          for (int32_t e = table.GroupHead(g); e >= 0;
+               e = table.NextEntry(e)) {
+            STARBURST_RETURN_NOT_OK(
+                EmitJoinPair(o, build_rows_[table.EntryRow(e)], check_, rt_,
+                             &local));
+            ++chains[m];
+          }
+        }
+        pmorsel_out_[m] = std::move(local.rows);
+        return Status::OK();
+      }));
+      for (int64_t v : probes) probes_ += v;
+      for (int64_t v : chains) chain_steps_ += v;
+      if (workers > workers_used_) workers_used_ = workers;
+      probed_ = true;
+      pemit_morsel_ = 0;
+      pemit_pos_ = 0;
+    }
+    while (!BatchFull(*out, *rt_) && pemit_morsel_ < pmorsel_out_.size()) {
+      std::vector<Tuple>& rows = pmorsel_out_[pemit_morsel_];
+      if (pemit_pos_ >= rows.size()) {
+        rows.clear();
+        rows.shrink_to_fit();
+        ++pemit_morsel_;
+        pemit_pos_ = 0;
+        continue;
+      }
+      out->rows.push_back(std::move(rows[pemit_pos_++]));
+    }
+    return Status::OK();
   }
 
   Status DegradeNext(RowBatch* out) {
@@ -1638,6 +1742,15 @@ class HashJoinIterator : public BatchIterator {
   bool drained_ = false;
   std::vector<Tuple> dorows_;
   size_t di_ = 0, dj_ = 0;
+  // Exchange-mode state.
+  bool exchange_ok_ = false;
+  std::unique_ptr<PartitionedJoinTable> pt_;
+  std::vector<Tuple> probe_rows_;
+  std::vector<std::vector<Tuple>> pmorsel_out_;
+  bool probed_ = false;
+  size_t pemit_morsel_ = 0;
+  size_t pemit_pos_ = 0;
+  int workers_used_ = 1;
 };
 
 // ---------------------------------------------------------------------------
@@ -1741,18 +1854,29 @@ Result<std::unique_ptr<BatchIterator>> BuildNode(VecRuntime* rt,
                                                  const PlanOp& node,
                                                  int depth, bool reopened) {
   const std::string& name = node.name();
+  // Exchange eligibility: parallel iterators are only built at pipeline
+  // depth 0 outside re-opened subtrees, where compiled programs reference no
+  // NL binding frames and Open runs exactly once — so workers share nothing
+  // mutable and the coordinator's fault-check sequence stays sequential.
+  const bool exchange_ok =
+      rt->exec_threads > 1 && depth == 0 && !reopened;
   if (name == op::kAccess) {
     if (node.flavor == flavor::kTemp || node.flavor == flavor::kTempIndex) {
       return std::unique_ptr<BatchIterator>(
           new TempAccessIterator(rt, &node, depth));
     }
-    if (node.flavor == flavor::kHeap || node.flavor == flavor::kBTree) {
+    if (node.flavor == flavor::kHeap || node.flavor == flavor::kBTree ||
+        node.flavor == flavor::kIndex) {
+      if (exchange_ok) {
+        return std::unique_ptr<BatchIterator>(
+            new ExchangeScanIterator(rt, &node, depth));
+      }
+      if (node.flavor == flavor::kIndex) {
+        return std::unique_ptr<BatchIterator>(
+            new IndexScanIterator(rt, &node, depth));
+      }
       return std::unique_ptr<BatchIterator>(
           new HeapScanIterator(rt, &node, depth));
-    }
-    if (node.flavor == flavor::kIndex) {
-      return std::unique_ptr<BatchIterator>(
-          new IndexScanIterator(rt, &node, depth));
     }
     return Status::InvalidArgument("unknown ACCESS flavor '" + node.flavor +
                                    "'");
@@ -1782,7 +1906,7 @@ Result<std::unique_ptr<BatchIterator>> BuildNode(VecRuntime* rt,
     if (node.flavor == flavor::kHA) {
       return std::unique_ptr<BatchIterator>(
           new HashJoinIterator(rt, &node, depth, std::move(outer).value(),
-                               std::move(inner).value()));
+                               std::move(inner).value(), exchange_ok));
     }
     return Status::InvalidArgument("unknown JOIN flavor '" + node.flavor +
                                    "'");
@@ -1865,6 +1989,7 @@ Result<ResultSet> Executor::RunVectorized(const PlanPtr& plan) {
   rt.profile = profile_;
   rt.instrumented = rt.stats != nullptr || rt.profile != nullptr;
   rt.batch_size = batch_size_;
+  rt.exec_threads = exec_threads_;
   rt.env = &env_;
   // Nodes reachable through more than one parent in the plan DAG
   // materialize once and replay.

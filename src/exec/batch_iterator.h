@@ -32,6 +32,10 @@ struct VecRuntime {
   /// fast path stays one branch per Open/Next/Close.
   bool instrumented = false;
   int batch_size = kDefaultBatchSize;
+  /// Exchange worker-pool size. 1 (the default) disables the exchange
+  /// operator: no parallel iterator is ever built and the pipeline is the
+  /// sequential engine, byte for byte.
+  int exec_threads = 1;
   std::vector<ExecFrame>* env = nullptr;
   /// Uncorrelated nodes with more than one parent in the plan DAG: they
   /// materialize once through the executor's material cache and replay per

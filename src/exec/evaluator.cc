@@ -41,6 +41,7 @@ Result<ResultSet> ExecutePlan(const Database& db, const Query& query,
   if (options.faults != nullptr) exec.set_faults(options.faults);
   if (options.vectorized >= 0) exec.set_vectorized(options.vectorized != 0);
   if (options.batch_size > 0) exec.set_batch_size(options.batch_size);
+  if (options.exec_threads > 0) exec.set_exec_threads(options.exec_threads);
   // Profiling: an explicit sink (or workload repository) turns it on; else
   // the int knob decides, defaulting from STARBURST_PROFILE. The workload
   // repository needs a profile to read actuals from, so it implies a local

@@ -1,0 +1,353 @@
+#include "exec/exchange.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <utility>
+
+#include "common/fault_injector.h"
+#include "obs/profiler.h"
+
+namespace starburst {
+
+int ExchangeWorkersFor(int exec_threads, size_t source_rows, size_t morsels) {
+  if (exec_threads <= 1 || source_rows < kExchangeMinRows || morsels <= 1) {
+    return 1;
+  }
+  size_t w = std::min(static_cast<size_t>(exec_threads), morsels);
+  return static_cast<int>(w);
+}
+
+Status RunMorsels(int workers, size_t morsels,
+                  const std::function<Status(size_t)>& fn) {
+  if (morsels == 0) return Status::OK();
+  if (workers <= 1 || morsels == 1) {
+    // Even the degenerate path runs every morsel: side effects (per-morsel
+    // counters, buffers) must not depend on the worker count, and the pool
+    // path has no cancellation either.
+    Status first = Status::OK();
+    for (size_t m = 0; m < morsels; ++m) {
+      Status s = fn(m);
+      if (!s.ok() && first.ok()) first = std::move(s);
+    }
+    return first;
+  }
+  size_t pool = std::min(static_cast<size_t>(workers), morsels);
+  std::atomic<size_t> next{0};
+  // One slot per morsel, written only by the worker that claimed it; the
+  // coordinator scans in index order after the join, so the reported error
+  // is the one the sequential loop would have hit first.
+  std::vector<Status> errs(morsels, Status::OK());
+  auto work = [&]() {
+    for (;;) {
+      size_t m = next.fetch_add(1, std::memory_order_relaxed);
+      if (m >= morsels) return;
+      Status s = fn(m);
+      if (!s.ok()) errs[m] = std::move(s);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(pool - 1);
+  for (size_t i = 1; i < pool; ++i) threads.emplace_back(work);
+  work();
+  for (std::thread& t : threads) t.join();
+  for (size_t m = 0; m < morsels; ++m) {
+    if (!errs[m].ok()) return errs[m];
+  }
+  return Status::OK();
+}
+
+int SortRowsBySlots(std::vector<Tuple>* rows, const std::vector<int>& slots,
+                    int workers) {
+  auto less = [&slots](const Tuple& a, const Tuple& b) {
+    for (int s : slots) {
+      int c = a[static_cast<size_t>(s)].Compare(b[static_cast<size_t>(s)]);
+      if (c != 0) return c < 0;
+    }
+    return false;
+  };
+  size_t n = rows->size();
+  size_t chunks = std::min(static_cast<size_t>(workers > 1 ? workers : 1),
+                           MorselCount(n));
+  if (workers <= 1 || n < kExchangeMinRows || chunks <= 1) {
+    std::stable_sort(rows->begin(), rows->end(), less);
+    return 1;
+  }
+  // Contiguous chunk sorts, then a pairwise stable-merge tree. Equal keys
+  // always merge first-range-first, so the result matches one global
+  // std::stable_sort regardless of the chunk boundaries.
+  std::vector<size_t> bounds(chunks + 1);
+  for (size_t i = 0; i <= chunks; ++i) bounds[i] = i * n / chunks;
+  Status st = RunMorsels(static_cast<int>(chunks), chunks, [&](size_t c) {
+    std::stable_sort(rows->begin() + static_cast<int64_t>(bounds[c]),
+                     rows->begin() + static_cast<int64_t>(bounds[c + 1]),
+                     less);
+    return Status::OK();
+  });
+  (void)st;  // chunk sorts cannot fail
+  while (bounds.size() > 2) {
+    size_t ranges = bounds.size() - 1;
+    size_t merges = ranges / 2;
+    st = RunMorsels(workers, merges, [&](size_t j) {
+      size_t i = j * 2;
+      std::inplace_merge(rows->begin() + static_cast<int64_t>(bounds[i]),
+                         rows->begin() + static_cast<int64_t>(bounds[i + 1]),
+                         rows->begin() + static_cast<int64_t>(bounds[i + 2]),
+                         less);
+      return Status::OK();
+    });
+    (void)st;
+    std::vector<size_t> next_bounds;
+    next_bounds.push_back(bounds[0]);
+    for (size_t i = 2; i < bounds.size(); i += 2) {
+      next_bounds.push_back(bounds[i]);
+    }
+    if (next_bounds.back() != bounds.back()) {
+      next_bounds.push_back(bounds.back());  // odd leftover range
+    }
+    bounds = std::move(next_bounds);
+  }
+  return static_cast<int>(chunks);
+}
+
+// ---------------------------------------------------------------------------
+// PartitionedJoinTable
+// ---------------------------------------------------------------------------
+
+PartitionedJoinTable::PartitionedJoinTable(int key_width)
+    : key_width_(key_width) {
+  parts_.reserve(kPartitions);
+  for (int p = 0; p < kPartitions; ++p) parts_.emplace_back(key_width);
+}
+
+Status PartitionedJoinTable::Build(const std::vector<Tuple>& rows,
+                                   const std::vector<ExprProgram>& key_progs,
+                                   std::vector<ExecFrame>* frames,
+                                   int exec_threads) {
+  const size_t n = rows.size();
+  const int width = key_width_;
+  std::vector<Datum> keys(n * static_cast<size_t>(width));
+  std::vector<uint64_t> hashes(n, 0);
+  std::vector<char> skip(n, 0);
+  size_t morsels = MorselCount(n);
+  int workers = ExchangeWorkersFor(exec_threads, n, morsels);
+  STARBURST_RETURN_NOT_OK(RunMorsels(workers, morsels, [&](size_t m) {
+    size_t lo = m * kMorselRows;
+    size_t hi = std::min(n, lo + kMorselRows);
+    for (size_t r = lo; r < hi; ++r) {
+      ProgramCtx ctx{&rows[r], frames, nullptr};
+      Datum* key = &keys[r * static_cast<size_t>(width)];
+      bool null_key = false;
+      for (int k = 0; k < width; ++k) {
+        auto v = key_progs[static_cast<size_t>(k)].Eval(ctx);
+        if (!v.ok()) return v.status();
+        if (v.value().is_null()) null_key = true;
+        key[k] = std::move(v).value();
+      }
+      if (null_key) {
+        skip[r] = 1;  // NULL keys never match: row skipped, as sequential
+        continue;
+      }
+      hashes[r] = JoinHashTable::HashKey(key, width);
+    }
+    return Status::OK();
+  }));
+  // Partition-parallel insert: each worker owns whole partitions and walks
+  // the rows in global order, so chains replay sequential insertion order.
+  STARBURST_RETURN_NOT_OK(RunMorsels(std::min(workers, kPartitions),
+                                     static_cast<size_t>(kPartitions),
+                                     [&](size_t p) {
+    JoinHashTable& table = parts_[p];
+    for (size_t r = 0; r < n; ++r) {
+      if (skip[r] != 0) continue;
+      if (PartitionOf(hashes[r]) != static_cast<int>(p)) continue;
+      STARBURST_RETURN_NOT_OK(
+          table.Insert(&keys[r * static_cast<size_t>(width)], hashes[r],
+                       static_cast<uint32_t>(r)));
+    }
+    return Status::OK();
+  }));
+  build_workers_ = workers;
+  return Status::OK();
+}
+
+size_t PartitionedJoinTable::num_rows() const {
+  size_t n = 0;
+  for (const JoinHashTable& t : parts_) n += t.num_rows();
+  return n;
+}
+
+size_t PartitionedJoinTable::num_groups() const {
+  size_t n = 0;
+  for (const JoinHashTable& t : parts_) n += t.num_groups();
+  return n;
+}
+
+size_t PartitionedJoinTable::num_slots() const {
+  size_t n = 0;
+  for (const JoinHashTable& t : parts_) n += t.num_slots();
+  return n;
+}
+
+int64_t PartitionedJoinTable::ApproxBytes() const {
+  int64_t n = 0;
+  for (const JoinHashTable& t : parts_) n += t.ApproxBytes();
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// ExchangeScanIterator
+// ---------------------------------------------------------------------------
+
+Status ExchangeScanIterator::DoOpen() {
+  // Same fault site, hit exactly once per open on the coordinator — the
+  // sequential scan's check sequence, regardless of worker count.
+  STARBURST_RETURN_NOT_OK(rt_->faults->Check(faultsite::kExecScanOpen));
+  const Query& query = *rt_->query;
+  if (!compiled_) {
+    is_index_ = node_->flavor == flavor::kIndex;
+    q_ = static_cast<int>(node_->args.GetInt(arg::kQuantifier, -1));
+    table_ = &rt_->db->table(query.quantifier(q_).table);
+    schema_ = node_->args.GetColumns(arg::kCols);
+    PredSet preds = node_->args.GetPreds(arg::kPreds);
+    CompileEnv env;
+    env.schema = &schema_;
+    env.frames = rt_->env;
+    env.frame_limit = static_cast<size_t>(depth_);
+    env.base_quantifier = q_;
+    preds_ = PredProgram::Compile(preds, query, env);
+    if (is_index_) {
+      auto index = rt_->db->FindIndex(query.quantifier(q_).table,
+                                      node_->args.GetString(arg::kIndex));
+      if (!index.ok()) return index.status();
+      ix_ = index.value();
+      // Probe-prefix compilation, identical to IndexScanIterator. At depth
+      // 0 (the only depth this iterator is built at) resolvable probes are
+      // constants.
+      CompileEnv probe_env;
+      probe_env.frames = rt_->env;
+      probe_env.frame_limit = static_cast<size_t>(depth_);
+      for (int ord : ix_->key_columns()) {
+        ColumnRef key{q_, ord};
+        const Expr* probe = nullptr;
+        for (int id : preds.ToVector()) {
+          const Predicate& p = query.predicate(id);
+          if (p.op != CompareOp::kEq) continue;
+          if (p.lhs->IsBareColumn() && p.lhs->column() == key) {
+            probe = p.rhs.get();
+          } else if (p.rhs->IsBareColumn() && p.rhs->column() == key) {
+            probe = p.lhs.get();
+          }
+          if (probe != nullptr) break;
+        }
+        if (probe == nullptr) break;
+        ExprProgram prog = ExprProgram::Compile(*probe, probe_env);
+        if (!prog.resolvable()) break;  // not computable before the scan
+        probe_progs_.push_back(std::move(prog));
+      }
+    }
+    compiled_ = true;
+  }
+  if (is_index_) {
+    prefix_.clear();
+    ProgramCtx ctx{nullptr, rt_->env, nullptr};
+    for (const ExprProgram& p : probe_progs_) {
+      auto v = p.Eval(ctx);
+      if (!v.ok()) return v.status();
+      prefix_.push_back(std::move(v).value());
+    }
+    use_prefix_ = !prefix_.empty();
+    if (use_prefix_) pref_entries_ = ix_->LookupPrefix(prefix_);
+  }
+  ran_ = false;
+  morsel_rows_.clear();
+  emit_morsel_ = 0;
+  emit_pos_ = 0;
+  return Status::OK();
+}
+
+Status ExchangeScanIterator::RunScan() {
+  size_t n;
+  if (is_index_) {
+    n = use_prefix_ ? pref_entries_.size() : ix_->entries().size();
+  } else {
+    n = static_cast<size_t>(table_->num_rows());
+  }
+  size_t morsels = MorselCount(n);
+  int workers = ExchangeWorkersFor(rt_->exec_threads, n, morsels);
+  morsel_rows_.assign(morsels, {});
+  std::vector<int64_t> evals(morsels, 0);
+  STARBURST_RETURN_NOT_OK(RunMorsels(workers, morsels, [&](size_t m) {
+    size_t lo = m * kMorselRows;
+    size_t hi = std::min(n, lo + kMorselRows);
+    std::vector<Tuple>& out = morsel_rows_[m];
+    int64_t local_evals = 0;
+    for (size_t i = lo; i < hi; ++i) {
+      Tid tid;
+      if (is_index_) {
+        const SecondaryIndex::Entry* e =
+            use_prefix_ ? pref_entries_[i] : &ix_->entries()[i];
+        tid = e->tid;
+      } else {
+        tid = static_cast<Tid>(i);
+      }
+      const Tuple& base = table_->row(tid);
+      Tuple t;
+      t.reserve(schema_.size());
+      for (const ColumnRef& c : schema_) {
+        if (c.is_tid()) {
+          t.push_back(Datum(static_cast<int64_t>(tid)));
+        } else {
+          t.push_back(base[static_cast<size_t>(c.column)]);
+        }
+      }
+      ProgramCtx ctx{&t, rt_->env, &base};
+      ++local_evals;
+      auto keep = preds_.Eval(ctx);
+      if (!keep.ok()) return keep.status();
+      if (keep.value()) out.push_back(std::move(t));
+    }
+    evals[m] = local_evals;
+    return Status::OK();
+  }));
+  for (int64_t e : evals) pred_evals_ += e;
+  if (workers > workers_used_) workers_used_ = workers;
+  return Status::OK();
+}
+
+Status ExchangeScanIterator::DoNext(RowBatch* out) {
+  if (!ran_) {
+    STARBURST_RETURN_NOT_OK(RunScan());
+    ran_ = true;
+  }
+  while (static_cast<int>(out->rows.size()) < rt_->batch_size &&
+         emit_morsel_ < morsel_rows_.size()) {
+    std::vector<Tuple>& rows = morsel_rows_[emit_morsel_];
+    if (emit_pos_ >= rows.size()) {
+      rows.clear();
+      rows.shrink_to_fit();
+      ++emit_morsel_;
+      emit_pos_ = 0;
+      continue;
+    }
+    out->rows.push_back(std::move(rows[emit_pos_++]));
+  }
+  return Status::OK();
+}
+
+Status ExchangeScanIterator::DoClose() {
+  if (rt_->profile != nullptr) {
+    OpProfile& p = rt_->profile->at(node_);
+    if (pred_evals_ > 0) {
+      p.pred_evals += pred_evals_;
+      p.pred_steps += pred_evals_ * static_cast<int64_t>(preds_.size());
+    }
+    if (workers_used_ > 1 && workers_used_ > p.exchange_workers) {
+      p.exchange_workers = workers_used_;
+    }
+  }
+  morsel_rows_.clear();
+  return Status::OK();
+}
+
+}  // namespace starburst

@@ -1,0 +1,151 @@
+#ifndef STARBURST_EXEC_EXCHANGE_H_
+#define STARBURST_EXEC_EXCHANGE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "exec/batch_iterator.h"
+#include "exec/hash_table.h"
+#include "exec/pred_program.h"
+#include "storage/index.h"
+
+namespace starburst {
+
+/// The exchange LOLEPOP (op::kXchg): morsel-parallel execution for the
+/// vectorized engine. The paper's §3 grammar moves streams between sites
+/// with SHIP glue; XCHG is the single-site analogue — it moves a stream
+/// across a pool of workers and merges it back, without appearing in the
+/// plan tree (EXPLAIN annotates the profiled node instead).
+///
+/// Determinism contract (same spirit as the enumerator's rank-parallel
+/// discipline: identical results at any thread count):
+///  - Work splits into fixed-size morsels of kMorselRows source rows, so
+///    the decomposition is invariant under both thread count and batch size.
+///  - Workers claim morsels from an atomic ticket but write only their own
+///    morsel's output buffer; the coordinator emits buffers in morsel-index
+///    order, reproducing the sequential row order bit for bit.
+///  - Per-morsel counters (pred evals, probes, chain steps) are merged by
+///    the coordinator in canonical order, so profiles are engine-invariant.
+///  - On error every morsel still runs to completion and the lowest
+///    morsel-index error is returned — the same error the sequential scan
+///    would have hit first in row order.
+///  - FaultInjector::Check stays coordinator-only (see fault_injector.h),
+///    so nth-hit fault specs trip identically at every thread count.
+
+/// Fixed morsel granularity. Independent of the batch size so the parallel
+/// decomposition — and therefore the output — never varies with it.
+inline constexpr size_t kMorselRows = 1024;
+
+/// Sources smaller than this run inline on the coordinator (one worker, no
+/// threads spawned): below ~2 morsels the pool costs more than it saves.
+inline constexpr size_t kExchangeMinRows = 2048;
+
+/// Morsel count for `source_rows` rows.
+inline size_t MorselCount(size_t source_rows) {
+  return (source_rows + kMorselRows - 1) / kMorselRows;
+}
+
+/// Worker count the coordinator will actually use: 1 for small sources or a
+/// sequential configuration, else min(exec_threads, morsels).
+int ExchangeWorkersFor(int exec_threads, size_t source_rows, size_t morsels);
+
+/// Runs fn(0) .. fn(morsels-1) across `workers` threads (the calling thread
+/// participates; workers <= 1 degenerates to a plain loop). fn(m) must write
+/// only morsel-m state. Every morsel runs to completion; the error of the
+/// lowest failing morsel index is returned.
+Status RunMorsels(int workers, size_t morsels,
+                  const std::function<Status(size_t)>& fn);
+
+/// Stable-sorts `rows` by Compare() over the given slot list, fanning the
+/// work out over up to `workers` threads (contiguous chunk sorts followed by
+/// a pairwise stable-merge tree). The result is bit-identical to a single
+/// std::stable_sort for any chunking, so SORT stays deterministic across
+/// thread counts. Returns the number of workers actually used.
+int SortRowsBySlots(std::vector<Tuple>* rows, const std::vector<int>& slots,
+                    int workers);
+
+/// Build side of the partitioned JOIN(HA): kPartitions JoinHashTables keyed
+/// by the HIGH bits of the 64-bit key hash. Each partition receives its rows
+/// in global build-row order, so per-key chains replay the sequential
+/// insertion order and the probe emits matches bit-identically to one big
+/// table. num_rows/num_groups are partition-layout-invariant (each key lands
+/// in exactly one partition); num_slots/ApproxBytes are not and must not be
+/// asserted across thread counts.
+class PartitionedJoinTable {
+ public:
+  static constexpr int kPartitions = 16;
+
+  /// High bits pick the partition: JoinHashTable's slot index is the LOW
+  /// bits of the same hash, so low-bit partitioning would fold every
+  /// partition's keys onto 1/16th of its slots.
+  static int PartitionOf(uint64_t hash) {
+    return static_cast<int>(hash >> 60);
+  }
+
+  explicit PartitionedJoinTable(int key_width);
+
+  /// Evaluates `key_progs` over every row (morsel-parallel) and inserts the
+  /// non-NULL keys partition-parallel. Key-program failures surface as the
+  /// lowest-row-order error, matching the sequential build.
+  Status Build(const std::vector<Tuple>& rows,
+               const std::vector<ExprProgram>& key_progs,
+               std::vector<ExecFrame>* frames, int exec_threads);
+
+  const JoinHashTable& partition(uint64_t hash) const {
+    return parts_[static_cast<size_t>(PartitionOf(hash))];
+  }
+
+  size_t num_rows() const;
+  size_t num_groups() const;
+  size_t num_slots() const;
+  int64_t ApproxBytes() const;
+  int build_workers() const { return build_workers_; }
+
+ private:
+  int key_width_;
+  std::vector<JoinHashTable> parts_;
+  int build_workers_ = 1;
+};
+
+/// Morsel-parallel ACCESS over heap/btree/index flavors. Open replicates the
+/// sequential iterators' fault check and compilation exactly; the first Next
+/// runs every morsel to completion (workers scan disjoint TID/entry ranges
+/// through shared const compiled programs) and then streams the buffered
+/// morsels out in order. Only built at pipeline depth 0 outside re-opened
+/// subtrees, where compiled programs reference no NL binding frames.
+class ExchangeScanIterator : public BatchIterator {
+ public:
+  using BatchIterator::BatchIterator;
+
+ protected:
+  Status DoOpen() override;
+  Status DoNext(RowBatch* out) override;
+  Status DoClose() override;
+
+ private:
+  Status RunScan();
+
+  bool compiled_ = false;
+  bool is_index_ = false;
+  int q_ = -1;
+  const StoredTable* table_ = nullptr;
+  const SecondaryIndex* ix_ = nullptr;
+  Schema schema_;
+  PredProgram preds_;
+  std::vector<ExprProgram> probe_progs_;
+  std::vector<Datum> prefix_;
+  std::vector<const SecondaryIndex::Entry*> pref_entries_;
+  bool use_prefix_ = false;
+  bool ran_ = false;
+  std::vector<std::vector<Tuple>> morsel_rows_;
+  size_t emit_morsel_ = 0;
+  size_t emit_pos_ = 0;
+  int64_t pred_evals_ = 0;
+  int workers_used_ = 1;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_EXEC_EXCHANGE_H_

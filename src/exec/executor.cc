@@ -19,7 +19,8 @@ Executor::Executor(const Database& db, const Query& query,
       registry_(registry),
       faults_(FaultInjector::Global()),
       vectorized_(DefaultVectorized()),
-      batch_size_(DefaultBatchSize()) {}
+      batch_size_(DefaultBatchSize()),
+      exec_threads_(DefaultExecThreads()) {}
 
 // ---------------------------------------------------------------------------
 // ExecutorRegistry

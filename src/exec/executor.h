@@ -128,6 +128,14 @@ class Executor {
   void set_batch_size(int rows) { batch_size_ = rows >= 1 ? rows : 1; }
   int batch_size() const { return batch_size_; }
 
+  /// Exchange worker count for the vectorized engine (defaults from
+  /// STARBURST_EXEC_THREADS). 1 disables the exchange operator entirely —
+  /// the pipeline is then byte-for-byte the sequential engine.
+  void set_exec_threads(int n) {
+    exec_threads_ = n >= 1 ? (n > 256 ? 256 : n) : 1;
+  }
+  int exec_threads() const { return exec_threads_; }
+
   /// Publish per-operator rows/batches/time counters after each Run.
   void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
 
@@ -190,6 +198,7 @@ class Executor {
   MetricsRegistry* metrics_ = nullptr;
   bool vectorized_;
   int batch_size_;
+  int exec_threads_;
 
   std::vector<ExecFrame> env_;
   // Cached materializations of uncorrelated subplans (NL inners, temps).

@@ -27,9 +27,15 @@ bool JoinHashTable::KeysEqual(const Datum* a, const Datum* b) const {
   return true;
 }
 
-void JoinHashTable::Reserve(size_t n) {
+Status JoinHashTable::Reserve(size_t n) {
+  if (n > kMaxGroups) {
+    return Status::ResourceExhausted(
+        "hash table reserve of " + std::to_string(n) +
+        " keys exceeds the int32 group-index cap");
+  }
   size_t want = NextPow2(n * 2 + 16);
   if (want > slots_.size()) Rehash(want);
+  return Status::OK();
 }
 
 void JoinHashTable::Rehash(size_t slot_count) {
@@ -42,9 +48,17 @@ void JoinHashTable::Rehash(size_t slot_count) {
   }
 }
 
-void JoinHashTable::Insert(const Datum* key, uint64_t hash, uint32_t row) {
+Status JoinHashTable::Insert(const Datum* key, uint64_t hash, uint32_t row) {
+  if (entry_row_.size() >= kMaxEntries) {
+    return Status::ResourceExhausted(
+        "hash table is full: int32 entry-index cap reached");
+  }
   // Keep load factor under 1/2.
   if (slots_.empty() || (group_head_.size() + 1) * 2 > slots_.size()) {
+    if (group_head_.size() >= kMaxGroups) {
+      return Status::ResourceExhausted(
+          "hash table is full: int32 group-index cap reached");
+    }
     Rehash(NextPow2(slots_.empty() ? 16 : slots_.size() * 2));
   }
   uint64_t idx = hash & slot_mask_;
@@ -77,6 +91,7 @@ void JoinHashTable::Insert(const Datum* key, uint64_t hash, uint32_t row) {
     entry_next_[static_cast<size_t>(group_tail_[g])] = entry;
   }
   group_tail_[g] = entry;
+  return Status::OK();
 }
 
 int64_t JoinHashTable::ApproxBytes() const {

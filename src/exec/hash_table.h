@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
 #include "common/value.h"
 
 namespace starburst {
@@ -20,14 +21,24 @@ class JoinHashTable {
  public:
   explicit JoinHashTable(int key_width) : key_width_(key_width) {}
 
-  /// Pre-sizes the slot array for ~n distinct keys.
-  void Reserve(size_t n);
+  /// Group/entry indices are int32_t and the slot array doubles past the
+  /// group count, so the table caps out below 2^31 distinct keys and 2^31
+  /// rows. Reserve/Insert report the cap as kResourceExhausted (for the
+  /// governor to surface) instead of silently wrapping into UB.
+  static constexpr size_t kMaxGroups = static_cast<size_t>(INT32_MAX) / 2;
+  static constexpr size_t kMaxEntries = static_cast<size_t>(INT32_MAX);
+
+  /// Pre-sizes the slot array for ~n distinct keys. Fails with
+  /// kResourceExhausted when n exceeds kMaxGroups (the old code's
+  /// NextPow2(n * 2 + 16) could wrap for huge n).
+  Status Reserve(size_t n);
 
   /// Hash of a composite key (order-dependent combine of Hash64 per datum).
   static uint64_t HashKey(const Datum* key, int width);
 
-  /// Adds `row` under `key` (hash must be HashKey(key, key_width)).
-  void Insert(const Datum* key, uint64_t hash, uint32_t row);
+  /// Adds `row` under `key` (hash must be HashKey(key, key_width)). Fails
+  /// with kResourceExhausted at the int32_t group/entry index caps.
+  Status Insert(const Datum* key, uint64_t hash, uint32_t row);
 
   /// Group id for `key`, or -1 if absent.
   int32_t FindGroup(const Datum* key, uint64_t hash) const;

@@ -215,7 +215,10 @@ std::string PromName(const std::string& name) {
 }
 
 std::string PromNumber(double v) {
-  if (!std::isfinite(v)) return "0";
+  // The exposition format spells non-finite values out; coercing them to
+  // "0" would fabricate a measurement that never happened.
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.10g", v);
   return buf;
@@ -236,6 +239,10 @@ std::string MetricsRegistry::Snapshot::ToPrometheus() const {
     out += n + " " + PromNumber(v) + "\n";
   }
   for (const auto& [name, h] : histograms) {
+    // A summary with zero observations (e.g. every sample was dropped as
+    // invalid) has no quantiles; emitting quantile lines with value 0 would
+    // read as real zero-latency measurements. Omit the summary entirely.
+    if (h.count == 0) continue;
     std::string n = PromName(name) + "_us";
     out += "# TYPE " + n + " summary\n";
     out += n + "{quantile=\"0.5\"} " + PromNumber(h.p50) + "\n";

@@ -122,6 +122,9 @@ std::string ExecProfile::ToJson() const {
       out += ",\"pred\":{\"evals\":" + std::to_string(p->pred_evals) +
              ",\"steps\":" + std::to_string(p->pred_steps) + "}";
     }
+    if (p->exchange_workers > 0) {
+      out += ",\"xchg_workers\":" + std::to_string(p->exchange_workers);
+    }
     out += "}";
   }
   out += "]}";

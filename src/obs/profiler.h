@@ -1,6 +1,7 @@
 #ifndef STARBURST_OBS_PROFILER_H_
 #define STARBURST_OBS_PROFILER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstdlib>
 #include <map>
@@ -29,23 +30,56 @@ inline bool DefaultProfileEnabled() {
 /// release when they drop it; `peak_bytes` is the run's high-water mark.
 /// Byte counts are accounting-granularity approximations — Datum payload
 /// plus container element sizes — not allocator truth.
+///
+/// Thread-safe: charges use atomic fetch_add and the peak is maintained with
+/// a CAS loop, so concurrent charge sites (exchange workers, future parallel
+/// operators) can never corrupt the high-water mark. The peak stays exact —
+/// every CAS publishes a real observed `current_` value, never a stale or
+/// torn one.
 class MemoryTracker {
  public:
   void Charge(int64_t bytes) {
-    current_ += bytes;
-    if (current_ > peak_) peak_ = current_;
+    int64_t now =
+        current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    int64_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak && !peak_.compare_exchange_weak(
+                             peak, now, std::memory_order_relaxed)) {
+    }
   }
   void Release(int64_t bytes) {
-    current_ -= bytes;
-    if (current_ < 0) current_ = 0;
+    int64_t now =
+        current_.fetch_sub(bytes, std::memory_order_relaxed) - bytes;
+    // Over-release clamps at zero, as the non-atomic tracker always did.
+    // The clamp CAS only fires when the counter is actually negative, so a
+    // concurrent charge is never erased.
+    while (now < 0 &&
+           !current_.compare_exchange_weak(now, 0,
+                                           std::memory_order_relaxed)) {
+    }
   }
-  int64_t current_bytes() const { return current_; }
-  int64_t peak_bytes() const { return peak_; }
-  void Reset() { current_ = peak_ = 0; }
+  int64_t current_bytes() const {
+    return current_.load(std::memory_order_relaxed);
+  }
+  int64_t peak_bytes() const { return peak_.load(std::memory_order_relaxed); }
+  void Reset() {
+    current_.store(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
+  }
+
+  MemoryTracker() = default;
+  // Atomics delete the implicit copies; snapshot semantics keep ExecProfile
+  // copyable (a copy is a point-in-time reading, copied when no run is live).
+  MemoryTracker(const MemoryTracker& o)
+      : current_(o.current_bytes()), peak_(o.peak_bytes()) {}
+  MemoryTracker& operator=(const MemoryTracker& o) {
+    current_.store(o.current_bytes(), std::memory_order_relaxed);
+    peak_.store(o.peak_bytes(), std::memory_order_relaxed);
+    return *this;
+  }
 
  private:
-  int64_t current_ = 0;
-  int64_t peak_ = 0;
+  std::atomic<int64_t> current_{0};
+  std::atomic<int64_t> peak_{0};
 };
 
 /// Actuals for one operator of a profiled run. Wall times are inclusive of
@@ -83,6 +117,10 @@ struct OpProfile {
   int64_t sort_rows = 0;
   int64_t sort_bytes = 0;
 
+  // Exchange detail: worker count the coordinator actually fanned this
+  // operator out to (0 = ran sequentially, no exchange involved).
+  int64_t exchange_workers = 0;
+
   // Compiled predicate-program detail.
   int64_t pred_evals = 0;
   int64_t pred_steps = 0;
@@ -93,8 +131,11 @@ struct OpProfile {
 };
 
 /// The profile of one execution: per-operator actuals keyed by plan-node
-/// identity plus the query-wide memory tracker. Not thread-safe — one
-/// profile belongs to one run (like PlanRunStats).
+/// identity plus the query-wide memory tracker. One profile belongs to one
+/// run (like PlanRunStats). The op map is NOT thread-safe — under the
+/// exchange operator, only the coordinator thread mutates OpProfile entries
+/// (workers report per-morsel counters that the coordinator merges in
+/// canonical morsel order); the embedded MemoryTracker is atomic.
 class ExecProfile {
  public:
   OpProfile& at(const PlanOp* node);

@@ -2,6 +2,7 @@
 
 #include "common/strings.h"
 #include "obs/profiler.h"
+#include "plan/operator.h"
 #include "query/query.h"
 
 namespace starburst {
@@ -151,6 +152,10 @@ std::string ProfileSummary(const PlanOp& node, const ExecProfile& profile,
   if (p->pred_evals > 0) {
     out += " pred(evals=" + std::to_string(p->pred_evals) +
            " steps=" + std::to_string(p->pred_steps) + ")";
+  }
+  if (p->exchange_workers > 1) {
+    out += std::string(" ") + op::kXchg + "[workers=" +
+           std::to_string(p->exchange_workers) + "]";
   }
   return out + "]";
 }

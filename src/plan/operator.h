@@ -148,6 +148,13 @@ inline constexpr const char* kProject = "PROJECT";
 /// "bloom" the Bloomjoin [BABB 79, MACK 86] (costed with a false-positive
 /// allowance; executed exactly).
 inline constexpr const char* kFilterBy = "FILTERBY";
+/// Exchange — the engine's parallelism glue, named after the paper's §3
+/// stream-movement LOLEPOPs (SHIP moves streams between sites; XCHG moves
+/// them between workers on one site). Not a plan-tree operator: the
+/// vectorized executor fans eligible ACCESS/JOIN(HA)/SORT nodes out over
+/// morsel workers at runtime, and EXPLAIN annotates the profiled node with
+/// `XCHG[workers=N]` instead of rewriting the plan shape.
+inline constexpr const char* kXchg = "XCHG";
 }  // namespace op
 
 /// Conventional flavors.

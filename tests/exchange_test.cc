@@ -1,0 +1,259 @@
+// Unit tests for the exchange LOLEPOP's building blocks: morsel math and
+// worker gating, RunMorsels coverage and lowest-index error selection, the
+// chunked parallel stable sort (bit-identical to one std::stable_sort), the
+// partitioned join build (same groups/rows/chains as one big table), the
+// JoinHashTable int32 overflow guard, and the EXPLAIN / JSON surfacing of
+// exchange workers on a profiled parallel run.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "catalog/synthetic.h"
+#include "exec/evaluator.h"
+#include "exec/exchange.h"
+#include "exec/hash_table.h"
+#include "obs/profiler.h"
+#include "optimizer/optimizer.h"
+#include "plan/explain.h"
+#include "sql/parser.h"
+#include "star/default_rules.h"
+#include "storage/datagen.h"
+
+namespace starburst {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Morsel decomposition and worker gating.
+// ---------------------------------------------------------------------------
+
+TEST(ExchangeTest, MorselCountRoundsUp) {
+  EXPECT_EQ(MorselCount(0), 0u);
+  EXPECT_EQ(MorselCount(1), 1u);
+  EXPECT_EQ(MorselCount(kMorselRows), 1u);
+  EXPECT_EQ(MorselCount(kMorselRows + 1), 2u);
+  EXPECT_EQ(MorselCount(10 * kMorselRows), 10u);
+}
+
+TEST(ExchangeTest, WorkerGatingDisablesSmallOrSequentialSources) {
+  // Sequential configuration: never more than one worker.
+  EXPECT_EQ(ExchangeWorkersFor(1, 100000, MorselCount(100000)), 1);
+  // Small source: below kExchangeMinRows the pool costs more than it saves.
+  EXPECT_EQ(ExchangeWorkersFor(8, kExchangeMinRows - 1,
+                               MorselCount(kExchangeMinRows - 1)),
+            1);
+  // One morsel cannot be split.
+  EXPECT_EQ(ExchangeWorkersFor(8, 5000, 1), 1);
+  // Otherwise: min(threads, morsels).
+  EXPECT_EQ(ExchangeWorkersFor(8, kExchangeMinRows, 2), 2);
+  EXPECT_EQ(ExchangeWorkersFor(2, 100000, MorselCount(100000)), 2);
+  EXPECT_EQ(ExchangeWorkersFor(64, 5000, MorselCount(5000)), 5);
+}
+
+// ---------------------------------------------------------------------------
+// RunMorsels: every morsel runs exactly once at any worker count, and the
+// reported error is the lowest failing morsel index — the error a
+// sequential scan would hit first in row order.
+// ---------------------------------------------------------------------------
+
+TEST(ExchangeTest, RunMorselsCoversEveryMorselExactlyOnce) {
+  for (int workers : {1, 2, 3, 8}) {
+    const size_t kMorsels = 37;
+    std::vector<std::atomic<int>> hits(kMorsels);
+    for (auto& h : hits) h.store(0);
+    Status st = RunMorsels(workers, kMorsels, [&](size_t m) {
+      hits[m].fetch_add(1);
+      return Status::OK();
+    });
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    for (size_t m = 0; m < kMorsels; ++m) {
+      EXPECT_EQ(hits[m].load(), 1) << "morsel " << m << " workers " << workers;
+    }
+  }
+}
+
+TEST(ExchangeTest, RunMorselsReturnsLowestIndexError) {
+  for (int workers : {1, 2, 8}) {
+    std::vector<std::atomic<int>> hits(24);
+    for (auto& h : hits) h.store(0);
+    Status st = RunMorsels(workers, 24, [&](size_t m) {
+      hits[m].fetch_add(1);
+      if (m == 5 || m == 20) {
+        return Status::Internal("morsel " + std::to_string(m) + " failed");
+      }
+      return Status::OK();
+    });
+    ASSERT_FALSE(st.ok());
+    // Deterministic selection: morsel 5's error wins at every worker count,
+    // even when a worker hits morsel 20's failure first in wall-clock time.
+    EXPECT_NE(st.ToString().find("morsel 5 failed"), std::string::npos)
+        << st.ToString() << " workers=" << workers;
+    // No early cancellation: every morsel still ran.
+    for (size_t m = 0; m < 24; ++m) {
+      EXPECT_EQ(hits[m].load(), 1) << "morsel " << m;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel stable sort: bit-identical to one std::stable_sort, duplicates
+// keeping their input order, at every worker count.
+// ---------------------------------------------------------------------------
+
+TEST(ExchangeTest, SortRowsBySlotsMatchesStableSortWithDuplicates) {
+  const size_t kRows = 5000;  // above kExchangeMinRows so chunking engages
+  std::vector<Tuple> input;
+  input.reserve(kRows);
+  for (size_t i = 0; i < kRows; ++i) {
+    // Heavily duplicated key; the second column records insertion order so
+    // any stability violation shows up as a value mismatch.
+    input.push_back({Datum(static_cast<int64_t>(i * 2654435761u % 17)),
+                     Datum(static_cast<int64_t>(i))});
+  }
+  std::vector<int> slots = {0};
+  std::vector<Tuple> want = input;
+  std::stable_sort(want.begin(), want.end(),
+                   [](const Tuple& a, const Tuple& b) {
+                     return a[0].Compare(b[0]) < 0;
+                   });
+  for (int workers : {1, 2, 3, 8}) {
+    std::vector<Tuple> rows = input;
+    int used = SortRowsBySlots(&rows, slots, workers);
+    EXPECT_GE(used, 1);
+    EXPECT_LE(used, workers);
+    ASSERT_EQ(rows.size(), want.size()) << "workers=" << workers;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      ASSERT_EQ(rows[i][0].Compare(want[i][0]), 0) << "row " << i;
+      ASSERT_EQ(rows[i][1].Compare(want[i][1]), 0)
+          << "stability broken at row " << i << " workers=" << workers;
+    }
+  }
+  // Small inputs fall back to the single sort (no chunk overhead).
+  std::vector<Tuple> small(input.begin(), input.begin() + 100);
+  EXPECT_EQ(SortRowsBySlots(&small, slots, 8), 1);
+}
+
+// ---------------------------------------------------------------------------
+// JoinHashTable overflow guard: the int32 index caps surface as
+// kResourceExhausted instead of wrapping (NextPow2 on a huge reserve used to
+// overflow to 0 and index with garbage).
+// ---------------------------------------------------------------------------
+
+TEST(ExchangeTest, JoinHashTableReserveReportsInt32CapAsResourceExhausted) {
+  JoinHashTable ht(/*key_width=*/1);
+  Status st = ht.Reserve(JoinHashTable::kMaxGroups + 1);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted) << st.ToString();
+  // A sane reserve still works and the table stays usable.
+  ASSERT_TRUE(ht.Reserve(64).ok());
+  Datum key(int64_t{7});
+  uint64_t h = JoinHashTable::HashKey(&key, 1);
+  ASSERT_TRUE(ht.Insert(&key, h, 0).ok());
+  EXPECT_EQ(ht.num_rows(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Partitioned build: same rows, groups, and per-key chain order as one big
+// JoinHashTable, at every thread count.
+// ---------------------------------------------------------------------------
+
+TEST(ExchangeTest, PartitionedJoinTableMatchesSingleTable) {
+  const size_t kRows = 5000;
+  std::vector<Tuple> rows;
+  rows.reserve(kRows);
+  for (size_t i = 0; i < kRows; ++i) {
+    if (i % 97 == 13) {
+      rows.push_back({Datum::NullValue()});  // NULL keys never join
+    } else {
+      rows.push_back({Datum(static_cast<int64_t>(i % 257))});
+    }
+  }
+  // Key program: bare slot-0 load compiled against a one-column layout.
+  Schema schema = {ColumnRef{0, 0}};
+  CompileEnv env;
+  env.schema = &schema;
+  std::vector<ExprProgram> key_progs;
+  key_progs.push_back(ExprProgram::Compile(*Expr::Column(ColumnRef{0, 0}), env));
+
+  // Sequential oracle.
+  JoinHashTable single(/*key_width=*/1);
+  for (size_t i = 0; i < kRows; ++i) {
+    if (rows[i][0].is_null()) continue;
+    uint64_t h = JoinHashTable::HashKey(&rows[i][0], 1);
+    ASSERT_TRUE(single.Insert(&rows[i][0], h, static_cast<uint32_t>(i)).ok());
+  }
+
+  for (int threads : {1, 2, 8}) {
+    PartitionedJoinTable pt(/*key_width=*/1);
+    ASSERT_TRUE(
+        pt.Build(rows, key_progs, /*frames=*/nullptr, threads).ok());
+    EXPECT_EQ(pt.num_rows(), single.num_rows()) << "threads=" << threads;
+    EXPECT_EQ(pt.num_groups(), single.num_groups()) << "threads=" << threads;
+    // Every key's chain replays the sequential insertion order.
+    for (int64_t k = 0; k < 257; ++k) {
+      Datum key(k);
+      uint64_t h = JoinHashTable::HashKey(&key, 1);
+      std::vector<uint32_t> want, got;
+      int32_t g = single.FindGroup(&key, h);
+      if (g >= 0) {
+        for (int32_t e = single.GroupHead(g); e >= 0; e = single.NextEntry(e)) {
+          want.push_back(single.EntryRow(e));
+        }
+      }
+      const JoinHashTable& part = pt.partition(h);
+      int32_t pg = part.FindGroup(&key, h);
+      if (pg >= 0) {
+        for (int32_t e = part.GroupHead(pg); e >= 0; e = part.NextEntry(e)) {
+          got.push_back(part.EntryRow(e));
+        }
+      }
+      ASSERT_EQ(got, want) << "key " << k << " threads=" << threads;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Observability: a profiled parallel run annotates the scanned node with
+// XCHG[workers=N] in EXPLAIN and xchg_workers in the JSON export.
+// ---------------------------------------------------------------------------
+
+TEST(ExchangeTest, ExplainAndJsonSurfaceExchangeWorkers) {
+  Catalog catalog = MakePaperCatalog();
+  Database db(catalog);
+  // scale 0.5 -> EMP has 10000 rows, well above kExchangeMinRows.
+  ASSERT_TRUE(PopulatePaperDatabase(&db, /*seed=*/7, /*scale=*/0.5).ok());
+  auto query_r = ParseSql(
+      catalog, "SELECT EMP.NAME, EMP.SALARY FROM EMP WHERE EMP.SALARY >= 0");
+  ASSERT_TRUE(query_r.ok()) << query_r.status().ToString();
+  const Query& query = query_r.value();
+  Optimizer opt(DefaultRuleSet(DefaultRuleOptions{}));
+  PlanPtr best = opt.Optimize(query).ValueOrDie().best;
+
+  ExecProfile profile;
+  ExecOptions options;
+  options.vectorized = 1;
+  options.exec_threads = 8;
+  options.profile_sink = &profile;
+  auto rs = ExecutePlan(db, query, best, options);
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_GT(rs.value().rows.size(), static_cast<size_t>(kExchangeMinRows));
+
+  bool saw_workers = false;
+  for (const auto& [node, p] : profile.ops()) {
+    if (p.exchange_workers > 1) saw_workers = true;
+  }
+  ASSERT_TRUE(saw_workers) << "no operator recorded exchange workers";
+
+  ExplainOptions eopts;
+  eopts.profile = &profile;
+  std::string text = ExplainPlan(*best, query, eopts);
+  EXPECT_NE(text.find("XCHG[workers="), std::string::npos) << text;
+  std::string json = profile.ToJson();
+  EXPECT_NE(json.find("\"xchg_workers\":"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace starburst

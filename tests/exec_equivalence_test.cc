@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -31,12 +32,14 @@ Result<ResultSet> RunEngine(const Database& db, const Query& query,
                             const PlanPtr& plan, bool vectorized,
                             int batch_size = 1024,
                             FaultInjector* faults = nullptr,
-                            PlanRunStats* stats = nullptr) {
+                            PlanRunStats* stats = nullptr,
+                            int exec_threads = 0) {
   ExecOptions options;
   options.vectorized = vectorized ? 1 : 0;
   options.batch_size = batch_size;
   options.faults = faults;
   options.stats = stats;
+  options.exec_threads = exec_threads;
   return ExecutePlan(db, query, plan, options);
 }
 
@@ -308,6 +311,196 @@ TEST_F(EngineParityTest, FaultSitesTripIdenticallyInBothEngines) {
       EXPECT_EQ(CanonicalRows(oracle.value().rows),
                 CanonicalRows(vec.value().rows))
           << spec;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Exchange parallelism: on a table large enough for morsel pools to engage,
+// the vectorized engine's output must be identical IN ORDER — not merely as
+// a multiset — across every exec-thread count and batch size, must match
+// the legacy oracle as a multiset, and fault specs must trip with identical
+// statuses at every thread count.
+// ---------------------------------------------------------------------------
+
+class ParallelEquivalenceTest : public ::testing::Test {
+ protected:
+  ParallelEquivalenceTest() : catalog_(MakePaperCatalog()), db_(catalog_) {
+    // scale 0.5 -> EMP 10000 rows / DEPT 250, comfortably above
+    // kExchangeMinRows so morsel scans, the partitioned hash build, and the
+    // parallel probe all actually run multi-worker at exec_threads > 1.
+    Status st = PopulatePaperDatabase(&db_, /*seed=*/7, /*scale=*/0.5);
+    if (!st.ok()) ADD_FAILURE() << st.ToString();
+  }
+
+  Query Parse(const std::string& sql) {
+    return ParseSql(catalog_, sql).ValueOrDie();
+  }
+
+  PlanPtr Best(const Query& query) {
+    DefaultRuleOptions rule_opts;
+    rule_opts.merge_join = true;
+    rule_opts.hash_join = true;
+    optimizers_.push_back(
+        std::make_unique<Optimizer>(DefaultRuleSet(rule_opts)));
+    return optimizers_.back()->Optimize(query).ValueOrDie().best;
+  }
+
+  // Hand-built JOIN(HA) so the test covers the partitioned build and the
+  // parallel probe regardless of which flavor the cost model prefers.
+  // `emp_outer` flips which side feeds the probe morsels.
+  PlanPtr HashJoinPlan(const Query& query, bool emp_outer) {
+    auto col = [&](const char* alias, const char* name) {
+      return query.ResolveColumn(alias, name).ValueOrDie();
+    };
+    OpArgs dept_args;
+    dept_args.Set(arg::kQuantifier, int64_t{0});
+    dept_args.Set(arg::kCols, std::vector<ColumnRef>{col("DEPT", "DNO"),
+                                                     col("DEPT", "MGR")});
+    dept_args.Set(arg::kPreds, PredSet{});
+    PlanPtr dept =
+        factory(query).Make(op::kAccess, flavor::kHeap, {},
+                            std::move(dept_args)).ValueOrDie();
+    OpArgs emp_args;
+    emp_args.Set(arg::kQuantifier, int64_t{1});
+    emp_args.Set(arg::kCols,
+                 std::vector<ColumnRef>{col("EMP", "DNO"), col("EMP", "NAME"),
+                                        col("EMP", "SALARY")});
+    emp_args.Set(arg::kPreds, PredSet{});
+    PlanPtr emp =
+        factory(query).Make(op::kAccess, flavor::kHeap, {},
+                            std::move(emp_args)).ValueOrDie();
+    OpArgs join;
+    join.Set(arg::kJoinPreds, PredSet::Single(0));
+    join.Set(arg::kResidualPreds, PredSet{});
+    PlanPtr outer = emp_outer ? std::move(emp) : std::move(dept);
+    PlanPtr inner = emp_outer ? std::move(dept) : std::move(emp);
+    return factory(query)
+        .Make(op::kJoin, flavor::kHA, {std::move(outer), std::move(inner)},
+              std::move(join))
+        .ValueOrDie();
+  }
+
+  PlanFactory& factory(const Query& query) {
+    factories_.push_back(
+        std::make_unique<PlanFactory>(query, cost_model_, registry_));
+    return *factories_.back();
+  }
+
+  void SetUp() override {
+    ASSERT_TRUE(RegisterBuiltinOperators(&registry_).ok());
+  }
+
+  // Runs the plan at every (threads, batch_size) combination and requires
+  // the rows to match the 1-thread/1024-batch baseline in exact order.
+  void ExpectBitIdenticalAcrossThreadsAndBatches(const Query& query,
+                                                 const PlanPtr& plan) {
+    auto baseline = RunEngine(db_, query, plan, /*vectorized=*/true, 1024,
+                              nullptr, nullptr, /*exec_threads=*/1);
+    ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+    const std::vector<Tuple>& want = baseline.value().rows;
+    // The legacy interpreter agrees as a canonical multiset: parallelism
+    // must not change WHAT is computed, only how.
+    auto oracle = RunEngine(db_, query, plan, /*vectorized=*/false);
+    ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+    EXPECT_EQ(CanonicalRows(oracle.value().rows), CanonicalRows(want));
+    for (int threads : {1, 2, 8}) {
+      for (int batch_size : {1, 1024, 4096}) {
+        auto got = RunEngine(db_, query, plan, /*vectorized=*/true,
+                             batch_size, nullptr, nullptr, threads);
+        ASSERT_TRUE(got.ok())
+            << got.status().ToString() << " threads=" << threads
+            << " batch_size=" << batch_size;
+        ASSERT_EQ(got.value().rows.size(), want.size())
+            << "threads=" << threads << " batch_size=" << batch_size;
+        for (size_t i = 0; i < want.size(); ++i) {
+          ASSERT_EQ(got.value().rows[i].size(), want[i].size());
+          for (size_t j = 0; j < want[i].size(); ++j) {
+            ASSERT_EQ(got.value().rows[i][j].Compare(want[i][j]), 0)
+                << "row " << i << " col " << j << " threads=" << threads
+                << " batch_size=" << batch_size;
+          }
+        }
+      }
+    }
+  }
+
+  Catalog catalog_;
+  Database db_;
+  CostModel cost_model_;
+  OperatorRegistry registry_;
+  std::vector<std::unique_ptr<Optimizer>> optimizers_;
+  std::vector<std::unique_ptr<PlanFactory>> factories_;
+};
+
+TEST_F(ParallelEquivalenceTest, ScanFilterSortBitIdenticalAcrossThreads) {
+  Query query = Parse(
+      "SELECT EMP.NAME, EMP.SALARY FROM EMP WHERE EMP.SALARY >= 100000 "
+      "ORDER BY EMP.SALARY");
+  ExpectBitIdenticalAcrossThreadsAndBatches(query, Best(query));
+}
+
+TEST_F(ParallelEquivalenceTest, HashJoinParallelBuildBitIdentical) {
+  // DEPT outer / EMP inner: the 10000-row EMP side feeds the partitioned
+  // parallel build; the 250-row probe stays inline.
+  Query query = Parse(
+      "SELECT EMP.NAME, EMP.SALARY FROM DEPT, EMP "
+      "WHERE DEPT.DNO = EMP.DNO");
+  ExpectBitIdenticalAcrossThreadsAndBatches(
+      query, HashJoinPlan(query, /*emp_outer=*/false));
+}
+
+TEST_F(ParallelEquivalenceTest, HashJoinParallelProbeBitIdentical) {
+  // EMP outer / DEPT inner: the probe side is the big one, so probe morsels
+  // fan out while the build stays inline — match emission order must still
+  // replay the sequential probe row order and per-key chain order.
+  Query query = Parse(
+      "SELECT EMP.NAME, EMP.SALARY FROM DEPT, EMP "
+      "WHERE DEPT.DNO = EMP.DNO");
+  ExpectBitIdenticalAcrossThreadsAndBatches(
+      query, HashJoinPlan(query, /*emp_outer=*/true));
+}
+
+TEST_F(ParallelEquivalenceTest, OptimizedJoinWithSortBitIdenticalAcrossThreads) {
+  Query query = Parse(
+      "SELECT EMP.NAME, EMP.SALARY FROM DEPT, EMP "
+      "WHERE DEPT.MGR = 'Haas' AND DEPT.DNO = EMP.DNO "
+      "ORDER BY EMP.SALARY");
+  ExpectBitIdenticalAcrossThreadsAndBatches(query, Best(query));
+}
+
+TEST_F(ParallelEquivalenceTest, FaultSpecsTripIdenticallyAtEveryThreadCount) {
+  // Exec fault sites are coordinator-only by contract, so an nth-hit spec
+  // must produce the same status string (or the same success) at 1, 2, and
+  // 8 workers.
+  Query query = Parse(
+      "SELECT EMP.NAME, EMP.SALARY FROM DEPT, EMP "
+      "WHERE DEPT.MGR = 'Haas' AND DEPT.DNO = EMP.DNO "
+      "ORDER BY EMP.SALARY");
+  PlanPtr plan = Best(query);
+  const char* specs[] = {
+      "exec.scan.open=1", "exec.scan.open=2", "exec.join.run=1",
+      "exec.sort.run=1",  "exec.scan.open=99",  // never trips
+  };
+  for (const char* spec : specs) {
+    std::string want_status;
+    size_t want_rows = 0;
+    bool first = true;
+    for (int threads : {1, 2, 8}) {
+      FaultInjector faults;
+      ASSERT_TRUE(faults.Configure(spec).ok());
+      auto rs = RunEngine(db_, query, plan, /*vectorized=*/true, 1024,
+                          &faults, nullptr, threads);
+      std::string status = rs.ok() ? "" : rs.status().ToString();
+      size_t rows = rs.ok() ? rs.value().rows.size() : 0;
+      if (first) {
+        want_status = status;
+        want_rows = rows;
+        first = false;
+      } else {
+        EXPECT_EQ(status, want_status) << spec << " threads=" << threads;
+        EXPECT_EQ(rows, want_rows) << spec << " threads=" << threads;
+      }
     }
   }
 }

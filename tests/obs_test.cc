@@ -463,6 +463,27 @@ TEST(MetricsRegistryTest, PrometheusExpositionMangledAndTyped) {
   }
 }
 
+TEST(MetricsRegistryTest, PrometheusOmitsEmptySummariesAndSpellsNonFinite) {
+  MetricsRegistry metrics;
+  // Every sample dropped as invalid: the histogram exists (count 0,
+  // dropped 1) but rendering its summary would publish quantile samples of
+  // 0us that were never measured. The exposition must omit it entirely.
+  metrics.RecordLatency("phase", -1.0);
+  metrics.SetGauge("exec.ratio", std::numeric_limits<double>::quiet_NaN());
+  metrics.SetGauge("exec.ceiling", std::numeric_limits<double>::infinity());
+  metrics.SetGauge("exec.floor", -std::numeric_limits<double>::infinity());
+  MetricsRegistry::Snapshot snap = metrics.TakeSnapshot();
+  ASSERT_EQ(snap.histograms.at("phase").count, 0);
+  EXPECT_EQ(snap.histograms.at("phase").dropped, 1);
+  std::string prom = snap.ToPrometheus();
+  EXPECT_EQ(prom.find("phase_us"), std::string::npos) << prom;
+  // Non-finite gauges use the exposition spellings, not printf artifacts
+  // like "nan"/"inf" (which Prometheus would reject) or a fabricated 0.
+  EXPECT_NE(prom.find("exec_ratio NaN\n"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("exec_ceiling +Inf\n"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("exec_floor -Inf\n"), std::string::npos) << prom;
+}
+
 TEST(MetricsRegistryTest, ScopedTimerRecordsHistogramAndGauge) {
   MetricsRegistry metrics;
   {

@@ -47,8 +47,9 @@ void CollectRowsOut(const PlanOp& root, const ExecProfile& profile,
 
 class ProfileTest : public ::testing::Test {
  protected:
-  ProfileTest() : catalog_(MakePaperCatalog()), db_(catalog_) {
-    Status st = PopulatePaperDatabase(&db_, /*seed=*/7, /*scale=*/0.05);
+  explicit ProfileTest(double scale = 0.05)
+      : catalog_(MakePaperCatalog()), db_(catalog_) {
+    Status st = PopulatePaperDatabase(&db_, /*seed=*/7, scale);
     if (!st.ok()) ADD_FAILURE() << st.ToString();
   }
 
@@ -199,7 +200,7 @@ TEST(JoinHashTableTest, ApproxBytesIsRecomputableFromContents) {
                              Datum(int64_t{3}), Datum(std::string("Greer"))};
   for (uint32_t row = 0; row < keys.size(); ++row) {
     uint64_t h = JoinHashTable::HashKey(&keys[row], 1);
-    ht.Insert(&keys[row], h, row);
+    ASSERT_TRUE(ht.Insert(&keys[row], h, row).ok());
   }
   ASSERT_EQ(ht.num_groups(), 3u);  // the duplicate int folds into one group
   ASSERT_EQ(ht.num_rows(), 4u);
@@ -295,6 +296,139 @@ TEST_F(ProfileTest, SortChargesItsBufferAndRecordsRows) {
   EXPECT_GT(p->sort_bytes, 0);
   EXPECT_GE(p->peak_bytes, p->sort_bytes);
   EXPECT_GE(profile.memory().peak_bytes(), p->sort_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Exchange parallelism: the profile is engine-invariant across exec-thread
+// counts — per-node row counts, batch counts, the root's exact cardinality,
+// and the hash join's data-dependent detail (build rows, groups, probes,
+// chain steps) never change; only layout-dependent detail (bucket count,
+// table bytes) may. Memory accounting must still balance to zero.
+// ---------------------------------------------------------------------------
+
+class ParallelProfileTest : public ProfileTest {
+ protected:
+  // scale 0.5 (EMP 10000 rows) so morsel pools engage; the base fixture's
+  // 0.05-scale rows sit below kExchangeMinRows and would run inline.
+  ParallelProfileTest() : ProfileTest(/*scale=*/0.5) {}
+
+  Result<ResultSet> RunThreaded(const Query& query, const PlanPtr& plan,
+                                int exec_threads, ExecProfile* sink) {
+    ExecOptions options;
+    options.vectorized = 1;
+    options.batch_size = 1024;
+    options.exec_threads = exec_threads;
+    options.profile_sink = sink;
+    return ExecutePlan(db_, query, plan, options);
+  }
+};
+
+TEST_F(ParallelProfileTest, RowCountsAndMemoryBalanceAcrossThreadSweep) {
+  const char* kSqls[] = {
+      "SELECT EMP.NAME, EMP.SALARY FROM EMP WHERE EMP.SALARY >= 100000 "
+      "ORDER BY EMP.SALARY",
+      "SELECT EMP.NAME FROM DEPT, EMP "
+      "WHERE DEPT.MGR = 'Haas' AND DEPT.DNO = EMP.DNO",
+  };
+  for (const char* sql : kSqls) {
+    Query query = Parse(sql);
+    PlanPtr best = Optimize(query).best;
+    std::map<int64_t, int64_t> rows_at_1;
+    size_t result_rows = 0;
+    for (int threads : {1, 2, 8}) {
+      ExecProfile profile;
+      auto rs = RunThreaded(query, best, threads, &profile);
+      ASSERT_TRUE(rs.ok()) << rs.status().ToString() << " threads=" << threads;
+      const OpProfile* root = profile.find(best.get());
+      ASSERT_NE(root, nullptr);
+      EXPECT_EQ(root->rows_out, static_cast<int64_t>(rs.value().rows.size()))
+          << sql << " threads=" << threads;
+      // Every charge was released: the tracker balances to zero with the
+      // peak as the only residue.
+      EXPECT_EQ(profile.memory().current_bytes(), 0)
+          << sql << " threads=" << threads;
+      for (const auto& [node, p] : profile.ops()) {
+        EXPECT_GE(profile.memory().peak_bytes(), p.peak_bytes)
+            << sql << " threads=" << threads;
+      }
+      std::map<int64_t, int64_t> rows_out;
+      CollectRowsOut(*best, profile, &rows_out);
+      if (threads == 1) {
+        rows_at_1 = rows_out;
+        result_rows = rs.value().rows.size();
+      } else {
+        EXPECT_EQ(rows_out, rows_at_1) << sql << " threads=" << threads;
+        EXPECT_EQ(rs.value().rows.size(), result_rows)
+            << sql << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST_F(ParallelProfileTest, HashJoinDetailInvariantAcrossThreads) {
+  // Hand-built JOIN(HA) with the big EMP side on the build: the partitioned
+  // parallel build must report the same data-dependent counters as the
+  // streaming build. Bucket count and table bytes are partition-layout
+  // detail and are deliberately NOT asserted.
+  Query query = Parse(
+      "SELECT EMP.NAME, EMP.ADDRESS FROM DEPT, EMP "
+      "WHERE DEPT.MGR = 'Haas' AND DEPT.DNO = EMP.DNO");
+  CostModel cost_model;
+  OperatorRegistry registry;
+  ASSERT_TRUE(RegisterBuiltinOperators(&registry).ok());
+  PlanFactory factory(query, cost_model, registry);
+  auto col = [&](const char* alias, const char* name) {
+    return query.ResolveColumn(alias, name).ValueOrDie();
+  };
+  OpArgs dept_args;
+  dept_args.Set(arg::kQuantifier, int64_t{0});
+  dept_args.Set(arg::kCols, std::vector<ColumnRef>{col("DEPT", "DNO"),
+                                                   col("DEPT", "MGR")});
+  dept_args.Set(arg::kPreds, PredSet::Single(0));
+  PlanPtr dept =
+      factory.Make(op::kAccess, flavor::kHeap, {}, std::move(dept_args))
+          .ValueOrDie();
+  OpArgs emp_args;
+  emp_args.Set(arg::kQuantifier, int64_t{1});
+  emp_args.Set(arg::kCols,
+               std::vector<ColumnRef>{col("EMP", "DNO"), col("EMP", "NAME"),
+                                      col("EMP", "ADDRESS")});
+  emp_args.Set(arg::kPreds, PredSet{});
+  PlanPtr emp =
+      factory.Make(op::kAccess, flavor::kHeap, {}, std::move(emp_args))
+          .ValueOrDie();
+  OpArgs join;
+  join.Set(arg::kJoinPreds, PredSet::Single(1));
+  join.Set(arg::kResidualPreds, PredSet{});
+  PlanPtr ha_plan =
+      factory.Make(op::kJoin, flavor::kHA, {dept, emp}, std::move(join))
+          .ValueOrDie();
+
+  int64_t build_rows = -1, groups = -1, probes = -1, chain_steps = -1;
+  for (int threads : {1, 2, 8}) {
+    ExecProfile profile;
+    auto rs = RunThreaded(query, ha_plan, threads, &profile);
+    ASSERT_TRUE(rs.ok()) << rs.status().ToString() << " threads=" << threads;
+    const OpProfile* p = profile.find(ha_plan.get());
+    ASSERT_NE(p, nullptr);
+    EXPECT_GT(p->hash_build_rows, 0);
+    EXPECT_GT(p->hash_bytes, 0);
+    EXPECT_GE(p->peak_bytes, p->hash_bytes);
+    if (threads == 1) {
+      build_rows = p->hash_build_rows;
+      groups = p->hash_groups;
+      probes = p->hash_probes;
+      chain_steps = p->hash_chain_steps;
+    } else {
+      EXPECT_EQ(p->hash_build_rows, build_rows) << "threads=" << threads;
+      EXPECT_EQ(p->hash_groups, groups) << "threads=" << threads;
+      EXPECT_EQ(p->hash_probes, probes) << "threads=" << threads;
+      EXPECT_EQ(p->hash_chain_steps, chain_steps) << "threads=" << threads;
+      // The build side (10000 EMP rows) is big enough that the exchange
+      // actually fanned out.
+      EXPECT_GT(p->exchange_workers, 1) << "threads=" << threads;
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
