@@ -28,6 +28,9 @@
 //   \batchsize [n]        show/set rows per batch (0 = env default)
 //   \execthreads [n]      show/set exchange worker threads for parallel
 //                         scans/joins/sorts (0 = env default, 1 = off)
+//   \execbudget [spec]    show/set execution-time governance (deadline_ms=,
+//                         mem=; 0 = env default, "off" disables both; a
+//                         mem budget makes SORT / JOIN(HA) spill to disk)
 //   \profile [on|off|json] show/set per-operator execution profiling (wall
 //                         time, rows, memory, operator detail); json dumps
 //                         the last profile
@@ -111,6 +114,9 @@ void PrintHelp() {
       "  \\batchsize [n]      show/set rows per batch (0 = env default)\n"
       "  \\execthreads [n]    show/set exchange worker threads (0 = env\n"
       "                      default STARBURST_EXEC_THREADS, 1 = off)\n"
+      "  \\execbudget [spec]  show/set execution governance: deadline_ms=N\n"
+      "                      mem=BYTES (0 = env default, 'off' disables;\n"
+      "                      a mem budget makes SORT/JOIN(HA) spill)\n"
       "  \\profile [on|off]   show/set per-operator profiling (time, rows,\n"
       "                      memory, hash/sort/predicate detail; shown by\n"
       "                      \\analyze); \\profile json dumps the last one\n"
@@ -131,6 +137,9 @@ struct Shell {
   int vectorized = -1;  // -1 env default, 0 legacy interpreter, 1 batch
   int batch_size = 0;   // 0 env default
   int exec_threads = 0;  // 0 env default (STARBURST_EXEC_THREADS)
+  // Execution governance (0 = env default, negative = forced off).
+  long long exec_deadline_ms = 0;  // STARBURST_EXEC_DEADLINE_MS
+  long long exec_mem_limit = 0;    // STARBURST_EXEC_MEM_LIMIT (bytes)
   int profile = -1;     // -1 env default (STARBURST_PROFILE), 0 off, 1 on
   ExecProfile last_profile;
   WorkloadRepository workload;
@@ -186,6 +195,8 @@ struct Shell {
     exec_opts.vectorized = vectorized;
     exec_opts.batch_size = batch_size;
     exec_opts.exec_threads = exec_threads;
+    exec_opts.exec_deadline_ms = exec_deadline_ms;
+    exec_opts.exec_mem_limit = exec_mem_limit;
     if (analyze) exec_opts.stats = &run_stats;
     bool profiling =
         profile == 1 || (profile == -1 && DefaultProfileEnabled());
@@ -514,6 +525,56 @@ struct Shell {
       } else {
         std::printf("exec threads: environment default\n");
       }
+    } else if (cmd == "\\execbudget") {
+      auto show = [this]() {
+        auto knob = [](long long v) {
+          return v > 0 ? std::to_string(v)
+                       : v == 0 ? std::string("env") : std::string("off");
+        };
+        std::printf("exec budget: deadline_ms=%s mem=%s (0 = env default "
+                    "STARBURST_EXEC_DEADLINE_MS / STARBURST_EXEC_MEM_LIMIT)\n",
+                    knob(exec_deadline_ms).c_str(),
+                    knob(exec_mem_limit).c_str());
+      };
+      if (rest.empty()) {
+        show();
+        return;
+      }
+      if (rest == "off") {
+        exec_deadline_ms = exec_mem_limit = -1;
+        show();
+        return;
+      }
+      std::istringstream spec(rest);
+      std::string part;
+      bool ok = true;
+      while (spec >> part) {
+        auto eq = part.find('=');
+        char* end = nullptr;
+        long long v = eq == std::string::npos
+                          ? -1
+                          : std::strtoll(part.c_str() + eq + 1, &end, 10);
+        if (eq == std::string::npos || end == part.c_str() + eq + 1 ||
+            *end != '\0' || v < 0) {
+          ok = false;
+          break;
+        }
+        std::string key = part.substr(0, eq);
+        if (key == "deadline_ms") {
+          exec_deadline_ms = v;
+        } else if (key == "mem") {
+          exec_mem_limit = v;
+        } else {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) {
+        std::printf("usage: \\execbudget [deadline_ms=N] [mem=BYTES] | off "
+                    "  (0 = env default)\n");
+        return;
+      }
+      show();
     } else if (cmd == "\\faults") {
       if (rest.empty()) {
         std::printf("%s\n", FaultInjector::Global()->ToString().c_str());

@@ -11,6 +11,8 @@ const std::vector<std::string>& KnownFaultSites() {
       faultsite::kGlueStore,    faultsite::kExecScanOpen,
       faultsite::kExecTempProbe, faultsite::kExecJoinRun,
       faultsite::kExecSortRun,  faultsite::kExecStoreRun,
+      faultsite::kExecSpillOpen, faultsite::kExecSpillWrite,
+      faultsite::kExecSpillRead,
   };
   return kSites;
 }
@@ -56,6 +58,7 @@ Result<double> ParseRate(const std::string& text) {
 Status FaultInjector::Configure(const std::string& spec) {
   uint64_t seed = 0;
   double global_rate = 0.0;
+  bool configured = false;
   std::map<std::string, SiteRule> rules;
 
   size_t pos = 0;
@@ -68,6 +71,7 @@ Status FaultInjector::Configure(const std::string& spec) {
     while (!entry.empty() && entry.front() == ' ') entry.erase(entry.begin());
     while (!entry.empty() && entry.back() == ' ') entry.pop_back();
     if (entry.empty() || entry == "off") continue;
+    configured = true;
 
     size_t eq = entry.find('=');
     if (eq == std::string::npos) {
@@ -125,14 +129,19 @@ Status FaultInjector::Configure(const std::string& spec) {
   hits_.clear();
   armed_.store(!rules_.empty() || global_rate_ > 0.0,
                std::memory_order_release);
+  configured_.store(configured, std::memory_order_release);
   return Status::OK();
 }
 
 Status FaultInjector::Check(const char* site) {
-  if (!armed_.load(std::memory_order_acquire)) return Status::OK();
+  // Counting is gated on configured_, not armed_: a spec that can never
+  // fire (bare "seed=", "rate=0.0") still counts hits so sweeps can assert
+  // which sites a workload reached.
+  if (!configured_.load(std::memory_order_acquire)) return Status::OK();
   std::lock_guard<std::mutex> lock(mu_);
   std::string key(site);
   int64_t hit = ++hits_[key];
+  if (!armed_.load(std::memory_order_relaxed)) return Status::OK();
 
   bool fire = false;
   auto it = rules_.find(key);
@@ -166,7 +175,7 @@ void FaultInjector::ResetCounters() {
 
 std::string FaultInjector::ToString() const {
   std::lock_guard<std::mutex> lock(mu_);
-  if (rules_.empty() && global_rate_ == 0.0) return "off";
+  if (!configured_.load(std::memory_order_relaxed)) return "off";
   std::string out = "seed=" + std::to_string(seed_);
   if (global_rate_ > 0.0) {
     out += ",rate=" + std::to_string(global_rate_);

@@ -24,6 +24,9 @@ inline constexpr const char* kExecTempProbe = "exec.temp.probe";
 inline constexpr const char* kExecJoinRun = "exec.join.run";
 inline constexpr const char* kExecSortRun = "exec.sort.run";
 inline constexpr const char* kExecStoreRun = "exec.store.run";
+inline constexpr const char* kExecSpillOpen = "exec.spill.open";
+inline constexpr const char* kExecSpillWrite = "exec.spill.write";
+inline constexpr const char* kExecSpillRead = "exec.spill.read";
 }  // namespace faultsite
 
 /// All registered fault-site names, in a fixed order.
@@ -69,7 +72,10 @@ class FaultInjector {
   /// never call Check, so parallelism can neither consume nor reorder hits.
   Status Check(const char* site);
 
-  /// Times `site` was checked since the last Configure (armed mode only).
+  /// Times `site` was checked since the last Configure. Counted whenever ANY
+  /// spec is configured — including pure `rate=` mode and specs that can
+  /// never fire (a bare `seed=`, `rate=0.0`) — so fault-sweep tests can
+  /// assert site coverage independently of whether faults actually trip.
   int64_t hits(const std::string& site) const;
   /// Resets hit counters without changing the configuration.
   void ResetCounters();
@@ -89,6 +95,9 @@ class FaultInjector {
   };
 
   std::atomic<bool> armed_{false};
+  // True when any non-"off" entry was configured, even if nothing can fire
+  // (e.g. a bare "seed=7"): hit counting is gated on this, firing on armed_.
+  std::atomic<bool> configured_{false};
   mutable std::mutex mu_;
   uint64_t seed_ = 0;
   double global_rate_ = 0.0;

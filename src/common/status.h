@@ -23,6 +23,10 @@ enum class StatusCode {
   /// "infeasible, skip this combination" inside the STAR engine — budget
   /// exhaustion must never be swallowed that way.
   kResourceExhausted,
+  /// The client cooperatively cancelled the operation (the execution
+  /// governor's cancel token). Distinct from kResourceExhausted so callers
+  /// can tell "you asked us to stop" from "a budget stopped us".
+  kCancelled,
 };
 
 /// A lightweight status object in the RocksDB/Arrow tradition: functions that
@@ -55,6 +59,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,6 +1,7 @@
 #include "exec/batch_iterator.h"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <functional>
 #include <memory>
@@ -8,8 +9,10 @@
 
 #include "common/fault_injector.h"
 #include "exec/exchange.h"
+#include "exec/governor.h"
 #include "exec/hash_table.h"
 #include "exec/pred_program.h"
+#include "exec/spill_file.h"
 #include "obs/profiler.h"
 #include "storage/index.h"
 
@@ -31,6 +34,14 @@ struct VecAccess {
     return e->material_cache_;
   }
   static void Release(Executor* e) {
+    // Cached materializations carry memory charges (MaterializeSubtree);
+    // release them with the rows so an abandoned run leaves the tracker at
+    // zero.
+    if (e->profile_ != nullptr) {
+      for (const auto& [node, rows] : e->material_cache_) {
+        e->profile_->ReleaseBytes(node, RowsApproxBytes(*rows));
+      }
+    }
     e->material_cache_.clear();
     e->schema_cache_.clear();
     e->env_.clear();
@@ -64,6 +75,13 @@ Status BatchIterator::Open() {
 
 Status BatchIterator::Next(RowBatch* out) {
   out->clear();
+  // Governance check point: once per batch, at every iterator boundary. A
+  // trip unwinds as a Status through the pull chain; Close() still runs on
+  // every opened iterator (RunVectorized closes unconditionally).
+  if (rt_->governor != nullptr) {
+    Status g = rt_->governor->Check();
+    if (!g.ok()) return g;
+  }
   if (!rt_->instrumented) return DoNext(out);
   auto start = std::chrono::steady_clock::now();
   Status s = DoNext(out);
@@ -591,8 +609,13 @@ class GetIterator : public BatchIterator {
 };
 
 // ---------------------------------------------------------------------------
-// SORT (blocking)
+// SORT (blocking; spills to external-merge runs under a memory budget)
 // ---------------------------------------------------------------------------
+
+/// Rows below this floor never spill as their own run: with tiny budgets and
+/// batch_size=1 the sort would otherwise shed thousands of one-row runs and
+/// exhaust file descriptors during the merge.
+constexpr size_t kMinSpillRunRows = 256;
 
 class SortIterator : public BatchIterator {
  public:
@@ -615,43 +638,153 @@ class SortIterator : public BatchIterator {
       compiled_ = true;
     }
     drained_ = false;
+    merging_ = false;
     rows_.clear();
     pos_ = 0;
+    runs_.clear();
+    seen_rows_ = 0;
+    seen_bytes_ = 0;
     ReleaseCharge();
     return Status::OK();
   }
 
   Status DoNext(RowBatch* out) override {
-    if (!drained_) {
-      STARBURST_RETURN_NOT_OK(DrainInto(child_.get(), &rows_));
-      // Parallel chunk-sort + stable merge; bit-identical to one
-      // std::stable_sort at every worker count (exec_threads 1 is exactly
-      // that call).
-      int sort_workers = SortRowsBySlots(&rows_, slots_, rt_->exec_threads);
-      drained_ = true;
-      if (rt_->profile != nullptr) {
-        charged_ = RowsApproxBytes(rows_);
-        rt_->profile->ChargeBytes(node_, charged_);
-        OpProfile& p = rt_->profile->at(node_);
-        p.sort_rows += static_cast<int64_t>(rows_.size());
-        p.sort_bytes += charged_;
-        if (sort_workers > 1 && sort_workers > p.exchange_workers) {
-          p.exchange_workers = sort_workers;
-        }
+    if (!drained_) STARBURST_RETURN_NOT_OK(Drain());
+    if (runs_.empty()) {
+      // Pure in-memory path: identical to the pre-spill engine.
+      while (!BatchFull(*out, *rt_) && pos_ < rows_.size()) {
+        out->rows.push_back(std::move(rows_[pos_++]));
       }
+      return Status::OK();
     }
-    while (!BatchFull(*out, *rt_) && pos_ < rows_.size()) {
-      out->rows.push_back(std::move(rows_[pos_++]));
-    }
-    return Status::OK();
+    return MergeNext(out);
   }
 
   Status DoClose() override {
     ReleaseCharge();
+    runs_.clear();
     return child_->Close();
   }
 
  private:
+  struct Run {
+    std::unique_ptr<SpillFile> file;
+    Tuple head;
+    bool reading = false;
+    bool done = false;
+  };
+
+  /// True when the governor's memory budget is set and currently exceeded.
+  bool ShouldSpill() const {
+    return rt_->governor != nullptr && rt_->governor->ShouldSpill();
+  }
+
+  /// Pulls the child to exhaustion, shedding sorted runs to temp files
+  /// whenever the tracked bytes cross the budget. Runs are CONTIGUOUS input
+  /// segments, each stable-sorted, and the merge breaks ties by run index
+  /// (earliest first, in-memory tail last) — exactly one global stable_sort,
+  /// so spilled output is bit-identical to the in-memory sort at every
+  /// threshold, batch size, and worker count.
+  Status Drain() {
+    RowBatch b;
+    for (;;) {
+      STARBURST_RETURN_NOT_OK(child_->Next(&b));
+      if (b.empty()) break;
+      if (rt_->profile != nullptr) {
+        int64_t delta = RowsApproxBytes(b.rows);
+        charged_ += delta;
+        seen_bytes_ += delta;
+        rt_->profile->ChargeBytes(node_, delta);
+      }
+      seen_rows_ += static_cast<int64_t>(b.rows.size());
+      for (Tuple& t : b.rows) rows_.push_back(std::move(t));
+      if (ShouldSpill() && rows_.size() >= kMinSpillRunRows) {
+        STARBURST_RETURN_NOT_OK(SpillRun());
+      }
+    }
+    // Parallel chunk-sort + stable merge; bit-identical to one
+    // std::stable_sort at every worker count (exec_threads 1 is exactly
+    // that call).
+    int sort_workers = SortRowsBySlots(&rows_, slots_, rt_->exec_threads);
+    drained_ = true;
+    if (rt_->profile != nullptr) {
+      OpProfile& p = rt_->profile->at(node_);
+      p.sort_rows += seen_rows_;
+      p.sort_bytes += seen_bytes_;
+      if (sort_workers > 1 && sort_workers > p.exchange_workers) {
+        p.exchange_workers = sort_workers;
+      }
+    }
+    return Status::OK();
+  }
+
+  Status SpillRun() {
+    SortRowsBySlots(&rows_, slots_, rt_->exec_threads);
+    auto file = std::make_unique<SpillFile>();
+    STARBURST_RETURN_NOT_OK(file->Create(rt_->faults));
+    STARBURST_RETURN_NOT_OK(file->WriteRows(rows_));
+    STARBURST_RETURN_NOT_OK(file->FinishWrite());
+    if (rt_->profile != nullptr) {
+      OpProfile& p = rt_->profile->at(node_);
+      p.spill_runs += 1;
+      p.spill_bytes += file->bytes_written();
+    }
+    Run run;
+    run.file = std::move(file);
+    runs_.push_back(std::move(run));
+    rows_.clear();
+    ReleaseCharge();
+    return Status::OK();
+  }
+
+  Status Advance(Run* r) {
+    if (!r->reading) {
+      STARBURST_RETURN_NOT_OK(r->file->BeginRead());
+      r->reading = true;
+    }
+    bool eof = false;
+    STARBURST_RETURN_NOT_OK(r->file->ReadRow(&r->head, &eof));
+    if (eof) r->done = true;
+    return Status::OK();
+  }
+
+  bool RowLess(const Tuple& a, const Tuple& b) const {
+    for (int s : slots_) {
+      int c = a[static_cast<size_t>(s)].Compare(b[static_cast<size_t>(s)]);
+      if (c != 0) return c < 0;
+    }
+    return false;
+  }
+
+  /// K-way merge over the spilled runs plus the sorted in-memory tail.
+  /// Strict less with runs visited in spill order (tail last) keeps equal
+  /// keys in input order — the stable_sort tie-break.
+  Status MergeNext(RowBatch* out) {
+    if (!merging_) {
+      for (Run& r : runs_) STARBURST_RETURN_NOT_OK(Advance(&r));
+      merging_ = true;
+    }
+    while (!BatchFull(*out, *rt_)) {
+      Run* best = nullptr;
+      for (Run& r : runs_) {
+        if (r.done) continue;
+        if (best == nullptr || RowLess(r.head, best->head)) best = &r;
+      }
+      bool tail_has = pos_ < rows_.size();
+      if (best == nullptr && !tail_has) return Status::OK();
+      // The earliest run wins ties (strict less above); the tail — the
+      // latest input segment — wins only when strictly smaller.
+      if (best != nullptr && (!tail_has || !RowLess(rows_[pos_], best->head))) {
+        out->rows.push_back(std::move(best->head));
+        best->head = Tuple();
+        STARBURST_RETURN_NOT_OK(Advance(best));
+      } else {
+        out->rows.push_back(std::move(rows_[pos_++]));
+      }
+    }
+    return Status::OK();
+  }
+
   void ReleaseCharge() {
     if (charged_ > 0 && rt_->profile != nullptr) {
       rt_->profile->ReleaseBytes(node_, charged_);
@@ -663,9 +796,13 @@ class SortIterator : public BatchIterator {
   bool compiled_ = false;
   std::vector<int> slots_;
   std::vector<Tuple> rows_;
+  std::vector<Run> runs_;
   bool drained_ = false;
+  bool merging_ = false;
   size_t pos_ = 0;
   int64_t charged_ = 0;
+  int64_t seen_rows_ = 0;
+  int64_t seen_bytes_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -1516,15 +1653,23 @@ class HashJoinIterator : public BatchIterator {
     probed_ = false;
     pemit_morsel_ = 0;
     pemit_pos_ = 0;
+    grace_ = false;
+    grace_done_ = false;
+    gmerge_init_ = false;
+    for (auto& f : opart_) f.reset();
+    spill_runs_ = 0;
+    spill_bytes_ = 0;
     return Status::OK();
   }
 
   Status DoNext(RowBatch* out) override {
     if (degrade_) return DegradeNext(out);
+    if (grace_) return GraceNext(out);
     if (exchange_ok_) return ParallelNext(out);
     const int width = static_cast<int>(inner_key_.size());
     if (!built_) {
-      STARBURST_RETURN_NOT_OK(DrainInto(inner_.get(), &build_rows_));
+      STARBURST_RETURN_NOT_OK(DrainBuildSide());
+      if (grace_) return GraceNext(out);
       ht_ = std::make_unique<JoinHashTable>(width);
       STARBURST_RETURN_NOT_OK(ht_->Reserve(build_rows_.size()));
       key_buf_.resize(static_cast<size_t>(width));
@@ -1544,15 +1689,16 @@ class HashJoinIterator : public BatchIterator {
       }
       built_ = true;
       if (rt_->profile != nullptr) {
-        // The build side holds both the materialized rows and the table
-        // structure for the probe phase; charge both.
-        charged_ = RowsApproxBytes(build_rows_) + ht_->ApproxBytes();
-        rt_->profile->ChargeBytes(node_, charged_);
+        // The build side holds both the materialized rows (charged by
+        // DrainBuildSide) and the table structure for the probe phase.
+        int64_t ht_bytes = ht_->ApproxBytes();
+        charged_ += ht_bytes;
+        rt_->profile->ChargeBytes(node_, ht_bytes);
         OpProfile& p = rt_->profile->at(node_);
         p.hash_build_rows += static_cast<int64_t>(build_rows_.size());
         p.hash_groups += static_cast<int64_t>(ht_->num_groups());
         p.hash_buckets += static_cast<int64_t>(ht_->num_slots());
-        p.hash_bytes += ht_->ApproxBytes();
+        p.hash_bytes += ht_bytes;
       }
     }
     for (;;) {
@@ -1601,6 +1747,7 @@ class HashJoinIterator : public BatchIterator {
         }
       }
     }
+    for (auto& f : opart_) f.reset();
     STARBURST_RETURN_NOT_OK(outer_->Close());
     return inner_->Close();
   }
@@ -1613,6 +1760,25 @@ class HashJoinIterator : public BatchIterator {
     charged_ = 0;
   }
 
+  /// Drains the build side, charges its bytes, and decides whether this
+  /// join must go to the Grace partition-spill path: the governor's memory
+  /// budget is set, already exceeded, and there is a build side to shed.
+  /// The decision is coordinator-only and happens before any table is
+  /// built, so the streaming/parallel in-memory paths stay untouched when
+  /// memory is plentiful.
+  Status DrainBuildSide() {
+    STARBURST_RETURN_NOT_OK(DrainInto(inner_.get(), &build_rows_));
+    if (rt_->profile != nullptr) {
+      charged_ = RowsApproxBytes(build_rows_);
+      rt_->profile->ChargeBytes(node_, charged_);
+    }
+    if (rt_->governor != nullptr && !build_rows_.empty() &&
+        rt_->governor->ShouldSpill()) {
+      grace_ = true;
+    }
+    return Status::OK();
+  }
+
   /// Exchange path: partitioned build (global-row-order chains), drained
   /// outer, probe morsels into per-morsel buffers, emission in morsel order.
   /// Every observable — row order, rows/batches out, probes, chain steps,
@@ -1621,22 +1787,25 @@ class HashJoinIterator : public BatchIterator {
   Status ParallelNext(RowBatch* out) {
     const int width = static_cast<int>(inner_key_.size());
     if (!built_) {
-      STARBURST_RETURN_NOT_OK(DrainInto(inner_.get(), &build_rows_));
+      STARBURST_RETURN_NOT_OK(DrainBuildSide());
+      if (grace_) return GraceNext(out);
       pt_ = std::make_unique<PartitionedJoinTable>(width);
       STARBURST_RETURN_NOT_OK(
-          pt_->Build(build_rows_, inner_key_, rt_->env, rt_->exec_threads));
+          pt_->Build(build_rows_, inner_key_, rt_->env, rt_->exec_threads,
+                     rt_->governor));
       built_ = true;
       if (pt_->build_workers() > workers_used_) {
         workers_used_ = pt_->build_workers();
       }
       if (rt_->profile != nullptr) {
-        charged_ = RowsApproxBytes(build_rows_) + pt_->ApproxBytes();
-        rt_->profile->ChargeBytes(node_, charged_);
+        int64_t pt_bytes = pt_->ApproxBytes();
+        charged_ += pt_bytes;
+        rt_->profile->ChargeBytes(node_, pt_bytes);
         OpProfile& p = rt_->profile->at(node_);
         p.hash_build_rows += static_cast<int64_t>(build_rows_.size());
         p.hash_groups += static_cast<int64_t>(pt_->num_groups());
         p.hash_buckets += static_cast<int64_t>(pt_->num_slots());
-        p.hash_bytes += pt_->ApproxBytes();
+        p.hash_bytes += pt_bytes;
       }
     }
     if (!probed_) {
@@ -1680,7 +1849,7 @@ class HashJoinIterator : public BatchIterator {
         }
         pmorsel_out_[m] = std::move(local.rows);
         return Status::OK();
-      }));
+      }, rt_->governor));
       for (int64_t v : probes) probes_ += v;
       for (int64_t v : chains) chain_steps_ += v;
       if (workers > workers_used_) workers_used_ = workers;
@@ -1721,6 +1890,271 @@ class HashJoinIterator : public BatchIterator {
     return Status::OK();
   }
 
+  // -------------------------------------------------------------------------
+  // Grace partition-spill path (memory budget exceeded at build time).
+  //
+  // Both sides are hash-partitioned to temp files on the key's high bits
+  // (the same bits PartitionedJoinTable uses, so a key group lands wholly in
+  // one partition), then partitions are joined one at a time: only 1/16th of
+  // the build side plus one table is ever in memory. Probe rows carry their
+  // global arrival index through the files; the final 16-way merge on that
+  // index restores exactly the streaming emission order (probe-row major,
+  // build-chain order within a row — chains stay in global build order
+  // because partition files are written in global row order). Output is
+  // therefore bit-identical to the in-memory paths at every threshold,
+  // batch size, and exec thread count. All spill I/O runs on the
+  // coordinator, keeping fault-site hit order deterministic.
+  // -------------------------------------------------------------------------
+
+  static constexpr size_t kGraceParts = 16;
+  static constexpr size_t kSpillFlushRows = 256;
+
+  static size_t GracePartition(uint64_t hash) {
+    return static_cast<size_t>(hash >> 60) & (kGraceParts - 1);
+  }
+
+  /// Evaluates `progs` over `row` into key_buf_; returns whether any key
+  /// column was NULL.
+  Result<bool> EvalKey(const std::vector<ExprProgram>& progs,
+                       const Tuple& row) {
+    ProgramCtx ctx{&row, rt_->env, nullptr};
+    bool null_key = false;
+    for (size_t k = 0; k < progs.size(); ++k) {
+      auto v = progs[k].Eval(ctx);
+      if (!v.ok()) return v.status();
+      if (v.value().is_null()) null_key = true;
+      key_buf_[k] = std::move(v).value();
+    }
+    return null_key;
+  }
+
+  /// Flushes `buf` into `*file`, creating the temp file on first use.
+  Status FlushPart(std::unique_ptr<SpillFile>* file, std::vector<Tuple>* buf) {
+    if (buf->empty()) return Status::OK();
+    if (*file == nullptr) {
+      *file = std::make_unique<SpillFile>();
+      STARBURST_RETURN_NOT_OK((*file)->Create(rt_->faults));
+    }
+    STARBURST_RETURN_NOT_OK((*file)->WriteRows(*buf));
+    buf->clear();
+    return Status::OK();
+  }
+
+  /// Seals one partition file and folds it into the spill statistics.
+  Status FinishSpill(SpillFile* f) {
+    if (f == nullptr) return Status::OK();
+    STARBURST_RETURN_NOT_OK(f->FinishWrite());
+    ++spill_runs_;
+    spill_bytes_ += f->bytes_written();
+    return Status::OK();
+  }
+
+  Status GraceNext(RowBatch* out) {
+    if (!grace_done_) STARBURST_RETURN_NOT_OK(GraceRun());
+    if (!gmerge_init_) {
+      for (size_t p = 0; p < kGraceParts; ++p) {
+        ghead_done_[p] = true;
+        if (opart_[p] == nullptr) continue;
+        STARBURST_RETURN_NOT_OK(opart_[p]->BeginRead());
+        ghead_done_[p] = false;
+        STARBURST_RETURN_NOT_OK(GraceAdvance(p));
+      }
+      gmerge_init_ = true;
+    }
+    while (!BatchFull(*out, *rt_)) {
+      int best = -1;
+      for (size_t p = 0; p < kGraceParts; ++p) {
+        if (ghead_done_[p]) continue;
+        if (best < 0 ||
+            ghead_[p][0].AsInt() < ghead_[static_cast<size_t>(best)][0].AsInt()) {
+          best = static_cast<int>(p);
+        }
+      }
+      if (best < 0) return Status::OK();  // all partitions drained
+      Tuple& h = ghead_[static_cast<size_t>(best)];
+      out->rows.push_back(Tuple(std::make_move_iterator(h.begin() + 1),
+                                std::make_move_iterator(h.end())));
+      STARBURST_RETURN_NOT_OK(GraceAdvance(static_cast<size_t>(best)));
+    }
+    return Status::OK();
+  }
+
+  Status GraceAdvance(size_t p) {
+    bool eof = false;
+    STARBURST_RETURN_NOT_OK(opart_[p]->ReadRow(&ghead_[p], &eof));
+    if (eof) {
+      ghead_done_[p] = true;
+      opart_[p].reset();  // done with this partition: unlink immediately
+    }
+    return Status::OK();
+  }
+
+  Status GraceRun() {
+    const int width = static_cast<int>(inner_key_.size());
+    key_buf_.resize(static_cast<size_t>(width));
+    const int64_t build_total = static_cast<int64_t>(build_rows_.size());
+
+    // Phase 1: shed the build side to one temp file per partition, in
+    // global row order.
+    std::array<std::unique_ptr<SpillFile>, kGraceParts> bpart;
+    {
+      std::array<std::vector<Tuple>, kGraceParts> buf;
+      for (size_t r = 0; r < build_rows_.size(); ++r) {
+        auto null_key = EvalKey(inner_key_, build_rows_[r]);
+        if (!null_key.ok()) return null_key.status();
+        if (null_key.value()) continue;  // NULL keys never match: row skipped
+        size_t p =
+            GracePartition(JoinHashTable::HashKey(key_buf_.data(), width));
+        buf[p].push_back(build_rows_[r]);
+        if (buf[p].size() >= kSpillFlushRows) {
+          STARBURST_RETURN_NOT_OK(FlushPart(&bpart[p], &buf[p]));
+        }
+      }
+      for (size_t p = 0; p < kGraceParts; ++p) {
+        STARBURST_RETURN_NOT_OK(FlushPart(&bpart[p], &buf[p]));
+        STARBURST_RETURN_NOT_OK(FinishSpill(bpart[p].get()));
+      }
+    }
+    // The build rows now live on disk; release the in-memory copy — the
+    // entire point of spilling.
+    build_rows_.clear();
+    build_rows_.shrink_to_fit();
+    ReleaseCharge();
+
+    // Phase 2: stream the probe side into the same partitions, each row
+    // prefixed with its global arrival index (Datum int64) so emission
+    // order can be reconstructed after the per-partition joins.
+    std::array<std::unique_ptr<SpillFile>, kGraceParts> ppart;
+    {
+      std::array<std::vector<Tuple>, kGraceParts> buf;
+      RowBatch b;
+      int64_t idx = 0;
+      for (;;) {
+        STARBURST_RETURN_NOT_OK(outer_->Next(&b));
+        if (b.empty()) break;
+        for (Tuple& o : b.rows) {
+          int64_t my_idx = idx++;
+          auto null_key = EvalKey(outer_key_, o);
+          if (!null_key.ok()) return null_key.status();
+          if (null_key.value()) continue;
+          ++probes_;
+          size_t p =
+              GracePartition(JoinHashTable::HashKey(key_buf_.data(), width));
+          Tuple row;
+          row.reserve(o.size() + 1);
+          row.push_back(Datum(my_idx));
+          for (Datum& d : o) row.push_back(std::move(d));
+          buf[p].push_back(std::move(row));
+          if (buf[p].size() >= kSpillFlushRows) {
+            STARBURST_RETURN_NOT_OK(FlushPart(&ppart[p], &buf[p]));
+          }
+        }
+      }
+      for (size_t p = 0; p < kGraceParts; ++p) {
+        STARBURST_RETURN_NOT_OK(FlushPart(&ppart[p], &buf[p]));
+        STARBURST_RETURN_NOT_OK(FinishSpill(ppart[p].get()));
+      }
+    }
+
+    // Phase 3: join one partition at a time; matches go to a per-partition
+    // output file, still index-prefixed.
+    for (size_t p = 0; p < kGraceParts; ++p) {
+      STARBURST_RETURN_NOT_OK(
+          GraceJoinPartition(width, bpart[p].get(), ppart[p].get(),
+                             &opart_[p]));
+      bpart[p].reset();  // free the temp file and its descriptor eagerly
+      ppart[p].reset();
+      STARBURST_RETURN_NOT_OK(FinishSpill(opart_[p].get()));
+    }
+
+    if (rt_->profile != nullptr) {
+      OpProfile& prof = rt_->profile->at(node_);
+      prof.hash_build_rows += build_total;
+      prof.spill_runs += spill_runs_;
+      prof.spill_bytes += spill_bytes_;
+    }
+    grace_done_ = true;
+    return Status::OK();
+  }
+
+  Status GraceJoinPartition(int width, SpillFile* bfile, SpillFile* pfile,
+                            std::unique_ptr<SpillFile>* ofile) {
+    // A partition with no probes emits nothing; one with no build rows can
+    // match nothing. Either way there is no work.
+    if (bfile == nullptr || pfile == nullptr) return Status::OK();
+    std::vector<Tuple> prows;
+    STARBURST_RETURN_NOT_OK(bfile->BeginRead());
+    for (;;) {
+      Tuple row;
+      bool eof = false;
+      STARBURST_RETURN_NOT_OK(bfile->ReadRow(&row, &eof));
+      if (eof) break;
+      prows.push_back(std::move(row));
+    }
+    JoinHashTable table(width);
+    STARBURST_RETURN_NOT_OK(table.Reserve(prows.size()));
+    for (size_t r = 0; r < prows.size(); ++r) {
+      auto null_key = EvalKey(inner_key_, prows[r]);
+      if (!null_key.ok()) return null_key.status();
+      // Null-key rows never reached the partition files.
+      STARBURST_RETURN_NOT_OK(table.Insert(
+          key_buf_.data(), JoinHashTable::HashKey(key_buf_.data(), width),
+          static_cast<uint32_t>(r)));
+    }
+    int64_t charge = RowsApproxBytes(prows) + table.ApproxBytes();
+    if (rt_->profile != nullptr) {
+      rt_->profile->ChargeBytes(node_, charge);
+      OpProfile& prof = rt_->profile->at(node_);
+      prof.hash_groups += static_cast<int64_t>(table.num_groups());
+      prof.hash_buckets += static_cast<int64_t>(table.num_slots());
+      prof.hash_bytes += table.ApproxBytes();
+    }
+    // The partition's table must be released on EVERY exit — including
+    // injected faults mid-probe — or a cancelled run would strand charges.
+    Status st = GraceProbePartition(width, prows, table, pfile, ofile);
+    if (rt_->profile != nullptr) rt_->profile->ReleaseBytes(node_, charge);
+    return st;
+  }
+
+  Status GraceProbePartition(int width, const std::vector<Tuple>& prows,
+                             const JoinHashTable& table, SpillFile* pfile,
+                             std::unique_ptr<SpillFile>* ofile) {
+    STARBURST_RETURN_NOT_OK(pfile->BeginRead());
+    std::vector<Tuple> obuf;
+    for (;;) {
+      Tuple row;
+      bool eof = false;
+      STARBURST_RETURN_NOT_OK(pfile->ReadRow(&row, &eof));
+      if (eof) break;
+      int64_t idx = row[0].AsInt();
+      Tuple o(std::make_move_iterator(row.begin() + 1),
+              std::make_move_iterator(row.end()));
+      auto null_key = EvalKey(outer_key_, o);
+      if (!null_key.ok()) return null_key.status();
+      uint64_t h = JoinHashTable::HashKey(key_buf_.data(), width);
+      int32_t g = table.FindGroup(key_buf_.data(), h);
+      if (g < 0) continue;
+      RowBatch local;
+      for (int32_t e = table.GroupHead(g); e >= 0; e = table.NextEntry(e)) {
+        STARBURST_RETURN_NOT_OK(EmitJoinPair(
+            o, prows[static_cast<size_t>(table.EntryRow(e))], check_, rt_,
+            &local));
+        ++chain_steps_;
+      }
+      for (Tuple& t : local.rows) {
+        Tuple orow;
+        orow.reserve(t.size() + 1);
+        orow.push_back(Datum(idx));
+        for (Datum& d : t) orow.push_back(std::move(d));
+        obuf.push_back(std::move(orow));
+        if (obuf.size() >= kSpillFlushRows) {
+          STARBURST_RETURN_NOT_OK(FlushPart(ofile, &obuf));
+        }
+      }
+    }
+    return FlushPart(ofile, &obuf);
+  }
+
   std::unique_ptr<BatchIterator> outer_;
   std::unique_ptr<BatchIterator> inner_;
   bool compiled_ = false;
@@ -1751,6 +2185,15 @@ class HashJoinIterator : public BatchIterator {
   size_t pemit_morsel_ = 0;
   size_t pemit_pos_ = 0;
   int workers_used_ = 1;
+  // Grace partition-spill state.
+  bool grace_ = false;
+  bool grace_done_ = false;
+  bool gmerge_init_ = false;
+  std::array<std::unique_ptr<SpillFile>, kGraceParts> opart_;
+  std::array<Tuple, kGraceParts> ghead_;
+  std::array<bool, kGraceParts> ghead_done_{};
+  int64_t spill_runs_ = 0;
+  int64_t spill_bytes_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -1987,6 +2430,7 @@ Result<ResultSet> Executor::RunVectorized(const PlanPtr& plan) {
   rt.faults = faults_;
   rt.stats = run_stats_;
   rt.profile = profile_;
+  rt.governor = governor_;
   rt.instrumented = rt.stats != nullptr || rt.profile != nullptr;
   rt.batch_size = batch_size_;
   rt.exec_threads = exec_threads_;
@@ -2028,7 +2472,11 @@ Result<ResultSet> Executor::RunVectorized(const PlanPtr& plan) {
       for (Tuple& t : b.rows) rs.rows.push_back(std::move(t));
     }
   }
-  if (s.ok()) s = it.value()->Close();
+  // Close unconditionally: a failed Open/Next (deadline, cancellation,
+  // injected fault) must still release every operator's charges and temp
+  // files. The primary error wins over any close-time error.
+  Status close_status = it.value()->Close();
+  if (s.ok()) s = close_status;
   if (!s.ok()) {
     VecAccess::Release(this);
     return s;

@@ -10,6 +10,7 @@
 
 namespace starburst {
 
+class ExecGovernor;
 class ExecProfile;
 class FaultInjector;
 
@@ -28,6 +29,10 @@ struct VecRuntime {
   FaultInjector* faults = nullptr;
   PlanRunStats* stats = nullptr;
   ExecProfile* profile = nullptr;
+  /// Execution governor (deadline / cancellation / spill threshold); null
+  /// disables governance. Checked once per batch in BatchIterator::Next and
+  /// once per morsel on the exchange coordinator.
+  ExecGovernor* governor = nullptr;
   /// stats != nullptr || profile != nullptr, precomputed so the disabled
   /// fast path stays one branch per Open/Next/Close.
   bool instrumented = false;

@@ -60,6 +60,22 @@ Result<ResultSet> ExecutePlan(const Database& db, const Query& query,
     profile->Clear();
     exec.set_profile(profile);
   }
+  // Execution governance: explicit knobs win, 0 inherits the environment,
+  // negative forces the knob off. The governor lives on this stack frame for
+  // exactly one run; a disabled governor is never attached, so ungoverned
+  // runs pay nothing.
+  ExecLimits limits;
+  limits.deadline_ms = options.exec_deadline_ms > 0
+                           ? options.exec_deadline_ms
+                           : options.exec_deadline_ms == 0
+                                 ? DefaultExecDeadlineMs()
+                                 : 0;
+  limits.mem_limit = options.exec_mem_limit > 0
+                         ? options.exec_mem_limit
+                         : options.exec_mem_limit == 0 ? DefaultExecMemLimit()
+                                                       : 0;
+  ExecGovernor governor(limits, options.cancel);
+  if (governor.enabled()) exec.set_governor(&governor);
   auto result = exec.Run(plan);
   if (result.ok() && options.workload != nullptr && profile != nullptr) {
     options.workload->Observe(query, *plan, *profile);

@@ -1,7 +1,11 @@
 #ifndef STARBURST_EXEC_EVALUATOR_H_
 #define STARBURST_EXEC_EVALUATOR_H_
 
+#include <atomic>
+#include <memory>
+
 #include "exec/executor.h"
+#include "exec/governor.h"
 #include "obs/profiler.h"
 
 namespace starburst {
@@ -27,6 +31,14 @@ struct ExecOptions {
   int profile = -1;                     // -1 STARBURST_PROFILE, 0 off, 1 on
   ExecProfile* profile_sink = nullptr;  // operator profile sink (implies on)
   WorkloadRepository* workload = nullptr;  // fold the run into the repository
+  // Execution governance: a wall-clock deadline (kResourceExhausted on
+  // overrun), a memory budget that triggers SORT / JOIN(HA) spilling, and a
+  // cooperative cancellation token (kCancelled once set). 0 inherits the
+  // environment (STARBURST_EXEC_DEADLINE_MS / STARBURST_EXEC_MEM_LIMIT);
+  // a negative value forces the knob off regardless of the environment.
+  int64_t exec_deadline_ms = 0;
+  int64_t exec_mem_limit = 0;  // bytes
+  CancelToken cancel;          // shared flag; null = not cancellable
 };
 
 Result<ResultSet> ExecutePlan(const Database& db, const Query& query,

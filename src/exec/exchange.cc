@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/fault_injector.h"
+#include "exec/governor.h"
 #include "obs/profiler.h"
 
 namespace starburst {
@@ -19,15 +20,27 @@ int ExchangeWorkersFor(int exec_threads, size_t source_rows, size_t morsels) {
 }
 
 Status RunMorsels(int workers, size_t morsels,
-                  const std::function<Status(size_t)>& fn) {
+                  const std::function<Status(size_t)>& fn,
+                  ExecGovernor* governor) {
   if (morsels == 0) return Status::OK();
+  // Per-morsel governance: a tripped governor (deadline, cancellation) stops
+  // new morsels from starting — the skipped morsel records the trip status —
+  // while morsels already in flight run to completion, preserving the
+  // write-only-your-own-slot discipline.
+  auto run_one = [&](size_t m) -> Status {
+    if (governor != nullptr) {
+      Status g = governor->Check();
+      if (!g.ok()) return g;
+    }
+    return fn(m);
+  };
   if (workers <= 1 || morsels == 1) {
     // Even the degenerate path runs every morsel: side effects (per-morsel
     // counters, buffers) must not depend on the worker count, and the pool
     // path has no cancellation either.
     Status first = Status::OK();
     for (size_t m = 0; m < morsels; ++m) {
-      Status s = fn(m);
+      Status s = run_one(m);
       if (!s.ok() && first.ok()) first = std::move(s);
     }
     return first;
@@ -42,7 +55,7 @@ Status RunMorsels(int workers, size_t morsels,
     for (;;) {
       size_t m = next.fetch_add(1, std::memory_order_relaxed);
       if (m >= morsels) return;
-      Status s = fn(m);
+      Status s = run_one(m);
       if (!s.ok()) errs[m] = std::move(s);
     }
   };
@@ -123,7 +136,7 @@ PartitionedJoinTable::PartitionedJoinTable(int key_width)
 Status PartitionedJoinTable::Build(const std::vector<Tuple>& rows,
                                    const std::vector<ExprProgram>& key_progs,
                                    std::vector<ExecFrame>* frames,
-                                   int exec_threads) {
+                                   int exec_threads, ExecGovernor* governor) {
   const size_t n = rows.size();
   const int width = key_width_;
   std::vector<Datum> keys(n * static_cast<size_t>(width));
@@ -151,7 +164,7 @@ Status PartitionedJoinTable::Build(const std::vector<Tuple>& rows,
       hashes[r] = JoinHashTable::HashKey(key, width);
     }
     return Status::OK();
-  }));
+  }, governor));
   // Partition-parallel insert: each worker owns whole partitions and walks
   // the rows in global order, so chains replay sequential insertion order.
   STARBURST_RETURN_NOT_OK(RunMorsels(std::min(workers, kPartitions),
@@ -166,7 +179,7 @@ Status PartitionedJoinTable::Build(const std::vector<Tuple>& rows,
                        static_cast<uint32_t>(r)));
     }
     return Status::OK();
-  }));
+  }, governor));
   build_workers_ = workers;
   return Status::OK();
 }
@@ -309,7 +322,7 @@ Status ExchangeScanIterator::RunScan() {
     }
     evals[m] = local_evals;
     return Status::OK();
-  }));
+  }, rt_->governor));
   for (int64_t e : evals) pred_evals_ += e;
   if (workers > workers_used_) workers_used_ = workers;
   return Status::OK();

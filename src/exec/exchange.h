@@ -55,8 +55,14 @@ int ExchangeWorkersFor(int exec_threads, size_t source_rows, size_t morsels);
 /// participates; workers <= 1 degenerates to a plain loop). fn(m) must write
 /// only morsel-m state. Every morsel runs to completion; the error of the
 /// lowest failing morsel index is returned.
+///
+/// When `governor` is non-null it is checked once per morsel claim: after a
+/// trip (deadline, cancellation) already-running morsels finish, but every
+/// morsel claimed afterwards is skipped and records the trip status instead
+/// of running fn — the lowest-index error rule then surfaces it.
 Status RunMorsels(int workers, size_t morsels,
-                  const std::function<Status(size_t)>& fn);
+                  const std::function<Status(size_t)>& fn,
+                  ExecGovernor* governor = nullptr);
 
 /// Stable-sorts `rows` by Compare() over the given slot list, fanning the
 /// work out over up to `workers` threads (contiguous chunk sorts followed by
@@ -88,10 +94,12 @@ class PartitionedJoinTable {
 
   /// Evaluates `key_progs` over every row (morsel-parallel) and inserts the
   /// non-NULL keys partition-parallel. Key-program failures surface as the
-  /// lowest-row-order error, matching the sequential build.
+  /// lowest-row-order error, matching the sequential build. A non-null
+  /// governor is checked once per morsel (see RunMorsels).
   Status Build(const std::vector<Tuple>& rows,
                const std::vector<ExprProgram>& key_progs,
-               std::vector<ExecFrame>* frames, int exec_threads);
+               std::vector<ExecFrame>* frames, int exec_threads,
+               ExecGovernor* governor = nullptr);
 
   const JoinHashTable& partition(uint64_t hash) const {
     return parts_[static_cast<size_t>(PartitionOf(hash))];

@@ -6,6 +6,7 @@
 
 #include "common/fault_injector.h"
 #include "exec/batch.h"
+#include "exec/governor.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "storage/index.h"
@@ -281,6 +282,12 @@ void Executor::PublishMetrics(const PlanRunStats& stats,
                        static_cast<double>(profile_->memory().peak_bytes()));
     metrics_->SetGauge("exec.current_bytes",
                        static_cast<double>(profile_->memory().current_bytes()));
+    metrics_->SetGauge(
+        "exec.tracker_clamps",
+        static_cast<double>(profile_->memory().clamp_count()));
+    int64_t spill_bytes = 0;
+    for (const auto& [node, p] : profile_->ops()) spill_bytes += p.spill_bytes;
+    metrics_->SetGauge("exec.spill_bytes", static_cast<double>(spill_bytes));
   }
 }
 
@@ -290,6 +297,18 @@ void Executor::PublishMetrics(const PlanRunStats& stats,
 
 Result<ResultSet> Executor::Run(const PlanPtr& plan) {
   if (plan == nullptr) return Status::InvalidArgument("null plan");
+  // Spill decisions compare tracked bytes against the governor's memory
+  // budget, so a budget needs a live tracker even when the caller asked for
+  // no profile: attach a run-local one and restore afterwards.
+  ExecProfile governor_profile;
+  ExecProfile* caller_profile = profile_;
+  if (governor_ != nullptr && governor_->mem_limit() > 0 &&
+      profile_ == nullptr) {
+    profile_ = &governor_profile;
+  }
+  if (governor_ != nullptr && profile_ != nullptr) {
+    governor_->set_tracker(&profile_->memory());
+  }
   // Pre-register every node so profile coverage does not depend on which
   // operators the chosen engine happens to open (a nested-loop inner with an
   // empty outer never opens, but should still appear with zero counts).
@@ -308,8 +327,15 @@ Result<ResultSet> Executor::Run(const PlanPtr& plan) {
     env_.clear();
     base_rows_.clear();
     // A failed run — real or injected — must not strand temps or binding
-    // frames: release everything before the error propagates.
+    // frames: release everything (including the cached materializations'
+    // memory charges, so the tracker reads zero) before the error
+    // propagates.
     auto release = [&]() {
+      if (profile_ != nullptr) {
+        for (const auto& [node, cached_rows] : material_cache_) {
+          profile_->ReleaseBytes(node, RowsApproxBytes(*cached_rows));
+        }
+      }
       material_cache_.clear();
       schema_cache_.clear();
       env_.clear();
@@ -336,10 +362,21 @@ Result<ResultSet> Executor::Run(const PlanPtr& plan) {
   if (result.ok() && profile_ != nullptr) profile_->CaptureLabels();
   if (run_stats_ != nullptr) PublishMetrics(*run_stats_, vectorized_);
   run_stats_ = caller_stats;
+  // Detach the governor's tracker before a run-local profile goes out of
+  // scope (the governor may outlive this Run).
+  if (governor_ != nullptr) governor_->set_tracker(nullptr);
+  profile_ = caller_profile;
   return result;
 }
 
 Result<Executor::RowsPtr> Executor::Eval(const PlanOp& node) {
+  // The legacy engine's governance check point: once per operator dispatch.
+  // Memory never hard-trips here — this engine cannot spill and serves as
+  // the unbounded-memory oracle; only deadline/cancel stop it.
+  if (governor_ != nullptr) {
+    Status g = governor_->Check();
+    if (!g.ok()) return g;
+  }
   if (run_stats_ == nullptr && profile_ == nullptr) return EvalNode(node);
   // EXPLAIN ANALYZE: time each logical invocation (a cache hit is still an
   // invocation — it is how often the stream was consumed) and accumulate

@@ -13,6 +13,7 @@
 
 namespace starburst {
 
+class ExecGovernor;
 class ExecProfile;
 class FaultInjector;
 class MetricsRegistry;
@@ -145,6 +146,13 @@ class Executor {
   void set_profile(ExecProfile* profile) { profile_ = profile; }
   ExecProfile* profile() const { return profile_; }
 
+  /// Attach the execution governor (deadline / cancellation / spill
+  /// threshold). Null (the default) disables governance entirely. Checked
+  /// once per batch at iterator boundaries, once per morsel on the exchange
+  /// coordinator, and once per operator dispatch in the legacy engine.
+  void set_governor(ExecGovernor* governor) { governor_ = governor; }
+  ExecGovernor* governor() const { return governor_; }
+
   /// Number of cached subplan materializations currently held (tests assert
   /// this drops to zero after a failed Run).
   size_t cached_materializations() const { return material_cache_.size(); }
@@ -194,6 +202,7 @@ class Executor {
   const ExecutorRegistry* registry_;
   PlanRunStats* run_stats_ = nullptr;
   ExecProfile* profile_ = nullptr;
+  ExecGovernor* governor_ = nullptr;
   FaultInjector* faults_;
   MetricsRegistry* metrics_ = nullptr;
   bool vectorized_;

@@ -1,0 +1,61 @@
+#include "exec/governor.h"
+
+#include <cstdlib>
+
+#include "obs/profiler.h"
+
+namespace starburst {
+
+namespace {
+
+int64_t EnvInt64OrZero(const char* name) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  long long v = std::strtoll(env, &end, 10);
+  if (end == env || *end != '\0' || v < 0) return 0;
+  return static_cast<int64_t>(v);
+}
+
+}  // namespace
+
+int64_t DefaultExecDeadlineMs() {
+  return EnvInt64OrZero("STARBURST_EXEC_DEADLINE_MS");
+}
+
+int64_t DefaultExecMemLimit() {
+  return EnvInt64OrZero("STARBURST_EXEC_MEM_LIMIT");
+}
+
+void ExecGovernor::Trip(Status status) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (trip_status_.ok()) trip_status_ = std::move(status);
+  }
+  stopped_.store(true, std::memory_order_release);
+}
+
+Status ExecGovernor::Check() {
+  // Once tripped — by any thread — every check everywhere reports the same
+  // Status, so the whole iterator tree winds down cooperatively and Close()
+  // runs on every opened operator.
+  if (!stopped_.load(std::memory_order_acquire)) {
+    if (cancel_ != nullptr && cancel_->load(std::memory_order_acquire)) {
+      Trip(Status::Cancelled("query cancelled by client"));
+    } else if (deadline_.expired()) {
+      Trip(Status::ResourceExhausted(
+          "execution deadline of " + std::to_string(deadline_.ms()) +
+          "ms exceeded"));
+    }
+  }
+  if (!stopped_.load(std::memory_order_acquire)) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  return trip_status_;
+}
+
+bool ExecGovernor::ShouldSpill() const {
+  return limits_.mem_limit > 0 && tracker_ != nullptr &&
+         tracker_->current_bytes() >= limits_.mem_limit;
+}
+
+}  // namespace starburst

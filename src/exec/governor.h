@@ -1,0 +1,106 @@
+#ifndef STARBURST_EXEC_GOVERNOR_H_
+#define STARBURST_EXEC_GOVERNOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "optimizer/governor.h"  // for the shared Deadline helper
+
+namespace starburst {
+
+class MemoryTracker;
+
+/// The executor's resource budgets; 0 means unlimited for each.
+struct ExecLimits {
+  int64_t deadline_ms = 0;  ///< wall-clock budget for one ExecutePlan
+  int64_t mem_limit = 0;    ///< tracked-byte threshold that triggers spilling
+};
+
+/// A cooperative cancellation token: the client sets it (from any thread)
+/// and the executor observes it at its next check point. shared_ptr so the
+/// client and the in-flight query can each outlive the other.
+using CancelToken = std::shared_ptr<std::atomic<bool>>;
+
+/// STARBURST_EXEC_DEADLINE_MS / STARBURST_EXEC_MEM_LIMIT env defaults,
+/// applied when ExecOptions leaves the corresponding field at 0. Malformed
+/// or negative values read as 0 (unlimited), matching the optimizer's
+/// STARBURST_MAX_PLANS/STARBURST_OPT_DEADLINE_MS parsing.
+int64_t DefaultExecDeadlineMs();
+int64_t DefaultExecMemLimit();
+
+/// Cooperative resource governor for one plan execution — the runtime
+/// sibling of the optimizer's ResourceGovernor. Iterators call Check() once
+/// per batch at their Next() boundary, the legacy interpreter once per
+/// operator dispatch, and the exchange operator once per morsel on the
+/// coordinator; the first trip latches a descriptive Status (first reason
+/// wins, like ResourceGovernor::Trip) and every later Check on any thread
+/// returns it immediately.
+///
+/// Two budgets HARD-trip the query:
+///   - the wall-clock deadline  -> kResourceExhausted
+///   - the client cancel token  -> kCancelled
+/// The memory budget never hard-trips. It is a SPILL THRESHOLD: operators
+/// that can spill (SORT, JOIN(HA)) consult ShouldSpill() and move state to
+/// temp files, so a query under a tight budget still completes with
+/// bit-identical results — it just runs from disk. Operators that cannot
+/// spill simply stay over budget; the tracker's peak records the truth.
+///
+/// Deadline overshoot follows the Deadline helper's contract: the worst
+/// case past the deadline is one inter-check unit of work (one batch, one
+/// morsel, or one legacy operator dispatch) plus scheduler latency.
+class ExecGovernor {
+ public:
+  ExecGovernor(ExecLimits limits, CancelToken cancel)
+      : limits_(limits),
+        deadline_(limits.deadline_ms),
+        cancel_(std::move(cancel)) {}
+
+  /// False when no deadline, no memory budget, and no cancel token — the
+  /// executor skips attaching entirely and pays nothing.
+  bool enabled() const {
+    return deadline_.enabled() || limits_.mem_limit > 0 || cancel_ != nullptr;
+  }
+
+  /// The cooperative check: OK while within budget, the latched trip Status
+  /// afterwards. Thread-safe and cheap — atomic loads plus one steady_clock
+  /// read when a deadline is set. Cancellation is checked before the
+  /// deadline so an explicit client stop is always reported as kCancelled.
+  Status Check();
+
+  /// True once cancelled or past deadline (the workers' shared stop flag).
+  bool stopped() const { return stopped_.load(std::memory_order_acquire); }
+
+  int64_t mem_limit() const { return limits_.mem_limit; }
+  const ExecLimits& limits() const { return limits_; }
+
+  /// Attaches the run's memory tracker. Called by the Executor before any
+  /// iterator opens (single-threaded setup), cleared after the run; plain
+  /// member access is safe because ShouldSpill() is coordinator-only.
+  void set_tracker(const MemoryTracker* tracker) { tracker_ = tracker; }
+
+  /// True when a memory budget is set and the tracked bytes have reached
+  /// it — the signal for SORT/JOIN(HA) to move state to temp files.
+  /// Coordinator-only (called between batches, never from morsel workers),
+  /// so spill decisions stay deterministic for a given charge sequence.
+  bool ShouldSpill() const;
+
+ private:
+  /// Latches the first trip Status and raises the stop flag.
+  void Trip(Status status);
+
+  ExecLimits limits_;
+  Deadline deadline_;
+  CancelToken cancel_;
+  const MemoryTracker* tracker_ = nullptr;
+  std::atomic<bool> stopped_{false};
+  mutable std::mutex mu_;
+  Status trip_status_;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_EXEC_GOVERNOR_H_

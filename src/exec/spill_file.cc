@@ -1,0 +1,213 @@
+#include "exec/spill_file.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace starburst {
+
+namespace {
+
+std::atomic<int64_t> g_live_spill_files{0};
+
+constexpr uint8_t kTagNull = 0;
+constexpr uint8_t kTagInt = 1;
+constexpr uint8_t kTagDouble = 2;
+constexpr uint8_t kTagString = 3;
+
+void AppendRaw(std::string* buf, const void* p, size_t n) {
+  buf->append(static_cast<const char*>(p), n);
+}
+
+void AppendU32(std::string* buf, uint32_t v) { AppendRaw(buf, &v, sizeof(v)); }
+
+Status IoError(const std::string& what) {
+  return Status::Internal("spill: " + what + ": " + std::strerror(errno));
+}
+
+bool ReadExact(std::FILE* f, void* p, size_t n) {
+  return std::fread(p, 1, n, f) == n;
+}
+
+}  // namespace
+
+SpillFile& SpillFile::operator=(SpillFile&& o) noexcept {
+  if (this != &o) {
+    Discard();
+    file_ = o.file_;
+    path_ = std::move(o.path_);
+    faults_ = o.faults_;
+    rows_written_ = o.rows_written_;
+    bytes_written_ = o.bytes_written_;
+    o.file_ = nullptr;
+    o.path_.clear();
+    o.faults_ = nullptr;
+    o.rows_written_ = 0;
+    o.bytes_written_ = 0;
+  }
+  return *this;
+}
+
+int64_t SpillFile::LiveFiles() {
+  return g_live_spill_files.load(std::memory_order_acquire);
+}
+
+void SpillFile::Discard() {
+  if (file_ == nullptr) return;
+  std::fclose(file_);
+  ::unlink(path_.c_str());
+  file_ = nullptr;
+  path_.clear();
+  g_live_spill_files.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+Status SpillFile::Create(FaultInjector* faults) {
+  Discard();
+  faults_ = faults;
+  if (faults_ != nullptr) {
+    STARBURST_RETURN_NOT_OK(faults_->Check(faultsite::kExecSpillOpen));
+  }
+  const char* tmpdir = std::getenv("TMPDIR");
+  std::string tmpl = (tmpdir != nullptr && *tmpdir != '\0') ? tmpdir : "/tmp";
+  tmpl += "/starburst-spill-XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  int fd = ::mkstemp(buf.data());
+  if (fd < 0) return IoError("mkstemp(" + tmpl + ") failed");
+  file_ = ::fdopen(fd, "w+b");
+  if (file_ == nullptr) {
+    Status st = IoError("fdopen failed");
+    ::close(fd);
+    ::unlink(buf.data());
+    return st;
+  }
+  path_.assign(buf.data());
+  rows_written_ = 0;
+  bytes_written_ = 0;
+  g_live_spill_files.fetch_add(1, std::memory_order_acq_rel);
+  return Status::OK();
+}
+
+Status SpillFile::WriteRows(const std::vector<std::vector<Datum>>& rows) {
+  if (file_ == nullptr) return Status::Internal("spill: write before Create");
+  if (rows.empty()) return Status::OK();
+  // One fault check per batched write keeps the hit count proportional to
+  // spill activity, not row count.
+  if (faults_ != nullptr) {
+    STARBURST_RETURN_NOT_OK(faults_->Check(faultsite::kExecSpillWrite));
+  }
+  std::string buf;
+  for (const auto& row : rows) {
+    AppendU32(&buf, static_cast<uint32_t>(row.size()));
+    for (const Datum& d : row) {
+      if (d.is_null()) {
+        buf.push_back(static_cast<char>(kTagNull));
+      } else if (d.is_int()) {
+        buf.push_back(static_cast<char>(kTagInt));
+        int64_t v = d.AsInt();
+        AppendRaw(&buf, &v, sizeof(v));
+      } else if (d.is_double()) {
+        buf.push_back(static_cast<char>(kTagDouble));
+        double v = d.AsDouble();
+        AppendRaw(&buf, &v, sizeof(v));
+      } else {
+        buf.push_back(static_cast<char>(kTagString));
+        const std::string& s = d.AsString();
+        AppendU32(&buf, static_cast<uint32_t>(s.size()));
+        buf.append(s);
+      }
+    }
+  }
+  if (std::fwrite(buf.data(), 1, buf.size(), file_) != buf.size()) {
+    return IoError("write of " + std::to_string(buf.size()) +
+                   " bytes to " + path_ + " failed");
+  }
+  rows_written_ += static_cast<int64_t>(rows.size());
+  bytes_written_ += static_cast<int64_t>(buf.size());
+  return Status::OK();
+}
+
+Status SpillFile::WriteRow(const std::vector<Datum>& row) {
+  return WriteRows({row});
+}
+
+Status SpillFile::FinishWrite() {
+  if (file_ == nullptr) return Status::Internal("spill: finish before Create");
+  if (std::fflush(file_) != 0) return IoError("flush of " + path_ + " failed");
+  return Status::OK();
+}
+
+Status SpillFile::BeginRead() {
+  if (file_ == nullptr) return Status::Internal("spill: read before Create");
+  if (faults_ != nullptr) {
+    STARBURST_RETURN_NOT_OK(faults_->Check(faultsite::kExecSpillRead));
+  }
+  if (std::fflush(file_) != 0) return IoError("flush of " + path_ + " failed");
+  if (std::fseek(file_, 0, SEEK_SET) != 0) {
+    return IoError("rewind of " + path_ + " failed");
+  }
+  return Status::OK();
+}
+
+Status SpillFile::ReadRow(std::vector<Datum>* row, bool* eof) {
+  *eof = false;
+  uint32_t count = 0;
+  if (std::fread(&count, 1, sizeof(count), file_) != sizeof(count)) {
+    if (std::feof(file_)) {
+      *eof = true;
+      return Status::OK();
+    }
+    return IoError("read of row header from " + path_ + " failed");
+  }
+  row->clear();
+  row->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint8_t tag = 0;
+    if (!ReadExact(file_, &tag, sizeof(tag))) {
+      return IoError("read of datum tag from " + path_ + " failed");
+    }
+    switch (tag) {
+      case kTagNull:
+        row->push_back(Datum::NullValue());
+        break;
+      case kTagInt: {
+        int64_t v = 0;
+        if (!ReadExact(file_, &v, sizeof(v))) {
+          return IoError("read of int64 from " + path_ + " failed");
+        }
+        row->push_back(Datum(v));
+        break;
+      }
+      case kTagDouble: {
+        double v = 0.0;
+        if (!ReadExact(file_, &v, sizeof(v))) {
+          return IoError("read of double from " + path_ + " failed");
+        }
+        row->push_back(Datum(v));
+        break;
+      }
+      case kTagString: {
+        uint32_t len = 0;
+        if (!ReadExact(file_, &len, sizeof(len))) {
+          return IoError("read of string length from " + path_ + " failed");
+        }
+        std::string s(len, '\0');
+        if (len > 0 && !ReadExact(file_, s.data(), len)) {
+          return IoError("read of string body from " + path_ + " failed");
+        }
+        row->push_back(Datum(std::move(s)));
+        break;
+      }
+      default:
+        return Status::Internal("spill: corrupt datum tag " +
+                                std::to_string(tag) + " in " + path_);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace starburst

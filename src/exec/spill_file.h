@@ -1,0 +1,81 @@
+#ifndef STARBURST_EXEC_SPILL_FILE_H_
+#define STARBURST_EXEC_SPILL_FILE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/fault_injector.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace starburst {
+
+/// One spilled run (or Grace-join partition): a self-deleting temp file of
+/// serialized rows, written once front-to-back and then read back in the
+/// same order. Owned by the spilling operator; the destructor always closes
+/// and unlinks, so no error, cancellation, or injected-fault path can leak
+/// a file — tests assert SpillFile::LiveFiles() == 0 after every failure.
+///
+/// Row format (host-endian; the file never outlives the process):
+///   u32 datum count, then per datum a u8 tag
+///   (0=null, 1=int64, 2=double, 3=string) and its payload
+///   (int64/double raw; string = u32 length + bytes).
+///
+/// Fault sites: Create -> exec.spill.open, each WriteRows batch ->
+/// exec.spill.write, each BeginRead -> exec.spill.read. All spill I/O runs
+/// on the coordinator thread, so hit order is deterministic at any batch
+/// size and exec thread count.
+class SpillFile {
+ public:
+  SpillFile() = default;
+  ~SpillFile() { Discard(); }
+  SpillFile(const SpillFile&) = delete;
+  SpillFile& operator=(const SpillFile&) = delete;
+  SpillFile(SpillFile&& o) noexcept { *this = std::move(o); }
+  SpillFile& operator=(SpillFile&& o) noexcept;
+
+  /// Creates the temp file under $TMPDIR (default /tmp) and opens it for
+  /// writing. `faults` may be null; it is retained for the write/read
+  /// checks on this file.
+  Status Create(FaultInjector* faults);
+
+  /// Appends `rows` (one exec.spill.write fault check per call, so callers
+  /// batch writes). Create must have succeeded.
+  Status WriteRows(const std::vector<std::vector<Datum>>& rows);
+
+  /// Appends one row (same fault-check granularity as a WriteRows call).
+  Status WriteRow(const std::vector<Datum>& row);
+
+  /// Flushes buffered writes; call once when the run is fully written.
+  Status FinishWrite();
+
+  /// Rewinds to the first row for read-back (one exec.spill.read check).
+  Status BeginRead();
+
+  /// Reads the next row. Sets *eof (leaving *row untouched) at end of file.
+  Status ReadRow(std::vector<Datum>* row, bool* eof);
+
+  /// Closes and unlinks immediately (idempotent; also run by the dtor).
+  void Discard();
+
+  bool created() const { return file_ != nullptr; }
+  int64_t rows_written() const { return rows_written_; }
+  int64_t bytes_written() const { return bytes_written_; }
+
+  /// Count of SpillFiles currently holding an open temp file, process-wide.
+  /// Leak tests assert this returns to zero after every error path.
+  static int64_t LiveFiles();
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  FaultInjector* faults_ = nullptr;
+  int64_t rows_written_ = 0;
+  int64_t bytes_written_ = 0;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_EXEC_SPILL_FILE_H_

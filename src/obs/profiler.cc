@@ -118,6 +118,10 @@ std::string ExecProfile::ToJson() const {
       out += ",\"sort\":{\"rows\":" + std::to_string(p->sort_rows) +
              ",\"bytes\":" + std::to_string(p->sort_bytes) + "}";
     }
+    if (p->spill_runs > 0) {
+      out += ",\"spill\":{\"runs\":" + std::to_string(p->spill_runs) +
+             ",\"bytes\":" + std::to_string(p->spill_bytes) + "}";
+    }
     if (p->pred_evals > 0) {
       out += ",\"pred\":{\"evals\":" + std::to_string(p->pred_evals) +
              ",\"steps\":" + std::to_string(p->pred_steps) + "}";

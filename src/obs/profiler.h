@@ -2,6 +2,7 @@
 #define STARBURST_OBS_PROFILER_H_
 
 #include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <cstdlib>
 #include <map>
@@ -49,37 +50,54 @@ class MemoryTracker {
   void Release(int64_t bytes) {
     int64_t now =
         current_.fetch_sub(bytes, std::memory_order_relaxed) - bytes;
-    // Over-release clamps at zero, as the non-atomic tracker always did.
+    // Over-release clamps at zero, as the non-atomic tracker always did —
+    // but no longer silently: each clamp is counted (published as the
+    // exec.tracker_clamps gauge) and fails a debug assertion, because an
+    // over-release always means a charge/release accounting bug somewhere.
     // The clamp CAS only fires when the counter is actually negative, so a
     // concurrent charge is never erased.
-    while (now < 0 &&
-           !current_.compare_exchange_weak(now, 0,
-                                           std::memory_order_relaxed)) {
+    if (now < 0) {
+      clamps_.fetch_add(1, std::memory_order_relaxed);
+      assert(false && "MemoryTracker over-release clamped to zero");
+      while (now < 0 &&
+             !current_.compare_exchange_weak(now, 0,
+                                             std::memory_order_relaxed)) {
+      }
     }
   }
   int64_t current_bytes() const {
     return current_.load(std::memory_order_relaxed);
   }
   int64_t peak_bytes() const { return peak_.load(std::memory_order_relaxed); }
+  /// Times Release() clamped a negative balance back to zero. Nonzero means
+  /// some operator released more than it charged.
+  int64_t clamp_count() const {
+    return clamps_.load(std::memory_order_relaxed);
+  }
   void Reset() {
     current_.store(0, std::memory_order_relaxed);
     peak_.store(0, std::memory_order_relaxed);
+    clamps_.store(0, std::memory_order_relaxed);
   }
 
   MemoryTracker() = default;
   // Atomics delete the implicit copies; snapshot semantics keep ExecProfile
   // copyable (a copy is a point-in-time reading, copied when no run is live).
   MemoryTracker(const MemoryTracker& o)
-      : current_(o.current_bytes()), peak_(o.peak_bytes()) {}
+      : current_(o.current_bytes()),
+        peak_(o.peak_bytes()),
+        clamps_(o.clamp_count()) {}
   MemoryTracker& operator=(const MemoryTracker& o) {
     current_.store(o.current_bytes(), std::memory_order_relaxed);
     peak_.store(o.peak_bytes(), std::memory_order_relaxed);
+    clamps_.store(o.clamp_count(), std::memory_order_relaxed);
     return *this;
   }
 
  private:
   std::atomic<int64_t> current_{0};
   std::atomic<int64_t> peak_{0};
+  std::atomic<int64_t> clamps_{0};
 };
 
 /// Actuals for one operator of a profiled run. Wall times are inclusive of
@@ -116,6 +134,11 @@ struct OpProfile {
   // SORT (and temp-index dynamic sort) detail.
   int64_t sort_rows = 0;
   int64_t sort_bytes = 0;
+
+  // Spill detail (external-merge SORT runs, Grace JOIN(HA) partitions):
+  // number of spilled runs/partitions and bytes written to temp files.
+  int64_t spill_runs = 0;
+  int64_t spill_bytes = 0;
 
   // Exchange detail: worker count the coordinator actually fanned this
   // operator out to (0 = ran sequentially, no exchange involved).

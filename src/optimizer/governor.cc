@@ -2,12 +2,8 @@
 
 namespace starburst {
 
-ResourceGovernor::ResourceGovernor(GovernorLimits limits) : limits_(limits) {
-  if (limits_.deadline_ms > 0) {
-    deadline_ = std::chrono::steady_clock::now() +
-                std::chrono::milliseconds(limits_.deadline_ms);
-  }
-}
+ResourceGovernor::ResourceGovernor(GovernorLimits limits)
+    : limits_(limits), deadline_(limits.deadline_ms) {}
 
 void ResourceGovernor::Trip(std::string reason) {
   {
@@ -40,8 +36,7 @@ Status ResourceGovernor::Check() {
            " bytes exhausted (approx " +
            std::to_string(bytes_.load(std::memory_order_relaxed)) +
            " bytes held)");
-    } else if (limits_.deadline_ms > 0 &&
-               std::chrono::steady_clock::now() >= deadline_) {
+    } else if (deadline_.expired()) {
       Trip("deadline of " + std::to_string(limits_.deadline_ms) +
            "ms exceeded");
     }

@@ -11,6 +11,40 @@
 
 namespace starburst {
 
+/// A precomputed steady_clock deadline shared by the optimizer's
+/// ResourceGovernor and the executor's ExecGovernor. The deadline is fixed
+/// at construction (one clock read); expired() is a single clock read and
+/// compare afterwards.
+///
+/// Overshoot contract: deadlines are enforced COOPERATIVELY, at check
+/// points. The worst-case overshoot past the deadline is therefore the
+/// longest interval between two consecutive Check() calls — one enumerator
+/// subset for the optimizer, one batch (or one morsel) for the executor —
+/// plus scheduler latency. The deadline itself never drifts: it is computed
+/// once, so repeated checks compare against the same instant rather than
+/// accumulating per-check clock error.
+class Deadline {
+ public:
+  /// 0 (or negative) ms means "no deadline": enabled() stays false and
+  /// expired() never fires.
+  explicit Deadline(int64_t ms) : ms_(ms > 0 ? ms : 0) {
+    if (ms_ > 0) {
+      at_ = std::chrono::steady_clock::now() + std::chrono::milliseconds(ms_);
+    }
+  }
+  Deadline() : Deadline(0) {}
+
+  bool enabled() const { return ms_ > 0; }
+  bool expired() const {
+    return ms_ > 0 && std::chrono::steady_clock::now() >= at_;
+  }
+  int64_t ms() const { return ms_; }
+
+ private:
+  int64_t ms_ = 0;
+  std::chrono::steady_clock::time_point at_;
+};
+
 /// The optimizer's resource budgets; 0 means unlimited for each.
 struct GovernorLimits {
   int64_t deadline_ms = 0;           ///< wall-clock budget for one Optimize
@@ -70,7 +104,7 @@ class ResourceGovernor {
   void Trip(std::string reason);
 
   GovernorLimits limits_;
-  std::chrono::steady_clock::time_point deadline_;
+  Deadline deadline_;
   std::atomic<bool> stopped_{false};
   std::atomic<int64_t> plans_{0};
   std::atomic<int64_t> bytes_{0};

@@ -157,6 +157,10 @@ std::string ProfileSummary(const PlanOp& node, const ExecProfile& profile,
     out += std::string(" ") + op::kXchg + "[workers=" +
            std::to_string(p->exchange_workers) + "]";
   }
+  if (p->spill_runs > 0) {
+    out += " SPILL[runs=" + std::to_string(p->spill_runs) +
+           " bytes=" + FormatBytes(p->spill_bytes) + "]";
+  }
   return out + "]";
 }
 

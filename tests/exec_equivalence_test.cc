@@ -33,13 +33,17 @@ Result<ResultSet> RunEngine(const Database& db, const Query& query,
                             int batch_size = 1024,
                             FaultInjector* faults = nullptr,
                             PlanRunStats* stats = nullptr,
-                            int exec_threads = 0) {
+                            int exec_threads = 0,
+                            int64_t exec_mem_limit = 0,
+                            ExecProfile* profile = nullptr) {
   ExecOptions options;
   options.vectorized = vectorized ? 1 : 0;
   options.batch_size = batch_size;
   options.faults = faults;
   options.stats = stats;
   options.exec_threads = exec_threads;
+  options.exec_mem_limit = exec_mem_limit;
+  options.profile_sink = profile;
   return ExecutePlan(db, query, plan, options);
 }
 
@@ -425,6 +429,51 @@ class ParallelEquivalenceTest : public ::testing::Test {
     }
   }
 
+  // The spill axis: the same plan run under a memory budget tight enough to
+  // force SORT runs / Grace JOIN(HA) partitions onto disk must reproduce the
+  // unlimited in-memory rows in EXACT order at every budget, thread count,
+  // and batch size — spilling changes where the bytes live, never the answer.
+  void ExpectBitIdenticalUnderSpill(const Query& query, const PlanPtr& plan) {
+    auto baseline = RunEngine(db_, query, plan, /*vectorized=*/true, 1024,
+                              nullptr, nullptr, /*exec_threads=*/1,
+                              /*exec_mem_limit=*/-1);
+    ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+    const std::vector<Tuple>& want = baseline.value().rows;
+    for (int64_t mem_limit : {int64_t{1}, int64_t{64 * 1024}}) {
+      for (int threads : {1, 2, 8}) {
+        for (int batch_size : {1, 1024, 4096}) {
+          auto got = RunEngine(db_, query, plan, /*vectorized=*/true,
+                               batch_size, nullptr, nullptr, threads,
+                               mem_limit);
+          ASSERT_TRUE(got.ok())
+              << got.status().ToString() << " mem_limit=" << mem_limit
+              << " threads=" << threads << " batch_size=" << batch_size;
+          ASSERT_EQ(got.value().rows.size(), want.size())
+              << "mem_limit=" << mem_limit << " threads=" << threads
+              << " batch_size=" << batch_size;
+          for (size_t i = 0; i < want.size(); ++i) {
+            ASSERT_EQ(got.value().rows[i].size(), want[i].size());
+            for (size_t j = 0; j < want[i].size(); ++j) {
+              ASSERT_EQ(got.value().rows[i][j].Compare(want[i][j]), 0)
+                  << "row " << i << " col " << j << " mem_limit=" << mem_limit
+                  << " threads=" << threads << " batch_size=" << batch_size;
+            }
+          }
+        }
+      }
+    }
+    // And the 1-byte budget really did spill — otherwise the sweep above
+    // silently degenerates into re-testing the in-memory path.
+    ExecProfile profile;
+    auto spilled = RunEngine(db_, query, plan, /*vectorized=*/true, 1024,
+                             nullptr, nullptr, /*exec_threads=*/1,
+                             /*exec_mem_limit=*/1, &profile);
+    ASSERT_TRUE(spilled.ok()) << spilled.status().ToString();
+    int64_t spill_runs = 0;
+    for (const auto& [node, p] : profile.ops()) spill_runs += p.spill_runs;
+    EXPECT_GT(spill_runs, 0) << "1-byte budget did not trigger a spill";
+  }
+
   Catalog catalog_;
   Database db_;
   CostModel cost_model_;
@@ -467,6 +516,52 @@ TEST_F(ParallelEquivalenceTest, OptimizedJoinWithSortBitIdenticalAcrossThreads) 
       "WHERE DEPT.MGR = 'Haas' AND DEPT.DNO = EMP.DNO "
       "ORDER BY EMP.SALARY");
   ExpectBitIdenticalAcrossThreadsAndBatches(query, Best(query));
+}
+
+TEST_F(ParallelEquivalenceTest, SortSpillBitIdenticalAcrossBudgets) {
+  // External-merge SORT: every spilled run layout (1-byte budget = spill on
+  // every drain, 64 KiB = a few large runs) must merge back to exactly the
+  // in-memory stable order.
+  Query query = Parse(
+      "SELECT EMP.NAME, EMP.SALARY FROM EMP WHERE EMP.SALARY >= 100000 "
+      "ORDER BY EMP.SALARY");
+  ExpectBitIdenticalUnderSpill(query, Best(query));
+}
+
+TEST_F(ParallelEquivalenceTest, HashJoinBuildSpillBitIdenticalAcrossBudgets) {
+  // DEPT outer / EMP inner: the 10000-row build side Grace-partitions to
+  // disk; chain order within each partition must replay global build order.
+  Query query = Parse(
+      "SELECT EMP.NAME, EMP.SALARY FROM DEPT, EMP "
+      "WHERE DEPT.DNO = EMP.DNO");
+  ExpectBitIdenticalUnderSpill(query, HashJoinPlan(query, /*emp_outer=*/false));
+}
+
+TEST_F(ParallelEquivalenceTest, HashJoinProbeSpillBitIdenticalAcrossBudgets) {
+  // EMP outer / DEPT inner: the big probe side spills to partitions, and the
+  // index-prefixed 16-way merge must restore streaming emission order.
+  Query query = Parse(
+      "SELECT EMP.NAME, EMP.SALARY FROM DEPT, EMP "
+      "WHERE DEPT.DNO = EMP.DNO");
+  ExpectBitIdenticalUnderSpill(query, HashJoinPlan(query, /*emp_outer=*/true));
+}
+
+TEST_F(ParallelEquivalenceTest, SpilledJoinWithSortAgreesWithLegacyOracle) {
+  // Budgeted vectorized execution vs the unbudgeted legacy interpreter on an
+  // optimizer-chosen join+sort plan: spilling must not change the multiset.
+  Query query = Parse(
+      "SELECT EMP.NAME, EMP.SALARY FROM DEPT, EMP "
+      "WHERE DEPT.MGR = 'Haas' AND DEPT.DNO = EMP.DNO "
+      "ORDER BY EMP.SALARY");
+  PlanPtr plan = Best(query);
+  auto oracle = RunEngine(db_, query, plan, /*vectorized=*/false, 1024,
+                          nullptr, nullptr, 0, /*exec_mem_limit=*/-1);
+  ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+  auto spilled = RunEngine(db_, query, plan, /*vectorized=*/true, 1024,
+                           nullptr, nullptr, 0, /*exec_mem_limit=*/1);
+  ASSERT_TRUE(spilled.ok()) << spilled.status().ToString();
+  EXPECT_EQ(CanonicalRows(oracle.value().rows),
+            CanonicalRows(spilled.value().rows));
 }
 
 TEST_F(ParallelEquivalenceTest, FaultSpecsTripIdenticallyAtEveryThreadCount) {

@@ -1,0 +1,529 @@
+// Tests for execution-time resource governance: the ExecGovernor's deadline
+// and cancellation trips (latched, thread-safe, descriptive), the memory
+// budget acting as a spill threshold rather than a hard trip, the SpillFile
+// round trip and its fault sites, spill-forced SORT / JOIN(HA) runs that
+// match the in-memory engines exactly, and the cleanup discipline: every
+// error, cancellation, or injected-fault path must leave zero live temp
+// files and zero residual tracked bytes.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "catalog/synthetic.h"
+#include "common/fault_injector.h"
+#include "cost/cost_model.h"
+#include "exec/evaluator.h"
+#include "exec/governor.h"
+#include "exec/spill_file.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "optimizer/optimizer.h"
+#include "plan/explain.h"
+#include "properties/property_functions.h"
+#include "sql/parser.h"
+#include "star/default_rules.h"
+#include "storage/datagen.h"
+
+namespace starburst {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ExecGovernor unit behavior.
+// ---------------------------------------------------------------------------
+
+TEST(ExecGovernorTest, DisabledWhenNoLimitsAndNoToken) {
+  ExecGovernor governor(ExecLimits{}, nullptr);
+  EXPECT_FALSE(governor.enabled());
+  EXPECT_TRUE(governor.Check().ok());
+  EXPECT_FALSE(governor.stopped());
+  EXPECT_FALSE(governor.ShouldSpill());
+}
+
+TEST(ExecGovernorTest, DeadlineTripsAsResourceExhaustedAndLatches) {
+  ExecLimits limits;
+  limits.deadline_ms = 1;
+  ExecGovernor governor(limits, nullptr);
+  EXPECT_TRUE(governor.enabled());
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  Status st = governor.Check();
+  ASSERT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(st.ToString().find("deadline"), std::string::npos)
+      << st.ToString();
+  EXPECT_TRUE(governor.stopped());
+  // Latched: every later check returns the same trip.
+  EXPECT_EQ(governor.Check().ToString(), st.ToString());
+}
+
+TEST(ExecGovernorTest, CancelTokenTripsAsCancelledAndWinsOverDeadline) {
+  ExecLimits limits;
+  limits.deadline_ms = 1;  // also expired by the time we check
+  CancelToken token = std::make_shared<std::atomic<bool>>(false);
+  ExecGovernor governor(limits, token);
+  EXPECT_TRUE(governor.enabled());
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  token->store(true);
+  // Cancellation is checked before the deadline: an explicit client stop is
+  // reported as kCancelled even when the deadline has also passed.
+  Status st = governor.Check();
+  ASSERT_EQ(st.code(), StatusCode::kCancelled);
+  EXPECT_NE(st.ToString().find("cancelled"), std::string::npos)
+      << st.ToString();
+  EXPECT_TRUE(governor.stopped());
+}
+
+TEST(ExecGovernorTest, MemoryBudgetNeverHardTripsButSignalsSpill) {
+  ExecLimits limits;
+  limits.mem_limit = 100;
+  ExecGovernor governor(limits, nullptr);
+  EXPECT_TRUE(governor.enabled());
+  MemoryTracker tracker;
+  governor.set_tracker(&tracker);
+  EXPECT_FALSE(governor.ShouldSpill());
+  tracker.Charge(100);
+  EXPECT_TRUE(governor.ShouldSpill());
+  // Over budget is NOT an error: Check stays OK, the query spills instead.
+  EXPECT_TRUE(governor.Check().ok());
+  EXPECT_FALSE(governor.stopped());
+  tracker.Release(100);
+  EXPECT_FALSE(governor.ShouldSpill());
+  // No tracker attached -> no spill signal even with a budget.
+  governor.set_tracker(nullptr);
+  EXPECT_FALSE(governor.ShouldSpill());
+}
+
+TEST(ExecGovernorTest, EnvDefaultsParse) {
+  ASSERT_EQ(setenv("STARBURST_EXEC_DEADLINE_MS", "123", 1), 0);
+  EXPECT_EQ(DefaultExecDeadlineMs(), 123);
+  ASSERT_EQ(setenv("STARBURST_EXEC_DEADLINE_MS", "not-a-number", 1), 0);
+  EXPECT_EQ(DefaultExecDeadlineMs(), 0);
+  ASSERT_EQ(setenv("STARBURST_EXEC_DEADLINE_MS", "-5", 1), 0);
+  EXPECT_EQ(DefaultExecDeadlineMs(), 0);
+  ASSERT_EQ(unsetenv("STARBURST_EXEC_DEADLINE_MS"), 0);
+  EXPECT_EQ(DefaultExecDeadlineMs(), 0);
+  ASSERT_EQ(setenv("STARBURST_EXEC_MEM_LIMIT", "65536", 1), 0);
+  EXPECT_EQ(DefaultExecMemLimit(), 65536);
+  ASSERT_EQ(unsetenv("STARBURST_EXEC_MEM_LIMIT"), 0);
+  EXPECT_EQ(DefaultExecMemLimit(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// SpillFile: round trip, fault sites, no leaked temp files.
+// ---------------------------------------------------------------------------
+
+TEST(SpillFileTest, RoundTripsEveryDatumKind) {
+  int64_t live_before = SpillFile::LiveFiles();
+  {
+    SpillFile file;
+    EXPECT_FALSE(file.created());
+    ASSERT_TRUE(file.Create(nullptr).ok());
+    EXPECT_TRUE(file.created());
+    EXPECT_EQ(SpillFile::LiveFiles(), live_before + 1);
+    std::vector<std::vector<Datum>> rows = {
+        {Datum(int64_t{42}), Datum(std::string("Haas")), Datum(3.5)},
+        {Datum::NullValue(), Datum(std::string("")), Datum(int64_t{-7})},
+    };
+    ASSERT_TRUE(file.WriteRows(rows).ok());
+    ASSERT_TRUE(file.WriteRow({Datum(int64_t{99})}).ok());
+    ASSERT_TRUE(file.FinishWrite().ok());
+    EXPECT_EQ(file.rows_written(), 3);
+    EXPECT_GT(file.bytes_written(), 0);
+    ASSERT_TRUE(file.BeginRead().ok());
+    std::vector<Datum> row;
+    bool eof = false;
+    ASSERT_TRUE(file.ReadRow(&row, &eof).ok());
+    ASSERT_FALSE(eof);
+    ASSERT_EQ(row.size(), 3u);
+    EXPECT_EQ(row[0].Compare(Datum(int64_t{42})), 0);
+    EXPECT_EQ(row[1].Compare(Datum(std::string("Haas"))), 0);
+    EXPECT_EQ(row[2].Compare(Datum(3.5)), 0);
+    ASSERT_TRUE(file.ReadRow(&row, &eof).ok());
+    ASSERT_FALSE(eof);
+    ASSERT_EQ(row.size(), 3u);
+    EXPECT_TRUE(row[0].is_null());
+    ASSERT_TRUE(file.ReadRow(&row, &eof).ok());
+    ASSERT_FALSE(eof);
+    ASSERT_EQ(row.size(), 1u);
+    EXPECT_EQ(row[0].Compare(Datum(int64_t{99})), 0);
+    ASSERT_TRUE(file.ReadRow(&row, &eof).ok());
+    EXPECT_TRUE(eof);
+  }
+  // The destructor closed and unlinked.
+  EXPECT_EQ(SpillFile::LiveFiles(), live_before);
+}
+
+TEST(SpillFileTest, FaultSitesFireAndLeakNothing) {
+  int64_t live_before = SpillFile::LiveFiles();
+  {
+    FaultInjector faults;
+    ASSERT_TRUE(faults.Configure("exec.spill.open=1").ok());
+    SpillFile file;
+    Status st = file.Create(&faults);
+    ASSERT_FALSE(st.ok());
+    EXPECT_NE(st.ToString().find("injected fault at exec.spill.open"),
+              std::string::npos)
+        << st.ToString();
+    EXPECT_FALSE(file.created());
+  }
+  {
+    FaultInjector faults;
+    ASSERT_TRUE(faults.Configure("exec.spill.write=1").ok());
+    SpillFile file;
+    ASSERT_TRUE(file.Create(&faults).ok());
+    Status st = file.WriteRow({Datum(int64_t{1})});
+    ASSERT_FALSE(st.ok());
+    EXPECT_NE(st.ToString().find("injected fault at exec.spill.write"),
+              std::string::npos)
+        << st.ToString();
+  }
+  {
+    FaultInjector faults;
+    ASSERT_TRUE(faults.Configure("exec.spill.read=1").ok());
+    SpillFile file;
+    ASSERT_TRUE(file.Create(&faults).ok());
+    ASSERT_TRUE(file.WriteRow({Datum(int64_t{1})}).ok());
+    ASSERT_TRUE(file.FinishWrite().ok());
+    Status st = file.BeginRead();
+    ASSERT_FALSE(st.ok());
+    EXPECT_NE(st.ToString().find("injected fault at exec.spill.read"),
+              std::string::npos)
+        << st.ToString();
+  }
+  EXPECT_EQ(SpillFile::LiveFiles(), live_before);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end governance over real plans.
+// ---------------------------------------------------------------------------
+
+class ExecGovernanceTest : public ::testing::Test {
+ protected:
+  ExecGovernanceTest() : catalog_(MakePaperCatalog()), db_(catalog_) {
+    // scale 0.5 -> EMP 10000 rows: enough for multi-run spills, morsel
+    // pools, and a window for mid-flight cancellation.
+    Status st = PopulatePaperDatabase(&db_, /*seed=*/7, /*scale=*/0.5);
+    if (!st.ok()) ADD_FAILURE() << st.ToString();
+  }
+
+  Query Parse(const std::string& sql) {
+    return ParseSql(catalog_, sql).ValueOrDie();
+  }
+
+  PlanPtr Best(const Query& query) {
+    DefaultRuleOptions rule_opts;
+    rule_opts.hash_join = true;
+    optimizers_.push_back(
+        std::make_unique<Optimizer>(DefaultRuleSet(rule_opts)));
+    return optimizers_.back()->Optimize(query).ValueOrDie().best;
+  }
+
+  // Hand-built JOIN(HA) so the Grace spill path is covered regardless of
+  // which flavor the cost model prefers. `emp_outer` flips which side is
+  // the (streamed, spilled-to-partitions) probe.
+  PlanPtr HashJoinPlan(const Query& query, bool emp_outer) {
+    auto col = [&](const char* alias, const char* name) {
+      return query.ResolveColumn(alias, name).ValueOrDie();
+    };
+    OpArgs dept_args;
+    dept_args.Set(arg::kQuantifier, int64_t{0});
+    dept_args.Set(arg::kCols, std::vector<ColumnRef>{col("DEPT", "DNO"),
+                                                     col("DEPT", "MGR")});
+    dept_args.Set(arg::kPreds, PredSet{});
+    PlanPtr dept = factory(query)
+                       .Make(op::kAccess, flavor::kHeap, {},
+                             std::move(dept_args))
+                       .ValueOrDie();
+    OpArgs emp_args;
+    emp_args.Set(arg::kQuantifier, int64_t{1});
+    emp_args.Set(arg::kCols,
+                 std::vector<ColumnRef>{col("EMP", "DNO"), col("EMP", "NAME"),
+                                        col("EMP", "SALARY")});
+    emp_args.Set(arg::kPreds, PredSet{});
+    PlanPtr emp = factory(query)
+                      .Make(op::kAccess, flavor::kHeap, {},
+                            std::move(emp_args))
+                      .ValueOrDie();
+    OpArgs join;
+    join.Set(arg::kJoinPreds, PredSet::Single(0));
+    join.Set(arg::kResidualPreds, PredSet{});
+    PlanPtr outer = emp_outer ? std::move(emp) : std::move(dept);
+    PlanPtr inner = emp_outer ? std::move(dept) : std::move(emp);
+    return factory(query)
+        .Make(op::kJoin, flavor::kHA, {std::move(outer), std::move(inner)},
+              std::move(join))
+        .ValueOrDie();
+  }
+
+  PlanFactory& factory(const Query& query) {
+    factories_.push_back(
+        std::make_unique<PlanFactory>(query, cost_model_, registry_));
+    return *factories_.back();
+  }
+
+  void SetUp() override {
+    ASSERT_TRUE(RegisterBuiltinOperators(&registry_).ok());
+  }
+
+  Catalog catalog_;
+  Database db_;
+  CostModel cost_model_;
+  OperatorRegistry registry_;
+  std::vector<std::unique_ptr<Optimizer>> optimizers_;
+  std::vector<std::unique_ptr<PlanFactory>> factories_;
+};
+
+TEST_F(ExecGovernanceTest, PreSetCancelTokenCancelsBothEngines) {
+  Query query = Parse(
+      "SELECT EMP.NAME, EMP.SALARY FROM EMP WHERE EMP.SALARY >= 100000 "
+      "ORDER BY EMP.SALARY");
+  PlanPtr plan = Best(query);
+  for (int vectorized : {0, 1}) {
+    ExecProfile profile;
+    ExecOptions options;
+    options.vectorized = vectorized;
+    options.profile_sink = &profile;
+    options.cancel = std::make_shared<std::atomic<bool>>(true);
+    auto rs = ExecutePlan(db_, query, plan, options);
+    ASSERT_FALSE(rs.ok()) << "vectorized=" << vectorized;
+    EXPECT_EQ(rs.status().code(), StatusCode::kCancelled)
+        << rs.status().ToString();
+    EXPECT_NE(rs.status().ToString().find("cancelled"), std::string::npos)
+        << rs.status().ToString();
+    // A cancelled run must release every tracked byte on its way out.
+    EXPECT_EQ(profile.memory().current_bytes(), 0)
+        << "vectorized=" << vectorized;
+    EXPECT_EQ(SpillFile::LiveFiles(), 0);
+  }
+}
+
+TEST_F(ExecGovernanceTest, ExpiredDeadlineSurfacesAsResourceExhausted) {
+  Query query = Parse("SELECT EMP.NAME FROM EMP ORDER BY EMP.NAME");
+  PlanPtr plan = Best(query);
+  ExecLimits limits;
+  limits.deadline_ms = 1;
+  ExecGovernor governor(limits, nullptr);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ExecProfile profile;
+  Executor exec(db_, query);
+  exec.set_vectorized(true);
+  exec.set_profile(&profile);
+  exec.set_governor(&governor);
+  auto rs = exec.Run(plan);
+  ASSERT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kResourceExhausted)
+      << rs.status().ToString();
+  EXPECT_NE(rs.status().ToString().find("deadline"), std::string::npos)
+      << rs.status().ToString();
+  EXPECT_EQ(profile.memory().current_bytes(), 0);
+  EXPECT_EQ(exec.cached_materializations(), 0u);
+}
+
+TEST_F(ExecGovernanceTest, CrossThreadCancellationMidExchangeIsClean) {
+  // A client thread trips the token while the exchange is mid-flight at 8
+  // workers. Timing makes WHEN the trip lands nondeterministic, so every
+  // attempt asserts the invariants (kCancelled or clean success, zero
+  // residual bytes, zero temp files) and the test requires that at least one
+  // attempt actually cancelled mid-run.
+  Query query = Parse(
+      "SELECT EMP.NAME, EMP.SALARY FROM DEPT, EMP "
+      "WHERE DEPT.DNO = EMP.DNO");
+  PlanPtr plan = HashJoinPlan(query, /*emp_outer=*/true);
+  int cancelled = 0;
+  for (int attempt = 0; attempt < 50 && cancelled == 0; ++attempt) {
+    CancelToken token = std::make_shared<std::atomic<bool>>(false);
+    std::thread client([token] {
+      std::this_thread::sleep_for(std::chrono::microseconds(300));
+      token->store(true);
+    });
+    ExecProfile profile;
+    ExecOptions options;
+    options.vectorized = 1;
+    options.exec_threads = 8;
+    options.profile_sink = &profile;
+    options.cancel = token;
+    auto rs = ExecutePlan(db_, query, plan, options);
+    client.join();
+    if (!rs.ok()) {
+      EXPECT_EQ(rs.status().code(), StatusCode::kCancelled)
+          << rs.status().ToString();
+      ++cancelled;
+    }
+    EXPECT_EQ(profile.memory().current_bytes(), 0) << "attempt " << attempt;
+    EXPECT_EQ(SpillFile::LiveFiles(), 0) << "attempt " << attempt;
+  }
+  EXPECT_GT(cancelled, 0) << "no attempt cancelled mid-run";
+}
+
+TEST_F(ExecGovernanceTest, SpilledSortMatchesInMemoryAndReports) {
+  Query query = Parse(
+      "SELECT EMP.NAME, EMP.SALARY FROM EMP ORDER BY EMP.NAME");
+  PlanPtr plan = Best(query);
+  ExecOptions plain;
+  plain.vectorized = 1;
+  plain.exec_mem_limit = -1;
+  auto want = ExecutePlan(db_, query, plan, plain);
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+
+  ExecProfile profile;
+  MetricsRegistry metrics;
+  ExecOptions spilling;
+  spilling.vectorized = 1;
+  spilling.exec_mem_limit = 1;
+  spilling.profile_sink = &profile;
+  spilling.metrics = &metrics;
+  auto got = ExecutePlan(db_, query, plan, spilling);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+
+  // Bit-identical rows, in order.
+  ASSERT_EQ(got.value().rows.size(), want.value().rows.size());
+  for (size_t i = 0; i < want.value().rows.size(); ++i) {
+    ASSERT_EQ(got.value().rows[i].size(), want.value().rows[i].size());
+    for (size_t j = 0; j < want.value().rows[i].size(); ++j) {
+      ASSERT_EQ(got.value().rows[i][j].Compare(want.value().rows[i][j]), 0)
+          << "row " << i << " col " << j;
+    }
+  }
+  // The spill is visible everywhere it should be: operator profile,
+  // profile JSON, EXPLAIN, the metrics gauge — and no files survive.
+  int64_t spill_runs = 0, spill_bytes = 0;
+  for (const auto& [node, p] : profile.ops()) {
+    spill_runs += p.spill_runs;
+    spill_bytes += p.spill_bytes;
+  }
+  EXPECT_GT(spill_runs, 1) << "a 1-byte budget must force multiple runs";
+  EXPECT_GT(spill_bytes, 0);
+  EXPECT_NE(profile.ToJson().find("\"spill\""), std::string::npos);
+  ExplainOptions eopts;
+  eopts.profile = &profile;
+  std::string text = ExplainPlan(*plan, query, eopts);
+  EXPECT_NE(text.find(" SPILL[runs="), std::string::npos) << text;
+  EXPECT_NE(metrics.TakeSnapshot().ToText().find("exec.spill_bytes"),
+            std::string::npos);
+  EXPECT_EQ(profile.memory().current_bytes(), 0);
+  EXPECT_EQ(SpillFile::LiveFiles(), 0);
+}
+
+TEST_F(ExecGovernanceTest, GraceHashJoinMatchesInMemory) {
+  Query query = Parse(
+      "SELECT EMP.NAME, EMP.SALARY FROM DEPT, EMP "
+      "WHERE DEPT.DNO = EMP.DNO");
+  for (bool emp_outer : {false, true}) {
+    PlanPtr plan = HashJoinPlan(query, emp_outer);
+    ExecOptions plain;
+    plain.vectorized = 1;
+    plain.exec_mem_limit = -1;
+    auto want = ExecutePlan(db_, query, plan, plain);
+    ASSERT_TRUE(want.ok()) << want.status().ToString();
+
+    ExecProfile profile;
+    ExecOptions spilling;
+    spilling.vectorized = 1;
+    spilling.exec_mem_limit = 1;
+    spilling.profile_sink = &profile;
+    auto got = ExecutePlan(db_, query, plan, spilling);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_EQ(got.value().rows.size(), want.value().rows.size())
+        << "emp_outer=" << emp_outer;
+    for (size_t i = 0; i < want.value().rows.size(); ++i) {
+      for (size_t j = 0; j < want.value().rows[i].size(); ++j) {
+        ASSERT_EQ(got.value().rows[i][j].Compare(want.value().rows[i][j]), 0)
+            << "row " << i << " col " << j << " emp_outer=" << emp_outer;
+      }
+    }
+    int64_t spill_runs = 0;
+    for (const auto& [node, p] : profile.ops()) spill_runs += p.spill_runs;
+    EXPECT_GT(spill_runs, 0) << "emp_outer=" << emp_outer;
+    EXPECT_EQ(profile.memory().current_bytes(), 0);
+    EXPECT_EQ(SpillFile::LiveFiles(), 0);
+  }
+}
+
+TEST_F(ExecGovernanceTest, SpillFaultsUnwindWithoutResidue) {
+  // Every spill fault site, over both spilling operators: the injected
+  // fault must surface descriptively, and the unwind must release every
+  // charge and unlink every temp file.
+  Query sort_query = Parse(
+      "SELECT EMP.NAME, EMP.SALARY FROM EMP ORDER BY EMP.NAME");
+  PlanPtr sort_plan = Best(sort_query);
+  Query join_query = Parse(
+      "SELECT EMP.NAME, EMP.SALARY FROM DEPT, EMP "
+      "WHERE DEPT.DNO = EMP.DNO");
+  PlanPtr join_plan = HashJoinPlan(join_query, /*emp_outer=*/false);
+  struct Case {
+    const Query* query;
+    const PlanPtr* plan;
+    const char* label;
+  };
+  Case cases[] = {{&sort_query, &sort_plan, "sort"},
+                  {&join_query, &join_plan, "join"}};
+  const char* sites[] = {"exec.spill.open", "exec.spill.write",
+                         "exec.spill.read"};
+  for (const Case& c : cases) {
+    for (const char* site : sites) {
+      for (int nth : {1, 2}) {
+        FaultInjector faults;
+        std::string spec = std::string(site) + "=" + std::to_string(nth);
+        ASSERT_TRUE(faults.Configure(spec).ok());
+        ExecProfile profile;
+        ExecOptions options;
+        options.vectorized = 1;
+        options.exec_mem_limit = 1;
+        options.profile_sink = &profile;
+        options.faults = &faults;
+        auto rs = ExecutePlan(db_, *c.query, *c.plan, options);
+        ASSERT_FALSE(rs.ok()) << c.label << " " << spec << " did not trip";
+        EXPECT_NE(rs.status().ToString().find("injected fault at " +
+                                              std::string(site)),
+                  std::string::npos)
+            << c.label << " " << spec << ": " << rs.status().ToString();
+        EXPECT_EQ(profile.memory().current_bytes(), 0)
+            << c.label << " " << spec;
+        EXPECT_EQ(SpillFile::LiveFiles(), 0) << c.label << " " << spec;
+      }
+    }
+  }
+}
+
+TEST_F(ExecGovernanceTest, SpillSurvivesExchangeParallelism) {
+  // Spill + morsel parallelism together: the spilled result must equal the
+  // unspilled sequential result exactly, and the run must clean up.
+  Query query = Parse(
+      "SELECT EMP.NAME, EMP.SALARY FROM DEPT, EMP "
+      "WHERE DEPT.DNO = EMP.DNO ORDER BY EMP.SALARY");
+  PlanPtr plan = Best(query);
+  ExecOptions plain;
+  plain.vectorized = 1;
+  plain.exec_mem_limit = -1;
+  plain.exec_threads = 1;
+  auto want = ExecutePlan(db_, query, plan, plain);
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+  for (int threads : {2, 8}) {
+    ExecProfile profile;
+    ExecOptions spilling;
+    spilling.vectorized = 1;
+    spilling.exec_mem_limit = 1;
+    spilling.exec_threads = threads;
+    spilling.profile_sink = &profile;
+    auto got = ExecutePlan(db_, query, plan, spilling);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_EQ(got.value().rows.size(), want.value().rows.size())
+        << "threads=" << threads;
+    for (size_t i = 0; i < want.value().rows.size(); ++i) {
+      for (size_t j = 0; j < want.value().rows[i].size(); ++j) {
+        ASSERT_EQ(got.value().rows[i][j].Compare(want.value().rows[i][j]), 0)
+            << "row " << i << " col " << j << " threads=" << threads;
+      }
+    }
+    EXPECT_EQ(profile.memory().current_bytes(), 0) << "threads=" << threads;
+    EXPECT_EQ(SpillFile::LiveFiles(), 0) << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace starburst

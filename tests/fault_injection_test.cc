@@ -78,6 +78,29 @@ TEST(FaultSpecTest, NthHitFiresExactlyOnce) {
   EXPECT_EQ(f.hits(faultsite::kExecScanOpen), 3);
 }
 
+TEST(FaultSpecTest, HitsCountedWheneverConfigured) {
+  FaultInjector f;
+  // Unconfigured: Check is a pure no-op and nothing is counted.
+  EXPECT_TRUE(f.Check(faultsite::kExecScanOpen).ok());
+  EXPECT_EQ(f.hits(faultsite::kExecScanOpen), 0);
+  // A bare seed can never fire — but it IS a configuration, so sweeps can
+  // measure which sites a workload reaches without tripping anything.
+  ASSERT_TRUE(f.Configure("seed=7").ok());
+  EXPECT_FALSE(f.armed());
+  EXPECT_TRUE(f.Check(faultsite::kExecScanOpen).ok());
+  EXPECT_TRUE(f.Check(faultsite::kExecScanOpen).ok());
+  EXPECT_EQ(f.hits(faultsite::kExecScanOpen), 2);
+  // rate=0.0 likewise counts without firing.
+  ASSERT_TRUE(f.Configure("rate=0.0").ok());
+  EXPECT_FALSE(f.armed());
+  EXPECT_TRUE(f.Check(faultsite::kExecSpillWrite).ok());
+  EXPECT_EQ(f.hits(faultsite::kExecSpillWrite), 1);
+  // "off" returns Check to the uncounted fast path.
+  ASSERT_TRUE(f.Configure("off").ok());
+  EXPECT_TRUE(f.Check(faultsite::kExecSpillWrite).ok());
+  EXPECT_EQ(f.hits(faultsite::kExecSpillWrite), 0);
+}
+
 TEST(FaultSpecTest, SeededRateIsDeterministic) {
   auto pattern = [](const std::string& spec) {
     FaultInjector f;
@@ -99,6 +122,9 @@ TEST(FaultSpecTest, SeededRateIsDeterministic) {
 // A composite workload that, fault-free, hits every registered fault site:
 //   - optimize + execute a two-table join with ORDER BY (engine.expand,
 //     glue.resolve, exec.scan.open, exec.join.run, exec.sort.run);
+//   - re-run the same plan on the vectorized engine under a 1-byte execution
+//     memory budget, forcing SORT to spill to temp files (exec.spill.open,
+//     exec.spill.write, exec.spill.read);
 //   - resolve a temp-required stream through Glue and execute the resulting
 //     STORE plan (glue.store, exec.store.run);
 //   - execute a hand-built ACCESS(temp) probe over a STORE — the shape Glue
@@ -126,6 +152,15 @@ std::vector<Status> RunCompositeWorkload() {
   if (optimized.ok()) {
     auto rows = ExecutePlan(db, query, optimized.value().best);
     out.push_back(rows.ok() ? Status::OK() : rows.status());
+    // Spilling leg: the 1-byte budget makes every SORT drain spill its
+    // buffered runs, so the exec.spill.* sites are reached on a fault-free
+    // run.
+    ExecOptions spill_opts;
+    spill_opts.vectorized = 1;
+    spill_opts.exec_mem_limit = 1;
+    spill_opts.exec_deadline_ms = -1;
+    auto spilled = ExecutePlan(db, query, optimized.value().best, spill_opts);
+    out.push_back(spilled.ok() ? Status::OK() : spilled.status());
   }
 
   EngineHarness harness(query, DefaultRuleSet());

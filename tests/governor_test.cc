@@ -89,6 +89,37 @@ TEST(GovernorTest, DeadlineTrips) {
       << governor.reason();
 }
 
+TEST(GovernorTest, DeadlineNeverFiresEarlyAndNeverDrifts) {
+  // The Deadline helper's documented overshoot contract: enforcement is
+  // cooperative, so the worst case past the deadline is one inter-check unit
+  // of work plus scheduler latency. What IS exact: expired() never fires
+  // before the full budget has elapsed, and the deadline instant is computed
+  // once at construction, so repeated checks compare against the same time
+  // point instead of drifting it later.
+  Deadline d(50);
+  EXPECT_TRUE(d.enabled());
+  EXPECT_EQ(d.ms(), 50);
+  auto start = std::chrono::steady_clock::now();
+  // Polling stands in for the per-batch / per-subset Check cadence.
+  int checks = 0;
+  while (!d.expired()) {
+    ++checks;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  EXPECT_GE(elapsed, 50) << "deadline fired early after " << checks
+                         << " checks";
+  // Checking thousands more times cannot un-expire or postpone it.
+  for (int i = 0; i < 10000; ++i) ASSERT_TRUE(d.expired());
+  // A zero/negative budget means "no deadline", never "already expired".
+  EXPECT_FALSE(Deadline(0).enabled());
+  EXPECT_FALSE(Deadline(0).expired());
+  EXPECT_FALSE(Deadline(-3).enabled());
+  EXPECT_FALSE(Deadline().enabled());
+}
+
 TEST(GovernorTest, FirstTripReasonWins) {
   GovernorLimits limits;
   limits.max_plans = 1;

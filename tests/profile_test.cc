@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
@@ -188,10 +189,30 @@ TEST(MemoryTrackerTest, PeakIsAHighWaterMark) {
   EXPECT_EQ(mem.peak_bytes(), 150);  // peak survives releases
   mem.Charge(10);
   EXPECT_EQ(mem.peak_bytes(), 150);
-  mem.Release(1000);  // over-release clamps, never goes negative
+  mem.Release(40);  // exact release back to zero is not a clamp
   EXPECT_EQ(mem.current_bytes(), 0);
+  EXPECT_EQ(mem.clamp_count(), 0);
   mem.Reset();
   EXPECT_EQ(mem.peak_bytes(), 0);
+}
+
+// An over-release is an accounting bug somewhere in the engine: in release
+// builds it clamps to zero and bumps the clamp counter (published as the
+// exec.tracker_clamps gauge); in debug builds it additionally fails an
+// assertion so the offending call site aborts loudly under test.
+TEST(MemoryTrackerTest, OverReleaseClampsAndCounts) {
+  auto over_release = [] {
+    MemoryTracker mem;
+    mem.Charge(100);
+    mem.Release(1000);
+    // NDEBUG builds reach here: clamped to zero, clamp counted.
+    if (mem.current_bytes() != 0 || mem.clamp_count() != 1) std::abort();
+  };
+#ifdef NDEBUG
+  over_release();
+#else
+  EXPECT_DEATH(over_release(), "over-release");
+#endif
 }
 
 TEST(JoinHashTableTest, ApproxBytesIsRecomputableFromContents) {
@@ -313,12 +334,14 @@ class ParallelProfileTest : public ProfileTest {
   ParallelProfileTest() : ProfileTest(/*scale=*/0.5) {}
 
   Result<ResultSet> RunThreaded(const Query& query, const PlanPtr& plan,
-                                int exec_threads, ExecProfile* sink) {
+                                int exec_threads, ExecProfile* sink,
+                                int64_t exec_mem_limit = 0) {
     ExecOptions options;
     options.vectorized = 1;
     options.batch_size = 1024;
     options.exec_threads = exec_threads;
     options.profile_sink = sink;
+    options.exec_mem_limit = exec_mem_limit;
     return ExecutePlan(db_, query, plan, options);
   }
 };
@@ -407,7 +430,11 @@ TEST_F(ParallelProfileTest, HashJoinDetailInvariantAcrossThreads) {
   int64_t build_rows = -1, groups = -1, probes = -1, chain_steps = -1;
   for (int threads : {1, 2, 8}) {
     ExecProfile profile;
-    auto rs = RunThreaded(query, ha_plan, threads, &profile);
+    // exec_mem_limit = -1 pins the in-memory partitioned build: this test
+    // asserts exchange fan-out, which a spilling (Grace) build replaces
+    // with coordinator-only partition files.
+    auto rs = RunThreaded(query, ha_plan, threads, &profile,
+                          /*exec_mem_limit=*/-1);
     ASSERT_TRUE(rs.ok()) << rs.status().ToString() << " threads=" << threads;
     const OpProfile* p = profile.find(ha_plan.get());
     ASSERT_NE(p, nullptr);
