@@ -1,0 +1,227 @@
+// Experiment E13 (DESIGN.md): serving throughput through the concurrent
+// front end. N client threads each push M statements through SqlServer,
+// once with the normalized-SQL plan cache on and once off. The cache
+// converts per-statement rule-driven optimization into a digest lookup, so
+// cache-on QPS must beat cache-off QPS — CI greps the BENCH_JSON line for
+// "cache_speedup_ok":true.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "catalog/synthetic.h"
+#include "server/server.h"
+#include "star/default_rules.h"
+#include "storage/datagen.h"
+
+namespace starburst {
+namespace {
+
+struct ServingSetup {
+  Catalog catalog;
+  Database db;
+
+  ServingSetup() : catalog(MakePaperCatalog()), db(catalog) {
+    if (!PopulatePaperDatabase(&db, /*seed=*/7, /*scale=*/0.1).ok())
+      std::abort();
+  }
+
+  std::unique_ptr<SqlServer> MakeServer(bool cache_on, int workers) {
+    ServerOptions opts;
+    opts.num_workers = workers;
+    opts.cache_enabled = cache_on;
+    // Budgets pinned off so both configurations optimize identically; the
+    // comparison is pure serving throughput, not degradation behavior.
+    opts.optimizer.deadline_ms = 0;
+    opts.optimizer.max_plans = 0;
+    opts.optimizer.max_plan_table_bytes = 0;
+    return std::make_unique<SqlServer>(&catalog, &db, DefaultRuleSet(),
+                                       opts);
+  }
+};
+
+/// The server_test differential workload shape: literal-varied equality
+/// statements (which fold to shared cache entries) plus fixed multi-table
+/// and ORDER BY statements, so the cache sees realistic reuse rather than
+/// one statement hammered N*M times.
+std::vector<std::string> ClientStatements(int client, int statements) {
+  const std::string base[] = {
+      "SELECT EMP.NAME, EMP.ADDRESS FROM DEPT, EMP "
+      "WHERE DEPT.MGR = 'Haas' AND DEPT.DNO = EMP.DNO",
+      "SELECT EMP.NAME FROM EMP WHERE EMP.DNO = $P",
+      "SELECT DEPT.DNAME, DEPT.BUDGET FROM DEPT WHERE DEPT.DNO = $P",
+      "SELECT EMP.NAME, EMP.SALARY FROM EMP "
+      "WHERE EMP.SALARY >= 100000 ORDER BY EMP.SALARY",
+      "SELECT EMP.NAME FROM DEPT, EMP "
+      "WHERE DEPT.DNO = EMP.DNO AND DEPT.BUDGET >= 500",
+      "SELECT EMP.ENO, EMP.NAME FROM EMP WHERE EMP.ENO = $P",
+  };
+  std::vector<std::string> out;
+  out.reserve(static_cast<size_t>(statements));
+  for (int i = 0; i < statements; ++i) {
+    std::string sql = base[static_cast<size_t>(i) % std::size(base)];
+    size_t p = sql.find("$P");
+    if (p != std::string::npos) {
+      sql.replace(p, 2, std::to_string((client * 7 + i) % 20));
+    }
+    out.push_back(sql);
+  }
+  return out;
+}
+
+struct ServingRun {
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  long long statements = 0;
+  long long errors = 0;
+  long long hits = 0;
+  long long misses = 0;
+};
+
+ServingRun RunServing(ServingSetup& setup, bool cache_on, int clients,
+                      int per_client) {
+  std::unique_ptr<SqlServer> server = setup.MakeServer(cache_on, clients);
+  std::vector<SessionPtr> sessions;
+  sessions.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    sessions.push_back(
+        server->OpenSession("bench-" + std::to_string(c)).ValueOrDie());
+  }
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (const std::string& sql : ClientStatements(c, per_client)) {
+        auto result = server->Execute(sessions[static_cast<size_t>(c)], sql);
+        if (!result.ok()) std::abort();  // the workload must serve cleanly
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  MetricsRegistry::Snapshot snap = server->metrics().TakeSnapshot();
+  ServingRun run;
+  run.statements = snap.counters["server.statements"];
+  run.errors = snap.counters["server.errors"];
+  run.hits = snap.counters["server.cache_hits"];
+  run.misses = snap.counters["server.cache_misses"];
+  run.qps = seconds > 0 ? static_cast<double>(run.statements) / seconds : 0;
+  auto it = snap.histograms.find("server.statement_us");
+  if (it != snap.histograms.end()) {
+    run.p50_us = it->second.p50;
+    run.p99_us = it->second.p99;
+  }
+  return run;
+}
+
+void PrintArtifact() {
+  bench::PrintHeader(
+      "E13: serving throughput, plan cache on vs off",
+      "amortizing rule-driven optimization across statements: the cache "
+      "turns optimize into a digest lookup, so cache-on QPS must win");
+  ServingSetup setup;
+  unsigned cores = std::thread::hardware_concurrency();
+  const int clients = static_cast<int>(std::clamp(cores, 2u, 4u));
+  const int per_client = 48;
+
+  ServingRun off = RunServing(setup, /*cache_on=*/false, clients, per_client);
+  ServingRun on = RunServing(setup, /*cache_on=*/true, clients, per_client);
+
+  std::printf(
+      "  %d clients x %d statements each (paper schema, scale 0.1)\n"
+      "  cache off: %8.1f qps  p50 %8.1f us  p99 %8.1f us\n"
+      "  cache on:  %8.1f qps  p50 %8.1f us  p99 %8.1f us  "
+      "(%lld hits / %lld misses)\n"
+      "  speedup: %.2fx\n\n",
+      clients, per_client, off.qps, off.p50_us, off.p99_us, on.qps,
+      on.p50_us, on.p99_us, on.hits, on.misses,
+      off.qps > 0 ? on.qps / off.qps : 0.0);
+
+  bool speedup_ok = on.qps > off.qps && on.errors == 0 && off.errors == 0;
+  std::printf(
+      "BENCH_JSON {\"bench\":\"throughput\",\"clients\":%d,"
+      "\"per_client\":%d,\"qps_cache_on\":%.1f,\"qps_cache_off\":%.1f,"
+      "\"p99_us_cache_on\":%.1f,\"p99_us_cache_off\":%.1f,"
+      "\"cache_hits\":%lld,\"cache_misses\":%lld,"
+      "\"cache_speedup_ok\":%s}\n\n",
+      clients, per_client, on.qps, off.qps, on.p99_us, off.p99_us, on.hits,
+      on.misses, speedup_ok ? "true" : "false");
+}
+
+// ---------------------------------------------------------------------------
+// google-benchmark timings: one statement through the full serving path
+// (parse -> cache -> execute), inline on a 0-worker server so the numbers
+// measure the statement pipeline rather than queue handoff.
+// ---------------------------------------------------------------------------
+
+void BM_ServeStatementCached(benchmark::State& state) {
+  ServingSetup setup;
+  auto server = setup.MakeServer(/*cache_on=*/true, /*workers=*/0);
+  SessionPtr session = server->OpenSession("bm").ValueOrDie();
+  const std::string sql = "SELECT EMP.NAME FROM EMP WHERE EMP.DNO = 7";
+  (void)server->Execute(session, sql);  // warm the cache entry
+  for (auto _ : state) {
+    auto result = server->Execute(session, sql);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServeStatementCached);
+
+void BM_ServeStatementUncached(benchmark::State& state) {
+  ServingSetup setup;
+  auto server = setup.MakeServer(/*cache_on=*/false, /*workers=*/0);
+  SessionPtr session = server->OpenSession("bm").ValueOrDie();
+  const std::string sql = "SELECT EMP.NAME FROM EMP WHERE EMP.DNO = 7";
+  for (auto _ : state) {
+    auto result = server->Execute(session, sql);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServeStatementUncached);
+
+void BM_PreparedExecute(benchmark::State& state) {
+  ServingSetup setup;
+  auto server = setup.MakeServer(/*cache_on=*/true, /*workers=*/0);
+  SessionPtr session = server->OpenSession("bm").ValueOrDie();
+  Status st = server->Prepare(
+      session, "by_dno", "SELECT EMP.NAME FROM EMP WHERE EMP.DNO = ?");
+  if (!st.ok()) {
+    state.SkipWithError(st.ToString().c_str());
+    return;
+  }
+  int64_t dno = 0;
+  for (auto _ : state) {
+    auto result = server->ExecutePrepared(session, "by_dno",
+                                          {Datum(int64_t{dno++ % 20})});
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PreparedExecute);
+
+}  // namespace
+}  // namespace starburst
+
+int main(int argc, char** argv) {
+  starburst::PrintArtifact();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

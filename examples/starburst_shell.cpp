@@ -37,13 +37,24 @@
 //   \workload [json|clear] workload statistics repository: per-query records
 //                         and per-(table, predicate-shape) cardinality
 //                         feedback aggregated across runs
+//   \cache [on|off|clear|stats]  normalized-SQL plan cache: repeated
+//                         statements (even with different literals or
+//                         aliases) reuse the optimized plan; invalidated by
+//                         catalog generation bumps and by \enable / \load
+//   \prepare <name> <sql> validate a statement template with ? markers and
+//                         store it under <name>
+//   \execp <name> [p...]  bind parameters ('quoted' = string, else number)
+//                         and run the prepared statement
 //   \help, \quit
 
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "catalog/synthetic.h"
 #include "common/fault_injector.h"
@@ -55,6 +66,7 @@
 #include "obs/workload.h"
 #include "optimizer/optimizer.h"
 #include "plan/explain.h"
+#include "server/plan_cache.h"
 #include "sql/parser.h"
 #include "star/default_rules.h"
 #include "star/dsl_parser.h"
@@ -122,6 +134,11 @@ void PrintHelp() {
       "                      \\analyze); \\profile json dumps the last one\n"
       "  \\workload [json]    per-query records and (table, pred-shape)\n"
       "                      cardinality feedback ('clear' resets)\n"
+      "  \\cache [on|off|clear|stats] normalized-SQL plan cache (default\n"
+      "                      on; literal- and alias-varied statements share\n"
+      "                      one entry)\n"
+      "  \\prepare <name> <sql> store a statement template with ? markers\n"
+      "  \\execp <name> [p..] bind ('quoted' = string, else number) and run\n"
       "  \\metrics [prom]     effort counters + registry (prom = Prometheus\n"
       "                      text exposition)\n"
       "  \\quit               exit\n");
@@ -143,11 +160,15 @@ struct Shell {
   int profile = -1;     // -1 env default (STARBURST_PROFILE), 0 off, 1 on
   ExecProfile last_profile;
   WorkloadRepository workload;
+  PlanCache plan_cache;
+  bool cache_on = true;
+  std::map<std::string, std::pair<std::string, int>> prepared;  // sql, #params
 
   Shell()
       : catalog(MakePaperCatalog()),
         db(catalog),
-        optimizer(DefaultRuleSet(), MakeOptions(&tracer, &metrics)) {
+        optimizer(DefaultRuleSet(), MakeOptions(&tracer, &metrics)),
+        plan_cache(/*num_shards=*/4, &metrics) {
     Status st = PopulatePaperDatabase(&db, /*seed=*/42, /*scale=*/0.02);
     if (!st.ok()) {
       std::fprintf(stderr, "datagen: %s\n", st.ToString().c_str());
@@ -163,7 +184,6 @@ struct Shell {
   }
 
   void RunSql(const std::string& sql, bool execute, bool analyze = false) {
-    tracer.Clear();
     ScopedTimer parse_timer(&metrics, "optimizer.phase.parse");
     auto parsed = ParseSql(catalog, sql);
     parse_timer.Stop();
@@ -171,22 +191,63 @@ struct Shell {
       std::printf("parse error: %s\n", parsed.status().ToString().c_str());
       return;
     }
-    const Query& query = parsed.value();
-    auto result = optimizer.Optimize(query);
-    if (!result.ok()) {
-      std::printf("optimizer error: %s\n",
-                  result.status().ToString().c_str());
-      return;
+    RunQuery(parsed.value(), execute, analyze);
+  }
+
+  void RunQuery(const Query& query, bool execute, bool analyze = false) {
+    tracer.Clear();
+    PlanPtr plan;
+    double cost = 0.0;
+    bool cache_hit = false;
+    if (cache_on) {
+      // Same single-flight path the server uses; in this single-threaded
+      // shell it degenerates to a plain lookup, but it shares the counters
+      // (server.cache_* in \metrics) and the generation-invalidation rules.
+      PlanCacheKey key = PlanCacheKeyForQuery(query);
+      auto cached = plan_cache.GetOrOptimize(
+          key, catalog,
+          [&]() -> Result<CachedPlan> {
+            auto result = optimizer.Optimize(query);
+            if (!result.ok()) return result.status();
+            last = std::move(result).value();
+            CachedPlan entry;
+            entry.plan = last.best;
+            entry.total_cost = last.total_cost;
+            entry.signature = PlanSignature(*last.best);
+            return entry;
+          },
+          &cache_hit);
+      if (!cached.ok()) {
+        std::printf("optimizer error: %s\n",
+                    cached.status().ToString().c_str());
+        return;
+      }
+      plan = cached.value()->plan;
+      cost = cached.value()->total_cost;
+    } else {
+      auto result = optimizer.Optimize(query);
+      if (!result.ok()) {
+        std::printf("optimizer error: %s\n",
+                    result.status().ToString().c_str());
+        return;
+      }
+      last = std::move(result).value();
+      plan = last.best;
+      cost = last.total_cost;
     }
-    last = std::move(result).value();
-    if (last.degraded()) {
+    if (!cache_hit && last.degraded()) {
       std::printf("note: degraded to greedy enumeration (%s)\n",
                   last.degradation_reason.c_str());
     }
     if (!analyze) {
-      std::printf("plan (cost %.1f, %zu alternatives kept):\n%s",
-                  last.total_cost, last.final_plans.size(),
-                  ExplainPlan(*last.best, query).c_str());
+      if (cache_hit) {
+        std::printf("plan (cost %.1f, cached):\n%s", cost,
+                    ExplainPlan(*plan, query).c_str());
+      } else {
+        std::printf("plan (cost %.1f, %zu alternatives kept):\n%s", cost,
+                    last.final_plans.size(),
+                    ExplainPlan(*plan, query).c_str());
+      }
     }
     if (!execute) return;
     PlanRunStats run_stats;
@@ -207,7 +268,7 @@ struct Shell {
       exec_opts.profile = 0;
     }
     ScopedTimer exec_timer(&metrics, "exec.run");
-    auto rs = ExecutePlan(db, query, last.best, exec_opts);
+    auto rs = ExecutePlan(db, query, plan, exec_opts);
     exec_timer.Stop();
     if (!rs.ok()) {
       std::printf("executor error: %s\n", rs.status().ToString().c_str());
@@ -220,8 +281,9 @@ struct Shell {
       opts.analyze = true;
       opts.run_stats = &run_stats;
       if (profiling) opts.profile = &last_profile;
-      std::printf("plan (cost %.1f) with actuals:\n%s", last.total_cost,
-                  ExplainPlan(*last.best, query, opts).c_str());
+      std::printf("plan (cost %.1f%s) with actuals:\n%s", cost,
+                  cache_hit ? ", cached" : "",
+                  ExplainPlan(*plan, query, opts).c_str());
       std::printf("(%zu row(s))\n", rs.value().rows.size());
       return;
     }
@@ -251,8 +313,25 @@ struct Shell {
       std::printf("unknown strategy '%s'\n", strategy.c_str());
       return;
     }
-    std::printf("enabled %s (rule base now has %d STARs)\n",
+    plan_cache.Clear();  // cached plans predate the new rule repertoire
+    std::printf("enabled %s (rule base now has %d STARs; plan cache "
+                "cleared)\n",
                 strategy.c_str(), optimizer.rules().size());
+  }
+
+  /// 'quoted' = string literal, otherwise integer then double then string.
+  static Datum ParseParam(const std::string& tok) {
+    if (tok.size() >= 2 && tok.front() == '\'' && tok.back() == '\'') {
+      return Datum(tok.substr(1, tok.size() - 2));
+    }
+    char* end = nullptr;
+    long long i = std::strtoll(tok.c_str(), &end, 10);
+    if (end != tok.c_str() && *end == '\0') {
+      return Datum(static_cast<int64_t>(i));
+    }
+    double d = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() && *end == '\0') return Datum(d);
+    return Datum(tok);
   }
 
   void Command(const std::string& line) {
@@ -289,7 +368,69 @@ struct Shell {
     } else if (cmd == "\\load") {
       Status st = LoadRulesFromFile(&optimizer.rules(), rest,
                                     &optimizer.operators());
-      std::printf("%s\n", st.ok() ? "loaded" : st.ToString().c_str());
+      if (st.ok()) plan_cache.Clear();  // plans predate the new rule base
+      std::printf("%s\n",
+                  st.ok() ? "loaded (plan cache cleared)"
+                          : st.ToString().c_str());
+    } else if (cmd == "\\cache") {
+      if (rest == "on") {
+        cache_on = true;
+      } else if (rest == "off") {
+        cache_on = false;
+      } else if (rest == "clear") {
+        plan_cache.Clear();
+      } else if (!rest.empty() && rest != "stats") {
+        std::printf("usage: \\cache [on|off|clear|stats]\n");
+        return;
+      }
+      std::printf("plan cache: %s, %zu entr%s, %lld hits / %lld misses / "
+                  "%lld invalidations\n",
+                  cache_on ? "on" : "off", plan_cache.size(),
+                  plan_cache.size() == 1 ? "y" : "ies",
+                  static_cast<long long>(metrics.counter("server.cache_hits")),
+                  static_cast<long long>(
+                      metrics.counter("server.cache_misses")),
+                  static_cast<long long>(
+                      metrics.counter("server.cache_invalidations")));
+    } else if (cmd == "\\prepare") {
+      std::istringstream spec(rest);
+      std::string name;
+      spec >> name;
+      std::string sql;
+      std::getline(spec, sql);
+      while (!sql.empty() && sql.front() == ' ') sql.erase(sql.begin());
+      if (name.empty() || sql.empty()) {
+        std::printf("usage: \\prepare <name> <sql with ? markers>\n");
+        return;
+      }
+      int num_params = 0;
+      auto tmpl = ParseSqlTemplate(catalog, sql, &num_params);
+      if (!tmpl.ok()) {
+        std::printf("prepare error: %s\n", tmpl.status().ToString().c_str());
+        return;
+      }
+      prepared[name] = {sql, num_params};
+      std::printf("prepared '%s' (%d parameter%s)\n", name.c_str(),
+                  num_params, num_params == 1 ? "" : "s");
+    } else if (cmd == "\\execp") {
+      std::istringstream spec(rest);
+      std::string name;
+      spec >> name;
+      auto it = prepared.find(name);
+      if (it == prepared.end()) {
+        std::printf("no prepared statement '%s' (see \\prepare)\n",
+                    name.c_str());
+        return;
+      }
+      std::vector<Datum> params;
+      std::string tok;
+      while (spec >> tok) params.push_back(ParseParam(tok));
+      auto bound = BindSql(catalog, it->second.first, params);
+      if (!bound.ok()) {
+        std::printf("bind error: %s\n", bound.status().ToString().c_str());
+        return;
+      }
+      RunQuery(bound.value(), /*execute=*/true);
     } else if (cmd == "\\explain") {
       RunSql(rest, /*execute=*/false);
     } else if (cmd == "\\analyze") {

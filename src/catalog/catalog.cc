@@ -24,12 +24,32 @@ Catalog::Catalog() {
   site_by_name_["query-site"] = 0;
 }
 
+Catalog::Catalog(const Catalog& other)
+    : tables_(other.tables_),
+      table_by_name_(other.table_by_name_),
+      site_names_(other.site_names_),
+      site_by_name_(other.site_by_name_),
+      ddl_generation_(other.ddl_generation()),
+      stats_generation_(other.stats_generation()) {}
+
+Catalog& Catalog::operator=(const Catalog& other) {
+  if (this == &other) return *this;
+  tables_ = other.tables_;
+  table_by_name_ = other.table_by_name_;
+  site_names_ = other.site_names_;
+  site_by_name_ = other.site_by_name_;
+  ddl_generation_.store(other.ddl_generation(), std::memory_order_release);
+  stats_generation_.store(other.stats_generation(), std::memory_order_release);
+  return *this;
+}
+
 SiteId Catalog::AddSite(const std::string& name) {
   auto it = site_by_name_.find(name);
   if (it != site_by_name_.end()) return it->second;
   SiteId id = static_cast<SiteId>(site_names_.size());
   site_names_.push_back(name);
   site_by_name_[name] = id;
+  BumpDdl();
   return id;
 }
 
@@ -67,6 +87,7 @@ Result<TableId> Catalog::AddTable(TableDef def) {
   TableId id = static_cast<TableId>(tables_.size());
   table_by_name_[def.name] = id;
   tables_.push_back(std::move(def));
+  BumpDdl();
   return id;
 }
 
@@ -86,6 +107,7 @@ Status Catalog::AddIndex(const std::string& table, IndexDef index) {
     }
   }
   def.indexes.push_back(std::move(index));
+  BumpDdl();
   return Status::OK();
 }
 

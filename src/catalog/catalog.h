@@ -1,6 +1,7 @@
 #ifndef STARBURST_CATALOG_CATALOG_H_
 #define STARBURST_CATALOG_CATALOG_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -78,6 +79,10 @@ struct TableDef {
 class Catalog {
  public:
   Catalog();
+  /// Generation counters are atomics, which delete the implicit copies; a
+  /// copied catalog starts its own generation history from the source's.
+  Catalog(const Catalog& other);
+  Catalog& operator=(const Catalog& other);
 
   /// Registers a site and returns its id. Site 0 ("query site") always
   /// exists.
@@ -102,11 +107,34 @@ class Catalog {
   /// All site ids (0..n-1), convenience for the join-site STAR's sigma set.
   std::vector<SiteId> AllSites() const;
 
+  /// Schema (DDL) generation: bumped by AddSite/AddTable/AddIndex. Plan
+  /// caches key their entries on this; a bump means every cached plan that
+  /// was optimized against the old schema is stale.
+  int64_t ddl_generation() const {
+    return ddl_generation_.load(std::memory_order_acquire);
+  }
+  /// Statistics generation: bumped by NoteStatisticsUpdate() after callers
+  /// mutate statistics in place via mutable_table(). Cached plans remain
+  /// *correct* across a stats bump but may no longer be the cheapest, so
+  /// caches treat it exactly like a DDL bump and re-optimize.
+  int64_t stats_generation() const {
+    return stats_generation_.load(std::memory_order_acquire);
+  }
+  /// Callers that edit statistics through mutable_table() announce it here
+  /// (RUNSTATS in System R terms); the catalog cannot see in-place edits.
+  void NoteStatisticsUpdate() {
+    stats_generation_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
  private:
+  void BumpDdl() { ddl_generation_.fetch_add(1, std::memory_order_acq_rel); }
+
   std::vector<TableDef> tables_;
   std::map<std::string, TableId> table_by_name_;
   std::vector<std::string> site_names_;
   std::map<std::string, SiteId> site_by_name_;
+  std::atomic<int64_t> ddl_generation_{0};
+  std::atomic<int64_t> stats_generation_{0};
 };
 
 }  // namespace starburst

@@ -73,8 +73,13 @@ double LatencyHistogram::Percentile(double q) const {
 // ---------------------------------------------------------------------------
 
 void MetricsRegistry::AddCounter(const std::string& name, int64_t delta) {
-  std::lock_guard<std::mutex> lock(mu_);
-  counters_[name] += delta;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_[name] += delta;
+  }
+  // Mirror outside our lock: the parent takes its own mutex, and holding
+  // both would create a lock order between registries.
+  if (parent_ != nullptr) parent_->AddCounter(name, delta);
 }
 
 void MetricsRegistry::SetGauge(const std::string& name, double value) {
@@ -83,8 +88,11 @@ void MetricsRegistry::SetGauge(const std::string& name, double value) {
 }
 
 void MetricsRegistry::RecordLatency(const std::string& name, double micros) {
-  std::lock_guard<std::mutex> lock(mu_);
-  histograms_[name].Record(micros);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    histograms_[name].Record(micros);
+  }
+  if (parent_ != nullptr) parent_->RecordLatency(name, micros);
 }
 
 int64_t MetricsRegistry::counter(const std::string& name) const {

@@ -61,6 +61,14 @@ class LatencyHistogram {
 /// test convenience — do not use it while writers are active.
 class MetricsRegistry {
  public:
+  /// Chains this registry under `parent`: every counter increment and
+  /// latency observation recorded here is also applied to the parent, giving
+  /// layered views (per-session registry -> global server registry) without
+  /// double bookkeeping at call sites. Gauges are NOT mirrored — concurrent
+  /// sessions setting the same gauge name would just stomp each other.
+  /// The parent must outlive this registry. Set before concurrent use.
+  void set_parent(MetricsRegistry* parent) { parent_ = parent; }
+
   /// Adds `delta` to the named counter (creating it at zero).
   void AddCounter(const std::string& name, int64_t delta);
   /// Sets the named gauge.
@@ -109,6 +117,7 @@ class MetricsRegistry {
   std::map<std::string, int64_t> counters_;
   std::map<std::string, double> gauges_;
   std::map<std::string, LatencyHistogram> histograms_;
+  MetricsRegistry* parent_ = nullptr;
 };
 
 /// Times a scope and records the elapsed microseconds into a registry

@@ -1,0 +1,208 @@
+#include "server/plan_cache.h"
+
+#include <functional>
+
+#include "obs/metrics.h"
+#include "obs/workload.h"
+#include "query/predicate.h"
+
+namespace starburst {
+
+namespace {
+
+/// Renders an expression positionally: columns as q<i>.c<j> (aliases never
+/// appear, so renamed-alias statements key identically), literals as '?'
+/// (so literal-differing statements fold to one entry — reuse is safe
+/// because plan arguments carry ColumnRefs, never literal values; the
+/// executor re-evaluates predicates from the *submitted* query).
+std::string ExprShape(const Expr& e) {
+  switch (e.kind()) {
+    case ExprKind::kColumn:
+      return "q" + std::to_string(e.column().quantifier) + ".c" +
+             std::to_string(e.column().column);
+    case ExprKind::kLiteral:
+      return "?";
+    case ExprKind::kAdd:
+      return "(" + ExprShape(*e.lhs()) + "+" + ExprShape(*e.rhs()) + ")";
+    case ExprKind::kSub:
+      return "(" + ExprShape(*e.lhs()) + "-" + ExprShape(*e.rhs()) + ")";
+    case ExprKind::kMul:
+      return "(" + ExprShape(*e.lhs()) + "*" + ExprShape(*e.rhs()) + ")";
+    case ExprKind::kDiv:
+      return "(" + ExprShape(*e.lhs()) + "/" + ExprShape(*e.rhs()) + ")";
+  }
+  return "?";
+}
+
+std::string ColShape(ColumnRef ref) {
+  return "q" + std::to_string(ref.quantifier) + ".c" +
+         std::to_string(ref.column);
+}
+
+/// Ordered structural rendering of the query — see PlanCacheKey. Symmetric
+/// comparisons (=, <>) are canonically side-ordered, matching the digest's
+/// PredicateShape normalization AND the executor, which picks join build /
+/// index-probe sides from column sets at runtime, so a side-swapped
+/// statement really can run the cached plan.
+std::string StructuralForm(const Query& query) {
+  std::string out = "F:";
+  for (int q = 0; q < query.num_quantifiers(); ++q) {
+    if (q > 0) out += ",";
+    out += query.table_of(q).name;
+  }
+  out += ";W:";
+  for (int p = 0; p < query.num_predicates(); ++p) {
+    const Predicate& pred = query.predicate(p);
+    std::string lhs = ExprShape(*pred.lhs);
+    std::string rhs = ExprShape(*pred.rhs);
+    if ((pred.op == CompareOp::kEq || pred.op == CompareOp::kNe) &&
+        rhs < lhs) {
+      std::swap(lhs, rhs);
+    }
+    if (p > 0) out += ",";
+    out += lhs;
+    out += CompareOpName(pred.op);
+    out += rhs;
+  }
+  out += ";S:";
+  for (size_t i = 0; i < query.select_list().size(); ++i) {
+    if (i > 0) out += ",";
+    out += ColShape(query.select_list()[i]);
+  }
+  out += ";O:";
+  for (size_t i = 0; i < query.order_by().size(); ++i) {
+    if (i > 0) out += ",";
+    out += ColShape(query.order_by()[i]);
+  }
+  out += ";A:";
+  out += query.required_site().has_value()
+             ? std::to_string(*query.required_site())
+             : "-";
+  return out;
+}
+
+}  // namespace
+
+PlanCacheKey PlanCacheKeyForQuery(const Query& query) {
+  PlanCacheKey key;
+  key.digest = WorkloadRepository::QueryDigest(query);
+  key.structure = StructuralForm(query);
+  return key;
+}
+
+PlanCache::PlanCache(int num_shards, MetricsRegistry* metrics)
+    : metrics_(metrics) {
+  if (num_shards < 1) num_shards = 1;
+  shards_.reserve(static_cast<size_t>(num_shards));
+  for (int i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+PlanCache::Shard& PlanCache::ShardFor(const PlanCacheKey& key) {
+  size_t h = std::hash<std::string>{}(key.digest);
+  return *shards_[h % shards_.size()];
+}
+
+void PlanCache::Count(const char* name, int64_t delta) {
+  if (metrics_ != nullptr) metrics_->AddCounter(name, delta);
+}
+
+Result<CachedPlanPtr> PlanCache::GetOrOptimize(const PlanCacheKey& key,
+                                               const Catalog& catalog,
+                                               const OptimizeFn& optimize,
+                                               bool* hit) {
+  if (hit != nullptr) *hit = false;
+  Shard& shard = ShardFor(key);
+  {
+    std::unique_lock<std::mutex> lock(shard.mu);
+    bool counted_race = false;
+    while (true) {
+      auto it = shard.entries.find(key);
+      if (it == shard.entries.end()) {
+        Count("server.cache_misses");
+        shard.entries[key].in_flight = true;  // claim the single flight
+        break;
+      }
+      if (it->second.in_flight) {
+        // Someone else is optimizing this exact statement shape right now;
+        // wait rather than duplicate the work. Counted once per waiter.
+        if (!counted_race) {
+          counted_race = true;
+          Count("server.cache_races");
+        }
+        shard.cv.wait(lock);
+        continue;  // re-find: the flight may have succeeded, failed, or the
+                   // entry may have been invalidated since
+      }
+      const CachedPlan& got = *it->second.plan;
+      if (got.ddl_generation != catalog.ddl_generation() ||
+          got.stats_generation != catalog.stats_generation()) {
+        Count("server.cache_invalidations");
+        shard.entries.erase(it);
+        continue;  // retake the miss path and re-optimize
+      }
+      Count("server.cache_hits");
+      if (hit != nullptr) *hit = true;
+      return it->second.plan;
+    }
+  }
+  // Generations are captured before the optimizer runs: if DDL lands
+  // mid-optimization the entry self-invalidates on its first hit.
+  CachedPlan fresh;
+  fresh.ddl_generation = catalog.ddl_generation();
+  fresh.stats_generation = catalog.stats_generation();
+  Result<CachedPlan> optimized = optimize();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (!optimized.ok()) {
+    // Erase the marker and wake everyone: the first waiter to re-check
+    // becomes the new optimizer, so an injected fault can't wedge the key.
+    shard.entries.erase(key);
+    shard.cv.notify_all();
+    return optimized.status();
+  }
+  fresh.plan = optimized.value().plan;
+  fresh.total_cost = optimized.value().total_cost;
+  fresh.signature = std::move(optimized.value().signature);
+  auto ptr = std::make_shared<const CachedPlan>(std::move(fresh));
+  Entry& entry = shard.entries[key];
+  entry.plan = ptr;
+  entry.in_flight = false;
+  shard.cv.notify_all();
+  return ptr;
+}
+
+void PlanCache::Invalidate(const PlanCacheKey& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end() || it->second.in_flight) return;
+  shard.entries.erase(it);
+  Count("server.cache_invalidations");
+}
+
+void PlanCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->entries.begin(); it != shard->entries.end();) {
+      if (it->second.in_flight) {
+        ++it;  // the optimizing thread owns the marker
+      } else {
+        it = shard->entries.erase(it);
+      }
+    }
+  }
+}
+
+size_t PlanCache::size() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [key, entry] : shard->entries) {
+      if (!entry.in_flight) ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace starburst

@@ -1,0 +1,133 @@
+#ifndef STARBURST_SERVER_PLAN_CACHE_H_
+#define STARBURST_SERVER_PLAN_CACHE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "plan/plan.h"
+#include "query/query.h"
+
+namespace starburst {
+
+class MetricsRegistry;
+
+/// Cache key for one statement shape. `digest` is WorkloadRepository's
+/// literal-folded, alias-insensitive, order-insensitive digest — it folds
+/// "same query, different literals" (and symmetric-predicate side order)
+/// into one entry. The digest alone is NOT a safe reuse key: a cached
+/// PlanOp's arguments hold quantifier ids, predicate ids, and ColumnRefs
+/// that index into the query it was optimized for, while the digest hashes
+/// *sorted* table/shape sets. `structure` therefore records the ordered
+/// structural rendering (quantifier tables in quantifier order, predicate
+/// shapes in predicate-id order, select list, order-by, site); two queries
+/// with equal keys are positionally interchangeable, so either can execute
+/// the other's plan.
+struct PlanCacheKey {
+  std::string digest;
+  std::string structure;
+
+  bool operator==(const PlanCacheKey& o) const {
+    return digest == o.digest && structure == o.structure;
+  }
+  bool operator<(const PlanCacheKey& o) const {
+    if (digest != o.digest) return digest < o.digest;
+    return structure < o.structure;
+  }
+};
+
+/// Builds the cache key for an analyzed query. Literals never appear in
+/// either component; aliases never appear; symmetric (=, <>) predicate sides
+/// are canonically ordered in both.
+PlanCacheKey PlanCacheKeyForQuery(const Query& query);
+
+/// One cached optimization result. The plan's operator definitions point
+/// into the owning Optimizer's OperatorRegistry, so the cache must not
+/// outlive the Optimizer whose Optimize() produced the entries.
+struct CachedPlan {
+  PlanPtr plan;
+  double total_cost = 0.0;
+  std::string signature;  ///< PlanSignature(*plan), for differential tests
+  /// Catalog generations observed *before* the optimization ran (a bump
+  /// during optimization conservatively invalidates the entry).
+  int64_t ddl_generation = 0;
+  int64_t stats_generation = 0;
+};
+
+using CachedPlanPtr = std::shared_ptr<const CachedPlan>;
+
+/// Sharded, single-flight plan cache keyed on normalized statement shape.
+///
+/// Concurrency discipline (the PostgreSQL plancache shape, adapted):
+///   - Lookup/insert take one shard mutex; shards are independent.
+///   - A miss installs an in-flight marker and releases the lock while the
+///     caller-supplied optimize function runs; concurrent requests for the
+///     same key wait on the shard condvar instead of optimizing again
+///     (counted as `server.cache_races`).
+///   - A failed optimization erases the marker and wakes all waiters; the
+///     first to wake retakes the miss path, so a fault-injected failure can
+///     never wedge the key.
+///   - Hits validate the entry's catalog generations; a stale entry is
+///     erased (counted as `server.cache_invalidations`) and re-optimized.
+///
+/// Entries are returned as shared_ptr-to-const so a hit can be executed
+/// without holding any cache lock while Clear()/Invalidate() run.
+class PlanCache {
+ public:
+  /// Optimizes one statement: returns the plan, its weighted cost, and its
+  /// signature. Runs outside all cache locks.
+  using OptimizeFn = std::function<Result<CachedPlan>()>;
+
+  explicit PlanCache(int num_shards = 8, MetricsRegistry* metrics = nullptr);
+
+  /// Returns the cached plan for `key`, optimizing via `optimize` on a miss
+  /// or stale hit. `catalog` supplies the generations entries are validated
+  /// against; they are captured before `optimize` runs. `hit` (optional)
+  /// reports whether the returned plan came from the cache — true also for
+  /// racers that waited out another thread's optimization.
+  Result<CachedPlanPtr> GetOrOptimize(const PlanCacheKey& key,
+                                      const Catalog& catalog,
+                                      const OptimizeFn& optimize,
+                                      bool* hit = nullptr);
+
+  /// Drops one entry (e.g. after a q-error trip showed the plan was built
+  /// from badly wrong estimates). No-op if absent. Never touches in-flight
+  /// markers — the optimizing thread owns those.
+  void Invalidate(const PlanCacheKey& key);
+
+  /// Drops every completed entry (rule-base edits, bulk reloads).
+  void Clear();
+
+  /// Completed (non-in-flight) entries across all shards.
+  size_t size() const;
+
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
+ private:
+  struct Entry {
+    CachedPlanPtr plan;  ///< null while in-flight
+    bool in_flight = false;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::map<PlanCacheKey, Entry> entries;
+  };
+
+  Shard& ShardFor(const PlanCacheKey& key);
+  void Count(const char* name, int64_t delta = 1);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  MetricsRegistry* metrics_;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_SERVER_PLAN_CACHE_H_

@@ -1,0 +1,331 @@
+#include "server/server.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "plan/explain.h"
+#include "sql/parser.h"
+
+namespace starburst {
+
+namespace {
+
+/// Worst per-node q-error of one execution: max over executed nodes of
+/// actual rows per invocation vs estimated cardinality. Both sides are
+/// clamped to >= 1 row so empty results don't read as infinite error — the
+/// trigger should fire on badly wrong *plans*, not on selective predicates.
+void WorstQErrorWalk(const PlanOp& node, const PlanRunStats& stats,
+                     std::set<const PlanOp*>* seen, double* worst) {
+  if (!seen->insert(&node).second) return;
+  auto it = stats.find(&node);
+  if (it != stats.end() && it->second.invocations > 0) {
+    double actual = std::max(
+        1.0, static_cast<double>(it->second.rows) /
+                 static_cast<double>(it->second.invocations));
+    double est = std::max(1.0, node.props.card());
+    double q = actual > est ? actual / est : est / actual;
+    *worst = std::max(*worst, q);
+  }
+  for (const PlanPtr& in : node.inputs) {
+    WorstQErrorWalk(*in, stats, seen, worst);
+  }
+}
+
+double WorstQError(const PlanOp& root, const PlanRunStats& stats) {
+  std::set<const PlanOp*> seen;
+  double worst = 1.0;
+  WorstQErrorWalk(root, stats, &seen, &worst);
+  return worst;
+}
+
+OptimizerOptions PatchedOptimizerOptions(ServerOptions* options,
+                                         MetricsRegistry* metrics) {
+  if (options->optimizer.metrics == nullptr) {
+    options->optimizer.metrics = metrics;
+  }
+  return options->optimizer;
+}
+
+}  // namespace
+
+SqlServer::SqlServer(const Catalog* catalog, const Database* db,
+                     RuleSet rules, ServerOptions options)
+    : catalog_(catalog),
+      db_(db),
+      options_(std::move(options)),
+      metrics_(),
+      optimizer_(std::move(rules),
+                 PatchedOptimizerOptions(&options_, &metrics_)),
+      cache_(options_.cache_shards, &metrics_),
+      started_(std::chrono::steady_clock::now()) {
+  workers_.reserve(static_cast<size_t>(std::max(0, options_.num_workers)));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+SqlServer::~SqlServer() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  // Workers are gone; fail whatever is still queued so no client future
+  // dangles (num_workers == 0 servers queue without draining by design).
+  std::deque<Request> leftover;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    leftover.swap(queue_);
+  }
+  for (Request& req : leftover) {
+    req.promise.set_value(Status::Cancelled("server shutting down"));
+  }
+}
+
+Result<SessionPtr> SqlServer::OpenSession(std::string name) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  if (options_.max_sessions > 0 &&
+      sessions_.size() >= options_.max_sessions) {
+    return Status::ResourceExhausted(
+        "session limit of " + std::to_string(options_.max_sessions) +
+        " reached");
+  }
+  int id = next_session_id_++;
+  if (name.empty()) name = "session-" + std::to_string(id);
+  auto session = std::make_shared<Session>(id, std::move(name), &metrics_);
+  sessions_[id] = session;
+  metrics_.SetGauge("server.sessions", static_cast<double>(sessions_.size()));
+  return session;
+}
+
+void SqlServer::CloseSession(const SessionPtr& session) {
+  if (session == nullptr) return;
+  session->Cancel();  // in-flight statements observe it at next check
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  sessions_.erase(session->id());
+  metrics_.SetGauge("server.sessions", static_cast<double>(sessions_.size()));
+}
+
+size_t SqlServer::num_sessions() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return sessions_.size();
+}
+
+std::future<Result<StatementResult>> SqlServer::Enqueue(Request req) {
+  std::future<Result<StatementResult>> future = req.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_) {
+      req.promise.set_value(Status::Cancelled("server shutting down"));
+      return future;
+    }
+    if (options_.max_queue > 0 && queue_.size() >= options_.max_queue) {
+      metrics_.AddCounter("server.admission_rejected", 1);
+      req.promise.set_value(Status::ResourceExhausted(
+          "admission queue full (" + std::to_string(options_.max_queue) +
+          " statements pending)"));
+      return future;
+    }
+    queue_.push_back(std::move(req));
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+std::future<Result<StatementResult>> SqlServer::Submit(SessionPtr session,
+                                                       std::string sql) {
+  Request req;
+  req.session = std::move(session);
+  req.sql = std::move(sql);
+  return Enqueue(std::move(req));
+}
+
+std::future<Result<StatementResult>> SqlServer::SubmitPrepared(
+    SessionPtr session, std::string name, std::vector<Datum> params) {
+  Request req;
+  req.session = std::move(session);
+  req.prepared_name = std::move(name);
+  req.params = std::move(params);
+  return Enqueue(std::move(req));
+}
+
+Result<StatementResult> SqlServer::Execute(const SessionPtr& session,
+                                           const std::string& sql) {
+  if (options_.num_workers == 0) {
+    return RunRequest(session, sql, "", {});
+  }
+  return Submit(session, sql).get();
+}
+
+Result<StatementResult> SqlServer::ExecutePrepared(
+    const SessionPtr& session, const std::string& name,
+    std::vector<Datum> params) {
+  if (options_.num_workers == 0) {
+    return RunRequest(session, "", name, params);
+  }
+  return SubmitPrepared(session, name, std::move(params)).get();
+}
+
+Status SqlServer::Prepare(const SessionPtr& session, const std::string& name,
+                          const std::string& sql) {
+  if (session == nullptr) {
+    return Status::InvalidArgument("null session");
+  }
+  if (name.empty()) {
+    return Status::InvalidArgument("prepared statement needs a name");
+  }
+  int num_params = 0;
+  auto query = ParseSqlTemplate(*catalog_, sql, &num_params);
+  if (!query.ok()) return query.status();
+  PreparedStatement stmt;
+  stmt.sql = sql;
+  stmt.num_params = num_params;
+  session->StorePrepared(name, std::move(stmt));
+  metrics_.AddCounter("server.prepares", 1);
+  return Status::OK();
+}
+
+void SqlServer::WorkerLoop() {
+  while (true) {
+    Request req;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      req = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    req.promise.set_value(
+        RunRequest(req.session, req.sql, req.prepared_name, req.params));
+  }
+}
+
+Result<StatementResult> SqlServer::RunRequest(
+    const SessionPtr& session, const std::string& sql,
+    const std::string& prepared_name, const std::vector<Datum>& params) {
+  if (session == nullptr) {
+    return Status::InvalidArgument("null session");
+  }
+  Result<Query> query = [&]() -> Result<Query> {
+    if (!prepared_name.empty()) {
+      auto stmt = session->FindPrepared(prepared_name);
+      if (!stmt.ok()) return stmt.status();
+      return BindSql(*catalog_, stmt.value().sql, params);
+    }
+    return ParseSql(*catalog_, sql);
+  }();
+  if (!query.ok()) {
+    session->metrics().AddCounter("server.errors", 1);
+    return query.status();
+  }
+  return RunStatement(session, query.value());
+}
+
+Result<StatementResult> SqlServer::RunStatement(const SessionPtr& session,
+                                                const Query& query) {
+  ScopedTimer statement_timer(&session->metrics(), "server.statement_us");
+  CancelToken token = session->BeginStatement();
+
+  // Optimize through the cache (or directly when it's off). The closure
+  // runs outside all cache locks; generations are captured by the cache
+  // before it is invoked.
+  auto optimize = [&]() -> Result<CachedPlan> {
+    ScopedTimer timer(&metrics_, "server.optimize_us");
+    auto optimized = optimizer_.Optimize(query);
+    if (!optimized.ok()) return optimized.status();
+    CachedPlan out;
+    out.plan = optimized.value().best;
+    out.total_cost = optimized.value().total_cost;
+    out.signature = PlanSignature(*out.plan);
+    return out;
+  };
+
+  StatementResult result;
+  PlanCacheKey key;
+  CachedPlanPtr cached;
+  if (options_.cache_enabled) {
+    key = PlanCacheKeyForQuery(query);
+    bool hit = false;
+    auto got = cache_.GetOrOptimize(key, *catalog_, optimize, &hit);
+    if (!got.ok()) {
+      session->metrics().AddCounter("server.errors", 1);
+      session->EndStatement(token);
+      return got.status();
+    }
+    cached = got.value();
+    result.cache_hit = hit;
+  } else {
+    auto fresh = optimize();
+    if (!fresh.ok()) {
+      session->metrics().AddCounter("server.errors", 1);
+      session->EndStatement(token);
+      return fresh.status();
+    }
+    cached = std::make_shared<const CachedPlan>(std::move(fresh).value());
+  }
+  result.plan_signature = cached->signature;
+  result.total_cost = cached->total_cost;
+
+  // Execute under the session's budgets and cancel token. Run-stats are
+  // only collected when the q-error trigger needs them.
+  ExecOptions exec_opts;
+  exec_opts.metrics = &session->metrics();
+  exec_opts.faults = options_.faults;
+  exec_opts.vectorized = session->vectorized;
+  exec_opts.batch_size = session->batch_size;
+  exec_opts.exec_threads = session->exec_threads;
+  exec_opts.exec_deadline_ms = session->exec_deadline_ms;
+  exec_opts.exec_mem_limit = session->exec_mem_limit;
+  exec_opts.cancel = token;
+  exec_opts.workload = options_.workload;
+  if (session->collect_profile) {
+    exec_opts.profile_sink = &session->last_profile();
+  }
+  PlanRunStats run_stats;
+  if (options_.qerror_reoptimize_threshold > 0.0) {
+    exec_opts.stats = &run_stats;
+  }
+  Result<ResultSet> rows = [&] {
+    ScopedTimer timer(&metrics_, "server.execute_us");
+    return ExecutePlan(*db_, query, cached->plan, exec_opts);
+  }();
+  session->EndStatement(token);
+  if (!rows.ok()) {
+    session->metrics().AddCounter("server.errors", 1);
+    return rows.status();
+  }
+  auto projected = ProjectResult(rows.value(), query.select_list());
+  if (!projected.ok()) {
+    session->metrics().AddCounter("server.errors", 1);
+    return projected.status();
+  }
+  result.rows = std::move(projected).value();
+
+  if (options_.qerror_reoptimize_threshold > 0.0) {
+    result.worst_q_error = WorstQError(*cached->plan, run_stats);
+    if (result.worst_q_error > options_.qerror_reoptimize_threshold) {
+      // The plan came from badly wrong estimates; drop it so the next
+      // execution of this shape re-optimizes (parameter-sensitive
+      // statements get a fresh plan, PostgreSQL custom-plan style).
+      if (options_.cache_enabled) cache_.Invalidate(key);
+      metrics_.AddCounter("server.reoptimizations", 1);
+      result.reoptimize_scheduled = true;
+    }
+  }
+
+  session->metrics().AddCounter("server.statements", 1);
+  double elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - started_)
+                       .count();
+  if (elapsed > 0.0) {
+    metrics_.SetGauge("server.qps",
+                      static_cast<double>(metrics_.counter(
+                          "server.statements")) /
+                          elapsed);
+  }
+  return result;
+}
+
+}  // namespace starburst

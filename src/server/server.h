@@ -1,0 +1,183 @@
+#ifndef STARBURST_SERVER_SERVER_H_
+#define STARBURST_SERVER_SERVER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "exec/evaluator.h"
+#include "obs/metrics.h"
+#include "obs/workload.h"
+#include "optimizer/optimizer.h"
+#include "server/plan_cache.h"
+#include "server/session.h"
+#include "storage/table.h"
+
+namespace starburst {
+
+struct ServerOptions {
+  /// Worker threads draining the statement queue. 0 = no workers: Submit()
+  /// only enqueues (deterministic admission tests) and Execute() runs
+  /// inline on the calling thread (the sequential oracle).
+  int num_workers = 4;
+  /// Admission control: pending statements beyond this are rejected with
+  /// kResourceExhausted before touching optimizer or executor state
+  /// (0 = unbounded).
+  size_t max_queue = 0;
+  /// Open sessions beyond this are rejected (0 = unbounded).
+  size_t max_sessions = 0;
+
+  /// Plan cache: off means every statement optimizes from scratch (the
+  /// differential oracle configuration).
+  bool cache_enabled = true;
+  int cache_shards = 8;
+
+  /// Re-optimization trigger: after each execution the worst per-node
+  /// q-error (actual rows per invocation vs estimated cardinality, max over
+  /// executed nodes) is compared against this; exceeding it invalidates the
+  /// statement's cache entry so the NEXT execution re-optimizes against
+  /// current statistics. 0 disables the check (and its EXPLAIN ANALYZE
+  /// overhead), keeping cache-counter tests exactly deterministic.
+  double qerror_reoptimize_threshold = 0.0;
+
+  /// Handed to Optimizer (metrics is overridden to the server registry when
+  /// null). tracer must stay null when num_workers > 1 — Optimize() is
+  /// re-entrant except for tracing.
+  OptimizerOptions optimizer;
+
+  /// Observability/fault hooks threaded into every execution.
+  WorkloadRepository* workload = nullptr;
+  FaultInjector* faults = nullptr;
+};
+
+/// Everything a client learns from one statement.
+struct StatementResult {
+  /// Rows projected to the statement's select list, so the layout is stable
+  /// across plan shapes (differential comparisons rely on this).
+  ResultSet rows;
+  /// PlanSignature() of the executed plan.
+  std::string plan_signature;
+  double total_cost = 0.0;
+  bool cache_hit = false;
+  /// Worst per-node q-error of this execution (0 when the q-error check is
+  /// disabled); `reoptimize_scheduled` reports that it tripped the
+  /// threshold and the cache entry was dropped.
+  double worst_q_error = 0.0;
+  bool reoptimize_scheduled = false;
+};
+
+/// The concurrent query-serving front end (the ROADMAP's "session manager"):
+/// N sessions submit SQL over a bounded queue to a worker pool; each
+/// statement runs parse -> plan-cache lookup / optimize -> execute, sharing
+/// one Optimizer, one Database, and one sharded PlanCache across all
+/// workers.
+///
+/// Shared-state discipline (what makes concurrent serving sound):
+///   - Optimizer::Optimize builds all mutable state per call; rules /
+///     operators / functions are only read. Editing them (a Database
+///     Customizer action) requires quiescing the server and calling
+///     cache().Clear() — cached plans point into the operator registry.
+///   - Database is read-only during serving; Catalog mutations (DDL, stats)
+///     bump generations that invalidate cached plans on next lookup.
+///   - The cache returns shared_ptr-to-const entries, executed without any
+///     cache lock held.
+///
+/// Global metrics (server.*): statements, errors, cache_{hits,misses,
+/// invalidations,races}, reoptimizations, qps gauge, statement/optimize/
+/// execute latency histograms. Per-session registries parent-chain here.
+class SqlServer {
+ public:
+  SqlServer(const Catalog* catalog, const Database* db, RuleSet rules,
+            ServerOptions options = ServerOptions{});
+  /// Stops workers, then fails every undrained queued statement with
+  /// kCancelled so no client future is left dangling.
+  ~SqlServer();
+
+  SqlServer(const SqlServer&) = delete;
+  SqlServer& operator=(const SqlServer&) = delete;
+
+  /// Opens a client session (admission-controlled by max_sessions).
+  Result<SessionPtr> OpenSession(std::string name = "");
+  void CloseSession(const SessionPtr& session);
+  size_t num_sessions() const;
+
+  /// Asynchronous submission: enqueues for the worker pool and returns the
+  /// future. Admission rejection (queue full, server stopping) resolves the
+  /// future immediately with kResourceExhausted / kCancelled.
+  std::future<Result<StatementResult>> Submit(SessionPtr session,
+                                              std::string sql);
+  /// Synchronous convenience: inline on the calling thread when
+  /// num_workers == 0, otherwise Submit().get().
+  Result<StatementResult> Execute(const SessionPtr& session,
+                                  const std::string& sql);
+
+  /// PREPARE name AS sql — validates the template (counting '?' markers)
+  /// and stores it in the session's namespace.
+  Status Prepare(const SessionPtr& session, const std::string& name,
+                 const std::string& sql);
+  /// EXECUTE name (params...) — binds and runs through the same queue.
+  std::future<Result<StatementResult>> SubmitPrepared(
+      SessionPtr session, std::string name, std::vector<Datum> params);
+  Result<StatementResult> ExecutePrepared(const SessionPtr& session,
+                                          const std::string& name,
+                                          std::vector<Datum> params);
+
+  PlanCache& cache() { return cache_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  Optimizer& optimizer() { return optimizer_; }
+  const ServerOptions& options() const { return options_; }
+  const Catalog& catalog() const { return *catalog_; }
+
+ private:
+  struct Request {
+    SessionPtr session;
+    std::string sql;            ///< direct statement text, or
+    std::string prepared_name;  ///< prepared name (non-empty wins)
+    std::vector<Datum> params;
+    std::promise<Result<StatementResult>> promise;
+  };
+
+  void WorkerLoop();
+  Result<StatementResult> RunRequest(const SessionPtr& session,
+                                     const std::string& sql,
+                                     const std::string& prepared_name,
+                                     const std::vector<Datum>& params);
+  Result<StatementResult> RunStatement(const SessionPtr& session,
+                                       const Query& query);
+  std::future<Result<StatementResult>> Enqueue(Request req);
+
+  const Catalog* catalog_;
+  const Database* db_;
+  ServerOptions options_;
+  MetricsRegistry metrics_;
+  Optimizer optimizer_;
+  PlanCache cache_;
+  std::chrono::steady_clock::time_point started_;
+
+  mutable std::mutex sessions_mu_;
+  std::map<int, SessionPtr> sessions_;
+  int next_session_id_ = 1;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// The ISSUE/ROADMAP name for this layer.
+using SessionManager = SqlServer;
+
+}  // namespace starburst
+
+#endif  // STARBURST_SERVER_SERVER_H_

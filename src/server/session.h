@@ -1,0 +1,140 @@
+#ifndef STARBURST_SERVER_SESSION_H_
+#define STARBURST_SERVER_SESSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/governor.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+
+namespace starburst {
+
+/// A named statement template with '?' parameter markers, validated at
+/// Prepare time (PostgreSQL PREPARE shape). The text is re-parsed with the
+/// bound parameters at execute time — binding happens in the expression
+/// tree, never by textual substitution, so parameter values cannot change
+/// the statement shape.
+struct PreparedStatement {
+  std::string sql;
+  int num_params = 0;
+};
+
+/// One client connection's state: identity, per-session metrics (parented
+/// to the server's global registry), per-session execution budgets, the
+/// prepared-statement namespace, and cancellation plumbing.
+///
+/// A session runs ONE statement at a time (the server serializes per-session
+/// work only in the sense that clients submit sequentially; nothing enforces
+/// it). The per-statement profile and run-stats sinks assume that contract —
+/// interleaving two statements on one session leaves `last_profile`
+/// reflecting whichever finished last.
+class Session {
+ public:
+  Session(int id, std::string name, MetricsRegistry* global_metrics)
+      : id_(id), name_(std::move(name)) {
+    metrics_.set_parent(global_metrics);
+  }
+
+  int id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  /// Per-session view; every counter/latency recorded here also lands in
+  /// the server's global registry via the parent chain.
+  MetricsRegistry& metrics() { return metrics_; }
+
+  /// Per-session execution budgets, applied to every statement this session
+  /// runs. Semantics follow ExecOptions: 0 inherits the environment
+  /// (STARBURST_EXEC_*), negative forces the knob off.
+  int64_t exec_deadline_ms = 0;
+  int64_t exec_mem_limit = 0;
+  /// Engine knobs: -1/0 inherit, else override.
+  int vectorized = -1;
+  int batch_size = 0;
+  int exec_threads = 0;
+  /// Collect an execution profile into last_profile() for each statement
+  /// (needed by cancellation-residue checks; off by default).
+  bool collect_profile = false;
+
+  /// Cancels the in-flight statement if any, and latches so the NEXT
+  /// statement this session submits starts pre-cancelled. The latch makes
+  /// cancellation deterministic for tests: with no statement in flight the
+  /// cancel is not lost, it fires at the next statement's first governor
+  /// check.
+  void Cancel() {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_cancel_ = true;
+    for (const CancelToken& t : active_) {
+      t->store(true, std::memory_order_release);
+    }
+  }
+
+  /// Statement lifecycle, called by the server around each run. The token
+  /// is fresh per statement; a pending Cancel() is consumed into it.
+  CancelToken BeginStatement() {
+    auto token = std::make_shared<std::atomic<bool>>(false);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pending_cancel_) {
+      pending_cancel_ = false;
+      token->store(true, std::memory_order_release);
+    }
+    active_.push_back(token);
+    return token;
+  }
+  void EndStatement(const CancelToken& token) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = active_.begin(); it != active_.end(); ++it) {
+      if (*it == token) {
+        active_.erase(it);
+        return;
+      }
+    }
+  }
+
+  /// Prepared-statement namespace (session-scoped, like PostgreSQL's).
+  void StorePrepared(const std::string& name, PreparedStatement stmt) {
+    std::lock_guard<std::mutex> lock(mu_);
+    prepared_[name] = std::move(stmt);
+  }
+  Result<PreparedStatement> FindPrepared(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = prepared_.find(name);
+    if (it == prepared_.end()) {
+      return Status::NotFound("no prepared statement named '" + name + "'");
+    }
+    return it->second;
+  }
+  void Deallocate(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    prepared_.erase(name);
+  }
+
+  /// Profile of the most recent statement when collect_profile is set; the
+  /// executor clears and refills it per run. After a cancelled or failed
+  /// statement its MemoryTracker must read zero current bytes — the
+  /// cancellation-residue tests assert exactly that.
+  ExecProfile& last_profile() { return profile_; }
+
+ private:
+  const int id_;
+  const std::string name_;
+  MetricsRegistry metrics_;
+  ExecProfile profile_;
+
+  mutable std::mutex mu_;
+  bool pending_cancel_ = false;
+  std::vector<CancelToken> active_;
+  std::map<std::string, PreparedStatement> prepared_;
+};
+
+using SessionPtr = std::shared_ptr<Session>;
+
+}  // namespace starburst
+
+#endif  // STARBURST_SERVER_SESSION_H_

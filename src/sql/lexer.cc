@@ -92,7 +92,7 @@ Result<std::vector<Token>> Tokenize(const std::string& input) {
         }
       }
       if (!matched) {
-        if (std::string("=<>+-*/(),.").find(c) == std::string::npos) {
+        if (std::string("=<>+-*/(),.?").find(c) == std::string::npos) {
           return Status::ParseError(std::string("unexpected character '") + c +
                                     "' at offset " + std::to_string(i));
         }

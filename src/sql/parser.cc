@@ -16,8 +16,21 @@ using sql::TokenKind;
 /// FROM before SELECT columns are resolved (select text is buffered).
 class Parser {
  public:
+  /// How '?' parameter markers are handled (prepared statements):
+  ///   kReject   — plain ParseSql: markers are a parse error.
+  ///   kTemplate — markers become NULL literals and are counted.
+  ///   kBind     — the i-th marker becomes Literal(params[i]).
+  enum class ParamMode { kReject, kTemplate, kBind };
+
   Parser(const Catalog& catalog, std::vector<Token> tokens)
       : catalog_(catalog), tokens_(std::move(tokens)), query_(&catalog) {}
+
+  void set_template_mode() { param_mode_ = ParamMode::kTemplate; }
+  void set_bind_params(const std::vector<Datum>* params) {
+    param_mode_ = ParamMode::kBind;
+    params_ = params;
+  }
+  int num_params() const { return num_params_; }
 
   Result<Query> Parse() {
     STARBURST_RETURN_NOT_OK(Expect(TokenKind::kKeyword, "SELECT"));
@@ -222,6 +235,24 @@ class Parser {
         return Expr::Column(ref.value());
       }
       case TokenKind::kSymbol:
+        if (t.text == "?") {
+          if (param_mode_ == ParamMode::kReject) {
+            return Status::ParseError(
+                "parameter marker '?' outside a prepared statement at offset " +
+                std::to_string(t.position));
+          }
+          Next();
+          int ordinal = num_params_++;
+          if (param_mode_ == ParamMode::kTemplate) {
+            return Expr::Literal(Datum::NullValue());
+          }
+          if (ordinal >= static_cast<int>(params_->size())) {
+            return Status::InvalidArgument(
+                "statement has more '?' markers than the " +
+                std::to_string(params_->size()) + " bound parameter(s)");
+          }
+          return Expr::Literal((*params_)[static_cast<size_t>(ordinal)]);
+        }
         if (t.text == "(") {
           Next();
           auto inner = ParseExpr();
@@ -281,6 +312,9 @@ class Parser {
   size_t pos_ = 0;
   int depth_ = 0;
   Query query_;
+  ParamMode param_mode_ = ParamMode::kReject;
+  const std::vector<Datum>* params_ = nullptr;
+  int num_params_ = 0;
 };
 
 }  // namespace
@@ -290,6 +324,35 @@ Result<Query> ParseSql(const Catalog& catalog, const std::string& text) {
   if (!tokens.ok()) return tokens.status();
   Parser parser(catalog, std::move(tokens).value());
   return parser.Parse();
+}
+
+Result<Query> ParseSqlTemplate(const Catalog& catalog, const std::string& text,
+                               int* num_params) {
+  auto tokens = sql::Tokenize(text);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(catalog, std::move(tokens).value());
+  parser.set_template_mode();
+  auto query = parser.Parse();
+  if (!query.ok()) return query;
+  if (num_params != nullptr) *num_params = parser.num_params();
+  return query;
+}
+
+Result<Query> BindSql(const Catalog& catalog, const std::string& text,
+                      const std::vector<Datum>& params) {
+  auto tokens = sql::Tokenize(text);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(catalog, std::move(tokens).value());
+  parser.set_bind_params(&params);
+  auto query = parser.Parse();
+  if (!query.ok()) return query;
+  if (parser.num_params() != static_cast<int>(params.size())) {
+    return Status::InvalidArgument(
+        "statement has " + std::to_string(parser.num_params()) +
+        " '?' marker(s) but " + std::to_string(params.size()) +
+        " parameter(s) were bound");
+  }
+  return query;
 }
 
 }  // namespace starburst

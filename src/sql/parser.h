@@ -2,9 +2,11 @@
 #define STARBURST_SQL_PARSER_H_
 
 #include <string>
+#include <vector>
 
 #include "catalog/catalog.h"
 #include "common/status.h"
+#include "common/value.h"
 #include "query/query.h"
 
 namespace starburst {
@@ -25,8 +27,25 @@ namespace starburst {
 ///   column    := [alias '.'] name
 ///
 /// `AT SITE` is an extension expressing the R* requirement that results be
-/// delivered to a particular site (the query site by default).
+/// delivered to a particular site (the query site by default). Parameter
+/// markers ('?') are rejected here; use the prepared-statement entry points
+/// below.
 Result<Query> ParseSql(const Catalog& catalog, const std::string& text);
+
+/// Parses a statement template containing '?' parameter markers (factor
+/// position only, per the grammar above). Each marker becomes a NULL literal
+/// in the returned Query — good enough to validate the statement shape and
+/// normalize it for plan-cache keying — and `*num_params` (if non-null)
+/// receives the marker count. A template with zero markers is legal.
+Result<Query> ParseSqlTemplate(const Catalog& catalog, const std::string& text,
+                               int* num_params);
+
+/// Parses `text` binding the i-th '?' marker to `params[i]` at parse time.
+/// Binding happens in the expression tree, never by textual substitution, so
+/// a parameter value can never change the statement shape (no SQL-injection
+/// style aliasing). Fails unless exactly params.size() markers are present.
+Result<Query> BindSql(const Catalog& catalog, const std::string& text,
+                      const std::vector<Datum>& params);
 
 }  // namespace starburst
 

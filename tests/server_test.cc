@@ -1,0 +1,888 @@
+// The differential concurrency suite for the query-serving front end
+// (src/server/): any interleaving of K sessions x M statements must yield
+// results and plan signatures bit-identical to running the same statements
+// sequentially with the plan cache off. Around that core: deterministic
+// cache hit/miss/invalidation counters, single-flight under an 8-thread
+// hammer, cancellation/deadline residue checks, a fault sweep over every
+// registered site through the server path, normalization/digest properties
+// of the cache key, generation-based invalidation, prepared statements, and
+// admission control.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "catalog/synthetic.h"
+#include "common/fault_injector.h"
+#include "exec/evaluator.h"
+#include "exec/spill_file.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "optimizer/optimizer.h"
+#include "plan/explain.h"
+#include "server/plan_cache.h"
+#include "server/server.h"
+#include "server/session.h"
+#include "sql/parser.h"
+#include "star/default_rules.h"
+#include "storage/datagen.h"
+
+namespace starburst {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared fixture: the paper schema populated deterministically, plus server
+// factories. Optimizer budgets are pinned off (as in parallel_test.cc) so
+// the differential assertions can't trip on timing-dependent degradation;
+// everything else inherits the environment, which is exactly what the CI
+// legs vary (STARBURST_EXEC_THREADS, STARBURST_VECTORIZED, ...).
+// ---------------------------------------------------------------------------
+
+class ServerTest : public ::testing::Test {
+ protected:
+  ServerTest() : catalog_(MakePaperCatalog()), db_(catalog_) {
+    Status st = PopulatePaperDatabase(&db_, /*seed=*/7, /*scale=*/0.05);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+
+  ServerOptions Pinned(ServerOptions opts) {
+    opts.optimizer.deadline_ms = 0;
+    opts.optimizer.max_plans = 0;
+    opts.optimizer.max_plan_table_bytes = 0;
+    return opts;
+  }
+
+  std::unique_ptr<SqlServer> MakeServer(ServerOptions opts) {
+    return std::make_unique<SqlServer>(&catalog_, &db_, DefaultRuleSet(),
+                                       Pinned(opts));
+  }
+
+  /// The sequential cache-off oracle configuration.
+  std::unique_ptr<SqlServer> MakeOracle() {
+    ServerOptions opts;
+    opts.num_workers = 0;
+    opts.cache_enabled = false;
+    return MakeServer(opts);
+  }
+
+  Catalog catalog_;
+  Database db_;
+};
+
+/// Exact bitwise comparison: same schema, same rows, same order.
+void ExpectSameRows(const ResultSet& a, const ResultSet& b,
+                    const std::string& label) {
+  ASSERT_EQ(a.schema, b.schema) << label;
+  ASSERT_EQ(a.rows.size(), b.rows.size()) << label;
+  for (size_t i = 0; i < a.rows.size(); ++i) {
+    ASSERT_EQ(a.rows[i].size(), b.rows[i].size()) << label << " row " << i;
+    for (size_t j = 0; j < a.rows[i].size(); ++j) {
+      EXPECT_EQ(a.rows[i][j].Compare(b.rows[i][j]), 0)
+          << label << " row " << i << " col " << j;
+    }
+  }
+}
+
+/// The differential workload: literal-varied equality statements (which
+/// share cache entries — equality selectivity is literal-insensitive, so the
+/// cached plan is exactly the plan a fresh optimization would pick) plus
+/// fixed multi-table and ORDER BY statements.
+std::vector<std::string> Workload(int session, int statements) {
+  const std::string base[] = {
+      "SELECT EMP.NAME, EMP.ADDRESS FROM DEPT, EMP "
+      "WHERE DEPT.MGR = 'Haas' AND DEPT.DNO = EMP.DNO",
+      "SELECT EMP.NAME FROM EMP WHERE EMP.DNO = $P",
+      "SELECT DEPT.DNAME, DEPT.BUDGET FROM DEPT WHERE DEPT.DNO = $P",
+      "SELECT EMP.NAME, EMP.SALARY FROM EMP "
+      "WHERE EMP.SALARY >= 100000 ORDER BY EMP.SALARY",
+      "SELECT EMP.NAME FROM DEPT, EMP "
+      "WHERE DEPT.DNO = EMP.DNO AND DEPT.BUDGET >= 500",
+      "SELECT EMP.ENO, EMP.NAME FROM EMP WHERE EMP.ENO = $P",
+  };
+  std::vector<std::string> out;
+  out.reserve(static_cast<size_t>(statements));
+  for (int i = 0; i < statements; ++i) {
+    std::string sql = base[static_cast<size_t>(i) % std::size(base)];
+    size_t p = sql.find("$P");
+    if (p != std::string::npos) {
+      // Different literal per (session, iteration): same cache entry, and
+      // the oracle must agree on every one of them.
+      sql.replace(p, 2, std::to_string((session * 7 + i) % 20));
+    }
+    out.push_back(sql);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Differential harness: K in {1,4,8} sessions x M statements, concurrent
+// cache-on runs vs the sequential cache-off oracle, bit-identical.
+// ---------------------------------------------------------------------------
+
+struct Observed {
+  std::string signature;
+  ResultSet rows;
+};
+
+TEST_F(ServerTest, DifferentialInterleavingsMatchSequentialOracle) {
+  constexpr int kStatements = 12;
+  for (int k : {1, 4, 8}) {
+    // Oracle first: one session, every statement in order, no cache, no
+    // worker threads.
+    std::vector<std::vector<Observed>> oracle(static_cast<size_t>(k));
+    {
+      auto server = MakeOracle();
+      SessionPtr session = server->OpenSession().ValueOrDie();
+      for (int s = 0; s < k; ++s) {
+        for (const std::string& sql : Workload(s, kStatements)) {
+          auto result = server->Execute(session, sql);
+          ASSERT_TRUE(result.ok()) << sql << ": "
+                                   << result.status().ToString();
+          oracle[static_cast<size_t>(s)].push_back(
+              {result.value().plan_signature,
+               std::move(result.value().rows)});
+        }
+      }
+      EXPECT_EQ(server->metrics().counter("server.cache_hits"), 0);
+    }
+    // Concurrent run: K client threads, each with its own session,
+    // submitting its statements in order through the worker pool. The
+    // interleaving across sessions is whatever the scheduler produces.
+    ServerOptions opts;
+    opts.num_workers = k;
+    opts.cache_enabled = true;
+    auto server = MakeServer(opts);
+    std::vector<std::vector<Observed>> got(static_cast<size_t>(k));
+    std::vector<std::thread> clients;
+    clients.reserve(static_cast<size_t>(k));
+    for (int s = 0; s < k; ++s) {
+      clients.emplace_back([&, s] {
+        SessionPtr session = server->OpenSession().ValueOrDie();
+        for (const std::string& sql : Workload(s, kStatements)) {
+          auto result = server->Submit(session, sql).get();
+          ASSERT_TRUE(result.ok()) << sql << ": "
+                                   << result.status().ToString();
+          got[static_cast<size_t>(s)].push_back(
+              {result.value().plan_signature,
+               std::move(result.value().rows)});
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    for (int s = 0; s < k; ++s) {
+      ASSERT_EQ(got[static_cast<size_t>(s)].size(),
+                oracle[static_cast<size_t>(s)].size());
+      for (size_t i = 0; i < got[static_cast<size_t>(s)].size(); ++i) {
+        std::string label = "k=" + std::to_string(k) + " session " +
+                            std::to_string(s) + " stmt " + std::to_string(i);
+        EXPECT_EQ(got[static_cast<size_t>(s)][i].signature,
+                  oracle[static_cast<size_t>(s)][i].signature)
+            << label;
+        ExpectSameRows(got[static_cast<size_t>(s)][i].rows,
+                       oracle[static_cast<size_t>(s)][i].rows, label);
+      }
+    }
+    // The cache worked: with literal folding, far fewer optimizations than
+    // statements.
+    int64_t runs = server->metrics().counter("optimizer.runs");
+    EXPECT_GE(runs, 1);
+    EXPECT_LE(runs, static_cast<int64_t>(6 * k));  // <= distinct shapes
+    EXPECT_EQ(server->metrics().counter("server.statements"),
+              static_cast<int64_t>(k) * kStatements);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic cache-counter schedule (single-threaded, inline).
+// ---------------------------------------------------------------------------
+
+TEST_F(ServerTest, CacheCountersOnDeterministicSchedule) {
+  ServerOptions opts;
+  opts.num_workers = 0;
+  auto server = MakeServer(opts);
+  SessionPtr session = server->OpenSession().ValueOrDie();
+  const std::string a1 = "SELECT EMP.NAME FROM EMP WHERE EMP.DNO = 3";
+  const std::string a2 = "SELECT EMP.NAME FROM EMP WHERE EMP.DNO = 11";
+  const std::string b =
+      "SELECT DEPT.DNAME, DEPT.BUDGET FROM DEPT WHERE DEPT.DNO = 1";
+  // Schedule: A(miss) A'(hit: different literal) B(miss) A(hit) B(hit).
+  std::string sig_a;
+  for (const std::string* sql : {&a1, &a2, &b, &a1, &b}) {
+    auto result = server->Execute(session, *sql);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    if (sql == &a1 && sig_a.empty()) sig_a = result.value().plan_signature;
+    if (sql == &a1 || sql == &a2) {
+      EXPECT_EQ(result.value().plan_signature, sig_a);
+    }
+  }
+  const MetricsRegistry& m = server->metrics();
+  EXPECT_EQ(m.counter("server.cache_misses"), 2);
+  EXPECT_EQ(m.counter("server.cache_hits"), 3);
+  EXPECT_EQ(m.counter("server.cache_invalidations"), 0);
+  EXPECT_EQ(m.counter("server.cache_races"), 0);
+  EXPECT_EQ(m.counter("optimizer.runs"), 2);
+  EXPECT_EQ(m.counter("server.statements"), 5);
+  EXPECT_EQ(server->cache().size(), 2u);
+  // Cache off: every statement optimizes.
+  ServerOptions off;
+  off.num_workers = 0;
+  off.cache_enabled = false;
+  auto uncached = MakeServer(off);
+  SessionPtr s2 = uncached->OpenSession().ValueOrDie();
+  for (const std::string* sql : {&a1, &a2, &b, &a1, &b}) {
+    ASSERT_TRUE(uncached->Execute(s2, *sql).ok());
+  }
+  EXPECT_EQ(uncached->metrics().counter("optimizer.runs"), 5);
+  EXPECT_EQ(uncached->metrics().counter("server.cache_hits"), 0);
+  EXPECT_EQ(uncached->metrics().counter("server.cache_misses"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency soak: single-flight hammer, deterministic at the cache layer
+// and end-to-end through the server.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServerTest, PlanCacheSingleFlightHammerIsDeterministic) {
+  MetricsRegistry metrics;
+  PlanCache cache(/*num_shards=*/4, &metrics);
+  PlanCacheKey key{"digest", "structure"};
+  std::atomic<int> optimize_calls{0};
+  // The optimize function holds the flight open until every other thread
+  // has registered as a racer, making the hammer schedule deterministic:
+  // 1 miss, 7 races, then 7 hits as the waiters drain.
+  auto optimize = [&]() -> Result<CachedPlan> {
+    optimize_calls.fetch_add(1);
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::seconds(30);
+    while (metrics.counter("server.cache_races") < 7 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    CachedPlan plan;
+    plan.total_cost = 1.0;
+    plan.signature = "sig";
+    return plan;
+  };
+  std::vector<std::thread> threads;
+  std::vector<std::string> signatures(8);
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&, i] {
+      auto got = cache.GetOrOptimize(key, catalog_, optimize);
+      ASSERT_TRUE(got.ok());
+      signatures[static_cast<size_t>(i)] = got.value()->signature;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(optimize_calls.load(), 1);
+  EXPECT_EQ(metrics.counter("server.cache_misses"), 1);
+  EXPECT_EQ(metrics.counter("server.cache_races"), 7);
+  EXPECT_EQ(metrics.counter("server.cache_hits"), 7);
+  for (const std::string& sig : signatures) EXPECT_EQ(sig, "sig");
+}
+
+TEST_F(ServerTest, PlanCacheFailedFlightIsTakenOverNotWedged) {
+  MetricsRegistry metrics;
+  PlanCache cache(/*num_shards=*/2, &metrics);
+  PlanCacheKey key{"d", "s"};
+  std::atomic<int> calls{0};
+  auto flaky = [&]() -> Result<CachedPlan> {
+    if (calls.fetch_add(1) == 0) {
+      return Status::Internal("injected fault at engine.expand");
+    }
+    CachedPlan plan;
+    plan.signature = "recovered";
+    return plan;
+  };
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  std::atomic<int> successes{0};
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&] {
+      auto got = cache.GetOrOptimize(key, catalog_, flaky);
+      if (got.ok()) {
+        successes.fetch_add(1);
+        EXPECT_EQ(got.value()->signature, "recovered");
+      } else {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // Exactly one caller saw the injected failure; everyone else either raced
+  // behind it and took over, or hit the recovered entry. No hangs.
+  EXPECT_EQ(failures.load(), 1);
+  EXPECT_EQ(successes.load(), 7);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST_F(ServerTest, ServerHammerSameDigestOptimizesExactlyOnce) {
+  ServerOptions opts;
+  opts.num_workers = 8;
+  auto server = MakeServer(opts);
+  const std::string sql =
+      "SELECT EMP.NAME, EMP.ADDRESS FROM DEPT, EMP "
+      "WHERE DEPT.MGR = 'Haas' AND DEPT.DNO = EMP.DNO";
+  std::vector<std::thread> clients;
+  std::vector<Observed> results(8);
+  for (int i = 0; i < 8; ++i) {
+    clients.emplace_back([&, i] {
+      SessionPtr session = server->OpenSession().ValueOrDie();
+      auto result = server->Submit(session, sql).get();
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      results[static_cast<size_t>(i)] = {result.value().plan_signature,
+                                         std::move(result.value().rows)};
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const MetricsRegistry& m = server->metrics();
+  // Single-flight: one optimization ever, no matter the interleaving. The
+  // other seven either raced behind the flight or arrived after it landed;
+  // both paths count as hits.
+  EXPECT_EQ(m.counter("optimizer.runs"), 1);
+  EXPECT_EQ(m.counter("server.cache_misses"), 1);
+  EXPECT_EQ(m.counter("server.cache_hits"), 7);
+  EXPECT_GE(m.counter("server.cache_races"), 0);
+  for (int i = 1; i < 8; ++i) {
+    EXPECT_EQ(results[static_cast<size_t>(i)].signature,
+              results[0].signature);
+    ExpectSameRows(results[static_cast<size_t>(i)].rows, results[0].rows,
+                   "hammer client " + std::to_string(i));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation and deadlines through the server path: deterministic
+// pre-cancellation via the session latch, and zero residue either way.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServerTest, PreCancelledStatementTripsAndLeavesNoResidue) {
+  ServerOptions opts;
+  opts.num_workers = 0;
+  auto server = MakeServer(opts);
+  SessionPtr session = server->OpenSession().ValueOrDie();
+  session->collect_profile = true;
+  session->exec_mem_limit = 1;  // force spilling so cleanup paths run
+  // Cancel with nothing in flight: the latch makes the NEXT statement start
+  // pre-cancelled — fully deterministic, no sleeps.
+  session->Cancel();
+  auto result = server->Execute(
+      session,
+      "SELECT EMP.NAME, EMP.SALARY FROM EMP "
+      "WHERE EMP.SALARY >= 0 ORDER BY EMP.SALARY");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled)
+      << result.status().ToString();
+  EXPECT_EQ(session->last_profile().memory().current_bytes(), 0);
+  EXPECT_EQ(SpillFile::LiveFiles(), 0);
+  // The latch was consumed: the same statement now succeeds.
+  auto retry = server->Execute(
+      session,
+      "SELECT EMP.NAME, EMP.SALARY FROM EMP "
+      "WHERE EMP.SALARY >= 0 ORDER BY EMP.SALARY");
+  EXPECT_TRUE(retry.ok()) << retry.status().ToString();
+  EXPECT_EQ(session->last_profile().memory().current_bytes(), 0);
+  EXPECT_EQ(SpillFile::LiveFiles(), 0);
+}
+
+TEST_F(ServerTest, MidFlightCancellationLeavesNoResidue) {
+  ServerOptions opts;
+  opts.num_workers = 1;
+  auto server = MakeServer(opts);
+  SessionPtr session = server->OpenSession().ValueOrDie();
+  session->collect_profile = true;
+  session->exec_mem_limit = 1;
+  // A large self-join: long enough that a concurrent cancel usually lands
+  // mid-execution. Whether it lands in time is scheduling-dependent; the
+  // invariants (status code, zero residue) hold either way.
+  auto future = server->Submit(
+      session,
+      "SELECT E1.NAME FROM EMP E1, EMP E2 WHERE E1.SALARY >= E2.SALARY");
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  session->Cancel();
+  auto result = future.get();
+  if (!result.ok()) {
+    EXPECT_EQ(result.status().code(), StatusCode::kCancelled)
+        << result.status().ToString();
+  }
+  EXPECT_EQ(session->last_profile().memory().current_bytes(), 0);
+  EXPECT_EQ(SpillFile::LiveFiles(), 0);
+  // Consume the latch if the statement finished before the cancel landed,
+  // then prove the session still serves.
+  (void)server->Execute(session, "SELECT DEPT.DNAME FROM DEPT");
+  auto after = server->Execute(session, "SELECT DEPT.DNAME FROM DEPT");
+  EXPECT_TRUE(after.ok()) << after.status().ToString();
+}
+
+TEST_F(ServerTest, SessionDeadlineTripsAsResourceExhausted) {
+  ServerOptions opts;
+  opts.num_workers = 0;
+  auto server = MakeServer(opts);
+  SessionPtr session = server->OpenSession().ValueOrDie();
+  session->collect_profile = true;
+  session->exec_deadline_ms = 1;
+  // ~1000x1000 comparison pairs: reliably past 1ms on any hardware.
+  auto result = server->Execute(
+      session,
+      "SELECT E1.NAME FROM EMP E1, EMP E2 WHERE E1.SALARY >= E2.SALARY");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted)
+      << result.status().ToString();
+  EXPECT_EQ(session->last_profile().memory().current_bytes(), 0);
+  EXPECT_EQ(SpillFile::LiveFiles(), 0);
+  // Budgets are per-session: an unbudgeted session runs the same statement.
+  SessionPtr other = server->OpenSession().ValueOrDie();
+  auto fine = server->Execute(
+      other, "SELECT E1.NAME FROM EMP E1, EMP E2 WHERE E1.ENO = E2.ENO");
+  EXPECT_TRUE(fine.ok()) << fine.status().ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Fault sweep: every registered site, injected on its first hit, through
+// the full server path. A failure must be clean (no crash, no wedged cache,
+// no leaked temps) and the next attempt must succeed and match the oracle.
+// ---------------------------------------------------------------------------
+
+class GlobalFaultGuard {
+ public:
+  ~GlobalFaultGuard() { (void)FaultInjector::Global()->Configure("off"); }
+};
+
+TEST_F(ServerTest, FaultSweepAllSitesThroughServerPath) {
+  GlobalFaultGuard guard;
+  // Oracle rows for the statement the sweep runs, from a clean server.
+  const std::string sql =
+      "SELECT EMP.NAME, EMP.SALARY FROM DEPT, EMP "
+      "WHERE DEPT.MGR = 'Haas' AND DEPT.DNO = EMP.DNO "
+      "ORDER BY EMP.SALARY";
+  ResultSet expected;
+  {
+    auto clean = MakeOracle();
+    SessionPtr session = clean->OpenSession().ValueOrDie();
+    auto result = clean->Execute(session, sql);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    expected = std::move(result.value().rows);
+  }
+  for (const std::string& site : KnownFaultSites()) {
+    ASSERT_TRUE(FaultInjector::Global()->Configure(site + "=1").ok()) << site;
+    ServerOptions opts;
+    opts.num_workers = 0;
+    opts.faults = FaultInjector::Global();
+    auto server = MakeServer(opts);
+    SessionPtr session = server->OpenSession().ValueOrDie();
+    session->collect_profile = true;
+    session->exec_mem_limit = 1;  // spill on every blocking op: reaches the
+                                  // exec.spill.* sites
+    auto first = server->Execute(session, sql);
+    if (!first.ok()) {
+      EXPECT_EQ(first.status().code(), StatusCode::kInternal) << site;
+      EXPECT_NE(first.status().ToString().find("injected fault"),
+                std::string::npos)
+          << site << ": " << first.status().ToString();
+    }
+    // Clean failure: no residue, and the single-flight marker was released
+    // so the retry re-optimizes instead of hanging.
+    EXPECT_EQ(session->last_profile().memory().current_bytes(), 0) << site;
+    EXPECT_EQ(SpillFile::LiveFiles(), 0) << site;
+    auto second = server->Execute(session, sql);
+    ASSERT_TRUE(second.ok())
+        << site << ": " << second.status().ToString();
+    ExpectSameRows(second.value().rows, expected, "after fault at " + site);
+    ASSERT_TRUE(FaultInjector::Global()->Configure("off").ok());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Normalization / digest / key properties.
+// ---------------------------------------------------------------------------
+
+class PlanCacheKeyTest : public ::testing::Test {
+ protected:
+  PlanCacheKeyTest() : catalog_(MakePaperCatalog()) {}
+
+  PlanCacheKey KeyOf(const std::string& sql) {
+    auto query = ParseSql(catalog_, sql);
+    EXPECT_TRUE(query.ok()) << sql << ": " << query.status().ToString();
+    return PlanCacheKeyForQuery(query.value());
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(PlanCacheKeyTest, LiteralDifferingStatementsFoldToOneEntry) {
+  EXPECT_EQ(KeyOf("SELECT EMP.NAME FROM EMP WHERE EMP.DNO = 3"),
+            KeyOf("SELECT EMP.NAME FROM EMP WHERE EMP.DNO = 17"));
+  EXPECT_EQ(KeyOf("SELECT EMP.NAME FROM EMP WHERE EMP.SALARY >= 100000"),
+            KeyOf("SELECT EMP.NAME FROM EMP WHERE EMP.SALARY >= 1"));
+  EXPECT_EQ(KeyOf("SELECT DEPT.DNAME FROM DEPT WHERE DEPT.MGR = 'Haas'"),
+            KeyOf("SELECT DEPT.DNAME FROM DEPT WHERE DEPT.MGR = 'Smith'"));
+}
+
+TEST_F(PlanCacheKeyTest, AliasRenamingIsKeyInvariant) {
+  EXPECT_EQ(KeyOf("SELECT E.NAME FROM EMP E WHERE E.DNO = 3"),
+            KeyOf("SELECT X.NAME FROM EMP X WHERE X.DNO = 3"));
+  EXPECT_EQ(KeyOf("SELECT EMP.NAME FROM EMP WHERE EMP.DNO = 3"),
+            KeyOf("SELECT E.NAME FROM EMP AS E WHERE E.DNO = 3"));
+}
+
+TEST_F(PlanCacheKeyTest, SymmetricPredicateSideOrderIsKeyInvariant) {
+  PlanCacheKey ab = KeyOf(
+      "SELECT EMP.NAME FROM DEPT, EMP WHERE DEPT.DNO = EMP.DNO");
+  PlanCacheKey ba = KeyOf(
+      "SELECT EMP.NAME FROM DEPT, EMP WHERE EMP.DNO = DEPT.DNO");
+  EXPECT_EQ(ab.digest, ba.digest);
+  EXPECT_EQ(ab.structure, ba.structure);
+  // <> is symmetric too...
+  EXPECT_EQ(KeyOf("SELECT EMP.NAME FROM DEPT, EMP WHERE DEPT.DNO <> EMP.DNO"),
+            KeyOf("SELECT EMP.NAME FROM DEPT, EMP WHERE EMP.DNO <> DEPT.DNO"));
+  // ...but < is not: the mirrored statement is a different comparison.
+  EXPECT_NE(
+      KeyOf("SELECT EMP.NAME FROM DEPT, EMP WHERE DEPT.DNO < EMP.DNO")
+          .structure,
+      KeyOf("SELECT EMP.NAME FROM DEPT, EMP WHERE EMP.DNO < DEPT.DNO")
+          .structure);
+}
+
+TEST_F(PlanCacheKeyTest, DistinctShapesNeverCollide) {
+  // A no-collision sweep in the spirit of memo_test.cc: every structurally
+  // distinct statement must key differently, including the near-miss pairs
+  // a sloppy normalizer would alias.
+  std::vector<std::string> statements = {
+      "SELECT EMP.NAME FROM EMP",
+      "SELECT EMP.NAME FROM EMP WHERE EMP.DNO = 1",
+      "SELECT EMP.NAME FROM EMP WHERE EMP.DNO <> 1",
+      "SELECT EMP.NAME FROM EMP WHERE EMP.DNO < 1",
+      "SELECT EMP.NAME FROM EMP WHERE EMP.DNO <= 1",
+      "SELECT EMP.NAME FROM EMP WHERE EMP.DNO > 1",
+      "SELECT EMP.NAME FROM EMP WHERE EMP.DNO >= 1",
+      "SELECT EMP.NAME FROM EMP WHERE EMP.SALARY = 1",
+      "SELECT EMP.SALARY FROM EMP WHERE EMP.DNO = 1",
+      "SELECT EMP.NAME, EMP.SALARY FROM EMP WHERE EMP.DNO = 1",
+      "SELECT EMP.NAME FROM EMP WHERE EMP.DNO = 1 AND EMP.SALARY >= 2",
+      "SELECT EMP.NAME FROM EMP WHERE EMP.SALARY >= 2 AND EMP.DNO = 1",
+      "SELECT EMP.NAME FROM EMP WHERE EMP.DNO + 1 = 2",
+      "SELECT EMP.NAME FROM EMP WHERE EMP.DNO = 1 ORDER BY EMP.NAME",
+      "SELECT EMP.NAME FROM EMP WHERE EMP.DNO = 1 ORDER BY EMP.SALARY",
+      "SELECT DEPT.DNAME FROM DEPT",
+      "SELECT DEPT.DNAME FROM DEPT, EMP WHERE DEPT.DNO = EMP.DNO",
+      "SELECT E1.NAME FROM EMP E1, EMP E2 WHERE E1.ENO = E2.ENO",
+      "SELECT E1.NAME FROM EMP E1, DEPT WHERE E1.DNO = DEPT.DNO",
+  };
+  std::set<PlanCacheKey> keys;
+  for (const std::string& sql : statements) {
+    PlanCacheKey key = KeyOf(sql);
+    EXPECT_TRUE(keys.insert(key).second)
+        << "collision: " << sql << " -> {" << key.digest << ", "
+        << key.structure << "}";
+  }
+}
+
+TEST_F(PlanCacheKeyTest, PreparedBindingNeverAliasesDistinctShapes) {
+  // Binding parameters must land a prepared statement on exactly the key of
+  // its ad-hoc literal twin — and never on any other template's key, even
+  // for adversarial string parameters that LOOK like SQL (they stay data:
+  // binding is in the expression tree, not the text).
+  auto bound_key = [&](const std::string& tmpl, std::vector<Datum> params) {
+    auto query = BindSql(catalog_, tmpl, params);
+    EXPECT_TRUE(query.ok()) << tmpl << ": " << query.status().ToString();
+    return PlanCacheKeyForQuery(query.value());
+  };
+  EXPECT_EQ(bound_key("SELECT EMP.NAME FROM EMP WHERE EMP.DNO = ?",
+                      {Datum(int64_t{3})}),
+            KeyOf("SELECT EMP.NAME FROM EMP WHERE EMP.DNO = 3"));
+  EXPECT_EQ(bound_key("SELECT DEPT.DNAME FROM DEPT WHERE DEPT.MGR = ?",
+                      {Datum(std::string("Haas"))}),
+            KeyOf("SELECT DEPT.DNAME FROM DEPT WHERE DEPT.MGR = 'Haas'"));
+  // The injection probe: the parameter value contains operator characters;
+  // the statement shape must not change.
+  EXPECT_EQ(bound_key("SELECT DEPT.DNAME FROM DEPT WHERE DEPT.MGR = ?",
+                      {Datum(std::string("x' OR '1'='1"))}),
+            KeyOf("SELECT DEPT.DNAME FROM DEPT WHERE DEPT.MGR = 'anything'"));
+  // Distinct templates stay distinct under binding.
+  std::set<PlanCacheKey> keys;
+  EXPECT_TRUE(keys.insert(bound_key(
+      "SELECT EMP.NAME FROM EMP WHERE EMP.DNO = ?",
+      {Datum(int64_t{1})})).second);
+  EXPECT_TRUE(keys.insert(bound_key(
+      "SELECT EMP.NAME FROM EMP WHERE EMP.DNO <= ?",
+      {Datum(int64_t{1})})).second);
+  EXPECT_TRUE(keys.insert(bound_key(
+      "SELECT EMP.NAME FROM EMP WHERE EMP.DNO = ? AND EMP.SALARY >= ?",
+      {Datum(int64_t{1}), Datum(int64_t{2})})).second);
+  EXPECT_TRUE(keys.insert(bound_key(
+      "SELECT EMP.SALARY FROM EMP WHERE EMP.DNO = ?",
+      {Datum(int64_t{1})})).second);
+}
+
+TEST_F(PlanCacheKeyTest, ParameterMarkerArityAndModeErrors) {
+  // Plain ParseSql rejects markers.
+  auto plain = ParseSql(catalog_, "SELECT EMP.NAME FROM EMP WHERE EMP.DNO = ?");
+  ASSERT_FALSE(plain.ok());
+  EXPECT_EQ(plain.status().code(), StatusCode::kParseError);
+  // Template mode counts them.
+  int n = -1;
+  auto tmpl = ParseSqlTemplate(
+      catalog_,
+      "SELECT EMP.NAME FROM EMP WHERE EMP.DNO = ? AND EMP.SALARY >= ?", &n);
+  ASSERT_TRUE(tmpl.ok()) << tmpl.status().ToString();
+  EXPECT_EQ(n, 2);
+  // Binding checks arity both ways.
+  EXPECT_FALSE(BindSql(catalog_,
+                       "SELECT EMP.NAME FROM EMP WHERE EMP.DNO = ?",
+                       {Datum(int64_t{1}), Datum(int64_t{2})})
+                   .ok());
+  EXPECT_FALSE(BindSql(catalog_,
+                       "SELECT EMP.NAME FROM EMP WHERE EMP.DNO = ? "
+                       "AND EMP.SALARY >= ?",
+                       {Datum(int64_t{1})})
+                   .ok());
+}
+
+// ---------------------------------------------------------------------------
+// Generation-based invalidation.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServerTest, StatisticsGenerationBumpEvictsAndReoptimizes) {
+  ServerOptions opts;
+  opts.num_workers = 0;
+  auto server = MakeServer(opts);
+  SessionPtr session = server->OpenSession().ValueOrDie();
+  const std::string sql = "SELECT EMP.NAME FROM EMP WHERE EMP.DNO = 3";
+  ASSERT_TRUE(server->Execute(session, sql).ok());
+  EXPECT_EQ(server->metrics().counter("optimizer.runs"), 1);
+  ASSERT_TRUE(server->Execute(session, sql).ok());
+  EXPECT_EQ(server->metrics().counter("server.cache_hits"), 1);
+  // RUNSTATS lands: statistics change and the catalog announces it.
+  TableId emp = catalog_.FindTable("EMP").ValueOrDie();
+  catalog_.mutable_table(emp).row_count *= 2;
+  catalog_.NoteStatisticsUpdate();
+  ASSERT_TRUE(server->Execute(session, sql).ok());
+  const MetricsRegistry& m = server->metrics();
+  EXPECT_EQ(m.counter("server.cache_invalidations"), 1);
+  EXPECT_EQ(m.counter("server.cache_misses"), 2);
+  EXPECT_EQ(m.counter("optimizer.runs"), 2);  // re-optimized, not reused
+  // Put the statistics back so other tests see the seed catalog.
+  catalog_.mutable_table(emp).row_count /= 2;
+  catalog_.NoteStatisticsUpdate();
+}
+
+TEST_F(ServerTest, DdlGenerationBumpEvictsDependentEntries) {
+  ServerOptions opts;
+  opts.num_workers = 0;
+  auto server = MakeServer(opts);
+  SessionPtr session = server->OpenSession().ValueOrDie();
+  const std::string a = "SELECT EMP.NAME FROM EMP WHERE EMP.DNO = 3";
+  const std::string b = "SELECT DEPT.DNAME FROM DEPT WHERE DEPT.DNO = 1";
+  ASSERT_TRUE(server->Execute(session, a).ok());
+  ASSERT_TRUE(server->Execute(session, b).ok());
+  EXPECT_EQ(server->cache().size(), 2u);
+  int64_t before = catalog_.ddl_generation();
+  catalog_.AddSite("archive");  // DDL: every cached plan is now suspect
+  EXPECT_GT(catalog_.ddl_generation(), before);
+  // Stale entries are never executed: both next runs re-optimize against
+  // the new catalog.
+  ASSERT_TRUE(server->Execute(session, a).ok());
+  ASSERT_TRUE(server->Execute(session, b).ok());
+  const MetricsRegistry& m = server->metrics();
+  EXPECT_EQ(m.counter("server.cache_invalidations"), 2);
+  EXPECT_EQ(m.counter("optimizer.runs"), 4);
+  EXPECT_EQ(m.counter("server.cache_hits"), 0);
+}
+
+TEST_F(ServerTest, QErrorTripInvalidatesForReoptimization) {
+  ServerOptions opts;
+  opts.num_workers = 0;
+  opts.qerror_reoptimize_threshold = 5.0;
+  auto server = MakeServer(opts);
+  SessionPtr session = server->OpenSession().ValueOrDie();
+  // The catalog claims 20000 EMP rows; the database is populated at scale
+  // 0.05 (1000 rows), so a full scan misestimates by ~20x — deterministic
+  // q-error far above the threshold.
+  const std::string sql = "SELECT EMP.NAME FROM EMP";
+  auto first = server->Execute(session, sql);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_GT(first.value().worst_q_error, 5.0);
+  EXPECT_TRUE(first.value().reoptimize_scheduled);
+  const MetricsRegistry& m = server->metrics();
+  EXPECT_EQ(m.counter("server.reoptimizations"), 1);
+  EXPECT_EQ(m.counter("server.cache_invalidations"), 1);
+  EXPECT_EQ(server->cache().size(), 0u);
+  // The next execution re-optimizes (the entry was dropped)...
+  auto second = server->Execute(session, sql);
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second.value().cache_hit);
+  EXPECT_EQ(m.counter("optimizer.runs"), 2);
+  // ...and results are identical regardless.
+  ExpectSameRows(first.value().rows, second.value().rows, "qerror reopt");
+}
+
+// ---------------------------------------------------------------------------
+// Prepared statements through the server.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServerTest, PreparedStatementsBindAndShareTheCacheWithAdHoc) {
+  ServerOptions opts;
+  opts.num_workers = 0;
+  auto server = MakeServer(opts);
+  SessionPtr session = server->OpenSession().ValueOrDie();
+  ASSERT_TRUE(server
+                  ->Prepare(session, "by_dno",
+                            "SELECT EMP.NAME FROM EMP WHERE EMP.DNO = ?")
+                  .ok());
+  // Ad-hoc twin first: the prepared execution must HIT its entry.
+  auto adhoc =
+      server->Execute(session, "SELECT EMP.NAME FROM EMP WHERE EMP.DNO = 3");
+  ASSERT_TRUE(adhoc.ok());
+  auto prepared =
+      server->ExecutePrepared(session, "by_dno", {Datum(int64_t{3})});
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  EXPECT_TRUE(prepared.value().cache_hit);
+  EXPECT_EQ(prepared.value().plan_signature, adhoc.value().plan_signature);
+  ExpectSameRows(prepared.value().rows, adhoc.value().rows, "prepared=adhoc");
+  // Different parameter: same entry, different rows.
+  auto other =
+      server->ExecutePrepared(session, "by_dno", {Datum(int64_t{5})});
+  ASSERT_TRUE(other.ok());
+  EXPECT_TRUE(other.value().cache_hit);
+  auto adhoc5 =
+      server->Execute(session, "SELECT EMP.NAME FROM EMP WHERE EMP.DNO = 5");
+  ASSERT_TRUE(adhoc5.ok());
+  ExpectSameRows(other.value().rows, adhoc5.value().rows, "param=5");
+  EXPECT_EQ(server->metrics().counter("optimizer.runs"), 1);
+  // Errors: unknown name, wrong arity, bad template.
+  EXPECT_EQ(server->ExecutePrepared(session, "nope", {}).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(server->ExecutePrepared(session, "by_dno", {}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(server->Prepare(session, "bad", "SELECT FROM WHERE").ok());
+  // Session-scoped namespace: a second session can't see it.
+  SessionPtr other_session = server->OpenSession().ValueOrDie();
+  EXPECT_EQ(server->ExecutePrepared(other_session, "by_dno",
+                                    {Datum(int64_t{3})})
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control and session management.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServerTest, AdmissionControlRejectsBeyondQueueBound) {
+  ServerOptions opts;
+  opts.num_workers = 0;  // nothing drains: the queue fills deterministically
+  opts.max_queue = 2;
+  std::future<Result<StatementResult>> pending1, pending2;
+  {
+    auto server = MakeServer(opts);
+    SessionPtr session = server->OpenSession().ValueOrDie();
+    pending1 = server->Submit(session, "SELECT DEPT.DNAME FROM DEPT");
+    pending2 = server->Submit(session, "SELECT DEPT.DNAME FROM DEPT");
+    auto rejected = server->Submit(session, "SELECT DEPT.DNAME FROM DEPT");
+    auto result = rejected.get();  // resolved immediately, no worker needed
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted)
+        << result.status().ToString();
+    EXPECT_EQ(server->metrics().counter("server.admission_rejected"), 1);
+  }
+  // Shutdown fails queued-but-never-run statements instead of dangling.
+  EXPECT_EQ(pending1.get().status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(pending2.get().status().code(), StatusCode::kCancelled);
+}
+
+TEST_F(ServerTest, SessionLimitIsEnforced) {
+  ServerOptions opts;
+  opts.num_workers = 0;
+  opts.max_sessions = 2;
+  auto server = MakeServer(opts);
+  SessionPtr s1 = server->OpenSession("alice").ValueOrDie();
+  SessionPtr s2 = server->OpenSession("bob").ValueOrDie();
+  auto third = server->OpenSession("carol");
+  ASSERT_FALSE(third.ok());
+  EXPECT_EQ(third.status().code(), StatusCode::kResourceExhausted);
+  server->CloseSession(s1);
+  EXPECT_EQ(server->num_sessions(), 1u);
+  EXPECT_TRUE(server->OpenSession("carol").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Per-session and global metrics views.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServerTest, PerSessionMetricsMirrorIntoGlobalView) {
+  ServerOptions opts;
+  opts.num_workers = 0;
+  auto server = MakeServer(opts);
+  SessionPtr s1 = server->OpenSession("alice").ValueOrDie();
+  SessionPtr s2 = server->OpenSession("bob").ValueOrDie();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(server->Execute(s1, "SELECT DEPT.DNAME FROM DEPT").ok());
+  }
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(
+        server->Execute(s2, "SELECT EMP.NAME FROM EMP WHERE EMP.DNO = 1")
+            .ok());
+  }
+  // Per-session views count only their own statements...
+  EXPECT_EQ(s1->metrics().counter("server.statements"), 3);
+  EXPECT_EQ(s2->metrics().counter("server.statements"), 2);
+  // ...and the global view is their sum, with latency histograms mirrored
+  // for global p50/p99.
+  EXPECT_EQ(server->metrics().counter("server.statements"), 5);
+  const LatencyHistogram* global =
+      server->metrics().histogram("server.statement_us");
+  ASSERT_NE(global, nullptr);
+  EXPECT_EQ(global->count(), 5);
+  EXPECT_GT(global->Percentile(0.99), 0.0);
+  const LatencyHistogram* mine = s1->metrics().histogram("server.statement_us");
+  ASSERT_NE(mine, nullptr);
+  EXPECT_EQ(mine->count(), 3);
+  // The QPS gauge is global-only (gauges don't mirror — they'd stomp).
+  EXPECT_GT(server->metrics().gauge("server.qps"), 0.0);
+  EXPECT_EQ(s1->metrics().gauge("server.qps"), 0.0);
+  // Prometheus export of the global registry includes the server family.
+  std::string prom = server->metrics().TakeSnapshot().ToPrometheus();
+  EXPECT_NE(prom.find("server_statements"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Catalog generation plumbing (unit).
+// ---------------------------------------------------------------------------
+
+TEST(CatalogGenerationTest, DdlAndStatsGenerationsAdvanceIndependently) {
+  Catalog catalog;
+  int64_t ddl0 = catalog.ddl_generation();
+  int64_t stats0 = catalog.stats_generation();
+  catalog.AddSite("remote");
+  EXPECT_EQ(catalog.ddl_generation(), ddl0 + 1);
+  TableDef def;
+  def.name = "T";
+  def.columns.push_back({"id"});
+  ASSERT_TRUE(catalog.AddTable(def).ok());
+  EXPECT_EQ(catalog.ddl_generation(), ddl0 + 2);
+  IndexDef ix;
+  ix.name = "T_ID_IX";
+  ix.key_columns = {0};
+  ASSERT_TRUE(catalog.AddIndex("T", ix).ok());
+  EXPECT_EQ(catalog.ddl_generation(), ddl0 + 3);
+  EXPECT_EQ(catalog.stats_generation(), stats0);
+  catalog.NoteStatisticsUpdate();
+  EXPECT_EQ(catalog.stats_generation(), stats0 + 1);
+  EXPECT_EQ(catalog.ddl_generation(), ddl0 + 3);
+  // Re-adding an existing site is a lookup, not DDL.
+  catalog.AddSite("remote");
+  EXPECT_EQ(catalog.ddl_generation(), ddl0 + 3);
+  // Copies carry the generations forward.
+  Catalog copy = catalog;
+  EXPECT_EQ(copy.ddl_generation(), catalog.ddl_generation());
+  EXPECT_EQ(copy.stats_generation(), catalog.stats_generation());
+}
+
+}  // namespace
+}  // namespace starburst
