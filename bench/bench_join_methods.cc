@@ -185,9 +185,10 @@ void PrintArtifact() {
 
 double MeasureRowsPerSec(const Database& db, const Query& query,
                          const PlanPtr& plan, bool vectorized, int iters,
-                         size_t* out_rows) {
+                         size_t* out_rows, int typed_kernels = -1) {
   ExecOptions options;
   options.vectorized = vectorized ? 1 : 0;
+  options.typed_kernels = typed_kernels;
   auto warm = ExecutePlan(db, query, plan, options).ValueOrDie();
   *out_rows = warm.rows.size();
   auto start = std::chrono::steady_clock::now();
@@ -257,6 +258,69 @@ void PrintExecArtifact() {
       "\"vectorized_rows_per_sec\":%.0f,\"speedup\":%.2f,"
       "\"speedup_ge2\":%s}\n\n",
       rows, legacy, vec, speedup, speedup >= 2.0 ? "true" : "false");
+}
+
+// --- Experiment E14b: typed key kernels on the same HA shape with bare
+// int64 columns as keys. The build and probe sides hash straight from the
+// base column (HashInt64JoinKey) instead of materializing a Datum key per
+// tuple; the legacy engine walks the key expression and hashes generically
+// per tuple. Core-aware bar like E14a. --------------------------------------
+
+void PrintKernelExecArtifact() {
+  bench::PrintHeader(
+      "E14b: typed-kernel HA join vs legacy interpreter",
+      "int64 key kernels hash the base column directly; mismatch rows fall "
+      "back to the generic per-tuple path");
+  Catalog catalog = HashWorkload();
+  Database db(catalog);
+  if (!PopulateDatabase(&db, /*seed=*/17, /*scale=*/1.0).ok()) std::abort();
+  Query query = bench::MustParse(catalog,
+                                 "SELECT A.pay FROM A, B WHERE A.x = B.y");
+
+  CostModel cost_model;
+  OperatorRegistry operators;
+  if (!RegisterBuiltinOperators(&operators).ok()) std::abort();
+  PlanFactory factory(query, cost_model, operators);
+  auto scan = [&](int q, ColumnRef key, ColumnRef payload) {
+    OpArgs args;
+    args.Set(arg::kQuantifier, int64_t{q});
+    args.Set(arg::kCols, std::vector<ColumnRef>{key, payload});
+    args.Set(arg::kPreds, PredSet{});
+    return factory.Make(op::kAccess, flavor::kHeap, {}, std::move(args))
+        .ValueOrDie();
+  };
+  OpArgs join;
+  join.Set(arg::kJoinPreds, PredSet::Single(0));
+  join.Set(arg::kResidualPreds, PredSet{});
+  PlanPtr ha =
+      factory
+          .Make(op::kJoin, flavor::kHA,
+                {scan(0, query.ResolveColumn("A", "x").ValueOrDie(),
+                      query.ResolveColumn("A", "pay").ValueOrDie()),
+                 scan(1, query.ResolveColumn("B", "y").ValueOrDie(),
+                      query.ResolveColumn("B", "val").ValueOrDie())},
+                std::move(join))
+          .ValueOrDie();
+
+  size_t rows = 0;
+  const int kIters = 5;
+  double legacy = MeasureRowsPerSec(db, query, ha, false, kIters, &rows);
+  double interp = MeasureRowsPerSec(db, query, ha, true, kIters, &rows, 0);
+  double fused = MeasureRowsPerSec(db, query, ha, true, kIters, &rows, 1);
+  double speedup = fused / legacy;
+  unsigned cores = std::thread::hardware_concurrency();
+  double floor = bench::KernelSpeedupFloor(cores);
+  std::printf("%-28s | %13s | %13s | %13s | %8s\n", "HA join 10k x 10k",
+              "legacy rows/s", "interp rows/s", "kernel rows/s", "speedup");
+  std::printf("%-28s | %13.0f | %13.0f | %13.0f | %7.2fx\n", "A.x = B.y",
+              legacy, interp, fused, speedup);
+  std::printf(
+      "BENCH_JSON {\"bench\":\"kernel_join\",\"flavor\":\"HA\",\"rows\":%zu,"
+      "\"legacy_rows_per_sec\":%.0f,\"interp_rows_per_sec\":%.0f,"
+      "\"kernel_rows_per_sec\":%.0f,\"speedup\":%.2f,\"cores\":%u,"
+      "\"floor\":%.2f,\"kernel_speedup_ok\":%s}\n\n",
+      rows, legacy, interp, fused, speedup, cores, floor,
+      speedup >= floor ? "true" : "false");
 }
 
 // --- Grace spill: the same 10k x 10k HA plan under a tight memory budget.
@@ -470,6 +534,7 @@ BENCHMARK(BM_OptimizeWorkload)
 int main(int argc, char** argv) {
   starburst::PrintArtifact();
   starburst::PrintExecArtifact();
+  starburst::PrintKernelExecArtifact();
   starburst::PrintSpillExecArtifact();
   starburst::PrintParallelExecArtifact();
   benchmark::Initialize(&argc, argv);

@@ -25,6 +25,9 @@
 //   \faults [spec]        show/set fault injection (STARBURST_FAULTS syntax)
 //   \vectorized [on|off]  show/set the execution engine (batch pipeline vs
 //                         the legacy row-at-a-time oracle)
+//   \kernels [on|off]     show/set type-specialized fused predicate kernels
+//                         in the vectorized engine (off = interpreter only;
+//                         exec.kernel_* counters appear in \metrics)
 //   \batchsize [n]        show/set rows per batch (0 = env default)
 //   \execthreads [n]      show/set exchange worker threads for parallel
 //                         scans/joins/sorts (0 = env default, 1 = off)
@@ -123,6 +126,9 @@ void PrintHelp() {
       "exec.scan.open=2 or seed=7,rate=0.02 ('off' disarms)\n"
       "  \\vectorized [on|off] show/set the execution engine (on = batch\n"
       "                      pipeline, off = row-at-a-time oracle)\n"
+      "  \\kernels [on|off]   show/set fused typed predicate kernels (off =\n"
+      "                      interpreter only; exec.kernel_rows and\n"
+      "                      exec.kernel_fallbacks land in \\metrics)\n"
       "  \\batchsize [n]      show/set rows per batch (0 = env default)\n"
       "  \\execthreads [n]    show/set exchange worker threads (0 = env\n"
       "                      default STARBURST_EXEC_THREADS, 1 = off)\n"
@@ -152,6 +158,7 @@ struct Shell {
   Optimizer optimizer;
   OptimizeResult last;
   int vectorized = -1;  // -1 env default, 0 legacy interpreter, 1 batch
+  int typed_kernels = -1;  // -1 env default (STARBURST_TYPED_KERNELS)
   int batch_size = 0;   // 0 env default
   int exec_threads = 0;  // 0 env default (STARBURST_EXEC_THREADS)
   // Execution governance (0 = env default, negative = forced off).
@@ -254,6 +261,7 @@ struct Shell {
     ExecOptions exec_opts;
     exec_opts.metrics = &metrics;
     exec_opts.vectorized = vectorized;
+    exec_opts.typed_kernels = typed_kernels;
     exec_opts.batch_size = batch_size;
     exec_opts.exec_threads = exec_threads;
     exec_opts.exec_deadline_ms = exec_deadline_ms;
@@ -621,6 +629,23 @@ struct Shell {
                   : vectorized == 0 ? "legacy row-at-a-time"
                                     : "environment default "
                                       "(STARBURST_VECTORIZED)");
+    } else if (cmd == "\\kernels") {
+      if (rest == "on") {
+        typed_kernels = 1;
+      } else if (rest == "off") {
+        typed_kernels = 0;
+      } else if (!rest.empty()) {
+        std::printf("usage: \\kernels [on|off]\n");
+        return;
+      }
+      std::printf("typed kernels: %s (fused=%lld fallback=%lld so far)\n",
+                  typed_kernels == 1   ? "on"
+                  : typed_kernels == 0 ? "off"
+                                       : "environment default "
+                                         "(STARBURST_TYPED_KERNELS)",
+                  static_cast<long long>(metrics.counter("exec.kernel_rows")),
+                  static_cast<long long>(
+                      metrics.counter("exec.kernel_fallbacks")));
     } else if (cmd == "\\batchsize") {
       if (rest.empty()) {
         if (batch_size > 0) {

@@ -89,8 +89,18 @@ uint64_t HashDouble(double d) {
 
 }  // namespace
 
+uint64_t DatumHashInt64(int64_t i) {
+  // Mirrors the is_int() branch of Datum::Hash64 below; a divergence would
+  // silently split typed and generic hash-join probes across buckets.
+  double d = static_cast<double>(i);
+  if (d >= -9.2e18 && d <= 9.2e18 && static_cast<int64_t>(d) == i) {
+    return Mix64(static_cast<uint64_t>(i));
+  }
+  return HashDouble(d);
+}
+
 uint64_t Datum::Hash64() const {
-  if (is_null()) return 0x2545f4914f6cdd1dULL;
+  if (is_null()) return kDatumNullHash64;
   if (is_string()) {
     // FNV-1a over the bytes, then mixed.
     uint64_t h = 0xcbf29ce484222325ULL;

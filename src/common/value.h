@@ -66,6 +66,14 @@ inline uint64_t HashCombine64(uint64_t seed, uint64_t v) {
   return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
 }
 
+/// Datum(v).Hash64() without constructing the Datum — the typed join-key
+/// kernels hash raw int64 keys through the identical equivalence-class
+/// mixing so typed and generic probes land in the same bucket.
+uint64_t DatumHashInt64(int64_t v);
+
+/// Datum::NullValue().Hash64() without the Datum.
+inline constexpr uint64_t kDatumNullHash64 = 0x2545f4914f6cdd1dULL;
+
 }  // namespace starburst
 
 #endif  // STARBURST_COMMON_VALUE_H_

@@ -3,8 +3,10 @@
 
 #include <cstdlib>
 #include <string_view>
+#include <utility>
 #include <vector>
 
+#include "exec/sel_vector.h"
 #include "storage/table.h"
 
 namespace starburst {
@@ -39,17 +41,55 @@ inline bool DefaultVectorized() {
   return env == nullptr || std::string_view(env) != "0";
 }
 
+/// Type-specialized fused predicate kernels unless STARBURST_TYPED_KERNELS=0
+/// selects the generic postfix interpreter as the differential oracle
+/// (exactly like STARBURST_VECTORIZED=0 one level down).
+inline bool DefaultTypedKernels() {
+  const char* env = std::getenv("STARBURST_TYPED_KERNELS");
+  return env == nullptr || std::string_view(env) != "0";
+}
+
 /// One unit of flow through the vectorized pipeline: up to the configured
 /// batch size of materialized tuples. Row-oriented on purpose — tuples are
 /// `std::vector<Datum>` throughout the system and the win over the legacy
 /// path comes from amortized dispatch and compiled predicate programs, not
 /// from columnar storage.
+/// Producers that attach a selection vector must leave at least one live row
+/// (or return an empty batch to signal exhaustion); `rows.empty()` therefore
+/// remains the exhaustion signal for every consumer.
 struct RowBatch {
   std::vector<Tuple> rows;
+  SelVector sel;
 
   bool empty() const { return rows.empty(); }
   size_t size() const { return rows.size(); }
-  void clear() { rows.clear(); }
+  void clear() {
+    rows.clear();
+    sel.clear();
+  }
+
+  /// Live rows: the selection when active, else every row.
+  size_t live() const { return sel.active ? sel.idx.size() : rows.size(); }
+  Tuple& live_row(size_t k) {
+    return sel.active ? rows[static_cast<size_t>(sel.idx[k])] : rows[k];
+  }
+  const Tuple& live_row(size_t k) const {
+    return sel.active ? rows[static_cast<size_t>(sel.idx[k])] : rows[k];
+  }
+
+  /// Materializes the selection: survivors move to the front, the vector
+  /// shrinks to the live count, and the selection deactivates. Pipeline
+  /// breakers (sort ingest, join build, readers that index rows directly)
+  /// compact on entry; streaming consumers iterate live_row instead.
+  void Compact() {
+    if (!sel.active) return;
+    for (size_t k = 0; k < sel.idx.size(); ++k) {
+      size_t src = static_cast<size_t>(sel.idx[k]);
+      if (src != k) rows[k] = std::move(rows[src]);
+    }
+    rows.resize(sel.idx.size());
+    sel.clear();
+  }
 };
 
 }  // namespace starburst

@@ -11,6 +11,7 @@
 #include "exec/exchange.h"
 #include "exec/governor.h"
 #include "exec/hash_table.h"
+#include "exec/kernel.h"
 #include "exec/pred_program.h"
 #include "exec/spill_file.h"
 #include "obs/profiler.h"
@@ -88,16 +89,18 @@ Status BatchIterator::Next(RowBatch* out) {
   double us = std::chrono::duration<double, std::micro>(
                   std::chrono::steady_clock::now() - start)
                   .count();
+  // Row counts are LIVE rows: a batch with a selection vector reports only
+  // its survivors, so kernels-on profiles match the compacting pipeline.
   if (rt_->stats != nullptr) {
     OpRunStats& st = (*rt_->stats)[node_];
-    st.rows += static_cast<int64_t>(out->rows.size());
+    st.rows += static_cast<int64_t>(out->live());
     if (!out->rows.empty()) ++st.batches;
     st.wall_micros += us;
   }
   if (rt_->profile != nullptr) {
     OpProfile& p = rt_->profile->at(node_);
     ++p.next_calls;
-    p.rows_out += static_cast<int64_t>(out->rows.size());
+    p.rows_out += static_cast<int64_t>(out->live());
     if (!out->rows.empty()) ++p.batches_out;
     p.next_micros += us;
   }
@@ -139,7 +142,26 @@ Status DrainInto(BatchIterator* it, std::vector<Tuple>* rows) {
   for (;;) {
     STARBURST_RETURN_NOT_OK(it->Next(&b));
     if (b.empty()) return Status::OK();
+    b.Compact();  // materialize any selection before the rows leave the batch
     for (Tuple& t : b.rows) rows->push_back(std::move(t));
+  }
+}
+
+/// Folds one iterator's kernel tallies into the run-wide atomics and (when
+/// profiling) the per-node profile. Static pred counts overwrite rather than
+/// add: they describe the compiled program, not the traffic.
+void FlushKernelCounters(VecRuntime* rt, const PlanOp* node, int64_t rows,
+                         int64_t fallbacks, int fused_preds,
+                         int fallback_preds) {
+  if (rows == 0 && fallbacks == 0) return;
+  rt->kernel_rows.fetch_add(rows, std::memory_order_relaxed);
+  rt->kernel_fallback_rows.fetch_add(fallbacks, std::memory_order_relaxed);
+  if (rt->profile != nullptr) {
+    OpProfile& p = rt->profile->at(node);
+    p.kernel_rows += rows;
+    p.kernel_fallbacks += fallbacks;
+    p.kernel_fused_preds = fused_preds;
+    p.kernel_fallback_preds = fallback_preds;
   }
 }
 
@@ -158,7 +180,13 @@ class BatchReader {
     while (!done_ && pos_ >= batch_.rows.size()) {
       STARBURST_RETURN_NOT_OK(src_->Next(&batch_));
       pos_ = 0;
-      if (batch_.empty()) done_ = true;
+      // Exhaustion is decided on the raw batch; a non-empty batch always has
+      // at least one live row, so compaction never yields an empty vector.
+      if (batch_.empty()) {
+        done_ = true;
+      } else {
+        batch_.Compact();
+      }
     }
     *row = done_ ? nullptr : &batch_.rows[pos_];
     return Status::OK();
@@ -213,6 +241,12 @@ Status EmitJoinPair(const Tuple& a, const Tuple& b, const PredProgram& check,
   t.reserve(a.size() + b.size());
   t.insert(t.end(), a.begin(), a.end());
   t.insert(t.end(), b.begin(), b.end());
+  if (check.empty()) {
+    // No residual to evaluate (typical HA equi-join): skip the interpreter
+    // dispatch entirely on the hot emission path.
+    out->rows.push_back(std::move(t));
+    return Status::OK();
+  }
   ProgramCtx ctx{&t, rt->env, nullptr};
   auto keep = check.Eval(ctx);
   if (!keep.ok()) return keep.status();
@@ -242,6 +276,20 @@ class HeapScanIterator : public BatchIterator {
       env.base_quantifier = q_;
       preds_ = PredProgram::Compile(node_->args.GetPreds(arg::kPreds),
                                     *rt_->query, env);
+      if (rt_->typed_kernels) {
+        KernelEnv kenv;
+        kenv.schema = &schema_;
+        kenv.query = rt_->query;
+        kenv.db = rt_->db;
+        kenv.base_quantifier = q_;
+        kenv.scan_mode = true;
+        kernel_ = KernelProgram::Compile(node_->args.GetPreds(arg::kPreds),
+                                         *rt_->query, kenv);
+        if (kernel_.usable()) {
+          rem_preds_ =
+              PredProgram::Compile(kernel_.remainder(), *rt_->query, env);
+        }
+      }
       compiled_ = true;
     }
     tid_ = 0;
@@ -249,6 +297,7 @@ class HeapScanIterator : public BatchIterator {
   }
 
   Status DoNext(RowBatch* out) override {
+    if (kernel_.usable()) return KernelNext(out);
     while (!BatchFull(*out, *rt_) && tid_ < table_->num_rows()) {
       const Tuple& base = table_->row(tid_);
       Tuple t;
@@ -276,17 +325,77 @@ class HeapScanIterator : public BatchIterator {
       p.pred_evals += pred_evals_;
       p.pred_steps += pred_evals_ * static_cast<int64_t>(preds_.size());
     }
+    FlushKernelCounters(rt_, node_, kernel_rows_, kernel_fallbacks_,
+                        kernel_.fused(), kernel_.fallback_preds());
+    kernel_rows_ = 0;
+    kernel_fallbacks_ = 0;
     return Status::OK();
   }
 
  private:
+  /// Fused path: the kernel evaluates the stored rows in place (no output
+  /// tuple is built for non-survivors); interpreter work is limited to
+  /// type-mismatch rows (full program) and unfused remainder conjuncts over
+  /// the kernel's survivors, merged back in TID order so the first Status
+  /// error is raised at exactly the row the legacy loop would raise it.
+  Status KernelNext(RowBatch* out) {
+    const int64_t nrows = table_->num_rows();
+    const bool rem = !rem_preds_.empty();
+    while (!BatchFull(*out, *rt_) && tid_ < nrows) {
+      int64_t room = static_cast<int64_t>(rt_->batch_size) -
+                     static_cast<int64_t>(out->rows.size());
+      int64_t hi = std::min<int64_t>(nrows, tid_ + room);
+      hit_tids_.clear();
+      mis_tids_.clear();
+      kernel_.EvalScan(*table_, tid_, hi, &hit_tids_, &mis_tids_, &kstate_);
+      pred_evals_ += hi - tid_;
+      kernel_rows_ += (hi - tid_) - static_cast<int64_t>(mis_tids_.size());
+      kernel_fallbacks_ += static_cast<int64_t>(mis_tids_.size());
+      if (rem) kernel_fallbacks_ += static_cast<int64_t>(hit_tids_.size());
+      tid_ = hi;
+      size_t a = 0, b = 0;
+      while (a < hit_tids_.size() || b < mis_tids_.size()) {
+        bool from_mis =
+            b < mis_tids_.size() &&
+            (a >= hit_tids_.size() || mis_tids_[b] < hit_tids_[a]);
+        int64_t tid = from_mis ? mis_tids_[b++] : hit_tids_[a++];
+        const Tuple& base = table_->row(tid);
+        Tuple t;
+        t.reserve(schema_.size());
+        for (const ColumnRef& c : schema_) {
+          if (c.is_tid()) {
+            t.push_back(Datum(tid));
+          } else {
+            t.push_back(base[static_cast<size_t>(c.column)]);
+          }
+        }
+        if (!from_mis && !rem) {
+          out->rows.push_back(std::move(t));
+          continue;
+        }
+        ProgramCtx ctx{&t, rt_->env, &base};
+        auto keep = (from_mis ? preds_ : rem_preds_).Eval(ctx);
+        if (!keep.ok()) return keep.status();
+        if (keep.value()) out->rows.push_back(std::move(t));
+      }
+    }
+    return Status::OK();
+  }
+
   bool compiled_ = false;
   int q_ = -1;
   const StoredTable* table_ = nullptr;
   Schema schema_;
   PredProgram preds_;
+  KernelProgram kernel_;
+  PredProgram rem_preds_;
+  KernelState kstate_;
+  std::vector<int64_t> hit_tids_;
+  std::vector<int64_t> mis_tids_;
   Tid tid_ = 0;
   int64_t pred_evals_ = 0;
+  int64_t kernel_rows_ = 0;
+  int64_t kernel_fallbacks_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -436,6 +545,18 @@ class TempAccessIterator : public BatchIterator {
       env.frame_limit = static_cast<size_t>(depth_);
       preds_ = PredProgram::Compile(node_->args.GetPreds(arg::kPreds),
                                     *rt_->query, env);
+      if (rt_->typed_kernels) {
+        KernelEnv kenv;
+        kenv.schema = schema_;
+        kenv.query = rt_->query;
+        kenv.db = rt_->db;
+        kernel_ = KernelProgram::Compile(node_->args.GetPreds(arg::kPreds),
+                                         *rt_->query, kenv);
+        if (kernel_.usable()) {
+          rem_preds_ =
+              PredProgram::Compile(kernel_.remainder(), *rt_->query, env);
+        }
+      }
       compiled_ = true;
     }
     if (node_->flavor == flavor::kTempIndex &&
@@ -480,6 +601,7 @@ class TempAccessIterator : public BatchIterator {
   Status DoNext(RowBatch* out) override {
     const std::vector<Tuple>& src =
         node_->flavor == flavor::kTempIndex ? sorted_rows_ : *rows_;
+    if (kernel_.usable()) return KernelNext(src, out);
     while (!BatchFull(*out, *rt_) && cursor_ < src.size()) {
       const Tuple& t = src[cursor_++];
       ProgramCtx ctx{&t, rt_->env, nullptr};
@@ -503,20 +625,67 @@ class TempAccessIterator : public BatchIterator {
         p.pred_steps += pred_evals_ * static_cast<int64_t>(preds_.size());
       }
     }
+    FlushKernelCounters(rt_, node_, kernel_rows_, kernel_fallbacks_,
+                        kernel_.fused(), kernel_.fallback_preds());
+    kernel_rows_ = 0;
+    kernel_fallbacks_ = 0;
     return Status::OK();
   }
 
  private:
+  /// Same merge discipline as the heap scan, over the materialized rows:
+  /// survivors and mismatch rows come back as ascending indices, so the
+  /// interpreter pass visits them in input order.
+  Status KernelNext(const std::vector<Tuple>& src, RowBatch* out) {
+    const bool rem = !rem_preds_.empty();
+    while (!BatchFull(*out, *rt_) && cursor_ < src.size()) {
+      size_t room = static_cast<size_t>(rt_->batch_size) - out->rows.size();
+      size_t hi = std::min(src.size(), cursor_ + room);
+      hits_.clear();
+      mis_.clear();
+      kernel_.EvalRows(src, cursor_, hi, &hits_, &mis_, &kstate_);
+      pred_evals_ += static_cast<int64_t>(hi - cursor_);
+      kernel_rows_ += static_cast<int64_t>(hi - cursor_) -
+                      static_cast<int64_t>(mis_.size());
+      kernel_fallbacks_ += static_cast<int64_t>(mis_.size());
+      if (rem) kernel_fallbacks_ += static_cast<int64_t>(hits_.size());
+      cursor_ = hi;
+      size_t a = 0, b = 0;
+      while (a < hits_.size() || b < mis_.size()) {
+        bool from_mis =
+            b < mis_.size() && (a >= hits_.size() || mis_[b] < hits_[a]);
+        int32_t i = from_mis ? mis_[b++] : hits_[a++];
+        const Tuple& t = src[static_cast<size_t>(i)];
+        if (!from_mis && !rem) {
+          out->rows.push_back(t);
+          continue;
+        }
+        ProgramCtx ctx{&t, rt_->env, nullptr};
+        auto keep = (from_mis ? preds_ : rem_preds_).Eval(ctx);
+        if (!keep.ok()) return keep.status();
+        if (keep.value()) out->rows.push_back(t);
+      }
+    }
+    return Status::OK();
+  }
+
   bool compiled_ = false;
   bool input_correlated_ = false;
   const Schema* schema_ = nullptr;
   PredProgram preds_;
+  KernelProgram kernel_;
+  PredProgram rem_preds_;
+  KernelState kstate_;
+  std::vector<int32_t> hits_;
+  std::vector<int32_t> mis_;
   RowsPtr rows_;
   std::vector<Tuple> sorted_rows_;
   bool sorted_ready_ = false;
   size_t cursor_ = 0;
   int64_t pred_evals_ = 0;
   int64_t charged_ = 0;
+  int64_t kernel_rows_ = 0;
+  int64_t kernel_fallbacks_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -561,12 +730,12 @@ class GetIterator : public BatchIterator {
 
   Status DoNext(RowBatch* out) override {
     while (!BatchFull(*out, *rt_)) {
-      if (in_pos_ >= in_batch_.rows.size()) {
+      if (in_pos_ >= in_batch_.live()) {
         STARBURST_RETURN_NOT_OK(child_->Next(&in_batch_));
         in_pos_ = 0;
         if (in_batch_.empty()) break;
       }
-      const Tuple& in = in_batch_.rows[in_pos_++];
+      const Tuple& in = in_batch_.live_row(in_pos_++);
       Tid tid = in[static_cast<size_t>(tid_slot_)].AsInt();
       if (tid < 0 || tid >= table_->num_rows()) {
         return Status::Internal("TID out of range in GET");
@@ -690,6 +859,9 @@ class SortIterator : public BatchIterator {
     for (;;) {
       STARBURST_RETURN_NOT_OK(child_->Next(&b));
       if (b.empty()) break;
+      // Compact before charging: dead rows hidden by a selection vector must
+      // not count against the sort's memory budget or row tallies.
+      b.Compact();
       if (rt_->profile != nullptr) {
         int64_t delta = RowsApproxBytes(b.rows);
         charged_ += delta;
@@ -851,6 +1023,18 @@ class FilterIterator : public BatchIterator {
       env.frame_limit = static_cast<size_t>(depth_);
       preds_ = PredProgram::Compile(node_->args.GetPreds(arg::kPreds),
                                     *rt_->query, env);
+      if (rt_->typed_kernels) {
+        KernelEnv kenv;
+        kenv.schema = env.schema;
+        kenv.query = rt_->query;
+        kenv.db = rt_->db;
+        kernel_ = KernelProgram::Compile(node_->args.GetPreds(arg::kPreds),
+                                         *rt_->query, kenv);
+        if (kernel_.usable()) {
+          rem_preds_ =
+              PredProgram::Compile(kernel_.remainder(), *rt_->query, env);
+        }
+      }
       compiled_ = true;
     }
     in_batch_.clear();
@@ -859,13 +1043,14 @@ class FilterIterator : public BatchIterator {
   }
 
   Status DoNext(RowBatch* out) override {
+    if (kernel_.usable()) return KernelNext(out);
     while (!BatchFull(*out, *rt_)) {
-      if (in_pos_ >= in_batch_.rows.size()) {
+      if (in_pos_ >= in_batch_.live()) {
         STARBURST_RETURN_NOT_OK(child_->Next(&in_batch_));
         in_pos_ = 0;
         if (in_batch_.empty()) break;
       }
-      Tuple& t = in_batch_.rows[in_pos_++];
+      Tuple& t = in_batch_.live_row(in_pos_++);
       ProgramCtx ctx{&t, rt_->env, nullptr};
       ++pred_evals_;
       auto keep = preds_.Eval(ctx);
@@ -881,16 +1066,74 @@ class FilterIterator : public BatchIterator {
       p.pred_evals += pred_evals_;
       p.pred_steps += pred_evals_ * static_cast<int64_t>(preds_.size());
     }
+    FlushKernelCounters(rt_, node_, kernel_rows_, kernel_fallbacks_,
+                        kernel_.fused(), kernel_.fallback_preds());
+    kernel_rows_ = 0;
+    kernel_fallbacks_ = 0;
     return child_->Close();
   }
 
  private:
+  /// Fused path: the child batch moves into `out` wholesale and the kernel's
+  /// survivors become its selection vector — no tuple is copied or moved
+  /// until a pipeline breaker compacts. Batches whose rows all fail are
+  /// skipped (a non-empty batch must carry a live row), so exhaustion still
+  /// reads as an empty batch.
+  Status KernelNext(RowBatch* out) {
+    const bool rem = !rem_preds_.empty();
+    for (;;) {
+      STARBURST_RETURN_NOT_OK(child_->Next(out));
+      if (out->empty()) return Status::OK();
+      const int64_t live = static_cast<int64_t>(out->live());
+      hits_.clear();
+      mis_.clear();
+      kernel_.EvalBatch(*out, &hits_, &mis_, &kstate_);
+      pred_evals_ += live;
+      kernel_rows_ += live - static_cast<int64_t>(mis_.size());
+      kernel_fallbacks_ += static_cast<int64_t>(mis_.size());
+      if (rem) kernel_fallbacks_ += static_cast<int64_t>(hits_.size());
+      if (!rem && mis_.empty()) {
+        if (hits_.empty()) continue;
+        out->sel.active = true;
+        out->sel.idx.swap(hits_);
+        return Status::OK();
+      }
+      // Interpreter pass over mismatch rows (full program) and kernel
+      // survivors (remainder conjuncts), merged in row order so the first
+      // Status error matches the row-major legacy loop.
+      final_.clear();
+      size_t a = 0, b = 0;
+      while (a < hits_.size() || b < mis_.size()) {
+        bool from_mis =
+            b < mis_.size() && (a >= hits_.size() || mis_[b] < hits_[a]);
+        int32_t i = from_mis ? mis_[b++] : hits_[a++];
+        const Tuple& t = out->rows[static_cast<size_t>(i)];
+        ProgramCtx ctx{&t, rt_->env, nullptr};
+        auto keep = (from_mis ? preds_ : rem_preds_).Eval(ctx);
+        if (!keep.ok()) return keep.status();
+        if (keep.value()) final_.push_back(i);
+      }
+      if (final_.empty()) continue;
+      out->sel.active = true;
+      out->sel.idx.swap(final_);
+      return Status::OK();
+    }
+  }
+
   std::unique_ptr<BatchIterator> child_;
   bool compiled_ = false;
   PredProgram preds_;
+  KernelProgram kernel_;
+  PredProgram rem_preds_;
+  KernelState kstate_;
+  std::vector<int32_t> hits_;
+  std::vector<int32_t> mis_;
+  std::vector<int32_t> final_;
   RowBatch in_batch_;
   size_t in_pos_ = 0;
   int64_t pred_evals_ = 0;
+  int64_t kernel_rows_ = 0;
+  int64_t kernel_fallbacks_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -960,12 +1203,12 @@ class ProjectIterator : public BatchIterator {
       return Status::OK();
     }
     while (!BatchFull(*out, *rt_)) {
-      if (in_pos_ >= in_batch_.rows.size()) {
+      if (in_pos_ >= in_batch_.live()) {
         STARBURST_RETURN_NOT_OK(child_->Next(&in_batch_));
         in_pos_ = 0;
         if (in_batch_.empty()) break;
       }
-      out->rows.push_back(Project(in_batch_.rows[in_pos_++]));
+      out->rows.push_back(Project(in_batch_.live_row(in_pos_++)));
     }
     return Status::OK();
   }
@@ -1165,12 +1408,12 @@ class FilterByIterator : public BatchIterator {
       }
     }
     while (!BatchFull(*out, *rt_)) {
-      if (in_pos_ >= in_batch_.rows.size()) {
+      if (in_pos_ >= in_batch_.live()) {
         STARBURST_RETURN_NOT_OK(probe_->Next(&in_batch_));
         in_pos_ = 0;
         if (in_batch_.empty()) break;
       }
-      Tuple& t = in_batch_.rows[in_pos_++];
+      Tuple& t = in_batch_.live_row(in_pos_++);
       ProgramCtx ctx{&t, rt_->env, nullptr};
       bool null_key = false;
       for (int k = 0; k < width; ++k) {
@@ -1277,12 +1520,12 @@ class NLJoinIterator : public BatchIterator {
     for (;;) {
       if (BatchFull(*out, *rt_)) return Status::OK();
       if (!have_row_) {
-        if (outer_pos_ >= outer_batch_.rows.size()) {
+        if (outer_pos_ >= outer_batch_.live()) {
           STARBURST_RETURN_NOT_OK(outer_->Next(&outer_batch_));
           outer_pos_ = 0;
           if (outer_batch_.empty()) return Status::OK();  // exhausted
         }
-        cur_ = &outer_batch_.rows[outer_pos_++];
+        cur_ = &outer_batch_.live_row(outer_pos_++);
         have_row_ = true;
         env[static_cast<size_t>(depth_)] = ExecFrame{outer_schema_, cur_};
         if (correlated_) {
@@ -1309,7 +1552,7 @@ class NLJoinIterator : public BatchIterator {
       if (correlated_) {
         for (;;) {
           if (BatchFull(*out, *rt_)) return Status::OK();
-          if (inner_batch_pos_ >= inner_batch_.rows.size()) {
+          if (inner_batch_pos_ >= inner_batch_.live()) {
             STARBURST_RETURN_NOT_OK(inner_->Next(&inner_batch_));
             inner_batch_pos_ = 0;
             if (inner_batch_.empty()) {
@@ -1318,7 +1561,7 @@ class NLJoinIterator : public BatchIterator {
             }
           }
           STARBURST_RETURN_NOT_OK(
-              EmitJoinPair(*cur_, inner_batch_.rows[inner_batch_pos_++],
+              EmitJoinPair(*cur_, inner_batch_.live_row(inner_batch_pos_++),
                            check_, rt_, out));
         }
       } else {
@@ -1617,6 +1860,8 @@ class HashJoinIterator : public BatchIterator {
       CompileEnv ienv = oenv;
       ienv.schema = is.value();
       PredSet enforced;
+      const Expr* okey_expr = nullptr;
+      const Expr* ikey_expr = nullptr;
       for (int id : join_preds.ToVector()) {
         const Predicate& p = rt_->query->predicate(id);
         if (!IsHashable(p, ot, it)) continue;
@@ -1625,7 +1870,22 @@ class HashJoinIterator : public BatchIterator {
             ExprProgram::Compile(lhs_outer ? *p.lhs : *p.rhs, oenv));
         inner_key_.push_back(
             ExprProgram::Compile(lhs_outer ? *p.rhs : *p.lhs, ienv));
+        okey_expr = lhs_outer ? p.lhs.get() : p.rhs.get();
+        ikey_expr = lhs_outer ? p.rhs.get() : p.lhs.get();
         enforced = enforced.Union(PredSet::Single(id));
+      }
+      // Width-1 keys whose expressions lower to a pure int64 loop skip the
+      // Datum interpreter on both build and probe; the hash is bit-identical
+      // to JoinHashTable::HashKey over the equivalent Datum.
+      if (rt_->typed_kernels && outer_key_.size() == 1) {
+        KernelEnv kenv;
+        kenv.query = rt_->query;
+        kenv.db = rt_->db;
+        kenv.schema = os.value();
+        okk_ = KeyKernel::Compile(*okey_expr, *rt_->query, kenv);
+        kenv.schema = is.value();
+        ikk_ = KeyKernel::Compile(*ikey_expr, *rt_->query, kenv);
+        typed_keys_ = okk_.usable() && ikk_.usable();
       }
       degrade_ = outer_key_.empty();
       CompileEnv env;
@@ -1674,6 +1934,20 @@ class HashJoinIterator : public BatchIterator {
       STARBURST_RETURN_NOT_OK(ht_->Reserve(build_rows_.size()));
       key_buf_.resize(static_cast<size_t>(width));
       for (size_t r = 0; r < build_rows_.size(); ++r) {
+        if (typed_keys_) {
+          int64_t kv = 0;
+          bool kn = false;
+          if (ikk_.EvalInt(build_rows_[r], &kv, &kn)) {
+            ++kernel_rows_;
+            if (kn) continue;  // NULL keys never match: row skipped
+            key_buf_[0] = Datum(kv);
+            STARBURST_RETURN_NOT_OK(ht_->Insert(
+                key_buf_.data(), HashInt64JoinKey(kv),
+                static_cast<uint32_t>(r)));
+            continue;
+          }
+          ++kernel_fallbacks_;  // type-mismatch row: generic key eval below
+        }
         ProgramCtx ctx{&build_rows_[r], rt_->env, nullptr};
         bool null_key = false;
         for (int k = 0; k < width; ++k) {
@@ -1710,24 +1984,45 @@ class HashJoinIterator : public BatchIterator {
         ++chain_steps_;
         continue;
       }
-      if (outer_pos_ >= outer_batch_.rows.size()) {
+      if (outer_pos_ >= outer_batch_.live()) {
         STARBURST_RETURN_NOT_OK(outer_->Next(&outer_batch_));
         outer_pos_ = 0;
         if (outer_batch_.empty()) return Status::OK();  // exhausted
+        if (typed_keys_) PrecomputeOuterKeys();
       }
-      cur_ = &outer_batch_.rows[outer_pos_++];
-      ProgramCtx ctx{cur_, rt_->env, nullptr};
-      bool null_key = false;
-      for (int k = 0; k < width; ++k) {
-        auto v = outer_key_[static_cast<size_t>(k)].Eval(ctx);
-        if (!v.ok()) return v.status();
-        if (v.value().is_null()) null_key = true;
-        key_buf_[static_cast<size_t>(k)] = std::move(v).value();
+      size_t opos = outer_pos_;
+      cur_ = &outer_batch_.live_row(outer_pos_++);
+      uint64_t h = 0;
+      bool have_key = false;
+      if (typed_keys_) {
+        // The whole batch's keys and hashes are already computed, so the
+        // probe a few rows ahead can warm its slot line while this one runs.
+        constexpr size_t kProbeAhead = 8;
+        if (opos + kProbeAhead < okind_.size() &&
+            okind_[opos + kProbeAhead] == kOuterTyped) {
+          ht_->Prefetch(ohash_[opos + kProbeAhead]);
+        }
+        if (okind_[opos] == kOuterNull) continue;
+        if (okind_[opos] == kOuterTyped) {
+          h = ohash_[opos];
+          have_key = true;
+        }
       }
-      if (null_key) continue;
+      if (!have_key) {
+        ProgramCtx ctx{cur_, rt_->env, nullptr};
+        bool null_key = false;
+        for (int k = 0; k < width; ++k) {
+          auto v = outer_key_[static_cast<size_t>(k)].Eval(ctx);
+          if (!v.ok()) return v.status();
+          if (v.value().is_null()) null_key = true;
+          key_buf_[static_cast<size_t>(k)] = std::move(v).value();
+        }
+        if (null_key) continue;
+        h = JoinHashTable::HashKey(key_buf_.data(), width);
+      }
       ++probes_;
-      int32_t g = ht_->FindGroup(key_buf_.data(),
-                                 JoinHashTable::HashKey(key_buf_.data(), width));
+      int32_t g = have_key ? ht_->FindGroupInt(okeys_[opos], h)
+                           : ht_->FindGroup(key_buf_.data(), h);
       if (g >= 0) chain_ = ht_->GroupHead(g);
     }
   }
@@ -1747,6 +2042,10 @@ class HashJoinIterator : public BatchIterator {
         }
       }
     }
+    FlushKernelCounters(rt_, node_, kernel_rows_, kernel_fallbacks_,
+                        typed_keys_ ? 1 : 0, 0);
+    kernel_rows_ = 0;
+    kernel_fallbacks_ = 0;
     for (auto& f : opart_) f.reset();
     STARBURST_RETURN_NOT_OK(outer_->Close());
     return inner_->Close();
@@ -1792,7 +2091,8 @@ class HashJoinIterator : public BatchIterator {
       pt_ = std::make_unique<PartitionedJoinTable>(width);
       STARBURST_RETURN_NOT_OK(
           pt_->Build(build_rows_, inner_key_, rt_->env, rt_->exec_threads,
-                     rt_->governor));
+                     rt_->governor, typed_keys_ ? &ikk_ : nullptr,
+                     &kernel_rows_, &kernel_fallbacks_));
       built_ = true;
       if (pt_->build_workers() > workers_used_) {
         workers_used_ = pt_->build_workers();
@@ -1818,6 +2118,8 @@ class HashJoinIterator : public BatchIterator {
       pmorsel_out_.assign(morsels, {});
       std::vector<int64_t> probes(morsels, 0);
       std::vector<int64_t> chains(morsels, 0);
+      std::vector<int64_t> krows(morsels, 0);
+      std::vector<int64_t> kfalls(morsels, 0);
       STARBURST_RETURN_NOT_OK(RunMorsels(workers, morsels, [&](size_t m) {
         size_t lo = m * kMorselRows;
         size_t hi = std::min(n, lo + kMorselRows);
@@ -1825,17 +2127,34 @@ class HashJoinIterator : public BatchIterator {
         RowBatch local;
         for (size_t r = lo; r < hi; ++r) {
           const Tuple& o = probe_rows_[r];
-          ProgramCtx ctx{&o, rt_->env, nullptr};
-          bool null_key = false;
-          for (int k = 0; k < width; ++k) {
-            auto v = outer_key_[static_cast<size_t>(k)].Eval(ctx);
-            if (!v.ok()) return v.status();
-            if (v.value().is_null()) null_key = true;
-            kb[static_cast<size_t>(k)] = std::move(v).value();
+          uint64_t h = 0;
+          bool have_key = false;
+          if (typed_keys_) {
+            int64_t kv = 0;
+            bool kn = false;
+            if (okk_.EvalInt(o, &kv, &kn)) {
+              ++krows[m];
+              if (kn) continue;
+              kb[0] = Datum(kv);
+              h = HashInt64JoinKey(kv);
+              have_key = true;
+            } else {
+              ++kfalls[m];
+            }
           }
-          if (null_key) continue;
+          if (!have_key) {
+            ProgramCtx ctx{&o, rt_->env, nullptr};
+            bool null_key = false;
+            for (int k = 0; k < width; ++k) {
+              auto v = outer_key_[static_cast<size_t>(k)].Eval(ctx);
+              if (!v.ok()) return v.status();
+              if (v.value().is_null()) null_key = true;
+              kb[static_cast<size_t>(k)] = std::move(v).value();
+            }
+            if (null_key) continue;
+            h = JoinHashTable::HashKey(kb.data(), width);
+          }
           ++probes[m];
-          uint64_t h = JoinHashTable::HashKey(kb.data(), width);
           const JoinHashTable& table = pt_->partition(h);
           int32_t g = table.FindGroup(kb.data(), h);
           if (g < 0) continue;
@@ -1852,6 +2171,8 @@ class HashJoinIterator : public BatchIterator {
       }, rt_->governor));
       for (int64_t v : probes) probes_ += v;
       for (int64_t v : chains) chain_steps_ += v;
+      for (int64_t v : krows) kernel_rows_ += v;
+      for (int64_t v : kfalls) kernel_fallbacks_ += v;
       if (workers > workers_used_) workers_used_ = workers;
       probed_ = true;
       pemit_morsel_ = 0;
@@ -1911,6 +2232,34 @@ class HashJoinIterator : public BatchIterator {
 
   static size_t GracePartition(uint64_t hash) {
     return static_cast<size_t>(hash >> 60) & (kGraceParts - 1);
+  }
+
+  /// Key evaluation for the Grace loops: the typed kernel first — the same
+  /// fast path the in-memory build and probe take — with the generic
+  /// interpreter on type-mismatch fallback. Fills key_buf_, stores the key's
+  /// hash in *hash (unset for NULL keys, which every caller skips), and
+  /// returns whether any key column was NULL.
+  Result<bool> GraceKeyHash(const std::vector<ExprProgram>& progs,
+                            const KeyKernel& kk, const Tuple& row, int width,
+                            uint64_t* hash) {
+    if (typed_keys_) {
+      int64_t kv = 0;
+      bool kn = false;
+      if (kk.EvalInt(row, &kv, &kn)) {
+        ++kernel_rows_;
+        if (kn) return true;
+        key_buf_[0] = Datum(kv);
+        *hash = HashInt64JoinKey(kv);
+        return false;
+      }
+      ++kernel_fallbacks_;
+    }
+    auto null_key = EvalKey(progs, row);
+    if (!null_key.ok()) return null_key.status();
+    if (!null_key.value()) {
+      *hash = JoinHashTable::HashKey(key_buf_.data(), width);
+    }
+    return null_key.value();
   }
 
   /// Evaluates `progs` over `row` into key_buf_; returns whether any key
@@ -2000,11 +2349,12 @@ class HashJoinIterator : public BatchIterator {
     {
       std::array<std::vector<Tuple>, kGraceParts> buf;
       for (size_t r = 0; r < build_rows_.size(); ++r) {
-        auto null_key = EvalKey(inner_key_, build_rows_[r]);
+        uint64_t h = 0;
+        auto null_key = GraceKeyHash(inner_key_, ikk_, build_rows_[r], width,
+                                     &h);
         if (!null_key.ok()) return null_key.status();
         if (null_key.value()) continue;  // NULL keys never match: row skipped
-        size_t p =
-            GracePartition(JoinHashTable::HashKey(key_buf_.data(), width));
+        size_t p = GracePartition(h);
         buf[p].push_back(build_rows_[r]);
         if (buf[p].size() >= kSpillFlushRows) {
           STARBURST_RETURN_NOT_OK(FlushPart(&bpart[p], &buf[p]));
@@ -2034,12 +2384,12 @@ class HashJoinIterator : public BatchIterator {
         if (b.empty()) break;
         for (Tuple& o : b.rows) {
           int64_t my_idx = idx++;
-          auto null_key = EvalKey(outer_key_, o);
+          uint64_t h = 0;
+          auto null_key = GraceKeyHash(outer_key_, okk_, o, width, &h);
           if (!null_key.ok()) return null_key.status();
           if (null_key.value()) continue;
           ++probes_;
-          size_t p =
-              GracePartition(JoinHashTable::HashKey(key_buf_.data(), width));
+          size_t p = GracePartition(h);
           Tuple row;
           row.reserve(o.size() + 1);
           row.push_back(Datum(my_idx));
@@ -2094,12 +2444,12 @@ class HashJoinIterator : public BatchIterator {
     JoinHashTable table(width);
     STARBURST_RETURN_NOT_OK(table.Reserve(prows.size()));
     for (size_t r = 0; r < prows.size(); ++r) {
-      auto null_key = EvalKey(inner_key_, prows[r]);
+      uint64_t h = 0;
+      auto null_key = GraceKeyHash(inner_key_, ikk_, prows[r], width, &h);
       if (!null_key.ok()) return null_key.status();
       // Null-key rows never reached the partition files.
-      STARBURST_RETURN_NOT_OK(table.Insert(
-          key_buf_.data(), JoinHashTable::HashKey(key_buf_.data(), width),
-          static_cast<uint32_t>(r)));
+      STARBURST_RETURN_NOT_OK(
+          table.Insert(key_buf_.data(), h, static_cast<uint32_t>(r)));
     }
     int64_t charge = RowsApproxBytes(prows) + table.ApproxBytes();
     if (rt_->profile != nullptr) {
@@ -2129,10 +2479,13 @@ class HashJoinIterator : public BatchIterator {
       int64_t idx = row[0].AsInt();
       Tuple o(std::make_move_iterator(row.begin() + 1),
               std::make_move_iterator(row.end()));
-      auto null_key = EvalKey(outer_key_, o);
+      uint64_t h = 0;
+      auto null_key = GraceKeyHash(outer_key_, okk_, o, width, &h);
       if (!null_key.ok()) return null_key.status();
-      uint64_t h = JoinHashTable::HashKey(key_buf_.data(), width);
-      int32_t g = table.FindGroup(key_buf_.data(), h);
+      if (null_key.value()) continue;
+      int32_t g = width == 1 && key_buf_[0].is_int()
+                      ? table.FindGroupInt(key_buf_[0].AsInt(), h)
+                      : table.FindGroup(key_buf_.data(), h);
       if (g < 0) continue;
       RowBatch local;
       for (int32_t e = table.GroupHead(g); e >= 0; e = table.NextEntry(e)) {
@@ -2155,6 +2508,33 @@ class HashJoinIterator : public BatchIterator {
     return FlushPart(ofile, &obuf);
   }
 
+  /// Evaluates the typed outer key for every live row of a fresh probe
+  /// batch. The hash-table probe is the random-access hot spot of the
+  /// serial path; knowing the whole batch's hashes up front lets the probe
+  /// loop prefetch slot lines a few rows ahead of their use.
+  void PrecomputeOuterKeys() {
+    size_t n = outer_batch_.live();
+    okeys_.assign(n, 0);
+    ohash_.assign(n, 0);
+    okind_.assign(n, kOuterFallback);
+    for (size_t k = 0; k < n; ++k) {
+      int64_t kv = 0;
+      bool kn = false;
+      if (!okk_.EvalInt(outer_batch_.live_row(k), &kv, &kn)) {
+        ++kernel_fallbacks_;
+        continue;
+      }
+      ++kernel_rows_;
+      if (kn) {
+        okind_[k] = kOuterNull;
+      } else {
+        okind_[k] = kOuterTyped;
+        okeys_[k] = kv;
+        ohash_[k] = HashInt64JoinKey(kv);
+      }
+    }
+  }
+
   std::unique_ptr<BatchIterator> outer_;
   std::unique_ptr<BatchIterator> inner_;
   bool compiled_ = false;
@@ -2172,6 +2552,17 @@ class HashJoinIterator : public BatchIterator {
   int64_t probes_ = 0;
   int64_t chain_steps_ = 0;
   int64_t charged_ = 0;
+  // Typed width-1 int64 key kernels (build side / probe side).
+  KeyKernel ikk_;
+  KeyKernel okk_;
+  bool typed_keys_ = false;
+  int64_t kernel_rows_ = 0;
+  int64_t kernel_fallbacks_ = 0;
+  // Per-batch precomputed probe keys (typed path), enabling slot prefetch.
+  enum : uint8_t { kOuterNull = 0, kOuterTyped = 1, kOuterFallback = 2 };
+  std::vector<int64_t> okeys_;
+  std::vector<uint64_t> ohash_;
+  std::vector<uint8_t> okind_;
   // Degrade-mode state.
   bool drained_ = false;
   std::vector<Tuple> dorows_;
@@ -2434,6 +2825,7 @@ Result<ResultSet> Executor::RunVectorized(const PlanPtr& plan) {
   rt.instrumented = rt.stats != nullptr || rt.profile != nullptr;
   rt.batch_size = batch_size_;
   rt.exec_threads = exec_threads_;
+  rt.typed_kernels = typed_kernels_;
   rt.env = &env_;
   // Nodes reachable through more than one parent in the plan DAG
   // materialize once and replay.
@@ -2468,6 +2860,7 @@ Result<ResultSet> Executor::RunVectorized(const PlanPtr& plan) {
     for (;;) {
       s = it.value()->Next(&b);
       if (!s.ok() || b.empty()) break;
+      b.Compact();  // the result set is the final pipeline breaker
       rs.rows.reserve(rs.rows.size() + b.rows.size());
       for (Tuple& t : b.rows) rs.rows.push_back(std::move(t));
     }
@@ -2477,6 +2870,9 @@ Result<ResultSet> Executor::RunVectorized(const PlanPtr& plan) {
   // files. The primary error wins over any close-time error.
   Status close_status = it.value()->Close();
   if (s.ok()) s = close_status;
+  last_kernel_rows_ = rt.kernel_rows.load(std::memory_order_relaxed);
+  last_kernel_fallbacks_ =
+      rt.kernel_fallback_rows.load(std::memory_order_relaxed);
   if (!s.ok()) {
     VecAccess::Release(this);
     return s;

@@ -1,6 +1,8 @@
 #ifndef STARBURST_EXEC_BATCH_ITERATOR_H_
 #define STARBURST_EXEC_BATCH_ITERATOR_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <set>
 #include <vector>
@@ -41,6 +43,16 @@ struct VecRuntime {
   /// operator: no parallel iterator is ever built and the pipeline is the
   /// sequential engine, byte for byte.
   int exec_threads = 1;
+  /// Type-specialized fused predicate/key kernels (exec/kernel.{h,cc}). Off
+  /// (STARBURST_TYPED_KERNELS=0) runs every predicate through the generic
+  /// postfix interpreter — the differential oracle for the typed loops.
+  bool typed_kernels = true;
+  /// Whole-run kernel accounting, aggregated across iterators (including
+  /// exchange morsel workers, hence atomic): rows decided by a fused kernel
+  /// and rows routed back to the interpreter (type-mismatch or unfused
+  /// conjuncts on kernel-eligible sites).
+  std::atomic<int64_t> kernel_rows{0};
+  std::atomic<int64_t> kernel_fallback_rows{0};
   std::vector<ExecFrame>* env = nullptr;
   /// Uncorrelated nodes with more than one parent in the plan DAG: they
   /// materialize once through the executor's material cache and replay per
@@ -72,8 +84,9 @@ class BatchIterator {
 
  protected:
   virtual Status DoOpen() = 0;
-  /// Appends rows to `out` (already cleared). Must either append at least
-  /// one row or return with `out` empty to signal exhaustion.
+  /// Appends rows to `out` (already cleared). Must either leave at least one
+  /// LIVE row (an attached selection vector may hide rows, but never all of
+  /// them) or return with `out` empty to signal exhaustion.
   virtual Status DoNext(RowBatch* out) = 0;
   virtual Status DoClose() { return Status::OK(); }
 

@@ -42,6 +42,9 @@ Result<ResultSet> ExecutePlan(const Database& db, const Query& query,
   if (options.vectorized >= 0) exec.set_vectorized(options.vectorized != 0);
   if (options.batch_size > 0) exec.set_batch_size(options.batch_size);
   if (options.exec_threads > 0) exec.set_exec_threads(options.exec_threads);
+  if (options.typed_kernels >= 0) {
+    exec.set_typed_kernels(options.typed_kernels != 0);
+  }
   // Profiling: an explicit sink (or workload repository) turns it on; else
   // the int knob decides, defaulting from STARBURST_PROFILE. The workload
   // repository needs a profile to read actuals from, so it implies a local

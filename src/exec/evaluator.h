@@ -28,6 +28,7 @@ struct ExecOptions {
   int vectorized = -1;                  // -1 env default, 0 legacy, 1 batch
   int batch_size = 0;                   // 0 env default, else rows per batch
   int exec_threads = 0;                 // 0 env default, else exchange workers
+  int typed_kernels = -1;               // -1 env default, 0 off, 1 fused
   int profile = -1;                     // -1 STARBURST_PROFILE, 0 off, 1 on
   ExecProfile* profile_sink = nullptr;  // operator profile sink (implies on)
   WorkloadRepository* workload = nullptr;  // fold the run into the repository

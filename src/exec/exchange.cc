@@ -136,7 +136,10 @@ PartitionedJoinTable::PartitionedJoinTable(int key_width)
 Status PartitionedJoinTable::Build(const std::vector<Tuple>& rows,
                                    const std::vector<ExprProgram>& key_progs,
                                    std::vector<ExecFrame>* frames,
-                                   int exec_threads, ExecGovernor* governor) {
+                                   int exec_threads, ExecGovernor* governor,
+                                   const KeyKernel* key_kernel,
+                                   int64_t* kernel_rows,
+                                   int64_t* kernel_fallbacks) {
   const size_t n = rows.size();
   const int width = key_width_;
   std::vector<Datum> keys(n * static_cast<size_t>(width));
@@ -144,12 +147,29 @@ Status PartitionedJoinTable::Build(const std::vector<Tuple>& rows,
   std::vector<char> skip(n, 0);
   size_t morsels = MorselCount(n);
   int workers = ExchangeWorkersFor(exec_threads, n, morsels);
+  std::vector<int64_t> krows(morsels, 0);
+  std::vector<int64_t> kfalls(morsels, 0);
   STARBURST_RETURN_NOT_OK(RunMorsels(workers, morsels, [&](size_t m) {
     size_t lo = m * kMorselRows;
     size_t hi = std::min(n, lo + kMorselRows);
     for (size_t r = lo; r < hi; ++r) {
-      ProgramCtx ctx{&rows[r], frames, nullptr};
       Datum* key = &keys[r * static_cast<size_t>(width)];
+      if (key_kernel != nullptr) {
+        int64_t kv = 0;
+        bool kn = false;
+        if (key_kernel->EvalInt(rows[r], &kv, &kn)) {
+          ++krows[m];
+          if (kn) {
+            skip[r] = 1;  // NULL keys never match: row skipped
+            continue;
+          }
+          key[0] = Datum(kv);
+          hashes[r] = HashInt64JoinKey(kv);
+          continue;
+        }
+        ++kfalls[m];  // type-mismatch row: generic key programs below
+      }
+      ProgramCtx ctx{&rows[r], frames, nullptr};
       bool null_key = false;
       for (int k = 0; k < width; ++k) {
         auto v = key_progs[static_cast<size_t>(k)].Eval(ctx);
@@ -165,6 +185,12 @@ Status PartitionedJoinTable::Build(const std::vector<Tuple>& rows,
     }
     return Status::OK();
   }, governor));
+  if (kernel_rows != nullptr) {
+    for (int64_t v : krows) *kernel_rows += v;
+  }
+  if (kernel_fallbacks != nullptr) {
+    for (int64_t v : kfalls) *kernel_fallbacks += v;
+  }
   // Partition-parallel insert: each worker owns whole partitions and walks
   // the rows in global order, so chains replay sequential insertion order.
   STARBURST_RETURN_NOT_OK(RunMorsels(std::min(workers, kPartitions),
@@ -229,6 +255,18 @@ Status ExchangeScanIterator::DoOpen() {
     env.frame_limit = static_cast<size_t>(depth_);
     env.base_quantifier = q_;
     preds_ = PredProgram::Compile(preds, query, env);
+    if (!is_index_ && rt_->typed_kernels) {
+      KernelEnv kenv;
+      kenv.schema = &schema_;
+      kenv.query = rt_->query;
+      kenv.db = rt_->db;
+      kenv.base_quantifier = q_;
+      kenv.scan_mode = true;
+      kernel_ = KernelProgram::Compile(preds, query, kenv);
+      if (kernel_.usable()) {
+        rem_preds_ = PredProgram::Compile(kernel_.remainder(), query, env);
+      }
+    }
     if (is_index_) {
       auto index = rt_->db->FindIndex(query.quantifier(q_).table,
                                       node_->args.GetString(arg::kIndex));
@@ -290,10 +328,52 @@ Status ExchangeScanIterator::RunScan() {
   int workers = ExchangeWorkersFor(rt_->exec_threads, n, morsels);
   morsel_rows_.assign(morsels, {});
   std::vector<int64_t> evals(morsels, 0);
+  std::vector<int64_t> krows(morsels, 0);
+  std::vector<int64_t> kfalls(morsels, 0);
+  const bool use_kernel = !is_index_ && kernel_.usable();
+  const bool rem = !rem_preds_.empty();
   STARBURST_RETURN_NOT_OK(RunMorsels(workers, morsels, [&](size_t m) {
     size_t lo = m * kMorselRows;
     size_t hi = std::min(n, lo + kMorselRows);
     std::vector<Tuple>& out = morsel_rows_[m];
+    if (use_kernel) {
+      // Fused path with a null KernelState: fixed predicate order, so the
+      // shared program is read-only across workers. Survivors and mismatch
+      // rows merge back in TID order — the morsel's sequential row order.
+      std::vector<int64_t> hit, mis;
+      kernel_.EvalScan(*table_, static_cast<int64_t>(lo),
+                       static_cast<int64_t>(hi), &hit, &mis, nullptr);
+      evals[m] = static_cast<int64_t>(hi - lo);
+      krows[m] =
+          static_cast<int64_t>(hi - lo) - static_cast<int64_t>(mis.size());
+      kfalls[m] = static_cast<int64_t>(mis.size()) +
+                  (rem ? static_cast<int64_t>(hit.size()) : 0);
+      size_t a = 0, b = 0;
+      while (a < hit.size() || b < mis.size()) {
+        bool from_mis =
+            b < mis.size() && (a >= hit.size() || mis[b] < hit[a]);
+        int64_t tid = from_mis ? mis[b++] : hit[a++];
+        const Tuple& base = table_->row(tid);
+        Tuple t;
+        t.reserve(schema_.size());
+        for (const ColumnRef& c : schema_) {
+          if (c.is_tid()) {
+            t.push_back(Datum(tid));
+          } else {
+            t.push_back(base[static_cast<size_t>(c.column)]);
+          }
+        }
+        if (!from_mis && !rem) {
+          out.push_back(std::move(t));
+          continue;
+        }
+        ProgramCtx ctx{&t, rt_->env, &base};
+        auto keep = (from_mis ? preds_ : rem_preds_).Eval(ctx);
+        if (!keep.ok()) return keep.status();
+        if (keep.value()) out.push_back(std::move(t));
+      }
+      return Status::OK();
+    }
     int64_t local_evals = 0;
     for (size_t i = lo; i < hi; ++i) {
       Tid tid;
@@ -324,6 +404,8 @@ Status ExchangeScanIterator::RunScan() {
     return Status::OK();
   }, rt_->governor));
   for (int64_t e : evals) pred_evals_ += e;
+  for (int64_t v : krows) kernel_rows_ += v;
+  for (int64_t v : kfalls) kernel_fallbacks_ += v;
   if (workers > workers_used_) workers_used_ = workers;
   return Status::OK();
 }
@@ -358,7 +440,20 @@ Status ExchangeScanIterator::DoClose() {
     if (workers_used_ > 1 && workers_used_ > p.exchange_workers) {
       p.exchange_workers = workers_used_;
     }
+    if (kernel_rows_ > 0 || kernel_fallbacks_ > 0) {
+      p.kernel_rows += kernel_rows_;
+      p.kernel_fallbacks += kernel_fallbacks_;
+      p.kernel_fused_preds = kernel_.fused();
+      p.kernel_fallback_preds = kernel_.fallback_preds();
+    }
   }
+  if (kernel_rows_ > 0 || kernel_fallbacks_ > 0) {
+    rt_->kernel_rows.fetch_add(kernel_rows_, std::memory_order_relaxed);
+    rt_->kernel_fallback_rows.fetch_add(kernel_fallbacks_,
+                                        std::memory_order_relaxed);
+  }
+  kernel_rows_ = 0;
+  kernel_fallbacks_ = 0;
   morsel_rows_.clear();
   return Status::OK();
 }

@@ -8,6 +8,7 @@
 
 #include "exec/batch_iterator.h"
 #include "exec/hash_table.h"
+#include "exec/kernel.h"
 #include "exec/pred_program.h"
 #include "storage/index.h"
 
@@ -96,10 +97,18 @@ class PartitionedJoinTable {
   /// non-NULL keys partition-parallel. Key-program failures surface as the
   /// lowest-row-order error, matching the sequential build. A non-null
   /// governor is checked once per morsel (see RunMorsels).
+  ///
+  /// A non-null `key_kernel` (width-1 typed int64 key) evaluates rows
+  /// without the Datum interpreter; per-row type mismatches fall back to
+  /// `key_progs`. Kernel traffic is tallied into *kernel_rows /
+  /// *kernel_fallbacks on the coordinator after the morsels join.
   Status Build(const std::vector<Tuple>& rows,
                const std::vector<ExprProgram>& key_progs,
                std::vector<ExecFrame>* frames, int exec_threads,
-               ExecGovernor* governor = nullptr);
+               ExecGovernor* governor = nullptr,
+               const KeyKernel* key_kernel = nullptr,
+               int64_t* kernel_rows = nullptr,
+               int64_t* kernel_fallbacks = nullptr);
 
   const JoinHashTable& partition(uint64_t hash) const {
     return parts_[static_cast<size_t>(PartitionOf(hash))];
@@ -142,6 +151,13 @@ class ExchangeScanIterator : public BatchIterator {
   const SecondaryIndex* ix_ = nullptr;
   Schema schema_;
   PredProgram preds_;
+  /// Heap/btree flavors only: fused predicate prefix evaluated over the
+  /// base rows of each morsel. Workers pass a null KernelState (fixed pred
+  /// order) so the shared program stays immutable.
+  KernelProgram kernel_;
+  PredProgram rem_preds_;
+  int64_t kernel_rows_ = 0;
+  int64_t kernel_fallbacks_ = 0;
   std::vector<ExprProgram> probe_progs_;
   std::vector<Datum> prefix_;
   std::vector<const SecondaryIndex::Entry*> pref_entries_;

@@ -21,7 +21,8 @@ Executor::Executor(const Database& db, const Query& query,
       faults_(FaultInjector::Global()),
       vectorized_(DefaultVectorized()),
       batch_size_(DefaultBatchSize()),
-      exec_threads_(DefaultExecThreads()) {}
+      exec_threads_(DefaultExecThreads()),
+      typed_kernels_(DefaultTypedKernels()) {}
 
 // ---------------------------------------------------------------------------
 // ExecutorRegistry
@@ -277,6 +278,10 @@ void Executor::PublishMetrics(const PlanRunStats& stats,
   }
   metrics_->AddCounter("exec.rows", total_rows);
   if (total_batches > 0) metrics_->AddCounter("exec.batches", total_batches);
+  if (vectorized && (last_kernel_rows_ > 0 || last_kernel_fallbacks_ > 0)) {
+    metrics_->AddCounter("exec.kernel_rows", last_kernel_rows_);
+    metrics_->AddCounter("exec.kernel_fallbacks", last_kernel_fallbacks_);
+  }
   if (profile_ != nullptr) {
     metrics_->SetGauge("exec.peak_bytes",
                        static_cast<double>(profile_->memory().peak_bytes()));

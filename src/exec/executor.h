@@ -137,6 +137,17 @@ class Executor {
   }
   int exec_threads() const { return exec_threads_; }
 
+  /// Type-specialized fused predicate/key kernels in the vectorized engine
+  /// (defaults from STARBURST_TYPED_KERNELS; off runs every predicate
+  /// through the generic interpreter — the differential oracle).
+  void set_typed_kernels(bool on) { typed_kernels_ = on; }
+  bool typed_kernels() const { return typed_kernels_; }
+
+  /// Kernel traffic of the most recent vectorized Run: rows decided by a
+  /// fused kernel, and rows routed back to the interpreter.
+  int64_t last_kernel_rows() const { return last_kernel_rows_; }
+  int64_t last_kernel_fallbacks() const { return last_kernel_fallbacks_; }
+
   /// Publish per-operator rows/batches/time counters after each Run.
   void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
 
@@ -208,6 +219,9 @@ class Executor {
   bool vectorized_;
   int batch_size_;
   int exec_threads_;
+  bool typed_kernels_;
+  int64_t last_kernel_rows_ = 0;
+  int64_t last_kernel_fallbacks_ = 0;
 
   std::vector<ExecFrame> env_;
   // Cached materializations of uncorrelated subplans (NL inners, temps).

@@ -109,6 +109,22 @@ int64_t JoinHashTable::ApproxBytes() const {
   return bytes;
 }
 
+int32_t JoinHashTable::FindGroupInt(int64_t key, uint64_t hash) const {
+  if (slots_.empty()) return -1;
+  uint64_t idx = hash & slot_mask_;
+  while (slots_[idx] != -1) {
+    int32_t g = slots_[idx];
+    if (group_hash_[static_cast<size_t>(g)] == hash) {
+      const Datum& d = keys_[static_cast<size_t>(g)];
+      if (d.is_int() ? d.AsInt() == key : Datum(key).Compare(d) == 0) {
+        return g;
+      }
+    }
+    idx = (idx + 1) & slot_mask_;
+  }
+  return -1;
+}
+
 int32_t JoinHashTable::FindGroup(const Datum* key, uint64_t hash) const {
   if (slots_.empty()) return -1;
   uint64_t idx = hash & slot_mask_;

@@ -43,6 +43,24 @@ class JoinHashTable {
   /// Group id for `key`, or -1 if absent.
   int32_t FindGroup(const Datum* key, uint64_t hash) const;
 
+  /// Typed probe for width-1 tables keyed by an int64: the slot walk of
+  /// FindGroup with the exact-key check inlined to one integer compare.
+  /// Falls back to the generic Compare per slot only when the stored key is
+  /// not an int (a stored double can still equal an int key — Hash64 hashes
+  /// them identically, and Compare decides).
+  int32_t FindGroupInt(int64_t key, uint64_t hash) const;
+
+  /// Hints the cache that FindGroup for `hash` is imminent: touches the
+  /// slot line the probe will start at. Linear probing keeps subsequent
+  /// slots on the same or the next line, so one hint covers most probes.
+  void Prefetch(uint64_t hash) const {
+#if defined(__GNUC__) || defined(__clang__)
+    if (!slots_.empty()) __builtin_prefetch(&slots_[hash & slot_mask_]);
+#else
+    (void)hash;
+#endif
+  }
+
   /// Insertion-order chain walk: first entry of a group / next entry / the
   /// row an entry holds. `NextEntry` returns -1 at the end of the chain.
   int32_t GroupHead(int32_t group) const { return group_head_[static_cast<size_t>(group)]; }

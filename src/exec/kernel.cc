@@ -1,0 +1,548 @@
+#include "exec/kernel.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "query/query.h"
+
+namespace starburst {
+
+using kernel_detail::KPred;
+using kernel_detail::NumExpr;
+using kernel_detail::NumStep;
+using kernel_detail::PredKind;
+using kernel_detail::StrOperand;
+
+// ---------------------------------------------------------------------------
+// Compilation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Catalog-declared type of `ref`, or nullopt when it cannot be established
+/// statically. TID pseudo-columns are int64 by construction.
+std::optional<ColumnType> DeclaredType(const ColumnRef& ref,
+                                       const Query& query) {
+  if (ref.is_tid()) return ColumnType::kInt64;
+  if (ref.quantifier < 0 || ref.quantifier >= query.num_quantifiers()) {
+    return std::nullopt;
+  }
+  const TableDef& table = query.table_of(ref.quantifier);
+  if (ref.column < 0 ||
+      ref.column >= static_cast<int>(table.columns.size())) {
+    return std::nullopt;
+  }
+  return table.columns[ref.column].type;
+}
+
+/// Resolves a column leaf to a load step, mirroring the interpreter's
+/// resolution order. Slot mode sees only the stream schema (a leaf the
+/// interpreter would find in a binding frame must not fuse); scan mode sees
+/// only the base row of the scanned quantifier, whose values are by
+/// construction identical to the projected slots.
+bool ResolveLeaf(const ColumnRef& ref, const KernelEnv& env, NumStep* step) {
+  if (env.scan_mode) {
+    if (ref.quantifier != env.base_quantifier) return false;
+    if (ref.is_tid()) {
+      step->op = NumStep::Op::kTid;
+      return true;
+    }
+    step->op = NumStep::Op::kBase;
+    step->a = ref.column;
+    return true;
+  }
+  if (env.schema == nullptr) return false;
+  for (size_t i = 0; i < env.schema->size(); ++i) {
+    if ((*env.schema)[i] == ref) {
+      step->op = NumStep::Op::kSlot;
+      step->a = static_cast<int32_t>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+struct NumBuild {
+  std::vector<NumStep> steps;
+  std::optional<bool> dbl;  // unset until the first typed leaf
+  bool has_load = false;
+  int depth = 0;
+  int max_depth = 0;
+};
+
+/// Postfix-compiles `expr` into typed steps. Fails (returns false) on
+/// division, string/NULL leaves, unresolvable columns, a type disagreeing
+/// with previously seen leaves, or stack depth over the fixed eval stack.
+bool CompileNum(const Expr& expr, const Query& query, const KernelEnv& env,
+                NumBuild* b) {
+  constexpr int kMaxStack = 8;
+  switch (expr.kind()) {
+    case ExprKind::kColumn: {
+      std::optional<ColumnType> type = DeclaredType(expr.column(), query);
+      if (!type.has_value() || *type == ColumnType::kString) return false;
+      bool dbl = *type == ColumnType::kDouble;
+      if (b->dbl.has_value() && *b->dbl != dbl) return false;
+      b->dbl = dbl;
+      NumStep step;
+      if (!ResolveLeaf(expr.column(), env, &step)) return false;
+      b->steps.push_back(step);
+      b->has_load = true;
+      break;
+    }
+    case ExprKind::kLiteral: {
+      const Datum& v = expr.literal();
+      NumStep step;
+      if (v.is_int()) {
+        if (b->dbl.has_value() && *b->dbl) return false;
+        b->dbl = false;
+        step.op = NumStep::Op::kConstI;
+        step.ci = v.AsInt();
+      } else if (v.is_double()) {
+        if (b->dbl.has_value() && !*b->dbl) return false;
+        b->dbl = true;
+        step.op = NumStep::Op::kConstD;
+        step.cd = v.AsDouble();
+      } else {
+        return false;  // NULL or string literal: interpreter territory
+      }
+      b->steps.push_back(step);
+      break;
+    }
+    case ExprKind::kAdd:
+    case ExprKind::kSub:
+    case ExprKind::kMul: {
+      if (!CompileNum(*expr.lhs(), query, env, b)) return false;
+      if (!CompileNum(*expr.rhs(), query, env, b)) return false;
+      NumStep step;
+      step.op = expr.kind() == ExprKind::kAdd
+                    ? NumStep::Op::kAdd
+                    : (expr.kind() == ExprKind::kSub ? NumStep::Op::kSub
+                                                     : NumStep::Op::kMul);
+      b->steps.push_back(step);
+      b->depth -= 1;  // two pops, one push
+      break;
+    }
+    case ExprKind::kDiv:
+      return false;  // keeps the interpreter's NULL-on-zero semantics
+  }
+  if (expr.kind() == ExprKind::kColumn || expr.kind() == ExprKind::kLiteral) {
+    b->depth += 1;
+    b->max_depth = std::max(b->max_depth, b->depth);
+    if (b->max_depth > kMaxStack) return false;
+  }
+  return true;
+}
+
+/// A comparison side usable by the string fast path: a bare string-typed
+/// column or a string literal.
+bool CompileStr(const Expr& expr, const Query& query, const KernelEnv& env,
+                StrOperand* out, bool* is_const) {
+  if (expr.kind() == ExprKind::kLiteral) {
+    if (!expr.literal().is_string()) return false;
+    out->src = StrOperand::Src::kConst;
+    out->val = expr.literal().AsString();
+    *is_const = true;
+    return true;
+  }
+  if (expr.kind() != ExprKind::kColumn) return false;
+  std::optional<ColumnType> type = DeclaredType(expr.column(), query);
+  if (!type.has_value() || *type != ColumnType::kString) return false;
+  NumStep step;
+  if (!ResolveLeaf(expr.column(), env, &step)) return false;
+  out->src = step.op == NumStep::Op::kBase ? StrOperand::Src::kBase
+                                           : StrOperand::Src::kSlot;
+  out->a = step.a;
+  *is_const = false;
+  return true;
+}
+
+bool CompareWithOp(CompareOp op, int c) {
+  switch (op) {
+    case CompareOp::kEq:
+      return c == 0;
+    case CompareOp::kNe:
+      return c != 0;
+    case CompareOp::kLt:
+      return c < 0;
+    case CompareOp::kLe:
+      return c <= 0;
+    case CompareOp::kGt:
+      return c > 0;
+    case CompareOp::kGe:
+      return c >= 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+KernelProgram KernelProgram::Compile(const PredSet& preds, const Query& query,
+                                     const KernelEnv& env) {
+  KernelProgram out;
+  std::vector<int> ids = preds.ToVector();
+  size_t i = 0;
+  for (; i < ids.size(); ++i) {
+    if (out.all_false_) break;
+    const Predicate& p = query.predicate(ids[i]);
+
+    // String fast path first: bare string columns/literals.
+    StrOperand sl, sr;
+    bool lc = false, rc = false;
+    if (CompileStr(*p.lhs, query, env, &sl, &lc) &&
+        CompileStr(*p.rhs, query, env, &sr, &rc)) {
+      if (lc && rc) {
+        // Both constant: decide now, exactly like PredProgram's folding.
+        int c = sl.val.compare(sr.val);
+        out.fused_ += 1;
+        if (!CompareWithOp(p.op, c < 0 ? -1 : (c > 0 ? 1 : 0))) {
+          out.all_false_ = true;
+        }
+        continue;
+      }
+      KPred kp;
+      kp.kind = PredKind::kStr;
+      kp.op = p.op;
+      kp.slhs = std::move(sl);
+      kp.srhs = std::move(sr);
+      out.preds_.push_back(std::move(kp));
+      out.fused_ += 1;
+      continue;
+    }
+
+    NumBuild bl, br;
+    if (!CompileNum(*p.lhs, query, env, &bl) ||
+        !CompileNum(*p.rhs, query, env, &br)) {
+      break;  // first non-fusible conjunct ends the error-free prefix
+    }
+    KPred kp;
+    kp.kind = PredKind::kNum;
+    kp.op = p.op;
+    kp.lhs.steps = std::move(bl.steps);
+    kp.lhs.dbl = bl.dbl.value_or(false);
+    kp.lhs.has_load = bl.has_load;
+    kp.rhs.steps = std::move(br.steps);
+    kp.rhs.dbl = br.dbl.value_or(false);
+    kp.rhs.has_load = br.has_load;
+    if (!kp.lhs.has_load && !kp.rhs.has_load) {
+      // Constant conjunct: decide it through the pred itself (no row data).
+      KernelProgram probe;
+      probe.preds_.push_back(std::move(kp));
+      Tuple none;
+      bool mismatch = false;
+      out.fused_ += 1;
+      if (!probe.EvalRow(none, nullptr, 0, &mismatch, nullptr)) {
+        out.all_false_ = true;
+      }
+      continue;
+    }
+    out.preds_.push_back(std::move(kp));
+    out.fused_ += 1;
+  }
+  for (; i < ids.size(); ++i) out.remainder_.Insert(ids[i]);
+  out.fallback_preds_ = out.remainder_.size();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Result of one typed expression: value or NULL; a mismatch aborts the row.
+struct NumResult {
+  bool null = false;
+  int64_t i = 0;
+  double d = 0.0;
+};
+
+/// Runs a typed postfix program over fixed stacks. A NULL leaf decides the
+/// whole expression (add/sub/mul all propagate NULL first, before looking at
+/// the other operand, exactly like EvalBinary); a wrong-typed non-NULL leaf
+/// flags a mismatch and the caller routes the row to the interpreter.
+inline bool EvalNum(const NumStep* steps, size_t n, bool dbl,
+                    const Tuple& row, const Tuple* base, int64_t tid,
+                    NumResult* out, bool* mismatch) {
+  int64_t si[8];
+  double sd[8];
+  int sp = 0;
+  for (size_t k = 0; k < n; ++k) {
+    const NumStep& s = steps[k];
+    switch (s.op) {
+      case NumStep::Op::kSlot:
+      case NumStep::Op::kBase: {
+        const Tuple& src = s.op == NumStep::Op::kSlot ? row : *base;
+        const Datum& v = src[static_cast<size_t>(s.a)];
+        if (v.is_null()) {
+          out->null = true;
+          return true;
+        }
+        if (dbl) {
+          if (!v.is_double()) {
+            *mismatch = true;
+            return false;
+          }
+          sd[sp++] = v.AsDouble();
+        } else {
+          if (!v.is_int()) {
+            *mismatch = true;
+            return false;
+          }
+          si[sp++] = v.AsInt();
+        }
+        break;
+      }
+      case NumStep::Op::kTid:
+        si[sp++] = tid;
+        break;
+      case NumStep::Op::kConstI:
+        si[sp++] = s.ci;
+        break;
+      case NumStep::Op::kConstD:
+        sd[sp++] = s.cd;
+        break;
+      case NumStep::Op::kAdd:
+        sp -= 1;
+        if (dbl) {
+          sd[sp - 1] = sd[sp - 1] + sd[sp];
+        } else {
+          si[sp - 1] = si[sp - 1] + si[sp];
+        }
+        break;
+      case NumStep::Op::kSub:
+        sp -= 1;
+        if (dbl) {
+          sd[sp - 1] = sd[sp - 1] - sd[sp];
+        } else {
+          si[sp - 1] = si[sp - 1] - si[sp];
+        }
+        break;
+      case NumStep::Op::kMul:
+        sp -= 1;
+        if (dbl) {
+          sd[sp - 1] = sd[sp - 1] * sd[sp];
+        } else {
+          si[sp - 1] = si[sp - 1] * si[sp];
+        }
+        break;
+    }
+  }
+  out->null = false;
+  if (dbl) {
+    out->d = sd[0];
+  } else {
+    out->i = si[0];
+  }
+  return true;
+}
+
+/// Three-way compare matching Datum::Compare for same/cross numeric kinds:
+/// int/int compares at full 64-bit precision, anything else in double.
+inline int CompareNum(const NumResult& l, bool ldbl, const NumResult& r,
+                      bool rdbl) {
+  if (!ldbl && !rdbl) {
+    return l.i < r.i ? -1 : (l.i > r.i ? 1 : 0);
+  }
+  double a = ldbl ? l.d : static_cast<double>(l.i);
+  double b = rdbl ? r.d : static_cast<double>(r.i);
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+/// Lazily sizes the adaptive state and periodically re-sorts the evaluation
+/// order by observed pass rate (most selective first). Only the fused,
+/// error-free conjuncts ever reorder, so results cannot change.
+void TickState(KernelState* state, size_t n) {
+  if (state == nullptr) return;
+  if (state->order.size() != n) {
+    state->order.resize(n);
+    for (size_t k = 0; k < n; ++k) state->order[k] = static_cast<int32_t>(k);
+    state->seen.assign(n, 0);
+    state->passed.assign(n, 0);
+    state->calls = 0;
+  }
+  state->calls += 1;
+  if (n > 1 && (state->calls & 63) == 0) {
+    auto pass_rate = [state](int32_t p) {
+      size_t u = static_cast<size_t>(p);
+      return state->seen[u] > 0 ? static_cast<double>(state->passed[u]) /
+                                      static_cast<double>(state->seen[u])
+                                : 1.0;
+    };
+    std::stable_sort(state->order.begin(), state->order.end(),
+                     [&pass_rate](int32_t a, int32_t b) {
+                       return pass_rate(a) < pass_rate(b);
+                     });
+  }
+}
+
+}  // namespace
+
+bool KernelProgram::EvalRow(const Tuple& row, const Tuple* base, int64_t tid,
+                            bool* mismatch, KernelState* state) const {
+  size_t n = preds_.size();
+  for (size_t k = 0; k < n; ++k) {
+    size_t pi = state != nullptr ? static_cast<size_t>(state->order[k]) : k;
+    const KPred& p = preds_[pi];
+    bool pass;
+    if (p.kind == PredKind::kStr) {
+      const std::string* a = nullptr;
+      const std::string* b = nullptr;
+      bool null = false;
+      for (int side = 0; side < 2 && !null; ++side) {
+        const StrOperand& o = side == 0 ? p.slhs : p.srhs;
+        const std::string*& slot = side == 0 ? a : b;
+        if (o.src == StrOperand::Src::kConst) {
+          slot = &o.val;
+          continue;
+        }
+        const Tuple& src = o.src == StrOperand::Src::kSlot ? row : *base;
+        const Datum& v = src[static_cast<size_t>(o.a)];
+        if (v.is_null()) {
+          null = true;
+          break;
+        }
+        if (!v.is_string()) {
+          *mismatch = true;
+          return false;
+        }
+        slot = &v.AsString();
+      }
+      if (null) {
+        pass = false;
+      } else {
+        int c = a->compare(*b);
+        pass = CompareWithOp(p.op, c < 0 ? -1 : (c > 0 ? 1 : 0));
+      }
+    } else {
+      NumResult l, r;
+      if (!EvalNum(p.lhs.steps.data(), p.lhs.steps.size(), p.lhs.dbl, row,
+                   base, tid, &l, mismatch) ||
+          !EvalNum(p.rhs.steps.data(), p.rhs.steps.size(), p.rhs.dbl, row,
+                   base, tid, &r, mismatch)) {
+        return false;
+      }
+      pass = !l.null && !r.null &&
+             CompareWithOp(p.op, CompareNum(l, p.lhs.dbl, r, p.rhs.dbl));
+    }
+    if (state != nullptr) {
+      state->seen[pi] += 1;
+      if (pass) state->passed[pi] += 1;
+    }
+    if (!pass) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Each Tuple owns a separate heap buffer of 40-byte Datums, so a cold scan
+/// pays a cache miss per row before the kernel reads a single operand.
+/// Prefetching a few rows ahead overlaps those misses with evaluation; two
+/// lines cover the columns of any small-arity table.
+inline void PrefetchRow(const Tuple& row) {
+#if defined(__GNUC__) || defined(__clang__)
+  const char* p = reinterpret_cast<const char*>(row.data());
+  __builtin_prefetch(p);
+  __builtin_prefetch(p + 128);
+#else
+  (void)row;
+#endif
+}
+
+constexpr int64_t kPrefetchDistance = 12;
+
+}  // namespace
+
+void KernelProgram::EvalScan(const StoredTable& table, int64_t lo, int64_t hi,
+                             std::vector<int64_t>* out,
+                             std::vector<int64_t>* mismatch,
+                             KernelState* state) const {
+  if (all_false_) return;
+  TickState(state, preds_.size());
+  const std::vector<Tuple>& rows = table.rows();
+  for (int64_t tid = lo; tid < hi; ++tid) {
+    if (tid + kPrefetchDistance < hi) {
+      PrefetchRow(rows[static_cast<size_t>(tid + kPrefetchDistance)]);
+    }
+    const Tuple& row = rows[static_cast<size_t>(tid)];
+    bool mis = false;
+    if (EvalRow(row, &row, tid, &mis, state)) {
+      out->push_back(tid);
+    } else if (mis) {
+      mismatch->push_back(tid);
+    }
+  }
+}
+
+void KernelProgram::EvalRows(const std::vector<Tuple>& rows, size_t lo,
+                             size_t hi, std::vector<int32_t>* out,
+                             std::vector<int32_t>* mismatch,
+                             KernelState* state) const {
+  if (all_false_) return;
+  TickState(state, preds_.size());
+  for (size_t i = lo; i < hi; ++i) {
+    if (i + kPrefetchDistance < hi) {
+      PrefetchRow(rows[i + static_cast<size_t>(kPrefetchDistance)]);
+    }
+    bool mis = false;
+    if (EvalRow(rows[i], nullptr, 0, &mis, state)) {
+      out->push_back(static_cast<int32_t>(i));
+    } else if (mis) {
+      mismatch->push_back(static_cast<int32_t>(i));
+    }
+  }
+}
+
+void KernelProgram::EvalBatch(const RowBatch& in, std::vector<int32_t>* out,
+                              std::vector<int32_t>* mismatch,
+                              KernelState* state) const {
+  if (all_false_) return;
+  TickState(state, preds_.size());
+  size_t n = in.live();
+  for (size_t k = 0; k < n; ++k) {
+    int32_t idx = in.sel.active ? in.sel.idx[k] : static_cast<int32_t>(k);
+    bool mis = false;
+    if (EvalRow(in.rows[static_cast<size_t>(idx)], nullptr, 0, &mis, state)) {
+      out->push_back(idx);
+    } else if (mis) {
+      mismatch->push_back(idx);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Join-key kernel
+// ---------------------------------------------------------------------------
+
+KeyKernel KeyKernel::Compile(const Expr& expr, const Query& query,
+                             const KernelEnv& env) {
+  KeyKernel out;
+  NumBuild b;
+  if (!CompileNum(expr, query, env, &b)) return out;
+  if (b.dbl.value_or(false)) return out;  // int64 keys only
+  out.steps_ = std::move(b.steps);
+  out.usable_ = true;
+  return out;
+}
+
+bool KeyKernel::EvalInt(const Tuple& row, int64_t* out, bool* is_null) const {
+  NumResult r;
+  bool mismatch = false;
+  if (!EvalNum(steps_.data(), steps_.size(), /*dbl=*/false, row, nullptr, 0,
+               &r, &mismatch)) {
+    return false;
+  }
+  *is_null = r.null;
+  *out = r.i;
+  return true;
+}
+
+uint64_t HashInt64JoinKey(int64_t v) {
+  return HashCombine64(0x9e3779b97f4a7c15ULL, DatumHashInt64(v));
+}
+
+uint64_t HashNullJoinKey() {
+  return HashCombine64(0x9e3779b97f4a7c15ULL, kDatumNullHash64);
+}
+
+}  // namespace starburst

@@ -1,0 +1,183 @@
+#ifndef STARBURST_EXEC_KERNEL_H_
+#define STARBURST_EXEC_KERNEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/batch.h"
+#include "exec/executor.h"
+#include "query/predicate.h"
+#include "storage/table.h"
+
+namespace starburst {
+
+/// Compilation scope for typed kernels. Mirrors CompileEnv minus the NL
+/// binding frames: a column that would resolve to a frame (or not at all)
+/// makes its predicate fall back to the interpreter. `scan_mode` compiles
+/// every leaf against the BASE row of `base_quantifier` (heap scans evaluate
+/// predicates over the stored table's contiguous rows before any output
+/// tuple is constructed); otherwise leaves resolve to stream slots only.
+struct KernelEnv {
+  const Schema* schema = nullptr;
+  const Query* query = nullptr;
+  const Database* db = nullptr;
+  int base_quantifier = -1;
+  bool scan_mode = false;
+};
+
+/// Per-consumer adaptive state: running pass counts drive the short-circuit
+/// order of the fused conjuncts (most selective first). Owned by the
+/// iterator, never by the shared program, so morsel workers can evaluate the
+/// same KernelProgram concurrently by passing nullptr (fixed pred-id order).
+struct KernelState {
+  std::vector<int32_t> order;
+  std::vector<int64_t> seen;
+  std::vector<int64_t> passed;
+  int64_t calls = 0;
+};
+
+/// Implementation detail of the typed kernels, exposed only so the free
+/// compile/eval helpers in kernel.cc can share the step layout with both
+/// KernelProgram and KeyKernel.
+namespace kernel_detail {
+
+struct NumStep {
+  enum class Op : uint8_t { kSlot, kBase, kTid, kConstI, kConstD, kAdd, kSub, kMul };
+  Op op = Op::kConstI;
+  int32_t a = 0;    // slot / base column index
+  int64_t ci = 0;   // kConstI payload
+  double cd = 0.0;  // kConstD payload
+};
+
+/// Typed postfix arithmetic over one column type: all loads are int64 or all
+/// are double (`dbl`). NULL loads decide the whole expression instead of
+/// branching the program — add/sub/mul propagate NULL exactly like
+/// EvalBinary.
+struct NumExpr {
+  std::vector<NumStep> steps;
+  bool dbl = false;
+  bool has_load = false;
+};
+
+struct StrOperand {
+  enum class Src : uint8_t { kSlot, kBase, kConst };
+  Src src = Src::kConst;
+  int32_t a = 0;
+  std::string val;
+};
+
+enum class PredKind : uint8_t { kNum, kStr };
+
+struct KPred {
+  PredKind kind = PredKind::kNum;
+  CompareOp op = CompareOp::kEq;
+  NumExpr lhs, rhs;
+  StrOperand slhs, srhs;
+};
+
+}  // namespace kernel_detail
+
+/// A conjunction prefix lowered to monomorphic typed loops.
+///
+/// Lowering walks the conjuncts in ascending predicate-id order and fuses
+/// the maximal ERROR-FREE prefix: each fused predicate compares two
+/// expressions whose leaves all resolve statically to one column type
+/// (int64/double column spans, plus a string fast path for bare
+/// column/constant comparisons). Division, frame references, unresolvable
+/// columns, NULL literals, and mixed-type operands end the prefix; the
+/// remaining conjuncts — exactly the ones that can raise a Status — stay
+/// with the generic interpreter and run row-at-a-time over the survivors,
+/// still in predicate-id order. Because the fused prefix cannot error and
+/// conjunction is commutative for the selection it produces, reordering the
+/// fused conjuncts by estimated selectivity is observationally safe; error
+/// ordering stays bit-identical to the row-major legacy interpreter.
+///
+/// NULL semantics match EvalCompare/EvalBinary exactly: any NULL leaf makes
+/// an arithmetic result NULL, and a NULL on either side of a comparison
+/// fails the row. A non-NULL datum whose runtime type contradicts the
+/// catalog's declared column type routes that row to the caller's mismatch
+/// list; the caller re-evaluates it with the full interpreter program, so a
+/// corrupt or exotic row can never change results.
+class KernelProgram {
+ public:
+  KernelProgram() = default;
+
+  static KernelProgram Compile(const PredSet& preds, const Query& query,
+                               const KernelEnv& env);
+
+  /// Number of conjuncts fused into the typed prefix (conjuncts decided at
+  /// compile time count as fused).
+  int fused() const { return fused_; }
+  /// Conjuncts left to the interpreter, in predicate-id order.
+  const PredSet& remainder() const { return remainder_; }
+  int fallback_preds() const { return fallback_preds_; }
+  bool usable() const { return fused_ > 0; }
+
+  /// Compile-time decision that every row fails (a const-false conjunct):
+  /// Eval* then emits no survivors and no mismatches, which matches the
+  /// interpreter's in-order early return (nothing before it can error).
+  bool all_false() const { return all_false_; }
+
+  /// Scan mode: evaluates base rows [lo, hi) of `table`; surviving TIDs are
+  /// appended to `out` ascending, type-mismatch rows to `mismatch`.
+  void EvalScan(const StoredTable& table, int64_t lo, int64_t hi,
+                std::vector<int64_t>* out, std::vector<int64_t>* mismatch,
+                KernelState* state) const;
+
+  /// Slot mode over a dense tuple vector: rows [lo, hi) of `rows`.
+  void EvalRows(const std::vector<Tuple>& rows, size_t lo, size_t hi,
+                std::vector<int32_t>* out, std::vector<int32_t>* mismatch,
+                KernelState* state) const;
+
+  /// Slot mode over the live rows of a batch; emitted indices point into
+  /// `in.rows` (ascending), so they can become the batch's next selection.
+  void EvalBatch(const RowBatch& in, std::vector<int32_t>* out,
+                 std::vector<int32_t>* mismatch, KernelState* state) const;
+
+ private:
+  /// One row through the fused conjunction in `state`'s adaptive order (or
+  /// pred order when state is null). Sets *mismatch and returns false when a
+  /// datum's runtime type contradicts the declared column type.
+  bool EvalRow(const Tuple& row, const Tuple* base, int64_t tid,
+               bool* mismatch, KernelState* state) const;
+
+  std::vector<kernel_detail::KPred> preds_;
+  int fused_ = 0;
+  int fallback_preds_ = 0;
+  bool all_false_ = false;
+  PredSet remainder_;
+};
+
+/// A single join-key expression lowered to an int64 loop (the dominant key
+/// shape). Used by the hash join to evaluate build/probe keys without Datum
+/// stack traffic; rows whose stored values contradict the declared types
+/// fall back to the generic ExprProgram per row.
+class KeyKernel {
+ public:
+  KeyKernel() = default;
+
+  static KeyKernel Compile(const Expr& expr, const Query& query,
+                           const KernelEnv& env);
+
+  bool usable() const { return usable_; }
+
+  /// Returns false on a type-mismatch row (caller falls back); otherwise
+  /// *is_null / *out describe the key value.
+  bool EvalInt(const Tuple& row, int64_t* out, bool* is_null) const;
+
+ private:
+  std::vector<kernel_detail::NumStep> steps_;
+  bool usable_ = false;
+};
+
+/// Hash of a width-1 int64 join key, bit-identical to
+/// JoinHashTable::HashKey(&Datum(v), 1).
+uint64_t HashInt64JoinKey(int64_t v);
+
+/// Same for a NULL key: JoinHashTable::HashKey of one NULL datum.
+uint64_t HashNullJoinKey();
+
+}  // namespace starburst
+
+#endif  // STARBURST_EXEC_KERNEL_H_

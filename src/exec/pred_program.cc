@@ -73,6 +73,23 @@ void ExprProgram::CompileNode(const Expr& expr, const CompileEnv& env,
                     (*steps)[before].op == OpCode::kConst;
       bool rconst = (steps->size() - mid) == 1 &&
                     (*steps)[mid].op == OpCode::kConst;
+      // Never fold a division whose divisor folded to zero (or NULL): the
+      // NULL that EvalBinary would produce is a *runtime* semantic, and
+      // baking it into a constant at compile time would hide the division
+      // from every runtime policy (and from EXPLAIN's step counts). Keep
+      // the kDiv step; the interpreter reproduces the exact row-time value.
+      if (lconst && rconst && expr.kind() == ExprKind::kDiv) {
+        const Datum& divisor = (*steps)[mid].value;
+        bool zero_or_null =
+            divisor.is_null() ||
+            (divisor.is_int() && divisor.AsInt() == 0) ||
+            (divisor.is_double() && divisor.AsDouble() == 0.0);
+        if (zero_or_null) {
+          steps->push_back(Step{OpCode::kDiv});
+          *max_depth = std::max(*max_depth, std::max(ldepth, 1 + rdepth));
+          return;
+        }
+      }
       if (lconst && rconst) {
         Datum folded = EvalBinary(expr.kind(), (*steps)[before].value,
                                   (*steps)[mid].value);

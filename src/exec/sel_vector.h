@@ -1,0 +1,27 @@
+#ifndef STARBURST_EXEC_SEL_VECTOR_H_
+#define STARBURST_EXEC_SEL_VECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace starburst {
+
+/// Selection vector over one RowBatch: when `active`, `idx` holds the
+/// surviving row positions — sorted ascending, unique, all within the
+/// batch's row vector. An inactive SelVector means "all rows live". The
+/// vector travels with the batch so downstream operators iterate survivors
+/// without materializing a compaction until a pipeline breaker consumes
+/// the rows.
+struct SelVector {
+  bool active = false;
+  std::vector<int32_t> idx;
+
+  void clear() {
+    active = false;
+    idx.clear();
+  }
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_EXEC_SEL_VECTOR_H_

@@ -29,10 +29,6 @@ Status IoError(const std::string& what) {
   return Status::Internal("spill: " + what + ": " + std::strerror(errno));
 }
 
-bool ReadExact(std::FILE* f, void* p, size_t n) {
-  return std::fread(p, 1, n, f) == n;
-}
-
 }  // namespace
 
 SpillFile& SpillFile::operator=(SpillFile&& o) noexcept {
@@ -43,11 +39,15 @@ SpillFile& SpillFile::operator=(SpillFile&& o) noexcept {
     faults_ = o.faults_;
     rows_written_ = o.rows_written_;
     bytes_written_ = o.bytes_written_;
+    rbuf_ = std::move(o.rbuf_);
+    rpos_ = o.rpos_;
     o.file_ = nullptr;
     o.path_.clear();
     o.faults_ = nullptr;
     o.rows_written_ = 0;
     o.bytes_written_ = 0;
+    o.rbuf_.clear();
+    o.rpos_ = 0;
   }
   return *this;
 }
@@ -88,6 +88,8 @@ Status SpillFile::Create(FaultInjector* faults) {
   path_.assign(buf.data());
   rows_written_ = 0;
   bytes_written_ = 0;
+  rbuf_.clear();
+  rpos_ = 0;
   g_live_spill_files.fetch_add(1, std::memory_order_acq_rel);
   return Status::OK();
 }
@@ -150,13 +152,35 @@ Status SpillFile::BeginRead() {
   if (std::fseek(file_, 0, SEEK_SET) != 0) {
     return IoError("rewind of " + path_ + " failed");
   }
+  rbuf_.clear();
+  rpos_ = 0;
   return Status::OK();
+}
+
+bool SpillFile::BufferedRead(void* p, size_t n) {
+  constexpr size_t kReadChunk = 64 * 1024;
+  char* out = static_cast<char*>(p);
+  while (n > 0) {
+    if (rpos_ == rbuf_.size()) {
+      rbuf_.resize(kReadChunk);
+      size_t got = std::fread(rbuf_.data(), 1, kReadChunk, file_);
+      rbuf_.resize(got);
+      rpos_ = 0;
+      if (got == 0) return false;
+    }
+    size_t take = std::min(n, rbuf_.size() - rpos_);
+    std::memcpy(out, rbuf_.data() + rpos_, take);
+    rpos_ += take;
+    out += take;
+    n -= take;
+  }
+  return true;
 }
 
 Status SpillFile::ReadRow(std::vector<Datum>* row, bool* eof) {
   *eof = false;
   uint32_t count = 0;
-  if (std::fread(&count, 1, sizeof(count), file_) != sizeof(count)) {
+  if (!BufferedRead(&count, sizeof(count))) {
     if (std::feof(file_)) {
       *eof = true;
       return Status::OK();
@@ -167,7 +191,7 @@ Status SpillFile::ReadRow(std::vector<Datum>* row, bool* eof) {
   row->reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
     uint8_t tag = 0;
-    if (!ReadExact(file_, &tag, sizeof(tag))) {
+    if (!BufferedRead(&tag, sizeof(tag))) {
       return IoError("read of datum tag from " + path_ + " failed");
     }
     switch (tag) {
@@ -176,7 +200,7 @@ Status SpillFile::ReadRow(std::vector<Datum>* row, bool* eof) {
         break;
       case kTagInt: {
         int64_t v = 0;
-        if (!ReadExact(file_, &v, sizeof(v))) {
+        if (!BufferedRead(&v, sizeof(v))) {
           return IoError("read of int64 from " + path_ + " failed");
         }
         row->push_back(Datum(v));
@@ -184,7 +208,7 @@ Status SpillFile::ReadRow(std::vector<Datum>* row, bool* eof) {
       }
       case kTagDouble: {
         double v = 0.0;
-        if (!ReadExact(file_, &v, sizeof(v))) {
+        if (!BufferedRead(&v, sizeof(v))) {
           return IoError("read of double from " + path_ + " failed");
         }
         row->push_back(Datum(v));
@@ -192,11 +216,11 @@ Status SpillFile::ReadRow(std::vector<Datum>* row, bool* eof) {
       }
       case kTagString: {
         uint32_t len = 0;
-        if (!ReadExact(file_, &len, sizeof(len))) {
+        if (!BufferedRead(&len, sizeof(len))) {
           return IoError("read of string length from " + path_ + " failed");
         }
         std::string s(len, '\0');
-        if (len > 0 && !ReadExact(file_, s.data(), len)) {
+        if (len > 0 && !BufferedRead(s.data(), len)) {
           return IoError("read of string body from " + path_ + " failed");
         }
         row->push_back(Datum(std::move(s)));

@@ -52,6 +52,8 @@ class SpillFile {
   Status FinishWrite();
 
   /// Rewinds to the first row for read-back (one exec.spill.read check).
+  /// Writing after BeginRead is unsupported — the file is written once
+  /// front-to-back, then only read.
   Status BeginRead();
 
   /// Reads the next row. Sets *eof (leaving *row untouched) at end of file.
@@ -69,11 +71,20 @@ class SpillFile {
   static int64_t LiveFiles();
 
  private:
+  /// Copies `n` bytes of the stream into `p` through the chunked read
+  /// buffer; false once the file runs out first (check feof vs. error).
+  bool BufferedRead(void* p, size_t n);
+
   std::FILE* file_ = nullptr;
   std::string path_;
   FaultInjector* faults_ = nullptr;
   int64_t rows_written_ = 0;
   int64_t bytes_written_ = 0;
+  // Read-back decodes rows out of 64 KiB chunks instead of issuing one
+  // locked fread per tag and payload — per-datum stdio calls were the
+  // dominant cost of reading a partition back.
+  std::string rbuf_;
+  size_t rpos_ = 0;
 };
 
 }  // namespace starburst

@@ -126,6 +126,13 @@ std::string ExecProfile::ToJson() const {
       out += ",\"pred\":{\"evals\":" + std::to_string(p->pred_evals) +
              ",\"steps\":" + std::to_string(p->pred_steps) + "}";
     }
+    if (p->kernel_rows > 0 || p->kernel_fallbacks > 0) {
+      out += ",\"kernel\":{\"rows\":" + std::to_string(p->kernel_rows) +
+             ",\"fallbacks\":" + std::to_string(p->kernel_fallbacks) +
+             ",\"fused_preds\":" + std::to_string(p->kernel_fused_preds) +
+             ",\"fallback_preds\":" +
+             std::to_string(p->kernel_fallback_preds) + "}";
+    }
     if (p->exchange_workers > 0) {
       out += ",\"xchg_workers\":" + std::to_string(p->exchange_workers);
     }

@@ -148,6 +148,15 @@ struct OpProfile {
   int64_t pred_evals = 0;
   int64_t pred_steps = 0;
 
+  // Typed-kernel detail (exec/kernel.{h,cc}): rows decided by a fused
+  // kernel, rows routed back to the interpreter (type mismatch or unfused
+  // remainder conjuncts), and the static fused/fallback conjunct split of
+  // the compiled program.
+  int64_t kernel_rows = 0;
+  int64_t kernel_fallbacks = 0;
+  int64_t kernel_fused_preds = 0;
+  int64_t kernel_fallback_preds = 0;
+
   double total_micros() const {
     return open_micros + next_micros + close_micros;
   }

@@ -153,6 +153,10 @@ std::string ProfileSummary(const PlanOp& node, const ExecProfile& profile,
     out += " pred(evals=" + std::to_string(p->pred_evals) +
            " steps=" + std::to_string(p->pred_steps) + ")";
   }
+  if (p->kernel_rows > 0 || p->kernel_fallbacks > 0) {
+    out += " KERNEL[fused=" + std::to_string(p->kernel_rows) +
+           " fallback=" + std::to_string(p->kernel_fallbacks) + "]";
+  }
   if (p->exchange_workers > 1) {
     out += std::string(" ") + op::kXchg + "[workers=" +
            std::to_string(p->exchange_workers) + "]";

@@ -90,12 +90,37 @@ PlanCacheKey PlanCacheKeyForQuery(const Query& query) {
   return key;
 }
 
-PlanCache::PlanCache(int num_shards, MetricsRegistry* metrics)
+PlanCache::PlanCache(int num_shards, MetricsRegistry* metrics,
+                     int64_t max_entries)
     : metrics_(metrics) {
   if (num_shards < 1) num_shards = 1;
   shards_.reserve(static_cast<size_t>(num_shards));
   for (int i = 0; i < num_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
+  }
+  max_entries_ = max_entries < 0 ? DefaultPlanCacheCapacity() : max_entries;
+  if (max_entries_ > 0) {
+    shard_cap_ = max_entries_ / num_shards;
+    if (shard_cap_ < 1) shard_cap_ = 1;
+  }
+}
+
+void PlanCache::EvictLocked(Shard* shard) {
+  if (shard_cap_ <= 0) return;
+  while (true) {
+    int64_t completed = 0;
+    auto victim = shard->entries.end();
+    for (auto it = shard->entries.begin(); it != shard->entries.end(); ++it) {
+      if (it->second.in_flight) continue;  // the optimizing thread owns it
+      ++completed;
+      if (victim == shard->entries.end() ||
+          it->second.lru < victim->second.lru) {
+        victim = it;
+      }
+    }
+    if (completed <= shard_cap_ || victim == shard->entries.end()) return;
+    shard->entries.erase(victim);
+    Count("server.cache_evictions");
   }
 }
 
@@ -144,6 +169,7 @@ Result<CachedPlanPtr> PlanCache::GetOrOptimize(const PlanCacheKey& key,
       }
       Count("server.cache_hits");
       if (hit != nullptr) *hit = true;
+      it->second.lru = Tick();
       return it->second.plan;
     }
   }
@@ -168,6 +194,8 @@ Result<CachedPlanPtr> PlanCache::GetOrOptimize(const PlanCacheKey& key,
   Entry& entry = shard.entries[key];
   entry.plan = ptr;
   entry.in_flight = false;
+  entry.lru = Tick();
+  EvictLocked(&shard);
   shard.cv.notify_all();
   return ptr;
 }

@@ -1,8 +1,10 @@
 #ifndef STARBURST_SERVER_PLAN_CACHE_H_
 #define STARBURST_SERVER_PLAN_CACHE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdlib>
 #include <functional>
 #include <map>
 #include <memory>
@@ -48,6 +50,17 @@ struct PlanCacheKey {
 /// are canonically ordered in both.
 PlanCacheKey PlanCacheKeyForQuery(const Query& query);
 
+/// Capacity from STARBURST_PLAN_CACHE_CAP (entries across all shards);
+/// unset or unparsable falls back to 1024, 0 means unbounded.
+inline int64_t DefaultPlanCacheCapacity() {
+  const char* env = std::getenv("STARBURST_PLAN_CACHE_CAP");
+  if (env == nullptr || *env == '\0') return 1024;
+  char* end = nullptr;
+  long long v = std::strtoll(env, &end, 10);
+  if (end == env || *end != '\0' || v < 0) return 1024;
+  return static_cast<int64_t>(v);
+}
+
 /// One cached optimization result. The plan's operator definitions point
 /// into the owning Optimizer's OperatorRegistry, so the cache must not
 /// outlive the Optimizer whose Optimize() produced the entries.
@@ -76,6 +89,10 @@ using CachedPlanPtr = std::shared_ptr<const CachedPlan>;
 ///     never wedge the key.
 ///   - Hits validate the entry's catalog generations; a stale entry is
 ///     erased (counted as `server.cache_invalidations`) and re-optimized.
+///   - Capacity is bounded: each shard holds at most max_entries/num_shards
+///     completed entries, evicting its least-recently-used one (counted as
+///     `server.cache_evictions`) after each insert. In-flight markers are
+///     never evicted — the optimizing thread owns them.
 ///
 /// Entries are returned as shared_ptr-to-const so a hit can be executed
 /// without holding any cache lock while Clear()/Invalidate() run.
@@ -85,7 +102,11 @@ class PlanCache {
   /// signature. Runs outside all cache locks.
   using OptimizeFn = std::function<Result<CachedPlan>()>;
 
-  explicit PlanCache(int num_shards = 8, MetricsRegistry* metrics = nullptr);
+  /// `max_entries` bounds completed entries across all shards: -1 inherits
+  /// STARBURST_PLAN_CACHE_CAP (fallback 1024), 0 disables the bound. A
+  /// nonzero bound is split evenly over shards, at least one per shard.
+  explicit PlanCache(int num_shards = 8, MetricsRegistry* metrics = nullptr,
+                     int64_t max_entries = -1);
 
   /// Returns the cached plan for `key`, optimizing via `optimize` on a miss
   /// or stale hit. `catalog` supplies the generations entries are validated
@@ -110,10 +131,14 @@ class PlanCache {
 
   void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
 
+  /// Total-entry bound the cache was built with (0 = unbounded).
+  int64_t capacity() const { return max_entries_; }
+
  private:
   struct Entry {
     CachedPlanPtr plan;  ///< null while in-flight
     bool in_flight = false;
+    int64_t lru = 0;  ///< last-touch tick; smallest = evict first
   };
   struct Shard {
     std::mutex mu;
@@ -123,9 +148,16 @@ class PlanCache {
 
   Shard& ShardFor(const PlanCacheKey& key);
   void Count(const char* name, int64_t delta = 1);
+  int64_t Tick() { return ++tick_; }
+  /// Evicts least-recently-used completed entries until the shard is within
+  /// its cap. Caller holds the shard lock.
+  void EvictLocked(Shard* shard);
 
   std::vector<std::unique_ptr<Shard>> shards_;
   MetricsRegistry* metrics_;
+  int64_t max_entries_ = 0;
+  int64_t shard_cap_ = 0;  ///< 0 = unbounded
+  std::atomic<int64_t> tick_{0};
 };
 
 }  // namespace starburst

@@ -57,7 +57,7 @@ SqlServer::SqlServer(const Catalog* catalog, const Database* db,
       metrics_(),
       optimizer_(std::move(rules),
                  PatchedOptimizerOptions(&options_, &metrics_)),
-      cache_(options_.cache_shards, &metrics_),
+      cache_(options_.cache_shards, &metrics_, options_.cache_capacity),
       started_(std::chrono::steady_clock::now()) {
   workers_.reserve(static_cast<size_t>(std::max(0, options_.num_workers)));
   for (int i = 0; i < options_.num_workers; ++i) {

@@ -41,6 +41,9 @@ struct ServerOptions {
   /// differential oracle configuration).
   bool cache_enabled = true;
   int cache_shards = 8;
+  /// Completed-entry bound across all shards, evicting LRU entries past it:
+  /// -1 inherits STARBURST_PLAN_CACHE_CAP (fallback 1024), 0 = unbounded.
+  int64_t cache_capacity = -1;
 
   /// Re-optimization trigger: after each execution the worst per-node
   /// q-error (actual rows per invocation vs estimated cardinality, max over

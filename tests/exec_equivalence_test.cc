@@ -35,7 +35,8 @@ Result<ResultSet> RunEngine(const Database& db, const Query& query,
                             PlanRunStats* stats = nullptr,
                             int exec_threads = 0,
                             int64_t exec_mem_limit = 0,
-                            ExecProfile* profile = nullptr) {
+                            ExecProfile* profile = nullptr,
+                            int typed_kernels = -1) {
   ExecOptions options;
   options.vectorized = vectorized ? 1 : 0;
   options.batch_size = batch_size;
@@ -44,6 +45,7 @@ Result<ResultSet> RunEngine(const Database& db, const Query& query,
   options.exec_threads = exec_threads;
   options.exec_mem_limit = exec_mem_limit;
   options.profile_sink = profile;
+  options.typed_kernels = typed_kernels;
   return ExecutePlan(db, query, plan, options);
 }
 
@@ -53,23 +55,30 @@ void ExpectEnginesAgree(const Database& db, const Query& query,
   ASSERT_TRUE(oracle.ok()) << oracle.status().ToString() << "\nplan:\n"
                            << ExplainPlan(*plan, query);
   std::vector<Tuple> want = CanonicalRows(oracle.value().rows);
-  for (int batch_size : kBatchSizes) {
-    auto got = RunEngine(db, query, plan, /*vectorized=*/true, batch_size);
-    ASSERT_TRUE(got.ok()) << got.status().ToString() << "\nbatch_size="
-                          << batch_size << "\nplan:\n"
-                          << ExplainPlan(*plan, query);
-    ASSERT_EQ(got.value().schema, oracle.value().schema)
-        << "schema diverged at batch_size=" << batch_size;
-    std::vector<Tuple> have = CanonicalRows(got.value().rows);
-    ASSERT_EQ(have.size(), want.size())
-        << "row count diverged at batch_size=" << batch_size << "\nplan:\n"
-        << ExplainPlan(*plan, query);
-    for (size_t i = 0; i < want.size(); ++i) {
-      ASSERT_EQ(have[i].size(), want[i].size());
-      for (size_t j = 0; j < want[i].size(); ++j) {
-        ASSERT_EQ(have[i][j].Compare(want[i][j]), 0)
-            << "row " << i << " col " << j << " diverged at batch_size="
-            << batch_size << "\nplan:\n" << ExplainPlan(*plan, query);
+  // The typed-kernel axis rides along: fused kernels (1) and the
+  // interpreter-only configuration (0) must both reproduce the oracle.
+  for (int kernels : {1, 0}) {
+    for (int batch_size : kBatchSizes) {
+      auto got = RunEngine(db, query, plan, /*vectorized=*/true, batch_size,
+                           nullptr, nullptr, 0, 0, nullptr, kernels);
+      ASSERT_TRUE(got.ok()) << got.status().ToString() << "\nbatch_size="
+                            << batch_size << " kernels=" << kernels
+                            << "\nplan:\n" << ExplainPlan(*plan, query);
+      ASSERT_EQ(got.value().schema, oracle.value().schema)
+          << "schema diverged at batch_size=" << batch_size;
+      std::vector<Tuple> have = CanonicalRows(got.value().rows);
+      ASSERT_EQ(have.size(), want.size())
+          << "row count diverged at batch_size=" << batch_size
+          << " kernels=" << kernels << "\nplan:\n"
+          << ExplainPlan(*plan, query);
+      for (size_t i = 0; i < want.size(); ++i) {
+        ASSERT_EQ(have[i].size(), want[i].size());
+        for (size_t j = 0; j < want[i].size(); ++j) {
+          ASSERT_EQ(have[i][j].Compare(want[i][j]), 0)
+              << "row " << i << " col " << j << " diverged at batch_size="
+              << batch_size << " kernels=" << kernels << "\nplan:\n"
+              << ExplainPlan(*plan, query);
+        }
       }
     }
   }
@@ -595,6 +604,202 @@ TEST_F(ParallelEquivalenceTest, FaultSpecsTripIdenticallyAtEveryThreadCount) {
       } else {
         EXPECT_EQ(status, want_status) << spec << " threads=" << threads;
         EXPECT_EQ(rows, want_rows) << spec << " threads=" << threads;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Typed-kernel axis: fused kernels (STARBURST_TYPED_KERNELS semantics via
+// ExecOptions) vs the interpreter-only oracle, over NULL-heavy columns,
+// string predicates, and reorderable conjunctions — bit-identical rows and
+// identical fault statuses at every batch size, thread count, and spill
+// budget.
+// ---------------------------------------------------------------------------
+
+class KernelEquivalenceTest : public ::testing::Test {
+ protected:
+  KernelEquivalenceTest() : catalog_(MakePaperCatalog()), db_(catalog_) {
+    StoredTable* dept = db_.FindTable("DEPT").ValueOrDie();
+    for (int64_t d = 0; d < 30; ++d) {
+      // Every 6th DNO is NULL; MGR alternates so string equality is
+      // selective; BUDGET covers both comparison outcomes.
+      Datum dno = (d % 6 == 5) ? Datum::NullValue() : Datum(d % 10);
+      std::string mgr = (d % 2 == 0) ? "Haas" : "Other";
+      EXPECT_TRUE(dept->Insert({dno, Datum(mgr),
+                                Datum("dept" + std::to_string(d)),
+                                Datum(int64_t{50 * d})})
+                      .ok());
+    }
+    StoredTable* emp = db_.FindTable("EMP").ValueOrDie();
+    for (int64_t e = 0; e < 900; ++e) {
+      // NULL-heavy: every 7th DNO and every 11th SALARY are NULL, so both
+      // the fused comparisons and the join keys constantly see NULLs.
+      Datum dno = (e % 7 == 0) ? Datum::NullValue() : Datum(e % 10);
+      Datum salary =
+          (e % 11 == 0) ? Datum::NullValue() : Datum(int64_t{500 * e});
+      char name[16];
+      std::snprintf(name, sizeof(name), "emp%03lld",
+                    static_cast<long long>(e));
+      EXPECT_TRUE(emp->Insert({Datum(e), dno, Datum(std::string(name)),
+                               Datum("addr" + std::to_string(e)), salary})
+                      .ok());
+    }
+    EXPECT_TRUE(db_.Finalize().ok());
+  }
+
+  PlanPtr Best(const Query& query) {
+    DefaultRuleOptions rule_opts;
+    rule_opts.merge_join = true;
+    rule_opts.hash_join = true;
+    optimizers_.push_back(
+        std::make_unique<Optimizer>(DefaultRuleSet(rule_opts)));
+    return optimizers_.back()->Optimize(query).ValueOrDie().best;
+  }
+
+  // Legacy interpreter is the oracle (multiset); every vectorized
+  // configuration — kernels on/off × batch size × exec threads × spill
+  // budget — must reproduce it, and kernels on/off must agree bit-for-bit
+  // (same row order) at the same (batch, threads, budget) point.
+  void SweepKernelAxis(const std::string& sql) {
+    auto query_r = ParseSql(catalog_, sql);
+    ASSERT_TRUE(query_r.ok()) << query_r.status().ToString();
+    const Query& query = query_r.value();
+    PlanPtr plan = Best(query);
+    auto oracle = RunEngine(db_, query, plan, /*vectorized=*/false);
+    ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+    std::vector<Tuple> want = CanonicalRows(oracle.value().rows);
+    for (int threads : {1, 8}) {
+      for (int64_t mem_limit : {int64_t{0}, int64_t{64 * 1024}}) {
+        for (int batch_size : kBatchSizes) {
+          std::vector<Tuple> on_rows;
+          for (int kernels : {1, 0}) {
+            auto got = RunEngine(db_, query, plan, /*vectorized=*/true,
+                                 batch_size, nullptr, nullptr, threads,
+                                 mem_limit, nullptr, kernels);
+            ASSERT_TRUE(got.ok())
+                << got.status().ToString() << " kernels=" << kernels
+                << " threads=" << threads << " batch=" << batch_size
+                << " mem=" << mem_limit << "\n" << sql;
+            if (kernels == 1) {
+              on_rows = got.value().rows;
+            } else {
+              // Bit-identical: same rows in the same order as kernels-on.
+              ASSERT_EQ(got.value().rows.size(), on_rows.size())
+                  << "kernels on/off order diverged: threads=" << threads
+                  << " batch=" << batch_size << " mem=" << mem_limit;
+              for (size_t i = 0; i < on_rows.size(); ++i) {
+                ASSERT_EQ(got.value().rows[i].size(), on_rows[i].size());
+                for (size_t j = 0; j < on_rows[i].size(); ++j) {
+                  ASSERT_EQ(got.value().rows[i][j].Compare(on_rows[i][j]), 0)
+                      << "row " << i << " col " << j << " threads=" << threads
+                      << " batch=" << batch_size << " mem=" << mem_limit;
+                }
+              }
+            }
+            EXPECT_EQ(CanonicalRows(got.value().rows), want)
+                << "kernels=" << kernels << " threads=" << threads
+                << " batch=" << batch_size << " mem=" << mem_limit << "\n"
+                << sql;
+          }
+        }
+      }
+    }
+  }
+
+  Catalog catalog_;
+  Database db_;
+  std::vector<std::unique_ptr<Optimizer>> optimizers_;
+};
+
+TEST_F(KernelEquivalenceTest, NullHeavyIntConjunction) {
+  SweepKernelAxis(
+      "SELECT EMP.NAME, EMP.SALARY FROM EMP "
+      "WHERE EMP.SALARY >= 100000 AND EMP.DNO = 3");
+}
+
+TEST_F(KernelEquivalenceTest, StringPredicates) {
+  SweepKernelAxis(
+      "SELECT EMP.NAME FROM EMP "
+      "WHERE EMP.NAME >= 'emp500' AND EMP.ADDRESS <> 'addr501'");
+}
+
+TEST_F(KernelEquivalenceTest, ReorderableConjunctionStaysOracleIdentical) {
+  // Three fusible conjuncts with very different selectivities: the adaptive
+  // reorder (every 64 kernel calls) must never change the surviving rows.
+  SweepKernelAxis(
+      "SELECT EMP.ENO, EMP.NAME FROM EMP "
+      "WHERE EMP.SALARY >= 0 AND EMP.DNO = 3 AND EMP.NAME >= 'emp001'");
+}
+
+TEST_F(KernelEquivalenceTest, TypedKeyHashJoinWithResidual) {
+  SweepKernelAxis(
+      "SELECT DEPT.DNAME, EMP.NAME FROM DEPT, EMP "
+      "WHERE DEPT.DNO = EMP.DNO AND DEPT.BUDGET >= 500 "
+      "AND EMP.SALARY >= 100000");
+}
+
+TEST_F(KernelEquivalenceTest, KernelsActuallyEngage) {
+  // Guard against the whole axis silently degenerating: with kernels on the
+  // profile must attribute rows to fused kernels; with them off, none.
+  // Predicates deliberately avoid the indexed DNO column so the optimizer
+  // picks a heap scan — the index-driven TID-fetch path never fuses.
+  auto query_r = ParseSql(catalog_,
+                          "SELECT EMP.NAME FROM EMP "
+                          "WHERE EMP.SALARY >= 100000 AND EMP.NAME >= "
+                          "'emp100'");
+  ASSERT_TRUE(query_r.ok());
+  const Query& query = query_r.value();
+  PlanPtr plan = Best(query);
+  for (int kernels : {1, 0}) {
+    ExecProfile profile;
+    auto rs = RunEngine(db_, query, plan, /*vectorized=*/true, 1024, nullptr,
+                        nullptr, 1, 0, &profile, kernels);
+    ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+    int64_t kernel_rows = 0;
+    for (const auto& [node, p] : profile.ops()) kernel_rows += p.kernel_rows;
+    if (kernels == 1) {
+      EXPECT_GT(kernel_rows, 0) << "typed kernels never engaged";
+    } else {
+      EXPECT_EQ(kernel_rows, 0) << "kernels ran while disabled";
+    }
+  }
+}
+
+TEST_F(KernelEquivalenceTest, FaultStatusesAgreeAcrossKernelAxis) {
+  // A fused FILTER cannot reorder observable errors: any injected fault must
+  // trip with the same status (or not at all) whether kernels are on or off.
+  auto query_r = ParseSql(catalog_,
+                          "SELECT EMP.NAME, EMP.SALARY FROM DEPT, EMP "
+                          "WHERE DEPT.DNO = EMP.DNO AND EMP.SALARY >= 100000 "
+                          "ORDER BY EMP.SALARY");
+  ASSERT_TRUE(query_r.ok());
+  const Query& query = query_r.value();
+  PlanPtr plan = Best(query);
+  const char* specs[] = {
+      "exec.scan.open=1", "exec.scan.open=2", "exec.join.run=1",
+      "exec.sort.run=1",  "exec.scan.open=99",  // never trips
+  };
+  for (const char* spec : specs) {
+    for (int threads : {1, 8}) {
+      FaultInjector on_faults, off_faults;
+      ASSERT_TRUE(on_faults.Configure(spec).ok());
+      ASSERT_TRUE(off_faults.Configure(spec).ok());
+      auto on = RunEngine(db_, query, plan, /*vectorized=*/true, 1024,
+                          &on_faults, nullptr, threads, 0, nullptr, 1);
+      auto off = RunEngine(db_, query, plan, /*vectorized=*/true, 1024,
+                           &off_faults, nullptr, threads, 0, nullptr, 0);
+      ASSERT_EQ(on.ok(), off.ok())
+          << spec << " threads=" << threads << ": kernels-on "
+          << on.status().ToString() << " vs kernels-off "
+          << off.status().ToString();
+      if (!on.ok()) {
+        EXPECT_EQ(on.status().ToString(), off.status().ToString())
+            << spec << " threads=" << threads;
+      } else {
+        EXPECT_EQ(CanonicalRows(on.value().rows),
+                  CanonicalRows(off.value().rows))
+            << spec << " threads=" << threads;
       }
     }
   }

@@ -1,0 +1,500 @@
+// Unit tests for the typed-kernel subsystem (exec/kernel.{h,cc}) and the
+// selection-vector discipline it feeds: SelVector/RowBatch invariants,
+// per-type kernel-vs-interpreter agreement on randomized batches (NULL-heavy
+// ints, doubles, and strings, plus deliberately type-corrupt rows that must
+// route to the mismatch list), adaptive-order stability, join-key hash
+// compatibility, and the constant-fold divide-by-zero guard.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "exec/batch.h"
+#include "exec/hash_table.h"
+#include "exec/kernel.h"
+#include "exec/pred_program.h"
+#include "sql/parser.h"
+#include "storage/table.h"
+
+namespace starburst {
+namespace {
+
+ColumnDef MakeColumn(std::string name, ColumnType type, double distinct) {
+  ColumnDef c;
+  c.name = std::move(name);
+  c.type = type;
+  c.distinct_values = distinct;
+  c.min_value = 0;
+  c.max_value = distinct;
+  c.avg_width = type == ColumnType::kString ? 8.0 : 8.0;
+  return c;
+}
+
+/// One table covering every kernel leaf type: ID/NUM int64, VAL double,
+/// TAG string.
+Catalog MakeKernelCatalog(int64_t rows) {
+  Catalog cat;
+  TableDef t;
+  t.name = "M";
+  t.columns.push_back(MakeColumn("ID", ColumnType::kInt64, double(rows)));
+  t.columns.push_back(MakeColumn("VAL", ColumnType::kDouble, double(rows)));
+  t.columns.push_back(MakeColumn("TAG", ColumnType::kString, 26.0));
+  t.columns.push_back(MakeColumn("NUM", ColumnType::kInt64, 200.0));
+  t.row_count = static_cast<double>(rows);
+  t.data_pages = std::max<double>(1.0, double(rows) / 40.0);
+  auto added = cat.AddTable(std::move(t));
+  EXPECT_TRUE(added.ok());
+  return cat;
+}
+
+/// Randomized rows: ~1/6 NULLs per column, every 97th row type-corrupt (a
+/// string stored in the int64 NUM column) so mismatch routing is exercised.
+std::vector<Tuple> MakeRandomRows(int64_t n, uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int64_t> ints(0, 199);
+  std::uniform_real_distribution<double> dbls(0.0, 1.0);
+  std::uniform_int_distribution<int> letters(0, 25);
+  std::uniform_int_distribution<int> nulls(0, 5);
+  std::vector<Tuple> rows;
+  rows.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    Tuple t(4);
+    t[0] = Datum(i);
+    t[1] = nulls(rng) == 0 ? Datum::NullValue() : Datum(dbls(rng));
+    t[2] = nulls(rng) == 0
+               ? Datum::NullValue()
+               : Datum(std::string(1, char('a' + letters(rng))) +
+                       std::to_string(ints(rng)));
+    t[3] = nulls(rng) == 0 ? Datum::NullValue() : Datum(ints(rng));
+    if (i % 97 == 42) t[3] = Datum(std::string("corrupt"));
+    rows.push_back(std::move(t));
+  }
+  return rows;
+}
+
+class KernelTest : public ::testing::Test {
+ protected:
+  static constexpr int64_t kRows = 500;
+
+  KernelTest() : catalog_(MakeKernelCatalog(kRows)), db_(catalog_) {
+    StoredTable* m = db_.FindTable("M").ValueOrDie();
+    for (Tuple& t : MakeRandomRows(kRows, /*seed=*/31)) {
+      EXPECT_TRUE(m->Insert(std::move(t)).ok());
+    }
+    EXPECT_TRUE(db_.Finalize().ok());
+    // Slot layout: the scan's output tuple carries all four columns of q0.
+    for (int c = 0; c < 4; ++c) schema_.push_back(ColumnRef{0, c});
+  }
+
+  Query Parse(const std::string& sql) {
+    return ParseSql(catalog_, sql).ValueOrDie();
+  }
+
+  KernelEnv SlotEnv(const Query& query) {
+    KernelEnv env;
+    env.schema = &schema_;
+    env.query = &query;
+    env.db = &db_;
+    return env;
+  }
+
+  KernelEnv ScanEnv(const Query& query) {
+    KernelEnv env;
+    env.schema = &schema_;
+    env.query = &query;
+    env.db = &db_;
+    env.base_quantifier = 0;
+    env.scan_mode = true;
+    return env;
+  }
+
+  /// Interpreter oracle verdict for one row; fused predicates can never
+  /// error, so Eval must be ok for rows the kernel decided.
+  static bool OracleVerdict(const PredProgram& prog, const Tuple& row) {
+    ProgramCtx ctx;
+    ctx.row = &row;
+    auto r = prog.Eval(ctx);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() && r.value();
+  }
+
+  /// Kernel-vs-interpreter agreement over the table rows in slot mode:
+  /// every non-mismatch row's verdict must equal the interpreter's, and
+  /// mismatch rows must be exactly the type-corrupt ones the kernel cannot
+  /// decide. Returns the number of rows the kernel decided.
+  int64_t ExpectSlotAgreement(const std::string& sql, KernelState* state) {
+    Query query = Parse(sql);
+    PredSet preds = query.AllPredicates();
+    KernelProgram kp = KernelProgram::Compile(preds, query, SlotEnv(query));
+    EXPECT_TRUE(kp.usable()) << sql;
+    EXPECT_TRUE(kp.remainder().empty())
+        << sql << ": expected a fully fused conjunction";
+    CompileEnv cenv;
+    cenv.schema = &schema_;
+    PredProgram oracle = PredProgram::Compile(preds, query, cenv);
+
+    const std::vector<Tuple>& rows = db_.FindTable("M").ValueOrDie()->rows();
+    std::vector<int32_t> hits, mis;
+    kp.EvalRows(rows, 0, rows.size(), &hits, &mis, state);
+    // Sorted, unique, in range, and disjoint.
+    EXPECT_TRUE(std::is_sorted(hits.begin(), hits.end()));
+    EXPECT_TRUE(std::is_sorted(mis.begin(), mis.end()));
+    std::set<int32_t> hit_set(hits.begin(), hits.end());
+    std::set<int32_t> mis_set(mis.begin(), mis.end());
+    EXPECT_EQ(hit_set.size(), hits.size());
+    EXPECT_EQ(mis_set.size(), mis.size());
+    for (int32_t i : hits) {
+      EXPECT_GE(i, 0);
+      EXPECT_LT(i, static_cast<int32_t>(rows.size()));
+      EXPECT_EQ(mis_set.count(i), 0u);
+    }
+    for (size_t i = 0; i < rows.size(); ++i) {
+      int32_t idx = static_cast<int32_t>(i);
+      if (mis_set.count(idx)) continue;  // the caller re-runs these rows
+      EXPECT_EQ(hit_set.count(idx) != 0, OracleVerdict(oracle, rows[i]))
+          << sql << " row " << i;
+    }
+    return static_cast<int64_t>(rows.size() - mis.size());
+  }
+
+  Catalog catalog_;
+  Database db_;
+  Schema schema_;
+};
+
+// ---------------------------------------------------------------------------
+// SelVector / RowBatch invariants.
+// ---------------------------------------------------------------------------
+
+TEST(SelVectorTest, CompactEqualsFilteredCopy) {
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<int> sizes(0, 64);
+  std::uniform_int_distribution<int> coin(0, 2);
+  for (int trial = 0; trial < 200; ++trial) {
+    int n = sizes(rng);
+    RowBatch b;
+    for (int i = 0; i < n; ++i) {
+      b.rows.push_back({Datum(int64_t{i}), Datum("s" + std::to_string(i))});
+    }
+    // Random subset as the selection (sorted ascending, unique).
+    std::vector<int32_t> keep;
+    for (int i = 0; i < n; ++i) {
+      if (coin(rng) == 0) keep.push_back(i);
+    }
+    std::vector<Tuple> want;
+    for (int32_t i : keep) want.push_back(b.rows[static_cast<size_t>(i)]);
+    b.sel.active = true;
+    b.sel.idx = keep;
+    ASSERT_EQ(b.live(), keep.size());
+    for (size_t k = 0; k < keep.size(); ++k) {
+      ASSERT_EQ(b.live_row(k)[0].Compare(want[k][0]), 0);
+    }
+    b.Compact();
+    EXPECT_FALSE(b.sel.active);
+    ASSERT_EQ(b.rows.size(), want.size());
+    for (size_t k = 0; k < want.size(); ++k) {
+      for (size_t j = 0; j < want[k].size(); ++j) {
+        EXPECT_EQ(b.rows[k][j].Compare(want[k][j]), 0)
+            << "trial " << trial << " row " << k;
+      }
+    }
+    // Compacting an inactive selection is a no-op.
+    std::vector<Tuple> before = b.rows;
+    b.Compact();
+    EXPECT_EQ(b.rows.size(), before.size());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Per-type kernel-vs-interpreter agreement on randomized data.
+// ---------------------------------------------------------------------------
+
+TEST_F(KernelTest, Int64PredicatesAgreeWithInterpreter) {
+  ExpectSlotAgreement("SELECT M.ID FROM M WHERE M.NUM >= 100", nullptr);
+  ExpectSlotAgreement("SELECT M.ID FROM M WHERE M.NUM = 7", nullptr);
+  ExpectSlotAgreement("SELECT M.ID FROM M WHERE M.NUM + 10 <= 60", nullptr);
+}
+
+TEST_F(KernelTest, DoublePredicatesAgreeWithInterpreter) {
+  ExpectSlotAgreement("SELECT M.ID FROM M WHERE M.VAL >= 0.5", nullptr);
+  ExpectSlotAgreement("SELECT M.ID FROM M WHERE M.VAL * 2.0 < 0.8", nullptr);
+}
+
+TEST_F(KernelTest, StringPredicatesAgreeWithInterpreter) {
+  ExpectSlotAgreement("SELECT M.ID FROM M WHERE M.TAG >= 'm'", nullptr);
+  ExpectSlotAgreement("SELECT M.ID FROM M WHERE M.TAG <> 'a3'", nullptr);
+}
+
+TEST_F(KernelTest, ConjunctionsAgreeWithInterpreter) {
+  ExpectSlotAgreement(
+      "SELECT M.ID FROM M WHERE M.NUM >= 20 AND M.VAL >= 0.25 "
+      "AND M.TAG >= 'c'",
+      nullptr);
+}
+
+TEST_F(KernelTest, AdaptiveOrderNeverChangesTheSelection) {
+  // The adaptive state reorders fused conjuncts every 64 kernel calls; over
+  // 500 single-row calls the order must tick several times without changing
+  // a single verdict vs the fixed-order (nullptr state) evaluation.
+  Query query = Parse(
+      "SELECT M.ID FROM M WHERE M.NUM >= 20 AND M.VAL >= 0.25 "
+      "AND M.TAG >= 'c'");
+  PredSet preds = query.AllPredicates();
+  KernelProgram kp = KernelProgram::Compile(preds, query, SlotEnv(query));
+  ASSERT_TRUE(kp.usable());
+  const std::vector<Tuple>& rows = db_.FindTable("M").ValueOrDie()->rows();
+  std::vector<int32_t> fixed_hits, fixed_mis;
+  kp.EvalRows(rows, 0, rows.size(), &fixed_hits, &fixed_mis, nullptr);
+  KernelState state;
+  std::vector<int32_t> adaptive_hits, adaptive_mis;
+  for (size_t i = 0; i < rows.size(); ++i) {  // one call per row: many ticks
+    std::vector<int32_t> h, m;
+    kp.EvalRows(rows, i, i + 1, &h, &m, &state);
+    adaptive_hits.insert(adaptive_hits.end(), h.begin(), h.end());
+    adaptive_mis.insert(adaptive_mis.end(), m.begin(), m.end());
+  }
+  EXPECT_EQ(adaptive_hits, fixed_hits);
+  // The raw mismatch lists may legitimately differ: a reordered conjunct can
+  // decide a row false before the corrupt column is ever touched. What must
+  // agree is the resolved outcome — hits plus the interpreter's verdict over
+  // whichever rows each order routed to fallback.
+  CompileEnv cenv;
+  cenv.schema = &schema_;
+  PredProgram oracle = PredProgram::Compile(preds, query, cenv);
+  auto resolve = [&](const std::vector<int32_t>& hits,
+                     const std::vector<int32_t>& mis) {
+    std::vector<int32_t> out = hits;
+    for (int32_t m : mis) {
+      if (OracleVerdict(oracle, rows[static_cast<size_t>(m)])) {
+        out.push_back(m);
+      }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  EXPECT_EQ(resolve(adaptive_hits, adaptive_mis),
+            resolve(fixed_hits, fixed_mis));
+  // Either way, only the deliberately corrupt rows may route to fallback.
+  for (int32_t m : fixed_mis) {
+    EXPECT_EQ(m % 97, 42) << "row " << m;
+  }
+  for (int32_t m : adaptive_mis) {
+    EXPECT_EQ(m % 97, 42) << "row " << m;
+  }
+}
+
+TEST_F(KernelTest, ScanModeAgreesWithSlotMode) {
+  Query query = Parse("SELECT M.ID FROM M WHERE M.NUM >= 100 AND M.VAL >= "
+                      "0.25");
+  PredSet preds = query.AllPredicates();
+  KernelProgram slot = KernelProgram::Compile(preds, query, SlotEnv(query));
+  KernelProgram scan = KernelProgram::Compile(preds, query, ScanEnv(query));
+  ASSERT_TRUE(slot.usable());
+  ASSERT_TRUE(scan.usable());
+  const StoredTable& m = *db_.FindTable("M").ValueOrDie();
+  std::vector<int32_t> slot_hits, slot_mis;
+  slot.EvalRows(m.rows(), 0, m.rows().size(), &slot_hits, &slot_mis, nullptr);
+  std::vector<int64_t> scan_hits, scan_mis;
+  scan.EvalScan(m, 0, m.num_rows(), &scan_hits, &scan_mis, nullptr);
+  ASSERT_EQ(scan_hits.size(), slot_hits.size());
+  for (size_t i = 0; i < scan_hits.size(); ++i) {
+    EXPECT_EQ(scan_hits[i], static_cast<int64_t>(slot_hits[i]));
+  }
+  ASSERT_EQ(scan_mis.size(), slot_mis.size());
+  for (size_t i = 0; i < scan_mis.size(); ++i) {
+    EXPECT_EQ(scan_mis[i], static_cast<int64_t>(slot_mis[i]));
+  }
+}
+
+TEST_F(KernelTest, EvalBatchRespectsTheIncomingSelection) {
+  // EvalBatch must only look at live rows and emit underlying row indices —
+  // exactly the discipline FILTER relies on to chain selections.
+  Query query = Parse("SELECT M.ID FROM M WHERE M.NUM >= 100");
+  PredSet preds = query.AllPredicates();
+  KernelProgram kp = KernelProgram::Compile(preds, query, SlotEnv(query));
+  ASSERT_TRUE(kp.usable());
+  RowBatch b;
+  b.rows = db_.FindTable("M").ValueOrDie()->rows();
+  b.sel.active = true;
+  for (int32_t i = 0; i < static_cast<int32_t>(b.rows.size()); i += 3) {
+    b.sel.idx.push_back(i);  // every third row is live
+  }
+  std::vector<int32_t> hits, mis;
+  kp.EvalBatch(b, &hits, &mis, nullptr);
+  std::set<int32_t> live(b.sel.idx.begin(), b.sel.idx.end());
+  EXPECT_TRUE(std::is_sorted(hits.begin(), hits.end()));
+  std::set<int32_t> seen;
+  for (int32_t i : hits) {
+    EXPECT_TRUE(live.count(i)) << "kernel decided a dead row " << i;
+    EXPECT_TRUE(seen.insert(i).second) << "duplicate survivor " << i;
+  }
+  for (int32_t i : mis) {
+    EXPECT_TRUE(live.count(i)) << "kernel flagged a dead row " << i;
+  }
+  // Dense evaluation restricted to the same live set agrees.
+  CompileEnv cenv;
+  cenv.schema = &schema_;
+  PredProgram oracle = PredProgram::Compile(preds, query, cenv);
+  std::set<int32_t> mis_set(mis.begin(), mis.end());
+  for (int32_t i : b.sel.idx) {
+    if (mis_set.count(i)) continue;
+    EXPECT_EQ(seen.count(i) != 0,
+              OracleVerdict(oracle, b.rows[static_cast<size_t>(i)]))
+        << "row " << i;
+  }
+}
+
+TEST_F(KernelTest, CorruptRowsRouteToMismatch) {
+  // Every 97th row stores a string in the int64 NUM column; the kernel must
+  // refuse to decide exactly those rows rather than guessing.
+  Query query = Parse("SELECT M.ID FROM M WHERE M.NUM >= 0");
+  PredSet preds = query.AllPredicates();
+  KernelProgram kp = KernelProgram::Compile(preds, query, SlotEnv(query));
+  ASSERT_TRUE(kp.usable());
+  const std::vector<Tuple>& rows = db_.FindTable("M").ValueOrDie()->rows();
+  std::vector<int32_t> hits, mis;
+  kp.EvalRows(rows, 0, rows.size(), &hits, &mis, nullptr);
+  std::set<int32_t> mis_set(mis.begin(), mis.end());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    bool corrupt = rows[i][3].is_string();
+    EXPECT_EQ(mis_set.count(static_cast<int32_t>(i)) != 0, corrupt)
+        << "row " << i;
+  }
+  EXPECT_FALSE(mis.empty()) << "the corrupt rows never reached the kernel";
+}
+
+TEST_F(KernelTest, UnfusablePredicatesFallBackEntirely) {
+  // Division ends the fused prefix; a conjunction that is nothing but a
+  // division must not produce a usable kernel at all.
+  Query query = Parse("SELECT M.ID FROM M WHERE M.NUM / 2 >= 10");
+  PredSet preds = query.AllPredicates();
+  KernelProgram kp = KernelProgram::Compile(preds, query, SlotEnv(query));
+  EXPECT_FALSE(kp.usable());
+  EXPECT_EQ(kp.fused(), 0);
+  EXPECT_EQ(kp.fallback_preds(), 1);
+  EXPECT_EQ(kp.remainder().ToVector().size(), 1u);
+}
+
+TEST_F(KernelTest, MaximalPrefixSplitsAroundDivision) {
+  // Pred ids are WHERE order: [NUM >= 20] fuses, [NUM / 2 >= 10] ends the
+  // prefix, and everything after it stays interpreted even if fusible.
+  Query query = Parse(
+      "SELECT M.ID FROM M WHERE M.NUM >= 20 AND M.NUM / 2 >= 10 "
+      "AND M.VAL >= 0.5");
+  PredSet preds = query.AllPredicates();
+  KernelProgram kp = KernelProgram::Compile(preds, query, SlotEnv(query));
+  ASSERT_TRUE(kp.usable());
+  EXPECT_EQ(kp.fused(), 1);
+  EXPECT_EQ(kp.remainder().ToVector().size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// KeyKernel and join-key hashing.
+// ---------------------------------------------------------------------------
+
+TEST_F(KernelTest, KeyKernelAgreesWithExprProgram) {
+  Query query = Parse("SELECT M.ID FROM M WHERE M.NUM = 3");
+  const Expr& key = *query.predicate(0).lhs;  // bare M.NUM column
+  KeyKernel kk = KeyKernel::Compile(key, query, SlotEnv(query));
+  ASSERT_TRUE(kk.usable());
+  CompileEnv cenv;
+  cenv.schema = &schema_;
+  ExprProgram oracle = ExprProgram::Compile(key, cenv);
+  for (const Tuple& row : db_.FindTable("M").ValueOrDie()->rows()) {
+    int64_t v = 0;
+    bool is_null = false;
+    bool decided = kk.EvalInt(row, &v, &is_null);
+    ProgramCtx ctx;
+    ctx.row = &row;
+    auto want = oracle.Eval(ctx);
+    ASSERT_TRUE(want.ok());
+    if (!decided) {
+      // Type mismatch: exactly the corrupt (string-in-int) rows.
+      EXPECT_TRUE(row[3].is_string());
+      continue;
+    }
+    EXPECT_EQ(is_null, want.value().is_null());
+    if (!is_null) EXPECT_EQ(v, want.value().AsInt());
+  }
+}
+
+TEST(KernelHashTest, Int64KeyHashMatchesGenericJoinHash) {
+  std::mt19937_64 rng(17);
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = static_cast<int64_t>(rng());
+    Datum d(v);
+    EXPECT_EQ(HashInt64JoinKey(v), JoinHashTable::HashKey(&d, 1)) << v;
+  }
+  for (int64_t v : {int64_t{0}, int64_t{-1}, int64_t{1}}) {
+    Datum d(v);
+    EXPECT_EQ(HashInt64JoinKey(v), JoinHashTable::HashKey(&d, 1));
+  }
+  Datum null = Datum::NullValue();
+  EXPECT_EQ(HashNullJoinKey(), JoinHashTable::HashKey(&null, 1));
+}
+
+// ---------------------------------------------------------------------------
+// Constant-fold divide-by-zero guard (ExprProgram::Compile).
+// ---------------------------------------------------------------------------
+
+TEST(ExprProgramFoldTest, DivisionByConstantZeroIsNotFolded) {
+  CompileEnv env;
+  ProgramCtx ctx;
+  // 5 / 0 keeps its kDiv step (IsConstant() false) and still evaluates to
+  // the interpreter's runtime NULL.
+  auto by_int_zero = ExprProgram::Compile(
+      *Expr::Binary(ExprKind::kDiv, Expr::Literal(Datum(int64_t{5})),
+                    Expr::Literal(Datum(int64_t{0}))),
+      env);
+  EXPECT_FALSE(by_int_zero.IsConstant());
+  auto v = by_int_zero.Eval(ctx);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v.value().is_null());
+
+  auto by_dbl_zero = ExprProgram::Compile(
+      *Expr::Binary(ExprKind::kDiv, Expr::Literal(Datum(1.5)),
+                    Expr::Literal(Datum(0.0))),
+      env);
+  EXPECT_FALSE(by_dbl_zero.IsConstant());
+  v = by_dbl_zero.Eval(ctx);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v.value().is_null());
+
+  auto by_null = ExprProgram::Compile(
+      *Expr::Binary(ExprKind::kDiv, Expr::Literal(Datum(int64_t{5})),
+                    Expr::Literal(Datum::NullValue())),
+      env);
+  EXPECT_FALSE(by_null.IsConstant());
+  v = by_null.Eval(ctx);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v.value().is_null());
+
+  // A nonzero constant divisor still folds — the guard is surgical.
+  auto folded = ExprProgram::Compile(
+      *Expr::Binary(ExprKind::kDiv, Expr::Literal(Datum(int64_t{10})),
+                    Expr::Literal(Datum(int64_t{2}))),
+      env);
+  EXPECT_TRUE(folded.IsConstant());
+  EXPECT_EQ(folded.ConstantValue().AsInt(), 5);
+
+  // A zero divisor that is only one side of a deeper fold: (4 - 4) folds to
+  // 0 first, then the division above it must refuse to fold.
+  auto nested = ExprProgram::Compile(
+      *Expr::Binary(ExprKind::kDiv, Expr::Literal(Datum(int64_t{8})),
+                    Expr::Binary(ExprKind::kSub,
+                                 Expr::Literal(Datum(int64_t{4})),
+                                 Expr::Literal(Datum(int64_t{4})))),
+      env);
+  EXPECT_FALSE(nested.IsConstant());
+  v = nested.Eval(ctx);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v.value().is_null());
+}
+
+}  // namespace
+}  // namespace starburst

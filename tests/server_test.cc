@@ -322,6 +322,114 @@ TEST_F(ServerTest, PlanCacheFailedFlightIsTakenOverNotWedged) {
   EXPECT_EQ(cache.size(), 1u);
 }
 
+TEST_F(ServerTest, PlanCacheEvictsLeastRecentlyUsedPastCapacity) {
+  MetricsRegistry metrics;
+  // One shard so the whole capacity is one LRU domain.
+  PlanCache cache(/*num_shards=*/1, &metrics, /*max_entries=*/4);
+  EXPECT_EQ(cache.capacity(), 4);
+  auto key = [](int i) {
+    return PlanCacheKey{"d" + std::to_string(i), "s" + std::to_string(i)};
+  };
+  int optimize_calls = 0;
+  auto optimize = [&]() -> Result<CachedPlan> {
+    ++optimize_calls;
+    CachedPlan plan;
+    plan.signature = "sig";
+    return plan;
+  };
+  auto touch = [&](int i) -> bool {
+    bool hit = false;
+    auto got = cache.GetOrOptimize(key(i), catalog_, optimize, &hit);
+    EXPECT_TRUE(got.ok());
+    return hit;
+  };
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(touch(i));  // fill: 4 misses
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(metrics.counter("server.cache_evictions"), 0);
+  // Recency: touch 0 and 2, leaving 1 as the least recently used.
+  EXPECT_TRUE(touch(0));
+  EXPECT_TRUE(touch(2));
+  // Past capacity: 4 evicts 1; then 5 evicts 3 (next-oldest after the hits).
+  EXPECT_FALSE(touch(4));
+  EXPECT_EQ(metrics.counter("server.cache_evictions"), 1);
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_FALSE(touch(5));
+  EXPECT_EQ(metrics.counter("server.cache_evictions"), 2);
+  EXPECT_EQ(cache.size(), 4u);
+  // Exactly the LRU victims re-optimize; the recently used entries survive.
+  EXPECT_TRUE(touch(0));
+  EXPECT_TRUE(touch(2));
+  EXPECT_TRUE(touch(4));
+  EXPECT_TRUE(touch(5));
+  int before = optimize_calls;
+  EXPECT_FALSE(touch(1));  // evicted first
+  EXPECT_EQ(optimize_calls, before + 1);
+}
+
+TEST_F(ServerTest, PlanCacheSingleFlightSurvivesCapacityOne) {
+  // Capacity 1 is the hardest case: every insert evicts the previous entry,
+  // but in-flight markers must never be evicted and single-flight semantics
+  // must hold exactly as in the unbounded cache.
+  MetricsRegistry metrics;
+  PlanCache cache(/*num_shards=*/1, &metrics, /*max_entries=*/1);
+  PlanCacheKey key{"digest", "structure"};
+  std::atomic<int> optimize_calls{0};
+  auto optimize = [&]() -> Result<CachedPlan> {
+    optimize_calls.fetch_add(1);
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::seconds(30);
+    while (metrics.counter("server.cache_races") < 7 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    CachedPlan plan;
+    plan.signature = "sig";
+    return plan;
+  };
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&] {
+      auto got = cache.GetOrOptimize(key, catalog_, optimize);
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(got.value()->signature, "sig");
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(optimize_calls.load(), 1);
+  EXPECT_EQ(metrics.counter("server.cache_misses"), 1);
+  EXPECT_EQ(metrics.counter("server.cache_evictions"), 0);
+  // Churn more keys through the 1-entry cache: each insert evicts the
+  // previous completed entry, never wedging and never growing.
+  auto plain = [&]() -> Result<CachedPlan> {
+    CachedPlan plan;
+    plan.signature = "sig";
+    return plan;
+  };
+  for (int i = 0; i < 5; ++i) {
+    PlanCacheKey k{"other" + std::to_string(i), "s"};
+    ASSERT_TRUE(cache.GetOrOptimize(k, catalog_, plain).ok());
+  }
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(metrics.counter("server.cache_evictions"), 5);
+}
+
+TEST_F(ServerTest, PlanCacheCapacityZeroNeverEvicts) {
+  MetricsRegistry metrics;
+  PlanCache cache(/*num_shards=*/4, &metrics, /*max_entries=*/0);
+  EXPECT_EQ(cache.capacity(), 0);
+  auto plain = [&]() -> Result<CachedPlan> {
+    CachedPlan plan;
+    plan.signature = "sig";
+    return plan;
+  };
+  for (int i = 0; i < 64; ++i) {
+    PlanCacheKey k{"d" + std::to_string(i), "s"};
+    ASSERT_TRUE(cache.GetOrOptimize(k, catalog_, plain).ok());
+  }
+  EXPECT_EQ(cache.size(), 64u);
+  EXPECT_EQ(metrics.counter("server.cache_evictions"), 0);
+}
+
 TEST_F(ServerTest, ServerHammerSameDigestOptimizesExactlyOnce) {
   ServerOptions opts;
   opts.num_workers = 8;
